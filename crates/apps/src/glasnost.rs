@@ -1,0 +1,157 @@
+//! §8.2 case study: monitoring Glasnost measurement servers.
+//!
+//! For every test run the job computes the minimum RTT between client and
+//! measurement server (the distance estimate) and then the *median*
+//! minimum-RTT per server across all runs in the window — the paper's
+//! measure of how well users are directed to nearby servers. The window is
+//! the most recent three months, sliding by one month: the fixed-width
+//! (rotating tree) case study.
+//!
+//! Medians are not decomposable, so the partial aggregate is a sorted
+//! multiset of per-run minimum RTTs (merged associatively and
+//! commutatively); Reduce extracts the median.
+
+use slider_mapreduce::MapReduceApp;
+use slider_workloads::glasnost::TestTrace;
+
+/// Median server distance monitoring over Glasnost traces.
+#[derive(Debug, Clone, Default)]
+pub struct GlasnostMonitor;
+
+impl GlasnostMonitor {
+    /// Creates the app.
+    pub fn new() -> Self {
+        GlasnostMonitor
+    }
+}
+
+/// RTTs are finite positive milliseconds; sort by total order.
+fn sorted_merge(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let take_left = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => x.total_cmp(y).is_le(),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_left {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+impl MapReduceApp for GlasnostMonitor {
+    type Input = TestTrace;
+    /// Measurement-server id.
+    type Key = u32;
+    /// Sorted multiset of per-run minimum RTTs.
+    type Value = Vec<f64>;
+    /// Median minimum RTT in milliseconds.
+    type Output = f64;
+
+    fn map(&self, trace: &TestTrace, emit: &mut dyn FnMut(u32, Vec<f64>)) {
+        if trace.rtts_ms.is_empty() {
+            return;
+        }
+        emit(trace.server, vec![trace.min_rtt()]);
+    }
+
+    fn combine(&self, _key: &u32, a: &Vec<f64>, b: &Vec<f64>) -> Vec<f64> {
+        sorted_merge(a, b)
+    }
+
+    fn reduce(&self, _key: &u32, parts: &[&Vec<f64>]) -> f64 {
+        let mut all: Vec<f64> = Vec::new();
+        for part in parts {
+            all = sorted_merge(&all, part);
+        }
+        if all.is_empty() {
+            return f64::NAN;
+        }
+        let mid = all.len() / 2;
+        if all.len() % 2 == 1 {
+            all[mid]
+        } else {
+            (all[mid - 1] + all[mid]) / 2.0
+        }
+    }
+
+    fn map_cost(&self, trace: &TestTrace) -> u64 {
+        trace.rtts_ms.len().max(1) as u64
+    }
+
+    fn combine_cost(&self, _key: &u32, a: &Vec<f64>, b: &Vec<f64>) -> u64 {
+        (a.len() + b.len()).max(1) as u64
+    }
+
+    fn reduce_cost(&self, _key: &u32, parts: &[&Vec<f64>]) -> u64 {
+        parts.iter().map(|p| p.len() as u64).sum::<u64>().max(1)
+    }
+
+    fn record_bytes(&self, trace: &TestTrace) -> u64 {
+        // A pcap trace is far heavier than the samples it yields.
+        (trace.rtts_ms.len() * 64 + 128) as u64
+    }
+
+    fn value_bytes(&self, _key: &u32, v: &Vec<f64>) -> u64 {
+        (v.len() * 8 + 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
+    use slider_workloads::glasnost::{generate_months, GlasnostConfig};
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let app = GlasnostMonitor;
+        let v = vec![1.0, 3.0, 9.0];
+        assert_eq!(app.reduce(&0, &[&v]), 3.0);
+        let v = vec![1.0, 3.0, 5.0, 9.0];
+        assert_eq!(app.reduce(&0, &[&v]), 4.0);
+    }
+
+    #[test]
+    fn sorted_merge_is_commutative() {
+        let a = vec![1.0, 5.0];
+        let b = vec![2.0, 3.0];
+        assert_eq!(sorted_merge(&a, &b), vec![1.0, 2.0, 3.0, 5.0]);
+        assert_eq!(sorted_merge(&a, &b), sorted_merge(&b, &a));
+    }
+
+    #[test]
+    fn fixed_width_monitoring_matches_recompute() {
+        let config = GlasnostConfig { servers: 2, clients: 60, samples_per_test: 5 };
+        let months = generate_months(5, &config, &[30, 30, 30, 30, 30]);
+        let run = |mode| {
+            // Window = 3 months, slide = 1 month, 1 split per month bucket.
+            let job_config = JobConfig::new(mode).with_partitions(2).with_buckets(3, 1);
+            let mut job = WindowedJob::new(GlasnostMonitor, job_config).unwrap();
+            let mut id = 0u64;
+            let mut mk = |traces: &Vec<TestTrace>| {
+                let s = make_splits(id, traces.clone(), traces.len().max(1));
+                id += s.len() as u64;
+                s
+            };
+            job.initial_run(months[0..3].iter().flat_map(&mut mk).collect()).unwrap();
+            for month in &months[3..] {
+                job.advance(1, mk(month)).unwrap();
+            }
+            job.output().clone()
+        };
+        let vanilla = run(ExecMode::Recompute);
+        let rotating = run(ExecMode::slider_rotating(true));
+        assert_eq!(vanilla.len(), rotating.len());
+        for (k, v) in &vanilla {
+            assert!((v - rotating[k]).abs() < 1e-12, "server {k}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! HCT: histogram computation over a token stream (data-intensive).
+//!
+//! Computes the frequency histogram of tokens in the window. A classic
+//! combiner-friendly aggregation: partial counts merge by addition.
+
+use slider_mapreduce::MapReduceApp;
+
+/// Histogram computation over whitespace-separated tokens.
+#[derive(Debug, Clone, Default)]
+pub struct Hct;
+
+impl Hct {
+    /// Creates the app.
+    pub fn new() -> Self {
+        Hct
+    }
+}
+
+impl MapReduceApp for Hct {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+
+    fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+        for token in line.split_whitespace() {
+            emit(token.to_string(), 1);
+        }
+    }
+
+    fn combine(&self, _key: &String, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+
+    fn reduce(&self, _key: &String, parts: &[&u64]) -> u64 {
+        parts.iter().copied().sum()
+    }
+
+    // Data-intensive profile: cheap per-record compute, heavy records.
+    fn map_cost(&self, line: &String) -> u64 {
+        line.split_whitespace().count().max(1) as u64
+    }
+
+    fn record_bytes(&self, line: &String) -> u64 {
+        line.len() as u64
+    }
+
+    fn value_bytes(&self, key: &String, _v: &u64) -> u64 {
+        (key.len() + 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
+
+    #[test]
+    fn counts_tokens() {
+        let mut job =
+            WindowedJob::new(Hct, JobConfig::new(ExecMode::slider_folding())).unwrap();
+        job.initial_run(make_splits(0, vec!["a b a".into(), "b c".into()], 1)).unwrap();
+        assert_eq!(job.output().get("a"), Some(&2));
+        assert_eq!(job.output().get("b"), Some(&2));
+        assert_eq!(job.output().get("c"), Some(&1));
+    }
+
+    #[test]
+    fn incremental_equals_recompute() {
+        let docs = slider_workloads::text::generate_documents(
+            3,
+            12,
+            &slider_workloads::text::TextConfig {
+                vocabulary: 50,
+                zipf_exponent: 1.0,
+                words_per_doc: 10,
+            },
+        );
+        let mut inc =
+            WindowedJob::new(Hct, JobConfig::new(ExecMode::slider_folding())).unwrap();
+        let mut van = WindowedJob::new(Hct, JobConfig::new(ExecMode::Recompute)).unwrap();
+        inc.initial_run(make_splits(0, docs[0..8].to_vec(), 2)).unwrap();
+        van.initial_run(make_splits(0, docs[0..8].to_vec(), 2)).unwrap();
+        inc.advance(2, make_splits(100, docs[8..12].to_vec(), 2)).unwrap();
+        van.advance(2, make_splits(100, docs[8..12].to_vec(), 2)).unwrap();
+        assert_eq!(inc.output(), van.output());
+    }
+
+    #[test]
+    fn cost_model_is_data_intensive() {
+        let app = Hct;
+        let line = "one two three".to_string();
+        assert_eq!(app.map_cost(&line), 3);
+        assert_eq!(app.record_bytes(&line), 13);
+        assert_eq!(app.value_bytes(&"one".to_string(), &5), 11);
+    }
+}

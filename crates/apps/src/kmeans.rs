@@ -1,0 +1,177 @@
+//! K-Means: one Lloyd's-algorithm step as MapReduce (compute-intensive).
+//!
+//! Each Map task assigns its points to the nearest of `k` fixed centroids
+//! — `O(k·d)` floating-point work per record, which is what makes this
+//! benchmark compute-bound in the paper. Partial aggregates are
+//! (coordinate sum, count) pairs; Reduce emits the updated centroid.
+
+use std::sync::Arc;
+
+use slider_mapreduce::MapReduceApp;
+use slider_workloads::points::Point;
+
+/// Partial aggregate for one cluster: coordinate sums plus point count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidUpdate {
+    /// Per-dimension coordinate sums.
+    pub sums: Vec<f64>,
+    /// Number of points aggregated.
+    pub count: u64,
+}
+
+impl CentroidUpdate {
+    /// The mean point, i.e. the updated centroid.
+    pub fn mean(&self) -> Point {
+        let n = self.count.max(1) as f64;
+        Point { coords: self.sums.iter().map(|s| s / n).collect() }
+    }
+}
+
+/// One K-means clustering step.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Arc<Vec<Point>>,
+}
+
+impl KMeans {
+    /// Creates the app with the current `centroids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroids` is empty.
+    pub fn new(centroids: Vec<Point>) -> Self {
+        assert!(!centroids.is_empty(), "k-means needs at least one centroid");
+        KMeans { centroids: Arc::new(centroids) }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    fn nearest(&self, point: &Point) -> u32 {
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let d = c.distance2(point);
+            if d < best_d {
+                best_d = d;
+                best = i as u32;
+            }
+        }
+        best
+    }
+}
+
+impl MapReduceApp for KMeans {
+    type Input = Point;
+    type Key = u32;
+    type Value = CentroidUpdate;
+    type Output = Point;
+
+    fn map(&self, point: &Point, emit: &mut dyn FnMut(u32, CentroidUpdate)) {
+        let cluster = self.nearest(point);
+        emit(cluster, CentroidUpdate { sums: point.coords.clone(), count: 1 });
+    }
+
+    fn combine(&self, _key: &u32, a: &CentroidUpdate, b: &CentroidUpdate) -> CentroidUpdate {
+        CentroidUpdate {
+            sums: a.sums.iter().zip(&b.sums).map(|(x, y)| x + y).collect(),
+            count: a.count + b.count,
+        }
+    }
+
+    fn reduce(&self, _key: &u32, parts: &[&CentroidUpdate]) -> Point {
+        let mut acc = parts[0].clone();
+        for part in &parts[1..] {
+            acc = self.combine(&0, &acc, part);
+        }
+        acc.mean()
+    }
+
+    // Compute-intensive profile: the k·d distance computations dominate.
+    fn map_cost(&self, point: &Point) -> u64 {
+        (self.centroids.len() * point.dims() * 4) as u64
+    }
+
+    fn combine_cost(&self, _key: &u32, a: &CentroidUpdate, _b: &CentroidUpdate) -> u64 {
+        a.sums.len() as u64
+    }
+
+    fn reduce_cost(&self, _key: &u32, parts: &[&CentroidUpdate]) -> u64 {
+        parts.iter().map(|p| p.sums.len() as u64).sum()
+    }
+
+    fn record_bytes(&self, point: &Point) -> u64 {
+        (point.dims() * 8) as u64
+    }
+
+    fn value_bytes(&self, _key: &u32, v: &CentroidUpdate) -> u64 {
+        (v.sums.len() * 8 + 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
+    use slider_workloads::points::{generate_points, initial_centroids};
+
+    #[test]
+    fn nearest_centroid_assignment() {
+        let app = KMeans::new(vec![
+            Point { coords: vec![0.0, 0.0] },
+            Point { coords: vec![1.0, 1.0] },
+        ]);
+        assert_eq!(app.nearest(&Point { coords: vec![0.1, 0.2] }), 0);
+        assert_eq!(app.nearest(&Point { coords: vec![0.9, 0.8] }), 1);
+    }
+
+    #[test]
+    fn centroid_update_mean() {
+        let update = CentroidUpdate { sums: vec![3.0, 6.0], count: 3 };
+        assert_eq!(update.mean().coords, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        let points = generate_points(1, 60, 8);
+        let centroids = initial_centroids(1, 3, 8);
+        let run = |mode| {
+            let mut job = WindowedJob::new(
+                KMeans::new(centroids.clone()),
+                JobConfig::new(mode).with_partitions(2).with_buckets(10, 1),
+            )
+            .unwrap();
+            job.initial_run(make_splits(0, points[0..40].to_vec(), 4)).unwrap();
+            // One bucket (= one split of 4 points) rotates out, one in.
+            job.advance(1, make_splits(100, points[40..44].to_vec(), 4)).unwrap();
+            job.output().clone()
+        };
+        let vanilla = run(ExecMode::Recompute);
+        let rotating = run(ExecMode::slider_rotating(false));
+        // Floating-point sums may associate differently; compare loosely.
+        assert_eq!(vanilla.keys().collect::<Vec<_>>(), rotating.keys().collect::<Vec<_>>());
+        for (k, v) in &vanilla {
+            let r = &rotating[k];
+            for (a, b) in v.coords.iter().zip(&r.coords) {
+                assert!((a - b).abs() < 1e-9, "cluster {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_is_compute_intensive() {
+        let centroids = initial_centroids(2, 10, 50);
+        let app = KMeans::new(centroids);
+        let p = Point { coords: vec![0.5; 50] };
+        assert_eq!(app.map_cost(&p), 10 * 50 * 4);
+        assert_eq!(app.record_bytes(&p), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one centroid")]
+    fn empty_centroids_panic() {
+        let _ = KMeans::new(vec![]);
+    }
+}

@@ -1,0 +1,187 @@
+//! KNN: K-nearest-neighbours classification (compute-intensive).
+//!
+//! A fixed set of labelled query points classifies the streaming training
+//! points: each Map task computes the distance of its records to every
+//! query (`O(|Q|·d)` per record) and emits per-query bounded top-`k`
+//! neighbour lists; merging two top-`k` lists is associative and
+//! commutative, so the combiner contract holds.
+
+use std::sync::Arc;
+
+use slider_mapreduce::MapReduceApp;
+use slider_workloads::points::Point;
+
+/// A bounded list of the `k` nearest neighbours seen so far:
+/// `(squared distance, label)` pairs sorted ascending by distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbors {
+    /// Sorted `(distance², label)` pairs, at most `k` of them.
+    pub nearest: Vec<(f64, u32)>,
+    /// Bound `k`.
+    pub k: usize,
+}
+
+impl Neighbors {
+    /// Creates a list holding a single neighbour.
+    pub fn single(distance2: f64, label: u32, k: usize) -> Self {
+        Neighbors { nearest: vec![(distance2, label)], k }
+    }
+
+    /// Merges two lists, keeping the `k` nearest.
+    pub fn merge(&self, other: &Neighbors) -> Neighbors {
+        let mut nearest = Vec::with_capacity(self.k.min(self.nearest.len() + other.nearest.len()));
+        let (mut i, mut j) = (0, 0);
+        while nearest.len() < self.k && (i < self.nearest.len() || j < other.nearest.len()) {
+            let take_left = match (self.nearest.get(i), other.nearest.get(j)) {
+                (Some(a), Some(b)) => a.0 <= b.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                nearest.push(self.nearest[i]);
+                i += 1;
+            } else {
+                nearest.push(other.nearest[j]);
+                j += 1;
+            }
+        }
+        Neighbors { nearest, k: self.k }
+    }
+
+    /// Majority label among the kept neighbours.
+    pub fn majority_label(&self) -> u32 {
+        let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for (_, label) in &self.nearest {
+            *counts.entry(*label).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|(label, count)| (*count, u32::MAX - *label))
+            .map(|(label, _)| label)
+            .unwrap_or(0)
+    }
+}
+
+/// K-nearest-neighbours classification of fixed query points against the
+/// windowed training stream.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    queries: Arc<Vec<Point>>,
+    k: usize,
+}
+
+impl Knn {
+    /// Creates the app for `queries` with neighbourhood size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or `k` is zero.
+    pub fn new(queries: Vec<Point>, k: usize) -> Self {
+        assert!(!queries.is_empty(), "knn needs at least one query point");
+        assert!(k > 0, "k must be positive");
+        Knn { queries: Arc::new(queries), k }
+    }
+}
+
+/// A labelled training point: the label is derived from the point id.
+pub type LabelledPoint = (Point, u32);
+
+impl MapReduceApp for Knn {
+    type Input = LabelledPoint;
+    type Key = u32;
+    type Value = Neighbors;
+    type Output = u32;
+
+    fn map(&self, (point, label): &LabelledPoint, emit: &mut dyn FnMut(u32, Neighbors)) {
+        for (q, query) in self.queries.iter().enumerate() {
+            let d = query.distance2(point);
+            emit(q as u32, Neighbors::single(d, *label, self.k));
+        }
+    }
+
+    fn combine(&self, _key: &u32, a: &Neighbors, b: &Neighbors) -> Neighbors {
+        a.merge(b)
+    }
+
+    fn reduce(&self, _key: &u32, parts: &[&Neighbors]) -> u32 {
+        let mut acc = parts[0].clone();
+        for part in &parts[1..] {
+            acc = acc.merge(part);
+        }
+        acc.majority_label()
+    }
+
+    fn map_cost(&self, (point, _): &LabelledPoint) -> u64 {
+        (self.queries.len() * point.dims() * 4) as u64
+    }
+
+    fn combine_cost(&self, _key: &u32, a: &Neighbors, b: &Neighbors) -> u64 {
+        (a.nearest.len() + b.nearest.len()).max(1) as u64
+    }
+
+    fn reduce_cost(&self, _key: &u32, parts: &[&Neighbors]) -> u64 {
+        // Reducing merges every partial top-k list.
+        parts.iter().map(|p| p.nearest.len() as u64).sum::<u64>().max(1)
+    }
+
+    fn record_bytes(&self, (point, _): &LabelledPoint) -> u64 {
+        (point.dims() * 8 + 4) as u64
+    }
+
+    fn value_bytes(&self, _key: &u32, v: &Neighbors) -> u64 {
+        (v.nearest.len() * 12 + 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
+    use slider_workloads::points::generate_points;
+
+    #[test]
+    fn merge_keeps_k_nearest_sorted() {
+        let a = Neighbors { nearest: vec![(0.1, 1), (0.5, 2)], k: 3 };
+        let b = Neighbors { nearest: vec![(0.2, 3), (0.9, 4)], k: 3 };
+        let m = a.merge(&b);
+        assert_eq!(m.nearest, vec![(0.1, 1), (0.2, 3), (0.5, 2)]);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let a = Neighbors { nearest: vec![(0.1, 1)], k: 2 };
+        let b = Neighbors { nearest: vec![(0.2, 2)], k: 2 };
+        let c = Neighbors { nearest: vec![(0.3, 3)], k: 2 };
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    #[test]
+    fn majority_label_breaks_ties_deterministically() {
+        let n = Neighbors { nearest: vec![(0.1, 2), (0.2, 1)], k: 2 };
+        // Tie between labels 1 and 2 → prefer the smaller label.
+        assert_eq!(n.majority_label(), 1);
+    }
+
+    #[test]
+    fn windowed_classification_matches_recompute() {
+        let train: Vec<LabelledPoint> = generate_points(4, 40, 6)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, (i % 3) as u32))
+            .collect();
+        let queries = generate_points(99, 4, 6);
+        let run = |mode| {
+            let mut job = WindowedJob::new(
+                Knn::new(queries.clone(), 5),
+                JobConfig::new(mode).with_partitions(2),
+            )
+            .unwrap();
+            job.initial_run(make_splits(0, train[0..30].to_vec(), 3)).unwrap();
+            job.advance(3, make_splits(100, train[30..36].to_vec(), 3)).unwrap();
+            job.output().clone()
+        };
+        assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_folding()));
+    }
+}

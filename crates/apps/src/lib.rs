@@ -1,0 +1,42 @@
+//! # slider-apps — the paper's applications, written as plain MapReduce
+//!
+//! The five micro-benchmarks of §7.1 and the three real-world case studies
+//! of §8, each implemented against [`slider_mapreduce::MapReduceApp`] with
+//! **no incremental logic whatsoever** — exercising the paper's
+//! transparency claim: the same single-pass code runs from-scratch,
+//! memoized, or with any self-adjusting contraction tree.
+//!
+//! | App | Paper | Character |
+//! |-----|-------|-----------|
+//! | [`Hct`] | histogram computation | data-intensive |
+//! | [`Matrix`] | word co-occurrence matrix | data-intensive, large values |
+//! | [`SubStr`] | frequent sub-string extraction | data-intensive, many keys |
+//! | [`KMeans`] | K-means clustering step | compute-intensive |
+//! | [`Knn`] | K-nearest-neighbours | compute-intensive |
+//! | [`TwitterPropagation`] | §8.1 information-propagation trees | append-only case study |
+//! | [`GlasnostMonitor`] | §8.2 ISP traffic-differentiation monitoring | fixed-width case study |
+//! | [`NetSessionAudit`] | §8.3 hybrid-CDN client accountability | variable-width case study |
+//!
+//! The `*_cost` hooks encode each app's compute-vs-I/O character; see
+//! DESIGN.md §5 for the measurement methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod glasnost;
+mod hct;
+mod kmeans;
+mod knn;
+mod matrix;
+mod netsession;
+mod substr;
+mod twitter;
+
+pub use glasnost::GlasnostMonitor;
+pub use hct::Hct;
+pub use kmeans::{CentroidUpdate, KMeans};
+pub use knn::{Knn, Neighbors};
+pub use matrix::{CooccurrenceRow, Matrix};
+pub use netsession::{AuditState, AuditVerdict, NetSessionAudit};
+pub use substr::SubStr;
+pub use twitter::{PropagationStats, TwitterPropagation};

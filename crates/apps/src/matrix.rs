@@ -1,0 +1,170 @@
+//! Matrix: word co-occurrence matrix (data-intensive, large values).
+//!
+//! For every token, counts how often each other token appears within a
+//! fixed distance in the same document. Each key's partial aggregate is a
+//! whole matrix *row*, which makes this the most memoization-heavy
+//! micro-benchmark (the paper measures ~12× space overhead, Figure 13(c)).
+
+use std::collections::BTreeMap;
+
+use slider_mapreduce::MapReduceApp;
+
+/// One row of the co-occurrence matrix: neighbour token -> count.
+pub type CooccurrenceRow = BTreeMap<String, u64>;
+
+/// Word co-occurrence matrix computation.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Tokens within this distance co-occur.
+    window: usize,
+}
+
+impl Matrix {
+    /// Creates the app with co-occurrence distance `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "co-occurrence window must be positive");
+        Matrix { window }
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::new(2)
+    }
+}
+
+impl MapReduceApp for Matrix {
+    type Input = String;
+    type Key = String;
+    type Value = CooccurrenceRow;
+    type Output = CooccurrenceRow;
+
+    fn map(&self, line: &String, emit: &mut dyn FnMut(String, CooccurrenceRow)) {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        for (i, &token) in tokens.iter().enumerate() {
+            let mut row = CooccurrenceRow::new();
+            let lo = i.saturating_sub(self.window);
+            let hi = (i + self.window + 1).min(tokens.len());
+            for (j, &other) in tokens[lo..hi].iter().enumerate() {
+                if lo + j != i {
+                    *row.entry(other.to_string()).or_insert(0) += 1;
+                }
+            }
+            if !row.is_empty() {
+                emit(token.to_string(), row);
+            }
+        }
+    }
+
+    fn combine(&self, _key: &String, a: &CooccurrenceRow, b: &CooccurrenceRow) -> CooccurrenceRow {
+        let mut out = a.clone();
+        for (token, count) in b {
+            *out.entry(token.clone()).or_insert(0) += count;
+        }
+        out
+    }
+
+    fn reduce(&self, _key: &String, parts: &[&CooccurrenceRow]) -> CooccurrenceRow {
+        let mut out = CooccurrenceRow::new();
+        for part in parts {
+            for (token, count) in *part {
+                *out.entry(token.clone()).or_insert(0) += count;
+            }
+        }
+        out
+    }
+
+    fn map_cost(&self, line: &String) -> u64 {
+        // Tokenising the raw document and materialising one row per token
+        // (2·window entries each) dominates the Map task.
+        (line.split_whitespace().count() * self.window * 8) as u64
+    }
+
+    fn combine_cost(&self, _key: &String, a: &CooccurrenceRow, b: &CooccurrenceRow) -> u64 {
+        (a.len() + b.len()).max(1) as u64
+    }
+
+    fn reduce_cost(&self, _key: &String, parts: &[&CooccurrenceRow]) -> u64 {
+        parts.iter().map(|p| p.len() as u64).sum::<u64>().max(1)
+    }
+
+    fn record_bytes(&self, line: &String) -> u64 {
+        // Raw documents carry markup several times the visible text.
+        line.len() as u64 * 4
+    }
+
+    fn value_bytes(&self, key: &String, v: &CooccurrenceRow) -> u64 {
+        // Each entry stores a token and a count; rows dominate the
+        // memoization footprint.
+        key.len() as u64 + v.keys().map(|t| t.len() as u64 + 8).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
+
+    #[test]
+    fn cooccurrence_within_window() {
+        let app = Matrix::new(1);
+        let mut pairs: Vec<(String, CooccurrenceRow)> = Vec::new();
+        app.map(&"a b c".to_string(), &mut |k, v| pairs.push((k, v)));
+        let merged: CooccurrenceRow = pairs
+            .iter()
+            .filter(|(k, _)| k == "b")
+            .flat_map(|(_, row)| row.clone())
+            .collect();
+        assert_eq!(merged.get("a"), Some(&1));
+        assert_eq!(merged.get("c"), Some(&1));
+    }
+
+    #[test]
+    fn incremental_equals_recompute_across_modes() {
+        let docs = slider_workloads::text::generate_documents(
+            5,
+            8,
+            &slider_workloads::text::TextConfig {
+                vocabulary: 20,
+                zipf_exponent: 1.0,
+                words_per_doc: 8,
+            },
+        );
+        for mode in [
+            ExecMode::Strawman,
+            ExecMode::slider_folding(),
+            ExecMode::slider_rotating(true),
+        ] {
+            let config = JobConfig::new(mode).with_buckets(6, 1).with_partitions(2);
+            let mut inc = WindowedJob::new(Matrix::default(), config).unwrap();
+            let mut van =
+                WindowedJob::new(Matrix::default(), JobConfig::new(ExecMode::Recompute).with_partitions(2))
+                    .unwrap();
+            inc.initial_run(make_splits(0, docs[0..6].to_vec(), 1)).unwrap();
+            van.initial_run(make_splits(0, docs[0..6].to_vec(), 1)).unwrap();
+            inc.advance(1, make_splits(100, docs[6..7].to_vec(), 1)).unwrap();
+            van.advance(1, make_splits(100, docs[6..7].to_vec(), 1)).unwrap();
+            assert_eq!(inc.output(), van.output(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn value_bytes_scale_with_row_size() {
+        let app = Matrix::default();
+        let small: CooccurrenceRow = [("x".to_string(), 1)].into_iter().collect();
+        let big: CooccurrenceRow =
+            (0..50).map(|i| (format!("tok{i}"), 1)).collect();
+        let key = "k".to_string();
+        assert!(app.value_bytes(&key, &big) > 10 * app.value_bytes(&key, &small));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = Matrix::new(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! subStr: frequently occurring sub-string extraction (data-intensive,
+//! very large key space).
+//!
+//! Extracts every `k`-gram of every token and counts occurrences; the
+//! output keeps only sub-strings above a frequency threshold (reported as
+//! their count, with rare ones reduced to zero and filtered by the
+//! consumer).
+
+use slider_mapreduce::MapReduceApp;
+
+/// Frequent sub-string extraction over `k`-grams.
+#[derive(Debug, Clone)]
+pub struct SubStr {
+    /// Sub-string length.
+    k: usize,
+}
+
+impl SubStr {
+    /// Creates the app extracting sub-strings of length `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "sub-string length must be positive");
+        SubStr { k }
+    }
+
+    /// The configured sub-string length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Default for SubStr {
+    fn default() -> Self {
+        SubStr::new(4)
+    }
+}
+
+impl MapReduceApp for SubStr {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+
+    fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+        for token in line.split_whitespace() {
+            let chars: Vec<char> = token.chars().collect();
+            if chars.len() < self.k {
+                continue;
+            }
+            for gram in chars.windows(self.k) {
+                emit(gram.iter().collect(), 1);
+            }
+        }
+    }
+
+    fn combine(&self, _key: &String, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+
+    fn reduce(&self, _key: &String, parts: &[&u64]) -> u64 {
+        parts.iter().copied().sum()
+    }
+
+    fn map_cost(&self, line: &String) -> u64 {
+        line.chars().count().max(1) as u64
+    }
+
+    fn record_bytes(&self, line: &String) -> u64 {
+        line.len() as u64
+    }
+
+    fn value_bytes(&self, key: &String, _v: &u64) -> u64 {
+        (key.len() + 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
+
+    #[test]
+    fn extracts_kgrams() {
+        let app = SubStr::new(3);
+        let mut grams = Vec::new();
+        app.map(&"abcd".to_string(), &mut |k, _| grams.push(k));
+        assert_eq!(grams, vec!["abc".to_string(), "bcd".to_string()]);
+    }
+
+    #[test]
+    fn short_tokens_are_skipped() {
+        let app = SubStr::new(4);
+        let mut grams = Vec::new();
+        app.map(&"ab cde".to_string(), &mut |k, _| grams.push(k));
+        assert!(grams.is_empty());
+    }
+
+    #[test]
+    fn windowed_counts_match_reference() {
+        let lines = vec!["abcde abcd".to_string(), "bcdef".to_string()];
+        let mut job =
+            WindowedJob::new(SubStr::new(4), JobConfig::new(ExecMode::slider_folding()))
+                .unwrap();
+        job.initial_run(make_splits(0, lines, 1)).unwrap();
+        assert_eq!(job.output().get("abcd"), Some(&2));
+        assert_eq!(job.output().get("bcde"), Some(&2));
+        assert_eq!(job.output().get("cdef"), Some(&1));
+
+        // Slide out the first split.
+        job.advance(1, vec![]).unwrap();
+        assert_eq!(job.output().get("abcd"), None);
+        assert_eq!(job.output().get("bcde"), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = SubStr::new(0);
+    }
+}

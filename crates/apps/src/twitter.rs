@@ -1,0 +1,216 @@
+//! §8.1 case study: information-propagation trees for Twitter.
+//!
+//! Tracks how URLs spread: following Krackhardt's hierarchical model, a
+//! directed edge connects a *spreader* to a *receiver* that follows the
+//! spreader and posted the same URL later. The window is append-only
+//! (tweets only accumulate), making this the paper's coalescing-tree case
+//! study.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use slider_mapreduce::MapReduceApp;
+use slider_workloads::twitter::{FollowGraph, Tweet, UserId};
+
+/// Summary of one URL's propagation tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropagationStats {
+    /// Users that posted the URL.
+    pub nodes: u32,
+    /// Spreader→receiver edges.
+    pub edges: u32,
+    /// Longest root-to-leaf path (a root has depth 1).
+    pub depth: u32,
+}
+
+/// Builds per-URL information-propagation trees over the tweet window.
+#[derive(Debug, Clone)]
+pub struct TwitterPropagation {
+    graph: Arc<FollowGraph>,
+}
+
+impl TwitterPropagation {
+    /// Creates the app over the (static) follower graph.
+    pub fn new(graph: Arc<FollowGraph>) -> Self {
+        TwitterPropagation { graph }
+    }
+}
+
+impl MapReduceApp for TwitterPropagation {
+    type Input = Tweet;
+    /// URL id.
+    type Key = u32;
+    /// Time-sorted `(time, user)` posts of the URL.
+    type Value = Vec<(u64, UserId)>;
+    type Output = PropagationStats;
+
+    fn map(&self, tweet: &Tweet, emit: &mut dyn FnMut(u32, Vec<(u64, UserId)>)) {
+        emit(tweet.url, vec![(tweet.time, tweet.user)]);
+    }
+
+    fn combine(
+        &self,
+        _key: &u32,
+        a: &Vec<(u64, UserId)>,
+        b: &Vec<(u64, UserId)>,
+    ) -> Vec<(u64, UserId)> {
+        // Sorted merge: associative and commutative.
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let take_left = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => x <= y,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_left {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+
+    fn reduce(&self, _key: &u32, parts: &[&Vec<(u64, UserId)>]) -> PropagationStats {
+        let mut posts: Vec<(u64, UserId)> = Vec::new();
+        for part in parts {
+            posts = self.combine(&0, &posts, part);
+        }
+        // Build the tree: each poster attaches to the most recent earlier
+        // poster they follow (if any).
+        let mut depth_of: HashMap<UserId, u32> = HashMap::new();
+        let mut edges = 0u32;
+        let mut max_depth = 0u32;
+        for (idx, &(_, user)) in posts.iter().enumerate() {
+            if depth_of.contains_key(&user) {
+                continue; // only the first post per user counts
+            }
+            let followees = self.graph.followees(user);
+            let parent = posts[..idx]
+                .iter()
+                .rev()
+                .map(|&(_, earlier)| earlier)
+                .find(|earlier| *earlier != user && followees.contains(earlier));
+            let depth = match parent {
+                Some(parent) => {
+                    edges += 1;
+                    depth_of.get(&parent).copied().unwrap_or(1) + 1
+                }
+                None => 1,
+            };
+            max_depth = max_depth.max(depth);
+            depth_of.insert(user, depth);
+        }
+        PropagationStats { nodes: depth_of.len() as u32, edges, depth: max_depth }
+    }
+
+    fn map_cost(&self, _tweet: &Tweet) -> u64 {
+        2
+    }
+
+    fn combine_cost(&self, _key: &u32, a: &Vec<(u64, UserId)>, b: &Vec<(u64, UserId)>) -> u64 {
+        (a.len() + b.len()).max(1) as u64
+    }
+
+    fn reduce_cost(&self, _key: &u32, parts: &[&Vec<(u64, UserId)>]) -> u64 {
+        let n: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        // Tree construction scans earlier posts per poster.
+        n * 4
+    }
+
+    fn record_bytes(&self, _tweet: &Tweet) -> u64 {
+        16
+    }
+
+    fn value_bytes(&self, _key: &u32, v: &Vec<(u64, UserId)>) -> u64 {
+        (v.len() * 12 + 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
+    use slider_workloads::twitter::{generate, TwitterConfig};
+
+    #[test]
+    fn chain_cascade_has_exact_depth() {
+        // 1 follows 0; 2 follows 1. URL posted by 0, then 1, then 2:
+        // the tree is a chain of depth 3 with 2 edges.
+        let graph = Arc::new(FollowGraph::from_edges([(1, 0), (2, 1)]));
+        let app = TwitterPropagation::new(graph);
+        let posts = vec![(1u64, 0u32), (2, 1), (3, 2)];
+        let stats = app.reduce(&0, &[&posts]);
+        assert_eq!(stats, PropagationStats { nodes: 3, edges: 2, depth: 3 });
+
+        // Reversed time order: nobody follows a later poster, so the tree
+        // is three roots.
+        let posts = vec![(1u64, 2u32), (2, 1), (3, 0)];
+        let stats = app.reduce(&0, &[&posts]);
+        assert_eq!(stats, PropagationStats { nodes: 3, edges: 0, depth: 1 });
+    }
+
+    #[test]
+    fn generated_cascades_produce_edges() {
+        let data = generate(
+            42,
+            &TwitterConfig { users: 60, avg_follows: 4, urls: 10, repost_probability: 0.5 },
+            400,
+        );
+        let app = TwitterPropagation::new(Arc::clone(&data.graph));
+        let mut job = WindowedJob::new(
+            app,
+            JobConfig::new(ExecMode::slider_coalescing(false)).with_partitions(2),
+        )
+        .unwrap();
+        job.initial_run(make_splits(0, data.tweets.clone(), 50)).unwrap();
+        let stats: Vec<&PropagationStats> = job.output().values().collect();
+        assert!(!stats.is_empty());
+        // Reposts exist, so at least one URL must have an edge.
+        assert!(stats.iter().any(|s| s.edges > 0), "no propagation edges found");
+        assert!(stats.iter().all(|s| s.depth >= 1 && s.nodes >= 1));
+    }
+
+    #[test]
+    fn append_only_incremental_matches_recompute() {
+        let data = generate(
+            7,
+            &TwitterConfig { users: 80, avg_follows: 5, urls: 15, repost_probability: 0.4 },
+            600,
+        );
+        let intervals = data.intervals(&[70, 10, 10, 10]);
+        let run = |mode| {
+            let mut job = WindowedJob::new(
+                TwitterPropagation::new(Arc::clone(&data.graph)),
+                JobConfig::new(mode).with_partitions(2),
+            )
+            .unwrap();
+            let mut next_split = 0u64;
+            let mut slices = intervals.iter();
+            let first = slices.next().unwrap().clone();
+            let splits = make_splits(next_split, first, 20);
+            next_split += splits.len() as u64;
+            job.initial_run(splits).unwrap();
+            for slice in slices {
+                let splits = make_splits(next_split, slice.clone(), 20);
+                next_split += splits.len() as u64;
+                job.advance(0, splits).unwrap();
+            }
+            job.output().clone()
+        };
+        assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_coalescing(true)));
+    }
+
+    #[test]
+    fn combine_merges_sorted() {
+        let data = generate(1, &TwitterConfig::default(), 1);
+        let app = TwitterPropagation::new(Arc::clone(&data.graph));
+        let a = vec![(1u64, 5u32), (4, 2)];
+        let b = vec![(2u64, 3u32)];
+        assert_eq!(app.combine(&0, &a, &b), vec![(1, 5), (2, 3), (4, 2)]);
+        assert_eq!(app.combine(&0, &b, &a), app.combine(&0, &a, &b));
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 13: Slider's overheads for the initial run (a one-time cost) —
+//! work overhead, time overhead, and the space overhead of memoizing
+//! intermediate contraction-tree state, per application and window mode.
+
+use slider_bench::{banner, fmt_f64, for_each_app, Table, WindowKind};
+use slider_mapreduce::ExecMode;
+
+fn main() {
+    banner("Figure 13: overheads of the initial (first) run");
+
+    let mut work = Table::new(&["app", "A %", "F %", "V %"]);
+    let mut time = Table::new(&["app", "A %", "F %", "V %"]);
+    let mut space = Table::new(&["app", "A x", "F x", "V x"]);
+
+    for_each_app(|name, run| {
+        let mut work_row = vec![name.to_string()];
+        let mut time_row = vec![name.to_string()];
+        let mut space_row = vec![name.to_string()];
+        for kind in WindowKind::ALL {
+            // The 5% slide is irrelevant here; we only read the *initial*
+            // run statistics captured by the driver.
+            let vanilla = run(ExecMode::Recompute, kind, 5);
+            let slider = run(kind.slider_mode(false), kind, 5);
+
+            let base_work = vanilla.initial.work.foreground_total().max(1) as f64;
+            let s_work = slider.initial.work.grand_total() as f64;
+            work_row.push(fmt_f64(100.0 * (s_work / base_work - 1.0).max(0.0)));
+
+            let base_time = vanilla
+                .initial
+                .time_seconds()
+                .expect("simulation configured")
+                .max(1e-9);
+            let s_time = slider.initial.time_seconds().expect("simulation configured");
+            time_row.push(fmt_f64(100.0 * (s_time / base_time - 1.0).max(0.0)));
+
+            let input = slider.initial.window_input_bytes.max(1) as f64;
+            let memo = slider.initial.memo_footprint_bytes as f64;
+            space_row.push(fmt_f64(memo / input));
+        }
+        work.row(work_row);
+        time.row(time_row);
+        space.row(space_row);
+    });
+
+    banner("Fig 13(a) — work overhead of the initial run (%)");
+    print!("{}", work.render());
+    banner("Fig 13(b) — time overhead of the initial run (%)");
+    print!("{}", time.render());
+    banner("Fig 13(c) — space overhead (memoized bytes / input bytes)");
+    print!("{}", space.render());
+
+    println!(
+        "\npaper shape: compute-intensive apps (K-Means, KNN) show low work/\n\
+         time overheads and near-zero space overhead; data-intensive apps\n\
+         pay more (I/O for memoizing intermediate state), Matrix the most\n\
+         (~12x space in the paper); variable-width > fixed-width > append\n\
+         because deeper/wider trees memoize more levels."
+    );
+}

@@ -1,0 +1,110 @@
+//! Table 3: the Glasnost network-monitoring case study (§8.2) —
+//! fixed-width windows of 3 months sliding by 1 month over the Jan–Nov
+//! 2011 test traces, reporting per-window change size and Slider's work
+//! and time speedups over recomputation.
+
+use slider_apps::GlasnostMonitor;
+use slider_bench::{banner, fmt_f64, Table};
+use slider_mapreduce::{
+    make_splits, ExecMode, JobConfig, SimulationConfig, Split, WindowedJob,
+};
+use slider_workloads::glasnost::{generate_months, GlasnostConfig, TABLE3_MONTHLY_TESTS};
+
+const MONTH_LABELS: [&str; 9] = [
+    "Jan-Mar", "Feb-Apr", "Mar-May", "Apr-Jun", "May-Jul", "Jun-Aug", "Jul-Sep", "Aug-Oct",
+    "Sep-Nov",
+];
+
+/// Splits per month-bucket. The months differ in *size*, so each month is
+/// chopped into the same *number* of splits with varying record counts —
+/// this keeps the fixed-width bucket discipline while giving the map phase
+/// cluster-wide parallelism.
+const SPLITS_PER_MONTH: usize = 48;
+
+fn run(mode: ExecMode) -> Vec<(usize, u64, f64)> {
+    // 400 RTT samples per pcap trace: parsing the trace dominates the
+    // Map task, as with the paper's real packet captures.
+    let config = GlasnostConfig { servers: 4, clients: 600, samples_per_test: 400 };
+    let months = generate_months(0x91a5, &config, &TABLE3_MONTHLY_TESTS);
+    let mut job = WindowedJob::new(
+        GlasnostMonitor::new(),
+        JobConfig::new(mode)
+            .with_partitions(4)
+            .with_buckets(3, SPLITS_PER_MONTH)
+            .with_simulation(SimulationConfig::paper_defaults()),
+    )
+    .expect("valid config");
+
+    let mut next_id = 0u64;
+    let month_splits: Vec<Vec<Split<_>>> = months
+        .iter()
+        .map(|traces| {
+            let per_split = traces.len().div_ceil(SPLITS_PER_MONTH);
+            let mut splits = make_splits(next_id, traces.clone(), per_split);
+            // Pad with empty splits so every month is exactly one bucket.
+            while splits.len() < SPLITS_PER_MONTH {
+                splits.push(Split::from_records(next_id + splits.len() as u64, Vec::new()));
+            }
+            assert_eq!(splits.len(), SPLITS_PER_MONTH);
+            next_id += SPLITS_PER_MONTH as u64;
+            splits
+        })
+        .collect();
+
+    let initial: Vec<Split<_>> = month_splits[0..3].iter().flatten().cloned().collect();
+    job.initial_run(initial).expect("initial window Jan-Mar");
+
+    let mut out = Vec::new();
+    for (month, splits) in month_splits.iter().enumerate().skip(3) {
+        let change: usize = splits.iter().map(Split::len).sum();
+        let stats =
+            job.advance(SPLITS_PER_MONTH, splits.clone()).expect("monthly slide");
+        out.push((
+            change,
+            stats.work.foreground_total(),
+            stats.time_seconds().expect("simulation configured"),
+        ));
+        let _ = month;
+    }
+    out
+}
+
+fn main() {
+    banner("Table 3: Glasnost monitoring (3-month window, 1-month slides)");
+    let vanilla = run(ExecMode::Recompute);
+    let slider = run(ExecMode::slider_rotating(true));
+
+    let mut table = Table::new(&[
+        "window",
+        "tests",
+        "change",
+        "change %",
+        "work speedup",
+        "time speedup",
+    ]);
+    let windows: Vec<usize> =
+        TABLE3_MONTHLY_TESTS.windows(3).map(|w| w.iter().sum()).collect();
+    for (i, ((v, s), label)) in vanilla
+        .iter()
+        .zip(&slider)
+        .zip(MONTH_LABELS.iter().skip(1))
+        .enumerate()
+    {
+        let window_tests = windows[i + 1];
+        table.row(vec![
+            label.to_string(),
+            window_tests.to_string(),
+            v.0.to_string(),
+            fmt_f64(100.0 * v.0 as f64 / window_tests as f64),
+            fmt_f64(v.1 as f64 / s.1.max(1) as f64),
+            fmt_f64(v.2 / s.2.max(1e-9)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\npaper shape: change sizes of ~27-51% per month give speedups of\n\
+         roughly 1.9-4.1x (work) and 1.9-3.8x (time), largest where the\n\
+         monthly change is smallest (Apr-Jun) and smallest for the biggest\n\
+         final month (Sep-Nov)."
+    );
+}

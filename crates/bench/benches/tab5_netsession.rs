@@ -1,0 +1,66 @@
+//! Table 5: the Akamai NetSession accountability case study (§8.3) —
+//! variable-width windowing: a one-month window of weekly client-log
+//! uploads slides by one week, with the fraction of clients uploading in
+//! the final week varying from 100% down to 75%.
+
+use slider_apps::NetSessionAudit;
+use slider_bench::{banner, fmt_f64, Table};
+use slider_mapreduce::{make_splits, ExecMode, JobConfig, SimulationConfig, WindowedJob};
+use slider_workloads::netsession::{generate_week, NetSessionConfig, TABLE5_UPLOAD_FRACTIONS};
+
+const LOGS_PER_SPLIT: usize = 100;
+
+/// Runs one scenario: four full weeks in the window, then the 5th week
+/// arrives with `upload_fraction` of clients online; the window slides by
+/// one week. Returns (work, time) of the sliding run.
+fn run(mode: ExecMode, upload_fraction: f64) -> (u64, f64) {
+    let config = NetSessionConfig { clients: 4_000, mean_entries: 30, tamper_rate: 0.01 };
+    let mut job = WindowedJob::new(
+        NetSessionAudit::new(),
+        JobConfig::new(mode)
+            .with_partitions(8)
+            .with_simulation(SimulationConfig::paper_defaults()),
+    )
+    .expect("valid config");
+
+    let mut next_id = 0u64;
+    let mut week_splits = Vec::new();
+    let mut initial = Vec::new();
+    for week in 0..4u32 {
+        let logs = generate_week(0xaca3, &config, week, 0.93);
+        let splits = make_splits(next_id, logs, LOGS_PER_SPLIT);
+        next_id += splits.len() as u64;
+        week_splits.push(splits.len());
+        initial.extend(splits);
+    }
+    job.initial_run(initial).expect("initial month");
+
+    let fifth = generate_week(0xaca3, &config, 4, upload_fraction);
+    let added = make_splits(next_id, fifth, LOGS_PER_SPLIT);
+    let stats = job.advance(week_splits[0], added).expect("weekly slide");
+    (
+        stats.work.foreground_total(),
+        stats.time_seconds().expect("simulation configured"),
+    )
+}
+
+fn main() {
+    banner("Table 5: NetSession log audits (variable-width window, week 5 upload fraction)");
+
+    let mut table = Table::new(&["% clients uploading", "time speedup", "work speedup"]);
+    for fraction in TABLE5_UPLOAD_FRACTIONS {
+        let vanilla = run(ExecMode::Recompute, fraction);
+        let slider = run(ExecMode::slider_folding(), fraction);
+        table.row(vec![
+            format!("{:.0}%", fraction * 100.0),
+            fmt_f64(vanilla.1 / slider.1.max(1e-9)),
+            fmt_f64(vanilla.0 as f64 / slider.0.max(1) as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\npaper shape: speedups of ~1.7-2.2x (time) and ~2.1-2.7x (work),\n\
+         growing as fewer clients upload — a smaller final week means a\n\
+         smaller delta for the incremental run."
+    );
+}

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the self-adjusting contraction trees: the
+//! cost of a single-leaf slide at various window sizes, per tree kind, and
+//! the initial-construction cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slider_core::{build_tree, FnCombiner, TreeCx, TreeKind, UpdateStats};
+
+fn leaves(n: u64) -> Vec<Option<Arc<u64>>> {
+    (0..n).map(|v| Some(Arc::new(v))).collect()
+}
+
+fn bench_slides(c: &mut Criterion) {
+    let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
+    let key = 0u8;
+    let mut group = c.benchmark_group("single_leaf_slide");
+    for &n in &[256u64, 1024, 4096] {
+        for kind in [
+            TreeKind::Strawman,
+            TreeKind::Folding,
+            TreeKind::RandomizedFolding,
+            TreeKind::Rotating,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &n,
+                |b, &n| {
+                    let mut tree = build_tree::<u8, u64>(kind, n as usize);
+                    let mut stats = UpdateStats::default();
+                    let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                    tree.rebuild(&mut cx, leaves(n));
+                    let mut next = n;
+                    b.iter(|| {
+                        let mut stats = UpdateStats::default();
+                        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                        next += 1;
+                        tree.advance(&mut cx, 1, vec![Some(Arc::new(next))]).unwrap();
+                        stats.foreground.merges
+                    });
+                },
+            );
+        }
+        // Coalescing appends only.
+        group.bench_with_input(
+            BenchmarkId::new("coalescing-append", n),
+            &n,
+            |b, &n| {
+                let mut tree = build_tree::<u8, u64>(TreeKind::Coalescing, 0);
+                let mut stats = UpdateStats::default();
+                let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                tree.rebuild(&mut cx, leaves(n));
+                let mut next = n;
+                b.iter(|| {
+                    let mut stats = UpdateStats::default();
+                    let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                    next += 1;
+                    tree.advance(&mut cx, 0, vec![Some(Arc::new(next))]).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_initial_construction(c: &mut Criterion) {
+    let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
+    let key = 0u8;
+    let mut group = c.benchmark_group("initial_construction_4096");
+    for kind in TreeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut tree = build_tree::<u8, u64>(kind, 4096);
+                let mut stats = UpdateStats::default();
+                let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                tree.rebuild(&mut cx, leaves(4096));
+                stats.foreground.merges
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_slides, bench_initial_construction
+}
+criterion_main!(benches);

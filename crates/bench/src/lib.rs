@@ -1,0 +1,24 @@
+//! # slider-bench — the experiment harness
+//!
+//! One `harness = false` bench target per table and figure of the paper's
+//! evaluation (§7–§8); `cargo bench` regenerates all of them, printing the
+//! same rows/series the paper reports. Shared drivers, dataset builders
+//! and formatting live here; see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod driver;
+pub mod report;
+
+pub use datasets::{
+    hct_spec, kmeans_spec, knn_spec, matrix_spec, substr_spec, MicrobenchSpec, APP_NAMES,
+};
+pub use driver::{
+    for_each_app, for_each_app_with_cluster, policy_for, run_slide, run_slide_with,
+    AppMeasurements, ChangeMeasurement,
+    WindowKind, PCTS,
+};
+pub use report::{banner, fmt_f64, Table};

@@ -1,0 +1,42 @@
+//! # slider-cluster — discrete-event cluster simulation substrate
+//!
+//! The Slider paper (§7.1) evaluates on a 25-machine Hadoop cluster (one
+//! master plus 24 workers) and reports two metrics: **work** (the sum of
+//! active time over all tasks) and **time** (end-to-end job runtime). This
+//! crate reproduces the *time* metric: given the task graph an engine run
+//! produces (stages of tasks with modeled costs, data sizes and placement
+//! preferences), it simulates list-scheduling those tasks onto a cluster of
+//! multi-slot machines and reports the makespan.
+//!
+//! It also implements the scheduling policies of §6: Hadoop's vanilla
+//! scheduler, Slider's memoization-aware scheduler, and the hybrid
+//! straggler-mitigating scheduler (Table 1), plus straggler injection.
+//!
+//! ```
+//! use slider_cluster::{ClusterSpec, SchedulerPolicy, SlotKind, Task, simulate};
+//!
+//! let spec = ClusterSpec::paper_cluster(); // 24 workers, 2+2 slots
+//! let maps: Vec<Task> = (0..48).map(|i| Task::map(i, 1_000)).collect();
+//! let reduces: Vec<Task> = (0..24).map(|i| Task::reduce(100 + i, 2_000)).collect();
+//! let report = simulate(&spec, SchedulerPolicy::Vanilla, &[maps, reduces]);
+//! assert!(report.makespan > 0.0);
+//! assert_eq!(report.tasks_run, 72);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod scheduler;
+mod simulator;
+mod task;
+mod topology;
+
+pub use machine::{Machine, MachineId, MachineSpec};
+pub use scheduler::{Scheduler, SchedulerPolicy};
+pub use simulator::{simulate, SimReport, StageReport};
+pub use task::{SlotKind, Task, TaskId};
+pub use topology::CostModel;
+
+/// Convenience re-export: cluster + cost model in one spec.
+pub use simulator::ClusterSpec;

@@ -1,0 +1,269 @@
+//! Scheduling policies (paper §6).
+//!
+//! * [`SchedulerPolicy::Vanilla`] — Hadoop's stock behaviour: Map tasks
+//!   honour input-split locality when possible, Reduce tasks go to the
+//!   first available machine with no regard for where memoized state lives.
+//! * [`SchedulerPolicy::MemoizationAware`] — Slider's strict policy: a task
+//!   with a placement preference waits for a slot on that machine so it can
+//!   read memoized sub-computations locally.
+//! * [`SchedulerPolicy::Hybrid`] — the straggler-mitigating variant: like
+//!   the strict policy, but a task that has waited longer than a threshold
+//!   migrates to any free slot, fetching its memoized data remotely.
+
+use crate::machine::Machine;
+use crate::task::{SlotKind, Task};
+
+/// A task waiting in the scheduler queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingTask {
+    /// The task itself.
+    pub task: Task,
+    /// Simulation time at which the task became runnable.
+    pub enqueued_at: f64,
+}
+
+/// Which scheduling policy the simulator applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerPolicy {
+    /// Stock Hadoop scheduling (locality for maps only).
+    Vanilla,
+    /// Strict memoization-aware placement (§6).
+    MemoizationAware,
+    /// Memoization-aware with straggler mitigation: migrate after waiting
+    /// `migration_threshold` simulated seconds.
+    Hybrid {
+        /// Seconds a preferred task may wait before migrating.
+        migration_threshold: f64,
+    },
+}
+
+impl SchedulerPolicy {
+    /// The hybrid policy with the default 5-second migration threshold.
+    pub fn hybrid_default() -> Self {
+        SchedulerPolicy::Hybrid { migration_threshold: 5.0 }
+    }
+}
+
+/// Chooses which pending task a newly freed slot should run.
+///
+/// Implementations are consulted by [`crate::simulate`] whenever a slot of
+/// `kind` frees up on `machine`; they return the index into `pending` of
+/// the chosen task, or `None` to leave the slot idle until the next event.
+pub trait Scheduler: Send {
+    /// Picks a task for a free `kind` slot on `machine` at time `now`.
+    fn choose(
+        &mut self,
+        now: f64,
+        machine: &Machine,
+        kind: SlotKind,
+        pending: &[PendingTask],
+    ) -> Option<usize>;
+
+    /// Number of placement-preferring tasks this scheduler migrated away
+    /// from their preferred machine (Table 1 diagnostics).
+    fn migrations(&self) -> u64 {
+        0
+    }
+}
+
+/// Stock Hadoop: maps prefer local splits, reduces are FIFO.
+#[derive(Debug, Default)]
+pub struct VanillaScheduler;
+
+/// Strict memoization-aware placement.
+#[derive(Debug, Default)]
+pub struct MemoAwareScheduler;
+
+/// Memoization-aware placement with straggler-driven migration.
+#[derive(Debug)]
+pub struct HybridScheduler {
+    threshold: f64,
+    migrations: u64,
+}
+
+impl HybridScheduler {
+    /// Creates the hybrid scheduler with the given migration threshold in
+    /// simulated seconds.
+    pub fn new(threshold: f64) -> Self {
+        HybridScheduler { threshold, migrations: 0 }
+    }
+}
+
+/// Builds the scheduler implementing `policy`.
+pub fn build_scheduler(policy: SchedulerPolicy) -> Box<dyn Scheduler> {
+    match policy {
+        SchedulerPolicy::Vanilla => Box::new(VanillaScheduler),
+        SchedulerPolicy::MemoizationAware => Box::new(MemoAwareScheduler),
+        SchedulerPolicy::Hybrid { migration_threshold } => {
+            Box::new(HybridScheduler::new(migration_threshold))
+        }
+    }
+}
+
+fn first_of_kind(pending: &[PendingTask], kind: SlotKind) -> Option<usize> {
+    pending.iter().position(|p| p.task.kind == kind)
+}
+
+fn first_preferring(pending: &[PendingTask], kind: SlotKind, machine: &Machine) -> Option<usize> {
+    pending
+        .iter()
+        .position(|p| p.task.kind == kind && p.task.preferred == Some(machine.id))
+}
+
+fn first_unpreferring(pending: &[PendingTask], kind: SlotKind) -> Option<usize> {
+    pending
+        .iter()
+        .position(|p| p.task.kind == kind && p.task.preferred.is_none())
+}
+
+impl Scheduler for VanillaScheduler {
+    fn choose(
+        &mut self,
+        _now: f64,
+        machine: &Machine,
+        kind: SlotKind,
+        pending: &[PendingTask],
+    ) -> Option<usize> {
+        match kind {
+            // Hadoop's scheduler takes input locality into account for Map
+            // tasks: run a split-local map if one is queued.
+            SlotKind::Map => first_preferring(pending, kind, machine)
+                .or_else(|| first_of_kind(pending, kind)),
+            // ...but reduces go to the first available machine.
+            SlotKind::Reduce => first_of_kind(pending, kind),
+        }
+    }
+}
+
+impl Scheduler for MemoAwareScheduler {
+    fn choose(
+        &mut self,
+        _now: f64,
+        machine: &Machine,
+        kind: SlotKind,
+        pending: &[PendingTask],
+    ) -> Option<usize> {
+        match kind {
+            // Map placement is Hadoop's: locality is best-effort.
+            SlotKind::Map => first_preferring(pending, kind, machine)
+                .or_else(|| first_of_kind(pending, kind)),
+            // Reduce placement is strict: wait for the machine holding the
+            // memoized state; preference-free tasks fill leftover slots.
+            SlotKind::Reduce => first_preferring(pending, kind, machine)
+                .or_else(|| first_unpreferring(pending, kind)),
+        }
+    }
+}
+
+impl Scheduler for HybridScheduler {
+    fn choose(
+        &mut self,
+        now: f64,
+        machine: &Machine,
+        kind: SlotKind,
+        pending: &[PendingTask],
+    ) -> Option<usize> {
+        if kind == SlotKind::Map {
+            // Map placement is Hadoop's: locality is best-effort.
+            return first_preferring(pending, kind, machine)
+                .or_else(|| first_of_kind(pending, kind));
+        }
+        if let Some(i) =
+            first_preferring(pending, kind, machine).or_else(|| first_unpreferring(pending, kind))
+        {
+            return Some(i);
+        }
+        // Migration path: steal the longest-waiting task whose preferred
+        // machine has not picked it up within the threshold.
+        let stale = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.task.kind == kind && now - p.enqueued_at >= self.threshold)
+            .min_by(|(_, a), (_, b)| {
+                a.enqueued_at.partial_cmp(&b.enqueued_at).expect("finite times")
+            })
+            .map(|(i, _)| i);
+        if stale.is_some() {
+            self.migrations += 1;
+        }
+        stale
+    }
+
+    fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{MachineId, MachineSpec};
+
+    fn machine(id: usize) -> Machine {
+        Machine { id: MachineId(id), spec: MachineSpec::healthy() }
+    }
+
+    fn pend(task: Task, at: f64) -> PendingTask {
+        PendingTask { task, enqueued_at: at }
+    }
+
+    #[test]
+    fn vanilla_reduce_is_fifo() {
+        let mut s = VanillaScheduler;
+        let pending = vec![
+            pend(Task::reduce(0, 10).prefer(MachineId(5)), 0.0),
+            pend(Task::reduce(1, 10), 0.0),
+        ];
+        // Machine 2 is not the preferred machine, but vanilla ignores
+        // preferences for reduces and picks the first queued task.
+        assert_eq!(s.choose(0.0, &machine(2), SlotKind::Reduce, &pending), Some(0));
+    }
+
+    #[test]
+    fn vanilla_map_prefers_local() {
+        let mut s = VanillaScheduler;
+        let pending = vec![
+            pend(Task::map(0, 10).prefer(MachineId(1)), 0.0),
+            pend(Task::map(1, 10).prefer(MachineId(2)), 0.0),
+        ];
+        assert_eq!(s.choose(0.0, &machine(2), SlotKind::Map, &pending), Some(1));
+    }
+
+    #[test]
+    fn memo_aware_waits_for_preferred_machine() {
+        let mut s = MemoAwareScheduler;
+        let pending = vec![pend(Task::reduce(0, 10).prefer(MachineId(5)), 0.0)];
+        assert_eq!(s.choose(0.0, &machine(2), SlotKind::Reduce, &pending), None);
+        assert_eq!(s.choose(0.0, &machine(5), SlotKind::Reduce, &pending), Some(0));
+    }
+
+    #[test]
+    fn memo_aware_fills_slots_with_unpreferring_tasks() {
+        let mut s = MemoAwareScheduler;
+        let pending = vec![
+            pend(Task::reduce(0, 10).prefer(MachineId(5)), 0.0),
+            pend(Task::reduce(1, 10), 0.0),
+        ];
+        assert_eq!(s.choose(0.0, &machine(2), SlotKind::Reduce, &pending), Some(1));
+    }
+
+    #[test]
+    fn hybrid_migrates_after_threshold() {
+        let mut s = HybridScheduler::new(5.0);
+        let pending = vec![pend(Task::reduce(0, 10).prefer(MachineId(5)), 0.0)];
+        // Before the threshold the task waits like the strict policy.
+        assert_eq!(s.choose(1.0, &machine(2), SlotKind::Reduce, &pending), None);
+        assert_eq!(s.migrations(), 0);
+        // After the threshold it migrates.
+        assert_eq!(s.choose(6.0, &machine(2), SlotKind::Reduce, &pending), Some(0));
+        assert_eq!(s.migrations(), 1);
+    }
+
+    #[test]
+    fn slot_kinds_are_respected() {
+        let mut s = VanillaScheduler;
+        let pending = vec![pend(Task::map(0, 10), 0.0)];
+        assert_eq!(s.choose(0.0, &machine(0), SlotKind::Reduce, &pending), None);
+        assert_eq!(s.choose(0.0, &machine(0), SlotKind::Map, &pending), Some(0));
+    }
+}

@@ -1,0 +1,480 @@
+//! The discrete-event list-scheduling simulator.
+//!
+//! Tasks are organized in *stages* with a barrier between consecutive
+//! stages (MapReduce's map → shuffle → reduce structure). Within a stage,
+//! whenever a slot frees up the configured [`Scheduler`] picks a pending
+//! task for it; the task's duration follows the [`CostModel`] given the
+//! machine's speed and whether the task's input is local.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::machine::{Machine, MachineId, MachineSpec};
+use crate::scheduler::{build_scheduler, PendingTask, Scheduler, SchedulerPolicy};
+use crate::task::{SlotKind, Task};
+use crate::topology::CostModel;
+
+/// A cluster to simulate: workers plus the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Worker machines (the master is not modeled as a compute resource).
+    pub machines: Vec<MachineSpec>,
+    /// Unit conversion rates.
+    pub cost: CostModel,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation cluster: 24 healthy workers (§7.1), with the
+    /// default cost model.
+    pub fn paper_cluster() -> Self {
+        ClusterSpec { machines: vec![MachineSpec::healthy(); 24], cost: CostModel::paper_defaults() }
+    }
+
+    /// A paper cluster where `count` workers straggle at the given relative
+    /// speed.
+    pub fn with_stragglers(count: usize, speed: f64) -> Self {
+        let mut spec = Self::paper_cluster();
+        for m in spec.machines.iter_mut().take(count) {
+            *m = MachineSpec::straggler(speed);
+        }
+        spec
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the cluster has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+}
+
+/// Per-stage outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageReport {
+    /// Simulated seconds from stage start to the last task completion.
+    pub duration: f64,
+    /// Sum of task durations (active machine time) in this stage.
+    pub busy_seconds: f64,
+    /// Tasks that ran off their preferred machine.
+    pub remote_placements: u64,
+    /// Bytes fetched over the network by remote placements.
+    pub remote_bytes: u64,
+    /// Tasks executed.
+    pub tasks: usize,
+}
+
+/// Whole-run outcome.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimReport {
+    /// End-to-end simulated runtime across all stages.
+    pub makespan: f64,
+    /// Per-stage breakdown, in input order.
+    pub stages: Vec<StageReport>,
+    /// Total tasks executed.
+    pub tasks_run: usize,
+    /// Total active machine seconds.
+    pub busy_seconds: f64,
+    /// Placement-preferring tasks migrated by the hybrid scheduler.
+    pub migrations: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    payload: Payload,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Payload {
+    Done { machine: usize, kind: SlotKind },
+    Retry,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct SlotState {
+    free_map: usize,
+    free_reduce: usize,
+}
+
+impl SlotState {
+    fn free(&mut self, kind: SlotKind) -> &mut usize {
+        match kind {
+            SlotKind::Map => &mut self.free_map,
+            SlotKind::Reduce => &mut self.free_reduce,
+        }
+    }
+}
+
+/// Simulates `stages` of tasks on `spec` under `policy`.
+///
+/// Each inner `Vec<Task>` is released only after the previous stage fully
+/// completes (the shuffle barrier).
+///
+/// # Panics
+///
+/// Panics if a task prefers a machine id outside the cluster, or if the
+/// cluster has no workers while tasks exist — both are host-engine bugs.
+pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>]) -> SimReport {
+    let total_tasks: usize = stages.iter().map(Vec::len).sum();
+    assert!(
+        total_tasks == 0 || !spec.is_empty(),
+        "cannot simulate {total_tasks} tasks on an empty cluster"
+    );
+    for task in stages.iter().flatten() {
+        if let Some(MachineId(m)) = task.preferred {
+            assert!(m < spec.len(), "task {:?} prefers unknown machine m{m}", task.id);
+        }
+    }
+
+    let machines: Vec<Machine> = spec
+        .machines
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| Machine { id: MachineId(i), spec })
+        .collect();
+    let mut scheduler = build_scheduler(policy);
+
+    let mut report = SimReport { stages: Vec::with_capacity(stages.len()), ..Default::default() };
+    let mut now = 0.0f64;
+
+    for stage_tasks in stages {
+        let stage_start = now;
+        let mut stage = StageReport { tasks: stage_tasks.len(), ..Default::default() };
+        let mut pending: Vec<PendingTask> = stage_tasks
+            .iter()
+            .cloned()
+            .map(|task| PendingTask { task, enqueued_at: stage_start })
+            .collect();
+        let mut slots: Vec<SlotState> = machines
+            .iter()
+            .map(|m| SlotState { free_map: m.spec.map_slots, free_reduce: m.spec.reduce_slots })
+            .collect();
+        let mut events: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut running = 0usize;
+        let mut retry_scheduled = false;
+
+        let dispatch = |now: f64,
+                            pending: &mut Vec<PendingTask>,
+                            slots: &mut Vec<SlotState>,
+                            events: &mut BinaryHeap<Event>,
+                            seq: &mut u64,
+                            running: &mut usize,
+                            stage: &mut StageReport,
+                            scheduler: &mut Box<dyn Scheduler>| {
+            loop {
+                let mut assigned = false;
+                for machine in &machines {
+                    for kind in [SlotKind::Map, SlotKind::Reduce] {
+                        while *slots[machine.id.0].free(kind) > 0 && !pending.is_empty() {
+                            let Some(i) = scheduler.choose(now, machine, kind, pending) else {
+                                break;
+                            };
+                            let picked = pending.remove(i);
+                            let local =
+                                picked.task.preferred.is_none_or(|p| p == machine.id);
+                            if !local {
+                                stage.remote_placements += 1;
+                                stage.remote_bytes += picked.task.input_bytes;
+                            }
+                            let duration = spec.cost.task_seconds(
+                                picked.task.work,
+                                picked.task.input_bytes,
+                                machine.spec.speed,
+                                local,
+                            );
+                            stage.busy_seconds += duration;
+                            *slots[machine.id.0].free(kind) -= 1;
+                            *seq += 1;
+                            events.push(Event {
+                                time: now + duration,
+                                seq: *seq,
+                                payload: Payload::Done { machine: machine.id.0, kind },
+                            });
+                            *running += 1;
+                            assigned = true;
+                        }
+                    }
+                }
+                if !assigned {
+                    break;
+                }
+            }
+        };
+
+        dispatch(
+            now,
+            &mut pending,
+            &mut slots,
+            &mut events,
+            &mut seq,
+            &mut running,
+            &mut stage,
+            &mut scheduler,
+        );
+        schedule_retry(
+            policy,
+            now,
+            &pending,
+            running,
+            &mut retry_scheduled,
+            &mut events,
+            &mut seq,
+        );
+
+        // The stage ends at the last task completion; a pending hybrid
+        // retry wake-up past that point must not stretch the stage.
+        let mut last_done = stage_start;
+        while let Some(event) = events.pop() {
+            now = event.time;
+            match event.payload {
+                Payload::Done { machine, kind } => {
+                    *slots[machine].free(kind) += 1;
+                    running -= 1;
+                    last_done = now;
+                }
+                Payload::Retry => {
+                    retry_scheduled = false;
+                }
+            }
+            if running == 0 && pending.is_empty() {
+                break;
+            }
+            dispatch(
+                now,
+                &mut pending,
+                &mut slots,
+                &mut events,
+                &mut seq,
+                &mut running,
+                &mut stage,
+                &mut scheduler,
+            );
+            schedule_retry(
+                policy,
+                now,
+                &pending,
+                running,
+                &mut retry_scheduled,
+                &mut events,
+                &mut seq,
+            );
+        }
+
+        assert!(
+            pending.is_empty(),
+            "scheduler deadlock: {} tasks stranded (policy {:?})",
+            pending.len(),
+            policy
+        );
+        now = last_done;
+        stage.duration = now - stage_start;
+        report.stages.push(stage);
+    }
+
+    report.makespan = now;
+    report.tasks_run = total_tasks;
+    report.busy_seconds = report.stages.iter().map(|s| s.busy_seconds).sum();
+    report.migrations = scheduler.migrations();
+    report
+}
+
+/// Ensures the hybrid scheduler gets a wake-up once its migration threshold
+/// expires even if no completion event occurs in the meantime.
+#[allow(clippy::too_many_arguments)]
+fn schedule_retry(
+    policy: SchedulerPolicy,
+    now: f64,
+    pending: &[PendingTask],
+    running: usize,
+    retry_scheduled: &mut bool,
+    events: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+) {
+    let SchedulerPolicy::Hybrid { migration_threshold } = policy else {
+        return;
+    };
+    if pending.is_empty() || *retry_scheduled {
+        return;
+    }
+    let earliest = pending
+        .iter()
+        .map(|p| p.enqueued_at + migration_threshold)
+        .fold(f64::INFINITY, f64::min);
+    // A wake-up is only useful when the oldest pending task has NOT yet
+    // crossed the migration threshold: once it has, it is already eligible
+    // and only a freed slot (a Done event) can unblock it — re-dispatching
+    // on a timer would spin the event loop.
+    let _ = running;
+    if earliest > now {
+        *seq += 1;
+        events.push(Event { time: earliest, seq: *seq, payload: Payload::Retry });
+        *retry_scheduled = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cost() -> CostModel {
+        CostModel {
+            work_per_second: 1.0,
+            local_bytes_per_second: 1.0,
+            remote_bytes_per_second: 0.5,
+            task_startup_seconds: 0.0,
+        }
+    }
+
+    fn cluster(n: usize) -> ClusterSpec {
+        ClusterSpec { machines: vec![MachineSpec::healthy(); n], cost: tiny_cost() }
+    }
+
+    #[test]
+    fn single_task_runs_for_its_duration() {
+        let spec = cluster(1);
+        let report = simulate(&spec, SchedulerPolicy::Vanilla, &[vec![Task::map(0, 10)]]);
+        assert_eq!(report.makespan, 10.0);
+        assert_eq!(report.tasks_run, 1);
+        assert_eq!(report.busy_seconds, 10.0);
+    }
+
+    #[test]
+    fn parallel_tasks_share_the_cluster() {
+        // 4 machines × 2 map slots = 8-way parallelism; 16 unit tasks of
+        // 10s take exactly two waves.
+        let spec = cluster(4);
+        let tasks: Vec<Task> = (0..16).map(|i| Task::map(i, 10)).collect();
+        let report = simulate(&spec, SchedulerPolicy::Vanilla, &[tasks]);
+        assert_eq!(report.makespan, 20.0);
+        assert_eq!(report.busy_seconds, 160.0);
+    }
+
+    #[test]
+    fn stages_are_barriers() {
+        let spec = cluster(2);
+        let report = simulate(
+            &spec,
+            SchedulerPolicy::Vanilla,
+            &[vec![Task::map(0, 5)], vec![Task::reduce(1, 7)]],
+        );
+        assert_eq!(report.makespan, 12.0);
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].duration, 5.0);
+        assert_eq!(report.stages[1].duration, 7.0);
+    }
+
+    #[test]
+    fn remote_placement_pays_transfer_cost() {
+        let spec = cluster(2);
+        // Vanilla ignores reduce preferences: the task may land anywhere,
+        // but with 1 task and FIFO it lands on machine 0 while preferring
+        // machine 1 → remote read at 0.5 B/s.
+        let task = Task::reduce(0, 10).prefer(MachineId(1)).with_input_bytes(5);
+        let report = simulate(&spec, SchedulerPolicy::Vanilla, &[vec![task.clone()]]);
+        assert_eq!(report.makespan, 10.0 + 5.0 / 0.5);
+        assert_eq!(report.stages[0].remote_placements, 1);
+
+        // The memoization-aware policy waits for machine 1 → local read.
+        let report = simulate(&spec, SchedulerPolicy::MemoizationAware, &[vec![task]]);
+        assert_eq!(report.makespan, 10.0 + 5.0 / 1.0);
+        assert_eq!(report.stages[0].remote_placements, 0);
+    }
+
+    #[test]
+    fn memo_aware_waits_for_busy_preferred_machine() {
+        let mut spec = cluster(2);
+        spec.machines[1].reduce_slots = 1;
+        // A long filler occupies machine 1's only reduce slot; the
+        // preferring task must wait for it.
+        let filler = Task::reduce(0, 100).prefer(MachineId(1));
+        let preferrer = Task::reduce(1, 10).prefer(MachineId(1));
+        let report =
+            simulate(&spec, SchedulerPolicy::MemoizationAware, &[vec![filler, preferrer]]);
+        assert_eq!(report.makespan, 110.0);
+    }
+
+    #[test]
+    fn hybrid_migrates_off_stragglers() {
+        let mut spec = cluster(2);
+        spec.machines[1].reduce_slots = 1;
+        let filler = Task::reduce(0, 100).prefer(MachineId(1));
+        let preferrer = Task::reduce(1, 10).prefer(MachineId(1)).with_input_bytes(2);
+        let report = simulate(
+            &spec,
+            SchedulerPolicy::Hybrid { migration_threshold: 5.0 },
+            &[vec![filler, preferrer]],
+        );
+        // The preferring task migrates to machine 0 at ~t=5 and finishes at
+        // ~t=19 (10 compute + 4 remote read), well before the filler.
+        assert!(report.makespan < 110.0, "makespan = {}", report.makespan);
+        assert_eq!(report.migrations, 1);
+        assert_eq!(report.stages[0].remote_bytes, 2);
+    }
+
+    #[test]
+    fn stragglers_stretch_vanilla_makespan() {
+        let healthy = ClusterSpec { machines: vec![MachineSpec::healthy(); 4], cost: tiny_cost() };
+        let degraded = ClusterSpec {
+            machines: {
+                let mut m = vec![MachineSpec::healthy(); 4];
+                m[0] = MachineSpec::straggler(0.1);
+                m
+            },
+            cost: tiny_cost(),
+        };
+        let tasks: Vec<Task> = (0..8).map(|i| Task::map(i, 10)).collect();
+        let fast = simulate(&healthy, SchedulerPolicy::Vanilla, std::slice::from_ref(&tasks));
+        let slow = simulate(&degraded, SchedulerPolicy::Vanilla, &[tasks]);
+        assert!(slow.makespan > fast.makespan);
+    }
+
+    #[test]
+    fn empty_stage_list_is_fine() {
+        let report = simulate(&cluster(2), SchedulerPolicy::Vanilla, &[]);
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.tasks_run, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn unknown_preferred_machine_panics() {
+        let _ = simulate(
+            &cluster(1),
+            SchedulerPolicy::Vanilla,
+            &[vec![Task::map(0, 1).prefer(MachineId(9))]],
+        );
+    }
+
+    #[test]
+    fn paper_cluster_shape() {
+        let spec = ClusterSpec::paper_cluster();
+        assert_eq!(spec.len(), 24);
+        let with = ClusterSpec::with_stragglers(3, 0.5);
+        assert_eq!(with.machines.iter().filter(|m| m.speed < 1.0).count(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Simulated tasks: the unit of scheduling.
+
+use crate::machine::MachineId;
+
+/// Identifies a task within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+/// Which slot pool a task occupies (MapReduce distinguishes map slots from
+/// reduce slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Map-phase task.
+    Map,
+    /// Contraction + Reduce phase task.
+    Reduce,
+}
+
+/// A schedulable unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Unique id within the simulation.
+    pub id: TaskId,
+    /// Slot pool the task occupies.
+    pub kind: SlotKind,
+    /// Modeled compute cost in abstract work units.
+    pub work: u64,
+    /// Machine where the task's input (split replica or memoized state)
+    /// lives; `None` if the task has no placement preference.
+    pub preferred: Option<MachineId>,
+    /// Bytes the task must read as input. Read locally when scheduled on
+    /// `preferred`, fetched over the network otherwise.
+    pub input_bytes: u64,
+}
+
+impl Task {
+    /// A map task with the given work and no placement preference.
+    pub fn map(id: u64, work: u64) -> Self {
+        Task { id: TaskId(id), kind: SlotKind::Map, work, preferred: None, input_bytes: 0 }
+    }
+
+    /// A reduce task with the given work and no placement preference.
+    pub fn reduce(id: u64, work: u64) -> Self {
+        Task { id: TaskId(id), kind: SlotKind::Reduce, work, preferred: None, input_bytes: 0 }
+    }
+
+    /// Sets the preferred (data-local) machine. Builder-style.
+    pub fn prefer(mut self, machine: MachineId) -> Self {
+        self.preferred = Some(machine);
+        self
+    }
+
+    /// Sets the input size in bytes. Builder-style.
+    pub fn with_input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let t = Task::map(1, 500).prefer(MachineId(3)).with_input_bytes(64 << 20);
+        assert_eq!(t.kind, SlotKind::Map);
+        assert_eq!(t.preferred, Some(MachineId(3)));
+        assert_eq!(t.input_bytes, 64 << 20);
+        assert_eq!(t.work, 500);
+    }
+
+    #[test]
+    fn reduce_has_reduce_kind() {
+        assert_eq!(Task::reduce(2, 1).kind, SlotKind::Reduce);
+    }
+}

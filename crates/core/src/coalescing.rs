@@ -1,0 +1,298 @@
+//! The coalescing contraction tree (paper §4.2) for append-only windows,
+//! with optional split (background/foreground) processing.
+//!
+//! The window only ever grows, so the whole history coalesces into a single
+//! running aggregate. In *foreground-only* mode each run combines the new
+//! data's aggregate into the root on the critical path. In *split* mode the
+//! foreground hands the Reduce task the union of the previous root and the
+//! fresh delta (no root merge on the critical path); the root is coalesced
+//! with the delta in the background afterwards, paving the way for the next
+//! run (Figure 5(b)).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::combiner::Combiner;
+use crate::error::TreeError;
+use crate::stats::Phase;
+use crate::tree::{ContractionTree, TreeCx, TreeKind};
+
+/// Append-only coalescing contraction tree. See the module docs.
+pub struct CoalescingTree<V> {
+    /// Aggregate of every leaf coalesced so far.
+    root: Option<Arc<V>>,
+    /// Delta awaiting background coalescing (split mode only).
+    pending: Option<Arc<V>>,
+    /// Whether split processing is enabled.
+    split: bool,
+    /// Total number of appended leaves.
+    len: usize,
+}
+
+impl<V> CoalescingTree<V> {
+    /// Creates an empty tree in foreground-only mode.
+    pub fn new() -> Self {
+        CoalescingTree { root: None, pending: None, split: false, len: 0 }
+    }
+
+    /// Creates an empty tree with split processing enabled: the root merge
+    /// of each run is deferred to [`CoalescingTree::preprocess`] and the
+    /// Reduce task receives two parts.
+    pub fn with_split_processing() -> Self {
+        CoalescingTree { root: None, pending: None, split: true, len: 0 }
+    }
+
+    /// Whether split processing is enabled.
+    pub fn split_processing(&self) -> bool {
+        self.split
+    }
+}
+
+impl<V> Default for CoalescingTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> fmt::Debug for CoalescingTree<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoalescingTree")
+            .field("len", &self.len)
+            .field("split", &self.split)
+            .field("pending", &self.pending.is_some())
+            .finish()
+    }
+}
+
+impl<K, V> ContractionTree<K, V> for CoalescingTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
+        let live: Vec<Arc<V>> = leaves.into_iter().flatten().collect();
+        self.len = live.len();
+        cx.note_added(self.len as u64);
+        self.pending = None;
+        self.root = cx.fold(Phase::Foreground, live);
+    }
+
+    fn advance(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        remove: usize,
+        added: Vec<Option<Arc<V>>>,
+    ) -> Result<(), TreeError> {
+        if remove != 0 {
+            return Err(TreeError::RemoveFromAppendOnly);
+        }
+        let live: Vec<Arc<V>> = added.into_iter().flatten().collect();
+        if live.is_empty() {
+            return Ok(());
+        }
+        self.len += live.len();
+        cx.note_added(live.len() as u64);
+
+        // If the previous delta was never coalesced in the background,
+        // coalesce it now on the critical path.
+        if let Some(pending) = self.pending.take() {
+            self.root = Some(match &self.root {
+                Some(root) => cx.merge(Phase::Foreground, root, &pending),
+                None => pending,
+            });
+        }
+
+        // Combine the newly appended leaves into a single delta (C'2).
+        let delta = cx
+            .fold(Phase::Foreground, live)
+            .expect("live is non-empty");
+
+        if let (true, Some(root)) = (self.split, &self.root) {
+            // Foreground stops here; reduce_parts() exposes {root, delta}.
+            cx.reuse(root); // the previous root is reused as-is
+            self.pending = Some(delta);
+        } else {
+            self.root = Some(match &self.root {
+                Some(root) => cx.merge(Phase::Foreground, root, &delta),
+                None => delta,
+            });
+        }
+        Ok(())
+    }
+
+    fn preprocess(&mut self, cx: &mut TreeCx<'_, K, V>) {
+        if let Some(pending) = self.pending.take() {
+            self.root = Some(match &self.root {
+                Some(root) => cx.merge(Phase::Background, root, &pending),
+                None => pending,
+            });
+        }
+    }
+
+    fn root(&self) -> Option<Arc<V>> {
+        // Under split processing the materialized root lags the window by
+        // the still-pending delta; reduce_parts() exposes the full window.
+        self.root.clone()
+    }
+
+    fn reduce_parts(&self) -> Vec<Arc<V>> {
+        self.root
+            .iter()
+            .chain(self.pending.iter())
+            .cloned()
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn height(&self) -> usize {
+        match (self.len, self.pending.is_some()) {
+            (0, _) => 0,
+            (_, false) => 1,
+            (_, true) => 2,
+        }
+    }
+
+    fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
+        self.root
+            .iter()
+            .chain(self.pending.iter())
+            .map(|v| combiner.value_bytes(key, v))
+            .sum()
+    }
+
+    fn kind(&self) -> TreeKind {
+        TreeKind::Coalescing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::FnCombiner;
+    use crate::stats::UpdateStats;
+
+    fn sum_combiner() -> FnCombiner<impl Fn(&u8, &u64, &u64) -> u64> {
+        FnCombiner::new(|_: &u8, a: &u64, b: &u64| a + b)
+    }
+
+    fn leaves(values: &[u64]) -> Vec<Option<Arc<u64>>> {
+        values.iter().map(|v| Some(Arc::new(*v))).collect()
+    }
+
+    fn parts_sum(tree: &CoalescingTree<u64>) -> u64 {
+        ContractionTree::<u8, u64>::reduce_parts(tree)
+            .iter()
+            .map(|v| **v)
+            .sum()
+    }
+
+    #[test]
+    fn foreground_mode_keeps_single_root() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = CoalescingTree::new();
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
+        assert_eq!(parts_sum(&tree), 6);
+
+        tree.advance(&mut cx, 0, leaves(&[4, 5])).unwrap();
+        assert_eq!(parts_sum(&tree), 15);
+        assert_eq!(
+            ContractionTree::<u8, u64>::reduce_parts(&tree).len(),
+            1,
+            "foreground mode always exposes a single root"
+        );
+        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 15);
+        assert!(stats.background.is_empty());
+    }
+
+    #[test]
+    fn split_mode_defers_root_merge() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut tree = CoalescingTree::with_split_processing();
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
+
+        // Advance: foreground folds the delta but does NOT touch the root.
+        let mut fg = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut fg);
+        tree.advance(&mut cx, 0, leaves(&[4, 5])).unwrap();
+        assert_eq!(fg.foreground.merges, 1, "only 4+5 on the critical path");
+        let parts = ContractionTree::<u8, u64>::reduce_parts(&tree);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts_sum(&tree), 15);
+
+        // Background coalesces the pending delta.
+        let mut bg = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut bg);
+        tree.preprocess(&mut cx);
+        assert_eq!(bg.background.merges, 1);
+        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 15);
+        assert_eq!(ContractionTree::<u8, u64>::reduce_parts(&tree).len(), 1);
+    }
+
+    #[test]
+    fn split_mode_without_background_still_correct() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut tree = CoalescingTree::with_split_processing();
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, leaves(&[1]));
+        // Two advances with no preprocess in between: the pending delta is
+        // flushed on the foreground path of the second advance.
+        tree.advance(&mut cx, 0, leaves(&[2])).unwrap();
+        tree.advance(&mut cx, 0, leaves(&[3])).unwrap();
+        assert_eq!(parts_sum(&tree), 6);
+        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 3);
+    }
+
+    #[test]
+    fn removal_is_rejected() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = CoalescingTree::new();
+        tree.rebuild(&mut cx, leaves(&[1]));
+        assert_eq!(
+            tree.advance(&mut cx, 1, leaves(&[2])).unwrap_err(),
+            TreeError::RemoveFromAppendOnly
+        );
+        assert_eq!(parts_sum(&tree), 1);
+    }
+
+    #[test]
+    fn empty_advance_is_a_no_op() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = CoalescingTree::new();
+        tree.rebuild(&mut cx, vec![]);
+        tree.advance(&mut cx, 0, vec![None, None]).unwrap();
+        assert!(ContractionTree::<u8, u64>::root(&tree).is_none());
+        assert!(ContractionTree::<u8, u64>::is_empty(&tree));
+        assert_eq!(stats.total_merges(), 0);
+    }
+
+    #[test]
+    fn first_append_in_split_mode_materializes_root() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = CoalescingTree::with_split_processing();
+        tree.rebuild(&mut cx, vec![]);
+        tree.advance(&mut cx, 0, leaves(&[7])).unwrap();
+        // With no previous root there is nothing to defer.
+        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 7);
+        assert_eq!(ContractionTree::<u8, u64>::reduce_parts(&tree).len(), 1);
+    }
+}

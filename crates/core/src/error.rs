@@ -1,0 +1,86 @@
+//! Error type shared by all contraction trees.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by contraction-tree operations.
+///
+/// All variants indicate a contract violation by the *caller* (the host
+/// engine), never data corruption inside a tree: a failed operation leaves
+/// the tree unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// Asked to remove more leading leaves than the window holds.
+    RemoveExceedsWindow {
+        /// Number of leaves the caller asked to drop.
+        requested: usize,
+        /// Number of leaves currently in the window.
+        window: usize,
+    },
+    /// An append-only (coalescing) tree was asked to remove leaves.
+    RemoveFromAppendOnly,
+    /// A rotating tree operation requires a commutative combiner, but the
+    /// combiner declared itself non-commutative.
+    CombinerNotCommutative,
+    /// A fixed-width (rotating) tree was advanced with a number of added
+    /// buckets different from the number of removed buckets once full.
+    FixedWidthViolation {
+        /// Buckets removed in this slide.
+        removed: usize,
+        /// Buckets added in this slide.
+        added: usize,
+    },
+    /// A rotating tree was built or advanced beyond its fixed capacity.
+    CapacityExceeded {
+        /// Configured number of bucket slots.
+        capacity: usize,
+        /// Occupancy the operation would have produced.
+        attempted: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::RemoveExceedsWindow { requested, window } => write!(
+                f,
+                "cannot remove {requested} leaves from a window of {window}"
+            ),
+            TreeError::RemoveFromAppendOnly => {
+                write!(f, "append-only coalescing tree cannot remove leaves")
+            }
+            TreeError::CombinerNotCommutative => {
+                write!(f, "rotating contraction tree requires a commutative combiner")
+            }
+            TreeError::FixedWidthViolation { removed, added } => write!(
+                f,
+                "fixed-width window must rotate equally: removed {removed}, added {added}"
+            ),
+            TreeError::CapacityExceeded { capacity, attempted } => write!(
+                f,
+                "rotating tree capacity {capacity} exceeded (attempted occupancy {attempted})"
+            ),
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TreeError::RemoveExceedsWindow { requested: 9, window: 4 };
+        let msg = err.to_string();
+        assert!(msg.contains('9') && msg.contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TreeError>();
+    }
+}

@@ -1,0 +1,533 @@
+//! The self-adjusting folding contraction tree (paper §3.1): the general
+//! variable-width sliding-window structure.
+//!
+//! The tree is a complete binary tree over a power-of-two array of leaf
+//! slots. Live leaves occupy a contiguous slot range; slots to the left of
+//! the range are *void* (dropped by earlier slides) and slots to the right
+//! are void slots awaiting future appends. Appending past the last slot
+//! *unfolds* the tree (a fresh complete tree of equal size is merged in as
+//! the right child of a new root, increasing the height by one); when the
+//! entire left half of the leaf level becomes void the tree *folds* (the
+//! right child of the root is promoted, decreasing the height by one).
+//!
+//! Because live leaves never move between slots, a slide only dirties the
+//! slots it touches and change propagation recomputes exactly the paths
+//! from dirtied slots to the root — `O(delta · log window)` combiner
+//! invocations — while every off-path node is reused from its in-place
+//! memoized value.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::combiner::Combiner;
+use crate::error::TreeError;
+use crate::stats::Phase;
+use crate::tree::{ContractionTree, TreeCx, TreeKind};
+
+/// Variable-width self-adjusting contraction tree. See the module docs.
+pub struct FoldingTree<V> {
+    /// `levels[0]` are the leaf slots (power-of-two length); `levels[h]`
+    /// halves in length as `h` grows; the last level is the root.
+    levels: Vec<Vec<Option<Arc<V>>>>,
+    /// First live slot: slots `start..start+len` hold the window.
+    start: usize,
+    /// Number of live leaves.
+    len: usize,
+    /// If set, a full rebuild (fresh initial run) is triggered whenever the
+    /// slot capacity exceeds `factor × window size` — the simple rebalancing
+    /// strategy §3.2 describes for workloads where drastic shrinks are rare.
+    rebuild_factor: Option<u32>,
+}
+
+impl<V> FoldingTree<V> {
+    /// Creates an empty folding tree that never voluntarily rebuilds.
+    pub fn new() -> Self {
+        FoldingTree { levels: vec![vec![None]], start: 0, len: 0, rebuild_factor: None }
+    }
+
+    /// Creates a folding tree that performs a fresh initial run whenever the
+    /// leaf capacity grows beyond `factor` times the live window size
+    /// (paper §3.2 suggests 8 or 16).
+    pub fn with_rebuild_factor(factor: u32) -> Self {
+        let mut tree = Self::new();
+        tree.rebuild_factor = Some(factor.max(2));
+        tree
+    }
+
+    /// Current leaf-slot capacity (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Resets to the canonical empty state.
+    fn clear(&mut self) {
+        self.levels = vec![vec![None]];
+        self.start = 0;
+        self.len = 0;
+    }
+
+    /// Recomputes the parent of two (possibly void) children.
+    fn join<K>(
+        cx: &mut TreeCx<'_, K, V>,
+        left: Option<&Arc<V>>,
+        right: Option<&Arc<V>>,
+    ) -> Option<Arc<V>> {
+        match (left, right) {
+            (Some(l), Some(r)) => Some(cx.merge(Phase::Foreground, l, r)),
+            (Some(l), None) => Some(Arc::clone(l)),
+            (None, Some(r)) => Some(Arc::clone(r)),
+            (None, None) => None,
+        }
+    }
+
+    /// Full bottom-up construction over the current leaf level.
+    fn build_internal<K>(&mut self, cx: &mut TreeCx<'_, K, V>) {
+        let mut width = self.capacity() / 2;
+        let mut child_level = 0;
+        self.levels.truncate(1);
+        while width >= 1 {
+            let mut level = Vec::with_capacity(width);
+            for i in 0..width {
+                let value = {
+                    let children = &self.levels[child_level];
+                    Self::join(cx, children[2 * i].as_ref(), children[2 * i + 1].as_ref())
+                };
+                level.push(value);
+            }
+            self.levels.push(level);
+            child_level += 1;
+            width /= 2;
+        }
+    }
+
+    /// Doubles the capacity: the current tree becomes the left child of a
+    /// new root; the right half starts void.
+    fn unfold(&mut self) {
+        let cap = self.capacity();
+        for level in self.levels.iter_mut() {
+            let width = level.len();
+            level.extend(std::iter::repeat_with(|| None).take(width));
+        }
+        // New root level: left child is the old root, right child void.
+        let old_root = self.levels.last().and_then(|l| l[0].clone());
+        self.levels.push(vec![old_root]);
+        debug_assert_eq!(self.capacity(), cap * 2);
+    }
+
+    /// Halves the capacity by promoting the right child of the root, valid
+    /// only when the whole left half of the leaf level is void.
+    fn fold(&mut self) {
+        let half = self.capacity() / 2;
+        debug_assert!(self.start >= half, "fold requires a void left half");
+        self.levels.pop(); // drop the root level
+        for level in self.levels.iter_mut() {
+            let keep = level.len() / 2;
+            level.drain(..keep);
+        }
+        self.start -= half;
+    }
+
+    /// Propagates changes at the given leaf slots up to the root.
+    fn propagate<K>(&mut self, cx: &mut TreeCx<'_, K, V>, mut dirty: Vec<usize>) {
+        dirty.sort_unstable();
+        dirty.dedup();
+        for child_level in 0..self.levels.len().saturating_sub(1) {
+            let mut parents: Vec<usize> = dirty.iter().map(|i| i / 2).collect();
+            parents.dedup();
+            for &p in &parents {
+                let value = {
+                    let children = &self.levels[child_level];
+                    let left = children[2 * p].as_ref();
+                    let right = children[2 * p + 1].as_ref();
+                    // A present sibling that is not itself dirty is a reused
+                    // memoized sub-computation.
+                    let l_dirty = dirty.binary_search(&(2 * p)).is_ok();
+                    let r_dirty = dirty.binary_search(&(2 * p + 1)).is_ok();
+                    if let (Some(l), false) = (left, l_dirty) {
+                        cx.reuse(l);
+                    }
+                    if let (Some(r), false) = (right, r_dirty) {
+                        cx.reuse(r);
+                    }
+                    Self::join(cx, left, right)
+                };
+                self.levels[child_level + 1][p] = value;
+            }
+            dirty = parents;
+        }
+    }
+
+    fn do_rebuild<K>(&mut self, cx: &mut TreeCx<'_, K, V>, live: Vec<Arc<V>>) {
+        let n = live.len();
+        let cap = n.max(1).next_power_of_two();
+        let mut leaf_level: Vec<Option<Arc<V>>> = live.into_iter().map(Some).collect();
+        leaf_level.resize_with(cap, || None);
+        self.levels = vec![leaf_level];
+        self.start = 0;
+        self.len = n;
+        self.build_internal(cx);
+    }
+
+    /// Live leaves, oldest first (used by the rebuild threshold and tests).
+    fn live_leaves(&self) -> Vec<Arc<V>> {
+        self.levels[0][self.start..self.end()]
+            .iter()
+            .map(|slot| {
+                Arc::clone(slot.as_ref().expect("live slot range must be non-void"))
+            })
+            .collect()
+    }
+}
+
+impl<V> Default for FoldingTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> fmt::Debug for FoldingTree<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FoldingTree")
+            .field("capacity", &self.capacity())
+            .field("start", &self.start)
+            .field("len", &self.len)
+            .field("levels", &self.levels.len())
+            .finish()
+    }
+}
+
+impl<K, V> ContractionTree<K, V> for FoldingTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
+        let live: Vec<Arc<V>> = leaves.into_iter().flatten().collect();
+        cx.note_added(live.len() as u64);
+        self.do_rebuild(cx, live);
+    }
+
+    fn advance(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        remove: usize,
+        added: Vec<Option<Arc<V>>>,
+    ) -> Result<(), TreeError> {
+        if remove > self.len {
+            return Err(TreeError::RemoveExceedsWindow {
+                requested: remove,
+                window: self.len,
+            });
+        }
+        let added: Vec<Arc<V>> = added.into_iter().flatten().collect();
+        cx.note_removed(remove as u64);
+        cx.note_added(added.len() as u64);
+
+        let mut dirty: Vec<usize> = Vec::with_capacity(remove + added.len());
+
+        // Drop the oldest `remove` leaves: mark their slots void.
+        for i in self.start..self.start + remove {
+            self.levels[0][i] = None;
+            dirty.push(i);
+        }
+        self.start += remove;
+        self.len -= remove;
+
+        if self.len == 0 && added.is_empty() {
+            self.clear();
+            return Ok(());
+        }
+
+        // Append new leaves, unfolding whenever the slots run out. Unfolding
+        // preserves existing slot indices, so pending dirty entries stay
+        // valid.
+        for value in added {
+            if self.end() == self.capacity() {
+                self.unfold();
+            }
+            let slot = self.end();
+            self.levels[0][slot] = Some(value);
+            dirty.push(slot);
+            self.len += 1;
+        }
+
+        // Fold while the entire left half of the leaf level is void.
+        while self.capacity() > 1 && self.start >= self.capacity() / 2 {
+            let half = self.capacity() / 2;
+            self.fold();
+            // Slot indices shifted down by `half`; voided slots in the
+            // dropped half no longer exist (their removal is subsumed by
+            // discarding the root that referenced them).
+            dirty = dirty
+                .into_iter()
+                .filter_map(|i| i.checked_sub(half))
+                .collect();
+        }
+
+        // Simple rebalancing strategy (§3.2): rebuild when the tree is far
+        // taller than the window warrants.
+        if let Some(factor) = self.rebuild_factor {
+            if self.capacity() > (factor as usize).saturating_mul(self.len.max(1)) {
+                let live = self.live_leaves();
+                self.do_rebuild(cx, live);
+                return Ok(());
+            }
+        }
+
+        self.propagate(cx, dirty);
+        Ok(())
+    }
+
+    fn root(&self) -> Option<Arc<V>> {
+        if self.len == 0 {
+            None
+        } else {
+            self.levels.last().and_then(|l| l[0].clone())
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn height(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else {
+            self.levels.len()
+        }
+    }
+
+    fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
+        // Pass-through nodes share the child's allocation; count each
+        // distinct allocation once.
+        let mut bytes = 0;
+        for (h, level) in self.levels.iter().enumerate() {
+            for (i, slot) in level.iter().enumerate() {
+                let Some(v) = slot else { continue };
+                let pass_through = h > 0 && {
+                    let children = &self.levels[h - 1];
+                    [children.get(2 * i), children.get(2 * i + 1)]
+                        .into_iter()
+                        .flatten()
+                        .flatten()
+                        .any(|c| Arc::ptr_eq(c, v))
+                };
+                if !pass_through {
+                    bytes += combiner.value_bytes(key, v);
+                }
+            }
+        }
+        bytes
+    }
+
+    fn kind(&self) -> TreeKind {
+        TreeKind::Folding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::FnCombiner;
+    use crate::stats::UpdateStats;
+
+    fn sum_combiner() -> FnCombiner<impl Fn(&u8, &u64, &u64) -> u64> {
+        FnCombiner::new(|_: &u8, a: &u64, b: &u64| a + b)
+    }
+
+    fn leaves(values: &[u64]) -> Vec<Option<Arc<u64>>> {
+        values.iter().map(|v| Some(Arc::new(*v))).collect()
+    }
+
+    fn root_of(tree: &FoldingTree<u64>) -> u64 {
+        *ContractionTree::<u8, u64>::root(tree).unwrap()
+    }
+
+    #[test]
+    fn initial_run_pads_to_power_of_two() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
+        assert_eq!(tree.capacity(), 4);
+        assert_eq!(root_of(&tree), 6);
+        assert_eq!(ContractionTree::<u8, u64>::height(&tree), 3);
+    }
+
+    #[test]
+    fn paper_figure_2_scenario() {
+        // T1: add {0,1,2}; T2: add {3,4}, remove {0}; T3: add {5,6,7},
+        // remove {1,2,3}.
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+
+        tree.rebuild(&mut cx, leaves(&[10, 11, 12])); // values for items 0,1,2
+        assert_eq!(tree.capacity(), 4);
+        assert_eq!(root_of(&tree), 33);
+
+        // T2: insert 3 & 4 — node 4 forces an unfold to capacity 8.
+        tree.advance(&mut cx, 1, leaves(&[13, 14])).unwrap();
+        assert_eq!(tree.capacity(), 8);
+        assert_eq!(ContractionTree::<u8, u64>::height(&tree), 4);
+        assert_eq!(root_of(&tree), 11 + 12 + 13 + 14);
+
+        // T3: remove items 1,2,3 — left half all void, tree folds.
+        tree.advance(&mut cx, 3, leaves(&[15, 16, 17])).unwrap();
+        assert_eq!(tree.capacity(), 4);
+        assert_eq!(ContractionTree::<u8, u64>::height(&tree), 3);
+        assert_eq!(root_of(&tree), 14 + 15 + 16 + 17);
+    }
+
+    #[test]
+    fn incremental_update_is_logarithmic() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+        let values: Vec<u64> = (0..1024).collect();
+        tree.rebuild(&mut cx, leaves(&values));
+
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.advance(&mut cx, 1, leaves(&[5000])).unwrap();
+        assert_eq!(root_of(&tree), (1..1024).sum::<u64>() + 5000);
+        // Two touched paths of height ≤ 11 each.
+        assert!(stats.foreground.merges <= 22, "merges = {}", stats.foreground.merges);
+        assert!(stats.reused > 0);
+    }
+
+    #[test]
+    fn matches_reference_under_random_slides() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut tree = FoldingTree::new();
+        let mut reference: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, vec![]);
+
+        let mut next = 0u64;
+        for _ in 0..200 {
+            let remove = rng.gen_range(0..=reference.len());
+            let add = rng.gen_range(0..8usize);
+            let added: Vec<u64> = (0..add)
+                .map(|_| {
+                    next += 1;
+                    next
+                })
+                .collect();
+            for _ in 0..remove {
+                reference.pop_front();
+            }
+            reference.extend(added.iter().copied());
+
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            tree.advance(&mut cx, remove, leaves(&added)).unwrap();
+            let expected: u64 = reference.iter().sum();
+            match ContractionTree::<u8, u64>::root(&tree) {
+                Some(root) => assert_eq!(*root, expected),
+                None => assert_eq!(expected, 0),
+            }
+            assert_eq!(ContractionTree::<u8, u64>::len(&tree), reference.len());
+        }
+    }
+
+    #[test]
+    fn drastic_shrink_leaves_tree_tall_without_rebuild_factor() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+
+        let mut tree = FoldingTree::new();
+        let values: Vec<u64> = (0..1024).collect();
+        tree.rebuild(&mut cx, leaves(&values));
+        // Slide into steady state so the window is not left-aligned.
+        tree.advance(&mut cx, 512, leaves(&(0..512).collect::<Vec<_>>())).unwrap();
+        // Now shrink hard: 1008 of 1024 leaves removed.
+        tree.advance(&mut cx, 1008, vec![]).unwrap();
+        let height = ContractionTree::<u8, u64>::height(&tree);
+        let optimal = 16_f64.log2().ceil() as usize + 1;
+        assert!(
+            height > optimal,
+            "plain folding tree should stay imbalanced: height {height} vs optimal {optimal}"
+        );
+    }
+
+    #[test]
+    fn rebuild_factor_restores_balance() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+
+        let mut tree = FoldingTree::with_rebuild_factor(8);
+        let values: Vec<u64> = (0..1024).collect();
+        tree.rebuild(&mut cx, leaves(&values));
+        tree.advance(&mut cx, 512, leaves(&(0..512).collect::<Vec<_>>())).unwrap();
+        tree.advance(&mut cx, 1008, vec![]).unwrap();
+        let height = ContractionTree::<u8, u64>::height(&tree);
+        assert!(height <= 6, "rebuild factor should rebalance: height {height}");
+        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 16);
+    }
+
+    #[test]
+    fn empty_after_drain_and_refill() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
+        tree.advance(&mut cx, 4, vec![]).unwrap();
+        assert!(ContractionTree::<u8, u64>::is_empty(&tree));
+        assert!(ContractionTree::<u8, u64>::root(&tree).is_none());
+        tree.advance(&mut cx, 0, leaves(&[7])).unwrap();
+        assert_eq!(root_of(&tree), 7);
+    }
+
+    #[test]
+    fn remove_more_than_window_is_rejected() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+        tree.rebuild(&mut cx, leaves(&[1]));
+        assert!(matches!(
+            tree.advance(&mut cx, 2, vec![]),
+            Err(TreeError::RemoveExceedsWindow { requested: 2, window: 1 })
+        ));
+        assert_eq!(root_of(&tree), 1);
+    }
+
+    #[test]
+    fn memo_bytes_counts_distinct_nodes() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
+        // 3 leaves + C(1,2) + pass-through(3) + root = 5 distinct * 16 bytes.
+        let bytes =
+            ContractionTree::<u8, u64>::memo_bytes(&tree, &combiner, &key);
+        assert_eq!(bytes, 5 * 16);
+    }
+}

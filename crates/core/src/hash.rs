@@ -1,0 +1,152 @@
+//! Deterministic 64-bit mixing used for node identities and the randomized
+//! folding tree's coin flips.
+//!
+//! The trees need hashes that are stable across runs and platforms (they
+//! determine memo-cache identities and the probabilistic group boundaries of
+//! [`crate::RandomizedFoldingTree`]), so we use a fixed splitmix64-based
+//! mixer rather than `std`'s randomly-seeded `DefaultHasher`.
+
+/// Finalizer of splitmix64; a strong 64-bit bit mixer.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes a single 64-bit value into a well-distributed hash.
+///
+/// ```
+/// let h = slider_core::hash_one(42);
+/// assert_ne!(h, slider_core::hash_one(43));
+/// ```
+#[inline]
+pub fn hash_one(x: u64) -> u64 {
+    mix64(x)
+}
+
+/// Combines two 64-bit hashes into one, order-sensitively.
+///
+/// Used to derive the identity of an internal contraction-tree node from the
+/// identities of its children, so that identical (left, right) pairs map to
+/// the same memoized sub-computation across runs.
+///
+/// ```
+/// let ab = slider_core::hash_pair(1, 2);
+/// let ba = slider_core::hash_pair(2, 1);
+/// assert_ne!(ab, ba);
+/// ```
+#[inline]
+pub fn hash_pair(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b).rotate_left(23).wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// An incremental, deterministic 64-bit hasher over a stream of words.
+///
+/// Unlike `std::hash::DefaultHasher` the result is stable across processes,
+/// which the memoization layer relies on.
+///
+/// ```
+/// use slider_core::StableHasher;
+/// let mut h = StableHasher::new();
+/// h.write_u64(7);
+/// h.write_bytes(b"slider");
+/// let a = h.finish();
+/// assert_ne!(a, StableHasher::new().finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher with a fixed initial state.
+    pub fn new() -> Self {
+        StableHasher { state: 0x51bd_e25c_7a5e_11d4 }
+    }
+
+    /// Feeds one 64-bit word.
+    pub fn write_u64(&mut self, x: u64) {
+        self.state = hash_pair(self.state, x);
+    }
+
+    /// Feeds a byte slice (length-prefixed to avoid ambiguity).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Returns the accumulated hash.
+    pub fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_injective_on_small_range() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(hash_one(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn pair_is_order_sensitive() {
+        assert_ne!(hash_pair(1, 2), hash_pair(2, 1));
+        assert_ne!(hash_pair(0, 0), 0);
+    }
+
+    #[test]
+    fn pair_distinguishes_nesting() {
+        // hash((a,b),c) != hash(a,(b,c)) — association must matter for
+        // node identities.
+        let left = hash_pair(hash_pair(1, 2), 3);
+        let right = hash_pair(1, hash_pair(2, 3));
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn stable_hasher_is_deterministic() {
+        let mut a = StableHasher::new();
+        a.write_bytes(b"hello world");
+        let mut b = StableHasher::new();
+        b.write_bytes(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_hasher_length_prefix_disambiguates() {
+        // "ab" + "c" must differ from "a" + "bc".
+        let mut a = StableHasher::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = StableHasher::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_hasher_padding_no_collision() {
+        let mut a = StableHasher::new();
+        a.write_bytes(&[0, 0, 0]);
+        let mut b = StableHasher::new();
+        b.write_bytes(&[0, 0, 0, 0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,78 @@
+//! # slider-core — self-adjusting contraction trees
+//!
+//! This crate implements the primary contribution of *"Slider: Incremental
+//! Sliding Window Analytics"* (Bhatotia, Acar, Junqueira, Rodrigues —
+//! Middleware 2014): a family of **self-adjusting contraction trees** that
+//! structure the reduce side of a data-parallel computation as a shallow,
+//! balanced dependence graph through which sliding-window input changes are
+//! propagated in time proportional to the *delta*, not the window.
+//!
+//! The trees operate on *partial aggregates* produced by an associative
+//! [`Combiner`]. A final [`Reducer`] turns the tree root into the job output.
+//!
+//! ## Tree family
+//!
+//! | Type | Paper section | Window variant |
+//! |------|---------------|----------------|
+//! | [`StrawmanTree`] | §2.2 | any — memoization-only baseline |
+//! | [`FoldingTree`] | §3.1 | variable-width (arbitrary shrink/grow) |
+//! | [`RandomizedFoldingTree`] | §3.2 | variable-width with drastic resizes |
+//! | [`RotatingTree`] | §4.1 | fixed-width, with split processing |
+//! | [`CoalescingTree`] | §4.2 | append-only, with split processing |
+//!
+//! All trees implement the object-safe [`ContractionTree`] trait so a host
+//! engine (see the `slider-mapreduce` crate) can drive them uniformly; the
+//! [`TreeKind`] enum plus [`build_tree`] provide a factory.
+//!
+//! ## Example
+//!
+//! ```
+//! use slider_core::{build_tree, FnCombiner, TreeCx, TreeKind, UpdateStats};
+//! use std::sync::Arc;
+//!
+//! // Word-count style combiner: partial aggregates are u64 counts.
+//! let combiner = FnCombiner::new(|_k: &String, a: &u64, b: &u64| a + b);
+//! let mut tree = build_tree::<String, u64>(TreeKind::Folding, 0);
+//! let mut stats = UpdateStats::default();
+//! let key = "the".to_string();
+//! let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+//!
+//! // Initial run: the window holds four splits, each contributing a count.
+//! tree.rebuild(&mut cx, vec![Some(Arc::new(1)), Some(Arc::new(2)),
+//!                            Some(Arc::new(3)), Some(Arc::new(4))]);
+//! assert_eq!(*tree.root().unwrap(), 10);
+//!
+//! // The window slides: drop the oldest split, append one with count 5.
+//! tree.advance(&mut cx, 1, vec![Some(Arc::new(5))])?;
+//! assert_eq!(*tree.root().unwrap(), 14);
+//! # Ok::<(), slider_core::TreeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coalescing;
+mod combiner;
+mod error;
+mod folding;
+mod hash;
+mod memo;
+mod multilevel;
+mod randomized;
+mod rotating;
+mod stats;
+mod strawman;
+mod tree;
+
+pub use coalescing::CoalescingTree;
+pub use combiner::{Combiner, FnCombiner, Reducer};
+pub use error::TreeError;
+pub use folding::FoldingTree;
+pub use hash::{hash_one, hash_pair, StableHasher};
+pub use memo::MemoCache;
+pub use multilevel::{stage_tree_kind, MultiLevelPlan};
+pub use randomized::RandomizedFoldingTree;
+pub use rotating::RotatingTree;
+pub use stats::{Phase, PhaseWork, UpdateStats};
+pub use strawman::StrawmanTree;
+pub use tree::{build_tree, ContractionTree, TreeCx, TreeKind};

@@ -1,0 +1,109 @@
+//! Multi-level contraction trees for data-flow query pipelines (paper §5).
+//!
+//! A declarative query (Pig-style) compiles to a pipeline of MapReduce
+//! jobs. Only the *first* stage consumes the sliding window directly, so
+//! only it can exploit the window-specific self-adjusting trees; from the
+//! second stage onwards, input changes land at arbitrary positions, and
+//! Slider falls back to the strawman contraction tree (whose in-place leaf
+//! replacement, [`crate::StrawmanTree::replace_leaf`], confines recompute to
+//! one root path).
+//!
+//! This module captures that per-stage policy; the pipeline executor in the
+//! `slider-mapreduce` crate consumes it.
+
+use crate::tree::TreeKind;
+
+/// Selects the tree kind for pipeline stage `stage` (0-based) when the
+/// window-facing first stage uses `first_stage`.
+///
+/// ```
+/// use slider_core::{stage_tree_kind, TreeKind};
+/// assert_eq!(stage_tree_kind(TreeKind::Rotating, 0), TreeKind::Rotating);
+/// assert_eq!(stage_tree_kind(TreeKind::Rotating, 3), TreeKind::Strawman);
+/// ```
+pub fn stage_tree_kind(first_stage: TreeKind, stage: usize) -> TreeKind {
+    if stage == 0 {
+        first_stage
+    } else {
+        TreeKind::Strawman
+    }
+}
+
+/// A per-stage tree plan for a multi-job pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiLevelPlan {
+    first_stage: TreeKind,
+    stages: usize,
+}
+
+impl MultiLevelPlan {
+    /// Plans a pipeline of `stages` jobs whose first stage slides with
+    /// `first_stage` trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero — a pipeline has at least one job.
+    pub fn new(first_stage: TreeKind, stages: usize) -> Self {
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        MultiLevelPlan { first_stage, stages }
+    }
+
+    /// Number of jobs in the pipeline.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The window-facing tree kind.
+    pub fn first_stage(&self) -> TreeKind {
+        self.first_stage
+    }
+
+    /// Tree kind for the given 0-based stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= self.stages()`.
+    pub fn kind_for_stage(&self, stage: usize) -> TreeKind {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        stage_tree_kind(self.first_stage, stage)
+    }
+
+    /// Iterates over `(stage, kind)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, TreeKind)> + '_ {
+        (0..self.stages).map(|s| (s, self.kind_for_stage(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_stage_uses_window_tree() {
+        let plan = MultiLevelPlan::new(TreeKind::Folding, 4);
+        assert_eq!(plan.kind_for_stage(0), TreeKind::Folding);
+        for stage in 1..4 {
+            assert_eq!(plan.kind_for_stage(stage), TreeKind::Strawman);
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_stages() {
+        let plan = MultiLevelPlan::new(TreeKind::Coalescing, 3);
+        let kinds: Vec<_> = plan.iter().collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, TreeKind::Coalescing),
+                (1, TreeKind::Strawman),
+                (2, TreeKind::Strawman)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_pipeline_panics() {
+        let _ = MultiLevelPlan::new(TreeKind::Folding, 0);
+    }
+}

@@ -1,0 +1,597 @@
+//! The rotating contraction tree (paper §4.1) for fixed-width sliding
+//! windows, with optional split (background/foreground) processing.
+//!
+//! The window is divided into `N` *buckets* (each the pre-combined output of
+//! `w` input splits). The buckets are the leaves of a balanced binary tree
+//! laid out as a segment tree; when the window slides by one bucket the new
+//! bucket replaces the oldest one in round-robin fashion and only the
+//! `log2(N)` nodes on the leaf-to-root path are recombined.
+//!
+//! Because rotation reuses memoized aggregates that mix newer and older data
+//! out of window order, the combiner must be **commutative** (in addition to
+//! associative).
+//!
+//! Split processing: after a result is returned, [`RotatingTree::preprocess`]
+//! (a) applies the deferred leaf insertion and path update in the
+//! background, and (b) pre-combines all off-path sibling aggregates of the
+//! *next* victim bucket into a single intermediate `I`. The next foreground
+//! update is then a single combiner invocation (`new bucket ⊕ I`) — this is
+//! the mechanism behind the paper's Figure 11 latency savings.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::combiner::Combiner;
+use crate::error::TreeError;
+use crate::stats::Phase;
+use crate::tree::{ContractionTree, TreeCx, TreeKind};
+
+/// Fixed-width rotating contraction tree. See the module docs.
+pub struct RotatingTree<V> {
+    /// Number of bucket slots in the window.
+    capacity: usize,
+    /// `capacity` rounded up to a power of two (segment-tree width).
+    width: usize,
+    /// Segment tree: `nodes[1]` is the root, leaves at `width..width+capacity`.
+    /// `None` marks a slot in which this key is absent.
+    nodes: Vec<Option<Arc<V>>>,
+    /// Slots filled so far during the initial fill phase.
+    filled: usize,
+    /// Slot to be replaced by the next rotation once the window is full.
+    next_victim: usize,
+    /// Number of present (Some) leaves.
+    present: usize,
+    /// Pre-combined off-path aggregate `I` for the next insertion slot
+    /// (outer `None` = not prepared; inner `None` = all siblings absent).
+    precombined: Option<Option<Arc<V>>>,
+    /// Leaf insertion deferred to the next background step: (slot, value).
+    pending: Option<(usize, Option<Arc<V>>)>,
+    /// Equivalent root produced by the split-mode shortcut while `pending`
+    /// has not yet been applied to the tree.
+    root_override: Option<Option<Arc<V>>>,
+}
+
+impl<V> RotatingTree<V> {
+    /// Creates an empty rotating tree with `capacity` bucket slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rotating tree needs at least one bucket slot");
+        let width = capacity.next_power_of_two();
+        RotatingTree {
+            capacity,
+            width,
+            nodes: vec![None; 2 * width],
+            filled: 0,
+            next_victim: 0,
+            present: 0,
+            precombined: None,
+            pending: None,
+            root_override: None,
+        }
+    }
+
+    /// Number of bucket slots in the window.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True once every slot has been filled at least once.
+    pub fn is_full(&self) -> bool {
+        self.filled >= self.capacity
+    }
+
+    /// The slot the next insertion will target.
+    fn next_slot(&self) -> usize {
+        if self.is_full() {
+            self.next_victim
+        } else {
+            self.filled
+        }
+    }
+
+    /// Writes `value` into `slot` and recombines the path to the root.
+    fn set_leaf<K>(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        phase: Phase,
+        slot: usize,
+        value: Option<Arc<V>>,
+    ) where
+        V: Send + Sync,
+    {
+        let mut node = self.width + slot;
+        if self.nodes[node].is_some() {
+            self.present -= 1;
+        }
+        if value.is_some() {
+            self.present += 1;
+        }
+        self.nodes[node] = value;
+        while node > 1 {
+            let sibling = node ^ 1;
+            if let Some(s) = &self.nodes[sibling] {
+                cx.reuse(s);
+            }
+            let parent = node / 2;
+            self.nodes[parent] = match (&self.nodes[node], &self.nodes[sibling]) {
+                (Some(a), Some(b)) => {
+                    // Merge in left-right order for determinism; correctness
+                    // relies on commutativity, checked at rotation time.
+                    let (l, r) = if node < sibling { (a, b) } else { (b, a) };
+                    Some(cx.merge(phase, l, r))
+                }
+                (Some(a), None) => Some(Arc::clone(a)),
+                (None, Some(b)) => Some(Arc::clone(b)),
+                (None, None) => None,
+            };
+            node = parent;
+        }
+    }
+
+    /// Applies a deferred split-mode insertion, charging `phase`.
+    fn flush_pending<K>(&mut self, cx: &mut TreeCx<'_, K, V>, phase: Phase)
+    where
+        V: Send + Sync,
+    {
+        if let Some((slot, value)) = self.pending.take() {
+            self.set_leaf(cx, phase, slot, value);
+        }
+        self.root_override = None;
+    }
+
+    /// Pre-combines the off-path siblings of `slot` bottom-up.
+    fn combine_off_path<K>(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        phase: Phase,
+        slot: usize,
+    ) -> Option<Arc<V>>
+    where
+        V: Send + Sync,
+    {
+        let mut node = self.width + slot;
+        let mut acc: Option<Arc<V>> = None;
+        while node > 1 {
+            let sibling = node ^ 1;
+            if let Some(s) = &self.nodes[sibling] {
+                cx.reuse(s);
+                acc = Some(match acc {
+                    Some(a) => cx.merge(phase, &a, s),
+                    None => Arc::clone(s),
+                });
+            }
+            node /= 2;
+        }
+        acc
+    }
+
+    /// Performs one rotation (or fill) with `value` in normal mode.
+    fn insert<K>(&mut self, cx: &mut TreeCx<'_, K, V>, value: Option<Arc<V>>)
+    where
+        V: Send + Sync,
+    {
+        let slot = self.next_slot();
+        let was_full = self.is_full();
+        self.set_leaf(cx, Phase::Foreground, slot, value);
+        if was_full {
+            self.next_victim = (self.next_victim + 1) % self.capacity;
+        } else {
+            self.filled += 1;
+        }
+        self.precombined = None;
+    }
+}
+
+impl<V> fmt::Debug for RotatingTree<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RotatingTree")
+            .field("capacity", &self.capacity)
+            .field("filled", &self.filled)
+            .field("present", &self.present)
+            .field("next_victim", &self.next_victim)
+            .field("pending", &self.pending.is_some())
+            .finish()
+    }
+}
+
+impl<K, V> ContractionTree<K, V> for RotatingTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
+        let capacity = self.capacity.max(leaves.len());
+        *self = RotatingTree::new(capacity);
+        cx.note_added(leaves.iter().filter(|l| l.is_some()).count() as u64);
+        // Bottom-up construction (paper §4.1 initial run: buckets combined
+        // "in pairs hierarchically"): exactly one merge per internal node
+        // with two present children, instead of one path update per leaf.
+        self.filled = leaves.len();
+        self.present = leaves.iter().filter(|l| l.is_some()).count();
+        for (slot, value) in leaves.into_iter().enumerate() {
+            self.nodes[self.width + slot] = value;
+        }
+        for node in (1..self.width).rev() {
+            self.nodes[node] = match (&self.nodes[2 * node], &self.nodes[2 * node + 1]) {
+                (Some(a), Some(b)) => Some(cx.merge(Phase::Foreground, a, b)),
+                (Some(a), None) => Some(Arc::clone(a)),
+                (None, Some(b)) => Some(Arc::clone(b)),
+                (None, None) => None,
+            };
+        }
+    }
+
+    fn advance(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        remove: usize,
+        added: Vec<Option<Arc<V>>>,
+    ) -> Result<(), TreeError> {
+        if !self.is_full() {
+            // Fill phase: nothing may be removed yet.
+            if remove != 0 {
+                return Err(TreeError::FixedWidthViolation { removed: remove, added: added.len() });
+            }
+            if self.filled + added.len() > self.capacity {
+                return Err(TreeError::CapacityExceeded {
+                    capacity: self.capacity,
+                    attempted: self.filled + added.len(),
+                });
+            }
+            cx.note_added(added.iter().filter(|l| l.is_some()).count() as u64);
+            for value in added {
+                self.insert(cx, value);
+            }
+            return Ok(());
+        }
+
+        if remove != added.len() {
+            return Err(TreeError::FixedWidthViolation { removed: remove, added: added.len() });
+        }
+        if !cx.is_commutative() {
+            return Err(TreeError::CombinerNotCommutative);
+        }
+        cx.note_removed(remove as u64);
+        cx.note_added(added.iter().filter(|l| l.is_some()).count() as u64);
+
+        let mut added = added.into_iter();
+        // Split-mode shortcut: a single rotation with a prepared off-path
+        // aggregate needs one foreground merge; the structural update is
+        // deferred to the next background step.
+        if remove == 1 && self.pending.is_none() {
+            if let Some(off_path) = self.precombined.take() {
+                let value = added.next().expect("remove == added.len() == 1");
+                let root = match (&value, &off_path) {
+                    (Some(v), Some(i)) => Some(cx.merge(Phase::Foreground, v, i)),
+                    (Some(v), None) => Some(Arc::clone(v)),
+                    (None, Some(i)) => Some(Arc::clone(i)),
+                    (None, None) => None,
+                };
+                self.root_override = Some(root);
+                self.pending = Some((self.next_victim, value));
+                // present/len bookkeeping happens when the pending insert is
+                // flushed; the victim rotates now so a subsequent advance
+                // targets the right slot.
+                self.next_victim = (self.next_victim + 1) % self.capacity;
+                return Ok(());
+            }
+        }
+
+        // Normal mode: apply rotations eagerly on the foreground path.
+        self.flush_pending(cx, Phase::Foreground);
+        for value in added {
+            self.insert(cx, value);
+        }
+        Ok(())
+    }
+
+    fn advance_absent(&mut self, cx: &mut TreeCx<'_, K, V>) -> Result<(), TreeError> {
+        if !self.is_full() {
+            // During fill the slot is simply consumed while staying absent.
+            self.insert(cx, None);
+            return Ok(());
+        }
+        // The rotation must not drop a present leaf silently; the pending
+        // slot (if any) is a *different*, already-rotated slot and can stay
+        // deferred.
+        if self.nodes[self.width + self.next_victim].is_some() {
+            return Err(TreeError::FixedWidthViolation { removed: 1, added: 0 });
+        }
+        self.next_victim = (self.next_victim + 1) % self.capacity;
+        // The prepared off-path aggregate targeted the old victim slot.
+        self.precombined = None;
+        Ok(())
+    }
+
+    fn preprocess(&mut self, cx: &mut TreeCx<'_, K, V>) {
+        // Background step one: apply the deferred insertion.
+        self.flush_pending(cx, Phase::Background);
+        // Background step two: pre-combine the off-path aggregate for the
+        // next insertion slot.
+        let slot = self.next_slot();
+        let off_path = self.combine_off_path(cx, Phase::Background, slot);
+        self.precombined = Some(off_path);
+    }
+
+    fn root(&self) -> Option<Arc<V>> {
+        if let Some(root) = &self.root_override {
+            return root.clone();
+        }
+        self.nodes[1].clone()
+    }
+
+    fn len(&self) -> usize {
+        let pending_adjust = match &self.pending {
+            Some((slot, value)) => {
+                let old = self.nodes[self.width + slot].is_some() as isize;
+                let new = value.is_some() as isize;
+                new - old
+            }
+            None => 0,
+        };
+        (self.present as isize + pending_adjust) as usize
+    }
+
+    fn height(&self) -> usize {
+        if ContractionTree::<K, V>::is_empty(self) {
+            0
+        } else {
+            self.width.trailing_zeros() as usize + 1
+        }
+    }
+
+    fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
+        let mut bytes = 0;
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            let Some(v) = node else { continue };
+            let pass_through = i < self.width && {
+                [self.nodes.get(2 * i), self.nodes.get(2 * i + 1)]
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .any(|c| Arc::ptr_eq(c, v))
+            };
+            if !pass_through {
+                bytes += combiner.value_bytes(key, v);
+            }
+        }
+        if let Some(Some(i)) = &self.precombined {
+            bytes += combiner.value_bytes(key, i);
+        }
+        bytes
+    }
+
+    fn kind(&self) -> TreeKind {
+        TreeKind::Rotating
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::FnCombiner;
+    use crate::stats::UpdateStats;
+
+    fn sum_combiner() -> FnCombiner<impl Fn(&u8, &u64, &u64) -> u64> {
+        FnCombiner::new(|_: &u8, a: &u64, b: &u64| a + b)
+    }
+
+    fn leaves(values: &[u64]) -> Vec<Option<Arc<u64>>> {
+        values.iter().map(|v| Some(Arc::new(*v))).collect()
+    }
+
+    fn root_of(tree: &RotatingTree<u64>) -> Option<u64> {
+        ContractionTree::<u8, u64>::root(tree).map(|v| *v)
+    }
+
+    #[test]
+    fn fill_then_rotate_matches_reference() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(4);
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
+        assert_eq!(root_of(&tree), Some(10));
+        assert!(tree.is_full());
+
+        // Slide by one bucket: 1 drops out, 5 comes in.
+        tree.advance(&mut cx, 1, leaves(&[5])).unwrap();
+        assert_eq!(root_of(&tree), Some(2 + 3 + 4 + 5));
+        // Slide again: 2 drops out.
+        tree.advance(&mut cx, 1, leaves(&[6])).unwrap();
+        assert_eq!(root_of(&tree), Some(3 + 4 + 5 + 6));
+    }
+
+    #[test]
+    fn rotation_is_logarithmic() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(256);
+        tree.rebuild(&mut cx, leaves(&(0..256).collect::<Vec<_>>()));
+
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.advance(&mut cx, 1, leaves(&[999])).unwrap();
+        assert_eq!(root_of(&tree), Some((1..256).sum::<u64>() + 999));
+        assert!(stats.foreground.merges <= 8, "merges = {}", stats.foreground.merges);
+    }
+
+    #[test]
+    fn split_mode_foreground_is_one_merge() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(64);
+        tree.rebuild(&mut cx, leaves(&(0..64).collect::<Vec<_>>()));
+
+        // Background: prepare I for the next victim (slot 0).
+        let mut bg_stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut bg_stats);
+        tree.preprocess(&mut cx);
+        assert!(bg_stats.background.merges > 0);
+        assert_eq!(bg_stats.foreground.merges, 0);
+
+        // Foreground: a single merge produces the new root.
+        let mut fg_stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut fg_stats);
+        tree.advance(&mut cx, 1, leaves(&[1000])).unwrap();
+        assert_eq!(fg_stats.foreground.merges, 1);
+        assert_eq!(root_of(&tree), Some((1..64).sum::<u64>() + 1000));
+
+        // The deferred insertion lands in the next background step and the
+        // root stays correct.
+        let mut bg2 = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut bg2);
+        tree.preprocess(&mut cx);
+        assert!(bg2.background.merges > 0);
+        assert_eq!(root_of(&tree), Some((1..64).sum::<u64>() + 1000));
+    }
+
+    #[test]
+    fn split_mode_repeated_slides_stay_correct() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut tree = RotatingTree::new(8);
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, leaves(&(0..8).collect::<Vec<_>>()));
+
+        let mut reference: std::collections::VecDeque<u64> = (0..8).collect();
+        for i in 0..30u64 {
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            tree.preprocess(&mut cx);
+
+            let value = 100 + i;
+            reference.pop_front();
+            reference.push_back(value);
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            tree.advance(&mut cx, 1, leaves(&[value])).unwrap();
+            assert_eq!(root_of(&tree), Some(reference.iter().sum::<u64>()), "slide {i}");
+        }
+    }
+
+    #[test]
+    fn absent_buckets_are_handled() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(4);
+        tree.rebuild(
+            &mut cx,
+            vec![Some(Arc::new(1)), None, Some(Arc::new(3)), None],
+        );
+        assert_eq!(root_of(&tree), Some(4));
+        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 2);
+
+        // Rotate an absent bucket in over a present one (slot 0).
+        tree.advance(&mut cx, 1, vec![None]).unwrap();
+        assert_eq!(root_of(&tree), Some(3));
+        // Rotate a present bucket over an absent one (slot 1).
+        tree.advance(&mut cx, 1, leaves(&[7])).unwrap();
+        assert_eq!(root_of(&tree), Some(10));
+    }
+
+    #[test]
+    fn absent_buckets_in_split_mode() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(4);
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
+        tree.preprocess(&mut cx);
+        tree.advance(&mut cx, 1, vec![None]).unwrap();
+        assert_eq!(root_of(&tree), Some(2 + 3 + 4));
+        tree.preprocess(&mut cx);
+        assert_eq!(root_of(&tree), Some(2 + 3 + 4));
+        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 3);
+    }
+
+    #[test]
+    fn non_commutative_combiner_is_rejected_on_rotation() {
+        let combiner =
+            FnCombiner::non_commutative(|_: &u8, a: &u64, b: &u64| a * 10 + b);
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(2);
+        tree.rebuild(&mut cx, leaves(&[1, 2]));
+        let err = tree.advance(&mut cx, 1, leaves(&[3])).unwrap_err();
+        assert_eq!(err, TreeError::CombinerNotCommutative);
+    }
+
+    #[test]
+    fn fixed_width_violations_are_rejected() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(4);
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
+        assert!(matches!(
+            tree.advance(&mut cx, 2, leaves(&[9])),
+            Err(TreeError::FixedWidthViolation { removed: 2, added: 1 })
+        ));
+        // Overfilling during the fill phase is also rejected.
+        let mut tree = RotatingTree::new(2);
+        tree.rebuild(&mut cx, leaves(&[1]));
+        assert!(matches!(
+            tree.advance(&mut cx, 0, leaves(&[2, 3])),
+            Err(TreeError::CapacityExceeded { capacity: 2, attempted: 3 })
+        ));
+    }
+
+    #[test]
+    fn advance_absent_rotates_the_victim_pointer() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(3);
+        // Key present only in bucket 1 of 3.
+        tree.rebuild(&mut cx, vec![None, Some(Arc::new(7)), None]);
+        assert_eq!(root_of(&tree), Some(7));
+
+        // Window slides past slot 0 (absent for this key): zero merges.
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        ContractionTree::<u8, u64>::advance_absent(&mut tree, &mut cx).unwrap();
+        assert_eq!(stats.total_merges(), 0);
+        assert_eq!(root_of(&tree), Some(7));
+
+        // Next slide drops slot 1, where the key IS present: a silent
+        // absent-rotation must be rejected...
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        assert!(ContractionTree::<u8, u64>::advance_absent(&mut tree, &mut cx).is_err());
+        // ...and the explicit removal works.
+        tree.advance(&mut cx, 1, vec![None]).unwrap();
+        assert_eq!(root_of(&tree), None);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_works() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(5);
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4, 5]));
+        assert_eq!(root_of(&tree), Some(15));
+        for i in 0..12u64 {
+            tree.advance(&mut cx, 1, leaves(&[10 + i])).unwrap();
+        }
+        // Window is now the last 5 inserted: 17..=21.
+        assert_eq!(root_of(&tree), Some(17 + 18 + 19 + 20 + 21));
+    }
+}

@@ -1,0 +1,152 @@
+//! Work accounting for contraction-tree updates.
+//!
+//! The paper's evaluation distinguishes *foreground* processing (on the
+//! critical path of producing an updated output) from *background
+//! pre-processing* (§4's split processing mode, run on a best-effort basis
+//! after the result was returned). [`UpdateStats`] keeps the two separate so
+//! the host engine can charge them to different phases of the simulated
+//! cluster schedule.
+
+use std::ops::AddAssign;
+
+/// Which processing phase a combiner invocation is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// On the critical path of the current incremental run.
+    Foreground,
+    /// Best-effort pre-processing for the *next* incremental run.
+    Background,
+}
+
+/// Work performed in one phase: number of combiner invocations and their
+/// modeled cost in abstract work units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseWork {
+    /// Number of combiner (merge) invocations executed.
+    pub merges: u64,
+    /// Total modeled cost of those invocations, in work units.
+    pub work: u64,
+}
+
+impl PhaseWork {
+    /// Records one merge of the given cost.
+    pub fn record(&mut self, cost: u64) {
+        self.merges += 1;
+        self.work += cost;
+    }
+
+    /// True if no work was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.merges == 0 && self.work == 0
+    }
+}
+
+impl AddAssign for PhaseWork {
+    fn add_assign(&mut self, rhs: PhaseWork) {
+        self.merges += rhs.merges;
+        self.work += rhs.work;
+    }
+}
+
+/// Statistics accumulated over one or more contraction-tree operations.
+///
+/// ```
+/// use slider_core::{Phase, UpdateStats};
+/// let mut stats = UpdateStats::default();
+/// stats.phase_mut(Phase::Foreground).record(10);
+/// stats.reused += 3;
+/// assert_eq!(stats.foreground.work, 10);
+/// assert_eq!(stats.total_merges(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Merges executed on the critical path.
+    pub foreground: PhaseWork,
+    /// Merges executed as background pre-processing (split mode).
+    pub background: PhaseWork,
+    /// Memoized sub-computations reused instead of re-executed: untouched
+    /// siblings consumed along recompute paths plus memo-cache hits.
+    pub reused: u64,
+    /// Leaves appended across the recorded operations.
+    pub leaves_added: u64,
+    /// Leaves dropped across the recorded operations.
+    pub leaves_removed: u64,
+    /// Modeled bytes of freshly produced (and hence memoized) aggregates,
+    /// per the combiner's `value_bytes`. Feeds the memoization-I/O part of
+    /// the work model.
+    pub bytes_written: u64,
+    /// Modeled bytes of memoized aggregates read (reused) along recompute
+    /// paths.
+    pub bytes_read: u64,
+}
+
+impl UpdateStats {
+    /// Mutable access to the accumulator for `phase`.
+    pub fn phase_mut(&mut self, phase: Phase) -> &mut PhaseWork {
+        match phase {
+            Phase::Foreground => &mut self.foreground,
+            Phase::Background => &mut self.background,
+        }
+    }
+
+    /// Total merges across both phases.
+    pub fn total_merges(&self) -> u64 {
+        self.foreground.merges + self.background.merges
+    }
+
+    /// Total modeled work across both phases.
+    pub fn total_work(&self) -> u64 {
+        self.foreground.work + self.background.work
+    }
+
+    /// Folds another statistics record into this one.
+    pub fn merge_from(&mut self, other: &UpdateStats) {
+        self.foreground += other.foreground;
+        self.background += other.background;
+        self.reused += other.reused;
+        self.leaves_added += other.leaves_added;
+        self.leaves_removed += other.leaves_removed;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut w = PhaseWork::default();
+        w.record(5);
+        w.record(7);
+        assert_eq!(w, PhaseWork { merges: 2, work: 12 });
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn phase_mut_routes_to_right_accumulator() {
+        let mut s = UpdateStats::default();
+        s.phase_mut(Phase::Background).record(4);
+        assert!(s.foreground.is_empty());
+        assert_eq!(s.background.work, 4);
+        assert_eq!(s.total_work(), 4);
+    }
+
+    #[test]
+    fn merge_from_sums_everything() {
+        let mut a = UpdateStats::default();
+        a.phase_mut(Phase::Foreground).record(1);
+        a.leaves_added = 2;
+        let mut b = UpdateStats::default();
+        b.phase_mut(Phase::Background).record(3);
+        b.reused = 5;
+        b.leaves_removed = 1;
+        a.merge_from(&b);
+        assert_eq!(a.total_merges(), 2);
+        assert_eq!(a.total_work(), 4);
+        assert_eq!(a.reused, 5);
+        assert_eq!(a.leaves_added, 2);
+        assert_eq!(a.leaves_removed, 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! The common [`ContractionTree`] interface shared by every tree in the
+//! family, plus the [`TreeKind`] factory used by the host engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::coalescing::CoalescingTree;
+use crate::combiner::Combiner;
+use crate::error::TreeError;
+use crate::folding::FoldingTree;
+use crate::randomized::RandomizedFoldingTree;
+use crate::rotating::RotatingTree;
+use crate::stats::{Phase, UpdateStats};
+use crate::strawman::StrawmanTree;
+
+/// Selects a member of the self-adjusting contraction tree family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeKind {
+    /// §2.2 memoization-only baseline.
+    Strawman,
+    /// §3.1 folding tree for variable-width windows.
+    Folding,
+    /// §3.2 randomized (skip-list style) folding tree.
+    RandomizedFolding,
+    /// §4.1 rotating tree for fixed-width windows.
+    Rotating,
+    /// §4.2 coalescing tree for append-only windows.
+    Coalescing,
+}
+
+impl TreeKind {
+    /// All kinds, in paper order.
+    pub const ALL: [TreeKind; 5] = [
+        TreeKind::Strawman,
+        TreeKind::Folding,
+        TreeKind::RandomizedFolding,
+        TreeKind::Rotating,
+        TreeKind::Coalescing,
+    ];
+
+    /// Short lowercase name used in harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeKind::Strawman => "strawman",
+            TreeKind::Folding => "folding",
+            TreeKind::RandomizedFolding => "randomized",
+            TreeKind::Rotating => "rotating",
+            TreeKind::Coalescing => "coalescing",
+        }
+    }
+
+    /// Whether this kind supports split (background/foreground) processing.
+    pub fn supports_split_processing(self) -> bool {
+        matches!(self, TreeKind::Rotating | TreeKind::Coalescing)
+    }
+}
+
+impl fmt::Display for TreeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-operation context handed to a tree: the application combiner, the key
+/// the tree aggregates, and the statistics accumulator.
+///
+/// All combiner invocations made by a tree flow through [`TreeCx::merge`] so
+/// that every unit of work is attributed to the right [`Phase`].
+pub struct TreeCx<'a, K, V> {
+    combiner: &'a dyn Combiner<K, V>,
+    key: &'a K,
+    stats: &'a mut UpdateStats,
+}
+
+impl<'a, K, V> TreeCx<'a, K, V> {
+    /// Bundles a combiner, key and statistics sink.
+    pub fn new(
+        combiner: &'a dyn Combiner<K, V>,
+        key: &'a K,
+        stats: &'a mut UpdateStats,
+    ) -> Self {
+        TreeCx { combiner, key, stats }
+    }
+
+    /// The key this tree aggregates.
+    pub fn key(&self) -> &K {
+        self.key
+    }
+
+    /// Whether the application combiner is commutative.
+    pub fn is_commutative(&self) -> bool {
+        self.combiner.is_commutative()
+    }
+
+    /// Executes one combiner invocation, charging its cost to `phase` and
+    /// recording the memoization bytes the fresh aggregate occupies.
+    pub fn merge(&mut self, phase: Phase, a: &Arc<V>, b: &Arc<V>) -> Arc<V> {
+        let cost = self.combiner.cost(self.key, a, b);
+        self.stats.phase_mut(phase).record(cost);
+        let out = Arc::new(self.combiner.combine(self.key, a, b));
+        self.stats.bytes_written += self.combiner.value_bytes(self.key, &out);
+        out
+    }
+
+    /// Left-folds a sequence of aggregates into one, charging to `phase`.
+    /// Returns `None` for an empty sequence.
+    pub fn fold(
+        &mut self,
+        phase: Phase,
+        parts: impl IntoIterator<Item = Arc<V>>,
+    ) -> Option<Arc<V>> {
+        let mut iter = parts.into_iter();
+        let first = iter.next()?;
+        let mut acc = first;
+        for part in iter {
+            acc = self.merge(phase, &acc, &part);
+        }
+        Some(acc)
+    }
+
+    /// Records reuse of `n` memoized sub-computations.
+    pub fn note_reused(&mut self, n: u64) {
+        self.stats.reused += n;
+    }
+
+    /// Records reuse of one memoized aggregate, including the bytes the
+    /// contraction phase reads to consume it.
+    pub fn reuse(&mut self, v: &Arc<V>) {
+        self.stats.reused += 1;
+        self.stats.bytes_read += self.combiner.value_bytes(self.key, v);
+    }
+
+    /// Records `n` appended leaves.
+    pub fn note_added(&mut self, n: u64) {
+        self.stats.leaves_added += n;
+    }
+
+    /// Records `n` dropped leaves.
+    pub fn note_removed(&mut self, n: u64) {
+        self.stats.leaves_removed += n;
+    }
+
+    /// Modeled byte size of a partial aggregate (for space accounting).
+    pub fn value_bytes(&self, v: &V) -> u64 {
+        self.combiner.value_bytes(self.key, v)
+    }
+}
+
+impl<K, V> fmt::Debug for TreeCx<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreeCx").field("stats", &self.stats).finish_non_exhaustive()
+    }
+}
+
+/// Object-safe interface implemented by every self-adjusting contraction
+/// tree.
+///
+/// A tree aggregates the per-split partial values of **one key**. Leaves are
+/// ordered oldest-to-newest; the window only ever shrinks at the front and
+/// grows at the back (arbitrary amounts for the variable-width trees).
+///
+/// Leaves are `Option<Arc<V>>`: a `None` leaf is a window slot in which this
+/// key did not appear (relevant for the slot-addressed rotating tree; the
+/// other trees simply skip absent leaves).
+pub trait ContractionTree<K, V>: fmt::Debug + Send {
+    /// Discards all state and rebuilds from `leaves` (the paper's *initial
+    /// run*). All construction work is charged to the foreground phase.
+    fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>);
+
+    /// Slides the window: drops `remove` leaves from the front and appends
+    /// `added` at the back, then propagates the change to the root.
+    ///
+    /// For the rotating tree `remove`/`added` are counted in bucket *slots*;
+    /// for all other trees `None` additions are skipped and `remove` counts
+    /// present leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] if the slide violates the tree's window
+    /// discipline (see the error variants); the tree is left unchanged.
+    fn advance(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        remove: usize,
+        added: Vec<Option<Arc<V>>>,
+    ) -> Result<(), TreeError>;
+
+    /// Notifies the tree that the window slid by one slot *without touching
+    /// this key*: the dropped slot and the added slot are both absent for
+    /// it.
+    ///
+    /// Only the slot-addressed rotating tree has state to update (its victim
+    /// pointer rotates); for every other tree this is a no-op because absent
+    /// leaves are never stored.
+    ///
+    /// # Errors
+    ///
+    /// The rotating tree returns an error if its victim slot actually holds
+    /// a leaf for this key — the host engine failed to report a removal.
+    fn advance_absent(&mut self, _cx: &mut TreeCx<'_, K, V>) -> Result<(), TreeError> {
+        Ok(())
+    }
+
+    /// Background pre-processing (§4 split mode): performs deferred and
+    /// anticipatory merges off the critical path. A no-op for trees without
+    /// split support.
+    fn preprocess(&mut self, _cx: &mut TreeCx<'_, K, V>) {}
+
+    /// The single aggregate equivalent to combining the whole window, or
+    /// `None` for an empty window.
+    ///
+    /// In split mode this may force deferred merges conceptually; trees keep
+    /// it cheap by returning the most recently produced equivalent root.
+    fn root(&self) -> Option<Arc<V>>;
+
+    /// The partial aggregates to hand the Reduce task. Usually one part
+    /// (the root); the coalescing tree in split mode returns the previous
+    /// root plus the fresh delta (§4.2). Empty if the window is empty.
+    fn reduce_parts(&self) -> Vec<Arc<V>> {
+        self.root().into_iter().collect()
+    }
+
+    /// Number of present leaves in the window.
+    fn len(&self) -> usize;
+
+    /// True if the window holds no present leaves.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current tree height in levels (a single leaf has height 1; an empty
+    /// tree has height 0).
+    fn height(&self) -> usize;
+
+    /// Memoization footprint in bytes, per the combiner's `value_bytes`.
+    fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64;
+
+    /// Which family member this is.
+    fn kind(&self) -> TreeKind;
+}
+
+/// Builds a fresh tree of the requested kind.
+///
+/// `capacity` is the number of bucket slots for [`TreeKind::Rotating`]
+/// (ignored by the other kinds; pass 0).
+pub fn build_tree<K, V>(kind: TreeKind, capacity: usize) -> Box<dyn ContractionTree<K, V>>
+where
+    K: Send + 'static,
+    V: Send + Sync + 'static,
+{
+    match kind {
+        TreeKind::Strawman => Box::new(StrawmanTree::new()),
+        TreeKind::Folding => Box::new(FoldingTree::new()),
+        TreeKind::RandomizedFolding => Box::new(RandomizedFoldingTree::new()),
+        TreeKind::Rotating => Box::new(RotatingTree::new(capacity.max(1))),
+        TreeKind::Coalescing => Box::new(CoalescingTree::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::FnCombiner;
+
+    #[test]
+    fn kind_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            TreeKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), TreeKind::ALL.len());
+    }
+
+    #[test]
+    fn split_support_matches_paper() {
+        assert!(TreeKind::Rotating.supports_split_processing());
+        assert!(TreeKind::Coalescing.supports_split_processing());
+        assert!(!TreeKind::Folding.supports_split_processing());
+        assert!(!TreeKind::RandomizedFolding.supports_split_processing());
+        assert!(!TreeKind::Strawman.supports_split_processing());
+    }
+
+    #[test]
+    fn cx_merge_counts_work() {
+        let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a + b);
+        let mut stats = UpdateStats::default();
+        let key = 0u8;
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let out = cx.merge(Phase::Foreground, &Arc::new(1), &Arc::new(2));
+        assert_eq!(*out, 3);
+        assert_eq!(stats.foreground.merges, 1);
+    }
+
+    #[test]
+    fn cx_fold_handles_empty_and_single() {
+        let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a + b);
+        let mut stats = UpdateStats::default();
+        let key = 0u8;
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        assert!(cx.fold(Phase::Foreground, Vec::new()).is_none());
+        let one = cx.fold(Phase::Foreground, vec![Arc::new(9)]).unwrap();
+        assert_eq!(*one, 9);
+        assert_eq!(stats.foreground.merges, 0, "single element folds for free");
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in TreeKind::ALL {
+            let tree = build_tree::<u8, u64>(kind, 4);
+            assert_eq!(tree.kind(), kind);
+            assert_eq!(tree.len(), 0);
+            assert!(tree.is_empty());
+            assert!(tree.root().is_none());
+        }
+    }
+}

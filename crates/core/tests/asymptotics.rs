@@ -1,0 +1,138 @@
+//! Empirical checks of the asymptotic claims in the paper (§3–§4 and the
+//! companion analysis): per-slide combiner work must grow logarithmically
+//! — not linearly — with the window for the self-adjusting trees, and
+//! linearly for the strawman under alignment-shifting slides.
+
+use std::sync::Arc;
+
+use slider_core::{build_tree, FnCombiner, TreeCx, TreeKind, UpdateStats};
+
+fn leaves(range: std::ops::Range<u64>) -> Vec<Option<Arc<u64>>> {
+    range.map(|v| Some(Arc::new(v))).collect()
+}
+
+/// Average merges per single-leaf slide at window size `n`.
+fn merges_per_slide(kind: TreeKind, n: u64) -> f64 {
+    let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
+    let key = 0u8;
+    let mut tree = build_tree::<u8, u64>(kind, n as usize);
+    let mut stats = UpdateStats::default();
+    let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+    tree.rebuild(&mut cx, leaves(0..n));
+
+    let rounds = 32u64;
+    let mut total = 0u64;
+    for i in 0..rounds {
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.advance(&mut cx, 1, leaves(n + i..n + i + 1)).unwrap();
+        total += stats.foreground.merges;
+    }
+    total as f64 / rounds as f64
+}
+
+#[test]
+fn folding_tree_slides_scale_logarithmically() {
+    let small = merges_per_slide(TreeKind::Folding, 256);
+    let large = merges_per_slide(TreeKind::Folding, 4096);
+    // 16x the window must cost roughly +log2(16) = +4 levels, nowhere near
+    // 16x the merges.
+    assert!(
+        large < small + 12.0,
+        "folding: {small} merges at 256 leaves vs {large} at 4096 — not logarithmic"
+    );
+    assert!(large < 4.0 * small, "folding grew superlogarithmically");
+}
+
+#[test]
+fn rotating_tree_slides_scale_logarithmically() {
+    let small = merges_per_slide(TreeKind::Rotating, 256);
+    let large = merges_per_slide(TreeKind::Rotating, 4096);
+    assert!(
+        large <= small + 5.0,
+        "rotating: {small} at 256 vs {large} at 4096 — path must be log(buckets)"
+    );
+}
+
+#[test]
+fn randomized_tree_slides_scale_logarithmically() {
+    let small = merges_per_slide(TreeKind::RandomizedFolding, 256);
+    let large = merges_per_slide(TreeKind::RandomizedFolding, 4096);
+    assert!(
+        large < 3.0 * small,
+        "randomized: {small} at 256 vs {large} at 4096 — expected O(log) growth"
+    );
+}
+
+#[test]
+fn coalescing_appends_are_constant() {
+    let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
+    let key = 0u8;
+    for n in [256u64, 4096] {
+        let mut tree = build_tree::<u8, u64>(TreeKind::Coalescing, 0);
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, leaves(0..n));
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.advance(&mut cx, 0, leaves(n..n + 1)).unwrap();
+        assert!(
+            stats.foreground.merges <= 2,
+            "append into {n}-leaf window cost {} merges",
+            stats.foreground.merges
+        );
+    }
+}
+
+#[test]
+fn strawman_slides_scale_linearly() {
+    let small = merges_per_slide(TreeKind::Strawman, 256);
+    let large = merges_per_slide(TreeKind::Strawman, 4096);
+    // Front-removal shifts every position: the strawman recomputes ~n
+    // merges per slide, so 16x the window is ~16x the merges.
+    assert!(
+        large > 8.0 * small,
+        "strawman: {small} at 256 vs {large} at 4096 — expected linear growth"
+    );
+    assert!(large > 2048.0, "strawman should redo most of the 4096-leaf window");
+}
+
+#[test]
+fn initial_run_is_always_linear_with_n_minus_1_merges() {
+    // Every tree performs exactly n-1 merges to aggregate n fresh leaves.
+    let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
+    let key = 0u8;
+    for kind in TreeKind::ALL {
+        let mut tree = build_tree::<u8, u64>(kind, 777);
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, leaves(0..777));
+        assert_eq!(
+            stats.foreground.merges, 776,
+            "{kind}: initial run must do exactly n-1 merges"
+        );
+        assert_eq!(*tree.root().unwrap(), (0..777).sum::<u64>());
+    }
+}
+
+#[test]
+fn memo_footprint_is_linear_in_the_window() {
+    // The number of memoized nodes (hence bytes) must be O(window), not
+    // O(window log window): each tree stores ≤ 2n aggregates.
+    let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
+    let key = 0u8;
+    for kind in [TreeKind::Folding, TreeKind::Rotating, TreeKind::RandomizedFolding] {
+        let n = 2048u64;
+        let mut tree = build_tree::<u8, u64>(kind, n as usize);
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, leaves(0..n));
+        let bytes = tree.memo_bytes(&combiner, &key);
+        let per_value = 16;
+        assert!(
+            bytes <= 2 * n * per_value + per_value,
+            "{kind}: footprint {bytes} exceeds 2n aggregates"
+        );
+        assert!(bytes >= n * per_value, "{kind}: footprint below the leaf count?");
+    }
+}

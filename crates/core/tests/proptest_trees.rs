@@ -1,0 +1,243 @@
+//! Property-based tests: every contraction tree must agree with a naive
+//! reference fold over arbitrary slide histories, and structural invariants
+//! (height bounds, window length) must hold throughout.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use slider_core::{
+    build_tree, Combiner, ContractionTree, FnCombiner, TreeCx, TreeKind, UpdateStats,
+};
+
+/// One window slide: drop `remove` leading leaves (capped to the window),
+/// append `add` values.
+#[derive(Debug, Clone)]
+struct Slide {
+    remove: usize,
+    add: Vec<u64>,
+    preprocess: bool,
+}
+
+fn slide_strategy(max_remove: usize, max_add: usize) -> impl Strategy<Value = Slide> {
+    (
+        0..=max_remove,
+        proptest::collection::vec(1u64..1_000, 0..=max_add),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(remove, add, preprocess)| Slide { remove, add, preprocess })
+}
+
+fn sum_combiner() -> impl Combiner<u8, u64> {
+    FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b))
+}
+
+fn leaves(values: &[u64]) -> Vec<Option<Arc<u64>>> {
+    values.iter().map(|v| Some(Arc::new(*v))).collect()
+}
+
+/// Applies a slide history to `kind` and checks the aggregate against a
+/// reference `VecDeque` after every step.
+fn check_variable_width(kind: TreeKind, initial: Vec<u64>, slides: Vec<Slide>) {
+    let combiner = sum_combiner();
+    let key = 0u8;
+    let mut tree = build_tree::<u8, u64>(kind, 0);
+    let mut reference: VecDeque<u64> = initial.iter().copied().collect();
+
+    let mut stats = UpdateStats::default();
+    let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+    tree.rebuild(&mut cx, leaves(&initial));
+
+    for slide in slides {
+        let remove = slide.remove.min(reference.len());
+        for _ in 0..remove {
+            reference.pop_front();
+        }
+        reference.extend(slide.add.iter().copied());
+
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.advance(&mut cx, remove, leaves(&slide.add)).unwrap();
+        if slide.preprocess {
+            tree.preprocess(&mut cx);
+        }
+
+        let expected: u64 = reference.iter().fold(0, |a, b| a.wrapping_add(*b));
+        let parts = tree.reduce_parts();
+        let got: u64 = parts.iter().map(|v| **v).fold(0, |a, b| a.wrapping_add(b));
+        if reference.is_empty() {
+            assert!(parts.is_empty(), "{kind}: parts for an empty window");
+        } else {
+            assert_eq!(got, expected, "{kind}: aggregate mismatch");
+        }
+        assert_eq!(tree.len(), reference.len(), "{kind}: window length mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn folding_matches_reference(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        slides in proptest::collection::vec(slide_strategy(30, 8), 0..24),
+    ) {
+        check_variable_width(TreeKind::Folding, initial, slides);
+    }
+
+    #[test]
+    fn randomized_matches_reference(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        slides in proptest::collection::vec(slide_strategy(30, 8), 0..24),
+    ) {
+        check_variable_width(TreeKind::RandomizedFolding, initial, slides);
+    }
+
+    #[test]
+    fn strawman_matches_reference(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        slides in proptest::collection::vec(slide_strategy(30, 8), 0..24),
+    ) {
+        check_variable_width(TreeKind::Strawman, initial, slides);
+    }
+
+    #[test]
+    fn coalescing_matches_reference(
+        initial in proptest::collection::vec(1u64..1_000, 0..16),
+        slides in proptest::collection::vec(slide_strategy(0, 6), 0..16),
+    ) {
+        // remove is always 0 for append-only windows.
+        check_variable_width(TreeKind::Coalescing, initial, slides);
+    }
+
+    #[test]
+    fn rotating_matches_reference(
+        capacity in 1usize..12,
+        fills in proptest::collection::vec(proptest::option::of(1u64..1_000), 0..12),
+        rotations in proptest::collection::vec(
+            (proptest::option::of(1u64..1_000), proptest::bool::ANY), 0..40),
+    ) {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut tree = build_tree::<u8, u64>(TreeKind::Rotating, capacity);
+        // Reference: a slot array of the most recent `capacity` buckets.
+        let mut slots: VecDeque<Option<u64>> = VecDeque::new();
+
+        let fills: Vec<Option<u64>> = fills.into_iter().take(capacity).collect();
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, fills.iter().map(|v| v.map(Arc::new)).collect());
+        slots.extend(fills.iter().copied());
+
+        for (value, preprocess) in rotations {
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            if preprocess {
+                tree.preprocess(&mut cx);
+            }
+            if slots.len() == capacity {
+                slots.pop_front();
+                tree.advance(&mut cx, 1, vec![value.map(Arc::new)]).unwrap();
+            } else {
+                tree.advance(&mut cx, 0, vec![value.map(Arc::new)]).unwrap();
+            }
+            slots.push_back(value);
+
+            let expected: Option<u64> = slots.iter().flatten().copied()
+                .reduce(|a, b| a.wrapping_add(b));
+            let got = tree.root().map(|v| *v);
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(tree.len(), slots.iter().flatten().count());
+        }
+    }
+
+    #[test]
+    fn folding_height_is_logarithmic_in_capacity(
+        initial in proptest::collection::vec(1u64..100, 1..200),
+        slides in proptest::collection::vec(slide_strategy(16, 16), 0..16),
+    ) {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut tree = slider_core::FoldingTree::new();
+        let mut live = initial.len();
+
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, leaves(&initial));
+        let mut max_ever = live;
+        for slide in slides {
+            let remove = slide.remove.min(live);
+            live = live - remove + slide.add.len();
+            max_ever = max_ever.max(live);
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            tree.advance(&mut cx, remove, leaves(&slide.add)).unwrap();
+        }
+        if live > 0 {
+            let height = ContractionTree::<u8, u64>::height(&tree);
+            // The capacity never exceeds 2 × the largest window ever held
+            // (each unfold doubles only when the previous capacity is full),
+            // so height ≤ log2(2 · next_pow2(max_ever)) + 1.
+            let bound = (2 * max_ever.next_power_of_two()).trailing_zeros() as usize + 2;
+            prop_assert!(
+                height <= bound,
+                "height {} exceeds bound {} (max window {})", height, bound, max_ever
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_work_is_sublinear_on_small_slides(
+        seed in 0u64..1_000,
+    ) {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut tree = slider_core::RandomizedFoldingTree::with_seed(seed);
+        let window: Vec<u64> = (0..512).collect();
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, leaves(&window));
+
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.advance(&mut cx, 1, leaves(&[7_777])).unwrap();
+        // A single-leaf slide must not redo anywhere near the whole window.
+        prop_assert!(
+            stats.foreground.merges < 150,
+            "seed {}: {} merges for a 1-leaf slide over 512 leaves",
+            seed,
+            stats.foreground.merges
+        );
+    }
+}
+
+/// Associativity sanity for a non-trivial combiner: the trees must produce
+/// identical results no matter how they internally parenthesize.
+#[test]
+fn all_trees_agree_with_each_other() {
+    let combiner = FnCombiner::new(|_: &u8, a: &Vec<u64>, b: &Vec<u64>| {
+        // Sorted-merge combiner (associative AND commutative).
+        let mut out = a.clone();
+        out.extend(b.iter().copied());
+        out.sort_unstable();
+        out
+    });
+    let key = 0u8;
+    let window: Vec<Vec<u64>> = (0..33).map(|i| vec![i * 3, i * 3 + 1]).collect();
+
+    let mut roots = Vec::new();
+    for kind in [TreeKind::Strawman, TreeKind::Folding, TreeKind::RandomizedFolding] {
+        let mut tree = build_tree::<u8, Vec<u64>>(kind, 0);
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.rebuild(&mut cx, window.iter().map(|v| Some(Arc::new(v.clone()))).collect());
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.advance(&mut cx, 5, vec![Some(Arc::new(vec![1000, 1001]))]).unwrap();
+        roots.push((kind, tree.root().map(|v| (*v).clone())));
+    }
+    let first = roots[0].1.clone();
+    for (kind, root) in &roots {
+        assert_eq!(root, &first, "{kind} disagrees");
+    }
+}

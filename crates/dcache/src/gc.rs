@@ -1,0 +1,37 @@
+//! Garbage-collection policies for the memoization layer (paper §6).
+
+/// How the master frees memoized state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcPolicy {
+    /// Never collect (useful for measuring raw space overheads, Fig 13(c)).
+    Disabled,
+    /// Automatically free objects whose producing epoch fell out of the
+    /// current window: an object from epoch `e` is collected once
+    /// `e + horizon < current_epoch`.
+    WindowBased {
+        /// Number of past epochs whose memoized state is retained.
+        horizon: u64,
+    },
+    /// A more aggressive user-defined policy: keep total indexed bytes
+    /// under a budget by evicting the oldest epochs first.
+    Aggressive {
+        /// Upper bound on total indexed bytes after collection.
+        max_total_bytes: u64,
+    },
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        GcPolicy::WindowBased { horizon: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_window_based() {
+        assert_eq!(GcPolicy::default(), GcPolicy::WindowBased { horizon: 1 });
+    }
+}

@@ -1,0 +1,559 @@
+//! The master-coordinated distributed cache with the shim I/O layer.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::gc::GcPolicy;
+use crate::store::InMemoryStore;
+
+/// Identifies a slave node of the memoization layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifies a memoized object (a contraction-tree node or task output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+/// Latency model of the storage tiers, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed overhead per operation (index lookup, RPC to the master).
+    pub per_op_seconds: f64,
+    /// Memory-tier read bandwidth, bytes/second.
+    pub memory_bytes_per_second: f64,
+    /// Persistent-tier (disk) read bandwidth, bytes/second.
+    pub disk_bytes_per_second: f64,
+    /// Network bandwidth for non-local reads, bytes/second.
+    pub network_bytes_per_second: f64,
+}
+
+impl LatencyModel {
+    /// Defaults loosely calibrated to 2014-era hardware (DDR vs. SATA disk
+    /// vs. GbE); only ratios matter for the reproduced shapes.
+    pub fn paper_defaults() -> Self {
+        LatencyModel {
+            per_op_seconds: 0.000_5,
+            memory_bytes_per_second: 4.0e9,
+            disk_bytes_per_second: 120.0e6,
+            network_bytes_per_second: 110.0e6,
+        }
+    }
+}
+
+/// Configuration of the distributed memoization layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Number of slave nodes.
+    pub nodes: usize,
+    /// Per-node memory-tier capacity, bytes.
+    pub memory_capacity_bytes: u64,
+    /// Whether the in-memory tier is enabled (Table 2 disables it to
+    /// quantify the savings).
+    pub memory_enabled: bool,
+    /// Number of persistent replicas per object (the paper uses 2).
+    pub replicas: usize,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Garbage-collection policy.
+    pub gc: GcPolicy,
+}
+
+impl CacheConfig {
+    /// Paper-like defaults for an `nodes`-worker cluster: 2 persistent
+    /// replicas, 1 GiB of memoization memory per node, window-based GC.
+    pub fn paper_defaults(nodes: usize) -> Self {
+        CacheConfig {
+            nodes,
+            memory_capacity_bytes: 1 << 30,
+            memory_enabled: true,
+            replicas: 2,
+            latency: LatencyModel::paper_defaults(),
+            gc: GcPolicy::WindowBased { horizon: 1 },
+        }
+    }
+}
+
+/// Where a read was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadSource {
+    /// In-memory tier on the reading node.
+    Memory,
+    /// In-memory tier on a remote node (network + memory).
+    RemoteMemory,
+    /// Persistent tier on the reading node.
+    LocalDisk,
+    /// Persistent tier on a remote node (network + disk).
+    RemoteDisk,
+}
+
+/// Result of a successful read through the shim I/O layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOutcome {
+    /// Simulated seconds the read took.
+    pub seconds: f64,
+    /// Tier and locality that served it.
+    pub source: ReadSource,
+    /// Object size in bytes.
+    pub bytes: u64,
+}
+
+/// Errors surfaced by cache operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// The object is not in the index (never stored, or collected).
+    NotFound(ObjectId),
+    /// The object is indexed but every replica is on failed nodes.
+    Unavailable(ObjectId),
+    /// A node id outside the configured cluster was used.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::NotFound(id) => write!(f, "object {} not found", id.0),
+            CacheError::Unavailable(id) => {
+                write!(f, "object {} unavailable: all replicas on failed nodes", id.0)
+            }
+            CacheError::UnknownNode(n) => write!(f, "unknown node n{}", n.0),
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+/// Aggregate statistics of the memoization layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Reads served by the local or remote memory tier.
+    pub memory_hits: u64,
+    /// Reads that fell back to a persistent replica.
+    pub disk_reads: u64,
+    /// Failed reads (object unavailable or collected).
+    pub failed_reads: u64,
+    /// Total simulated read seconds.
+    pub read_seconds: f64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Objects collected by the garbage collector.
+    pub collected: u64,
+    /// Memory-tier evictions across all nodes.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ObjectMeta {
+    bytes: u64,
+    /// Node whose memory tier holds the object (its "home").
+    home: NodeId,
+    /// Nodes holding persistent replicas.
+    replicas: Vec<NodeId>,
+    /// Epoch tag for window-based GC (the run that produced the object).
+    epoch: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    memory: InMemoryStore,
+    /// Persistent objects on this node (object -> bytes). Unbounded.
+    disk: HashMap<ObjectId, u64>,
+    alive: bool,
+}
+
+/// The distributed, fault-tolerant memoization cache (paper §6, Figure 6).
+///
+/// The master (this struct) keeps the object index; slaves hold an
+/// in-memory tier plus persistent replicas. See the crate docs for an
+/// example.
+#[derive(Debug)]
+pub struct DistributedCache {
+    config: CacheConfig,
+    nodes: Vec<Node>,
+    index: HashMap<ObjectId, ObjectMeta>,
+    stats: CacheStats,
+}
+
+impl DistributedCache {
+    /// Creates the cache with `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes or zero replicas.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.nodes > 0, "cache needs at least one node");
+        assert!(config.replicas > 0, "cache needs at least one persistent replica");
+        let nodes = (0..config.nodes)
+            .map(|_| Node {
+                memory: InMemoryStore::new(config.memory_capacity_bytes),
+                disk: HashMap::new(),
+                alive: true,
+            })
+            .collect();
+        DistributedCache { config, nodes, index: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Stores `object` of `bytes` with its memory copy on `home` and
+    /// `replicas` persistent copies on the following nodes, tagged with the
+    /// GC `epoch` of the producing run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is outside the cluster.
+    pub fn put(&mut self, object: ObjectId, bytes: u64, home: NodeId, epoch: u64) {
+        assert!(home.0 < self.nodes.len(), "unknown home node {home:?}");
+        let replicas: Vec<NodeId> = (0..self.config.replicas)
+            .map(|i| NodeId((home.0 + 1 + i) % self.nodes.len()))
+            .collect();
+        if self.config.memory_enabled && self.nodes[home.0].alive {
+            self.nodes[home.0].memory.put(object.0, bytes);
+        }
+        for &replica in &replicas {
+            if self.nodes[replica.0].alive {
+                self.nodes[replica.0].disk.insert(object, bytes);
+            }
+        }
+        self.index.insert(object, ObjectMeta { bytes, home, replicas, epoch });
+    }
+
+    /// Reads `object` from the perspective of `reader` through the shim
+    /// layer: memory first, then persistent replicas (local preferred).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::NotFound`] if the object was never stored or was
+    /// collected; [`CacheError::Unavailable`] if every replica is on failed
+    /// nodes; [`CacheError::UnknownNode`] for an out-of-range reader.
+    pub fn read(&mut self, object: ObjectId, reader: NodeId) -> Result<ReadOutcome, CacheError> {
+        if reader.0 >= self.nodes.len() {
+            return Err(CacheError::UnknownNode(reader));
+        }
+        let meta = match self.index.get(&object) {
+            Some(m) => m.clone(),
+            None => {
+                self.stats.failed_reads += 1;
+                return Err(CacheError::NotFound(object));
+            }
+        };
+        let lat = self.config.latency;
+
+        // 1. Memory tier on the home node.
+        if self.config.memory_enabled && self.nodes[meta.home.0].alive {
+            let hit = self.nodes[meta.home.0].memory.get(object.0).is_some();
+            if hit {
+                let (source, seconds) = if meta.home == reader {
+                    (
+                        ReadSource::Memory,
+                        lat.per_op_seconds + meta.bytes as f64 / lat.memory_bytes_per_second,
+                    )
+                } else {
+                    (
+                        ReadSource::RemoteMemory,
+                        lat.per_op_seconds + meta.bytes as f64 / lat.network_bytes_per_second,
+                    )
+                };
+                self.stats.memory_hits += 1;
+                self.stats.read_seconds += seconds;
+                self.stats.bytes_read += meta.bytes;
+                return Ok(ReadOutcome { seconds, source, bytes: meta.bytes });
+            }
+        }
+
+        // 2. Persistent tier: prefer a replica on the reading node.
+        let replica = meta
+            .replicas
+            .iter()
+            .copied()
+            .filter(|r| self.nodes[r.0].alive && self.nodes[r.0].disk.contains_key(&object))
+            .min_by_key(|r| if *r == reader { 0 } else { 1 });
+        let Some(replica) = replica else {
+            self.stats.failed_reads += 1;
+            return Err(CacheError::Unavailable(object));
+        };
+        let (source, seconds) = if replica == reader {
+            (
+                ReadSource::LocalDisk,
+                lat.per_op_seconds + meta.bytes as f64 / lat.disk_bytes_per_second,
+            )
+        } else {
+            (
+                ReadSource::RemoteDisk,
+                lat.per_op_seconds
+                    + meta.bytes as f64 / lat.disk_bytes_per_second
+                    + meta.bytes as f64 / lat.network_bytes_per_second,
+            )
+        };
+        // Promote back into memory on the home node (re-warm after failure
+        // or eviction).
+        if self.config.memory_enabled && self.nodes[meta.home.0].alive {
+            self.nodes[meta.home.0].memory.put(object.0, meta.bytes);
+        }
+        self.stats.disk_reads += 1;
+        self.stats.read_seconds += seconds;
+        self.stats.bytes_read += meta.bytes;
+        Ok(ReadOutcome { seconds, source, bytes: meta.bytes })
+    }
+
+    /// Deletes `object` everywhere. No-op if absent.
+    pub fn delete(&mut self, object: ObjectId) {
+        if let Some(meta) = self.index.remove(&object) {
+            self.nodes[meta.home.0].memory.remove(object.0);
+            for replica in meta.replicas {
+                self.nodes[replica.0].disk.remove(&object);
+            }
+        }
+    }
+
+    /// Runs the configured garbage-collection policy for `current_epoch`,
+    /// freeing memoized objects that fell out of the window (§6). Returns
+    /// the number of collected objects.
+    pub fn collect_garbage(&mut self, current_epoch: u64) -> u64 {
+        let victims: Vec<ObjectId> = match self.config.gc {
+            GcPolicy::Disabled => Vec::new(),
+            GcPolicy::WindowBased { horizon } => self
+                .index
+                .iter()
+                .filter(|(_, m)| m.epoch + horizon < current_epoch)
+                .map(|(id, _)| *id)
+                .collect(),
+            GcPolicy::Aggressive { max_total_bytes } => {
+                // Evict oldest epochs first until under budget.
+                let mut total: u64 = self.index.values().map(|m| m.bytes).sum();
+                let mut by_epoch: Vec<(u64, ObjectId, u64)> = self
+                    .index
+                    .iter()
+                    .map(|(id, m)| (m.epoch, *id, m.bytes))
+                    .collect();
+                by_epoch.sort_unstable();
+                let mut victims = Vec::new();
+                for (_, id, bytes) in by_epoch {
+                    if total <= max_total_bytes {
+                        break;
+                    }
+                    total -= bytes;
+                    victims.push(id);
+                }
+                victims
+            }
+        };
+        let n = victims.len() as u64;
+        for victim in victims {
+            self.delete(victim);
+        }
+        self.stats.collected += n;
+        n
+    }
+
+    /// Crashes `node`: its memory tier is wiped and its disk becomes
+    /// unavailable until [`DistributedCache::recover_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the cluster.
+    pub fn fail_node(&mut self, node: NodeId) {
+        let n = self.nodes.get_mut(node.0).expect("unknown node");
+        n.alive = false;
+        n.memory.clear();
+    }
+
+    /// Brings `node` back: its persistent objects become readable again
+    /// (the memory tier re-warms lazily via read promotion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the cluster.
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.nodes.get_mut(node.0).expect("unknown node").alive = true;
+    }
+
+    /// The home (memory-tier) node of `object`, if indexed. Schedulers use
+    /// this for memoization-aware placement.
+    pub fn home_of(&self, object: ObjectId) -> Option<NodeId> {
+        self.index.get(&object).map(|m| m.home)
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total indexed bytes (logical, not counting replication).
+    pub fn indexed_bytes(&self) -> u64 {
+        self.index.values().map(|m| m.bytes).sum()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = self.stats;
+        // The per-node stores are the authoritative eviction counters.
+        stats.evictions = self.nodes.iter().map(|n| n.memory.evictions()).sum();
+        stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(nodes: usize) -> DistributedCache {
+        DistributedCache::new(CacheConfig::paper_defaults(nodes))
+    }
+
+    #[test]
+    fn local_memory_read_is_fastest() {
+        let mut c = cache(4);
+        c.put(ObjectId(1), 1 << 20, NodeId(0), 0);
+        let mem = c.read(ObjectId(1), NodeId(0)).unwrap();
+        assert_eq!(mem.source, ReadSource::Memory);
+
+        // Same object read from another node goes over the network.
+        let remote = c.read(ObjectId(1), NodeId(2)).unwrap();
+        assert_eq!(remote.source, ReadSource::RemoteMemory);
+        assert!(remote.seconds > mem.seconds);
+    }
+
+    #[test]
+    fn disabled_memory_tier_reads_disk() {
+        let mut config = CacheConfig::paper_defaults(4);
+        config.memory_enabled = false;
+        let mut c = DistributedCache::new(config);
+        c.put(ObjectId(1), 1 << 20, NodeId(0), 0);
+        // Replicas land on nodes 1 and 2; reading from node 1 is local disk.
+        let out = c.read(ObjectId(1), NodeId(1)).unwrap();
+        assert_eq!(out.source, ReadSource::LocalDisk);
+        let out = c.read(ObjectId(1), NodeId(3)).unwrap();
+        assert_eq!(out.source, ReadSource::RemoteDisk);
+    }
+
+    #[test]
+    fn memory_tier_is_faster_than_disk() {
+        let bytes = 64 << 20;
+        let mut with_mem = cache(4);
+        with_mem.put(ObjectId(1), bytes, NodeId(0), 0);
+        let fast = with_mem.read(ObjectId(1), NodeId(0)).unwrap().seconds;
+
+        let mut config = CacheConfig::paper_defaults(4);
+        config.memory_enabled = false;
+        let mut no_mem = DistributedCache::new(config);
+        no_mem.put(ObjectId(1), bytes, NodeId(0), 0);
+        let slow = no_mem.read(ObjectId(1), NodeId(0)).unwrap().seconds;
+        assert!(
+            slow > 2.0 * fast,
+            "disk ({slow}) should be much slower than memory ({fast})"
+        );
+    }
+
+    #[test]
+    fn node_failure_falls_back_to_replicas() {
+        let mut c = cache(4);
+        c.put(ObjectId(1), 1024, NodeId(0), 0);
+        c.fail_node(NodeId(0));
+        // Memory copy is gone; replicas on nodes 1 and 2 still serve.
+        let out = c.read(ObjectId(1), NodeId(1)).unwrap();
+        assert_eq!(out.source, ReadSource::LocalDisk);
+
+        // All replicas down -> unavailable.
+        c.fail_node(NodeId(1));
+        c.fail_node(NodeId(2));
+        assert_eq!(
+            c.read(ObjectId(1), NodeId(3)).unwrap_err(),
+            CacheError::Unavailable(ObjectId(1))
+        );
+
+        // Recovery restores service.
+        c.recover_node(NodeId(1));
+        assert!(c.read(ObjectId(1), NodeId(3)).is_ok());
+    }
+
+    #[test]
+    fn read_promotes_back_into_memory() {
+        let mut c = cache(4);
+        c.put(ObjectId(1), 1024, NodeId(0), 0);
+        c.fail_node(NodeId(0));
+        c.recover_node(NodeId(0)); // memory wiped, disk replicas intact
+        let first = c.read(ObjectId(1), NodeId(0)).unwrap();
+        assert!(matches!(first.source, ReadSource::LocalDisk | ReadSource::RemoteDisk));
+        let second = c.read(ObjectId(1), NodeId(0)).unwrap();
+        assert_eq!(second.source, ReadSource::Memory, "promotion re-warms memory");
+    }
+
+    #[test]
+    fn window_gc_collects_expired_epochs() {
+        let mut c = cache(2);
+        c.put(ObjectId(1), 10, NodeId(0), 0);
+        c.put(ObjectId(2), 10, NodeId(0), 5);
+        let collected = c.collect_garbage(6);
+        assert_eq!(collected, 1, "epoch 0 expired, epoch 5 within horizon");
+        assert!(c.read(ObjectId(1), NodeId(0)).is_err());
+        assert!(c.read(ObjectId(2), NodeId(0)).is_ok());
+        assert_eq!(c.stats().collected, 1);
+    }
+
+    #[test]
+    fn aggressive_gc_respects_byte_budget() {
+        let mut config = CacheConfig::paper_defaults(2);
+        config.gc = GcPolicy::Aggressive { max_total_bytes: 25 };
+        let mut c = DistributedCache::new(config);
+        c.put(ObjectId(1), 10, NodeId(0), 0);
+        c.put(ObjectId(2), 10, NodeId(0), 1);
+        c.put(ObjectId(3), 10, NodeId(0), 2);
+        let collected = c.collect_garbage(3);
+        assert_eq!(collected, 1, "oldest epoch evicted to fit 25 bytes");
+        assert!(c.read(ObjectId(1), NodeId(0)).is_err());
+        assert_eq!(c.indexed_bytes(), 20);
+    }
+
+    #[test]
+    fn missing_object_is_not_found() {
+        let mut c = cache(2);
+        assert_eq!(
+            c.read(ObjectId(9), NodeId(0)).unwrap_err(),
+            CacheError::NotFound(ObjectId(9))
+        );
+        assert_eq!(c.stats().failed_reads, 1);
+    }
+
+    #[test]
+    fn unknown_reader_is_rejected() {
+        let mut c = cache(2);
+        c.put(ObjectId(1), 10, NodeId(0), 0);
+        assert_eq!(
+            c.read(ObjectId(1), NodeId(7)).unwrap_err(),
+            CacheError::UnknownNode(NodeId(7))
+        );
+    }
+
+    #[test]
+    fn home_lookup_supports_scheduling() {
+        let mut c = cache(3);
+        c.put(ObjectId(1), 10, NodeId(2), 0);
+        assert_eq!(c.home_of(ObjectId(1)), Some(NodeId(2)));
+        assert_eq!(c.home_of(ObjectId(2)), None);
+    }
+
+    #[test]
+    fn eviction_spills_to_disk_replicas() {
+        let mut config = CacheConfig::paper_defaults(3);
+        config.memory_capacity_bytes = 100;
+        let mut c = DistributedCache::new(config);
+        c.put(ObjectId(1), 80, NodeId(0), 0);
+        c.put(ObjectId(2), 80, NodeId(0), 0); // evicts 1 from memory
+        let out = c.read(ObjectId(1), NodeId(0)).unwrap();
+        assert!(
+            matches!(out.source, ReadSource::LocalDisk | ReadSource::RemoteDisk),
+            "evicted object must still be readable from disk, got {:?}",
+            out.source
+        );
+    }
+}

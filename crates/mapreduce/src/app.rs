@@ -1,0 +1,145 @@
+//! The application contract: plain batch MapReduce code, no incremental
+//! logic.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use slider_core::Combiner;
+
+/// A MapReduce application, written exactly as for non-incremental batch
+/// processing (the paper's transparency requirement).
+///
+/// * [`MapReduceApp::map`] turns one input record into key/value pairs.
+/// * [`MapReduceApp::combine`] is the associative (ideally commutative)
+///   partial aggregation — Hadoop's Combiner. Slider reuses it to build
+///   contraction trees, so it must satisfy the usual combiner contract:
+///   `reduce(k, combine-tree over values)` must equal
+///   `reduce(k, all values)` regardless of grouping order.
+/// * [`MapReduceApp::reduce`] produces the final per-key output from one or
+///   more partial aggregates (more than one only under split processing).
+///
+/// The `*_cost` and `*_bytes` hooks feed the work/space model (DESIGN.md
+/// §5); defaults model a unit-cost, fixed-size application.
+pub trait MapReduceApp: Send + Sync + 'static {
+    /// One input record.
+    type Input: Clone + Send + Sync;
+    /// Shuffle key.
+    type Key: Clone + Ord + Hash + Send + Sync;
+    /// Partial aggregate exchanged between combiners.
+    type Value: Clone + Send + Sync;
+    /// Final per-key output.
+    type Output: Clone + Send + Sync + PartialEq;
+
+    /// Emits key/value pairs for `input`.
+    fn map(&self, input: &Self::Input, emit: &mut dyn FnMut(Self::Key, Self::Value));
+
+    /// Merges two partial aggregates. Must be associative.
+    fn combine(&self, key: &Self::Key, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Whether [`MapReduceApp::combine`] is commutative (required by
+    /// fixed-width windows). Defaults to `true`.
+    fn is_commutative(&self) -> bool {
+        true
+    }
+
+    /// Produces the final output for `key` from partial aggregates.
+    fn reduce(&self, key: &Self::Key, parts: &[&Self::Value]) -> Self::Output;
+
+    /// Modeled cost of mapping one record, in work units.
+    fn map_cost(&self, _input: &Self::Input) -> u64 {
+        1
+    }
+
+    /// Modeled cost of one combine invocation.
+    fn combine_cost(&self, _key: &Self::Key, _a: &Self::Value, _b: &Self::Value) -> u64 {
+        1
+    }
+
+    /// Modeled cost of one reduce invocation.
+    fn reduce_cost(&self, _key: &Self::Key, parts: &[&Self::Value]) -> u64 {
+        parts.len() as u64
+    }
+
+    /// Modeled size of a partial aggregate in bytes (memoization and
+    /// shuffle accounting).
+    fn value_bytes(&self, _key: &Self::Key, _v: &Self::Value) -> u64 {
+        16
+    }
+
+    /// Modeled size of one input record in bytes.
+    fn record_bytes(&self, _input: &Self::Input) -> u64 {
+        100
+    }
+}
+
+/// Adapts a [`MapReduceApp`] into the [`Combiner`] interface the
+/// contraction trees consume.
+#[derive(Debug)]
+pub struct AppCombiner<A> {
+    app: Arc<A>,
+}
+
+impl<A> AppCombiner<A> {
+    /// Wraps `app`.
+    pub fn new(app: Arc<A>) -> Self {
+        AppCombiner { app }
+    }
+}
+
+impl<A> Clone for AppCombiner<A> {
+    fn clone(&self) -> Self {
+        AppCombiner { app: Arc::clone(&self.app) }
+    }
+}
+
+impl<A: MapReduceApp> Combiner<A::Key, A::Value> for AppCombiner<A> {
+    fn combine(&self, key: &A::Key, a: &A::Value, b: &A::Value) -> A::Value {
+        self.app.combine(key, a, b)
+    }
+
+    fn is_commutative(&self) -> bool {
+        self.app.is_commutative()
+    }
+
+    fn cost(&self, key: &A::Key, a: &A::Value, b: &A::Value) -> u64 {
+        self.app.combine_cost(key, a, b)
+    }
+
+    fn value_bytes(&self, key: &A::Key, v: &A::Value) -> u64 {
+        self.app.value_bytes(key, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sum;
+    impl MapReduceApp for Sum {
+        type Input = u64;
+        type Key = ();
+        type Value = u64;
+        type Output = u64;
+        fn map(&self, input: &u64, emit: &mut dyn FnMut((), u64)) {
+            emit((), *input);
+        }
+        fn combine(&self, _k: &(), a: &u64, b: &u64) -> u64 {
+            a + b
+        }
+        fn reduce(&self, _k: &(), parts: &[&u64]) -> u64 {
+            parts.iter().copied().sum()
+        }
+        fn combine_cost(&self, _k: &(), _a: &u64, _b: &u64) -> u64 {
+            7
+        }
+    }
+
+    #[test]
+    fn app_combiner_forwards_everything() {
+        let c = AppCombiner::new(Arc::new(Sum));
+        assert_eq!(c.combine(&(), &2, &3), 5);
+        assert_eq!(c.cost(&(), &2, &3), 7);
+        assert!(c.is_commutative());
+        assert_eq!(c.value_bytes(&(), &5), 16);
+    }
+}

@@ -1,0 +1,71 @@
+//! Job-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use slider_core::TreeError;
+
+/// Errors reported by the windowed job driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// A contraction tree rejected the slide.
+    Tree(TreeError),
+    /// The slide violates the execution mode's window discipline (e.g.
+    /// removing splits from an append-only job, or a fixed-width slide that
+    /// is not a whole number of buckets).
+    ModeViolation(String),
+    /// Asked to remove more splits than the window holds.
+    RemoveExceedsWindow {
+        /// Splits the caller asked to drop.
+        requested: usize,
+        /// Splits currently in the window.
+        window: usize,
+    },
+    /// A split id was reused within the job's lifetime.
+    DuplicateSplit(u64),
+    /// The job configuration is inconsistent (detailed in the message).
+    BadConfig(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Tree(e) => write!(f, "contraction tree error: {e}"),
+            JobError::ModeViolation(msg) => write!(f, "window mode violation: {msg}"),
+            JobError::RemoveExceedsWindow { requested, window } => {
+                write!(f, "cannot remove {requested} splits from a window of {window}")
+            }
+            JobError::DuplicateSplit(id) => write!(f, "split id {id} was already used"),
+            JobError::BadConfig(msg) => write!(f, "bad job configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for JobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JobError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for JobError {
+    fn from(e: TreeError) -> Self {
+        JobError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = JobError::from(TreeError::RemoveFromAppendOnly);
+        assert!(err.to_string().contains("append-only"));
+        assert!(err.source().is_some());
+        assert!(JobError::DuplicateSplit(3).source().is_none());
+    }
+}

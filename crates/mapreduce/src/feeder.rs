@@ -1,0 +1,237 @@
+//! `WindowFeeder`: batch-oriented window management on top of
+//! [`WindowedJob`].
+//!
+//! Stream consumers usually receive *batches* (an hour of logs, a week of
+//! uploads) whose record counts vary, while [`WindowedJob::advance`] speaks
+//! in splits. The feeder handles the split bookkeeping: it chops each batch
+//! into splits, tracks how many splits each in-window batch contributed
+//! (they differ — that is exactly the variable-width case, §8.3), and drops
+//! the oldest batch when the window is full.
+
+use std::collections::VecDeque;
+
+use crate::app::MapReduceApp;
+use crate::error::JobError;
+use crate::split::make_splits;
+use crate::stats::RunStats;
+use crate::windowed::WindowedJob;
+
+/// Feeds batches into a windowed job, managing the split-level window.
+///
+/// ```
+/// use slider_mapreduce::{ExecMode, JobConfig, MapReduceApp, WindowedJob, WindowFeeder};
+///
+/// # struct WordCount;
+/// # impl MapReduceApp for WordCount {
+/// #     type Input = String; type Key = String; type Value = u64; type Output = u64;
+/// #     fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+/// #         for w in line.split_whitespace() { emit(w.to_string(), 1); }
+/// #     }
+/// #     fn combine(&self, _k: &String, a: &u64, b: &u64) -> u64 { a + b }
+/// #     fn reduce(&self, _k: &String, p: &[&u64]) -> u64 { p.iter().copied().sum() }
+/// # }
+/// let job = WindowedJob::new(WordCount, JobConfig::new(ExecMode::slider_folding()))?;
+/// // Keep the 2 most recent batches, 10 records per split.
+/// let mut feeder = WindowFeeder::new(job, 10, Some(2));
+/// feeder.push_batch(vec!["a b".into(), "b c".into()])?;
+/// feeder.push_batch(vec!["c d".into()])?;
+/// assert_eq!(feeder.output().get("b"), Some(&2));
+/// feeder.push_batch(vec!["d e".into()])?; // batch 1 slides out
+/// assert_eq!(feeder.output().get("a"), None);
+/// # Ok::<(), slider_mapreduce::JobError>(())
+/// ```
+#[derive(Debug)]
+pub struct WindowFeeder<A: MapReduceApp> {
+    job: WindowedJob<A>,
+    records_per_split: usize,
+    /// Window size in batches; `None` = append-only (never drop).
+    window_batches: Option<usize>,
+    /// Splits contributed by each in-window batch, oldest first.
+    batch_splits: VecDeque<usize>,
+    next_split_id: u64,
+    batches_pushed: u64,
+}
+
+impl<A: MapReduceApp> WindowFeeder<A> {
+    /// Wraps `job`. Each pushed batch is chopped into splits of
+    /// `records_per_split` records; once `window_batches` batches are in
+    /// the window, every push also drops the oldest batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records_per_split` is zero or `window_batches` is
+    /// `Some(0)`.
+    pub fn new(
+        job: WindowedJob<A>,
+        records_per_split: usize,
+        window_batches: Option<usize>,
+    ) -> Self {
+        assert!(records_per_split > 0, "records_per_split must be positive");
+        assert!(window_batches != Some(0), "a window must hold at least one batch");
+        WindowFeeder {
+            job,
+            records_per_split,
+            window_batches,
+            batch_splits: VecDeque::new(),
+            next_split_id: 0,
+            batches_pushed: 0,
+        }
+    }
+
+    /// Pushes one batch: appends its splits and, if the window is full,
+    /// drops the oldest batch. Empty batches still slide the window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JobError`] from the underlying job (e.g. a fixed-width
+    /// job whose batches do not align with its bucket geometry).
+    pub fn push_batch(&mut self, records: Vec<A::Input>) -> Result<RunStats, JobError> {
+        let added = make_splits(self.next_split_id, records, self.records_per_split);
+        let evict = matches!(self.window_batches, Some(window) if self.batch_splits.len() == window);
+        let remove = if evict {
+            *self.batch_splits.front().expect("window is non-empty")
+        } else {
+            0
+        };
+        let stats = self.job.advance(remove, added.clone())?;
+        // Only mutate bookkeeping after the job accepted the slide.
+        if evict {
+            self.batch_splits.pop_front();
+        }
+        self.next_split_id += added.len() as u64;
+        self.batch_splits.push_back(added.len());
+        self.batches_pushed += 1;
+        Ok(stats)
+    }
+
+    /// The job's current output.
+    pub fn output(&self) -> &std::collections::BTreeMap<A::Key, A::Output> {
+        self.job.output()
+    }
+
+    /// Batches currently in the window.
+    pub fn window_batches(&self) -> usize {
+        self.batch_splits.len()
+    }
+
+    /// Total batches pushed over the feeder's lifetime.
+    pub fn batches_pushed(&self) -> u64 {
+        self.batches_pushed
+    }
+
+    /// Borrows the underlying job.
+    pub fn job(&self) -> &WindowedJob<A> {
+        &self.job
+    }
+
+    /// Mutably borrows the underlying job (e.g. for cache failure
+    /// injection). Do not call `advance` through this borrow — the feeder
+    /// would lose track of the window.
+    pub fn job_mut(&mut self) -> &mut WindowedJob<A> {
+        &mut self.job
+    }
+
+    /// Consumes the feeder, returning the job.
+    pub fn into_job(self) -> WindowedJob<A> {
+        self.job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windowed::{ExecMode, JobConfig};
+
+    struct WordCount;
+    impl MapReduceApp for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+        fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }
+        fn combine(&self, _k: &String, a: &u64, b: &u64) -> u64 {
+            a + b
+        }
+        fn reduce(&self, _k: &String, parts: &[&u64]) -> u64 {
+            parts.iter().copied().sum()
+        }
+    }
+
+    fn feeder(mode: ExecMode, window: Option<usize>) -> WindowFeeder<WordCount> {
+        let job = WindowedJob::new(WordCount, JobConfig::new(mode).with_partitions(2)).unwrap();
+        WindowFeeder::new(job, 2, window)
+    }
+
+    fn batch(lines: &[&str]) -> Vec<String> {
+        lines.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn window_slides_after_filling() {
+        let mut f = feeder(ExecMode::slider_folding(), Some(3));
+        f.push_batch(batch(&["a", "a b"])).unwrap();
+        f.push_batch(batch(&["b"])).unwrap();
+        f.push_batch(batch(&["c", "c", "c"])).unwrap();
+        assert_eq!(f.window_batches(), 3);
+        assert_eq!(f.output().get("a"), Some(&2));
+
+        // Fourth batch evicts the first.
+        f.push_batch(batch(&["d"])).unwrap();
+        assert_eq!(f.window_batches(), 3);
+        assert_eq!(f.output().get("a"), None);
+        assert_eq!(f.output().get("b"), Some(&1), "batch 2 is still live");
+        assert_eq!(f.batches_pushed(), 4);
+    }
+
+    #[test]
+    fn variable_batch_sizes_drop_the_right_split_counts() {
+        let mut f = feeder(ExecMode::slider_folding(), Some(2));
+        // 5 lines -> 3 splits of <=2; 1 line -> 1 split.
+        f.push_batch(batch(&["x", "x", "x", "x", "x"])).unwrap();
+        f.push_batch(batch(&["y"])).unwrap();
+        assert_eq!(f.job().window_splits(), 4);
+        // Dropping the first batch must remove exactly its 3 splits.
+        f.push_batch(batch(&["z"])).unwrap();
+        assert_eq!(f.job().window_splits(), 2);
+        assert_eq!(f.output().get("x"), None);
+        assert_eq!(f.output().get("y"), Some(&1));
+    }
+
+    #[test]
+    fn append_only_never_drops() {
+        let mut f = feeder(ExecMode::slider_coalescing(false), None);
+        for i in 0..5 {
+            f.push_batch(batch(&[&format!("w{i}")])).unwrap();
+        }
+        assert_eq!(f.window_batches(), 5);
+        assert_eq!(f.output().len(), 5);
+    }
+
+    #[test]
+    fn empty_batches_still_slide() {
+        let mut f = feeder(ExecMode::slider_folding(), Some(2));
+        f.push_batch(batch(&["a"])).unwrap();
+        f.push_batch(batch(&["b"])).unwrap();
+        f.push_batch(Vec::new()).unwrap(); // evicts "a", adds nothing
+        assert_eq!(f.output().get("a"), None);
+        assert_eq!(f.output().get("b"), Some(&1));
+        assert_eq!(f.window_batches(), 2);
+    }
+
+    #[test]
+    fn failed_slides_leave_bookkeeping_intact() {
+        // An append-only job rejects removals: the feeder with a bounded
+        // window will eventually ask for one.
+        let mut f = feeder(ExecMode::slider_coalescing(false), Some(1));
+        f.push_batch(batch(&["a"])).unwrap();
+        let err = f.push_batch(batch(&["b"])).unwrap_err();
+        assert!(matches!(err, JobError::ModeViolation(_)));
+        // The failed push must not have corrupted the window accounting.
+        assert_eq!(f.window_batches(), 1);
+        assert_eq!(f.output().get("a"), Some(&1));
+    }
+}

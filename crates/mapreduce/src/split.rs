@@ -1,0 +1,117 @@
+//! Input splits: the unit of Map-task work and of window sliding.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies an input split. Ids must be unique over a job's lifetime
+/// (monotonically increasing split ids are the natural choice for a
+/// stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SplitId(pub u64);
+
+impl fmt::Display for SplitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "split{}", self.0)
+    }
+}
+
+/// A fixed partition of the input, processed by a single Map task (§2.2).
+#[derive(Debug, Clone)]
+pub struct Split<R> {
+    id: SplitId,
+    records: Arc<Vec<R>>,
+}
+
+impl<R> Split<R> {
+    /// Creates a split with the given id and records.
+    pub fn from_records(id: u64, records: Vec<R>) -> Self {
+        Split { id: SplitId(id), records: Arc::new(records) }
+    }
+
+    /// The split's identity.
+    pub fn id(&self) -> SplitId {
+        self.id
+    }
+
+    /// The records the Map task will consume.
+    pub fn records(&self) -> &[R] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the split holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Chops `records` into consecutive splits of `split_size` records, with
+/// ids starting at `first_id`. The final split may be shorter.
+///
+/// ```
+/// use slider_mapreduce::Split;
+/// let splits = slider_mapreduce::make_splits(10, vec![1, 2, 3, 4, 5], 2);
+/// assert_eq!(splits.len(), 3);
+/// assert_eq!(splits[0].id().0, 10);
+/// assert_eq!(splits[2].records(), &[5]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `split_size` is zero.
+pub fn make_splits<R>(first_id: u64, records: Vec<R>, split_size: usize) -> Vec<Split<R>> {
+    assert!(split_size > 0, "split size must be positive");
+    let mut splits = Vec::with_capacity(records.len().div_ceil(split_size));
+    let mut id = first_id;
+    let mut batch = Vec::with_capacity(split_size);
+    for record in records {
+        batch.push(record);
+        if batch.len() == split_size {
+            splits.push(Split::from_records(id, std::mem::take(&mut batch)));
+            id += 1;
+        }
+    }
+    if !batch.is_empty() {
+        splits.push(Split::from_records(id, batch));
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_splits_partitions_in_order() {
+        let splits = make_splits(0, (0..10).collect(), 4);
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].records(), &[0, 1, 2, 3]);
+        assert_eq!(splits[1].records(), &[4, 5, 6, 7]);
+        assert_eq!(splits[2].records(), &[8, 9]);
+        assert_eq!(splits[1].id(), SplitId(1));
+    }
+
+    #[test]
+    fn empty_input_gives_no_splits() {
+        let splits = make_splits::<u8>(0, vec![], 4);
+        assert!(splits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_split_size_panics() {
+        let _ = make_splits::<u8>(0, vec![1], 0);
+    }
+
+    #[test]
+    fn split_accessors() {
+        let s = Split::from_records(3, vec!["x"]);
+        assert_eq!(s.id().to_string(), "split3");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

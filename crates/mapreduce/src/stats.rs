@@ -1,0 +1,114 @@
+//! Per-run metrics: the reproduction's *work* metric and its breakdown.
+
+use slider_cluster::SimReport;
+use slider_dcache::CacheStats;
+use slider_core::PhaseWork;
+
+/// Work performed by one run, split by phase (the paper's Figure 9
+/// breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkBreakdown {
+    /// Map-phase compute work (including map-side combining).
+    pub map: u64,
+    /// Foreground contraction-phase work (combiner invocations on the
+    /// critical path).
+    pub contraction_fg: PhaseWork,
+    /// Background pre-processing work (split mode).
+    pub contraction_bg: PhaseWork,
+    /// Reduce-phase compute work.
+    pub reduce: u64,
+    /// Work-unit equivalent of data movement (shuffle + memo reads),
+    /// charged at [`crate::JobConfig::work_per_byte`].
+    pub movement: u64,
+}
+
+impl WorkBreakdown {
+    /// Total foreground work: what the paper's *work* metric counts for the
+    /// incremental run itself.
+    pub fn foreground_total(&self) -> u64 {
+        self.map + self.contraction_fg.work + self.reduce + self.movement
+    }
+
+    /// Total including background pre-processing.
+    pub fn grand_total(&self) -> u64 {
+        self.foreground_total() + self.contraction_bg.work
+    }
+}
+
+/// Everything measured about one run of a windowed job.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Monotonic run index (0 = initial run).
+    pub run: u64,
+    /// Work breakdown.
+    pub work: WorkBreakdown,
+    /// Map tasks executed this run.
+    pub map_tasks: usize,
+    /// Splits whose map output was reused from memoization.
+    pub map_reused: usize,
+    /// Memoized contraction sub-computations reused.
+    pub nodes_reused: u64,
+    /// Keys whose output was recomputed by Reduce.
+    pub keys_reduced: usize,
+    /// Keys whose previous output was reused untouched.
+    pub keys_reused: usize,
+    /// Bytes of fresh map output shuffled to reducers.
+    pub shuffle_bytes: u64,
+    /// Bytes of memoized state read by the contraction phase.
+    pub memo_read_bytes: u64,
+    /// Total memoization footprint after the run (Figure 13(c)).
+    pub memo_footprint_bytes: u64,
+    /// Input bytes currently in the window.
+    pub window_input_bytes: u64,
+    /// Simulated cluster schedule (when simulation is configured).
+    pub sim: Option<SimReport>,
+    /// Simulated background-processing schedule, separate from the
+    /// foreground makespan (split mode).
+    pub sim_background: Option<SimReport>,
+    /// Memoization-cache statistics delta for this run (when a cache is
+    /// configured).
+    pub cache: Option<CacheStats>,
+}
+
+impl RunStats {
+    /// End-to-end simulated runtime of the foreground run, if simulated.
+    pub fn time_seconds(&self) -> Option<f64> {
+        self.sim.as_ref().map(|s| s.makespan)
+    }
+
+    /// Simulated map-stage duration, if simulated.
+    pub fn map_seconds(&self) -> Option<f64> {
+        self.sim.as_ref().and_then(|s| s.stages.first()).map(|s| s.duration)
+    }
+
+    /// Simulated contraction+reduce stage duration, if simulated.
+    pub fn reduce_seconds(&self) -> Option<f64> {
+        self.sim.as_ref().and_then(|s| s.stages.get(1)).map(|s| s.duration)
+    }
+
+    /// Simulated background pre-processing duration (0 when none ran).
+    pub fn background_seconds(&self) -> f64 {
+        self.sim_background.as_ref().map_or(0.0, |s| s.makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut w = WorkBreakdown { map: 10, reduce: 5, movement: 2, ..Default::default() };
+        w.contraction_fg.record(3);
+        w.contraction_bg.record(4);
+        assert_eq!(w.foreground_total(), 20);
+        assert_eq!(w.grand_total(), 24);
+    }
+
+    #[test]
+    fn time_accessors_handle_missing_sim() {
+        let stats = RunStats::default();
+        assert!(stats.time_seconds().is_none());
+        assert_eq!(stats.background_seconds(), 0.0);
+    }
+}

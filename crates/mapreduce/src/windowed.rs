@@ -1,0 +1,1266 @@
+//! The windowed job driver: initial runs, incremental slides, work
+//! metering, cluster simulation and memoization-cache integration.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use slider_cluster::{simulate, ClusterSpec, MachineId, SchedulerPolicy, Task};
+use slider_core::{build_tree, ContractionTree, Phase, TreeCx, TreeKind, UpdateStats};
+use slider_dcache::{CacheConfig, CacheStats, DistributedCache, NodeId, ObjectId};
+
+use crate::app::{AppCombiner, MapReduceApp};
+use crate::error::JobError;
+use crate::shuffle::partition_of;
+use crate::split::{Split, SplitId};
+use crate::stats::RunStats;
+
+/// How a windowed job processes slides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Vanilla Hadoop: recompute the whole window from scratch every run.
+    Recompute,
+    /// Memoization-only incremental baseline (paper §2).
+    Strawman,
+    /// Self-adjusting contraction trees (§3–§4).
+    Slider {
+        /// Which tree family member structures the contraction phase.
+        tree: TreeKind,
+        /// Enable split background/foreground processing (§4; only
+        /// meaningful for rotating and coalescing trees).
+        split_processing: bool,
+    },
+}
+
+impl ExecMode {
+    /// Slider with folding trees (variable-width windows).
+    pub fn slider_folding() -> Self {
+        ExecMode::Slider { tree: TreeKind::Folding, split_processing: false }
+    }
+
+    /// Slider with randomized folding trees.
+    pub fn slider_randomized() -> Self {
+        ExecMode::Slider { tree: TreeKind::RandomizedFolding, split_processing: false }
+    }
+
+    /// Slider with rotating trees (fixed-width windows).
+    pub fn slider_rotating(split_processing: bool) -> Self {
+        ExecMode::Slider { tree: TreeKind::Rotating, split_processing }
+    }
+
+    /// Slider with coalescing trees (append-only windows).
+    pub fn slider_coalescing(split_processing: bool) -> Self {
+        ExecMode::Slider { tree: TreeKind::Coalescing, split_processing }
+    }
+
+    /// The tree kind driving the contraction phase, if any.
+    pub fn tree_kind(&self) -> Option<TreeKind> {
+        match self {
+            ExecMode::Recompute => None,
+            ExecMode::Strawman => Some(TreeKind::Strawman),
+            ExecMode::Slider { tree, .. } => Some(*tree),
+        }
+    }
+
+    /// Whether split processing is active.
+    pub fn split_processing(&self) -> bool {
+        matches!(self, ExecMode::Slider { split_processing: true, tree }
+            if tree.supports_split_processing())
+    }
+
+    fn is_fixed_width(&self) -> bool {
+        self.tree_kind() == Some(TreeKind::Rotating)
+    }
+
+    fn is_append_only(&self) -> bool {
+        self.tree_kind() == Some(TreeKind::Coalescing)
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::Recompute => f.write_str("recompute"),
+            ExecMode::Strawman => f.write_str("strawman"),
+            ExecMode::Slider { tree, split_processing } => {
+                write!(f, "slider-{tree}{}", if *split_processing { "+split" } else { "" })
+            }
+        }
+    }
+}
+
+/// Cluster-simulation settings for the *time* metric.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Scheduling policy for task placement.
+    pub policy: SchedulerPolicy,
+}
+
+impl SimulationConfig {
+    /// The paper's 24-worker cluster (§7.1) with Slider's hybrid scheduler.
+    pub fn paper_defaults() -> Self {
+        SimulationConfig {
+            cluster: ClusterSpec::paper_cluster(),
+            policy: SchedulerPolicy::hybrid_default(),
+        }
+    }
+}
+
+/// Windowed-job configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Number of reduce partitions.
+    pub partitions: usize,
+    /// Splits per bucket (`w` in §4.1). Only used by fixed-width jobs.
+    pub bucket_width: usize,
+    /// Bucket slots in a fixed-width window (`N` in §4.1).
+    pub window_buckets: usize,
+    /// Work units charged per byte of data movement (shuffle plus
+    /// memoization reads/writes). Encodes that data-intensive applications
+    /// pay for I/O even when compute is memoized.
+    pub work_per_byte: f64,
+    /// Optional cluster simulation (the *time* metric).
+    pub simulation: Option<SimulationConfig>,
+    /// Optional distributed memoization cache model.
+    pub cache: Option<CacheConfig>,
+}
+
+impl JobConfig {
+    /// A configuration with sensible defaults for `mode`: 8 partitions,
+    /// 1-split buckets, 8-bucket fixed windows, no simulation, no cache.
+    pub fn new(mode: ExecMode) -> Self {
+        JobConfig {
+            mode,
+            partitions: 8,
+            bucket_width: 1,
+            window_buckets: 8,
+            work_per_byte: 1.0 / 1024.0,
+            simulation: None,
+            cache: None,
+        }
+    }
+
+    /// Sets the number of reduce partitions. Builder-style.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Sets the fixed-width window geometry: `buckets` slots of `width`
+    /// splits each. Builder-style.
+    pub fn with_buckets(mut self, buckets: usize, width: usize) -> Self {
+        self.window_buckets = buckets;
+        self.bucket_width = width;
+        self
+    }
+
+    /// Enables cluster simulation. Builder-style.
+    pub fn with_simulation(mut self, sim: SimulationConfig) -> Self {
+        self.simulation = Some(sim);
+        self
+    }
+
+    /// Enables the memoization-cache model. Builder-style.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the data-movement work rate. Builder-style.
+    pub fn with_work_per_byte(mut self, rate: f64) -> Self {
+        self.work_per_byte = rate;
+        self
+    }
+
+    fn validate(&self) -> Result<(), JobError> {
+        if self.partitions == 0 {
+            return Err(JobError::BadConfig("partitions must be positive".into()));
+        }
+        if self.bucket_width == 0 || self.window_buckets == 0 {
+            return Err(JobError::BadConfig("bucket geometry must be positive".into()));
+        }
+        if self.work_per_byte < 0.0 || !self.work_per_byte.is_finite() {
+            return Err(JobError::BadConfig("work_per_byte must be finite and >= 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One mapped split held in the window.
+struct SplitEntry<A: MapReduceApp> {
+    id: SplitId,
+    /// Map output, pre-partitioned: `by_partition[p]` holds this split's
+    /// map-side-combined values destined for reduce partition `p`.
+    by_partition: Arc<Vec<BTreeMap<A::Key, A::Value>>>,
+    map_work: u64,
+    input_bytes: u64,
+    /// Map-output bytes per partition (shuffle accounting).
+    out_bytes: Arc<Vec<u64>>,
+}
+
+impl<A: MapReduceApp> SplitEntry<A> {
+    fn output_bytes(&self) -> u64 {
+        self.out_bytes.iter().sum()
+    }
+}
+
+impl<A: MapReduceApp> Clone for SplitEntry<A> {
+    fn clone(&self) -> Self {
+        SplitEntry {
+            id: self.id,
+            by_partition: Arc::clone(&self.by_partition),
+            map_work: self.map_work,
+            input_bytes: self.input_bytes,
+            out_bytes: Arc::clone(&self.out_bytes),
+        }
+    }
+}
+
+/// Per-reduce-partition incremental state.
+struct PartitionState<A: MapReduceApp> {
+    #[allow(clippy::type_complexity)]
+    trees: HashMap<A::Key, Box<dyn ContractionTree<A::Key, A::Value>>>,
+    memo_footprint: u64,
+}
+
+impl<A: MapReduceApp> Default for PartitionState<A> {
+    fn default() -> Self {
+        PartitionState { trees: HashMap::new(), memo_footprint: 0 }
+    }
+}
+
+/// Per-partition work of one run, used for precise task construction in the
+/// cluster simulation.
+#[derive(Debug, Clone, Copy, Default)]
+struct PartitionWork {
+    fg_work: u64,
+    bg_work: u64,
+    reduce_work: u64,
+    memo_read_bytes: u64,
+    shuffle_bytes: u64,
+}
+
+/// Aggregate outcome of the contraction+reduce phase.
+#[derive(Default)]
+struct PhaseOutcome {
+    tree_stats: UpdateStats,
+    reduce_work: u64,
+    keys_reduced: usize,
+    keys_reused: usize,
+    per_partition: Vec<PartitionWork>,
+}
+
+/// A sliding-window MapReduce job.
+///
+/// See the crate-level docs for a complete example.
+pub struct WindowedJob<A: MapReduceApp> {
+    app: Arc<A>,
+    combiner: AppCombiner<A>,
+    config: JobConfig,
+    window: VecDeque<SplitEntry<A>>,
+    partitions: Vec<PartitionState<A>>,
+    output: BTreeMap<A::Key, A::Output>,
+    used_split_ids: HashSet<u64>,
+    run_index: u64,
+    cache: Option<DistributedCache>,
+}
+
+/// Alias kept for readability in signatures: a run returns its statistics.
+pub type RunResult = RunStats;
+
+/// Runs one Map task: maps every record of `split`, combining map-side per
+/// partition, and meters the work.
+fn map_one_split<A: MapReduceApp>(
+    app: &A,
+    parts: usize,
+    split: &Split<A::Input>,
+) -> SplitEntry<A> {
+    let mut by_partition: Vec<BTreeMap<A::Key, A::Value>> =
+        (0..parts).map(|_| BTreeMap::new()).collect();
+    let mut map_work = 0u64;
+    let mut input_bytes = 0u64;
+    for record in split.records() {
+        map_work += app.map_cost(record);
+        input_bytes += app.record_bytes(record);
+        let mut emit = |key: A::Key, value: A::Value| {
+            let p = partition_of(&key, parts);
+            match by_partition[p].entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(value);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    // Map-side combine, charged to map work.
+                    let key = e.key().clone();
+                    map_work += app.combine_cost(&key, e.get(), &value);
+                    let merged = app.combine(&key, e.get(), &value);
+                    *e.get_mut() = merged;
+                }
+            }
+        };
+        app.map(record, &mut emit);
+    }
+    let out_bytes: Vec<u64> = by_partition
+        .iter()
+        .map(|m| m.iter().map(|(k, v)| app.value_bytes(k, v)).sum())
+        .collect();
+    SplitEntry {
+        id: split.id(),
+        by_partition: Arc::new(by_partition),
+        map_work,
+        input_bytes,
+        out_bytes: Arc::new(out_bytes),
+    }
+}
+
+impl<A: MapReduceApp> fmt::Debug for WindowedJob<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WindowedJob")
+            .field("mode", &self.config.mode)
+            .field("window_splits", &self.window.len())
+            .field("keys", &self.output.len())
+            .field("run", &self.run_index)
+            .finish()
+    }
+}
+
+impl<A: MapReduceApp> WindowedJob<A> {
+    /// Creates a job for `app` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::BadConfig`] for inconsistent configurations
+    /// (zero partitions, zero bucket geometry, or a non-commutative
+    /// combiner with a fixed-width window).
+    pub fn new(app: A, config: JobConfig) -> Result<Self, JobError> {
+        config.validate()?;
+        if config.mode.is_fixed_width() && !app.is_commutative() {
+            return Err(JobError::BadConfig(
+                "fixed-width (rotating) windows require a commutative combiner".into(),
+            ));
+        }
+        let app = Arc::new(app);
+        let combiner = AppCombiner::new(Arc::clone(&app));
+        let cache = config.cache.clone().map(DistributedCache::new);
+        let partitions = (0..config.partitions).map(|_| PartitionState::default()).collect();
+        Ok(WindowedJob {
+            app,
+            combiner,
+            config,
+            window: VecDeque::new(),
+            partitions,
+            output: BTreeMap::new(),
+            used_split_ids: HashSet::new(),
+            run_index: 0,
+            cache,
+        })
+    }
+
+    /// The current per-key output of the job.
+    pub fn output(&self) -> &BTreeMap<A::Key, A::Output> {
+        &self.output
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Number of splits currently in the window.
+    pub fn window_splits(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Total memoization footprint, in modeled bytes.
+    pub fn memo_footprint_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.memo_footprint).sum()
+    }
+
+    /// Runs the initial computation over `splits` (the whole first window).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the job already ran, a split id repeats, or the splits
+    /// violate the window geometry.
+    pub fn initial_run(&mut self, splits: Vec<Split<A::Input>>) -> Result<RunStats, JobError> {
+        if self.run_index != 0 || !self.window.is_empty() {
+            return Err(JobError::ModeViolation("initial_run may only run once".into()));
+        }
+        self.advance(0, splits)
+    }
+
+    /// Slides the window: drops the oldest `remove_splits` splits, appends
+    /// `added`, and updates the output incrementally (or from scratch in
+    /// [`ExecMode::Recompute`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on window-discipline violations (see [`JobError`]); the job
+    /// state is unchanged on error.
+    pub fn advance(
+        &mut self,
+        remove_splits: usize,
+        added: Vec<Split<A::Input>>,
+    ) -> Result<RunStats, JobError> {
+        self.validate_slide(remove_splits, &added)?;
+
+        let was_full_buckets = self.config.mode.is_fixed_width()
+            && self.window.len() == self.config.window_buckets * self.config.bucket_width;
+
+        // ---- Map phase: run Map tasks for the new splits. ---------------
+        let new_entries = self.map_splits(&added);
+        let removed: Vec<SplitEntry<A>> = self.window.drain(..remove_splits).collect();
+        self.window.extend(new_entries.iter().cloned());
+        for split in &added {
+            self.used_split_ids.insert(split.id().0);
+        }
+
+        let mut stats = RunStats { run: self.run_index, ..Default::default() };
+        stats.map_tasks = new_entries.len();
+        stats.work.map = new_entries.iter().map(|e| e.map_work).sum();
+        stats.shuffle_bytes = new_entries.iter().map(|e| e.output_bytes()).sum();
+
+        if self.config.mode == ExecMode::Recompute {
+            // Vanilla re-runs Map over old, unchanged splits and re-shuffles
+            // the entire window.
+            stats.map_tasks = self.window.len();
+            stats.work.map = self.window.iter().map(|e| e.map_work).sum();
+            stats.shuffle_bytes = self.window.iter().map(|e| e.output_bytes()).sum();
+        } else {
+            stats.map_reused = self.window.len() - new_entries.len();
+        }
+
+        // ---- Contraction + Reduce phase. ---------------------------------
+        let outcome = match self.config.mode {
+            ExecMode::Recompute => self.run_recompute(),
+            _ => self.run_incremental(&removed, &new_entries, was_full_buckets)?,
+        };
+        stats.work.contraction_fg = outcome.tree_stats.foreground;
+        stats.work.contraction_bg = outcome.tree_stats.background;
+        stats.nodes_reused = outcome.tree_stats.reused;
+        stats.work.reduce = outcome.reduce_work;
+        stats.keys_reduced = outcome.keys_reduced;
+        stats.keys_reused = outcome.keys_reused;
+        stats.memo_read_bytes = outcome.tree_stats.bytes_read;
+
+        // Refresh partition footprints.
+        for p in 0..self.partitions.len() {
+            self.partitions[p].memo_footprint = self.partition_footprint(p);
+        }
+        stats.memo_footprint_bytes = self.memo_footprint_bytes();
+        stats.window_input_bytes = self.window.iter().map(|e| e.input_bytes).sum();
+
+        // Data movement charged as work.
+        let moved_bytes =
+            stats.shuffle_bytes + stats.memo_read_bytes + outcome.tree_stats.bytes_written;
+        stats.work.movement = (moved_bytes as f64 * self.config.work_per_byte) as u64;
+
+        // ---- Cluster simulation (time metric). ---------------------------
+        if let Some(sim) = self.config.simulation.clone() {
+            let (fg, bg) = self.build_sim(&sim, &stats, &new_entries, &outcome);
+            stats.sim = Some(fg);
+            stats.sim_background = bg;
+        }
+
+        // ---- Memoization-cache model. -------------------------------------
+        if self.cache.is_some() {
+            stats.cache = Some(self.play_cache_traffic());
+        }
+
+        self.run_index += 1;
+        Ok(stats)
+    }
+
+    /// Crashes a memoization-cache node (failure injection): its memory
+    /// tier is lost; reads transparently fall back to persistent replicas.
+    /// No-op when no cache is configured.
+    pub fn fail_cache_node(&mut self, node: usize) {
+        if let Some(cache) = &mut self.cache {
+            cache.fail_node(NodeId(node));
+        }
+    }
+
+    /// Recovers a previously failed cache node. No-op without a cache.
+    pub fn recover_cache_node(&mut self, node: usize) {
+        if let Some(cache) = &mut self.cache {
+            cache.recover_node(NodeId(node));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn validate_slide(
+        &self,
+        remove_splits: usize,
+        added: &[Split<A::Input>],
+    ) -> Result<(), JobError> {
+        if remove_splits > self.window.len() {
+            return Err(JobError::RemoveExceedsWindow {
+                requested: remove_splits,
+                window: self.window.len(),
+            });
+        }
+        let mut fresh = HashSet::new();
+        for split in added {
+            if self.used_split_ids.contains(&split.id().0) || !fresh.insert(split.id().0) {
+                return Err(JobError::DuplicateSplit(split.id().0));
+            }
+        }
+        let mode = self.config.mode;
+        if mode.is_append_only() && remove_splits != 0 {
+            return Err(JobError::ModeViolation(
+                "append-only (coalescing) jobs cannot remove splits".into(),
+            ));
+        }
+        if mode.is_fixed_width() {
+            let w = self.config.bucket_width;
+            if !remove_splits.is_multiple_of(w) || added.len() % w != 0 {
+                return Err(JobError::ModeViolation(format!(
+                    "fixed-width slides must be whole buckets of {w} splits"
+                )));
+            }
+            let capacity = self.config.window_buckets * w;
+            let full = self.window.len() == capacity;
+            if full && remove_splits != added.len() {
+                return Err(JobError::ModeViolation(
+                    "a full fixed-width window must remove as many buckets as it adds".into(),
+                ));
+            }
+            if !full {
+                if remove_splits != 0 {
+                    return Err(JobError::ModeViolation(
+                        "fixed-width windows cannot shrink while filling".into(),
+                    ));
+                }
+                if self.window.len() + added.len() > capacity {
+                    return Err(JobError::ModeViolation(format!(
+                        "fixed-width window capacity is {capacity} splits"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes Map tasks for `splits` (in parallel for larger batches),
+    /// producing pre-partitioned, map-side-combined outputs.
+    fn map_splits(&self, splits: &[Split<A::Input>]) -> Vec<SplitEntry<A>> {
+        let app = Arc::clone(&self.app);
+        let parts = self.config.partitions;
+
+        if splits.len() >= 8 {
+            // Parallel map phase with deterministic (input-order) assembly.
+            let mut out: Vec<Option<SplitEntry<A>>> = (0..splits.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(splits.len());
+                let chunk = splits.len().div_ceil(threads);
+                for (splits_chunk, out_chunk) in splits.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    let app = Arc::clone(&app);
+                    scope.spawn(move || {
+                        for (split, slot) in splits_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *slot = Some(map_one_split(&*app, parts, split));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|e| e.expect("all splits mapped")).collect()
+        } else {
+            splits.iter().map(|s| map_one_split(&*app, parts, s)).collect()
+        }
+    }
+
+    /// Vanilla recomputation: discard all incremental state and reduce every
+    /// key over all per-split values.
+    fn run_recompute(&mut self) -> PhaseOutcome {
+        let mut outcome = PhaseOutcome {
+            per_partition: vec![PartitionWork::default(); self.config.partitions],
+            ..Default::default()
+        };
+        self.output.clear();
+        for state in &mut self.partitions {
+            state.trees.clear();
+            state.memo_footprint = 0;
+        }
+        for p in 0..self.config.partitions {
+            // Gather all values per key, window-ordered.
+            let mut per_key: BTreeMap<A::Key, Vec<A::Value>> = BTreeMap::new();
+            for entry in &self.window {
+                for (k, v) in &entry.by_partition[p] {
+                    per_key.entry(k.clone()).or_default().push(v.clone());
+                }
+            }
+            let mut reduce_work = 0u64;
+            for (key, values) in per_key {
+                let refs: Vec<&A::Value> = values.iter().collect();
+                reduce_work += self.app.reduce_cost(&key, &refs);
+                outcome.keys_reduced += 1;
+                let out = self.app.reduce(&key, &refs);
+                self.output.insert(key, out);
+            }
+            outcome.reduce_work += reduce_work;
+            outcome.per_partition[p].reduce_work = reduce_work;
+            outcome.per_partition[p].shuffle_bytes =
+                self.window.iter().map(|e| e.out_bytes[p]).sum();
+        }
+        outcome
+    }
+
+    /// Incremental update via contraction trees.
+    fn run_incremental(
+        &mut self,
+        removed: &[SplitEntry<A>],
+        added: &[SplitEntry<A>],
+        was_full_buckets: bool,
+    ) -> Result<PhaseOutcome, JobError> {
+        let kind = self.config.mode.tree_kind().expect("incremental mode has a tree");
+        let split_processing = self.config.mode.split_processing();
+        let mut outcome = PhaseOutcome {
+            per_partition: vec![PartitionWork::default(); self.config.partitions],
+            ..Default::default()
+        };
+
+        for p in 0..self.config.partitions {
+            let live_before = self.partitions[p].trees.len();
+            let mut tree_stats = UpdateStats::default();
+            let dirty = if kind == TreeKind::Rotating {
+                self.rotate_partition(p, removed, added, was_full_buckets, &mut tree_stats)?
+            } else {
+                self.slide_partition(p, kind, removed, added, &mut tree_stats)?
+            };
+
+            // Reduce the dirty keys; every other output is reused untouched.
+            let mut reduce_work = 0u64;
+            let mut reduced = 0usize;
+            for key in &dirty {
+                let Some(tree) = self.partitions[p].trees.get_mut(key) else {
+                    continue;
+                };
+                if tree.is_empty() {
+                    self.partitions[p].trees.remove(key);
+                    self.output.remove(key);
+                    continue;
+                }
+                let parts = tree.reduce_parts();
+                let refs: Vec<&A::Value> = parts.iter().map(|a| a.as_ref()).collect();
+                reduce_work += self.app.reduce_cost(key, &refs);
+                reduced += 1;
+                let out = self.app.reduce(key, &refs);
+                self.output.insert(key.clone(), out);
+            }
+
+            // Split mode: background pre-processing for the next run.
+            if split_processing {
+                self.preprocess_partition(p, kind, &dirty, &mut tree_stats);
+            }
+
+            outcome.keys_reduced += reduced;
+            outcome.keys_reused += live_before.saturating_sub(dirty.len());
+            outcome.reduce_work += reduce_work;
+            let pw = &mut outcome.per_partition[p];
+            pw.fg_work = tree_stats.foreground.work;
+            pw.bg_work = tree_stats.background.work;
+            pw.reduce_work = reduce_work;
+            pw.memo_read_bytes = tree_stats.bytes_read;
+            pw.shuffle_bytes = added.iter().map(|e| e.out_bytes[p]).sum();
+            outcome.tree_stats.merge_from(&tree_stats);
+        }
+        Ok(outcome)
+    }
+
+    /// Variable-width / append-only / strawman slide of one partition.
+    fn slide_partition(
+        &mut self,
+        p: usize,
+        kind: TreeKind,
+        removed: &[SplitEntry<A>],
+        added: &[SplitEntry<A>],
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<A::Key>, JobError> {
+        let mut removals: HashMap<A::Key, usize> = HashMap::new();
+        for entry in removed {
+            for key in entry.by_partition[p].keys() {
+                *removals.entry(key.clone()).or_default() += 1;
+            }
+        }
+        let mut additions: BTreeMap<A::Key, Vec<Arc<A::Value>>> = BTreeMap::new();
+        for entry in added {
+            for (key, value) in &entry.by_partition[p] {
+                additions.entry(key.clone()).or_default().push(Arc::new(value.clone()));
+            }
+        }
+
+        let mut dirty: Vec<A::Key> = removals.keys().cloned().collect();
+        for key in additions.keys() {
+            if !removals.contains_key(key) {
+                dirty.push(key.clone());
+            }
+        }
+        dirty.sort_unstable();
+
+        let state = &mut self.partitions[p];
+        for key in &dirty {
+            let remove = removals.get(key).copied().unwrap_or(0);
+            let adds: Vec<Option<Arc<A::Value>>> = additions
+                .remove(key)
+                .map(|vs| vs.into_iter().map(Some).collect())
+                .unwrap_or_default();
+            let tree = state
+                .trees
+                .entry(key.clone())
+                .or_insert_with(|| Self::fresh_tree(kind, self.config.mode));
+            let mut cx = TreeCx::new(&self.combiner, key, stats);
+            tree.advance(&mut cx, remove, adds)?;
+        }
+
+        // The strawman's change propagation has no window-aware structure:
+        // it visits *every* memoized sub-computation to decide whether it
+        // can be reused (paper §2/§9 — "they require visiting all tasks in
+        // a computation even if the task is not affected by the modified
+        // data"). Clean keys re-pair entirely from the memo cache — no
+        // fresh merges, but the visit reads every memoized node.
+        if kind == TreeKind::Strawman {
+            let dirty_set: HashSet<&A::Key> = dirty.iter().collect();
+            let clean: Vec<A::Key> = state
+                .trees
+                .keys()
+                .filter(|k| !dirty_set.contains(k))
+                .cloned()
+                .collect();
+            for key in clean {
+                let tree = state.trees.get_mut(&key).expect("live key");
+                let mut cx = TreeCx::new(&self.combiner, &key, stats);
+                tree.advance(&mut cx, 0, Vec::new())?;
+            }
+        }
+        Ok(dirty)
+    }
+
+    /// Builds a fresh per-key tree honouring the split-processing flag.
+    fn fresh_tree(
+        kind: TreeKind,
+        mode: ExecMode,
+    ) -> Box<dyn ContractionTree<A::Key, A::Value>> {
+        if kind == TreeKind::Coalescing && mode.split_processing() {
+            Box::new(slider_core::CoalescingTree::with_split_processing())
+        } else {
+            build_tree::<A::Key, A::Value>(kind, 0)
+        }
+    }
+
+    /// Fixed-width bucket rotation of one partition.
+    fn rotate_partition(
+        &mut self,
+        p: usize,
+        removed: &[SplitEntry<A>],
+        added: &[SplitEntry<A>],
+        was_full: bool,
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<A::Key>, JobError> {
+        let w = self.config.bucket_width;
+        let n = self.config.window_buckets;
+        let out_buckets: Vec<&[SplitEntry<A>]> = removed.chunks(w).collect();
+        let in_buckets: Vec<&[SplitEntry<A>]> = added.chunks(w).collect();
+        let steps = in_buckets.len().max(out_buckets.len());
+        // Buckets present before this advance (the window deque was already
+        // updated by the caller).
+        let mut buckets_now = (self.window.len() + removed.len() - added.len()) / w;
+
+        let mut dirty: HashSet<A::Key> = HashSet::new();
+        for step in 0..steps {
+            let out_keys: HashSet<&A::Key> = if was_full {
+                out_buckets
+                    .get(step)
+                    .map(|b| b.iter().flat_map(|e| e.by_partition[p].keys()).collect())
+                    .unwrap_or_default()
+            } else {
+                HashSet::new()
+            };
+            // Per-key incoming values in this bucket, window-ordered.
+            let mut incoming: BTreeMap<A::Key, Vec<Arc<A::Value>>> = BTreeMap::new();
+            if let Some(bucket) = in_buckets.get(step) {
+                for entry in *bucket {
+                    for (key, value) in &entry.by_partition[p] {
+                        incoming.entry(key.clone()).or_default().push(Arc::new(value.clone()));
+                    }
+                }
+            }
+            if !was_full {
+                buckets_now += 1;
+            }
+
+            let state = &mut self.partitions[p];
+            let live_keys: Vec<A::Key> = state.trees.keys().cloned().collect();
+            for key in live_keys {
+                let leaf = match incoming.remove(&key) {
+                    Some(values) => {
+                        let mut cx = TreeCx::new(&self.combiner, &key, stats);
+                        cx.fold(Phase::Foreground, values)
+                    }
+                    None => None,
+                };
+                let outgoing = out_keys.contains(&key);
+                let tree = state.trees.get_mut(&key).expect("live key has a tree");
+                let mut cx = TreeCx::new(&self.combiner, &key, stats);
+                if outgoing || leaf.is_some() {
+                    dirty.insert(key.clone());
+                    tree.advance(&mut cx, usize::from(was_full), vec![leaf])?;
+                } else {
+                    tree.advance_absent(&mut cx)?;
+                }
+            }
+            // Brand-new keys in this bucket.
+            for (key, values) in incoming {
+                dirty.insert(key.clone());
+                let mut tree = build_tree::<A::Key, A::Value>(TreeKind::Rotating, n);
+                let mut cx = TreeCx::new(&self.combiner, &key, stats);
+                let leaf = cx.fold(Phase::Foreground, values);
+                let occupied = if was_full { n } else { buckets_now };
+                let mut leaves: Vec<Option<Arc<A::Value>>> = vec![None; occupied - 1];
+                leaves.push(leaf);
+                tree.rebuild(&mut cx, leaves);
+                state.trees.insert(key, tree);
+            }
+        }
+        let mut dirty: Vec<A::Key> = dirty.into_iter().collect();
+        dirty.sort_unstable();
+        Ok(dirty)
+    }
+
+    /// Background pre-processing after the foreground result was produced.
+    fn preprocess_partition(
+        &mut self,
+        p: usize,
+        kind: TreeKind,
+        dirty: &[A::Key],
+        stats: &mut UpdateStats,
+    ) {
+        match kind {
+            TreeKind::Coalescing => {
+                // Coalesce the pending delta of every key touched this run.
+                let state = &mut self.partitions[p];
+                for key in dirty {
+                    if let Some(tree) = state.trees.get_mut(key) {
+                        let mut cx = TreeCx::new(&self.combiner, key, stats);
+                        tree.preprocess(&mut cx);
+                    }
+                }
+            }
+            TreeKind::Rotating => {
+                // Prepare off-path aggregates for keys in the bucket that
+                // rotates out next (the oldest in the new window), and
+                // finish deferred insertions for keys touched this run.
+                let w = self.config.bucket_width;
+                let mut keys: HashSet<A::Key> = dirty.iter().cloned().collect();
+                for entry in self.window.iter().take(w) {
+                    keys.extend(entry.by_partition[p].keys().cloned());
+                }
+                let mut keys: Vec<A::Key> = keys.into_iter().collect();
+                keys.sort_unstable();
+                let state = &mut self.partitions[p];
+                for key in keys {
+                    if let Some(tree) = state.trees.get_mut(&key) {
+                        let mut cx = TreeCx::new(&self.combiner, &key, stats);
+                        tree.preprocess(&mut cx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn partition_footprint(&self, p: usize) -> u64 {
+        self.partitions[p]
+            .trees
+            .iter()
+            .map(|(key, tree)| tree.memo_bytes(&self.combiner, key))
+            .sum()
+    }
+
+    /// Builds and runs the cluster simulation for this run.
+    fn build_sim(
+        &self,
+        sim: &SimulationConfig,
+        stats: &RunStats,
+        new_entries: &[SplitEntry<A>],
+        outcome: &PhaseOutcome,
+    ) -> (slider_cluster::SimReport, Option<slider_cluster::SimReport>) {
+        let machines = sim.cluster.len().max(1);
+        let mut next_id = 0u64;
+        let mut id = || {
+            next_id += 1;
+            next_id
+        };
+
+        // Stage 1: map tasks — all splits for vanilla, new splits otherwise.
+        let map_entries: Vec<&SplitEntry<A>> = if self.config.mode == ExecMode::Recompute {
+            self.window.iter().collect()
+        } else {
+            new_entries.iter().collect()
+        };
+        let maps: Vec<Task> = map_entries
+            .iter()
+            .map(|e| {
+                Task::map(id(), e.map_work)
+                    .prefer(MachineId((e.id.0 as usize) % machines))
+                    .with_input_bytes(e.input_bytes)
+            })
+            .collect();
+
+        // Stage 2: one contraction+reduce task per partition with its
+        // actual metered work and input bytes.
+        let reduces: Vec<Task> = outcome
+            .per_partition
+            .iter()
+            .enumerate()
+            .map(|(p, pw)| {
+                let mut t = Task::reduce(id(), pw.fg_work + pw.reduce_work)
+                    .with_input_bytes(pw.shuffle_bytes + pw.memo_read_bytes);
+                if self.config.mode != ExecMode::Recompute {
+                    // Memoized state lives where this partition reduced
+                    // last; the scheduler decides whether to honour that.
+                    t = t.prefer(MachineId(p % machines));
+                }
+                t
+            })
+            .collect();
+        let _ = stats;
+
+        let fg_report = simulate(&sim.cluster, sim.policy, &[maps, reduces]);
+
+        // Background pre-processing runs off the critical path, simulated
+        // as its own single-stage schedule.
+        let bg_total: u64 = outcome.per_partition.iter().map(|pw| pw.bg_work).sum();
+        let bg_report = if bg_total > 0 {
+            let bg_tasks: Vec<Task> = outcome
+                .per_partition
+                .iter()
+                .enumerate()
+                .filter(|(_, pw)| pw.bg_work > 0)
+                .map(|(p, pw)| {
+                    Task::reduce(id(), pw.bg_work).prefer(MachineId(p % machines))
+                })
+                .collect();
+            Some(simulate(&sim.cluster, sim.policy, &[bg_tasks]))
+        } else {
+            None
+        };
+        (fg_report, bg_report)
+    }
+
+    /// Replays this run's memoization traffic through the cache model and
+    /// returns the stats delta.
+    fn play_cache_traffic(&mut self) -> CacheStats {
+        let cache = self.cache.as_mut().expect("caller checked");
+        let nodes = cache.config().nodes.max(1);
+        let before = cache.stats();
+        for p in 0..self.config.partitions {
+            let node = NodeId(p % nodes);
+            let object = ObjectId(p as u64);
+            // The contraction phase reads the partition's memoized state
+            // from the previous run, then writes the updated state back.
+            if self.run_index > 0 {
+                let _ = cache.read(object, node);
+            }
+            let footprint = self.partitions[p].memo_footprint;
+            if footprint > 0 {
+                cache.put(object, footprint, node, self.run_index);
+            }
+        }
+        cache.collect_garbage(self.run_index);
+        let after = cache.stats();
+        CacheStats {
+            memory_hits: after.memory_hits - before.memory_hits,
+            disk_reads: after.disk_reads - before.disk_reads,
+            failed_reads: after.failed_reads - before.failed_reads,
+            read_seconds: after.read_seconds - before.read_seconds,
+            bytes_read: after.bytes_read - before.bytes_read,
+            collected: after.collected - before.collected,
+            evictions: after.evictions - before.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::make_splits;
+
+    /// Word count over whitespace-separated tokens.
+    struct WordCount;
+    impl MapReduceApp for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+        fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+            for word in line.split_whitespace() {
+                emit(word.to_string(), 1);
+            }
+        }
+        fn combine(&self, _k: &String, a: &u64, b: &u64) -> u64 {
+            a + b
+        }
+        fn reduce(&self, _k: &String, parts: &[&u64]) -> u64 {
+            parts.iter().copied().sum()
+        }
+    }
+
+    fn lines(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn reference_counts(window: &[&str]) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for line in window {
+            for word in line.split_whitespace() {
+                *out.entry(word.to_string()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    fn all_modes() -> Vec<ExecMode> {
+        vec![
+            ExecMode::Recompute,
+            ExecMode::Strawman,
+            ExecMode::slider_folding(),
+            ExecMode::slider_randomized(),
+            ExecMode::slider_rotating(false),
+            ExecMode::slider_rotating(true),
+        ]
+    }
+
+    #[test]
+    fn every_mode_matches_reference_over_slides() {
+        // 8 splits of 1 line each; fixed-width geometry 8 buckets × 1.
+        let corpus = [
+            "a b c", "b c d", "c d e", "a a b", "e f", "f g a", "b b", "g h a",
+            "h i", "a c e", "b d f", "c c c",
+        ];
+        for mode in all_modes() {
+            let config = JobConfig::new(mode).with_partitions(3).with_buckets(8, 1);
+            let mut job = WindowedJob::new(WordCount, config).unwrap();
+            job.initial_run(make_splits(0, lines(&corpus[0..8]), 1)).unwrap();
+            assert_eq!(
+                job.output(),
+                &reference_counts(&corpus[0..8]),
+                "{mode}: initial run mismatch"
+            );
+
+            // Slide twice by 2 splits.
+            job.advance(2, make_splits(100, lines(&corpus[8..10]), 1)).unwrap();
+            assert_eq!(
+                job.output(),
+                &reference_counts(&corpus[2..10]),
+                "{mode}: slide 1 mismatch"
+            );
+            job.advance(2, make_splits(200, lines(&corpus[10..12]), 1)).unwrap();
+            assert_eq!(
+                job.output(),
+                &reference_counts(&corpus[4..12]),
+                "{mode}: slide 2 mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn append_only_modes_match_reference() {
+        let corpus = ["a b", "b c", "c d", "d e a", "e f b"];
+        for mode in [
+            ExecMode::Recompute,
+            ExecMode::slider_coalescing(false),
+            ExecMode::slider_coalescing(true),
+        ] {
+            let config = JobConfig::new(mode).with_partitions(2);
+            let mut job = WindowedJob::new(WordCount, config).unwrap();
+            job.initial_run(make_splits(0, lines(&corpus[0..2]), 1)).unwrap();
+            job.advance(0, make_splits(10, lines(&corpus[2..4]), 1)).unwrap();
+            job.advance(0, make_splits(20, lines(&corpus[4..5]), 1)).unwrap();
+            assert_eq!(job.output(), &reference_counts(&corpus), "{mode}");
+        }
+    }
+
+    #[test]
+    fn incremental_modes_do_less_map_work() {
+        let corpus: Vec<String> = (0..32).map(|i| format!("w{} common", i % 7)).collect();
+        let mut vanilla = WindowedJob::new(
+            WordCount,
+            JobConfig::new(ExecMode::Recompute).with_partitions(2),
+        )
+        .unwrap();
+        let mut slider = WindowedJob::new(
+            WordCount,
+            JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+        )
+        .unwrap();
+        vanilla.initial_run(make_splits(0, corpus.clone(), 2)).unwrap();
+        slider.initial_run(make_splits(0, corpus.clone(), 2)).unwrap();
+
+        let extra: Vec<String> = (0..4).map(|i| format!("x{i} common")).collect();
+        let v = vanilla.advance(2, make_splits(100, extra.clone(), 2)).unwrap();
+        let s = slider.advance(2, make_splits(100, extra, 2)).unwrap();
+        assert_eq!(vanilla.output(), slider.output());
+        assert!(
+            s.work.map < v.work.map,
+            "slider map work {} should be below vanilla {}",
+            s.work.map,
+            v.work.map
+        );
+        assert!(s.map_reused > 0);
+        assert!(
+            s.work.foreground_total() < v.work.foreground_total(),
+            "slider total {} vs vanilla {}",
+            s.work.foreground_total(),
+            v.work.foreground_total()
+        );
+    }
+
+    #[test]
+    fn split_processing_shifts_work_to_background() {
+        let corpus: Vec<String> = (0..16).map(|i| format!("k{} shared", i % 3)).collect();
+        let make_job = |split| {
+            let config =
+                JobConfig::new(ExecMode::slider_rotating(split)).with_partitions(2).with_buckets(8, 1);
+            let mut job = WindowedJob::new(WordCount, config).unwrap();
+            job.initial_run(make_splits(0, corpus.clone(), 2)).unwrap();
+            job
+        };
+        let mut plain = make_job(false);
+        let mut split = make_job(true);
+
+        let mut fg_plain = 0u64;
+        let mut fg_split = 0u64;
+        let mut bg_split = 0u64;
+        for round in 0..4u64 {
+            let adds: Vec<String> = (0..2).map(|i| format!("k{} fresh{round}", i)).collect();
+            let p = plain.advance(1, make_splits(1000 + round * 10, adds.clone(), 2)).unwrap();
+            let s = split.advance(1, make_splits(2000 + round * 10, adds, 2)).unwrap();
+            assert_eq!(plain.output(), split.output(), "round {round}");
+            fg_plain += p.work.contraction_fg.work;
+            fg_split += s.work.contraction_fg.work;
+            bg_split += s.work.contraction_bg.work;
+            assert_eq!(p.work.contraction_bg.work, 0);
+        }
+        assert!(bg_split > 0, "split mode must offload to background");
+        assert!(
+            fg_split < fg_plain,
+            "split foreground {fg_split} should undercut plain {fg_plain}"
+        );
+    }
+
+    #[test]
+    fn window_discipline_is_enforced() {
+        // Append-only cannot remove.
+        let mut job = WindowedJob::new(
+            WordCount,
+            JobConfig::new(ExecMode::slider_coalescing(false)),
+        )
+        .unwrap();
+        job.initial_run(make_splits(0, lines(&["a"]), 1)).unwrap();
+        assert!(matches!(
+            job.advance(1, vec![]),
+            Err(JobError::ModeViolation(_))
+        ));
+
+        // Fixed-width must slide whole buckets.
+        let mut job = WindowedJob::new(
+            WordCount,
+            JobConfig::new(ExecMode::slider_rotating(false)).with_buckets(4, 2),
+        )
+        .unwrap();
+        job.initial_run(make_splits(0, lines(&["a", "b", "c", "d", "e", "f", "g", "h"]), 1))
+            .unwrap();
+        assert!(matches!(
+            job.advance(1, make_splits(100, lines(&["x"]), 1)),
+            Err(JobError::ModeViolation(_))
+        ));
+
+        // Duplicate split ids are rejected.
+        let mut job =
+            WindowedJob::new(WordCount, JobConfig::new(ExecMode::slider_folding())).unwrap();
+        job.initial_run(make_splits(0, lines(&["a"]), 1)).unwrap();
+        assert_eq!(
+            job.advance(0, make_splits(0, lines(&["b"]), 1)).unwrap_err(),
+            JobError::DuplicateSplit(0)
+        );
+
+        // Removing beyond the window is rejected.
+        assert!(matches!(
+            job.advance(5, vec![]),
+            Err(JobError::RemoveExceedsWindow { requested: 5, window: 1 })
+        ));
+    }
+
+    #[test]
+    fn simulation_produces_time_metrics() {
+        let config = JobConfig::new(ExecMode::slider_folding())
+            .with_partitions(4)
+            .with_simulation(SimulationConfig::paper_defaults());
+        let mut job = WindowedJob::new(WordCount, config).unwrap();
+        let corpus: Vec<String> = (0..16).map(|i| format!("w{i} c")).collect();
+        let stats = job.initial_run(make_splits(0, corpus, 2)).unwrap();
+        let sim = stats.sim.as_ref().expect("simulation configured");
+        assert!(sim.makespan > 0.0);
+        assert_eq!(sim.stages.len(), 2);
+        assert!(stats.map_seconds().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cache_model_records_traffic_and_failures() {
+        let config = JobConfig::new(ExecMode::slider_folding())
+            .with_partitions(2)
+            .with_cache(slider_dcache::CacheConfig::paper_defaults(4));
+        let mut job = WindowedJob::new(WordCount, config).unwrap();
+        job.initial_run(make_splits(0, lines(&["a b", "b c"]), 1)).unwrap();
+        let stats = job.advance(1, make_splits(10, lines(&["c d"]), 1)).unwrap();
+        let cache = stats.cache.expect("cache configured");
+        assert!(cache.memory_hits > 0, "memoized state should be read from memory");
+
+        // Crash the node holding partition 0's state: next run reads fall
+        // back to disk replicas but still succeed.
+        job.fail_cache_node(0);
+        let stats = job.advance(1, make_splits(11, lines(&["d e"]), 1)).unwrap();
+        let cache = stats.cache.expect("cache configured");
+        assert!(cache.disk_reads > 0, "failure must fall back to replicas");
+        assert_eq!(cache.failed_reads, 0);
+        assert_eq!(job.output(), &reference_counts(&["c d", "d e"]));
+    }
+
+    #[test]
+    fn strawman_pays_more_contraction_work_than_folding_on_front_removal() {
+        let corpus: Vec<String> = (0..64).map(|_| "k".to_string()).collect();
+        let run = |mode: ExecMode| {
+            let mut job =
+                WindowedJob::new(WordCount, JobConfig::new(mode).with_partitions(1)).unwrap();
+            job.initial_run(make_splits(0, corpus.clone(), 1)).unwrap();
+            let stats =
+                job.advance(1, make_splits(100, vec!["k".to_string()], 1)).unwrap();
+            stats.work.contraction_fg.merges
+        };
+        let strawman = run(ExecMode::Strawman);
+        let folding = run(ExecMode::slider_folding());
+        assert!(
+            strawman > 2 * folding.max(1),
+            "strawman {strawman} merges vs folding {folding}"
+        );
+    }
+
+    #[test]
+    fn output_accessors_work() {
+        let mut job =
+            WindowedJob::new(WordCount, JobConfig::new(ExecMode::slider_folding())).unwrap();
+        job.initial_run(make_splits(0, lines(&["hello world"]), 1)).unwrap();
+        assert_eq!(job.window_splits(), 1);
+        assert!(job.memo_footprint_bytes() > 0);
+        assert!(format!("{job:?}").contains("WindowedJob"));
+        assert_eq!(job.config().partitions, 8);
+    }
+}

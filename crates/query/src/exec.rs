@@ -1,0 +1,277 @@
+//! Query compilation and incremental execution.
+
+use std::error::Error;
+use std::fmt;
+
+use slider_mapreduce::{
+    JobConfig, JobError, Pipeline, PipelineRunResult, Split,
+};
+
+use crate::plan::{Query, QueryOp, Row};
+use crate::stage::RowStage;
+
+/// Errors from query compilation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The underlying MapReduce job rejected the operation.
+    Job(JobError),
+    /// The plan cannot be compiled (detailed in the message).
+    BadPlan(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Job(e) => write!(f, "job error: {e}"),
+            QueryError::BadPlan(msg) => write!(f, "bad query plan: {msg}"),
+        }
+    }
+}
+
+impl Error for QueryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QueryError::Job(e) => Some(e),
+            QueryError::BadPlan(_) => None,
+        }
+    }
+}
+
+impl From<JobError> for QueryError {
+    fn from(e: JobError) -> Self {
+        QueryError::Job(e)
+    }
+}
+
+/// Statistics of one query run: the underlying pipeline's result.
+pub type QueryRunStats = PipelineRunResult;
+
+/// A compiled, incrementally executable query.
+///
+/// Obtained from [`Query::compile`]; drive it with
+/// [`QueryExecutor::initial_run`] / [`QueryExecutor::advance`] and read
+/// [`QueryExecutor::rows`].
+#[derive(Debug)]
+pub struct QueryExecutor {
+    pipeline: Pipeline<RowStage>,
+    jobs: usize,
+}
+
+impl Query {
+    /// Compiles the query into a pipeline: the window-facing first job runs
+    /// under `config` (whose [`slider_mapreduce::ExecMode`] selects the
+    /// §3–§4 tree), and every later job uses strawman trees over
+    /// `inner_buckets` change-detection buckets (§5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::BadPlan`] for unusable plans and propagates
+    /// job-configuration errors.
+    pub fn compile(
+        &self,
+        config: JobConfig,
+        inner_buckets: usize,
+    ) -> Result<QueryExecutor, QueryError> {
+        if inner_buckets == 0 {
+            return Err(QueryError::BadPlan("inner_buckets must be positive".into()));
+        }
+        // Split the operator list into jobs at blocking operators.
+        let mut jobs: Vec<(Vec<QueryOp>, Option<QueryOp>)> = Vec::new();
+        let mut fused: Vec<QueryOp> = Vec::new();
+        for op in self.ops() {
+            if op.is_blocking() {
+                jobs.push((std::mem::take(&mut fused), Some(op.clone())));
+            } else {
+                fused.push(op.clone());
+            }
+        }
+        if !fused.is_empty() || jobs.is_empty() {
+            jobs.push((fused, None));
+        }
+
+        let mut iter = jobs.into_iter();
+        let (first_mappers, first_blocking) = iter.next().expect("at least one job");
+        let mut pipeline =
+            Pipeline::new(RowStage::new(first_mappers, first_blocking), config)?;
+        for (i, (mappers, blocking)) in iter.enumerate() {
+            pipeline = pipeline.add_stage(
+                format!("stage-{}", i + 2),
+                RowStage::new(mappers, blocking),
+                inner_buckets,
+            );
+        }
+        let jobs = pipeline.stages();
+        Ok(QueryExecutor { pipeline, jobs })
+    }
+}
+
+impl QueryExecutor {
+    /// Number of MapReduce jobs in the compiled pipeline.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs the initial window through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-discipline violations from the first job.
+    pub fn initial_run(&mut self, splits: Vec<Split<Row>>) -> Result<QueryRunStats, QueryError> {
+        Ok(self.pipeline.initial_run(splits)?)
+    }
+
+    /// Slides the window and updates the query answer incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-discipline violations from the first job.
+    pub fn advance(
+        &mut self,
+        remove_splits: usize,
+        added: Vec<Split<Row>>,
+    ) -> Result<QueryRunStats, QueryError> {
+        Ok(self.pipeline.advance(remove_splits, added)?)
+    }
+
+    /// The current query answer.
+    pub fn rows(&self) -> Vec<Row> {
+        self.pipeline.final_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggFn, CmpOp, Expr, Field, Predicate};
+    use slider_mapreduce::{make_splits, ExecMode};
+
+    fn views(n: i64) -> Vec<Row> {
+        // [user, page, revenue]
+        (0..n)
+            .map(|i| vec![Field::Int(i % 5), Field::Int(i % 3), Field::Int(10 * (i % 7))])
+            .collect()
+    }
+
+    fn reference_group_sum(rows: &[Row]) -> std::collections::BTreeMap<i64, i64> {
+        let mut out = std::collections::BTreeMap::new();
+        for r in rows {
+            *out.entry(r[1].as_int().unwrap()).or_insert(0) += r[2].as_int().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn single_job_group_by_matches_reference() {
+        let query = Query::load().group_by(vec![1], vec![AggFn::Sum(2)]);
+        let mut exec = query
+            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .unwrap();
+        assert_eq!(exec.jobs(), 1);
+
+        let data = views(30);
+        exec.initial_run(make_splits(0, data[0..20].to_vec(), 5)).unwrap();
+        let expected = reference_group_sum(&data[0..20]);
+        let got: std::collections::BTreeMap<i64, i64> = exec
+            .rows()
+            .into_iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(got, expected);
+
+        // Slide.
+        exec.advance(1, make_splits(100, data[20..30].to_vec(), 5)).unwrap();
+        let expected = reference_group_sum(&data[5..30]);
+        let got: std::collections::BTreeMap<i64, i64> = exec
+            .rows()
+            .into_iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multi_job_pipeline_with_filter_and_topk() {
+        // Pages with total revenue, filtered to busy users, top-2 pages.
+        let query = Query::load()
+            .filter(Predicate::Cmp {
+                left: Expr::Col(0),
+                op: CmpOp::Ge,
+                right: Expr::Lit(Field::Int(1)),
+            })
+            .group_by(vec![1], vec![AggFn::Sum(2)])
+            .top_k(1, 2, true);
+        let mut exec = query
+            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .unwrap();
+        assert_eq!(exec.jobs(), 2);
+
+        let data = views(40);
+        exec.initial_run(make_splits(0, data.clone(), 8)).unwrap();
+
+        // Reference: same computation in plain Rust.
+        let filtered: Vec<Row> =
+            data.iter().filter(|r| r[0].as_int().unwrap() >= 1).cloned().collect();
+        let sums = reference_group_sum(&filtered);
+        let mut ranked: Vec<(i64, i64)> = sums.into_iter().map(|(p, s)| (s, p)).collect();
+        ranked.sort_by(|a, b| b.cmp(a));
+        let expected: Vec<i64> = ranked.iter().take(2).map(|(s, _)| *s).collect();
+
+        let got: Vec<i64> =
+            exec.rows().iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn incremental_pipeline_matches_vanilla_pipeline() {
+        let query = Query::load()
+            .group_by(vec![0], vec![AggFn::Count])
+            .group_by(vec![1], vec![AggFn::Count]); // histogram of user activity
+        let run = |mode| {
+            let mut exec = query
+                .compile(JobConfig::new(mode).with_partitions(2), 4)
+                .unwrap();
+            let data = views(60);
+            exec.initial_run(make_splits(0, data[0..40].to_vec(), 10)).unwrap();
+            exec.advance(1, make_splits(100, data[40..50].to_vec(), 10)).unwrap();
+            let mut rows = exec.rows();
+            rows.sort();
+            rows
+        };
+        assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_folding()));
+        assert_eq!(run(ExecMode::Recompute), run(ExecMode::Strawman));
+    }
+
+    #[test]
+    fn bad_plan_is_rejected() {
+        let query = Query::load();
+        assert!(matches!(
+            query.compile(JobConfig::new(ExecMode::slider_folding()), 0),
+            Err(QueryError::BadPlan(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_deduplicates_across_slides() {
+        let query = Query::load().distinct(vec![0]);
+        let mut exec = query
+            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .unwrap();
+        let rows: Vec<Row> = vec![
+            vec![Field::Int(1)],
+            vec![Field::Int(1)],
+            vec![Field::Int(2)],
+            vec![Field::Int(3)],
+        ];
+        exec.initial_run(make_splits(0, rows, 2)).unwrap();
+        let mut got = exec.rows();
+        got.sort();
+        assert_eq!(got, vec![vec![Field::Int(1)], vec![Field::Int(2)], vec![Field::Int(3)]]);
+
+        // Remove the split containing both 1s: key 1 disappears.
+        exec.advance(1, vec![]).unwrap();
+        let mut got = exec.rows();
+        got.sort();
+        assert_eq!(got, vec![vec![Field::Int(2)], vec![Field::Int(3)]]);
+    }
+}

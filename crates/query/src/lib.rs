@@ -1,0 +1,43 @@
+//! # slider-query — declarative dataflow queries over sliding windows
+//!
+//! Reproduces Slider's query-processing layer (paper §5): a Pig-Latin-like
+//! declarative plan is compiled into a pipeline of MapReduce jobs, where
+//! the window-facing first job uses the self-adjusting contraction tree
+//! matching the window discipline and every later job propagates changes
+//! with strawman trees (`slider_mapreduce::Pipeline`).
+//!
+//! ```
+//! use slider_query::{AggFn, Field, Query, Row};
+//! use slider_mapreduce::{make_splits, ExecMode, JobConfig};
+//!
+//! // SELECT page, COUNT(*) FROM views GROUP BY page → top 2 by count.
+//! let query = Query::load()
+//!     .group_by(vec![0], vec![AggFn::Count])
+//!     .top_k(1, 2, true);
+//! let mut exec = query
+//!     .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 8)?;
+//!
+//! let rows: Vec<Row> = (0..10)
+//!     .map(|i| vec![Field::Int(i % 3)]) // pages 0,1,2
+//!     .collect();
+//! exec.initial_run(make_splits(0, rows, 5))?;
+//! let top = exec.rows();
+//! assert_eq!(top.len(), 2);
+//! assert_eq!(top[0], vec![Field::Int(0), Field::Int(4)]); // page 0 viewed 4×
+//! # Ok::<(), slider_query::QueryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod parser;
+mod pigmix;
+mod plan;
+mod stage;
+
+pub use exec::{QueryError, QueryExecutor, QueryRunStats};
+pub use parser::{parse_script, ParseError, TableRegistry};
+pub use pigmix::{pageview_row, pigmix_queries, user_table, PigMixQuery};
+pub use plan::{AggFn, CmpOp, Expr, Field, Predicate, Query, QueryOp, Row};
+pub use stage::{QValue, RowStage};

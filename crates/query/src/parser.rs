@@ -1,0 +1,539 @@
+//! A Pig-Latin-like script parser (§5: "Pig consists of a high-level
+//! language similar to SQL, and a compiler that translates Pig programs
+//! to a workflow of multiple pipelined MapReduce jobs").
+//!
+//! The dialect covers the operators the query layer supports, in linear
+//! pipelines (each statement consumes the previous alias):
+//!
+//! ```text
+//! views  = LOAD 'pageviews';
+//! big    = FILTER views BY $3 > 4000 AND $0 != 7;
+//! slim   = FOREACH big GENERATE $0, $4;
+//! joined = JOIN slim BY $0, users;
+//! byuser = GROUP joined BY $2 AGGREGATE COUNT, SUM($1);
+//! top    = ORDER byuser BY $2 DESC LIMIT 10;
+//! ```
+//!
+//! `JOIN ... , users` performs a replicated (broadcast) join against a
+//! static table registered with the parser by name.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::plan::{AggFn, CmpOp, Expr, Field, Predicate, Query, Row};
+
+/// A parse error with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based script line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Static tables available to `JOIN` statements, by name.
+pub type TableRegistry = HashMap<String, HashMap<Field, Vec<Row>>>;
+
+/// Parses `script` into a [`Query`], resolving join tables from `tables`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for syntax errors,
+/// unknown tables, and dataflow violations (each statement must consume
+/// the previous statement's alias; the first statement must be `LOAD`).
+pub fn parse_script(script: &str, tables: &TableRegistry) -> Result<Query, ParseError> {
+    let mut query = Query::load();
+    let mut previous_alias: Option<String> = None;
+
+    for (idx, raw_line) in script.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError { line: line_no, message };
+        let statement = line
+            .strip_suffix(';')
+            .ok_or_else(|| err("statement must end with ';'".into()))?;
+
+        let (alias, rest) = statement
+            .split_once('=')
+            .ok_or_else(|| err("expected '<alias> = <operator> ...'".into()))?;
+        let alias = alias.trim().to_string();
+        if alias.is_empty() || !alias.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err(format!("bad alias '{alias}'")));
+        }
+        let mut tokens = Tokenizer::new(rest);
+
+        let op = tokens.ident().map_err(&err)?;
+        match op.to_ascii_uppercase().as_str() {
+            "LOAD" => {
+                if previous_alias.is_some() {
+                    return Err(err("LOAD must be the first statement".into()));
+                }
+                tokens.string().map_err(&err)?; // relation name, informational
+            }
+            "FILTER" => {
+                expect_previous(&mut tokens, &previous_alias).map_err(&err)?;
+                tokens.keyword("BY").map_err(&err)?;
+                let predicate = parse_or(&mut tokens).map_err(&err)?;
+                query = query.filter(predicate);
+            }
+            "FOREACH" => {
+                expect_previous(&mut tokens, &previous_alias).map_err(&err)?;
+                tokens.keyword("GENERATE").map_err(&err)?;
+                let exprs = parse_expr_list(&mut tokens).map_err(&err)?;
+                query = query.project(exprs);
+            }
+            "JOIN" => {
+                expect_previous(&mut tokens, &previous_alias).map_err(&err)?;
+                tokens.keyword("BY").map_err(&err)?;
+                let col = tokens.column().map_err(&err)?;
+                tokens.punct(',').map_err(&err)?;
+                let table_name = tokens.ident().map_err(&err)?;
+                let table = tables
+                    .get(&table_name)
+                    .ok_or_else(|| err(format!("unknown join table '{table_name}'")))?;
+                query = query.join_static(table.clone(), col);
+            }
+            "GROUP" => {
+                expect_previous(&mut tokens, &previous_alias).map_err(&err)?;
+                tokens.keyword("BY").map_err(&err)?;
+                let cols = parse_column_list(&mut tokens).map_err(&err)?;
+                tokens.keyword("AGGREGATE").map_err(&err)?;
+                let aggs = parse_agg_list(&mut tokens).map_err(&err)?;
+                query = query.group_by(cols, aggs);
+            }
+            "DISTINCT" => {
+                expect_previous(&mut tokens, &previous_alias).map_err(&err)?;
+                tokens.keyword("ON").map_err(&err)?;
+                let cols = parse_column_list(&mut tokens).map_err(&err)?;
+                query = query.distinct(cols);
+            }
+            "ORDER" => {
+                expect_previous(&mut tokens, &previous_alias).map_err(&err)?;
+                tokens.keyword("BY").map_err(&err)?;
+                let col = tokens.column().map_err(&err)?;
+                let desc = match tokens.peek_ident().map(|s| s.to_ascii_uppercase()) {
+                    Some(dir) if dir == "DESC" => {
+                        tokens.ident().map_err(&err)?;
+                        true
+                    }
+                    Some(dir) if dir == "ASC" => {
+                        tokens.ident().map_err(&err)?;
+                        false
+                    }
+                    _ => true,
+                };
+                tokens.keyword("LIMIT").map_err(&err)?;
+                let k = tokens.integer().map_err(&err)?;
+                if k <= 0 {
+                    return Err(err("LIMIT must be positive".into()));
+                }
+                query = query.top_k(col, k as usize, desc);
+            }
+            other => return Err(err(format!("unknown operator '{other}'"))),
+        }
+        if !tokens.at_end() {
+            return Err(err(format!("unexpected trailing input: '{}'", tokens.rest())));
+        }
+        previous_alias = Some(alias);
+    }
+
+    if previous_alias.is_none() {
+        return Err(ParseError { line: 1, message: "empty script".into() });
+    }
+    Ok(query)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("--") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn expect_previous(tokens: &mut Tokenizer<'_>, previous: &Option<String>) -> Result<(), String> {
+    let from = tokens.ident()?;
+    match previous {
+        None => Err("pipeline must start with LOAD".into()),
+        Some(prev) if *prev == from => Ok(()),
+        Some(prev) => Err(format!(
+            "statement consumes '{from}' but the previous alias is '{prev}' (pipelines are linear)"
+        )),
+    }
+}
+
+fn parse_expr_list(tokens: &mut Tokenizer<'_>) -> Result<Vec<Expr>, String> {
+    let mut exprs = vec![parse_expr(tokens)?];
+    while tokens.try_punct(',') {
+        exprs.push(parse_expr(tokens)?);
+    }
+    Ok(exprs)
+}
+
+fn parse_column_list(tokens: &mut Tokenizer<'_>) -> Result<Vec<usize>, String> {
+    let mut cols = vec![tokens.column()?];
+    while tokens.try_punct(',') {
+        cols.push(tokens.column()?);
+    }
+    Ok(cols)
+}
+
+fn parse_agg_list(tokens: &mut Tokenizer<'_>) -> Result<Vec<AggFn>, String> {
+    let mut aggs = vec![parse_agg(tokens)?];
+    while tokens.try_punct(',') {
+        aggs.push(parse_agg(tokens)?);
+    }
+    Ok(aggs)
+}
+
+fn parse_agg(tokens: &mut Tokenizer<'_>) -> Result<AggFn, String> {
+    let name = tokens.ident()?.to_ascii_uppercase();
+    if name == "COUNT" {
+        return Ok(AggFn::Count);
+    }
+    tokens.punct('(')?;
+    let col = tokens.column()?;
+    tokens.punct(')')?;
+    match name.as_str() {
+        "SUM" => Ok(AggFn::Sum(col)),
+        "MIN" => Ok(AggFn::Min(col)),
+        "MAX" => Ok(AggFn::Max(col)),
+        "AVG" => Ok(AggFn::Avg(col)),
+        other => Err(format!("unknown aggregate '{other}'")),
+    }
+}
+
+fn parse_expr(tokens: &mut Tokenizer<'_>) -> Result<Expr, String> {
+    if let Some(col) = tokens.try_column() {
+        return Ok(Expr::Col(col));
+    }
+    if let Some(i) = tokens.try_integer() {
+        return Ok(Expr::Lit(Field::Int(i)));
+    }
+    if let Some(s) = tokens.try_string() {
+        return Ok(Expr::Lit(Field::Str(s)));
+    }
+    Err(format!("expected $column, integer, or 'string' (at '{}')", tokens.rest()))
+}
+
+/// `or := and (OR and)*`
+fn parse_or(tokens: &mut Tokenizer<'_>) -> Result<Predicate, String> {
+    let mut terms = vec![parse_and(tokens)?];
+    while tokens.try_keyword("OR") {
+        terms.push(parse_and(tokens)?);
+    }
+    Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::Or(terms) })
+}
+
+/// `and := cmp (AND cmp)*`
+fn parse_and(tokens: &mut Tokenizer<'_>) -> Result<Predicate, String> {
+    let mut terms = vec![parse_cmp(tokens)?];
+    while tokens.try_keyword("AND") {
+        terms.push(parse_cmp(tokens)?);
+    }
+    Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::And(terms) })
+}
+
+/// `cmp := '(' or ')' | expr op expr`
+fn parse_cmp(tokens: &mut Tokenizer<'_>) -> Result<Predicate, String> {
+    if tokens.try_punct('(') {
+        let inner = parse_or(tokens)?;
+        tokens.punct(')')?;
+        return Ok(inner);
+    }
+    let left = parse_expr(tokens)?;
+    let op = tokens.cmp_op()?;
+    let right = parse_expr(tokens)?;
+    Ok(Predicate::Cmp { left, op, right })
+}
+
+/// A small hand-rolled tokenizer over one statement.
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn rest(&self) -> &str {
+        self.input[self.pos..].trim()
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.input.len()
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let len = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').count();
+        if len == 0 {
+            return Err(format!("expected identifier at '{}'", self.rest()));
+        }
+        let out: String = rest.chars().take(len).collect();
+        self.pos += out.len();
+        Ok(out)
+    }
+
+    fn peek_ident(&mut self) -> Option<String> {
+        let save = self.pos;
+        let out = self.ident().ok();
+        self.pos = save;
+        out
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        let got = self.ident()?;
+        if got.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected {kw}, found '{got}'"))
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        if self.keyword(kw).is_ok() {
+            true
+        } else {
+            self.pos = save;
+            false
+        }
+    }
+
+    fn punct(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(format!("expected '{c}' at '{}'", self.rest()))
+        }
+    }
+
+    fn try_punct(&mut self, c: char) -> bool {
+        let save = self.pos;
+        if self.punct(c).is_ok() {
+            true
+        } else {
+            self.pos = save;
+            false
+        }
+    }
+
+    fn column(&mut self) -> Result<usize, String> {
+        self.punct('$')?;
+        let n = self.integer()?;
+        usize::try_from(n).map_err(|_| "negative column index".to_string())
+    }
+
+    fn try_column(&mut self) -> Option<usize> {
+        let save = self.pos;
+        match self.column() {
+            Ok(c) => Some(c),
+            Err(_) => {
+                self.pos = save;
+                None
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let negative = rest.starts_with('-');
+        let digits_start = usize::from(negative);
+        let len = rest[digits_start..].chars().take_while(char::is_ascii_digit).count();
+        if len == 0 {
+            return Err(format!("expected integer at '{}'", self.rest()));
+        }
+        let text = &rest[..digits_start + len];
+        self.pos += text.len();
+        text.parse().map_err(|e| format!("bad integer '{text}': {e}"))
+    }
+
+    fn try_integer(&mut self) -> Option<i64> {
+        let save = self.pos;
+        match self.integer() {
+            Ok(i) => Some(i),
+            Err(_) => {
+                self.pos = save;
+                None
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.punct('\'')?;
+        let rest = &self.input[self.pos..];
+        let end = rest.find('\'').ok_or_else(|| "unterminated string".to_string())?;
+        let out = rest[..end].to_string();
+        self.pos += end + 1;
+        Ok(out)
+    }
+
+    fn try_string(&mut self) -> Option<String> {
+        let save = self.pos;
+        match self.string() {
+            Ok(s) => Some(s),
+            Err(_) => {
+                self.pos = save;
+                None
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, String> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let (op, len) = if rest.starts_with("!=") {
+            (CmpOp::Ne, 2)
+        } else if rest.starts_with("<=") {
+            (CmpOp::Le, 2)
+        } else if rest.starts_with(">=") {
+            (CmpOp::Ge, 2)
+        } else if rest.starts_with("==") {
+            (CmpOp::Eq, 2)
+        } else if rest.starts_with('<') {
+            (CmpOp::Lt, 1)
+        } else if rest.starts_with('>') {
+            (CmpOp::Gt, 1)
+        } else if rest.starts_with('=') {
+            (CmpOp::Eq, 1)
+        } else {
+            return Err(format!("expected comparison operator at '{}'", self.rest()));
+        };
+        self.pos += len;
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::QueryOp;
+
+    fn registry() -> TableRegistry {
+        let mut tables = TableRegistry::new();
+        let mut users = HashMap::new();
+        users.insert(Field::Int(1), vec![vec![Field::Str("alice".into())]]);
+        tables.insert("users".to_string(), users);
+        tables
+    }
+
+    #[test]
+    fn parses_the_full_dialect() {
+        let script = "
+            views  = LOAD 'pageviews';                       -- the windowed relation
+            big    = FILTER views BY $3 > 4000 AND ($0 != 7 OR $1 = 0);
+            slim   = FOREACH big GENERATE $0, $4, 100;
+            joined = JOIN slim BY $0, users;
+            byuser = GROUP joined BY $2 AGGREGATE COUNT, SUM($1), AVG($1);
+            top    = ORDER byuser BY $2 DESC LIMIT 10;
+        ";
+        let query = parse_script(script, &registry()).expect("parses");
+        assert_eq!(query.job_count(), 2);
+        let kinds: Vec<&'static str> = query
+            .ops()
+            .iter()
+            .map(|op| match op {
+                QueryOp::Filter(_) => "filter",
+                QueryOp::Project(_) => "project",
+                QueryOp::JoinStatic { .. } => "join",
+                QueryOp::GroupBy { .. } => "group",
+                QueryOp::Distinct(_) => "distinct",
+                QueryOp::TopK { .. } => "topk",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["filter", "project", "join", "group", "topk"]);
+    }
+
+    #[test]
+    fn parsed_query_runs_end_to_end() {
+        use slider_mapreduce::{make_splits, ExecMode, JobConfig};
+        let script = "
+            rows = LOAD 'numbers';
+            pos  = FILTER rows BY $0 >= 0;
+            byv  = GROUP pos BY $0 AGGREGATE COUNT;
+            top  = ORDER byv BY $1 DESC LIMIT 2;
+        ";
+        let query = parse_script(script, &TableRegistry::new()).unwrap();
+        let mut exec = query
+            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .unwrap();
+        let rows: Vec<Row> = [-1i64, 2, 2, 2, 3, 3, 5]
+            .iter()
+            .map(|&v| vec![Field::Int(v)])
+            .collect();
+        exec.initial_run(make_splits(0, rows, 3)).unwrap();
+        let top = exec.rows();
+        assert_eq!(top[0], vec![Field::Int(2), Field::Int(3)]);
+        assert_eq!(top[1], vec![Field::Int(3), Field::Int(2)]);
+    }
+
+    #[test]
+    fn distinct_statement_parses() {
+        let script = "
+            rows = LOAD 'r';
+            ded  = DISTINCT rows ON $0, $2;
+        ";
+        let query = parse_script(script, &TableRegistry::new()).unwrap();
+        assert!(matches!(query.ops()[0], QueryOp::Distinct(ref cols) if cols == &[0, 2]));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let script = "rows = LOAD 'r';\nbad = FILTER rows BY $0 ~ 3;";
+        let err = parse_script(script, &TableRegistry::new()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("comparison"));
+    }
+
+    #[test]
+    fn nonlinear_pipelines_are_rejected() {
+        let script = "a = LOAD 'r';\nb = FILTER a BY $0 > 1;\nc = FILTER a BY $0 > 2;";
+        let err = parse_script(script, &TableRegistry::new()).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("linear"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_table_and_missing_load_are_rejected() {
+        let err = parse_script("a = LOAD 'r';\nj = JOIN a BY $0, nope;", &registry())
+            .unwrap_err();
+        assert!(err.message.contains("unknown join table"));
+
+        let err = parse_script("a = FILTER x BY $0 > 1;", &registry()).unwrap_err();
+        assert!(err.message.contains("LOAD"));
+
+        let err = parse_script("  \n", &registry()).unwrap_err();
+        assert!(err.message.contains("empty"));
+    }
+
+    #[test]
+    fn missing_semicolon_is_rejected() {
+        let err = parse_script("a = LOAD 'r'", &registry()).unwrap_err();
+        assert!(err.message.contains(";"));
+    }
+}

@@ -1,0 +1,162 @@
+//! A PigMix-like query suite over the synthetic page-view relation
+//! (Figure 10's workload).
+//!
+//! PigMix scripts compile to long pipelines of MapReduce jobs over a wide
+//! page-view relation, optionally joined against a user relation. The five
+//! queries here cover its operator mix — scan+group, replicated join,
+//! distinct, filter and order-by-limit — each compiling to 2–3 jobs.
+//!
+//! Page-view row schema: `[user, page, time, bytes, revenue]`
+//! (all `Field::Int`). Joined user columns append `[age, region]`.
+
+use std::collections::HashMap;
+
+use slider_workloads::pageviews::{PageView, UserRow};
+
+use crate::plan::{AggFn, CmpOp, Expr, Field, Predicate, Query, Row};
+
+/// A named query of the suite.
+#[derive(Debug, Clone)]
+pub struct PigMixQuery {
+    /// Short identifier (L1-style).
+    pub name: &'static str,
+    /// The logical plan.
+    pub query: Query,
+}
+
+/// Converts a generated page view into its relational row.
+pub fn pageview_row(v: &PageView) -> Row {
+    vec![
+        Field::Int(v.user as i64),
+        Field::Int(v.page as i64),
+        Field::Int(v.time as i64),
+        Field::Int(v.bytes as i64),
+        Field::Int(v.revenue_micros as i64),
+    ]
+}
+
+/// Builds the broadcast-join table from the user relation:
+/// `user -> [age, region]`.
+pub fn user_table(users: &[UserRow]) -> HashMap<Field, Vec<Row>> {
+    users
+        .iter()
+        .map(|u| {
+            (
+                Field::Int(u.user as i64),
+                vec![vec![Field::Int(u.age as i64), Field::Int(u.region as i64)]],
+            )
+        })
+        .collect()
+}
+
+/// The query suite. `users` feeds the replicated joins.
+pub fn pigmix_queries(users: &[UserRow]) -> Vec<PigMixQuery> {
+    let table = user_table(users);
+    vec![
+        // L1: hottest pages — group by page, count, top-10.
+        PigMixQuery {
+            name: "L1-hot-pages",
+            query: Query::load()
+                .group_by(vec![1], vec![AggFn::Count])
+                .top_k(1, 10, true),
+        },
+        // L2: revenue by region — replicated join + group + rank.
+        PigMixQuery {
+            name: "L2-region-revenue",
+            query: Query::load()
+                .join_static(table.clone(), 0)
+                .group_by(vec![6], vec![AggFn::Sum(4), AggFn::Count])
+                .top_k(1, 5, true),
+        },
+        // L3: page audience size — distinct (page,user), count per page,
+        // top-10: a three-job pipeline.
+        PigMixQuery {
+            name: "L3-page-audience",
+            query: Query::load()
+                .distinct(vec![1, 0])
+                .group_by(vec![0], vec![AggFn::Count])
+                .top_k(1, 10, true),
+        },
+        // L4: heavy downloaders — filter, group by user, rank by bytes.
+        PigMixQuery {
+            name: "L4-heavy-users",
+            query: Query::load()
+                .filter(Predicate::Cmp {
+                    left: Expr::Col(3),
+                    op: CmpOp::Gt,
+                    right: Expr::Lit(Field::Int(4_000)),
+                })
+                .group_by(vec![0], vec![AggFn::Count, AggFn::Sum(3)])
+                .top_k(2, 10, true),
+        },
+        // L5: spend per age bracket — join + average + rank.
+        PigMixQuery {
+            name: "L5-age-spend",
+            query: Query::load()
+                .join_static(table, 0)
+                .group_by(vec![5], vec![AggFn::Avg(4), AggFn::Count])
+                .top_k(1, 8, true),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_mapreduce::{make_splits, ExecMode, JobConfig};
+    use slider_workloads::pageviews::{generate_users, generate_views, PageViewConfig};
+
+    #[test]
+    fn all_queries_compile_and_run_incrementally() {
+        let cfg = PageViewConfig { users: 50, pages: 30, skew: 1.0 };
+        let users = generate_users(0, &cfg);
+        let views: Vec<Row> =
+            generate_views(1, &cfg, 0, 300).iter().map(pageview_row).collect();
+
+        for pq in pigmix_queries(&users) {
+            let run = |mode| {
+                let mut exec = pq
+                    .query
+                    .compile(JobConfig::new(mode).with_partitions(2), 8)
+                    .unwrap();
+                exec.initial_run(make_splits(0, views[0..200].to_vec(), 20)).unwrap();
+                exec.advance(2, make_splits(100, views[200..240].to_vec(), 20)).unwrap();
+                exec.rows()
+            };
+            let vanilla = run(ExecMode::Recompute);
+            let slider = run(ExecMode::slider_folding());
+            assert_eq!(vanilla, slider, "query {} diverged", pq.name);
+            assert!(!vanilla.is_empty(), "query {} returned nothing", pq.name);
+        }
+    }
+
+    #[test]
+    fn queries_compile_to_multi_job_pipelines() {
+        let users = generate_users(0, &PageViewConfig::default());
+        let jobs: Vec<usize> = pigmix_queries(&users)
+            .iter()
+            .map(|pq| {
+                pq.query
+                    .compile(JobConfig::new(ExecMode::slider_folding()), 4)
+                    .unwrap()
+                    .jobs()
+            })
+            .collect();
+        assert_eq!(jobs, vec![2, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn pageview_row_schema() {
+        let v = PageView { user: 1, page: 2, time: 3, bytes: 4, revenue_micros: 5 };
+        assert_eq!(
+            pageview_row(&v),
+            vec![
+                Field::Int(1),
+                Field::Int(2),
+                Field::Int(3),
+                Field::Int(4),
+                Field::Int(5)
+            ]
+        );
+    }
+}

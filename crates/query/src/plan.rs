@@ -1,0 +1,290 @@
+//! The logical query plan: rows, expressions, predicates and the
+//! Pig-Latin-like builder.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A field value. Integral and string types keep rows `Eq + Hash`
+/// (monetary/score values are fixed-point integers, as in Pig's PigMix
+/// data).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Field {
+    /// The integer value, if this field is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Field::Int(i) => Some(*i),
+            Field::Str(_) => None,
+        }
+    }
+
+    /// Modeled byte size.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Field::Int(_) => 8,
+            Field::Str(s) => s.len() as u64 + 8,
+        }
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::Int(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+
+/// A row: an ordered tuple of fields.
+pub type Row = Vec<Field>;
+
+/// A scalar expression over a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Column reference.
+    Col(usize),
+    /// Integer literal.
+    Lit(Field),
+}
+
+impl Expr {
+    /// Evaluates against `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column reference is out of bounds (a plan bug surfaced
+    /// during compilation in debug builds).
+    pub fn eval(&self, row: &Row) -> Field {
+        match self {
+            Expr::Col(i) => row[*i].clone(),
+            Expr::Lit(f) => f.clone(),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A filter predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Binary comparison.
+    Cmp {
+        /// Left operand.
+        left: Expr,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Expr,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates against `row`.
+    pub fn eval(&self, row: &Row) -> bool {
+        match self {
+            Predicate::Cmp { left, op, right } => {
+                let l = left.eval(row);
+                let r = right.eval(row);
+                match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    CmpOp::Lt => l < r,
+                    CmpOp::Le => l <= r,
+                    CmpOp::Gt => l > r,
+                    CmpOp::Ge => l >= r,
+                }
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(row)),
+        }
+    }
+}
+
+/// An aggregate function over a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Row count.
+    Count,
+    /// Sum of an integer column.
+    Sum(usize),
+    /// Minimum of an integer column.
+    Min(usize),
+    /// Maximum of an integer column.
+    Max(usize),
+    /// Integer average of a column (floor semantics).
+    Avg(usize),
+}
+
+/// One operator of the logical plan, in pipeline order.
+#[derive(Debug, Clone)]
+pub enum QueryOp {
+    /// Keep rows satisfying the predicate (fused into the next job's map).
+    Filter(Predicate),
+    /// Replace each row with the projected expressions (map-fused).
+    Project(Vec<Expr>),
+    /// Fragment-replicate (broadcast) join against a small static table on
+    /// `key_col`; matching table rows are appended to the input row
+    /// (map-fused, like Pig's replicated join).
+    JoinStatic {
+        /// `table[key]` = rows to append for inputs whose `key_col` equals
+        /// `key`.
+        table: Arc<HashMap<Field, Vec<Row>>>,
+        /// Join column of the input rows.
+        key_col: usize,
+    },
+    /// Group by the given columns and aggregate (ends a MapReduce job).
+    GroupBy {
+        /// Grouping columns.
+        cols: Vec<usize>,
+        /// Aggregates appended after the group columns in the output row.
+        aggs: Vec<AggFn>,
+    },
+    /// Deduplicate on the projected columns (ends a job).
+    Distinct(Vec<usize>),
+    /// Keep the `k` extreme rows by an integer column (ends a job).
+    TopK {
+        /// Sort column (must be `Field::Int`).
+        col: usize,
+        /// Number of rows kept.
+        k: usize,
+        /// Descending (true) or ascending order.
+        desc: bool,
+    },
+}
+
+impl QueryOp {
+    /// Whether this operator terminates a MapReduce job.
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, QueryOp::GroupBy { .. } | QueryOp::Distinct(_) | QueryOp::TopK { .. })
+    }
+}
+
+/// A Pig-Latin-like query under construction.
+///
+/// Operators apply in call order; every blocking operator (group,
+/// distinct, top-k) ends one MapReduce job of the compiled pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    ops: Vec<QueryOp>,
+}
+
+impl Query {
+    /// Starts a query over the windowed input relation.
+    pub fn load() -> Self {
+        Query { ops: Vec::new() }
+    }
+
+    /// Appends a filter.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.ops.push(QueryOp::Filter(predicate));
+        self
+    }
+
+    /// Appends a projection.
+    pub fn project(mut self, exprs: Vec<Expr>) -> Self {
+        self.ops.push(QueryOp::Project(exprs));
+        self
+    }
+
+    /// Appends a broadcast join against a static table.
+    pub fn join_static(mut self, table: HashMap<Field, Vec<Row>>, key_col: usize) -> Self {
+        self.ops.push(QueryOp::JoinStatic { table: Arc::new(table), key_col });
+        self
+    }
+
+    /// Appends a group-by aggregation (job boundary).
+    pub fn group_by(mut self, cols: Vec<usize>, aggs: Vec<AggFn>) -> Self {
+        self.ops.push(QueryOp::GroupBy { cols, aggs });
+        self
+    }
+
+    /// Appends a distinct (job boundary).
+    pub fn distinct(mut self, cols: Vec<usize>) -> Self {
+        self.ops.push(QueryOp::Distinct(cols));
+        self
+    }
+
+    /// Appends a top-k (job boundary).
+    pub fn top_k(mut self, col: usize, k: usize, desc: bool) -> Self {
+        self.ops.push(QueryOp::TopK { col, k, desc });
+        self
+    }
+
+    /// The operator list.
+    pub fn ops(&self) -> &[QueryOp] {
+        &self.ops
+    }
+
+    /// Number of MapReduce jobs this query compiles to.
+    pub fn job_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_blocking()).count().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_evaluate() {
+        let row: Row = vec![Field::Int(5), Field::Str("x".into())];
+        let p = Predicate::Cmp { left: Expr::Col(0), op: CmpOp::Gt, right: Expr::Lit(Field::Int(3)) };
+        assert!(p.eval(&row));
+        let and = Predicate::And(vec![
+            p.clone(),
+            Predicate::Cmp { left: Expr::Col(1), op: CmpOp::Eq, right: Expr::Lit("y".into()) },
+        ]);
+        assert!(!and.eval(&row));
+        let or = Predicate::Or(vec![and.clone(), p]);
+        assert!(or.eval(&row));
+    }
+
+    #[test]
+    fn field_ordering_and_bytes() {
+        assert!(Field::Int(1) < Field::Int(2));
+        assert_eq!(Field::Int(0).bytes(), 8);
+        assert_eq!(Field::Str("abc".into()).bytes(), 11);
+        assert_eq!(Field::from(7i64).as_int(), Some(7));
+        assert_eq!(Field::from("s").as_int(), None);
+    }
+
+    #[test]
+    fn job_count_counts_blocking_ops() {
+        let q = Query::load()
+            .filter(Predicate::And(vec![]))
+            .group_by(vec![0], vec![AggFn::Count])
+            .project(vec![Expr::Col(0)])
+            .top_k(0, 5, true);
+        assert_eq!(q.job_count(), 2);
+        assert_eq!(Query::load().job_count(), 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! `RowStage`: one compiled MapReduce job of a query pipeline.
+//!
+//! A stage fuses the plan's non-blocking operators (filter, project,
+//! broadcast join) into its Map function — exactly how Pig compiles to
+//! Hadoop — and implements one blocking operator (group-by, distinct,
+//! top-k, or a trailing collect) as its combine/reduce.
+
+use std::sync::Arc;
+
+use slider_mapreduce::{MapReduceApp, StageApp};
+
+use crate::plan::{AggFn, Field, QueryOp, Row};
+
+/// Partial state of one aggregate function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggState {
+    /// Running count.
+    Count(u64),
+    /// Running sum.
+    Sum(i64),
+    /// Running minimum.
+    Min(i64),
+    /// Running maximum.
+    Max(i64),
+    /// Running (sum, count) for averages.
+    Avg(i64, u64),
+}
+
+impl AggState {
+    fn init(agg: AggFn, row: &Row) -> AggState {
+        let col = |i: usize| -> i64 {
+            row[i].as_int().expect("aggregate over a non-integer column")
+        };
+        match agg {
+            AggFn::Count => AggState::Count(1),
+            AggFn::Sum(i) => AggState::Sum(col(i)),
+            AggFn::Min(i) => AggState::Min(col(i)),
+            AggFn::Max(i) => AggState::Max(col(i)),
+            AggFn::Avg(i) => AggState::Avg(col(i), 1),
+        }
+    }
+
+    fn merge(&self, other: &AggState) -> AggState {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => AggState::Count(a + b),
+            (AggState::Sum(a), AggState::Sum(b)) => AggState::Sum(a + b),
+            (AggState::Min(a), AggState::Min(b)) => AggState::Min(*a.min(b)),
+            (AggState::Max(a), AggState::Max(b)) => AggState::Max(*a.max(b)),
+            (AggState::Avg(s1, c1), AggState::Avg(s2, c2)) => AggState::Avg(s1 + s2, c1 + c2),
+            _ => panic!("mismatched aggregate states: {self:?} vs {other:?}"),
+        }
+    }
+
+    fn finish(&self) -> Field {
+        match self {
+            AggState::Count(c) => Field::Int(*c as i64),
+            AggState::Sum(s) => Field::Int(*s),
+            AggState::Min(m) | AggState::Max(m) => Field::Int(*m),
+            AggState::Avg(s, c) => Field::Int(if *c == 0 { 0 } else { s / *c as i64 }),
+        }
+    }
+}
+
+/// The partial aggregate a stage's combiner merges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QValue {
+    /// Group-by aggregate states, one per [`AggFn`].
+    Aggs(Vec<AggState>),
+    /// Multiplicity (distinct / collect).
+    Count(u64),
+    /// Bounded extreme rows: `(sort key, row)` kept in output order.
+    TopK(Vec<(Field, Row)>),
+}
+
+/// The blocking operator implemented by a stage's reduce side.
+#[derive(Debug, Clone)]
+enum Grouping {
+    GroupBy { cols: Vec<usize>, aggs: Vec<AggFn> },
+    Distinct(Vec<usize>),
+    TopK { col: usize, k: usize, desc: bool },
+    /// Pass-through stage (query had trailing non-blocking operators).
+    Collect,
+}
+
+/// One compiled MapReduce job of a query pipeline.
+#[derive(Debug, Clone)]
+pub struct RowStage {
+    mappers: Arc<Vec<QueryOp>>,
+    grouping: Grouping,
+}
+
+impl RowStage {
+    /// Builds a stage from fused non-blocking `mappers` and the blocking
+    /// operator `blocking` (or `None` for a trailing collect stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocking` is a non-blocking operator.
+    pub fn new(mappers: Vec<QueryOp>, blocking: Option<QueryOp>) -> Self {
+        debug_assert!(mappers.iter().all(|op| !op.is_blocking()));
+        let grouping = match blocking {
+            None => Grouping::Collect,
+            Some(QueryOp::GroupBy { cols, aggs }) => Grouping::GroupBy { cols, aggs },
+            Some(QueryOp::Distinct(cols)) => Grouping::Distinct(cols),
+            Some(QueryOp::TopK { col, k, desc }) => Grouping::TopK { col, k, desc },
+            Some(op) => panic!("operator {op:?} does not end a job"),
+        };
+        RowStage { mappers: Arc::new(mappers), grouping }
+    }
+
+    /// Applies the fused map-side operators to one row.
+    fn apply_mappers(&self, row: &Row, out: &mut Vec<Row>) {
+        let mut current = vec![row.clone()];
+        for op in self.mappers.iter() {
+            let mut next = Vec::with_capacity(current.len());
+            for row in current {
+                match op {
+                    QueryOp::Filter(p) => {
+                        if p.eval(&row) {
+                            next.push(row);
+                        }
+                    }
+                    QueryOp::Project(exprs) => {
+                        next.push(exprs.iter().map(|e| e.eval(&row)).collect());
+                    }
+                    QueryOp::JoinStatic { table, key_col } => {
+                        if let Some(matches) = table.get(&row[*key_col]) {
+                            for m in matches {
+                                let mut joined = row.clone();
+                                joined.extend(m.iter().cloned());
+                                next.push(joined);
+                            }
+                        }
+                    }
+                    _ => unreachable!("blocking op in fused mappers"),
+                }
+            }
+            current = next;
+        }
+        out.extend(current);
+    }
+
+    fn merge_topk(
+        a: &[(Field, Row)],
+        b: &[(Field, Row)],
+        k: usize,
+        desc: bool,
+    ) -> Vec<(Field, Row)> {
+        let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+        let (mut i, mut j) = (0, 0);
+        while out.len() < k && (i < a.len() || j < b.len()) {
+            let take_left = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => {
+                    if desc {
+                        x >= y
+                    } else {
+                        x <= y
+                    }
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                out.push(a[i].clone());
+                i += 1;
+            } else {
+                out.push(b[j].clone());
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+impl MapReduceApp for RowStage {
+    type Input = Row;
+    type Key = Row;
+    type Value = QValue;
+    type Output = Vec<Row>;
+
+    fn map(&self, input: &Row, emit: &mut dyn FnMut(Row, QValue)) {
+        let mut rows = Vec::with_capacity(1);
+        self.apply_mappers(input, &mut rows);
+        for row in rows {
+            match &self.grouping {
+                Grouping::GroupBy { cols, aggs } => {
+                    let key: Row = cols.iter().map(|&c| row[c].clone()).collect();
+                    let states = aggs.iter().map(|&a| AggState::init(a, &row)).collect();
+                    emit(key, QValue::Aggs(states));
+                }
+                Grouping::Distinct(cols) => {
+                    let key: Row = cols.iter().map(|&c| row[c].clone()).collect();
+                    emit(key, QValue::Count(1));
+                }
+                Grouping::TopK { col, .. } => {
+                    let sort_key = row[*col].clone();
+                    emit(Vec::new(), QValue::TopK(vec![(sort_key, row)]));
+                }
+                Grouping::Collect => {
+                    emit(row, QValue::Count(1));
+                }
+            }
+        }
+    }
+
+    fn combine(&self, _key: &Row, a: &QValue, b: &QValue) -> QValue {
+        match (a, b) {
+            (QValue::Aggs(x), QValue::Aggs(y)) => {
+                debug_assert_eq!(x.len(), y.len());
+                QValue::Aggs(x.iter().zip(y).map(|(p, q)| p.merge(q)).collect())
+            }
+            (QValue::Count(x), QValue::Count(y)) => QValue::Count(x + y),
+            (QValue::TopK(x), QValue::TopK(y)) => {
+                let Grouping::TopK { k, desc, .. } = &self.grouping else {
+                    panic!("TopK value outside a TopK stage");
+                };
+                QValue::TopK(Self::merge_topk(x, y, *k, *desc))
+            }
+            _ => panic!("mismatched partial aggregates"),
+        }
+    }
+
+    fn reduce(&self, key: &Row, parts: &[&QValue]) -> Vec<Row> {
+        let mut acc = parts[0].clone();
+        for part in &parts[1..] {
+            acc = self.combine(key, &acc, part);
+        }
+        match (&self.grouping, acc) {
+            (Grouping::GroupBy { .. }, QValue::Aggs(states)) => {
+                let mut row = key.clone();
+                row.extend(states.iter().map(AggState::finish));
+                vec![row]
+            }
+            (Grouping::Distinct(_), QValue::Count(c)) => {
+                if c > 0 {
+                    vec![key.clone()]
+                } else {
+                    vec![]
+                }
+            }
+            (Grouping::TopK { .. }, QValue::TopK(rows)) => {
+                rows.into_iter().map(|(_, row)| row).collect()
+            }
+            (Grouping::Collect, QValue::Count(c)) => {
+                std::iter::repeat_with(|| key.clone()).take(c as usize).collect()
+            }
+            (g, v) => panic!("grouping {g:?} received incompatible value {v:?}"),
+        }
+    }
+
+    fn map_cost(&self, _input: &Row) -> u64 {
+        1 + self.mappers.len() as u64
+    }
+
+    fn combine_cost(&self, _key: &Row, a: &QValue, b: &QValue) -> u64 {
+        match (a, b) {
+            (QValue::TopK(x), QValue::TopK(y)) => (x.len() + y.len()).max(1) as u64,
+            (QValue::Aggs(x), _) => x.len().max(1) as u64,
+            _ => 1,
+        }
+    }
+
+    fn record_bytes(&self, input: &Row) -> u64 {
+        input.iter().map(Field::bytes).sum::<u64>() + 8
+    }
+
+    fn value_bytes(&self, key: &Row, v: &QValue) -> u64 {
+        let key_bytes: u64 = key.iter().map(Field::bytes).sum();
+        key_bytes
+            + match v {
+                QValue::Aggs(states) => states.len() as u64 * 16,
+                QValue::Count(_) => 8,
+                QValue::TopK(rows) => rows
+                    .iter()
+                    .map(|(f, r)| f.bytes() + r.iter().map(Field::bytes).sum::<u64>())
+                    .sum(),
+            }
+    }
+}
+
+impl StageApp for RowStage {
+    type Row = Row;
+
+    fn render(&self, _key: &Row, output: &Vec<Row>) -> Vec<Row> {
+        output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CmpOp, Expr, Predicate};
+
+    fn int_row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Field::Int(v)).collect()
+    }
+
+    #[test]
+    fn fused_mappers_filter_project_join() {
+        let mut table = std::collections::HashMap::new();
+        table.insert(Field::Int(1), vec![vec![Field::Str("one".into())]]);
+        let stage = RowStage::new(
+            vec![
+                QueryOp::Filter(Predicate::Cmp {
+                    left: Expr::Col(0),
+                    op: CmpOp::Gt,
+                    right: Expr::Lit(Field::Int(0)),
+                }),
+                QueryOp::Project(vec![Expr::Col(0)]),
+                QueryOp::JoinStatic { table: Arc::new(table), key_col: 0 },
+            ],
+            None,
+        );
+        let mut out = Vec::new();
+        stage.apply_mappers(&int_row(&[1, 99]), &mut out);
+        assert_eq!(out, vec![vec![Field::Int(1), Field::Str("one".into())]]);
+
+        out.clear();
+        stage.apply_mappers(&int_row(&[0, 99]), &mut out); // filtered out
+        assert!(out.is_empty());
+        out.clear();
+        stage.apply_mappers(&int_row(&[2, 99]), &mut out); // no join match
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let stage = RowStage::new(
+            vec![],
+            Some(QueryOp::GroupBy {
+                cols: vec![0],
+                aggs: vec![AggFn::Count, AggFn::Sum(1), AggFn::Min(1), AggFn::Max(1), AggFn::Avg(1)],
+            }),
+        );
+        let mut emitted = Vec::new();
+        stage.map(&int_row(&[7, 10]), &mut |k, v| emitted.push((k, v)));
+        stage.map(&int_row(&[7, 20]), &mut |k, v| emitted.push((k, v)));
+        let merged = stage.combine(&emitted[0].0, &emitted[0].1, &emitted[1].1);
+        let rows = stage.reduce(&int_row(&[7]), &[&merged]);
+        assert_eq!(rows, vec![int_row(&[7, 2, 30, 10, 20, 15])]);
+    }
+
+    #[test]
+    fn topk_merge_respects_order_and_bound() {
+        let a = vec![(Field::Int(9), int_row(&[9])), (Field::Int(5), int_row(&[5]))];
+        let b = vec![(Field::Int(7), int_row(&[7])), (Field::Int(1), int_row(&[1]))];
+        let merged = RowStage::merge_topk(&a, &b, 3, true);
+        let keys: Vec<i64> = merged.iter().map(|(f, _)| f.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![9, 7, 5]);
+
+        let asc = RowStage::merge_topk(&b, &a, 2, false);
+        // Inputs must be presorted in the stage's order; here ascending
+        // lists are the reverses.
+        let a_asc: Vec<(Field, Row)> = a.into_iter().rev().collect();
+        let b_asc: Vec<(Field, Row)> = b.into_iter().rev().collect();
+        let merged = RowStage::merge_topk(&a_asc, &b_asc, 2, false);
+        let keys: Vec<i64> = merged.iter().map(|(f, _)| f.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 5]);
+        let _ = asc;
+    }
+
+    #[test]
+    fn distinct_counts_and_collect_repeats() {
+        let stage = RowStage::new(vec![], Some(QueryOp::Distinct(vec![0])));
+        let rows = stage.reduce(&int_row(&[3]), &[&QValue::Count(5)]);
+        assert_eq!(rows, vec![int_row(&[3])]);
+
+        let collect = RowStage::new(vec![], None);
+        let rows = collect.reduce(&int_row(&[4]), &[&QValue::Count(2)]);
+        assert_eq!(rows, vec![int_row(&[4]), int_row(&[4])]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # slider-workloads — synthetic dataset generators
+//!
+//! The Slider paper evaluates on datasets this reproduction cannot ship
+//! (a Wikipedia dump, the full 2006–2009 Twitter crawl, Glasnost pcap
+//! traces, Akamai NetSession logs). This crate provides deterministic
+//! synthetic stand-ins whose *shape* matches what each experiment needs —
+//! see DESIGN.md §2 for the substitution rationale per dataset.
+//!
+//! All generators are seeded and fully deterministic: the same seed yields
+//! the same dataset on every run and platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod glasnost;
+pub mod netsession;
+pub mod pageviews;
+pub mod points;
+pub mod text;
+pub mod twitter;

@@ -1,0 +1,101 @@
+//! Random points from a unit cube (K-means / KNN input, §7.1).
+//!
+//! Matches the paper's own methodology: "synthetically generated data by
+//! randomly selecting points from a 50-dimensional unit cube".
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in `[0,1)^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Coordinates, length = dimensionality.
+    pub coords: Vec<f64>,
+}
+
+impl Point {
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn distance2(&self, other: &Point) -> f64 {
+        assert_eq!(self.coords.len(), other.coords.len(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+/// Generates `count` points uniformly from the `dims`-dimensional unit
+/// cube.
+///
+/// ```
+/// let pts = slider_workloads::points::generate_points(7, 10, 50);
+/// assert_eq!(pts.len(), 10);
+/// assert_eq!(pts[0].dims(), 50);
+/// ```
+pub fn generate_points(seed: u64, count: usize, dims: usize) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x90_17);
+    (0..count)
+        .map(|_| Point { coords: (0..dims).map(|_| rng.gen::<f64>()).collect() })
+        .collect()
+}
+
+/// Picks `k` well-spread initial centroids deterministically (every
+/// `count/k`-th generated point of an independent stream).
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn initial_centroids(seed: u64, k: usize, dims: usize) -> Vec<Point> {
+    assert!(k > 0, "need at least one centroid");
+    generate_points(seed ^ 0xce_47_01, k, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_in_unit_cube() {
+        for p in generate_points(1, 100, 8) {
+            assert!(p.coords.iter().all(|c| (0.0..1.0).contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_points(5, 4, 3), generate_points(5, 4, 3));
+        assert_ne!(generate_points(5, 4, 3), generate_points(6, 4, 3));
+    }
+
+    #[test]
+    fn distance_is_zero_to_self_and_positive_otherwise() {
+        let pts = generate_points(2, 2, 10);
+        assert_eq!(pts[0].distance2(&pts[0]), 0.0);
+        assert!(pts[0].distance2(&pts[1]) > 0.0);
+    }
+
+    #[test]
+    fn centroids_differ_from_data_stream() {
+        let data = generate_points(9, 3, 4);
+        let centroids = initial_centroids(9, 3, 4);
+        assert_ne!(data, centroids);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mixed_dims_panic() {
+        let a = Point { coords: vec![0.0; 2] };
+        let b = Point { coords: vec![0.0; 3] };
+        let _ = a.distance2(&b);
+    }
+}

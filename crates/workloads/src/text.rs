@@ -1,0 +1,136 @@
+//! Zipf-distributed synthetic documents (Wikipedia stand-in).
+//!
+//! The data-intensive micro-benchmarks (HCT, Matrix, subStr) consume token
+//! streams whose only relevant property is natural-language-like frequency
+//! skew; a Zipf(s) rank-frequency distribution reproduces that shape.
+
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration of the document generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextConfig {
+    /// Vocabulary size (distinct words).
+    pub vocabulary: usize,
+    /// Zipf exponent; ~1.0 matches natural language.
+    pub zipf_exponent: f64,
+    /// Words per generated document (line).
+    pub words_per_doc: usize,
+}
+
+impl Default for TextConfig {
+    fn default() -> Self {
+        TextConfig { vocabulary: 5_000, zipf_exponent: 1.05, words_per_doc: 40 }
+    }
+}
+
+/// Pre-computed Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "vocabulary must be non-empty");
+        assert!(s.is_finite(), "exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+impl Distribution<usize> for ZipfSampler {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Generates `count` documents (one whitespace-joined line each).
+///
+/// ```
+/// use slider_workloads::text::{generate_documents, TextConfig};
+/// let docs = generate_documents(42, 3, &TextConfig::default());
+/// assert_eq!(docs.len(), 3);
+/// assert_eq!(docs, generate_documents(42, 3, &TextConfig::default()));
+/// ```
+pub fn generate_documents(seed: u64, count: usize, config: &TextConfig) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7e87);
+    let sampler = ZipfSampler::new(config.vocabulary, config.zipf_exponent);
+    (0..count)
+        .map(|_| {
+            let words: Vec<String> = (0..config.words_per_doc)
+                .map(|_| format!("w{}", sampler.sample(&mut rng)))
+                .collect();
+            words.join(" ")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = TextConfig::default();
+        assert_eq!(generate_documents(1, 5, &config), generate_documents(1, 5, &config));
+        assert_ne!(generate_documents(1, 5, &config), generate_documents(2, 5, &config));
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let sampler = ZipfSampler::new(1000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The top-10 ranks should dominate far beyond the uniform 1%.
+        assert!(head as f64 / n as f64 > 0.3, "head fraction {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn documents_have_requested_length() {
+        let config = TextConfig { vocabulary: 10, zipf_exponent: 1.0, words_per_doc: 7 };
+        let docs = generate_documents(3, 2, &config);
+        for doc in docs {
+            assert_eq!(doc.split_whitespace().count(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vocabulary_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

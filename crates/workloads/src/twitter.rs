@@ -1,0 +1,258 @@
+//! Synthetic Twitter stand-in: a preferential-attachment follower graph
+//! plus a timed stream of URL posts with cascading reposts (§8.1).
+//!
+//! The paper uses the full 2006–2009 Twitter crawl (54M users, 1.9B
+//! follow edges, 1.7B tweets) to build Krackhardt information-propagation
+//! trees. The propagation-tree job only needs (a) a skewed follower graph
+//! and (b) tweets where some URLs are reposted by followers of earlier
+//! posters — both properties this generator reproduces at laptop scale.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A user id.
+pub type UserId = u32;
+
+/// One tweet: `user` posted `url` at `time` (abstract ticks).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tweet {
+    /// Posting user.
+    pub user: UserId,
+    /// Posted URL id.
+    pub url: u32,
+    /// Post time in abstract ticks (monotone over the stream).
+    pub time: u64,
+}
+
+/// The follower graph: `follows[u]` = accounts `u` follows.
+#[derive(Debug, Clone, Default)]
+pub struct FollowGraph {
+    follows: BTreeMap<UserId, Vec<UserId>>,
+}
+
+impl FollowGraph {
+    /// Builds a graph from `(follower, followee)` edges.
+    ///
+    /// ```
+    /// use slider_workloads::twitter::FollowGraph;
+    /// let g = FollowGraph::from_edges([(1, 0), (2, 1)]);
+    /// assert_eq!(g.followees(1), &[0]);
+    /// assert_eq!(g.edges(), 2);
+    /// ```
+    pub fn from_edges(edges: impl IntoIterator<Item = (UserId, UserId)>) -> Self {
+        let mut follows: BTreeMap<UserId, Vec<UserId>> = BTreeMap::new();
+        for (follower, followee) in edges {
+            follows.entry(follower).or_default().push(followee);
+        }
+        FollowGraph { follows }
+    }
+
+    /// Accounts `user` follows (empty slice if none).
+    pub fn followees(&self, user: UserId) -> &[UserId] {
+        self.follows.get(&user).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of users with at least one followee.
+    pub fn len(&self) -> usize {
+        self.follows.len()
+    }
+
+    /// True when no edges exist.
+    pub fn is_empty(&self) -> bool {
+        self.follows.is_empty()
+    }
+
+    /// Total number of follow edges.
+    pub fn edges(&self) -> usize {
+        self.follows.values().map(Vec::len).sum()
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwitterConfig {
+    /// Number of users.
+    pub users: u32,
+    /// Average follow edges per user.
+    pub avg_follows: usize,
+    /// Number of distinct URLs circulating.
+    pub urls: u32,
+    /// Probability that a user reposts a URL posted by someone they follow.
+    pub repost_probability: f64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig { users: 2_000, avg_follows: 8, urls: 200, repost_probability: 0.3 }
+    }
+}
+
+/// The generated dataset: a follower graph and a time-ordered tweet
+/// stream, sliceable into intervals for append-only windowing.
+#[derive(Debug, Clone)]
+pub struct TwitterDataset {
+    /// The (static) follower graph.
+    pub graph: Arc<FollowGraph>,
+    /// Tweets ordered by time.
+    pub tweets: Vec<Tweet>,
+}
+
+impl TwitterDataset {
+    /// Slices the stream into `intervals` consecutive chunks with the given
+    /// relative sizes (e.g. `[70, 5, 5, 5, 5]` mimics Table 4's initial
+    /// interval plus four ~5% weekly appends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relative_sizes` is empty or sums to zero.
+    pub fn intervals(&self, relative_sizes: &[u64]) -> Vec<Vec<Tweet>> {
+        let total: u64 = relative_sizes.iter().sum();
+        assert!(total > 0, "interval sizes must sum to a positive value");
+        let n = self.tweets.len() as u64;
+        let mut out = Vec::with_capacity(relative_sizes.len());
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, &size) in relative_sizes.iter().enumerate() {
+            acc += size;
+            let end = if i + 1 == relative_sizes.len() {
+                self.tweets.len()
+            } else {
+                ((acc * n) / total) as usize
+            };
+            out.push(self.tweets[start..end].to_vec());
+            start = end;
+        }
+        out
+    }
+}
+
+/// Generates the dataset: a preferential-attachment follower graph and
+/// `tweet_count` tweets where URLs cascade through follow edges.
+pub fn generate(seed: u64, config: &TwitterConfig, tweet_count: usize) -> TwitterDataset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0701_77e4);
+    assert!(config.users >= 2, "need at least two users");
+
+    // Preferential attachment: user u follows earlier users weighted by
+    // their current in-degree (plus one, so user 0 is reachable).
+    let mut follows: BTreeMap<UserId, Vec<UserId>> = BTreeMap::new();
+    let mut popularity: Vec<u64> = vec![1; config.users as usize];
+    let mut total_pop: u64 = config.users as u64;
+    for u in 1..config.users {
+        let k = rng.gen_range(1..=config.avg_follows.max(1) * 2);
+        let mut mine = Vec::with_capacity(k);
+        for _ in 0..k {
+            // Weighted pick over 0..u.
+            let prefix: u64 = popularity[..u as usize].iter().sum();
+            let mut ticket = rng.gen_range(0..prefix.max(1));
+            let mut target = 0u32;
+            for (v, &w) in popularity[..u as usize].iter().enumerate() {
+                if ticket < w {
+                    target = v as u32;
+                    break;
+                }
+                ticket -= w;
+            }
+            if !mine.contains(&target) {
+                mine.push(target);
+                popularity[target as usize] += 1;
+                total_pop += 1;
+            }
+        }
+        follows.insert(u, mine);
+    }
+    let _ = total_pop;
+    // Reverse index: followers of each user, for cascade generation.
+    let mut followers: BTreeMap<UserId, Vec<UserId>> = BTreeMap::new();
+    for (&u, fs) in &follows {
+        for &v in fs {
+            followers.entry(v).or_default().push(u);
+        }
+    }
+
+    // Tweet stream: fresh posts seed URLs; followers repost with the
+    // configured probability, producing propagation cascades.
+    let mut tweets: Vec<Tweet> = Vec::with_capacity(tweet_count);
+    let mut pending: Vec<(UserId, u32)> = Vec::new(); // (reposter, url)
+    let mut time = 0u64;
+    while tweets.len() < tweet_count {
+        time += 1;
+        let tweet = if let Some((user, url)) = pending.pop() {
+            Tweet { user, url, time }
+        } else {
+            let user = rng.gen_range(0..config.users);
+            let url = rng.gen_range(0..config.urls);
+            Tweet { user, url, time }
+        };
+        // Each follower of the poster may repost later.
+        if let Some(fs) = followers.get(&tweet.user) {
+            for &f in fs {
+                if rng.gen_bool(config.repost_probability) && pending.len() < 64 {
+                    pending.push((f, tweet.url));
+                }
+            }
+        }
+        tweets.push(tweet);
+    }
+
+    TwitterDataset { graph: Arc::new(FollowGraph { follows }), tweets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TwitterDataset {
+        generate(11, &TwitterConfig { users: 100, avg_follows: 4, urls: 20, repost_probability: 0.4 }, 500)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.tweets, b.tweets);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+    }
+
+    #[test]
+    fn stream_is_time_ordered() {
+        let data = small();
+        assert!(data.tweets.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(data.tweets.len(), 500);
+    }
+
+    #[test]
+    fn cascades_exist() {
+        let data = small();
+        // Some URL should be posted by more than one user (a repost).
+        let mut by_url: BTreeMap<u32, std::collections::HashSet<UserId>> = BTreeMap::new();
+        for t in &data.tweets {
+            by_url.entry(t.url).or_default().insert(t.user);
+        }
+        assert!(
+            by_url.values().any(|users| users.len() > 1),
+            "no URL cascaded to a second user"
+        );
+    }
+
+    #[test]
+    fn intervals_partition_the_stream() {
+        let data = small();
+        let parts = data.intervals(&[70, 10, 10, 10]);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, data.tweets.len());
+        // First interval is by far the largest.
+        assert!(parts[0].len() > parts[1].len() * 3);
+    }
+
+    #[test]
+    fn graph_is_connected_enough() {
+        let data = small();
+        assert!(data.graph.edges() >= 100, "edges = {}", data.graph.edges());
+        assert!(!data.graph.is_empty());
+        assert!(data.graph.len() <= 100);
+    }
+}

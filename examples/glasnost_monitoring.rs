@@ -1,0 +1,67 @@
+//! Case study §8.2: monitoring Glasnost measurement servers over a
+//! fixed-width window (3 months, sliding by 1 month) with rotating
+//! contraction trees and split processing.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p slider-apps --example glasnost_monitoring
+//! ```
+
+use slider_apps::GlasnostMonitor;
+use slider_mapreduce::{make_splits, ExecMode, JobConfig, Split, WindowedJob};
+use slider_workloads::glasnost::{generate_months, GlasnostConfig, TABLE3_MONTHLY_TESTS};
+
+const SPLITS_PER_MONTH: usize = 8;
+const MONTHS: [&str; 11] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic test traces with the paper's Table 3 monthly volumes.
+    let config = GlasnostConfig { servers: 4, clients: 500, samples_per_test: 20 };
+    let months = generate_months(7, &config, &TABLE3_MONTHLY_TESTS);
+
+    // Window = 3 month-buckets of SPLITS_PER_MONTH splits each.
+    let mut job = WindowedJob::new(
+        GlasnostMonitor::new(),
+        JobConfig::new(ExecMode::slider_rotating(true))
+            .with_partitions(4)
+            .with_buckets(3, SPLITS_PER_MONTH),
+    )?;
+
+    let mut next_id = 0u64;
+    let mut mk = |traces: &Vec<slider_workloads::glasnost::TestTrace>| {
+        let per_split = traces.len().div_ceil(SPLITS_PER_MONTH);
+        let mut splits = make_splits(next_id, traces.clone(), per_split);
+        while splits.len() < SPLITS_PER_MONTH {
+            splits.push(Split::from_records(next_id + splits.len() as u64, Vec::new()));
+        }
+        next_id += SPLITS_PER_MONTH as u64;
+        splits
+    };
+
+    let initial: Vec<_> = months[0..3].iter().flat_map(&mut mk).collect();
+    job.initial_run(initial)?;
+    print_medians("Jan-Mar", &job);
+
+    for (i, month) in months.iter().enumerate().skip(3) {
+        let stats = job.advance(SPLITS_PER_MONTH, mk(month))?;
+        let label = format!("{}-{}", MONTHS[i - 2], MONTHS[i]);
+        println!(
+            "  slide: +{} tests, update work {} units, {} tree nodes reused",
+            month.len(),
+            stats.work.foreground_total(),
+            stats.nodes_reused
+        );
+        print_medians(&label, &job);
+    }
+    Ok(())
+}
+
+fn print_medians(window: &str, job: &WindowedJob<GlasnostMonitor>) {
+    let medians: Vec<String> = job
+        .output()
+        .iter()
+        .map(|(server, median)| format!("server {server}: {median:.1}ms"))
+        .collect();
+    println!("{window}: median min-RTT per measurement server — {}", medians.join(", "));
+}

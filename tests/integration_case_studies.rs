@@ -1,0 +1,162 @@
+//! End-to-end case studies (§8) exercised across crates: workload
+//! generators → applications → windowed engine → metrics.
+
+use std::sync::Arc;
+
+use slider_apps::{
+    AuditVerdict, GlasnostMonitor, NetSessionAudit, PropagationStats, TwitterPropagation,
+};
+use slider_mapreduce::{make_splits, ExecMode, JobConfig, Split, WindowedJob};
+use slider_workloads::glasnost::{generate_months, GlasnostConfig};
+use slider_workloads::netsession::{generate_week, NetSessionConfig};
+use slider_workloads::twitter::{generate, TwitterConfig};
+
+#[test]
+fn twitter_case_study_end_to_end() {
+    let data = generate(
+        3,
+        &TwitterConfig { users: 300, avg_follows: 5, urls: 40, repost_probability: 0.4 },
+        3_000,
+    );
+    let intervals = data.intervals(&[80, 5, 5, 5, 5]);
+
+    let run = |mode| {
+        let mut job = WindowedJob::new(
+            TwitterPropagation::new(Arc::clone(&data.graph)),
+            JobConfig::new(mode).with_partitions(3),
+        )
+        .unwrap();
+        let mut id = 0;
+        let mut mk = |tweets: Vec<slider_workloads::twitter::Tweet>| {
+            let s = make_splits(id, tweets, 50);
+            id += s.len() as u64;
+            s
+        };
+        let mut work = Vec::new();
+        let mut slices = intervals.iter();
+        let initial = job.initial_run(mk(slices.next().unwrap().clone())).unwrap();
+        work.push(initial.work.foreground_total());
+        for slice in slices {
+            let stats = job.advance(0, mk(slice.clone())).unwrap();
+            work.push(stats.work.foreground_total());
+        }
+        (job.output().clone(), work)
+    };
+
+    let (vanilla_out, vanilla_work) = run(ExecMode::Recompute);
+    let (slider_out, slider_work) = run(ExecMode::slider_coalescing(true));
+    assert_eq!(vanilla_out, slider_out);
+
+    // Each weekly append must be much cheaper than recomputation.
+    for (i, (v, s)) in vanilla_work.iter().zip(&slider_work).enumerate().skip(1) {
+        assert!(s < v, "append {i}: slider {s} >= vanilla {v}");
+    }
+
+    // Cascades exist and have sane statistics.
+    let max: &PropagationStats =
+        vanilla_out.values().max_by_key(|s| s.edges).expect("some URL");
+    assert!(max.edges > 0, "no propagation happened");
+    assert!(max.depth >= 2);
+    assert!(max.nodes as u64 >= max.depth as u64);
+}
+
+#[test]
+fn glasnost_case_study_medians_are_stable_and_correct() {
+    let config = GlasnostConfig { servers: 3, clients: 100, samples_per_test: 6 };
+    let months = generate_months(1, &config, &[120, 120, 120, 120, 120]);
+
+    let run = |mode| {
+        let per_month = 4usize;
+        let mut job = WindowedJob::new(
+            GlasnostMonitor::new(),
+            JobConfig::new(mode).with_partitions(2).with_buckets(3, per_month),
+        )
+        .unwrap();
+        let mut id = 0u64;
+        let mut mk = |traces: &Vec<slider_workloads::glasnost::TestTrace>| {
+            let mut splits = make_splits(id, traces.clone(), traces.len().div_ceil(per_month));
+            while splits.len() < per_month {
+                splits.push(Split::from_records(id + splits.len() as u64, Vec::new()));
+            }
+            id += per_month as u64;
+            splits
+        };
+        let initial: Vec<_> = months[0..3].iter().flat_map(&mut mk).collect();
+        job.initial_run(initial).unwrap();
+        let mut outputs = vec![job.output().clone()];
+        for month in &months[3..] {
+            job.advance(per_month, mk(month)).unwrap();
+            outputs.push(job.output().clone());
+        }
+        outputs
+    };
+
+    let vanilla = run(ExecMode::Recompute);
+    let slider = run(ExecMode::slider_rotating(true));
+    assert_eq!(vanilla.len(), slider.len());
+    for (window, (v, s)) in vanilla.iter().zip(&slider).enumerate() {
+        assert_eq!(v.keys().collect::<Vec<_>>(), s.keys().collect::<Vec<_>>());
+        for (server, median) in v {
+            assert!(
+                (median - s[server]).abs() < 1e-12,
+                "window {window}, server {server}: {median} vs {}",
+                s[server]
+            );
+            assert!((5.0..170.0).contains(median), "implausible median {median}");
+        }
+    }
+}
+
+#[test]
+fn netsession_case_study_flags_exactly_the_tampered_clients() {
+    let config = NetSessionConfig { clients: 400, mean_entries: 10, tamper_rate: 0.1 };
+    let weeks: Vec<Vec<_>> = (0..6u32)
+        .map(|w| generate_week(5, &config, w, if w == 4 { 0.75 } else { 0.95 }))
+        .collect();
+
+    let run = |mode| {
+        let mut job =
+            WindowedJob::new(NetSessionAudit::new(), JobConfig::new(mode).with_partitions(3))
+                .unwrap();
+        let mut id = 0u64;
+        let mut counts = std::collections::VecDeque::new();
+        let mut mk = |logs: &Vec<slider_workloads::netsession::ClientLog>,
+                      counts: &mut std::collections::VecDeque<usize>| {
+            let s = make_splits(id, logs.clone(), 20);
+            id += s.len() as u64;
+            counts.push_back(s.len());
+            s
+        };
+        let mut initial = Vec::new();
+        for week in &weeks[..4] {
+            initial.extend(mk(week, &mut counts));
+        }
+        job.initial_run(initial).unwrap();
+        for week in &weeks[4..] {
+            let added = mk(week, &mut counts);
+            let oldest = counts.pop_front().unwrap();
+            job.advance(oldest, added).unwrap();
+        }
+        job.output().clone()
+    };
+
+    let vanilla = run(ExecMode::Recompute);
+    let slider = run(ExecMode::slider_folding());
+    assert_eq!(vanilla, slider);
+
+    // Reference: recompute verdicts straight from the final window.
+    let mut expected_flagged = std::collections::BTreeSet::new();
+    for week in &weeks[2..] {
+        for log in week {
+            if !log.chain_ok {
+                expected_flagged.insert(log.client);
+            }
+        }
+    }
+    let flagged: std::collections::BTreeSet<u32> = slider
+        .iter()
+        .filter_map(|(c, v)| matches!(v, AuditVerdict::Flagged { .. }).then_some(*c))
+        .collect();
+    assert_eq!(flagged, expected_flagged);
+    assert!(!flagged.is_empty(), "10% tamper rate must flag someone");
+}

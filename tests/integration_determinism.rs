@@ -1,0 +1,103 @@
+//! Determinism: the whole stack — generators, engine, trees, simulator,
+//! cache model — must produce bit-identical results across repeated runs.
+//! Every reported number in EXPERIMENTS.md relies on this.
+
+use slider_apps::{Hct, KMeans};
+use slider_cluster::SchedulerPolicy;
+use slider_dcache::CacheConfig;
+use slider_mapreduce::{
+    make_splits, ExecMode, JobConfig, RunStats, SimulationConfig, WindowedJob,
+};
+use slider_workloads::points::{generate_points, initial_centroids};
+use slider_workloads::text::{generate_documents, TextConfig};
+
+fn fingerprint(stats: &RunStats) -> (u64, u64, u64, String, u64) {
+    (
+        stats.work.foreground_total(),
+        stats.work.contraction_bg.work,
+        stats.memo_footprint_bytes,
+        format!("{:.9}", stats.time_seconds().unwrap_or(0.0)),
+        stats.memo_read_bytes,
+    )
+}
+
+#[test]
+fn text_pipeline_is_bit_deterministic() {
+    let run = || {
+        let docs = generate_documents(
+            7,
+            150,
+            &TextConfig { vocabulary: 120, zipf_exponent: 1.05, words_per_doc: 10 },
+        );
+        let splits = make_splits(0, docs, 5);
+        let mut job = WindowedJob::new(
+            Hct::new(),
+            JobConfig::new(ExecMode::slider_folding())
+                .with_partitions(4)
+                .with_simulation(SimulationConfig {
+                    cluster: slider_cluster::ClusterSpec::paper_cluster(),
+                    policy: SchedulerPolicy::hybrid_default(),
+                })
+                .with_cache(CacheConfig::paper_defaults(8)),
+        )
+        .unwrap();
+        let mut prints = vec![fingerprint(&job.initial_run(splits[..20].to_vec()).unwrap())];
+        for i in 0..5 {
+            let stats = job.advance(2, splits[20 + 2 * i..22 + 2 * i].to_vec()).unwrap();
+            prints.push(fingerprint(&stats));
+        }
+        (prints, job.output().clone())
+    };
+    let (a_prints, a_out) = run();
+    let (b_prints, b_out) = run();
+    assert_eq!(a_prints, b_prints, "work/time/footprint must be reproducible");
+    assert_eq!(a_out, b_out);
+}
+
+#[test]
+fn randomized_tree_engine_runs_are_deterministic() {
+    // The randomized folding tree derives its coin flips from stable
+    // hashes, so even it must reproduce exactly.
+    let run = || {
+        let points = generate_points(3, 120, 8);
+        let splits = make_splits(0, points, 6);
+        let mut job = WindowedJob::new(
+            KMeans::new(initial_centroids(3, 4, 8)),
+            JobConfig::new(ExecMode::slider_randomized()).with_partitions(3),
+        )
+        .unwrap();
+        job.initial_run(splits[..15].to_vec()).unwrap();
+        let stats = job.advance(3, splits[15..18].to_vec()).unwrap();
+        (
+            stats.work.foreground_total(),
+            stats.nodes_reused,
+            format!("{:?}", job.output()),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn parallel_map_phase_is_order_deterministic() {
+    // The map phase runs multi-threaded for larger batches; assembly must
+    // be input-ordered regardless of thread interleaving.
+    let docs = generate_documents(
+        11,
+        400,
+        &TextConfig { vocabulary: 200, zipf_exponent: 1.0, words_per_doc: 8 },
+    );
+    let run = || {
+        let mut job = WindowedJob::new(
+            Hct::new(),
+            JobConfig::new(ExecMode::slider_folding()).with_partitions(4),
+        )
+        .unwrap();
+        // 80 splits at once exercises the parallel path (threshold is 8).
+        let stats = job.initial_run(make_splits(0, docs.clone(), 5)).unwrap();
+        (stats.work.map, stats.shuffle_bytes, job.output().clone())
+    };
+    let first = run();
+    for _ in 0..3 {
+        assert_eq!(run(), first);
+    }
+}

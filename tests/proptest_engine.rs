@@ -1,0 +1,170 @@
+//! Property test across the whole stack: for arbitrary slide histories,
+//! every incremental execution mode must agree with a plain in-memory
+//! reference model of windowed word count.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use proptest::prelude::*;
+use slider_mapreduce::{ExecMode, JobConfig, MapReduceApp, WindowedJob};
+
+#[derive(Clone)]
+struct WordCount;
+impl MapReduceApp for WordCount {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+    fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+        for word in line.split_whitespace() {
+            emit(word.to_string(), 1);
+        }
+    }
+    fn combine(&self, _k: &String, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+    fn reduce(&self, _k: &String, parts: &[&u64]) -> u64 {
+        parts.iter().copied().sum()
+    }
+}
+
+fn reference(window: &VecDeque<Vec<String>>) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for split in window {
+        for line in split {
+            for word in line.split_whitespace() {
+                *out.entry(word.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    out
+}
+
+/// A split is 1–3 lines of 0–4 words over a 6-word vocabulary.
+fn split_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u8..6, 0..4)
+            .prop_map(|ws| ws.iter().map(|w| format!("w{w}")).collect::<Vec<_>>().join(" ")),
+        1..3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_modes_agree_with_reference(
+        initial in proptest::collection::vec(split_strategy(), 1..6),
+        slides in proptest::collection::vec(
+            (0usize..4, proptest::collection::vec(split_strategy(), 0..3)), 0..6),
+    ) {
+        for mode in [
+            ExecMode::Recompute,
+            ExecMode::Strawman,
+            ExecMode::slider_folding(),
+            ExecMode::slider_randomized(),
+        ] {
+            let mut job = WindowedJob::new(
+                WordCount,
+                JobConfig::new(mode).with_partitions(2),
+            ).unwrap();
+            let mut window: VecDeque<Vec<String>> = initial.iter().cloned().collect();
+            let mut next_id = 0u64;
+            let mut mk = |splits: &[Vec<String>]| {
+                let out: Vec<_> = splits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, lines)| {
+                        slider_mapreduce::Split::from_records(next_id + i as u64, lines.clone())
+                    })
+                    .collect();
+                next_id += splits.len() as u64;
+                out
+            };
+
+            job.initial_run(mk(&initial)).unwrap();
+            prop_assert_eq!(job.output(), &reference(&window), "{}: initial", mode);
+
+            for (remove, added) in &slides {
+                let remove = (*remove).min(window.len());
+                for _ in 0..remove {
+                    window.pop_front();
+                }
+                window.extend(added.iter().cloned());
+                job.advance(remove, mk(added)).unwrap();
+                prop_assert_eq!(job.output(), &reference(&window), "{}: slide", mode);
+            }
+        }
+    }
+
+    #[test]
+    fn append_only_agrees_with_reference(
+        initial in proptest::collection::vec(split_strategy(), 0..5),
+        appends in proptest::collection::vec(
+            proptest::collection::vec(split_strategy(), 0..3), 0..5),
+        split in proptest::bool::ANY,
+    ) {
+        let mut job = WindowedJob::new(
+            WordCount,
+            JobConfig::new(ExecMode::slider_coalescing(split)).with_partitions(2),
+        ).unwrap();
+        let mut window: VecDeque<Vec<String>> = initial.iter().cloned().collect();
+        let mut next_id = 0u64;
+        let mut mk = |splits: &[Vec<String>]| {
+            let out: Vec<_> = splits
+                .iter()
+                .enumerate()
+                .map(|(i, lines)| {
+                    slider_mapreduce::Split::from_records(next_id + i as u64, lines.clone())
+                })
+                .collect();
+            next_id += splits.len() as u64;
+            out
+        };
+        job.initial_run(mk(&initial)).unwrap();
+        for added in &appends {
+            window.extend(added.iter().cloned());
+            job.advance(0, mk(added)).unwrap();
+            prop_assert_eq!(job.output(), &reference(&window));
+        }
+    }
+
+    #[test]
+    fn fixed_width_rotation_agrees_with_reference(
+        buckets in 2usize..5,
+        fills in proptest::collection::vec(split_strategy(), 0..4),
+        rotations in proptest::collection::vec(split_strategy(), 0..8),
+    ) {
+        let mut job = WindowedJob::new(
+            WordCount,
+            JobConfig::new(ExecMode::slider_rotating(true))
+                .with_partitions(2)
+                .with_buckets(buckets, 1),
+        ).unwrap();
+        let fills: Vec<_> = fills.into_iter().take(buckets).collect();
+        let mut window: VecDeque<Vec<String>> = fills.iter().cloned().collect();
+        let mut next_id = 0u64;
+        let mut mk = |splits: &[Vec<String>]| {
+            let out: Vec<_> = splits
+                .iter()
+                .enumerate()
+                .map(|(i, lines)| {
+                    slider_mapreduce::Split::from_records(next_id + i as u64, lines.clone())
+                })
+                .collect();
+            next_id += splits.len() as u64;
+            out
+        };
+        job.initial_run(mk(&fills)).unwrap();
+        for split in &rotations {
+            let added = mk(std::slice::from_ref(split));
+            if window.len() == buckets {
+                window.pop_front();
+                job.advance(1, added).unwrap();
+            } else {
+                job.advance(0, added).unwrap();
+            }
+            window.push_back(split.clone());
+            prop_assert_eq!(job.output(), &reference(&window));
+        }
+    }
+}
