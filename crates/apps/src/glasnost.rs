@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn fixed_width_monitoring_matches_recompute() {
-        let config = GlasnostConfig { servers: 2, clients: 60, samples_per_test: 5 };
+        let config = GlasnostConfig {
+            servers: 2,
+            clients: 60,
+            samples_per_test: 5,
+        };
         let months = generate_months(5, &config, &[30, 30, 30, 30, 30]);
         let run = |mode| {
             // Window = 3 months, slide = 1 month, 1 split per month bucket.
@@ -141,7 +145,8 @@ mod tests {
                 id += s.len() as u64;
                 s
             };
-            job.initial_run(months[0..3].iter().flat_map(&mut mk).collect()).unwrap();
+            job.initial_run(months[0..3].iter().flat_map(&mut mk).collect())
+                .unwrap();
             for month in &months[3..] {
                 job.advance(1, mk(month)).unwrap();
             }

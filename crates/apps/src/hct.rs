@@ -57,9 +57,9 @@ mod tests {
 
     #[test]
     fn counts_tokens() {
-        let mut job =
-            WindowedJob::new(Hct, JobConfig::new(ExecMode::slider_folding())).unwrap();
-        job.initial_run(make_splits(0, vec!["a b a".into(), "b c".into()], 1)).unwrap();
+        let mut job = WindowedJob::new(Hct, JobConfig::new(ExecMode::slider_folding())).unwrap();
+        job.initial_run(make_splits(0, vec!["a b a".into(), "b c".into()], 1))
+            .unwrap();
         assert_eq!(job.output().get("a"), Some(&2));
         assert_eq!(job.output().get("b"), Some(&2));
         assert_eq!(job.output().get("c"), Some(&1));
@@ -76,13 +76,16 @@ mod tests {
                 words_per_doc: 10,
             },
         );
-        let mut inc =
-            WindowedJob::new(Hct, JobConfig::new(ExecMode::slider_folding())).unwrap();
+        let mut inc = WindowedJob::new(Hct, JobConfig::new(ExecMode::slider_folding())).unwrap();
         let mut van = WindowedJob::new(Hct, JobConfig::new(ExecMode::Recompute)).unwrap();
-        inc.initial_run(make_splits(0, docs[0..8].to_vec(), 2)).unwrap();
-        van.initial_run(make_splits(0, docs[0..8].to_vec(), 2)).unwrap();
-        inc.advance(2, make_splits(100, docs[8..12].to_vec(), 2)).unwrap();
-        van.advance(2, make_splits(100, docs[8..12].to_vec(), 2)).unwrap();
+        inc.initial_run(make_splits(0, docs[0..8].to_vec(), 2))
+            .unwrap();
+        van.initial_run(make_splits(0, docs[0..8].to_vec(), 2))
+            .unwrap();
+        inc.advance(2, make_splits(100, docs[8..12].to_vec(), 2))
+            .unwrap();
+        van.advance(2, make_splits(100, docs[8..12].to_vec(), 2))
+            .unwrap();
         assert_eq!(inc.output(), van.output());
     }
 

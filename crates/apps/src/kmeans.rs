@@ -23,7 +23,9 @@ impl CentroidUpdate {
     /// The mean point, i.e. the updated centroid.
     pub fn mean(&self) -> Point {
         let n = self.count.max(1) as f64;
-        Point { coords: self.sums.iter().map(|s| s / n).collect() }
+        Point {
+            coords: self.sums.iter().map(|s| s / n).collect(),
+        }
     }
 }
 
@@ -41,7 +43,9 @@ impl KMeans {
     /// Panics if `centroids` is empty.
     pub fn new(centroids: Vec<Point>) -> Self {
         assert!(!centroids.is_empty(), "k-means needs at least one centroid");
-        KMeans { centroids: Arc::new(centroids) }
+        KMeans {
+            centroids: Arc::new(centroids),
+        }
     }
 
     /// Number of clusters.
@@ -71,7 +75,13 @@ impl MapReduceApp for KMeans {
 
     fn map(&self, point: &Point, emit: &mut dyn FnMut(u32, CentroidUpdate)) {
         let cluster = self.nearest(point);
-        emit(cluster, CentroidUpdate { sums: point.coords.clone(), count: 1 });
+        emit(
+            cluster,
+            CentroidUpdate {
+                sums: point.coords.clone(),
+                count: 1,
+            },
+        );
     }
 
     fn combine(&self, _key: &u32, a: &CentroidUpdate, b: &CentroidUpdate) -> CentroidUpdate {
@@ -120,16 +130,33 @@ mod tests {
     #[test]
     fn nearest_centroid_assignment() {
         let app = KMeans::new(vec![
-            Point { coords: vec![0.0, 0.0] },
-            Point { coords: vec![1.0, 1.0] },
+            Point {
+                coords: vec![0.0, 0.0],
+            },
+            Point {
+                coords: vec![1.0, 1.0],
+            },
         ]);
-        assert_eq!(app.nearest(&Point { coords: vec![0.1, 0.2] }), 0);
-        assert_eq!(app.nearest(&Point { coords: vec![0.9, 0.8] }), 1);
+        assert_eq!(
+            app.nearest(&Point {
+                coords: vec![0.1, 0.2]
+            }),
+            0
+        );
+        assert_eq!(
+            app.nearest(&Point {
+                coords: vec![0.9, 0.8]
+            }),
+            1
+        );
     }
 
     #[test]
     fn centroid_update_mean() {
-        let update = CentroidUpdate { sums: vec![3.0, 6.0], count: 3 };
+        let update = CentroidUpdate {
+            sums: vec![3.0, 6.0],
+            count: 3,
+        };
         assert_eq!(update.mean().coords, vec![1.0, 2.0]);
     }
 
@@ -143,15 +170,20 @@ mod tests {
                 JobConfig::new(mode).with_partitions(2).with_buckets(10, 1),
             )
             .unwrap();
-            job.initial_run(make_splits(0, points[0..40].to_vec(), 4)).unwrap();
+            job.initial_run(make_splits(0, points[0..40].to_vec(), 4))
+                .unwrap();
             // One bucket (= one split of 4 points) rotates out, one in.
-            job.advance(1, make_splits(100, points[40..44].to_vec(), 4)).unwrap();
+            job.advance(1, make_splits(100, points[40..44].to_vec(), 4))
+                .unwrap();
             job.output().clone()
         };
         let vanilla = run(ExecMode::Recompute);
         let rotating = run(ExecMode::slider_rotating(false));
         // Floating-point sums may associate differently; compare loosely.
-        assert_eq!(vanilla.keys().collect::<Vec<_>>(), rotating.keys().collect::<Vec<_>>());
+        assert_eq!(
+            vanilla.keys().collect::<Vec<_>>(),
+            rotating.keys().collect::<Vec<_>>()
+        );
         for (k, v) in &vanilla {
             let r = &rotating[k];
             for (a, b) in v.coords.iter().zip(&r.coords) {
@@ -164,7 +196,9 @@ mod tests {
     fn cost_model_is_compute_intensive() {
         let centroids = initial_centroids(2, 10, 50);
         let app = KMeans::new(centroids);
-        let p = Point { coords: vec![0.5; 50] };
+        let p = Point {
+            coords: vec![0.5; 50],
+        };
         assert_eq!(app.map_cost(&p), 10 * 50 * 4);
         assert_eq!(app.record_bytes(&p), 400);
     }

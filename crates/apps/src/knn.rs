@@ -24,7 +24,10 @@ pub struct Neighbors {
 impl Neighbors {
     /// Creates a list holding a single neighbour.
     pub fn single(distance2: f64, label: u32, k: usize) -> Self {
-        Neighbors { nearest: vec![(distance2, label)], k }
+        Neighbors {
+            nearest: vec![(distance2, label)],
+            k,
+        }
     }
 
     /// Merges two lists, keeping the `k` nearest.
@@ -80,7 +83,10 @@ impl Knn {
     pub fn new(queries: Vec<Point>, k: usize) -> Self {
         assert!(!queries.is_empty(), "knn needs at least one query point");
         assert!(k > 0, "k must be positive");
-        Knn { queries: Arc::new(queries), k }
+        Knn {
+            queries: Arc::new(queries),
+            k,
+        }
     }
 }
 
@@ -122,7 +128,11 @@ impl MapReduceApp for Knn {
 
     fn reduce_cost(&self, _key: &u32, parts: &[&Neighbors]) -> u64 {
         // Reducing merges every partial top-k list.
-        parts.iter().map(|p| p.nearest.len() as u64).sum::<u64>().max(1)
+        parts
+            .iter()
+            .map(|p| p.nearest.len() as u64)
+            .sum::<u64>()
+            .max(1)
     }
 
     fn record_bytes(&self, (point, _): &LabelledPoint) -> u64 {
@@ -142,24 +152,42 @@ mod tests {
 
     #[test]
     fn merge_keeps_k_nearest_sorted() {
-        let a = Neighbors { nearest: vec![(0.1, 1), (0.5, 2)], k: 3 };
-        let b = Neighbors { nearest: vec![(0.2, 3), (0.9, 4)], k: 3 };
+        let a = Neighbors {
+            nearest: vec![(0.1, 1), (0.5, 2)],
+            k: 3,
+        };
+        let b = Neighbors {
+            nearest: vec![(0.2, 3), (0.9, 4)],
+            k: 3,
+        };
         let m = a.merge(&b);
         assert_eq!(m.nearest, vec![(0.1, 1), (0.2, 3), (0.5, 2)]);
     }
 
     #[test]
     fn merge_is_commutative_and_associative() {
-        let a = Neighbors { nearest: vec![(0.1, 1)], k: 2 };
-        let b = Neighbors { nearest: vec![(0.2, 2)], k: 2 };
-        let c = Neighbors { nearest: vec![(0.3, 3)], k: 2 };
+        let a = Neighbors {
+            nearest: vec![(0.1, 1)],
+            k: 2,
+        };
+        let b = Neighbors {
+            nearest: vec![(0.2, 2)],
+            k: 2,
+        };
+        let c = Neighbors {
+            nearest: vec![(0.3, 3)],
+            k: 2,
+        };
         assert_eq!(a.merge(&b), b.merge(&a));
         assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
     }
 
     #[test]
     fn majority_label_breaks_ties_deterministically() {
-        let n = Neighbors { nearest: vec![(0.1, 2), (0.2, 1)], k: 2 };
+        let n = Neighbors {
+            nearest: vec![(0.1, 2), (0.2, 1)],
+            k: 2,
+        };
         // Tie between labels 1 and 2 → prefer the smaller label.
         assert_eq!(n.majority_label(), 1);
     }
@@ -178,8 +206,10 @@ mod tests {
                 JobConfig::new(mode).with_partitions(2),
             )
             .unwrap();
-            job.initial_run(make_splits(0, train[0..30].to_vec(), 3)).unwrap();
-            job.advance(3, make_splits(100, train[30..36].to_vec(), 3)).unwrap();
+            job.initial_run(make_splits(0, train[0..30].to_vec(), 3))
+                .unwrap();
+            job.advance(3, make_splits(100, train[30..36].to_vec(), 3))
+                .unwrap();
             job.output().clone()
         };
         assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_folding()));

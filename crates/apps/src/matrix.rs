@@ -141,13 +141,19 @@ mod tests {
         ] {
             let config = JobConfig::new(mode).with_buckets(6, 1).with_partitions(2);
             let mut inc = WindowedJob::new(Matrix::default(), config).unwrap();
-            let mut van =
-                WindowedJob::new(Matrix::default(), JobConfig::new(ExecMode::Recompute).with_partitions(2))
-                    .unwrap();
-            inc.initial_run(make_splits(0, docs[0..6].to_vec(), 1)).unwrap();
-            van.initial_run(make_splits(0, docs[0..6].to_vec(), 1)).unwrap();
-            inc.advance(1, make_splits(100, docs[6..7].to_vec(), 1)).unwrap();
-            van.advance(1, make_splits(100, docs[6..7].to_vec(), 1)).unwrap();
+            let mut van = WindowedJob::new(
+                Matrix::default(),
+                JobConfig::new(ExecMode::Recompute).with_partitions(2),
+            )
+            .unwrap();
+            inc.initial_run(make_splits(0, docs[0..6].to_vec(), 1))
+                .unwrap();
+            van.initial_run(make_splits(0, docs[0..6].to_vec(), 1))
+                .unwrap();
+            inc.advance(1, make_splits(100, docs[6..7].to_vec(), 1))
+                .unwrap();
+            van.advance(1, make_splits(100, docs[6..7].to_vec(), 1))
+                .unwrap();
             assert_eq!(inc.output(), van.output(), "{mode}");
         }
     }
@@ -156,8 +162,7 @@ mod tests {
     fn value_bytes_scale_with_row_size() {
         let app = Matrix::default();
         let small: CooccurrenceRow = [("x".to_string(), 1)].into_iter().collect();
-        let big: CooccurrenceRow =
-            (0..50).map(|i| (format!("tok{i}"), 1)).collect();
+        let big: CooccurrenceRow = (0..50).map(|i| (format!("tok{i}"), 1)).collect();
         let key = "k".to_string();
         assert!(app.value_bytes(&key, &big) > 10 * app.value_bytes(&key, &small));
     }

@@ -81,9 +81,14 @@ impl MapReduceApp for NetSessionAudit {
             acc = self.combine(&0, &acc, part);
         }
         if acc.violations > 0 {
-            AuditVerdict::Flagged { violations: acc.violations }
+            AuditVerdict::Flagged {
+                violations: acc.violations,
+            }
         } else {
-            AuditVerdict::Clean { entries: acc.entries, weeks: acc.weeks }
+            AuditVerdict::Clean {
+                entries: acc.entries,
+                weeks: acc.weeks,
+            }
         }
     }
 
@@ -110,29 +115,56 @@ mod tests {
     #[test]
     fn tampered_logs_flag_the_client() {
         let app = NetSessionAudit;
-        let good = AuditState { entries: 10, weeks: 1, violations: 0, digest: 1 };
-        let bad = AuditState { entries: 5, weeks: 1, violations: 1, digest: 2 };
+        let good = AuditState {
+            entries: 10,
+            weeks: 1,
+            violations: 0,
+            digest: 1,
+        };
+        let bad = AuditState {
+            entries: 5,
+            weeks: 1,
+            violations: 1,
+            digest: 2,
+        };
         assert_eq!(
             app.reduce(&0, &[&good, &bad]),
             AuditVerdict::Flagged { violations: 1 }
         );
         assert_eq!(
             app.reduce(&0, &[&good]),
-            AuditVerdict::Clean { entries: 10, weeks: 1 }
+            AuditVerdict::Clean {
+                entries: 10,
+                weeks: 1
+            }
         );
     }
 
     #[test]
     fn combine_is_commutative() {
         let app = NetSessionAudit;
-        let a = AuditState { entries: 1, weeks: 1, violations: 0, digest: 7 };
-        let b = AuditState { entries: 2, weeks: 1, violations: 1, digest: 9 };
+        let a = AuditState {
+            entries: 1,
+            weeks: 1,
+            violations: 0,
+            digest: 7,
+        };
+        let b = AuditState {
+            entries: 2,
+            weeks: 1,
+            violations: 1,
+            digest: 9,
+        };
         assert_eq!(app.combine(&0, &a, &b), app.combine(&0, &b, &a));
     }
 
     #[test]
     fn variable_width_audit_matches_recompute() {
-        let cfg = NetSessionConfig { clients: 120, mean_entries: 10, tamper_rate: 0.05 };
+        let cfg = NetSessionConfig {
+            clients: 120,
+            mean_entries: 10,
+            tamper_rate: 0.05,
+        };
         // 4-week window sliding by 1 week; weekly sizes vary with upload
         // fraction, so per-slide split counts differ (variable width).
         let fractions = [1.0, 0.9, 0.8, 1.0, 0.75, 0.95];
@@ -144,8 +176,7 @@ mod tests {
         let per_split = 25;
         let run = |mode| {
             let mut job =
-                WindowedJob::new(NetSessionAudit, JobConfig::new(mode).with_partitions(2))
-                    .unwrap();
+                WindowedJob::new(NetSessionAudit, JobConfig::new(mode).with_partitions(2)).unwrap();
             let mut id = 0u64;
             let mut split_counts: std::collections::VecDeque<usize> =
                 std::collections::VecDeque::new();

@@ -102,8 +102,7 @@ mod tests {
     fn windowed_counts_match_reference() {
         let lines = vec!["abcde abcd".to_string(), "bcdef".to_string()];
         let mut job =
-            WindowedJob::new(SubStr::new(4), JobConfig::new(ExecMode::slider_folding()))
-                .unwrap();
+            WindowedJob::new(SubStr::new(4), JobConfig::new(ExecMode::slider_folding())).unwrap();
         job.initial_run(make_splits(0, lines, 1)).unwrap();
         assert_eq!(job.output().get("abcd"), Some(&2));
         assert_eq!(job.output().get("bcde"), Some(&2));

@@ -104,7 +104,11 @@ impl MapReduceApp for TwitterPropagation {
             max_depth = max_depth.max(depth);
             depth_of.insert(user, depth);
         }
-        PropagationStats { nodes: depth_of.len() as u32, edges, depth: max_depth }
+        PropagationStats {
+            nodes: depth_of.len() as u32,
+            edges,
+            depth: max_depth,
+        }
     }
 
     fn map_cost(&self, _tweet: &Tweet) -> u64 {
@@ -144,20 +148,39 @@ mod tests {
         let app = TwitterPropagation::new(graph);
         let posts = vec![(1u64, 0u32), (2, 1), (3, 2)];
         let stats = app.reduce(&0, &[&posts]);
-        assert_eq!(stats, PropagationStats { nodes: 3, edges: 2, depth: 3 });
+        assert_eq!(
+            stats,
+            PropagationStats {
+                nodes: 3,
+                edges: 2,
+                depth: 3
+            }
+        );
 
         // Reversed time order: nobody follows a later poster, so the tree
         // is three roots.
         let posts = vec![(1u64, 2u32), (2, 1), (3, 0)];
         let stats = app.reduce(&0, &[&posts]);
-        assert_eq!(stats, PropagationStats { nodes: 3, edges: 0, depth: 1 });
+        assert_eq!(
+            stats,
+            PropagationStats {
+                nodes: 3,
+                edges: 0,
+                depth: 1
+            }
+        );
     }
 
     #[test]
     fn generated_cascades_produce_edges() {
         let data = generate(
             42,
-            &TwitterConfig { users: 60, avg_follows: 4, urls: 10, repost_probability: 0.5 },
+            &TwitterConfig {
+                users: 60,
+                avg_follows: 4,
+                urls: 10,
+                repost_probability: 0.5,
+            },
             400,
         );
         let app = TwitterPropagation::new(Arc::clone(&data.graph));
@@ -166,11 +189,15 @@ mod tests {
             JobConfig::new(ExecMode::slider_coalescing(false)).with_partitions(2),
         )
         .unwrap();
-        job.initial_run(make_splits(0, data.tweets.clone(), 50)).unwrap();
+        job.initial_run(make_splits(0, data.tweets.clone(), 50))
+            .unwrap();
         let stats: Vec<&PropagationStats> = job.output().values().collect();
         assert!(!stats.is_empty());
         // Reposts exist, so at least one URL must have an edge.
-        assert!(stats.iter().any(|s| s.edges > 0), "no propagation edges found");
+        assert!(
+            stats.iter().any(|s| s.edges > 0),
+            "no propagation edges found"
+        );
         assert!(stats.iter().all(|s| s.depth >= 1 && s.nodes >= 1));
     }
 
@@ -178,7 +205,12 @@ mod tests {
     fn append_only_incremental_matches_recompute() {
         let data = generate(
             7,
-            &TwitterConfig { users: 80, avg_follows: 5, urls: 15, repost_probability: 0.4 },
+            &TwitterConfig {
+                users: 80,
+                avg_follows: 5,
+                urls: 15,
+                repost_probability: 0.4,
+            },
             600,
         );
         let intervals = data.intervals(&[70, 10, 10, 10]);
@@ -201,7 +233,10 @@ mod tests {
             }
             job.output().clone()
         };
-        assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_coalescing(true)));
+        assert_eq!(
+            run(ExecMode::Recompute),
+            run(ExecMode::slider_coalescing(true))
+        );
     }
 
     #[test]

@@ -25,10 +25,16 @@ fn main() {
     ]);
     for width in [1usize, 2, 5, 10, 20] {
         let n = spec.initial.len();
-        let m = run_slide_with(&spec, ExecMode::slider_rotating(false), WindowKind::Fixed, 10, |c| {
-            // Override the driver's default geometry.
-            c.with_buckets(n / width, width)
-        });
+        let m = run_slide_with(
+            &spec,
+            ExecMode::slider_rotating(false),
+            WindowKind::Fixed,
+            10,
+            |c| {
+                // Override the driver's default geometry.
+                c.with_buckets(n / width, width)
+            },
+        );
         table.row(vec![
             width.to_string(),
             (n / width).to_string(),
@@ -66,12 +72,14 @@ fn main() {
         ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, mk(0..n));
         let mut next = n;
         // Steady slide, then shrink to 2% of the window.
-        tree.advance(&mut cx, (n / 10) as usize, mk(next..next + n / 10)).unwrap();
+        tree.advance(&mut cx, (n / 10) as usize, mk(next..next + n / 10))
+            .unwrap();
         next += n / 10;
         let mut shrink_stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut shrink_stats);
         let live = ContractionTree::<u8, u64>::len(&tree);
-        tree.advance(&mut cx, live - 80, mk(next..next + 2)).unwrap();
+        tree.advance(&mut cx, live - 80, mk(next..next + 2))
+            .unwrap();
         next += 2;
 
         let mut follow = 0u64;
@@ -112,7 +120,8 @@ fn main() {
         ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, mk(0..512));
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        tree.advance(&mut cx, remove, mk(1000..1000 + remove as u64)).unwrap();
+        tree.advance(&mut cx, remove, mk(1000..1000 + remove as u64))
+            .unwrap();
         table.row(vec![
             format!("-{remove}/+{remove}"),
             stats.foreground.merges.to_string(),

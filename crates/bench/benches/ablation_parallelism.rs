@@ -1,0 +1,125 @@
+//! Ablation: worker-thread count vs wall-clock time of the shared
+//! partition-sharded runtime.
+//!
+//! Every executor phase that runs on the runtime — map, contraction,
+//! reduce, background pre-processing — is metered in *modeled* work units
+//! that are bitwise-independent of the thread count (the determinism suite
+//! proves it). This target measures the one thing that *should* change
+//! with threads: real elapsed time. It sweeps worker counts from 1 up to
+//! the machine's available parallelism on the two most data-intensive
+//! micro-benchmarks and reports wall-clock speedup next to the (unchanged)
+//! modeled work.
+//!
+//! On a single-core container the sweep degenerates to one row; run on a
+//! multi-core machine to see the scaling.
+
+use std::time::{Duration, Instant};
+
+use slider_bench::datasets::MicrobenchSpec;
+use slider_bench::hct_spec;
+use slider_bench::{banner, fmt_f64, fmt_speedup, substr_spec, Table};
+use slider_mapreduce::{ExecMode, JobConfig, MapReduceApp, WindowedJob};
+
+/// Thread counts to sweep: 1, powers of two, and the machine maximum.
+fn sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1];
+    let mut t = 2;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Times one full job at a given thread count: an initial 200-split window,
+/// then a 25% slide. Returns (initial wall time, update wall time, update
+/// modeled foreground work).
+fn run_at<A: MapReduceApp + Clone>(
+    spec: &MicrobenchSpec<A>,
+    mode: ExecMode,
+    threads: usize,
+) -> (Duration, Duration, u64) {
+    let delta = (spec.initial.len() * 25).div_ceil(100);
+    let config = JobConfig::new(mode)
+        .with_partitions(8)
+        .with_threads(threads);
+    let mut job = WindowedJob::new(spec.app.clone(), config).expect("valid config");
+
+    let t0 = Instant::now();
+    job.initial_run(spec.initial.clone()).expect("initial run");
+    let initial = t0.elapsed();
+
+    let t1 = Instant::now();
+    let stats = job
+        .advance(delta, spec.extra[..delta].to_vec())
+        .expect("slide");
+    let update = t1.elapsed();
+
+    (initial, update, stats.work.foreground_total())
+}
+
+fn sweep_app<A: MapReduceApp + Clone>(title: &str, spec: &MicrobenchSpec<A>, mode: ExecMode) {
+    banner(title);
+    let mut table = Table::new(&[
+        "threads",
+        "initial (ms)",
+        "update (ms)",
+        "initial speedup",
+        "update speedup",
+        "update work",
+    ]);
+    let mut baseline: Option<(f64, f64, u64)> = None;
+    for threads in sweep() {
+        let (initial, update, work) = run_at(spec, mode, threads);
+        let (init_s, upd_s) = (initial.as_secs_f64(), update.as_secs_f64());
+        let (base_init, base_upd, base_work) = *baseline.get_or_insert((init_s, upd_s, work));
+        assert_eq!(
+            work, base_work,
+            "modeled work must not depend on the thread count"
+        );
+        table.row(vec![
+            threads.to_string(),
+            fmt_f64(init_s * 1e3),
+            fmt_f64(upd_s * 1e3),
+            fmt_speedup(base_init, init_s),
+            fmt_speedup(base_upd, upd_s),
+            work.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn main() {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("available parallelism: {max} (sweep: {:?})", sweep());
+    if std::env::var(slider_mapreduce::THREADS_ENV).is_ok() {
+        println!(
+            "warning: {} is set and overrides every row's thread count — \
+             unset it for a meaningful sweep",
+            slider_mapreduce::THREADS_ENV
+        );
+    }
+
+    sweep_app(
+        "subStr, vanilla recompute (map+contraction+reduce of the full window)",
+        &substr_spec(),
+        ExecMode::Recompute,
+    );
+    sweep_app(
+        "HCT, Slider folding tree (incremental contraction across 8 shards)",
+        &hct_spec(),
+        ExecMode::slider_folding(),
+    );
+    println!(
+        "\nexpected: modeled work identical in every row; wall-clock speedup\n\
+         grows with threads until the 8 partition shards are saturated."
+    );
+}

@@ -18,12 +18,7 @@ fn pipeline_time(result: &QueryRunStats) -> f64 {
     result.total_time().expect("simulation configured")
 }
 
-fn run_query(
-    pq: &PigMixQuery,
-    mode: ExecMode,
-    kind: WindowKind,
-    views: &[Row],
-) -> QueryRunStats {
+fn run_query(pq: &PigMixQuery, mode: ExecMode, kind: WindowKind, views: &[Row]) -> QueryRunStats {
     let mut config = JobConfig::new(mode)
         .with_partitions(8)
         .with_simulation(SimulationConfig::paper_defaults());
@@ -49,15 +44,18 @@ fn run_query(
 
 fn main() {
     banner("Figure 10: query processing (PigMix-like suite, 5% input change)");
-    let cfg = PageViewConfig { users: 400, pages: 200, skew: 1.02 };
+    let cfg = PageViewConfig {
+        users: 400,
+        pages: 200,
+        skew: 1.02,
+    };
     let users = generate_users(0, &cfg);
     let views: Vec<Row> = generate_views(7, &cfg, 0, (WINDOW_SPLITS + 10) * ROWS_PER_SPLIT)
         .iter()
         .map(pageview_row)
         .collect();
 
-    let mut table =
-        Table::new(&["query", "jobs", "mode", "work speedup", "time speedup"]);
+    let mut table = Table::new(&["query", "jobs", "mode", "work speedup", "time speedup"]);
     let mut work_speedups = Vec::new();
     let mut time_speedups = Vec::new();
 
@@ -73,8 +71,16 @@ fn main() {
             work_speedups.push(work_x);
             time_speedups.push(time_x);
             table.row(vec![
-                if first { pq.name.to_string() } else { String::new() },
-                if first { jobs.to_string() } else { String::new() },
+                if first {
+                    pq.name.to_string()
+                } else {
+                    String::new()
+                },
+                if first {
+                    jobs.to_string()
+                } else {
+                    String::new()
+                },
                 kind.letter().to_string(),
                 fmt_f64(work_x),
                 fmt_f64(time_x),

@@ -31,7 +31,11 @@ fn main() {
     for kind in [WindowKind::Append, WindowKind::Fixed] {
         banner(&format!(
             "Fig 11 — {} case",
-            if kind == WindowKind::Append { "Append-only" } else { "Fixed-width" }
+            if kind == WindowKind::Append {
+                "Append-only"
+            } else {
+                "Fixed-width"
+            }
         ));
         let mut table = Table::new(&[
             "app",

@@ -57,10 +57,12 @@ fn core_trend(kind: TreeKind, shrink_pct: u64) -> (usize, u64) {
     let mut cx = TreeCx::new(&combiner, &key, &mut stats);
     tree.rebuild(&mut cx, mk(0..n));
     let mut next = n;
-    tree.advance(&mut cx, (n / 10) as usize, mk(next..next + n / 10)).unwrap();
+    tree.advance(&mut cx, (n / 10) as usize, mk(next..next + n / 10))
+        .unwrap();
     next += n / 10;
     let shrink = n * shrink_pct / 100;
-    tree.advance(&mut cx, shrink as usize, mk(next..next + n / 100)).unwrap();
+    tree.advance(&mut cx, shrink as usize, mk(next..next + n / 100))
+        .unwrap();
     next += n / 100;
 
     let mut merges = 0;

@@ -31,7 +31,10 @@ fn main() {
                 .time_seconds()
                 .expect("simulation configured")
                 .max(1e-9);
-            let s_time = slider.initial.time_seconds().expect("simulation configured");
+            let s_time = slider
+                .initial
+                .time_seconds()
+                .expect("simulation configured");
             time_row.push(fmt_f64(100.0 * (s_time / base_time - 1.0).max(0.0)));
 
             let input = slider.initial.window_input_bytes.max(1) as f64;

@@ -34,7 +34,11 @@ fn main() {
 
     for (metric, data) in [("Work", &work), ("Time", &time)] {
         for kind in WindowKind::ALL {
-            banner(&format!("Fig 8 ({metric}) — {} ({})", kind_name(kind), kind.letter()));
+            banner(&format!(
+                "Fig 8 ({metric}) — {} ({})",
+                kind_name(kind),
+                kind.letter()
+            ));
             let mut table = Table::new(&header_refs);
             for (k, name, row) in data {
                 if *k == kind {

@@ -11,9 +11,7 @@ fn main() {
 
     for pct in [5usize, 25] {
         banner(&format!("Fig 9 — {pct}% change in the input"));
-        let mut table = Table::new(&[
-            "app", "mode", "map %", "contraction+reduce %",
-        ]);
+        let mut table = Table::new(&["app", "mode", "map %", "contraction+reduce %"]);
         let mut cr_percents: Vec<f64> = Vec::new();
         for_each_app(|name, run| {
             let mut first = true;
@@ -22,9 +20,8 @@ fn main() {
                 let slider = run(kind.slider_mode(false), kind, pct);
 
                 let base_map = vanilla.stats.work.map.max(1) as f64;
-                let base_reduce = (vanilla.stats.work.reduce
-                    + vanilla.stats.work.movement)
-                    .max(1) as f64;
+                let base_reduce =
+                    (vanilla.stats.work.reduce + vanilla.stats.work.movement).max(1) as f64;
                 let s_map = slider.stats.work.map as f64;
                 let s_cr = (slider.stats.work.contraction_fg.work
                     + slider.stats.work.reduce
@@ -34,7 +31,11 @@ fn main() {
                 let cr_pct = 100.0 * s_cr / base_reduce;
                 cr_percents.push(cr_pct);
                 table.row(vec![
-                    if first { name.to_string() } else { String::new() },
+                    if first {
+                        name.to_string()
+                    } else {
+                        String::new()
+                    },
                     kind.letter().to_string(),
                     fmt_f64(map_pct),
                     fmt_f64(cr_pct),

@@ -9,8 +9,8 @@
 //! EXPERIMENTS.md); the *ratios* are the reproduced quantity.
 
 use slider_bench::{
-    banner, fmt_f64, hct_spec, kmeans_spec, knn_spec, matrix_spec, run_slide_with,
-    substr_spec, MicrobenchSpec, Table, WindowKind,
+    banner, fmt_f64, hct_spec, kmeans_spec, knn_spec, matrix_spec, run_slide_with, substr_spec,
+    MicrobenchSpec, Table, WindowKind,
 };
 use slider_cluster::{ClusterSpec, CostModel, MachineSpec, SchedulerPolicy};
 use slider_mapreduce::{MapReduceApp, SimulationConfig};
@@ -35,7 +35,10 @@ fn ratio<A: MapReduceApp + Clone>(spec: &MicrobenchSpec<A>) -> f64 {
     let mode = kind.slider_mode(false);
     let run = |policy: SchedulerPolicy| {
         run_slide_with(spec, mode, kind, 5, |config| {
-            config.with_simulation(SimulationConfig { cluster: measurement_cluster(), policy })
+            config.with_simulation(SimulationConfig {
+                cluster: measurement_cluster(),
+                policy,
+            })
         })
         .time
     };

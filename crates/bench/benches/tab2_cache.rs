@@ -3,8 +3,8 @@
 //! the fault-tolerant persistent tier (fixed-width windowing).
 
 use slider_bench::{
-    banner, fmt_f64, hct_spec, kmeans_spec, knn_spec, matrix_spec, run_slide_with,
-    substr_spec, MicrobenchSpec, Table, WindowKind,
+    banner, fmt_f64, hct_spec, kmeans_spec, knn_spec, matrix_spec, run_slide_with, substr_spec,
+    MicrobenchSpec, Table, WindowKind,
 };
 use slider_dcache::CacheConfig;
 use slider_mapreduce::MapReduceApp;
@@ -16,7 +16,11 @@ fn read_seconds<A: MapReduceApp + Clone>(spec: &MicrobenchSpec<A>, memory: bool)
         cache.memory_enabled = memory;
         config.with_cache(cache)
     });
-    measurement.stats.cache.expect("cache configured").read_seconds
+    measurement
+        .stats
+        .cache
+        .expect("cache configured")
+        .read_seconds
 }
 
 fn reduction<A: MapReduceApp + Clone>(spec: &MicrobenchSpec<A>) -> f64 {

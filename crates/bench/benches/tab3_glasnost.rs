@@ -5,9 +5,7 @@
 
 use slider_apps::GlasnostMonitor;
 use slider_bench::{banner, fmt_f64, Table};
-use slider_mapreduce::{
-    make_splits, ExecMode, JobConfig, SimulationConfig, Split, WindowedJob,
-};
+use slider_mapreduce::{make_splits, ExecMode, JobConfig, SimulationConfig, Split, WindowedJob};
 use slider_workloads::glasnost::{generate_months, GlasnostConfig, TABLE3_MONTHLY_TESTS};
 
 const MONTH_LABELS: [&str; 9] = [
@@ -24,7 +22,11 @@ const SPLITS_PER_MONTH: usize = 48;
 fn run(mode: ExecMode) -> Vec<(usize, u64, f64)> {
     // 400 RTT samples per pcap trace: parsing the trace dominates the
     // Map task, as with the paper's real packet captures.
-    let config = GlasnostConfig { servers: 4, clients: 600, samples_per_test: 400 };
+    let config = GlasnostConfig {
+        servers: 4,
+        clients: 600,
+        samples_per_test: 400,
+    };
     let months = generate_months(0x91a5, &config, &TABLE3_MONTHLY_TESTS);
     let mut job = WindowedJob::new(
         GlasnostMonitor::new(),
@@ -43,7 +45,10 @@ fn run(mode: ExecMode) -> Vec<(usize, u64, f64)> {
             let mut splits = make_splits(next_id, traces.clone(), per_split);
             // Pad with empty splits so every month is exactly one bucket.
             while splits.len() < SPLITS_PER_MONTH {
-                splits.push(Split::from_records(next_id + splits.len() as u64, Vec::new()));
+                splits.push(Split::from_records(
+                    next_id + splits.len() as u64,
+                    Vec::new(),
+                ));
             }
             assert_eq!(splits.len(), SPLITS_PER_MONTH);
             next_id += SPLITS_PER_MONTH as u64;
@@ -57,8 +62,9 @@ fn run(mode: ExecMode) -> Vec<(usize, u64, f64)> {
     let mut out = Vec::new();
     for (month, splits) in month_splits.iter().enumerate().skip(3) {
         let change: usize = splits.iter().map(Split::len).sum();
-        let stats =
-            job.advance(SPLITS_PER_MONTH, splits.clone()).expect("monthly slide");
+        let stats = job
+            .advance(SPLITS_PER_MONTH, splits.clone())
+            .expect("monthly slide");
         out.push((
             change,
             stats.work.foreground_total(),
@@ -82,8 +88,10 @@ fn main() {
         "work speedup",
         "time speedup",
     ]);
-    let windows: Vec<usize> =
-        TABLE3_MONTHLY_TESTS.windows(3).map(|w| w.iter().sum()).collect();
+    let windows: Vec<usize> = TABLE3_MONTHLY_TESTS
+        .windows(3)
+        .map(|w| w.iter().sum())
+        .collect();
     for (i, ((v, s), label)) in vanilla
         .iter()
         .zip(&slider)

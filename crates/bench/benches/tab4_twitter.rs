@@ -34,7 +34,9 @@ fn run(data: &TwitterDataset, mode: ExecMode) -> (u64, f64, Vec<(u64, f64)>) {
     };
 
     let mut iter = intervals.into_iter();
-    let initial = job.initial_run(mk(iter.next().expect("5 intervals"))).expect("initial");
+    let initial = job
+        .initial_run(mk(iter.next().expect("5 intervals")))
+        .expect("initial");
     let initial_work = initial.work.grand_total();
     let initial_time = initial.time_seconds().expect("simulation configured");
 
@@ -53,19 +55,19 @@ fn main() {
     banner("Table 4: Twitter information-propagation trees (append-only)");
     let data = generate(
         0x7017,
-        &TwitterConfig { users: 3_000, avg_follows: 8, urls: 400, repost_probability: 0.3 },
+        &TwitterConfig {
+            users: 3_000,
+            avg_follows: 8,
+            urls: 400,
+            repost_probability: 0.3,
+        },
         TWEETS,
     );
 
     let (van_init_work, van_init_time, vanilla) = run(&data, ExecMode::Recompute);
     let (sl_init_work, sl_init_time, slider) = run(&data, ExecMode::slider_coalescing(true));
 
-    let mut table = Table::new(&[
-        "interval",
-        "change %",
-        "time speedup",
-        "work speedup",
-    ]);
+    let mut table = Table::new(&["interval", "change %", "time speedup", "work speedup"]);
     let total_initial: u64 = INTERVALS[0];
     let mut cumulative = total_initial;
     for ((label, v), s) in INTERVAL_LABELS.iter().zip(&vanilla).zip(&slider) {
@@ -93,5 +95,8 @@ fn main() {
 }
 
 fn table_index(label: &str) -> usize {
-    INTERVAL_LABELS.iter().position(|l| *l == label).expect("known label")
+    INTERVAL_LABELS
+        .iter()
+        .position(|l| *l == label)
+        .expect("known label")
 }

@@ -14,7 +14,11 @@ const LOGS_PER_SPLIT: usize = 100;
 /// arrives with `upload_fraction` of clients online; the window slides by
 /// one week. Returns (work, time) of the sliding run.
 fn run(mode: ExecMode, upload_fraction: f64) -> (u64, f64) {
-    let config = NetSessionConfig { clients: 4_000, mean_entries: 30, tamper_rate: 0.01 };
+    let config = NetSessionConfig {
+        clients: 4_000,
+        mean_entries: 30,
+        tamper_rate: 0.01,
+    };
     let mut job = WindowedJob::new(
         NetSessionAudit::new(),
         JobConfig::new(mode)

@@ -22,31 +22,8 @@ fn bench_slides(c: &mut Criterion) {
             TreeKind::RandomizedFolding,
             TreeKind::Rotating,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, &n| {
-                    let mut tree = build_tree::<u8, u64>(kind, n as usize);
-                    let mut stats = UpdateStats::default();
-                    let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-                    tree.rebuild(&mut cx, leaves(n));
-                    let mut next = n;
-                    b.iter(|| {
-                        let mut stats = UpdateStats::default();
-                        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-                        next += 1;
-                        tree.advance(&mut cx, 1, vec![Some(Arc::new(next))]).unwrap();
-                        stats.foreground.merges
-                    });
-                },
-            );
-        }
-        // Coalescing appends only.
-        group.bench_with_input(
-            BenchmarkId::new("coalescing-append", n),
-            &n,
-            |b, &n| {
-                let mut tree = build_tree::<u8, u64>(TreeKind::Coalescing, 0);
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, &n| {
+                let mut tree = build_tree::<u8, u64>(kind, n as usize);
                 let mut stats = UpdateStats::default();
                 let mut cx = TreeCx::new(&combiner, &key, &mut stats);
                 tree.rebuild(&mut cx, leaves(n));
@@ -55,10 +32,27 @@ fn bench_slides(c: &mut Criterion) {
                     let mut stats = UpdateStats::default();
                     let mut cx = TreeCx::new(&combiner, &key, &mut stats);
                     next += 1;
-                    tree.advance(&mut cx, 0, vec![Some(Arc::new(next))]).unwrap();
+                    tree.advance(&mut cx, 1, vec![Some(Arc::new(next))])
+                        .unwrap();
+                    stats.foreground.merges
                 });
-            },
-        );
+            });
+        }
+        // Coalescing appends only.
+        group.bench_with_input(BenchmarkId::new("coalescing-append", n), &n, |b, &n| {
+            let mut tree = build_tree::<u8, u64>(TreeKind::Coalescing, 0);
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            tree.rebuild(&mut cx, leaves(n));
+            let mut next = n;
+            b.iter(|| {
+                let mut stats = UpdateStats::default();
+                let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                next += 1;
+                tree.advance(&mut cx, 0, vec![Some(Arc::new(next))])
+                    .unwrap();
+            });
+        });
     }
     group.finish();
 }

@@ -40,7 +40,11 @@ pub const RECORDS_PER_SPLIT: usize = 12;
 pub const FIXED_BUCKETS: usize = 20;
 
 fn text_docs(seed: u64) -> (Vec<String>, Vec<String>) {
-    let config = TextConfig { vocabulary: 1_500, zipf_exponent: 1.05, words_per_doc: 30 };
+    let config = TextConfig {
+        vocabulary: 1_500,
+        zipf_exponent: 1.05,
+        words_per_doc: 30,
+    };
     let total = (WINDOW_SPLITS + EXTRA_SPLITS) * RECORDS_PER_SPLIT;
     let mut docs = generate_documents(seed, total, &config);
     let extra = docs.split_off(WINDOW_SPLITS * RECORDS_PER_SPLIT);
@@ -57,21 +61,36 @@ fn split_pair<R>(initial: Vec<R>, extra: Vec<R>) -> (Vec<Split<R>>, Vec<Split<R>
 pub fn hct_spec() -> MicrobenchSpec<Hct> {
     let (initial, extra) = text_docs(0x11c7);
     let (initial, extra) = split_pair(initial, extra);
-    MicrobenchSpec { name: "HCT", app: Hct::new(), initial, extra }
+    MicrobenchSpec {
+        name: "HCT",
+        app: Hct::new(),
+        initial,
+        extra,
+    }
 }
 
 /// Co-occurrence matrix over Zipf text.
 pub fn matrix_spec() -> MicrobenchSpec<Matrix> {
     let (initial, extra) = text_docs(0x3a7);
     let (initial, extra) = split_pair(initial, extra);
-    MicrobenchSpec { name: "Matrix", app: Matrix::new(2), initial, extra }
+    MicrobenchSpec {
+        name: "Matrix",
+        app: Matrix::new(2),
+        initial,
+        extra,
+    }
 }
 
 /// Frequent sub-strings over Zipf text.
 pub fn substr_spec() -> MicrobenchSpec<SubStr> {
     let (initial, extra) = text_docs(0x5ab);
     let (initial, extra) = split_pair(initial, extra);
-    MicrobenchSpec { name: "subStr", app: SubStr::new(4), initial, extra }
+    MicrobenchSpec {
+        name: "subStr",
+        app: SubStr::new(4),
+        initial,
+        extra,
+    }
 }
 
 /// K-means over 50-dimensional unit-cube points (paper's setup).
@@ -93,12 +112,11 @@ pub fn kmeans_spec() -> MicrobenchSpec<KMeans> {
 pub fn knn_spec() -> MicrobenchSpec<Knn> {
     let dims = 50;
     let total = (WINDOW_SPLITS + EXTRA_SPLITS) * RECORDS_PER_SPLIT;
-    let labelled: Vec<(slider_workloads::points::Point, u32)> =
-        generate_points(0x59, total, dims)
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| (p, (i % 4) as u32))
-            .collect();
+    let labelled: Vec<(slider_workloads::points::Point, u32)> = generate_points(0x59, total, dims)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, (i % 4) as u32))
+        .collect();
     let mut points = labelled;
     let extra = points.split_off(WINDOW_SPLITS * RECORDS_PER_SPLIT);
     let (initial, extra) = split_pair(points, extra);

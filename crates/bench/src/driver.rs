@@ -103,7 +103,10 @@ pub fn run_slide_with<A: MapReduceApp + Clone>(
 ) -> ChangeMeasurement {
     let n = spec.initial.len();
     let delta = (n * pct).div_ceil(100).max(1);
-    assert!(delta <= spec.extra.len(), "not enough spare splits for a {pct}% slide");
+    assert!(
+        delta <= spec.extra.len(),
+        "not enough spare splits for a {pct}% slide"
+    );
 
     let mut config = JobConfig::new(mode).with_partitions(8);
     if kind == WindowKind::Fixed {
@@ -230,7 +233,10 @@ mod tests {
             WindowKind::Fixed.slider_mode(false),
             ExecMode::slider_rotating(false)
         );
-        assert_eq!(WindowKind::Variable.slider_mode(false), ExecMode::slider_folding());
+        assert_eq!(
+            WindowKind::Variable.slider_mode(false),
+            ExecMode::slider_folding()
+        );
         assert_eq!(WindowKind::Append.letter(), "A");
     }
 
@@ -244,7 +250,10 @@ mod tests {
             10,
             SchedulerPolicy::hybrid_default(),
         );
-        assert_eq!(m.stats.keys_reduced + m.stats.keys_reused, m.stats.keys_reduced + m.stats.keys_reused);
+        assert_eq!(
+            m.stats.keys_reduced + m.stats.keys_reused,
+            m.stats.keys_reduced + m.stats.keys_reused
+        );
         assert!(m.work > 0);
     }
 }

@@ -18,7 +18,6 @@ pub use datasets::{
 };
 pub use driver::{
     for_each_app, for_each_app_with_cluster, policy_for, run_slide, run_slide_with,
-    AppMeasurements, ChangeMeasurement,
-    WindowKind, PCTS,
+    AppMeasurements, ChangeMeasurement, WindowKind, PCTS,
 };
-pub use report::{banner, fmt_f64, Table};
+pub use report::{banner, fmt_f64, fmt_speedup, Table};

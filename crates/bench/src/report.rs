@@ -15,6 +15,16 @@ pub fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Formats a wall-clock speedup relative to a baseline duration, e.g.
+/// `"2.1x"`. Returns `"-"` when the measurement is unusable.
+pub fn fmt_speedup(baseline_secs: f64, secs: f64) -> String {
+    if !(baseline_secs.is_finite() && secs.is_finite()) || secs <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{}x", fmt_f64(baseline_secs / secs))
+    }
+}
+
 /// A fixed-width text table.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -25,7 +35,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).
@@ -92,6 +105,13 @@ mod tests {
         assert_eq!(fmt_f64(12.34), "12.3");
         assert_eq!(fmt_f64(1.234), "1.23");
         assert_eq!(fmt_f64(f64::NAN), "-");
+    }
+
+    #[test]
+    fn fmt_speedup_is_a_ratio() {
+        assert_eq!(fmt_speedup(4.0, 2.0), "2.00x");
+        assert_eq!(fmt_speedup(1.0, 0.0), "-");
+        assert_eq!(fmt_speedup(f64::NAN, 1.0), "-");
     }
 
     #[test]

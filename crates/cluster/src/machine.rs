@@ -27,7 +27,11 @@ pub struct MachineSpec {
 impl MachineSpec {
     /// A healthy worker with the paper-like 2 map + 2 reduce slots.
     pub fn healthy() -> Self {
-        MachineSpec { map_slots: 2, reduce_slots: 2, speed: 1.0 }
+        MachineSpec {
+            map_slots: 2,
+            reduce_slots: 2,
+            speed: 1.0,
+        }
     }
 
     /// A straggling worker running at `speed` (< 1.0) of a healthy one.
@@ -36,8 +40,14 @@ impl MachineSpec {
     ///
     /// Panics if `speed` is not strictly positive and finite.
     pub fn straggler(speed: f64) -> Self {
-        assert!(speed.is_finite() && speed > 0.0, "straggler speed must be positive");
-        MachineSpec { speed, ..Self::healthy() }
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "straggler speed must be positive"
+        );
+        MachineSpec {
+            speed,
+            ..Self::healthy()
+        }
     }
 
     /// Slots available for the given kind.
@@ -88,9 +98,16 @@ mod tests {
 
     #[test]
     fn straggler_is_detected() {
-        let m = Machine { id: MachineId(3), spec: MachineSpec::straggler(0.25) };
+        let m = Machine {
+            id: MachineId(3),
+            spec: MachineSpec::straggler(0.25),
+        };
         assert!(m.is_straggler());
-        assert!(!Machine { id: MachineId(0), spec: MachineSpec::healthy() }.is_straggler());
+        assert!(!Machine {
+            id: MachineId(0),
+            spec: MachineSpec::healthy()
+        }
+        .is_straggler());
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub enum SchedulerPolicy {
 impl SchedulerPolicy {
     /// The hybrid policy with the default 5-second migration threshold.
     pub fn hybrid_default() -> Self {
-        SchedulerPolicy::Hybrid { migration_threshold: 5.0 }
+        SchedulerPolicy::Hybrid {
+            migration_threshold: 5.0,
+        }
     }
 }
 
@@ -85,7 +87,10 @@ impl HybridScheduler {
     /// Creates the hybrid scheduler with the given migration threshold in
     /// simulated seconds.
     pub fn new(threshold: f64) -> Self {
-        HybridScheduler { threshold, migrations: 0 }
+        HybridScheduler {
+            threshold,
+            migrations: 0,
+        }
     }
 }
 
@@ -94,9 +99,9 @@ pub fn build_scheduler(policy: SchedulerPolicy) -> Box<dyn Scheduler> {
     match policy {
         SchedulerPolicy::Vanilla => Box::new(VanillaScheduler),
         SchedulerPolicy::MemoizationAware => Box::new(MemoAwareScheduler),
-        SchedulerPolicy::Hybrid { migration_threshold } => {
-            Box::new(HybridScheduler::new(migration_threshold))
-        }
+        SchedulerPolicy::Hybrid {
+            migration_threshold,
+        } => Box::new(HybridScheduler::new(migration_threshold)),
     }
 }
 
@@ -127,8 +132,9 @@ impl Scheduler for VanillaScheduler {
         match kind {
             // Hadoop's scheduler takes input locality into account for Map
             // tasks: run a split-local map if one is queued.
-            SlotKind::Map => first_preferring(pending, kind, machine)
-                .or_else(|| first_of_kind(pending, kind)),
+            SlotKind::Map => {
+                first_preferring(pending, kind, machine).or_else(|| first_of_kind(pending, kind))
+            }
             // ...but reduces go to the first available machine.
             SlotKind::Reduce => first_of_kind(pending, kind),
         }
@@ -145,8 +151,9 @@ impl Scheduler for MemoAwareScheduler {
     ) -> Option<usize> {
         match kind {
             // Map placement is Hadoop's: locality is best-effort.
-            SlotKind::Map => first_preferring(pending, kind, machine)
-                .or_else(|| first_of_kind(pending, kind)),
+            SlotKind::Map => {
+                first_preferring(pending, kind, machine).or_else(|| first_of_kind(pending, kind))
+            }
             // Reduce placement is strict: wait for the machine holding the
             // memoized state; preference-free tasks fill leftover slots.
             SlotKind::Reduce => first_preferring(pending, kind, machine)
@@ -180,7 +187,9 @@ impl Scheduler for HybridScheduler {
             .enumerate()
             .filter(|(_, p)| p.task.kind == kind && now - p.enqueued_at >= self.threshold)
             .min_by(|(_, a), (_, b)| {
-                a.enqueued_at.partial_cmp(&b.enqueued_at).expect("finite times")
+                a.enqueued_at
+                    .partial_cmp(&b.enqueued_at)
+                    .expect("finite times")
             })
             .map(|(i, _)| i);
         if stale.is_some() {
@@ -200,11 +209,17 @@ mod tests {
     use crate::machine::{MachineId, MachineSpec};
 
     fn machine(id: usize) -> Machine {
-        Machine { id: MachineId(id), spec: MachineSpec::healthy() }
+        Machine {
+            id: MachineId(id),
+            spec: MachineSpec::healthy(),
+        }
     }
 
     fn pend(task: Task, at: f64) -> PendingTask {
-        PendingTask { task, enqueued_at: at }
+        PendingTask {
+            task,
+            enqueued_at: at,
+        }
     }
 
     #[test]
@@ -216,7 +231,10 @@ mod tests {
         ];
         // Machine 2 is not the preferred machine, but vanilla ignores
         // preferences for reduces and picks the first queued task.
-        assert_eq!(s.choose(0.0, &machine(2), SlotKind::Reduce, &pending), Some(0));
+        assert_eq!(
+            s.choose(0.0, &machine(2), SlotKind::Reduce, &pending),
+            Some(0)
+        );
     }
 
     #[test]
@@ -234,7 +252,10 @@ mod tests {
         let mut s = MemoAwareScheduler;
         let pending = vec![pend(Task::reduce(0, 10).prefer(MachineId(5)), 0.0)];
         assert_eq!(s.choose(0.0, &machine(2), SlotKind::Reduce, &pending), None);
-        assert_eq!(s.choose(0.0, &machine(5), SlotKind::Reduce, &pending), Some(0));
+        assert_eq!(
+            s.choose(0.0, &machine(5), SlotKind::Reduce, &pending),
+            Some(0)
+        );
     }
 
     #[test]
@@ -244,7 +265,10 @@ mod tests {
             pend(Task::reduce(0, 10).prefer(MachineId(5)), 0.0),
             pend(Task::reduce(1, 10), 0.0),
         ];
-        assert_eq!(s.choose(0.0, &machine(2), SlotKind::Reduce, &pending), Some(1));
+        assert_eq!(
+            s.choose(0.0, &machine(2), SlotKind::Reduce, &pending),
+            Some(1)
+        );
     }
 
     #[test]
@@ -255,7 +279,10 @@ mod tests {
         assert_eq!(s.choose(1.0, &machine(2), SlotKind::Reduce, &pending), None);
         assert_eq!(s.migrations(), 0);
         // After the threshold it migrates.
-        assert_eq!(s.choose(6.0, &machine(2), SlotKind::Reduce, &pending), Some(0));
+        assert_eq!(
+            s.choose(6.0, &machine(2), SlotKind::Reduce, &pending),
+            Some(0)
+        );
         assert_eq!(s.migrations(), 1);
     }
 

@@ -27,7 +27,10 @@ impl ClusterSpec {
     /// The paper's evaluation cluster: 24 healthy workers (§7.1), with the
     /// default cost model.
     pub fn paper_cluster() -> Self {
-        ClusterSpec { machines: vec![MachineSpec::healthy(); 24], cost: CostModel::paper_defaults() }
+        ClusterSpec {
+            machines: vec![MachineSpec::healthy(); 24],
+            cost: CostModel::paper_defaults(),
+        }
     }
 
     /// A paper cluster where `count` workers straggle at the given relative
@@ -146,7 +149,11 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
     );
     for task in stages.iter().flatten() {
         if let Some(MachineId(m)) = task.preferred {
-            assert!(m < spec.len(), "task {:?} prefers unknown machine m{m}", task.id);
+            assert!(
+                m < spec.len(),
+                "task {:?} prefers unknown machine m{m}",
+                task.id
+            );
         }
     }
 
@@ -154,24 +161,39 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
         .machines
         .iter()
         .enumerate()
-        .map(|(i, &spec)| Machine { id: MachineId(i), spec })
+        .map(|(i, &spec)| Machine {
+            id: MachineId(i),
+            spec,
+        })
         .collect();
     let mut scheduler = build_scheduler(policy);
 
-    let mut report = SimReport { stages: Vec::with_capacity(stages.len()), ..Default::default() };
+    let mut report = SimReport {
+        stages: Vec::with_capacity(stages.len()),
+        ..Default::default()
+    };
     let mut now = 0.0f64;
 
     for stage_tasks in stages {
         let stage_start = now;
-        let mut stage = StageReport { tasks: stage_tasks.len(), ..Default::default() };
+        let mut stage = StageReport {
+            tasks: stage_tasks.len(),
+            ..Default::default()
+        };
         let mut pending: Vec<PendingTask> = stage_tasks
             .iter()
             .cloned()
-            .map(|task| PendingTask { task, enqueued_at: stage_start })
+            .map(|task| PendingTask {
+                task,
+                enqueued_at: stage_start,
+            })
             .collect();
         let mut slots: Vec<SlotState> = machines
             .iter()
-            .map(|m| SlotState { free_map: m.spec.map_slots, free_reduce: m.spec.reduce_slots })
+            .map(|m| SlotState {
+                free_map: m.spec.map_slots,
+                free_reduce: m.spec.reduce_slots,
+            })
             .collect();
         let mut events: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -179,13 +201,13 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
         let mut retry_scheduled = false;
 
         let dispatch = |now: f64,
-                            pending: &mut Vec<PendingTask>,
-                            slots: &mut Vec<SlotState>,
-                            events: &mut BinaryHeap<Event>,
-                            seq: &mut u64,
-                            running: &mut usize,
-                            stage: &mut StageReport,
-                            scheduler: &mut Box<dyn Scheduler>| {
+                        pending: &mut Vec<PendingTask>,
+                        slots: &mut Vec<SlotState>,
+                        events: &mut BinaryHeap<Event>,
+                        seq: &mut u64,
+                        running: &mut usize,
+                        stage: &mut StageReport,
+                        scheduler: &mut Box<dyn Scheduler>| {
             loop {
                 let mut assigned = false;
                 for machine in &machines {
@@ -195,8 +217,7 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
                                 break;
                             };
                             let picked = pending.remove(i);
-                            let local =
-                                picked.task.preferred.is_none_or(|p| p == machine.id);
+                            let local = picked.task.preferred.is_none_or(|p| p == machine.id);
                             if !local {
                                 stage.remote_placements += 1;
                                 stage.remote_bytes += picked.task.input_bytes;
@@ -213,7 +234,10 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
                             events.push(Event {
                                 time: now + duration,
                                 seq: *seq,
-                                payload: Payload::Done { machine: machine.id.0, kind },
+                                payload: Payload::Done {
+                                    machine: machine.id.0,
+                                    kind,
+                                },
                             });
                             *running += 1;
                             assigned = true;
@@ -315,7 +339,10 @@ fn schedule_retry(
     events: &mut BinaryHeap<Event>,
     seq: &mut u64,
 ) {
-    let SchedulerPolicy::Hybrid { migration_threshold } = policy else {
+    let SchedulerPolicy::Hybrid {
+        migration_threshold,
+    } = policy
+    else {
         return;
     };
     if pending.is_empty() || *retry_scheduled {
@@ -332,7 +359,11 @@ fn schedule_retry(
     let _ = running;
     if earliest > now {
         *seq += 1;
-        events.push(Event { time: earliest, seq: *seq, payload: Payload::Retry });
+        events.push(Event {
+            time: earliest,
+            seq: *seq,
+            payload: Payload::Retry,
+        });
         *retry_scheduled = true;
     }
 }
@@ -351,7 +382,10 @@ mod tests {
     }
 
     fn cluster(n: usize) -> ClusterSpec {
-        ClusterSpec { machines: vec![MachineSpec::healthy(); n], cost: tiny_cost() }
+        ClusterSpec {
+            machines: vec![MachineSpec::healthy(); n],
+            cost: tiny_cost(),
+        }
     }
 
     #[test]
@@ -413,8 +447,11 @@ mod tests {
         // preferring task must wait for it.
         let filler = Task::reduce(0, 100).prefer(MachineId(1));
         let preferrer = Task::reduce(1, 10).prefer(MachineId(1));
-        let report =
-            simulate(&spec, SchedulerPolicy::MemoizationAware, &[vec![filler, preferrer]]);
+        let report = simulate(
+            &spec,
+            SchedulerPolicy::MemoizationAware,
+            &[vec![filler, preferrer]],
+        );
         assert_eq!(report.makespan, 110.0);
     }
 
@@ -426,7 +463,9 @@ mod tests {
         let preferrer = Task::reduce(1, 10).prefer(MachineId(1)).with_input_bytes(2);
         let report = simulate(
             &spec,
-            SchedulerPolicy::Hybrid { migration_threshold: 5.0 },
+            SchedulerPolicy::Hybrid {
+                migration_threshold: 5.0,
+            },
             &[vec![filler, preferrer]],
         );
         // The preferring task migrates to machine 0 at ~t=5 and finishes at
@@ -438,7 +477,10 @@ mod tests {
 
     #[test]
     fn stragglers_stretch_vanilla_makespan() {
-        let healthy = ClusterSpec { machines: vec![MachineSpec::healthy(); 4], cost: tiny_cost() };
+        let healthy = ClusterSpec {
+            machines: vec![MachineSpec::healthy(); 4],
+            cost: tiny_cost(),
+        };
         let degraded = ClusterSpec {
             machines: {
                 let mut m = vec![MachineSpec::healthy(); 4];
@@ -448,7 +490,11 @@ mod tests {
             cost: tiny_cost(),
         };
         let tasks: Vec<Task> = (0..8).map(|i| Task::map(i, 10)).collect();
-        let fast = simulate(&healthy, SchedulerPolicy::Vanilla, std::slice::from_ref(&tasks));
+        let fast = simulate(
+            &healthy,
+            SchedulerPolicy::Vanilla,
+            std::slice::from_ref(&tasks),
+        );
         let slow = simulate(&degraded, SchedulerPolicy::Vanilla, &[tasks]);
         assert!(slow.makespan > fast.makespan);
     }

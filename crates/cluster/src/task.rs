@@ -36,12 +36,24 @@ pub struct Task {
 impl Task {
     /// A map task with the given work and no placement preference.
     pub fn map(id: u64, work: u64) -> Self {
-        Task { id: TaskId(id), kind: SlotKind::Map, work, preferred: None, input_bytes: 0 }
+        Task {
+            id: TaskId(id),
+            kind: SlotKind::Map,
+            work,
+            preferred: None,
+            input_bytes: 0,
+        }
     }
 
     /// A reduce task with the given work and no placement preference.
     pub fn reduce(id: u64, work: u64) -> Self {
-        Task { id: TaskId(id), kind: SlotKind::Reduce, work, preferred: None, input_bytes: 0 }
+        Task {
+            id: TaskId(id),
+            kind: SlotKind::Reduce,
+            work,
+            preferred: None,
+            input_bytes: 0,
+        }
     }
 
     /// Sets the preferred (data-local) machine. Builder-style.
@@ -63,7 +75,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let t = Task::map(1, 500).prefer(MachineId(3)).with_input_bytes(64 << 20);
+        let t = Task::map(1, 500)
+            .prefer(MachineId(3))
+            .with_input_bytes(64 << 20);
         assert_eq!(t.kind, SlotKind::Map);
         assert_eq!(t.preferred, Some(MachineId(3)));
         assert_eq!(t.input_bytes, 64 << 20);

@@ -35,7 +35,11 @@ impl CostModel {
     pub fn task_seconds(&self, work: u64, input_bytes: u64, speed: f64, local: bool) -> f64 {
         debug_assert!(speed > 0.0);
         let compute = work as f64 / (self.work_per_second * speed);
-        let bw = if local { self.local_bytes_per_second } else { self.remote_bytes_per_second };
+        let bw = if local {
+            self.local_bytes_per_second
+        } else {
+            self.remote_bytes_per_second
+        };
         let io = input_bytes as f64 / bw;
         self.task_startup_seconds + compute + io
     }

@@ -14,7 +14,11 @@ fn task_strategy(machines: usize) -> impl Strategy<Value = Task> {
         0u64..1_000_000,
     )
         .prop_map(move |(is_map, work, preferred, bytes)| {
-            let mut t = if is_map { Task::map(0, work) } else { Task::reduce(0, work) };
+            let mut t = if is_map {
+                Task::map(0, work)
+            } else {
+                Task::reduce(0, work)
+            };
             if let Some(m) = preferred {
                 t = t.prefer(MachineId(m));
             }
@@ -26,7 +30,9 @@ fn policies() -> Vec<SchedulerPolicy> {
     vec![
         SchedulerPolicy::Vanilla,
         SchedulerPolicy::MemoizationAware,
-        SchedulerPolicy::Hybrid { migration_threshold: 1.0 },
+        SchedulerPolicy::Hybrid {
+            migration_threshold: 1.0,
+        },
     ]
 }
 

@@ -32,14 +32,24 @@ pub struct CoalescingTree<V> {
 impl<V> CoalescingTree<V> {
     /// Creates an empty tree in foreground-only mode.
     pub fn new() -> Self {
-        CoalescingTree { root: None, pending: None, split: false, len: 0 }
+        CoalescingTree {
+            root: None,
+            pending: None,
+            split: false,
+            len: 0,
+        }
     }
 
     /// Creates an empty tree with split processing enabled: the root merge
     /// of each run is deferred to [`CoalescingTree::preprocess`] and the
     /// Reduce task receives two parts.
     pub fn with_split_processing() -> Self {
-        CoalescingTree { root: None, pending: None, split: true, len: 0 }
+        CoalescingTree {
+            root: None,
+            pending: None,
+            split: true,
+            len: 0,
+        }
     }
 
     /// Whether split processing is enabled.
@@ -103,9 +113,7 @@ where
         }
 
         // Combine the newly appended leaves into a single delta (C'2).
-        let delta = cx
-            .fold(Phase::Foreground, live)
-            .expect("live is non-empty");
+        let delta = cx.fold(Phase::Foreground, live).expect("live is non-empty");
 
         if let (true, Some(root)) = (self.split, &self.root) {
             // Foreground stops here; reduce_parts() exposes {root, delta}.

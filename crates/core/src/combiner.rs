@@ -75,12 +75,18 @@ pub struct FnCombiner<F> {
 impl<F> FnCombiner<F> {
     /// Wraps `f` as a commutative combiner.
     pub fn new(f: F) -> Self {
-        FnCombiner { f, commutative: true }
+        FnCombiner {
+            f,
+            commutative: true,
+        }
     }
 
     /// Wraps `f` as an associative but non-commutative combiner.
     pub fn non_commutative(f: F) -> Self {
-        FnCombiner { f, commutative: false }
+        FnCombiner {
+            f,
+            commutative: false,
+        }
     }
 }
 
@@ -120,9 +126,7 @@ mod tests {
 
     #[test]
     fn non_commutative_flag() {
-        let c = FnCombiner::non_commutative(|_: &(), a: &String, b: &String| {
-            format!("{a}{b}")
-        });
+        let c = FnCombiner::non_commutative(|_: &(), a: &String, b: &String| format!("{a}{b}"));
         assert!(!c.is_commutative());
         assert_eq!(c.combine(&(), &"a".into(), &"b".into()), "ab");
     }

@@ -51,13 +51,19 @@ impl fmt::Display for TreeError {
                 write!(f, "append-only coalescing tree cannot remove leaves")
             }
             TreeError::CombinerNotCommutative => {
-                write!(f, "rotating contraction tree requires a commutative combiner")
+                write!(
+                    f,
+                    "rotating contraction tree requires a commutative combiner"
+                )
             }
             TreeError::FixedWidthViolation { removed, added } => write!(
                 f,
                 "fixed-width window must rotate equally: removed {removed}, added {added}"
             ),
-            TreeError::CapacityExceeded { capacity, attempted } => write!(
+            TreeError::CapacityExceeded {
+                capacity,
+                attempted,
+            } => write!(
                 f,
                 "rotating tree capacity {capacity} exceeded (attempted occupancy {attempted})"
             ),
@@ -73,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = TreeError::RemoveExceedsWindow { requested: 9, window: 4 };
+        let err = TreeError::RemoveExceedsWindow {
+            requested: 9,
+            window: 4,
+        };
         let msg = err.to_string();
         assert!(msg.contains('9') && msg.contains('4'));
     }

@@ -42,7 +42,12 @@ pub struct FoldingTree<V> {
 impl<V> FoldingTree<V> {
     /// Creates an empty folding tree that never voluntarily rebuilds.
     pub fn new() -> Self {
-        FoldingTree { levels: vec![vec![None]], start: 0, len: 0, rebuild_factor: None }
+        FoldingTree {
+            levels: vec![vec![None]],
+            start: 0,
+            len: 0,
+            rebuild_factor: None,
+        }
     }
 
     /// Creates a folding tree that performs a fresh initial run whenever the
@@ -176,9 +181,7 @@ impl<V> FoldingTree<V> {
     fn live_leaves(&self) -> Vec<Arc<V>> {
         self.levels[0][self.start..self.end()]
             .iter()
-            .map(|slot| {
-                Arc::clone(slot.as_ref().expect("live slot range must be non-void"))
-            })
+            .map(|slot| Arc::clone(slot.as_ref().expect("live slot range must be non-void")))
             .collect()
     }
 }
@@ -403,7 +406,11 @@ mod tests {
         tree.advance(&mut cx, 1, leaves(&[5000])).unwrap();
         assert_eq!(root_of(&tree), (1..1024).sum::<u64>() + 5000);
         // Two touched paths of height ≤ 11 each.
-        assert!(stats.foreground.merges <= 22, "merges = {}", stats.foreground.merges);
+        assert!(
+            stats.foreground.merges <= 22,
+            "merges = {}",
+            stats.foreground.merges
+        );
         assert!(stats.reused > 0);
     }
 
@@ -459,7 +466,8 @@ mod tests {
         let values: Vec<u64> = (0..1024).collect();
         tree.rebuild(&mut cx, leaves(&values));
         // Slide into steady state so the window is not left-aligned.
-        tree.advance(&mut cx, 512, leaves(&(0..512).collect::<Vec<_>>())).unwrap();
+        tree.advance(&mut cx, 512, leaves(&(0..512).collect::<Vec<_>>()))
+            .unwrap();
         // Now shrink hard: 1008 of 1024 leaves removed.
         tree.advance(&mut cx, 1008, vec![]).unwrap();
         let height = ContractionTree::<u8, u64>::height(&tree);
@@ -480,10 +488,14 @@ mod tests {
         let mut tree = FoldingTree::with_rebuild_factor(8);
         let values: Vec<u64> = (0..1024).collect();
         tree.rebuild(&mut cx, leaves(&values));
-        tree.advance(&mut cx, 512, leaves(&(0..512).collect::<Vec<_>>())).unwrap();
+        tree.advance(&mut cx, 512, leaves(&(0..512).collect::<Vec<_>>()))
+            .unwrap();
         tree.advance(&mut cx, 1008, vec![]).unwrap();
         let height = ContractionTree::<u8, u64>::height(&tree);
-        assert!(height <= 6, "rebuild factor should rebalance: height {height}");
+        assert!(
+            height <= 6,
+            "rebuild factor should rebalance: height {height}"
+        );
         assert_eq!(ContractionTree::<u8, u64>::len(&tree), 16);
     }
 
@@ -512,7 +524,10 @@ mod tests {
         tree.rebuild(&mut cx, leaves(&[1]));
         assert!(matches!(
             tree.advance(&mut cx, 2, vec![]),
-            Err(TreeError::RemoveExceedsWindow { requested: 2, window: 1 })
+            Err(TreeError::RemoveExceedsWindow {
+                requested: 2,
+                window: 1
+            })
         ));
         assert_eq!(root_of(&tree), 1);
     }
@@ -526,8 +541,7 @@ mod tests {
         let mut tree = FoldingTree::new();
         tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
         // 3 leaves + C(1,2) + pass-through(3) + root = 5 distinct * 16 bytes.
-        let bytes =
-            ContractionTree::<u8, u64>::memo_bytes(&tree, &combiner, &key);
+        let bytes = ContractionTree::<u8, u64>::memo_bytes(&tree, &combiner, &key);
         assert_eq!(bytes, 5 * 16);
     }
 }

@@ -63,7 +63,9 @@ pub struct StableHasher {
 impl StableHasher {
     /// Creates a hasher with a fixed initial state.
     pub fn new() -> Self {
-        StableHasher { state: 0x51bd_e25c_7a5e_11d4 }
+        StableHasher {
+            state: 0x51bd_e25c_7a5e_11d4,
+        }
     }
 
     /// Feeds one 64-bit word.

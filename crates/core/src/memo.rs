@@ -36,7 +36,12 @@ impl<V> Default for MemoCache<V> {
 impl<V> MemoCache<V> {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        MemoCache { entries: HashMap::new(), generation: 0, hits: 0, misses: 0 }
+        MemoCache {
+            entries: HashMap::new(),
+            generation: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up `id`, marking the entry as used in the current generation.
@@ -58,7 +63,13 @@ impl<V> MemoCache<V> {
     /// Inserts (or refreshes) a computed aggregate under `id`.
     pub fn put(&mut self, id: u64, value: Arc<V>) {
         let generation = self.generation;
-        self.entries.insert(id, Entry { value, last_used: generation });
+        self.entries.insert(
+            id,
+            Entry {
+                value,
+                last_used: generation,
+            },
+        );
     }
 
     /// Starts a new generation, evicting every entry not used since the

@@ -45,7 +45,10 @@ impl MultiLevelPlan {
     /// Panics if `stages` is zero — a pipeline has at least one job.
     pub fn new(first_stage: TreeKind, stages: usize) -> Self {
         assert!(stages > 0, "a pipeline needs at least one stage");
-        MultiLevelPlan { first_stage, stages }
+        MultiLevelPlan {
+            first_stage,
+            stages,
+        }
     }
 
     /// Number of jobs in the pipeline.

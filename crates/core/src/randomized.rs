@@ -75,8 +75,11 @@ impl<V> RandomizedFoldingTree<V> {
             self.cache.sweep();
             return;
         }
-        let mut level: Vec<(u64, Arc<V>)> =
-            self.leaves.iter().map(|(id, v)| (*id, Arc::clone(v))).collect();
+        let mut level: Vec<(u64, Arc<V>)> = self
+            .leaves
+            .iter()
+            .map(|(id, v)| (*id, Arc::clone(v)))
+            .collect();
         let mut level_no = 0u64;
         let mut height = 1usize;
         while level.len() > 1 {
@@ -154,7 +157,9 @@ impl<V> RandomizedFoldingTree<V> {
             // upper levels keep their memoized structure.
             return (*id, Arc::clone(value));
         }
-        let id = group.iter().fold(0xfeed_5eed, |acc, (mid, _)| hash_pair(acc, *mid));
+        let id = group
+            .iter()
+            .fold(0xfeed_5eed, |acc, (mid, _)| hash_pair(acc, *mid));
         if let Some(v) = self.cache.get(id) {
             cx.reuse(&v);
             return (id, v);
@@ -239,8 +244,11 @@ where
 
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
         let cached = self.cache.footprint(|v| combiner.value_bytes(key, v));
-        let leaves: u64 =
-            self.leaves.iter().map(|(_, v)| combiner.value_bytes(key, v)).sum();
+        let leaves: u64 = self
+            .leaves
+            .iter()
+            .map(|(_, v)| combiner.value_bytes(key, v))
+            .sum();
         cached + leaves
     }
 
@@ -401,7 +409,11 @@ mod tests {
             let mut tree = RandomizedFoldingTree::with_seed(99);
             tree.rebuild(&mut cx, leaves(&(0..64).collect::<Vec<_>>()));
             tree.advance(&mut cx, 5, leaves(&[100, 200])).unwrap();
-            (root_of(&tree), ContractionTree::<u8, u64>::height(&tree), stats)
+            (
+                root_of(&tree),
+                ContractionTree::<u8, u64>::height(&tree),
+                stats,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -233,7 +233,10 @@ where
         if !self.is_full() {
             // Fill phase: nothing may be removed yet.
             if remove != 0 {
-                return Err(TreeError::FixedWidthViolation { removed: remove, added: added.len() });
+                return Err(TreeError::FixedWidthViolation {
+                    removed: remove,
+                    added: added.len(),
+                });
             }
             if self.filled + added.len() > self.capacity {
                 return Err(TreeError::CapacityExceeded {
@@ -249,7 +252,10 @@ where
         }
 
         if remove != added.len() {
-            return Err(TreeError::FixedWidthViolation { removed: remove, added: added.len() });
+            return Err(TreeError::FixedWidthViolation {
+                removed: remove,
+                added: added.len(),
+            });
         }
         if !cx.is_commutative() {
             return Err(TreeError::CombinerNotCommutative);
@@ -298,7 +304,10 @@ where
         // slot (if any) is a *different*, already-rotated slot and can stay
         // deferred.
         if self.nodes[self.width + self.next_victim].is_some() {
-            return Err(TreeError::FixedWidthViolation { removed: 1, added: 0 });
+            return Err(TreeError::FixedWidthViolation {
+                removed: 1,
+                added: 0,
+            });
         }
         self.next_victim = (self.next_victim + 1) % self.capacity;
         // The prepared off-path aggregate targeted the old victim slot.
@@ -419,7 +428,11 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.advance(&mut cx, 1, leaves(&[999])).unwrap();
         assert_eq!(root_of(&tree), Some((1..256).sum::<u64>() + 999));
-        assert!(stats.foreground.merges <= 8, "merges = {}", stats.foreground.merges);
+        assert!(
+            stats.foreground.merges <= 8,
+            "merges = {}",
+            stats.foreground.merges
+        );
     }
 
     #[test]
@@ -475,7 +488,11 @@ mod tests {
             let mut stats = UpdateStats::default();
             let mut cx = TreeCx::new(&combiner, &key, &mut stats);
             tree.advance(&mut cx, 1, leaves(&[value])).unwrap();
-            assert_eq!(root_of(&tree), Some(reference.iter().sum::<u64>()), "slide {i}");
+            assert_eq!(
+                root_of(&tree),
+                Some(reference.iter().sum::<u64>()),
+                "slide {i}"
+            );
         }
     }
 
@@ -519,8 +536,7 @@ mod tests {
 
     #[test]
     fn non_commutative_combiner_is_rejected_on_rotation() {
-        let combiner =
-            FnCombiner::non_commutative(|_: &u8, a: &u64, b: &u64| a * 10 + b);
+        let combiner = FnCombiner::non_commutative(|_: &u8, a: &u64, b: &u64| a * 10 + b);
         let key = 0u8;
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
@@ -540,14 +556,20 @@ mod tests {
         tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
         assert!(matches!(
             tree.advance(&mut cx, 2, leaves(&[9])),
-            Err(TreeError::FixedWidthViolation { removed: 2, added: 1 })
+            Err(TreeError::FixedWidthViolation {
+                removed: 2,
+                added: 1
+            })
         ));
         // Overfilling during the fill phase is also rejected.
         let mut tree = RotatingTree::new(2);
         tree.rebuild(&mut cx, leaves(&[1]));
         assert!(matches!(
             tree.advance(&mut cx, 0, leaves(&[2, 3])),
-            Err(TreeError::CapacityExceeded { capacity: 2, attempted: 3 })
+            Err(TreeError::CapacityExceeded {
+                capacity: 2,
+                attempted: 3
+            })
         ));
     }
 

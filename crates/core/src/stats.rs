@@ -109,6 +109,20 @@ impl UpdateStats {
         self.bytes_written += other.bytes_written;
         self.bytes_read += other.bytes_read;
     }
+
+    /// Folds per-shard statistics, in iteration order, into one record.
+    ///
+    /// The fold is plain integer addition over a caller-fixed order
+    /// (shard index), so the total is identical no matter how many worker
+    /// threads produced the parts — the invariant the parallel runtime
+    /// relies on for bitwise-deterministic work metering.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a UpdateStats>) -> UpdateStats {
+        let mut total = UpdateStats::default();
+        for part in parts {
+            total.merge_from(part);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +134,13 @@ mod tests {
         let mut w = PhaseWork::default();
         w.record(5);
         w.record(7);
-        assert_eq!(w, PhaseWork { merges: 2, work: 12 });
+        assert_eq!(
+            w,
+            PhaseWork {
+                merges: 2,
+                work: 12
+            }
+        );
         assert!(!w.is_empty());
     }
 
@@ -131,6 +151,21 @@ mod tests {
         assert!(s.foreground.is_empty());
         assert_eq!(s.background.work, 4);
         assert_eq!(s.total_work(), 4);
+    }
+
+    #[test]
+    fn merged_folds_parts_in_order() {
+        let mut a = UpdateStats::default();
+        a.phase_mut(Phase::Foreground).record(2);
+        a.bytes_written = 10;
+        let mut b = UpdateStats::default();
+        b.phase_mut(Phase::Background).record(3);
+        b.bytes_read = 4;
+        let total = UpdateStats::merged([&a, &b]);
+        assert_eq!(total.total_work(), 5);
+        assert_eq!(total.bytes_written, 10);
+        assert_eq!(total.bytes_read, 4);
+        assert_eq!(total, UpdateStats::merged([&b, &a]), "addition commutes");
     }
 
     #[test]

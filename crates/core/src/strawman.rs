@@ -55,15 +55,14 @@ impl<V> StrawmanTree<V> {
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
-    pub fn replace_leaf<K>(
-        &mut self,
-        cx: &mut TreeCx<'_, K, V>,
-        index: usize,
-        value: Arc<V>,
-    ) where
+    pub fn replace_leaf<K>(&mut self, cx: &mut TreeCx<'_, K, V>, index: usize, value: Arc<V>)
+    where
         V: Send + Sync,
     {
-        assert!(index < self.leaves.len(), "replace_leaf: index out of bounds");
+        assert!(
+            index < self.leaves.len(),
+            "replace_leaf: index out of bounds"
+        );
         let id = self.fresh_id();
         self.leaves[index] = (id, value);
         self.recombine(cx);
@@ -109,8 +108,11 @@ impl<V> StrawmanTree<V> {
             self.cache.sweep();
             return;
         }
-        let mut level: Vec<(u64, Arc<V>)> =
-            self.leaves.iter().map(|(id, v)| (*id, Arc::clone(v))).collect();
+        let mut level: Vec<(u64, Arc<V>)> = self
+            .leaves
+            .iter()
+            .map(|(id, v)| (*id, Arc::clone(v)))
+            .collect();
         let mut height = 1;
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
@@ -221,8 +223,11 @@ where
 
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
         let cached = self.cache.footprint(|v| combiner.value_bytes(key, v));
-        let leaves: u64 =
-            self.leaves.iter().map(|(_, v)| combiner.value_bytes(key, v)).sum();
+        let leaves: u64 = self
+            .leaves
+            .iter()
+            .map(|(_, v)| combiner.value_bytes(key, v))
+            .sum();
         cached + leaves
     }
 
@@ -276,7 +281,11 @@ mod tests {
         // (1,2) and (3,4) pairs are unchanged: both reused.
         assert!(stats.reused >= 2, "reused = {}", stats.reused);
         // Only (5,6) and the two upper joins are fresh.
-        assert!(stats.foreground.merges <= 3, "merges = {}", stats.foreground.merges);
+        assert!(
+            stats.foreground.merges <= 3,
+            "merges = {}",
+            stats.foreground.merges
+        );
     }
 
     #[test]
@@ -299,7 +308,11 @@ mod tests {
             (0..64).skip(1).sum::<u64>()
         );
         // Nearly every pair is new: the strawman does Θ(n) merges.
-        assert!(stats.foreground.merges as usize >= 32, "merges = {}", stats.foreground.merges);
+        assert!(
+            stats.foreground.merges as usize >= 32,
+            "merges = {}",
+            stats.foreground.merges
+        );
     }
 
     #[test]
@@ -319,7 +332,11 @@ mod tests {
         let expected: u64 = (0..32).map(|v| if v == 7 { 100 } else { v }).sum();
         assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), expected);
         // Only the log-depth path to the root is recomputed.
-        assert!(stats.foreground.merges <= 5, "merges = {}", stats.foreground.merges);
+        assert!(
+            stats.foreground.merges <= 5,
+            "merges = {}",
+            stats.foreground.merges
+        );
     }
 
     #[test]
@@ -331,7 +348,13 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.rebuild(&mut cx, leaves(&[1, 2]));
         let err = tree.advance(&mut cx, 3, vec![]).unwrap_err();
-        assert_eq!(err, TreeError::RemoveExceedsWindow { requested: 3, window: 2 });
+        assert_eq!(
+            err,
+            TreeError::RemoveExceedsWindow {
+                requested: 3,
+                window: 2
+            }
+        );
         assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 3);
     }
 
@@ -356,7 +379,10 @@ mod tests {
         let mut tree = StrawmanTree::new();
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        tree.rebuild(&mut cx, vec![Some(Arc::new(1)), None, Some(Arc::new(2)), None]);
+        tree.rebuild(
+            &mut cx,
+            vec![Some(Arc::new(1)), None, Some(Arc::new(2)), None],
+        );
         assert_eq!(ContractionTree::<u8, u64>::len(&tree), 2);
         assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 3);
     }

@@ -74,12 +74,12 @@ pub struct TreeCx<'a, K, V> {
 
 impl<'a, K, V> TreeCx<'a, K, V> {
     /// Bundles a combiner, key and statistics sink.
-    pub fn new(
-        combiner: &'a dyn Combiner<K, V>,
-        key: &'a K,
-        stats: &'a mut UpdateStats,
-    ) -> Self {
-        TreeCx { combiner, key, stats }
+    pub fn new(combiner: &'a dyn Combiner<K, V>, key: &'a K, stats: &'a mut UpdateStats) -> Self {
+        TreeCx {
+            combiner,
+            key,
+            stats,
+        }
     }
 
     /// The key this tree aggregates.
@@ -148,7 +148,9 @@ impl<'a, K, V> TreeCx<'a, K, V> {
 
 impl<K, V> fmt::Debug for TreeCx<'_, K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TreeCx").field("stats", &self.stats).finish_non_exhaustive()
+        f.debug_struct("TreeCx")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
     }
 }
 
@@ -264,8 +266,7 @@ mod tests {
 
     #[test]
     fn kind_names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            TreeKind::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = TreeKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), TreeKind::ALL.len());
     }
 

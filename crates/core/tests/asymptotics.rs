@@ -94,7 +94,10 @@ fn strawman_slides_scale_linearly() {
         large > 8.0 * small,
         "strawman: {small} at 256 vs {large} at 4096 — expected linear growth"
     );
-    assert!(large > 2048.0, "strawman should redo most of the 4096-leaf window");
+    assert!(
+        large > 2048.0,
+        "strawman should redo most of the 4096-leaf window"
+    );
 }
 
 #[test]
@@ -121,7 +124,11 @@ fn memo_footprint_is_linear_in_the_window() {
     // O(window log window): each tree stores ≤ 2n aggregates.
     let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
     let key = 0u8;
-    for kind in [TreeKind::Folding, TreeKind::Rotating, TreeKind::RandomizedFolding] {
+    for kind in [
+        TreeKind::Folding,
+        TreeKind::Rotating,
+        TreeKind::RandomizedFolding,
+    ] {
         let n = 2048u64;
         let mut tree = build_tree::<u8, u64>(kind, n as usize);
         let mut stats = UpdateStats::default();
@@ -133,6 +140,9 @@ fn memo_footprint_is_linear_in_the_window() {
             bytes <= 2 * n * per_value + per_value,
             "{kind}: footprint {bytes} exceeds 2n aggregates"
         );
-        assert!(bytes >= n * per_value, "{kind}: footprint below the leaf count?");
+        assert!(
+            bytes >= n * per_value,
+            "{kind}: footprint below the leaf count?"
+        );
     }
 }

@@ -25,7 +25,11 @@ fn slide_strategy(max_remove: usize, max_add: usize) -> impl Strategy<Value = Sl
         proptest::collection::vec(1u64..1_000, 0..=max_add),
         proptest::bool::ANY,
     )
-        .prop_map(|(remove, add, preprocess)| Slide { remove, add, preprocess })
+        .prop_map(|(remove, add, preprocess)| Slide {
+            remove,
+            add,
+            preprocess,
+        })
 }
 
 fn sum_combiner() -> impl Combiner<u8, u64> {
@@ -70,7 +74,11 @@ fn check_variable_width(kind: TreeKind, initial: Vec<u64>, slides: Vec<Slide>) {
         } else {
             assert_eq!(got, expected, "{kind}: aggregate mismatch");
         }
-        assert_eq!(tree.len(), reference.len(), "{kind}: window length mismatch");
+        assert_eq!(
+            tree.len(),
+            reference.len(),
+            "{kind}: window length mismatch"
+        );
     }
 }
 
@@ -226,14 +234,22 @@ fn all_trees_agree_with_each_other() {
     let window: Vec<Vec<u64>> = (0..33).map(|i| vec![i * 3, i * 3 + 1]).collect();
 
     let mut roots = Vec::new();
-    for kind in [TreeKind::Strawman, TreeKind::Folding, TreeKind::RandomizedFolding] {
+    for kind in [
+        TreeKind::Strawman,
+        TreeKind::Folding,
+        TreeKind::RandomizedFolding,
+    ] {
         let mut tree = build_tree::<u8, Vec<u64>>(kind, 0);
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        tree.rebuild(&mut cx, window.iter().map(|v| Some(Arc::new(v.clone()))).collect());
+        tree.rebuild(
+            &mut cx,
+            window.iter().map(|v| Some(Arc::new(v.clone()))).collect(),
+        );
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        tree.advance(&mut cx, 5, vec![Some(Arc::new(vec![1000, 1001]))]).unwrap();
+        tree.advance(&mut cx, 5, vec![Some(Arc::new(vec![1000, 1001]))])
+            .unwrap();
         roots.push((kind, tree.root().map(|v| (*v).clone())));
     }
     let first = roots[0].1.clone();

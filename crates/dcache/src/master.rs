@@ -115,7 +115,11 @@ impl fmt::Display for CacheError {
         match self {
             CacheError::NotFound(id) => write!(f, "object {} not found", id.0),
             CacheError::Unavailable(id) => {
-                write!(f, "object {} unavailable: all replicas on failed nodes", id.0)
+                write!(
+                    f,
+                    "object {} unavailable: all replicas on failed nodes",
+                    id.0
+                )
             }
             CacheError::UnknownNode(n) => write!(f, "unknown node n{}", n.0),
         }
@@ -183,7 +187,10 @@ impl DistributedCache {
     /// Panics if the configuration has zero nodes or zero replicas.
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.nodes > 0, "cache needs at least one node");
-        assert!(config.replicas > 0, "cache needs at least one persistent replica");
+        assert!(
+            config.replicas > 0,
+            "cache needs at least one persistent replica"
+        );
         let nodes = (0..config.nodes)
             .map(|_| Node {
                 memory: InMemoryStore::new(config.memory_capacity_bytes),
@@ -191,7 +198,12 @@ impl DistributedCache {
                 alive: true,
             })
             .collect();
-        DistributedCache { config, nodes, index: HashMap::new(), stats: CacheStats::default() }
+        DistributedCache {
+            config,
+            nodes,
+            index: HashMap::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Stores `object` of `bytes` with its memory copy on `home` and
@@ -214,7 +226,15 @@ impl DistributedCache {
                 self.nodes[replica.0].disk.insert(object, bytes);
             }
         }
-        self.index.insert(object, ObjectMeta { bytes, home, replicas, epoch });
+        self.index.insert(
+            object,
+            ObjectMeta {
+                bytes,
+                home,
+                replicas,
+                epoch,
+            },
+        );
     }
 
     /// Reads `object` from the perspective of `reader` through the shim
@@ -256,7 +276,11 @@ impl DistributedCache {
                 self.stats.memory_hits += 1;
                 self.stats.read_seconds += seconds;
                 self.stats.bytes_read += meta.bytes;
-                return Ok(ReadOutcome { seconds, source, bytes: meta.bytes });
+                return Ok(ReadOutcome {
+                    seconds,
+                    source,
+                    bytes: meta.bytes,
+                });
             }
         }
 
@@ -292,7 +316,11 @@ impl DistributedCache {
         self.stats.disk_reads += 1;
         self.stats.read_seconds += seconds;
         self.stats.bytes_read += meta.bytes;
-        Ok(ReadOutcome { seconds, source, bytes: meta.bytes })
+        Ok(ReadOutcome {
+            seconds,
+            source,
+            bytes: meta.bytes,
+        })
     }
 
     /// Deletes `object` everywhere. No-op if absent.
@@ -483,9 +511,16 @@ mod tests {
         c.fail_node(NodeId(0));
         c.recover_node(NodeId(0)); // memory wiped, disk replicas intact
         let first = c.read(ObjectId(1), NodeId(0)).unwrap();
-        assert!(matches!(first.source, ReadSource::LocalDisk | ReadSource::RemoteDisk));
+        assert!(matches!(
+            first.source,
+            ReadSource::LocalDisk | ReadSource::RemoteDisk
+        ));
         let second = c.read(ObjectId(1), NodeId(0)).unwrap();
-        assert_eq!(second.source, ReadSource::Memory, "promotion re-warms memory");
+        assert_eq!(
+            second.source,
+            ReadSource::Memory,
+            "promotion re-warms memory"
+        );
     }
 
     #[test]
@@ -503,7 +538,9 @@ mod tests {
     #[test]
     fn aggressive_gc_respects_byte_budget() {
         let mut config = CacheConfig::paper_defaults(2);
-        config.gc = GcPolicy::Aggressive { max_total_bytes: 25 };
+        config.gc = GcPolicy::Aggressive {
+            max_total_bytes: 25,
+        };
         let mut c = DistributedCache::new(config);
         c.put(ObjectId(1), 10, NodeId(0), 0);
         c.put(ObjectId(2), 10, NodeId(0), 1);

@@ -6,10 +6,21 @@ use slider_dcache::{CacheConfig, DistributedCache, GcPolicy, NodeId, ObjectId};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { object: u64, bytes: u64, home: usize },
-    Read { object: u64, reader: usize },
-    Fail { node: usize },
-    Recover { node: usize },
+    Put {
+        object: u64,
+        bytes: u64,
+        home: usize,
+    },
+    Read {
+        object: u64,
+        reader: usize,
+    },
+    Fail {
+        node: usize,
+    },
+    Recover {
+        node: usize,
+    },
 }
 
 fn op_strategy(nodes: usize) -> impl Strategy<Value = Op> {

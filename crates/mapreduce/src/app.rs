@@ -88,7 +88,9 @@ impl<A> AppCombiner<A> {
 
 impl<A> Clone for AppCombiner<A> {
     fn clone(&self) -> Self {
-        AppCombiner { app: Arc::clone(&self.app) }
+        AppCombiner {
+            app: Arc::clone(&self.app),
+        }
     }
 }
 

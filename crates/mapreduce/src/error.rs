@@ -34,7 +34,10 @@ impl fmt::Display for JobError {
             JobError::Tree(e) => write!(f, "contraction tree error: {e}"),
             JobError::ModeViolation(msg) => write!(f, "window mode violation: {msg}"),
             JobError::RemoveExceedsWindow { requested, window } => {
-                write!(f, "cannot remove {requested} splits from a window of {window}")
+                write!(
+                    f,
+                    "cannot remove {requested} splits from a window of {window}"
+                )
             }
             JobError::DuplicateSplit(id) => write!(f, "split id {id} was already used"),
             JobError::BadConfig(msg) => write!(f, "bad job configuration: {msg}"),

@@ -67,7 +67,10 @@ impl<A: MapReduceApp> WindowFeeder<A> {
         window_batches: Option<usize>,
     ) -> Self {
         assert!(records_per_split > 0, "records_per_split must be positive");
-        assert!(window_batches != Some(0), "a window must hold at least one batch");
+        assert!(
+            window_batches != Some(0),
+            "a window must hold at least one batch"
+        );
         WindowFeeder {
             job,
             records_per_split,
@@ -87,7 +90,8 @@ impl<A: MapReduceApp> WindowFeeder<A> {
     /// job whose batches do not align with its bucket geometry).
     pub fn push_batch(&mut self, records: Vec<A::Input>) -> Result<RunStats, JobError> {
         let added = make_splits(self.next_split_id, records, self.records_per_split);
-        let evict = matches!(self.window_batches, Some(window) if self.batch_splits.len() == window);
+        let evict =
+            matches!(self.window_batches, Some(window) if self.batch_splits.len() == window);
         let remove = if evict {
             *self.batch_splits.front().expect("window is non-empty")
         } else {

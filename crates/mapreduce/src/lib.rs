@@ -63,6 +63,7 @@ mod app;
 mod error;
 mod feeder;
 mod pipeline;
+mod runtime;
 mod shuffle;
 mod split;
 mod stats;
@@ -72,6 +73,7 @@ pub use app::{AppCombiner, MapReduceApp};
 pub use error::JobError;
 pub use feeder::WindowFeeder;
 pub use pipeline::{InnerStageStats, Pipeline, PipelineRunResult, StageApp, StageInput};
+pub use runtime::{Runtime, THREADS_ENV};
 pub use shuffle::{partition_of, stable_hash};
 pub use split::{make_splits, Split, SplitId};
 pub use stats::{RunStats, WorkBreakdown};

@@ -19,6 +19,7 @@ use slider_core::{hash_pair, StrawmanTree, TreeCx, UpdateStats};
 
 use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
+use crate::runtime::Runtime;
 use crate::shuffle::partition_of;
 use crate::split::Split;
 use crate::stats::RunStats;
@@ -77,7 +78,11 @@ impl PipelineRunResult {
     /// Total foreground work across all stages.
     pub fn total_work(&self) -> u64 {
         self.first.work.foreground_total()
-            + self.inner.iter().map(InnerStageStats::total_work).sum::<u64>()
+            + self
+                .inner
+                .iter()
+                .map(InnerStageStats::total_work)
+                .sum::<u64>()
     }
 
     /// End-to-end simulated runtime: the first job's makespan plus every
@@ -94,9 +99,38 @@ impl PipelineRunResult {
 
 /// Object-safe view of an inner stage for heterogeneous pipelines.
 trait DynInnerStage<R>: Send {
-    fn run(&mut self, rows: &[R], sim: Option<&SimulationConfig>) -> InnerStageStats;
+    fn run(
+        &mut self,
+        rows: &[R],
+        sim: Option<&SimulationConfig>,
+        runtime: &Runtime,
+    ) -> InnerStageStats;
     fn output_rows(&self) -> Vec<R>;
     fn name(&self) -> &str;
+}
+
+/// One change-detection bucket of an inner stage, self-contained so the
+/// shared [`Runtime`] can re-map changed buckets in parallel.
+struct BucketState<K, V> {
+    /// Content hash from the previous run.
+    hash: u64,
+    /// Per-key combined value and its version counter.
+    values: BTreeMap<K, (V, u64)>,
+}
+
+/// What one bucket reports back from a (possible) re-map.
+struct BucketOutcome<K> {
+    changed: bool,
+    map_work: u64,
+    dirty: Vec<K>,
+}
+
+/// What one dirty key's strawman re-pair + reduce reports back.
+struct KeyOutcome<A: MapReduceApp> {
+    tree_stats: UpdateStats,
+    reduce_work: u64,
+    /// `None` when the key's leaf set emptied and the key disappears.
+    output: Option<A::Output>,
 }
 
 /// An inner pipeline stage: bucket-diffed strawman-tree incremental
@@ -109,11 +143,8 @@ struct InnerStage<A: StageApp<Input = R>, R> {
     /// When false (vanilla baseline), all state is discarded every run and every
     /// bucket recomputes from scratch.
     incremental: bool,
-    /// Per-bucket content hash from the previous run.
-    bucket_hashes: Vec<u64>,
-    /// Per-bucket, per-key combined value and its version counter.
-    #[allow(clippy::type_complexity)]
-    bucket_values: Vec<BTreeMap<A::Key, (A::Value, u64)>>,
+    /// Per-bucket change-detection state.
+    buckets_state: Vec<BucketState<A::Key, A::Value>>,
     /// Per-key strawman trees over (bucket, version)-identified leaves.
     trees: HashMap<A::Key, StrawmanTree<A::Value>>,
     output: BTreeMap<A::Key, A::Output>,
@@ -128,8 +159,12 @@ impl<A: StageApp<Input = R>, R: Clone + Eq + Hash + Send + Sync> InnerStage<A, R
             app,
             buckets,
             incremental,
-            bucket_hashes: vec![0; buckets],
-            bucket_values: (0..buckets).map(|_| BTreeMap::new()).collect(),
+            buckets_state: (0..buckets)
+                .map(|_| BucketState {
+                    hash: 0,
+                    values: BTreeMap::new(),
+                })
+                .collect(),
             trees: HashMap::new(),
             output: BTreeMap::new(),
         }
@@ -141,6 +176,116 @@ impl<A: StageApp<Input = R>, R: Clone + Eq + Hash + Send + Sync> InnerStage<A, R
             .map(|r| hash_pair(crate::shuffle::stable_hash(*r), 0x5740_6e00))
             .fold(0u64, u64::wrapping_add)
     }
+
+    /// Re-maps one bucket if its content changed: map + map-side combine,
+    /// then a diff against the bucket's previous per-key values. Runs on a
+    /// runtime worker; everything it touches is owned by the bucket.
+    fn run_bucket(
+        app: &A,
+        state: &mut BucketState<A::Key, A::Value>,
+        rows: &[&R],
+    ) -> BucketOutcome<A::Key> {
+        let hash = Self::content_hash(rows);
+        if hash == state.hash {
+            return BucketOutcome {
+                changed: false,
+                map_work: 0,
+                dirty: Vec::new(),
+            };
+        }
+        state.hash = hash;
+        let mut map_work = 0u64;
+
+        // Re-map the changed bucket (charged to map work).
+        let mut fresh: BTreeMap<A::Key, A::Value> = BTreeMap::new();
+        for row in rows {
+            map_work += app.map_cost(row);
+            let work = &mut map_work;
+            let mut emit = |key: A::Key, value: A::Value| match fresh.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(value);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let key = e.key().clone();
+                    *work += app.combine_cost(&key, e.get(), &value);
+                    let merged = app.combine(&key, e.get(), &value);
+                    *e.get_mut() = merged;
+                }
+            };
+            app.map(row, &mut emit);
+        }
+
+        // Diff against the bucket's previous per-key values.
+        let mut dirty = Vec::new();
+        let old = std::mem::take(&mut state.values);
+        let mut next: BTreeMap<A::Key, (A::Value, u64)> = BTreeMap::new();
+        for (key, (value, version)) in old {
+            match fresh.remove(&key) {
+                Some(new_value) => {
+                    // Key stays in the bucket: bump the version so its
+                    // leaf identity (and root path) refreshes.
+                    dirty.push(key.clone());
+                    next.insert(key, (new_value, version + 1));
+                }
+                None => {
+                    // Key left the bucket.
+                    dirty.push(key);
+                    let _ = (value, version);
+                }
+            }
+        }
+        for (key, value) in fresh {
+            dirty.push(key.clone());
+            next.insert(key, (value, 0));
+        }
+        state.values = next;
+        BucketOutcome {
+            changed: true,
+            map_work,
+            dirty,
+        }
+    }
+
+    /// Re-pairs one dirty key's strawman tree over its current leaves and
+    /// reduces the root. Runs on a runtime worker; the tree is owned, the
+    /// bucket states are shared read-only.
+    fn run_key(
+        app: &A,
+        combiner: &AppCombiner<A>,
+        buckets_state: &[BucketState<A::Key, A::Value>],
+        key: &A::Key,
+        tree: &mut StrawmanTree<A::Value>,
+    ) -> KeyOutcome<A> {
+        let leaves: Vec<(u64, Arc<A::Value>)> = buckets_state
+            .iter()
+            .enumerate()
+            .filter_map(|(b, state)| {
+                state.values.get(key).map(|(value, version)| {
+                    (hash_pair(b as u64, *version), Arc::new(value.clone()))
+                })
+            })
+            .collect();
+        if leaves.is_empty() {
+            return KeyOutcome {
+                tree_stats: UpdateStats::default(),
+                reduce_work: 0,
+                output: None,
+            };
+        }
+        let mut tree_stats = UpdateStats::default();
+        let mut cx = TreeCx::new(combiner, key, &mut tree_stats);
+        tree.set_leaves(&mut cx, leaves);
+        let root = slider_core::ContractionTree::<A::Key, A::Value>::root(tree)
+            .expect("non-empty leaf set has a root");
+        let refs = [root.as_ref()];
+        let reduce_work = app.reduce_cost(key, &refs);
+        let output = app.reduce(key, &refs);
+        KeyOutcome {
+            tree_stats,
+            reduce_work,
+            output: Some(output),
+        }
+    }
 }
 
 impl<A, R> DynInnerStage<R> for InnerStage<A, R>
@@ -148,7 +293,12 @@ where
     A: StageApp<Input = R, Row = R>,
     R: Clone + Eq + Hash + Send + Sync + 'static,
 {
-    fn run(&mut self, rows: &[R], sim: Option<&SimulationConfig>) -> InnerStageStats {
+    fn run(
+        &mut self,
+        rows: &[R],
+        sim: Option<&SimulationConfig>,
+        runtime: &Runtime,
+    ) -> InnerStageStats {
         let mut stats = InnerStageStats {
             buckets_total: self.buckets,
             ..Default::default()
@@ -157,99 +307,68 @@ where
         if !self.incremental {
             // Vanilla baseline: forget everything so every bucket re-maps
             // and every key re-reduces from scratch.
-            self.bucket_hashes = vec![u64::MAX; self.buckets];
-            for values in &mut self.bucket_values {
-                values.clear();
+            for state in &mut self.buckets_state {
+                state.hash = u64::MAX;
+                state.values.clear();
             }
             self.trees.clear();
             self.output.clear();
         }
 
-        // 1. Assign rows to buckets and find the changed ones.
+        // 1. Assign rows to buckets.
         let mut by_bucket: Vec<Vec<&R>> = (0..self.buckets).map(|_| Vec::new()).collect();
         for row in rows {
             by_bucket[partition_of(row, self.buckets)].push(row);
         }
-        let mut dirty_keys: BTreeMap<A::Key, ()> = BTreeMap::new();
-        for (b, bucket_rows) in by_bucket.iter().enumerate() {
-            let hash = Self::content_hash(bucket_rows);
-            if hash == self.bucket_hashes[b] {
-                continue;
-            }
-            self.bucket_hashes[b] = hash;
-            stats.buckets_changed += 1;
 
-            // 2. Re-map the changed bucket (charged to map work).
-            let mut fresh: BTreeMap<A::Key, A::Value> = BTreeMap::new();
-            for row in bucket_rows {
-                stats.map_work += self.app.map_cost(row);
-                let app = &self.app;
-                let map_work = &mut stats.map_work;
-                let mut emit = |key: A::Key, value: A::Value| match fresh.entry(key) {
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert(value);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        let key = e.key().clone();
-                        *map_work += app.combine_cost(&key, e.get(), &value);
-                        let merged = app.combine(&key, e.get(), &value);
-                        *e.get_mut() = merged;
-                    }
-                };
-                self.app.map(row, &mut emit);
-            }
-
-            // 3. Diff against the bucket's previous per-key values.
-            let old = std::mem::take(&mut self.bucket_values[b]);
-            let mut next: BTreeMap<A::Key, (A::Value, u64)> = BTreeMap::new();
-            for (key, (value, version)) in old {
-                match fresh.remove(&key) {
-                    Some(new_value) => {
-                        // Key stays in the bucket: bump the version so its
-                        // leaf identity (and root path) refreshes.
-                        dirty_keys.insert(key.clone(), ());
-                        next.insert(key, (new_value, version + 1));
-                    }
-                    None => {
-                        // Key left the bucket.
-                        dirty_keys.insert(key, ());
-                        let _ = (value, version);
-                    }
-                }
-            }
-            for (key, value) in fresh {
-                dirty_keys.insert(key.clone(), ());
-                next.insert(key, (value, 0));
-            }
-            self.bucket_values[b] = next;
+        // 2. Hash, re-map, and diff every bucket, in parallel across bucket
+        //    shards. Outcomes come back in bucket order, so the stat fold
+        //    below is identical for any worker count.
+        let app = &*self.app;
+        type BucketTask<'t, K, V, R> = (&'t mut BucketState<K, V>, Vec<&'t R>);
+        let mut bucket_tasks: Vec<BucketTask<'_, A::Key, A::Value, R>> =
+            self.buckets_state.iter_mut().zip(by_bucket).collect();
+        let bucket_outcomes = runtime.map_mut(&mut bucket_tasks, |_, (state, rows)| {
+            Self::run_bucket(app, state, rows)
+        });
+        drop(bucket_tasks);
+        let mut dirty_keys: std::collections::BTreeSet<A::Key> = std::collections::BTreeSet::new();
+        for outcome in bucket_outcomes {
+            stats.buckets_changed += usize::from(outcome.changed);
+            stats.map_work += outcome.map_work;
+            dirty_keys.extend(outcome.dirty);
         }
 
-        // 4. Re-pair the strawman tree of every dirty key.
-        for (key, ()) in &dirty_keys {
-            let leaves: Vec<(u64, Arc<A::Value>)> = self
-                .bucket_values
-                .iter()
-                .enumerate()
-                .filter_map(|(b, values)| {
-                    values.get(key).map(|(value, version)| {
-                        (hash_pair(b as u64, *version), Arc::new(value.clone()))
-                    })
-                })
-                .collect();
-            if leaves.is_empty() {
-                self.trees.remove(key);
-                self.output.remove(key);
-                continue;
+        // 3. Re-pair the strawman tree of every dirty key, in parallel. Each
+        //    worker owns the key's tree (detached from the map) and reads the
+        //    bucket states; outcomes fold in sorted key order.
+        let mut key_tasks: Vec<(A::Key, StrawmanTree<A::Value>)> = dirty_keys
+            .into_iter()
+            .map(|key| {
+                let tree = self.trees.remove(&key).unwrap_or_default();
+                (key, tree)
+            })
+            .collect();
+        let combiner = &self.combiner;
+        let buckets_state = &self.buckets_state;
+        let key_outcomes = runtime.map_mut(&mut key_tasks, |_, (key, tree)| {
+            Self::run_key(app, combiner, buckets_state, key, tree)
+        });
+        stats.tree = UpdateStats::merged(key_outcomes.iter().map(|o| &o.tree_stats));
+        for ((key, tree), outcome) in key_tasks.into_iter().zip(key_outcomes) {
+            stats.reduce_work += outcome.reduce_work;
+            match outcome.output {
+                Some(out) => {
+                    stats.keys_reduced += 1;
+                    self.trees.insert(key.clone(), tree);
+                    self.output.insert(key, out);
+                }
+                None => {
+                    // Leaf set emptied: the key's tree stays detached
+                    // (dropped) and its output disappears.
+                    self.output.remove(&key);
+                }
             }
-            let tree = self.trees.entry(key.clone()).or_default();
-            let mut cx = TreeCx::new(&self.combiner, key, &mut stats.tree);
-            tree.set_leaves(&mut cx, leaves);
-            let root = slider_core::ContractionTree::<A::Key, A::Value>::root(tree)
-                .expect("non-empty leaf set has a root");
-            let refs = [root.as_ref()];
-            stats.reduce_work += self.app.reduce_cost(key, &refs);
-            stats.keys_reduced += 1;
-            self.output.insert(key.clone(), self.app.reduce(key, &refs));
         }
 
         // Simulate this job's schedule: one map task per re-mapped bucket,
@@ -267,14 +386,18 @@ where
                 }
             }
             let reduce_work = stats.tree.foreground.work + stats.reduce_work;
-            let reducers = self.buckets.min(8).max(1);
+            let reducers = self.buckets.clamp(1, 8);
             let tasks_reduce: Vec<Task> = (0..reducers)
                 .map(|r| {
                     Task::reduce(1_000 + r as u64, reduce_work / reducers as u64)
                         .prefer(slider_cluster::MachineId(r % machines))
                 })
                 .collect();
-            stats.sim = Some(simulate(&sim.cluster, sim.policy, &[tasks_map, tasks_reduce]));
+            stats.sim = Some(simulate(
+                &sim.cluster,
+                sim.policy,
+                &[tasks_map, tasks_reduce],
+            ));
         }
         stats
     }
@@ -324,7 +447,11 @@ where
     pub fn new(app: F, config: JobConfig) -> Result<Self, JobError> {
         let first_app = Arc::new(app.clone());
         let first = WindowedJob::new(app, config)?;
-        Ok(Pipeline { first, first_app, inner: Vec::new() })
+        Ok(Pipeline {
+            first,
+            first_app,
+            inner: Vec::new(),
+        })
     }
 
     /// Appends an inner stage consuming the previous stage's rows, with its
@@ -341,7 +468,12 @@ where
         // A vanilla (recompute) first stage makes the whole pipeline the
         // non-incremental baseline: inner stages recompute too.
         let incremental = self.first.config().mode != crate::windowed::ExecMode::Recompute;
-        self.inner.push(Box::new(InnerStage::new(name.into(), app, buckets, incremental)));
+        self.inner.push(Box::new(InnerStage::new(
+            name.into(),
+            app,
+            buckets,
+            incremental,
+        )));
         self
     }
 
@@ -395,6 +527,11 @@ where
         &self.first
     }
 
+    /// The shared execution runtime every stage of this pipeline runs on.
+    pub fn runtime(&self) -> &Runtime {
+        self.first.runtime()
+    }
+
     fn first_stage_rows(&self) -> Vec<F::Row> {
         self.first
             .output()
@@ -405,10 +542,14 @@ where
 
     fn run_inner(&mut self, first: RunStats) -> PipelineRunResult {
         let sim = self.first.config().simulation.clone();
-        let mut result = PipelineRunResult { first, inner: Vec::new() };
+        let runtime = self.first.runtime();
+        let mut result = PipelineRunResult {
+            first,
+            inner: Vec::new(),
+        };
         let mut rows = self.first_stage_rows();
         for stage in &mut self.inner {
-            let stats = stage.run(&rows, sim.as_ref());
+            let stats = stage.run(&rows, sim.as_ref(), runtime);
             rows = stage.output_rows();
             result.inner.push(stats);
         }
@@ -500,14 +641,22 @@ mod tests {
     fn two_stage_pipeline_matches_reference() {
         let corpus = ["a b c", "b c d", "c d e", "a a", "e e e e"];
         let mut pipeline = build();
-        pipeline.initial_run(make_splits(0, corpus[0..3].iter().map(|s| s.to_string()).collect(), 1))
+        pipeline
+            .initial_run(make_splits(
+                0,
+                corpus[0..3].iter().map(|s| s.to_string()).collect(),
+                1,
+            ))
             .unwrap();
         let got: BTreeMap<String, u64> = pipeline.final_rows().into_iter().collect();
         assert_eq!(got, reference_histogram(&corpus[0..3]));
 
         // Slide: drop one split, add two.
         pipeline
-            .advance(1, make_splits(10, corpus[3..5].iter().map(|s| s.to_string()).collect(), 1))
+            .advance(
+                1,
+                make_splits(10, corpus[3..5].iter().map(|s| s.to_string()).collect(), 1),
+            )
             .unwrap();
         let got: BTreeMap<String, u64> = pipeline.final_rows().into_iter().collect();
         assert_eq!(got, reference_histogram(&corpus[1..5]));
@@ -525,7 +674,10 @@ mod tests {
         .unwrap()
         .add_stage("histogram", CountHistogram, 16);
         let initial = pipeline.initial_run(make_splits(0, lines, 4)).unwrap();
-        assert_eq!(initial.inner[0].buckets_changed, 16, "initial run touches all");
+        assert_eq!(
+            initial.inner[0].buckets_changed, 16,
+            "initial run touches all"
+        );
 
         let update = pipeline
             .advance(1, make_splits(100, vec!["w0 w1 w2 w3".to_string()], 4))
@@ -547,11 +699,41 @@ mod tests {
             JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
         )
         .unwrap();
-        pipeline.initial_run(make_splits(0, vec!["x y x".to_string()], 1)).unwrap();
+        pipeline
+            .initial_run(make_splits(0, vec!["x y x".to_string()], 1))
+            .unwrap();
         let mut rows = pipeline.final_rows();
         rows.sort();
         assert_eq!(rows, vec![("x".to_string(), 2), ("y".to_string(), 1)]);
         assert_eq!(pipeline.stages(), 1);
+    }
+
+    #[test]
+    fn inner_stage_results_do_not_depend_on_thread_count() {
+        let corpus: Vec<String> = (0..96)
+            .map(|i| format!("w{} w{} shared", i % 31, i % 7))
+            .collect();
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut pipeline = Pipeline::new(
+                WordCount,
+                JobConfig::new(ExecMode::slider_folding())
+                    .with_partitions(3)
+                    .with_threads(threads),
+            )
+            .unwrap()
+            .add_stage("histogram", CountHistogram, 8);
+            let initial = pipeline
+                .initial_run(make_splits(0, corpus.clone(), 4))
+                .unwrap();
+            let update = pipeline
+                .advance(2, make_splits(500, vec!["w0 w1 fresh".to_string()], 1))
+                .unwrap();
+            let rows: BTreeMap<String, u64> = pipeline.final_rows().into_iter().collect();
+            runs.push((rows, format!("{initial:?} {update:?}")));
+        }
+        assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+        assert_eq!(runs[0], runs[2], "1 vs 4 threads");
     }
 
     #[test]

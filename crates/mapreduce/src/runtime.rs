@@ -1,0 +1,211 @@
+//! The shared partition-sharded parallel execution runtime.
+//!
+//! The contraction phase is embarrassingly parallel across reduce
+//! partitions: each partition owns its trees, its slice of the output map
+//! (keys are hash-partitioned in [`crate::shuffle`]), and its work
+//! recorder. This module provides the one worker pool all executors —
+//! [`crate::WindowedJob`], [`crate::Pipeline`] inner stages, and the query
+//! layer on top of them — use to run per-shard work concurrently.
+//!
+//! Two invariants make the runtime safe to drop into a metered engine:
+//!
+//! * **Input-order results.** [`Runtime::map`] and [`Runtime::map_mut`]
+//!   return one result per item, in item order, regardless of which worker
+//!   produced it. Callers fold per-shard statistics sequentially over that
+//!   vector, so every modeled metric ([`slider_core::UpdateStats`],
+//!   [`crate::RunStats`]) is bitwise-identical for any thread count.
+//! * **Disjoint shards.** Workers receive `&mut` access to disjoint slice
+//!   elements only; nothing else is shared mutably. There are no locks and
+//!   no atomics on the data path.
+//!
+//! Thread count resolution (see [`Runtime::auto`]): the `SLIDER_THREADS`
+//! environment variable overrides everything; otherwise a positive
+//! [`crate::JobConfig::threads`] wins; otherwise the machine's available
+//! parallelism is used.
+
+use std::fmt;
+
+/// Environment variable overriding the configured worker-thread count.
+pub const THREADS_ENV: &str = "SLIDER_THREADS";
+
+/// A `std`-only worker pool scoped to each call: work is divided into
+/// contiguous chunks, one [`std::thread::scope`] worker per chunk, and
+/// results are written into per-item slots so output order equals input
+/// order.
+#[derive(Clone)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// A runtime with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Runtime {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runtime resolved from configuration: `SLIDER_THREADS` if set to a
+    /// positive integer, else `configured` if positive, else the machine's
+    /// available parallelism.
+    pub fn auto(configured: usize) -> Self {
+        if let Ok(value) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return Runtime::new(n);
+                }
+            }
+        }
+        if configured > 0 {
+            return Runtime::new(configured);
+        }
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Runtime::new(n)
+    }
+
+    /// A sequential runtime (one worker).
+    pub fn sequential() -> Self {
+        Runtime::new(1)
+    }
+
+    /// Number of worker threads this runtime uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel across workers, returning the
+    /// results in item order. `f` receives the item index.
+    pub fn map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(usize, &I) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (ci, (item_chunk, out_chunk)) in
+                items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+            {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, (item, slot)) in item_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
+                    {
+                        *slot = Some(f(ci * chunk + j, item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Like [`Runtime::map`], but hands each worker exclusive `&mut` access
+    /// to its items — the shard-update primitive. Results come back in item
+    /// order.
+    pub fn map_mut<I, R, F>(&self, items: &mut [I], f: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(usize, &mut I) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (ci, (item_chunk, out_chunk)) in items
+                .chunks_mut(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+            {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, (item, slot)) in
+                        item_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                    {
+                        *slot = Some(f(ci * chunk + j, item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_returns_results_in_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        for threads in [1, 2, 4, 7] {
+            let rt = Runtime::new(threads);
+            let doubled = rt.map(&items, |i, &x| {
+                assert_eq!(i as u64, x, "index matches item position");
+                x * 2
+            });
+            let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(doubled, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_mut_mutates_disjoint_shards() {
+        for threads in [1, 3, 8] {
+            let mut shards: Vec<Vec<u64>> = (0..10).map(|i| vec![i]).collect();
+            let rt = Runtime::new(threads);
+            let sums = rt.map_mut(&mut shards, |i, shard| {
+                shard.push(100 + i as u64);
+                shard.iter().sum::<u64>()
+            });
+            for (i, shard) in shards.iter().enumerate() {
+                assert_eq!(shard, &vec![i as u64, 100 + i as u64]);
+            }
+            let expected: Vec<u64> = (0..10).map(|i| i + 100 + i).collect();
+            assert_eq!(sums, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let rt = Runtime::new(16);
+        assert_eq!(rt.map(&[5u64, 6], |_, &x| x + 1), vec![6, 7]);
+        assert_eq!(rt.map(&[] as &[u64], |_, &x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn thread_count_is_clamped_positive() {
+        assert_eq!(Runtime::new(0).threads(), 1);
+        assert_eq!(Runtime::sequential().threads(), 1);
+        assert!(Runtime::auto(3).threads() >= 1);
+    }
+}

@@ -25,7 +25,10 @@ pub struct Split<R> {
 impl<R> Split<R> {
     /// Creates a split with the given id and records.
     pub fn from_records(id: u64, records: Vec<R>) -> Self {
-        Split { id: SplitId(id), records: Arc::new(records) }
+        Split {
+            id: SplitId(id),
+            records: Arc::new(records),
+        }
     }
 
     /// The split's identity.

@@ -1,8 +1,8 @@
 //! Per-run metrics: the reproduction's *work* metric and its breakdown.
 
 use slider_cluster::SimReport;
-use slider_dcache::CacheStats;
 use slider_core::PhaseWork;
+use slider_dcache::CacheStats;
 
 /// Work performed by one run, split by phase (the paper's Figure 9
 /// breakdown).
@@ -78,12 +78,18 @@ impl RunStats {
 
     /// Simulated map-stage duration, if simulated.
     pub fn map_seconds(&self) -> Option<f64> {
-        self.sim.as_ref().and_then(|s| s.stages.first()).map(|s| s.duration)
+        self.sim
+            .as_ref()
+            .and_then(|s| s.stages.first())
+            .map(|s| s.duration)
     }
 
     /// Simulated contraction+reduce stage duration, if simulated.
     pub fn reduce_seconds(&self) -> Option<f64> {
-        self.sim.as_ref().and_then(|s| s.stages.get(1)).map(|s| s.duration)
+        self.sim
+            .as_ref()
+            .and_then(|s| s.stages.get(1))
+            .map(|s| s.duration)
     }
 
     /// Simulated background pre-processing duration (0 when none ran).
@@ -98,7 +104,12 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let mut w = WorkBreakdown { map: 10, reduce: 5, movement: 2, ..Default::default() };
+        let mut w = WorkBreakdown {
+            map: 10,
+            reduce: 5,
+            movement: 2,
+            ..Default::default()
+        };
         w.contraction_fg.record(3);
         w.contraction_bg.record(4);
         assert_eq!(w.foreground_total(), 20);

@@ -11,6 +11,7 @@ use slider_dcache::{CacheConfig, CacheStats, DistributedCache, NodeId, ObjectId}
 
 use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
+use crate::runtime::Runtime;
 use crate::shuffle::partition_of;
 use crate::split::{Split, SplitId};
 use crate::stats::RunStats;
@@ -35,22 +36,34 @@ pub enum ExecMode {
 impl ExecMode {
     /// Slider with folding trees (variable-width windows).
     pub fn slider_folding() -> Self {
-        ExecMode::Slider { tree: TreeKind::Folding, split_processing: false }
+        ExecMode::Slider {
+            tree: TreeKind::Folding,
+            split_processing: false,
+        }
     }
 
     /// Slider with randomized folding trees.
     pub fn slider_randomized() -> Self {
-        ExecMode::Slider { tree: TreeKind::RandomizedFolding, split_processing: false }
+        ExecMode::Slider {
+            tree: TreeKind::RandomizedFolding,
+            split_processing: false,
+        }
     }
 
     /// Slider with rotating trees (fixed-width windows).
     pub fn slider_rotating(split_processing: bool) -> Self {
-        ExecMode::Slider { tree: TreeKind::Rotating, split_processing }
+        ExecMode::Slider {
+            tree: TreeKind::Rotating,
+            split_processing,
+        }
     }
 
     /// Slider with coalescing trees (append-only windows).
     pub fn slider_coalescing(split_processing: bool) -> Self {
-        ExecMode::Slider { tree: TreeKind::Coalescing, split_processing }
+        ExecMode::Slider {
+            tree: TreeKind::Coalescing,
+            split_processing,
+        }
     }
 
     /// The tree kind driving the contraction phase, if any.
@@ -82,8 +95,15 @@ impl fmt::Display for ExecMode {
         match self {
             ExecMode::Recompute => f.write_str("recompute"),
             ExecMode::Strawman => f.write_str("strawman"),
-            ExecMode::Slider { tree, split_processing } => {
-                write!(f, "slider-{tree}{}", if *split_processing { "+split" } else { "" })
+            ExecMode::Slider {
+                tree,
+                split_processing,
+            } => {
+                write!(
+                    f,
+                    "slider-{tree}{}",
+                    if *split_processing { "+split" } else { "" }
+                )
             }
         }
     }
@@ -127,6 +147,11 @@ pub struct JobConfig {
     pub simulation: Option<SimulationConfig>,
     /// Optional distributed memoization cache model.
     pub cache: Option<CacheConfig>,
+    /// Worker threads for the parallel runtime. `0` means automatic: the
+    /// `SLIDER_THREADS` environment variable if set, else the machine's
+    /// available parallelism. Thread count never affects outputs or the
+    /// modeled work/time metrics — only wall-clock speed.
+    pub threads: usize,
 }
 
 impl JobConfig {
@@ -141,6 +166,7 @@ impl JobConfig {
             work_per_byte: 1.0 / 1024.0,
             simulation: None,
             cache: None,
+            threads: 0,
         }
     }
 
@@ -176,15 +202,25 @@ impl JobConfig {
         self
     }
 
+    /// Sets the worker-thread count (`0` = automatic). Builder-style.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     fn validate(&self) -> Result<(), JobError> {
         if self.partitions == 0 {
             return Err(JobError::BadConfig("partitions must be positive".into()));
         }
         if self.bucket_width == 0 || self.window_buckets == 0 {
-            return Err(JobError::BadConfig("bucket geometry must be positive".into()));
+            return Err(JobError::BadConfig(
+                "bucket geometry must be positive".into(),
+            ));
         }
         if self.work_per_byte < 0.0 || !self.work_per_byte.is_finite() {
-            return Err(JobError::BadConfig("work_per_byte must be finite and >= 0".into()));
+            return Err(JobError::BadConfig(
+                "work_per_byte must be finite and >= 0".into(),
+            ));
         }
         Ok(())
     }
@@ -220,16 +256,25 @@ impl<A: MapReduceApp> Clone for SplitEntry<A> {
     }
 }
 
-/// Per-reduce-partition incremental state.
-struct PartitionState<A: MapReduceApp> {
+/// Per-reduce-partition incremental state, self-contained so the shared
+/// [`Runtime`] can hand every shard to a different worker: the trees, the
+/// memo footprint, this shard's slice of the output map (keys are
+/// hash-partitioned in [`crate::shuffle`], so shard key sets are disjoint),
+/// and nothing borrowed from the job.
+struct PartitionShard<A: MapReduceApp> {
     #[allow(clippy::type_complexity)]
     trees: HashMap<A::Key, Box<dyn ContractionTree<A::Key, A::Value>>>,
     memo_footprint: u64,
+    output: BTreeMap<A::Key, A::Output>,
 }
 
-impl<A: MapReduceApp> Default for PartitionState<A> {
+impl<A: MapReduceApp> Default for PartitionShard<A> {
     fn default() -> Self {
-        PartitionState { trees: HashMap::new(), memo_footprint: 0 }
+        PartitionShard {
+            trees: HashMap::new(),
+            memo_footprint: 0,
+            output: BTreeMap::new(),
+        }
     }
 }
 
@@ -254,6 +299,46 @@ struct PhaseOutcome {
     per_partition: Vec<PartitionWork>,
 }
 
+/// What one shard reports back from a contraction+reduce run. Everything is
+/// owned, so workers never touch shared job state; the job folds these in
+/// shard-index order, which keeps all metering deterministic.
+struct ShardOutcome<A: MapReduceApp> {
+    tree_stats: UpdateStats,
+    work: PartitionWork,
+    keys_reduced: usize,
+    keys_reused: usize,
+    /// Output changes (`Some` = upsert, `None` = delete), applied to the
+    /// merged read view in shard order. Shard key sets are disjoint, so the
+    /// application order across shards cannot change the result — only the
+    /// iteration order, which is fixed.
+    deltas: Vec<(A::Key, Option<A::Output>)>,
+}
+
+impl<A: MapReduceApp> Default for ShardOutcome<A> {
+    fn default() -> Self {
+        ShardOutcome {
+            tree_stats: UpdateStats::default(),
+            work: PartitionWork::default(),
+            keys_reduced: 0,
+            keys_reused: 0,
+            deltas: Vec::new(),
+        }
+    }
+}
+
+/// Shared read-only inputs of one slide, borrowed by every shard worker.
+struct SlideCx<'a, A: MapReduceApp> {
+    app: &'a A,
+    combiner: &'a AppCombiner<A>,
+    config: &'a JobConfig,
+    window: &'a VecDeque<SplitEntry<A>>,
+    removed: &'a [SplitEntry<A>],
+    added: &'a [SplitEntry<A>],
+    was_full_buckets: bool,
+    kind: TreeKind,
+    split_processing: bool,
+}
+
 /// A sliding-window MapReduce job.
 ///
 /// See the crate-level docs for a complete example.
@@ -261,8 +346,10 @@ pub struct WindowedJob<A: MapReduceApp> {
     app: Arc<A>,
     combiner: AppCombiner<A>,
     config: JobConfig,
+    runtime: Runtime,
     window: VecDeque<SplitEntry<A>>,
-    partitions: Vec<PartitionState<A>>,
+    shards: Vec<PartitionShard<A>>,
+    /// Merged read view over the shard outputs (see [`WindowedJob::output`]).
     output: BTreeMap<A::Key, A::Output>,
     used_split_ids: HashSet<u64>,
     run_index: u64,
@@ -274,11 +361,7 @@ pub type RunResult = RunStats;
 
 /// Runs one Map task: maps every record of `split`, combining map-side per
 /// partition, and meters the work.
-fn map_one_split<A: MapReduceApp>(
-    app: &A,
-    parts: usize,
-    split: &Split<A::Input>,
-) -> SplitEntry<A> {
+fn map_one_split<A: MapReduceApp>(app: &A, parts: usize, split: &Split<A::Input>) -> SplitEntry<A> {
     let mut by_partition: Vec<BTreeMap<A::Key, A::Value>> =
         (0..parts).map(|_| BTreeMap::new()).collect();
     let mut map_work = 0u64;
@@ -345,13 +428,17 @@ impl<A: MapReduceApp> WindowedJob<A> {
         let app = Arc::new(app);
         let combiner = AppCombiner::new(Arc::clone(&app));
         let cache = config.cache.clone().map(DistributedCache::new);
-        let partitions = (0..config.partitions).map(|_| PartitionState::default()).collect();
+        let runtime = Runtime::auto(config.threads);
+        let shards = (0..config.partitions)
+            .map(|_| PartitionShard::default())
+            .collect();
         Ok(WindowedJob {
             app,
             combiner,
             config,
+            runtime,
             window: VecDeque::new(),
-            partitions,
+            shards,
             output: BTreeMap::new(),
             used_split_ids: HashSet::new(),
             run_index: 0,
@@ -369,6 +456,12 @@ impl<A: MapReduceApp> WindowedJob<A> {
         &self.config
     }
 
+    /// The parallel runtime executing this job's per-shard phases. Shared
+    /// with downstream pipeline stages so the whole query inherits it.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
     /// Number of splits currently in the window.
     pub fn window_splits(&self) -> usize {
         self.window.len()
@@ -376,7 +469,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
 
     /// Total memoization footprint, in modeled bytes.
     pub fn memo_footprint_bytes(&self) -> u64 {
-        self.partitions.iter().map(|p| p.memo_footprint).sum()
+        self.shards.iter().map(|p| p.memo_footprint).sum()
     }
 
     /// Runs the initial computation over `splits` (the whole first window).
@@ -387,7 +480,9 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// violate the window geometry.
     pub fn initial_run(&mut self, splits: Vec<Split<A::Input>>) -> Result<RunStats, JobError> {
         if self.run_index != 0 || !self.window.is_empty() {
-            return Err(JobError::ModeViolation("initial_run may only run once".into()));
+            return Err(JobError::ModeViolation(
+                "initial_run may only run once".into(),
+            ));
         }
         self.advance(0, splits)
     }
@@ -418,7 +513,10 @@ impl<A: MapReduceApp> WindowedJob<A> {
             self.used_split_ids.insert(split.id().0);
         }
 
-        let mut stats = RunStats { run: self.run_index, ..Default::default() };
+        let mut stats = RunStats {
+            run: self.run_index,
+            ..Default::default()
+        };
         stats.map_tasks = new_entries.len();
         stats.work.map = new_entries.iter().map(|e| e.map_work).sum();
         stats.shuffle_bytes = new_entries.iter().map(|e| e.output_bytes()).sum();
@@ -446,10 +544,11 @@ impl<A: MapReduceApp> WindowedJob<A> {
         stats.keys_reused = outcome.keys_reused;
         stats.memo_read_bytes = outcome.tree_stats.bytes_read;
 
-        // Refresh partition footprints.
-        for p in 0..self.partitions.len() {
-            self.partitions[p].memo_footprint = self.partition_footprint(p);
-        }
+        // Refresh shard footprints (a per-shard tree walk, parallel too).
+        let combiner = &self.combiner;
+        self.runtime.map_mut(&mut self.shards, |_, shard| {
+            shard.refresh_footprint(combiner)
+        });
         stats.memo_footprint_bytes = self.memo_footprint_bytes();
         stats.window_input_bytes = self.window.iter().map(|e| e.input_bytes).sum();
 
@@ -547,341 +646,92 @@ impl<A: MapReduceApp> WindowedJob<A> {
         Ok(())
     }
 
-    /// Executes Map tasks for `splits` (in parallel for larger batches),
-    /// producing pre-partitioned, map-side-combined outputs.
+    /// Executes Map tasks for `splits` on the runtime's worker pool, with
+    /// deterministic (input-order) assembly of the pre-partitioned,
+    /// map-side-combined outputs.
     fn map_splits(&self, splits: &[Split<A::Input>]) -> Vec<SplitEntry<A>> {
-        let app = Arc::clone(&self.app);
+        let app = &*self.app;
         let parts = self.config.partitions;
-
-        if splits.len() >= 8 {
-            // Parallel map phase with deterministic (input-order) assembly.
-            let mut out: Vec<Option<SplitEntry<A>>> = (0..splits.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                let threads = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
-                    .min(splits.len());
-                let chunk = splits.len().div_ceil(threads);
-                for (splits_chunk, out_chunk) in splits.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                    let app = Arc::clone(&app);
-                    scope.spawn(move || {
-                        for (split, slot) in splits_chunk.iter().zip(out_chunk.iter_mut()) {
-                            *slot = Some(map_one_split(&*app, parts, split));
-                        }
-                    });
-                }
-            });
-            out.into_iter().map(|e| e.expect("all splits mapped")).collect()
-        } else {
-            splits.iter().map(|s| map_one_split(&*app, parts, s)).collect()
-        }
+        self.runtime
+            .map(splits, |_, split| map_one_split(app, parts, split))
     }
 
-    /// Vanilla recomputation: discard all incremental state and reduce every
-    /// key over all per-split values.
+    /// Vanilla recomputation: every shard discards its incremental state
+    /// and re-reduces every key over all per-split values, one runtime
+    /// worker per shard.
     fn run_recompute(&mut self) -> PhaseOutcome {
-        let mut outcome = PhaseOutcome {
-            per_partition: vec![PartitionWork::default(); self.config.partitions],
-            ..Default::default()
-        };
-        self.output.clear();
-        for state in &mut self.partitions {
-            state.trees.clear();
-            state.memo_footprint = 0;
+        let app = &*self.app;
+        let window = &self.window;
+        let results = self.runtime.map_mut(&mut self.shards, |p, shard| {
+            shard.run_recompute(p, app, window)
+        });
+
+        let mut outcome = PhaseOutcome::default();
+        for shard_out in results {
+            outcome.keys_reduced += shard_out.keys_reduced;
+            outcome.reduce_work += shard_out.work.reduce_work;
+            outcome.per_partition.push(shard_out.work);
         }
-        for p in 0..self.config.partitions {
-            // Gather all values per key, window-ordered.
-            let mut per_key: BTreeMap<A::Key, Vec<A::Value>> = BTreeMap::new();
-            for entry in &self.window {
-                for (k, v) in &entry.by_partition[p] {
-                    per_key.entry(k.clone()).or_default().push(v.clone());
-                }
+        // Rebuild the merged read view from the (disjoint) shard outputs.
+        self.output.clear();
+        for shard in &self.shards {
+            for (key, out) in &shard.output {
+                self.output.insert(key.clone(), out.clone());
             }
-            let mut reduce_work = 0u64;
-            for (key, values) in per_key {
-                let refs: Vec<&A::Value> = values.iter().collect();
-                reduce_work += self.app.reduce_cost(&key, &refs);
-                outcome.keys_reduced += 1;
-                let out = self.app.reduce(&key, &refs);
-                self.output.insert(key, out);
-            }
-            outcome.reduce_work += reduce_work;
-            outcome.per_partition[p].reduce_work = reduce_work;
-            outcome.per_partition[p].shuffle_bytes =
-                self.window.iter().map(|e| e.out_bytes[p]).sum();
         }
         outcome
     }
 
-    /// Incremental update via contraction trees.
+    /// Incremental update via contraction trees: every shard slides (or
+    /// rotates) its trees, reduces its dirty keys, and runs split-mode
+    /// background pre-processing on the shared runtime. Shard outcomes are
+    /// folded in shard-index order, so all modeled work metrics are
+    /// bitwise-identical for any thread count.
     fn run_incremental(
         &mut self,
         removed: &[SplitEntry<A>],
         added: &[SplitEntry<A>],
         was_full_buckets: bool,
     ) -> Result<PhaseOutcome, JobError> {
-        let kind = self.config.mode.tree_kind().expect("incremental mode has a tree");
-        let split_processing = self.config.mode.split_processing();
-        let mut outcome = PhaseOutcome {
-            per_partition: vec![PartitionWork::default(); self.config.partitions],
-            ..Default::default()
+        let cx = SlideCx {
+            app: &*self.app,
+            combiner: &self.combiner,
+            config: &self.config,
+            window: &self.window,
+            removed,
+            added,
+            was_full_buckets,
+            kind: self
+                .config
+                .mode
+                .tree_kind()
+                .expect("incremental mode has a tree"),
+            split_processing: self.config.mode.split_processing(),
         };
+        let results = self
+            .runtime
+            .map_mut(&mut self.shards, |p, shard| shard.run_incremental(p, &cx));
 
-        for p in 0..self.config.partitions {
-            let live_before = self.partitions[p].trees.len();
-            let mut tree_stats = UpdateStats::default();
-            let dirty = if kind == TreeKind::Rotating {
-                self.rotate_partition(p, removed, added, was_full_buckets, &mut tree_stats)?
-            } else {
-                self.slide_partition(p, kind, removed, added, &mut tree_stats)?
-            };
-
-            // Reduce the dirty keys; every other output is reused untouched.
-            let mut reduce_work = 0u64;
-            let mut reduced = 0usize;
-            for key in &dirty {
-                let Some(tree) = self.partitions[p].trees.get_mut(key) else {
-                    continue;
-                };
-                if tree.is_empty() {
-                    self.partitions[p].trees.remove(key);
-                    self.output.remove(key);
-                    continue;
+        let mut outcome = PhaseOutcome::default();
+        for result in results {
+            let shard_out = result?;
+            outcome.keys_reduced += shard_out.keys_reduced;
+            outcome.keys_reused += shard_out.keys_reused;
+            outcome.reduce_work += shard_out.work.reduce_work;
+            outcome.tree_stats.merge_from(&shard_out.tree_stats);
+            outcome.per_partition.push(shard_out.work);
+            for (key, value) in shard_out.deltas {
+                match value {
+                    Some(out) => {
+                        self.output.insert(key, out);
+                    }
+                    None => {
+                        self.output.remove(&key);
+                    }
                 }
-                let parts = tree.reduce_parts();
-                let refs: Vec<&A::Value> = parts.iter().map(|a| a.as_ref()).collect();
-                reduce_work += self.app.reduce_cost(key, &refs);
-                reduced += 1;
-                let out = self.app.reduce(key, &refs);
-                self.output.insert(key.clone(), out);
             }
-
-            // Split mode: background pre-processing for the next run.
-            if split_processing {
-                self.preprocess_partition(p, kind, &dirty, &mut tree_stats);
-            }
-
-            outcome.keys_reduced += reduced;
-            outcome.keys_reused += live_before.saturating_sub(dirty.len());
-            outcome.reduce_work += reduce_work;
-            let pw = &mut outcome.per_partition[p];
-            pw.fg_work = tree_stats.foreground.work;
-            pw.bg_work = tree_stats.background.work;
-            pw.reduce_work = reduce_work;
-            pw.memo_read_bytes = tree_stats.bytes_read;
-            pw.shuffle_bytes = added.iter().map(|e| e.out_bytes[p]).sum();
-            outcome.tree_stats.merge_from(&tree_stats);
         }
         Ok(outcome)
-    }
-
-    /// Variable-width / append-only / strawman slide of one partition.
-    fn slide_partition(
-        &mut self,
-        p: usize,
-        kind: TreeKind,
-        removed: &[SplitEntry<A>],
-        added: &[SplitEntry<A>],
-        stats: &mut UpdateStats,
-    ) -> Result<Vec<A::Key>, JobError> {
-        let mut removals: HashMap<A::Key, usize> = HashMap::new();
-        for entry in removed {
-            for key in entry.by_partition[p].keys() {
-                *removals.entry(key.clone()).or_default() += 1;
-            }
-        }
-        let mut additions: BTreeMap<A::Key, Vec<Arc<A::Value>>> = BTreeMap::new();
-        for entry in added {
-            for (key, value) in &entry.by_partition[p] {
-                additions.entry(key.clone()).or_default().push(Arc::new(value.clone()));
-            }
-        }
-
-        let mut dirty: Vec<A::Key> = removals.keys().cloned().collect();
-        for key in additions.keys() {
-            if !removals.contains_key(key) {
-                dirty.push(key.clone());
-            }
-        }
-        dirty.sort_unstable();
-
-        let state = &mut self.partitions[p];
-        for key in &dirty {
-            let remove = removals.get(key).copied().unwrap_or(0);
-            let adds: Vec<Option<Arc<A::Value>>> = additions
-                .remove(key)
-                .map(|vs| vs.into_iter().map(Some).collect())
-                .unwrap_or_default();
-            let tree = state
-                .trees
-                .entry(key.clone())
-                .or_insert_with(|| Self::fresh_tree(kind, self.config.mode));
-            let mut cx = TreeCx::new(&self.combiner, key, stats);
-            tree.advance(&mut cx, remove, adds)?;
-        }
-
-        // The strawman's change propagation has no window-aware structure:
-        // it visits *every* memoized sub-computation to decide whether it
-        // can be reused (paper §2/§9 — "they require visiting all tasks in
-        // a computation even if the task is not affected by the modified
-        // data"). Clean keys re-pair entirely from the memo cache — no
-        // fresh merges, but the visit reads every memoized node.
-        if kind == TreeKind::Strawman {
-            let dirty_set: HashSet<&A::Key> = dirty.iter().collect();
-            let clean: Vec<A::Key> = state
-                .trees
-                .keys()
-                .filter(|k| !dirty_set.contains(k))
-                .cloned()
-                .collect();
-            for key in clean {
-                let tree = state.trees.get_mut(&key).expect("live key");
-                let mut cx = TreeCx::new(&self.combiner, &key, stats);
-                tree.advance(&mut cx, 0, Vec::new())?;
-            }
-        }
-        Ok(dirty)
-    }
-
-    /// Builds a fresh per-key tree honouring the split-processing flag.
-    fn fresh_tree(
-        kind: TreeKind,
-        mode: ExecMode,
-    ) -> Box<dyn ContractionTree<A::Key, A::Value>> {
-        if kind == TreeKind::Coalescing && mode.split_processing() {
-            Box::new(slider_core::CoalescingTree::with_split_processing())
-        } else {
-            build_tree::<A::Key, A::Value>(kind, 0)
-        }
-    }
-
-    /// Fixed-width bucket rotation of one partition.
-    fn rotate_partition(
-        &mut self,
-        p: usize,
-        removed: &[SplitEntry<A>],
-        added: &[SplitEntry<A>],
-        was_full: bool,
-        stats: &mut UpdateStats,
-    ) -> Result<Vec<A::Key>, JobError> {
-        let w = self.config.bucket_width;
-        let n = self.config.window_buckets;
-        let out_buckets: Vec<&[SplitEntry<A>]> = removed.chunks(w).collect();
-        let in_buckets: Vec<&[SplitEntry<A>]> = added.chunks(w).collect();
-        let steps = in_buckets.len().max(out_buckets.len());
-        // Buckets present before this advance (the window deque was already
-        // updated by the caller).
-        let mut buckets_now = (self.window.len() + removed.len() - added.len()) / w;
-
-        let mut dirty: HashSet<A::Key> = HashSet::new();
-        for step in 0..steps {
-            let out_keys: HashSet<&A::Key> = if was_full {
-                out_buckets
-                    .get(step)
-                    .map(|b| b.iter().flat_map(|e| e.by_partition[p].keys()).collect())
-                    .unwrap_or_default()
-            } else {
-                HashSet::new()
-            };
-            // Per-key incoming values in this bucket, window-ordered.
-            let mut incoming: BTreeMap<A::Key, Vec<Arc<A::Value>>> = BTreeMap::new();
-            if let Some(bucket) = in_buckets.get(step) {
-                for entry in *bucket {
-                    for (key, value) in &entry.by_partition[p] {
-                        incoming.entry(key.clone()).or_default().push(Arc::new(value.clone()));
-                    }
-                }
-            }
-            if !was_full {
-                buckets_now += 1;
-            }
-
-            let state = &mut self.partitions[p];
-            let live_keys: Vec<A::Key> = state.trees.keys().cloned().collect();
-            for key in live_keys {
-                let leaf = match incoming.remove(&key) {
-                    Some(values) => {
-                        let mut cx = TreeCx::new(&self.combiner, &key, stats);
-                        cx.fold(Phase::Foreground, values)
-                    }
-                    None => None,
-                };
-                let outgoing = out_keys.contains(&key);
-                let tree = state.trees.get_mut(&key).expect("live key has a tree");
-                let mut cx = TreeCx::new(&self.combiner, &key, stats);
-                if outgoing || leaf.is_some() {
-                    dirty.insert(key.clone());
-                    tree.advance(&mut cx, usize::from(was_full), vec![leaf])?;
-                } else {
-                    tree.advance_absent(&mut cx)?;
-                }
-            }
-            // Brand-new keys in this bucket.
-            for (key, values) in incoming {
-                dirty.insert(key.clone());
-                let mut tree = build_tree::<A::Key, A::Value>(TreeKind::Rotating, n);
-                let mut cx = TreeCx::new(&self.combiner, &key, stats);
-                let leaf = cx.fold(Phase::Foreground, values);
-                let occupied = if was_full { n } else { buckets_now };
-                let mut leaves: Vec<Option<Arc<A::Value>>> = vec![None; occupied - 1];
-                leaves.push(leaf);
-                tree.rebuild(&mut cx, leaves);
-                state.trees.insert(key, tree);
-            }
-        }
-        let mut dirty: Vec<A::Key> = dirty.into_iter().collect();
-        dirty.sort_unstable();
-        Ok(dirty)
-    }
-
-    /// Background pre-processing after the foreground result was produced.
-    fn preprocess_partition(
-        &mut self,
-        p: usize,
-        kind: TreeKind,
-        dirty: &[A::Key],
-        stats: &mut UpdateStats,
-    ) {
-        match kind {
-            TreeKind::Coalescing => {
-                // Coalesce the pending delta of every key touched this run.
-                let state = &mut self.partitions[p];
-                for key in dirty {
-                    if let Some(tree) = state.trees.get_mut(key) {
-                        let mut cx = TreeCx::new(&self.combiner, key, stats);
-                        tree.preprocess(&mut cx);
-                    }
-                }
-            }
-            TreeKind::Rotating => {
-                // Prepare off-path aggregates for keys in the bucket that
-                // rotates out next (the oldest in the new window), and
-                // finish deferred insertions for keys touched this run.
-                let w = self.config.bucket_width;
-                let mut keys: HashSet<A::Key> = dirty.iter().cloned().collect();
-                for entry in self.window.iter().take(w) {
-                    keys.extend(entry.by_partition[p].keys().cloned());
-                }
-                let mut keys: Vec<A::Key> = keys.into_iter().collect();
-                keys.sort_unstable();
-                let state = &mut self.partitions[p];
-                for key in keys {
-                    if let Some(tree) = state.trees.get_mut(&key) {
-                        let mut cx = TreeCx::new(&self.combiner, &key, stats);
-                        tree.preprocess(&mut cx);
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn partition_footprint(&self, p: usize) -> u64 {
-        self.partitions[p]
-            .trees
-            .iter()
-            .map(|(key, tree)| tree.memo_bytes(&self.combiner, key))
-            .sum()
     }
 
     /// Builds and runs the cluster simulation for this run.
@@ -944,9 +794,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
                 .iter()
                 .enumerate()
                 .filter(|(_, pw)| pw.bg_work > 0)
-                .map(|(p, pw)| {
-                    Task::reduce(id(), pw.bg_work).prefer(MachineId(p % machines))
-                })
+                .map(|(p, pw)| Task::reduce(id(), pw.bg_work).prefer(MachineId(p % machines)))
                 .collect();
             Some(simulate(&sim.cluster, sim.policy, &[bg_tasks]))
         } else {
@@ -969,7 +817,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
             if self.run_index > 0 {
                 let _ = cache.read(object, node);
             }
-            let footprint = self.partitions[p].memo_footprint;
+            let footprint = self.shards[p].memo_footprint;
             if footprint > 0 {
                 cache.put(object, footprint, node, self.run_index);
             }
@@ -985,6 +833,298 @@ impl<A: MapReduceApp> WindowedJob<A> {
             collected: after.collected - before.collected,
             evictions: after.evictions - before.evictions,
         }
+    }
+}
+
+impl<A: MapReduceApp> PartitionShard<A> {
+    /// Recomputes this shard from scratch over the whole window: incremental
+    /// state is discarded and every key re-reduces over all its per-split
+    /// values.
+    fn run_recompute(
+        &mut self,
+        p: usize,
+        app: &A,
+        window: &VecDeque<SplitEntry<A>>,
+    ) -> ShardOutcome<A> {
+        self.trees.clear();
+        self.memo_footprint = 0;
+        self.output.clear();
+        // Gather all values per key, window-ordered.
+        let mut per_key: BTreeMap<A::Key, Vec<A::Value>> = BTreeMap::new();
+        for entry in window {
+            for (k, v) in &entry.by_partition[p] {
+                per_key.entry(k.clone()).or_default().push(v.clone());
+            }
+        }
+        let mut outcome = ShardOutcome::default();
+        for (key, values) in per_key {
+            let refs: Vec<&A::Value> = values.iter().collect();
+            outcome.work.reduce_work += app.reduce_cost(&key, &refs);
+            outcome.keys_reduced += 1;
+            let out = app.reduce(&key, &refs);
+            self.output.insert(key, out);
+        }
+        outcome.work.shuffle_bytes = window.iter().map(|e| e.out_bytes[p]).sum();
+        outcome
+    }
+
+    /// One shard's incremental run: contraction (slide or rotate), dirty-key
+    /// reduce into the shard's output slice, and split-mode background
+    /// pre-processing.
+    fn run_incremental(
+        &mut self,
+        p: usize,
+        cx: &SlideCx<'_, A>,
+    ) -> Result<ShardOutcome<A>, JobError> {
+        let live_before = self.trees.len();
+        let mut outcome = ShardOutcome::default();
+        let mut tree_stats = UpdateStats::default();
+        let dirty = if cx.kind == TreeKind::Rotating {
+            self.rotate(p, cx, &mut tree_stats)?
+        } else {
+            self.slide(p, cx, &mut tree_stats)?
+        };
+
+        // Reduce the dirty keys; every other output is reused untouched.
+        let mut reduce_work = 0u64;
+        for key in &dirty {
+            let Some(tree) = self.trees.get_mut(key) else {
+                continue;
+            };
+            if tree.is_empty() {
+                self.trees.remove(key);
+                self.output.remove(key);
+                outcome.deltas.push((key.clone(), None));
+                continue;
+            }
+            let parts = tree.reduce_parts();
+            let refs: Vec<&A::Value> = parts.iter().map(|a| a.as_ref()).collect();
+            reduce_work += cx.app.reduce_cost(key, &refs);
+            outcome.keys_reduced += 1;
+            let out = cx.app.reduce(key, &refs);
+            self.output.insert(key.clone(), out.clone());
+            outcome.deltas.push((key.clone(), Some(out)));
+        }
+
+        // Split mode: background pre-processing for the next run.
+        if cx.split_processing {
+            self.preprocess(p, cx, &dirty, &mut tree_stats);
+        }
+
+        outcome.keys_reused = live_before.saturating_sub(dirty.len());
+        outcome.work.fg_work = tree_stats.foreground.work;
+        outcome.work.bg_work = tree_stats.background.work;
+        outcome.work.reduce_work = reduce_work;
+        outcome.work.memo_read_bytes = tree_stats.bytes_read;
+        outcome.work.shuffle_bytes = cx.added.iter().map(|e| e.out_bytes[p]).sum();
+        outcome.tree_stats = tree_stats;
+        Ok(outcome)
+    }
+
+    /// Variable-width / append-only / strawman slide of this shard.
+    fn slide(
+        &mut self,
+        p: usize,
+        cx: &SlideCx<'_, A>,
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<A::Key>, JobError> {
+        let mut removals: HashMap<A::Key, usize> = HashMap::new();
+        for entry in cx.removed {
+            for key in entry.by_partition[p].keys() {
+                *removals.entry(key.clone()).or_default() += 1;
+            }
+        }
+        let mut additions: BTreeMap<A::Key, Vec<Arc<A::Value>>> = BTreeMap::new();
+        for entry in cx.added {
+            for (key, value) in &entry.by_partition[p] {
+                additions
+                    .entry(key.clone())
+                    .or_default()
+                    .push(Arc::new(value.clone()));
+            }
+        }
+
+        let mut dirty: Vec<A::Key> = removals.keys().cloned().collect();
+        for key in additions.keys() {
+            if !removals.contains_key(key) {
+                dirty.push(key.clone());
+            }
+        }
+        dirty.sort_unstable();
+
+        for key in &dirty {
+            let remove = removals.get(key).copied().unwrap_or(0);
+            let adds: Vec<Option<Arc<A::Value>>> = additions
+                .remove(key)
+                .map(|vs| vs.into_iter().map(Some).collect())
+                .unwrap_or_default();
+            let tree = self
+                .trees
+                .entry(key.clone())
+                .or_insert_with(|| Self::fresh_tree(cx.kind, cx.config.mode));
+            let mut tree_cx = TreeCx::new(cx.combiner, key, stats);
+            tree.advance(&mut tree_cx, remove, adds)?;
+        }
+
+        // The strawman's change propagation has no window-aware structure:
+        // it visits *every* memoized sub-computation to decide whether it
+        // can be reused (paper §2/§9 — "they require visiting all tasks in
+        // a computation even if the task is not affected by the modified
+        // data"). Clean keys re-pair entirely from the memo cache — no
+        // fresh merges, but the visit reads every memoized node.
+        if cx.kind == TreeKind::Strawman {
+            let dirty_set: HashSet<&A::Key> = dirty.iter().collect();
+            let clean: Vec<A::Key> = self
+                .trees
+                .keys()
+                .filter(|k| !dirty_set.contains(k))
+                .cloned()
+                .collect();
+            for key in clean {
+                let tree = self.trees.get_mut(&key).expect("live key");
+                let mut tree_cx = TreeCx::new(cx.combiner, &key, stats);
+                tree.advance(&mut tree_cx, 0, Vec::new())?;
+            }
+        }
+        Ok(dirty)
+    }
+
+    /// Builds a fresh per-key tree honouring the split-processing flag.
+    fn fresh_tree(kind: TreeKind, mode: ExecMode) -> Box<dyn ContractionTree<A::Key, A::Value>> {
+        if kind == TreeKind::Coalescing && mode.split_processing() {
+            Box::new(slider_core::CoalescingTree::with_split_processing())
+        } else {
+            build_tree::<A::Key, A::Value>(kind, 0)
+        }
+    }
+
+    /// Fixed-width bucket rotation of this shard.
+    fn rotate(
+        &mut self,
+        p: usize,
+        cx: &SlideCx<'_, A>,
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<A::Key>, JobError> {
+        let w = cx.config.bucket_width;
+        let n = cx.config.window_buckets;
+        let was_full = cx.was_full_buckets;
+        let out_buckets: Vec<&[SplitEntry<A>]> = cx.removed.chunks(w).collect();
+        let in_buckets: Vec<&[SplitEntry<A>]> = cx.added.chunks(w).collect();
+        let steps = in_buckets.len().max(out_buckets.len());
+        // Buckets present before this advance (the window deque was already
+        // updated by the caller).
+        let mut buckets_now = (cx.window.len() + cx.removed.len() - cx.added.len()) / w;
+
+        let mut dirty: HashSet<A::Key> = HashSet::new();
+        for step in 0..steps {
+            let out_keys: HashSet<&A::Key> = if was_full {
+                out_buckets
+                    .get(step)
+                    .map(|b| b.iter().flat_map(|e| e.by_partition[p].keys()).collect())
+                    .unwrap_or_default()
+            } else {
+                HashSet::new()
+            };
+            // Per-key incoming values in this bucket, window-ordered.
+            let mut incoming: BTreeMap<A::Key, Vec<Arc<A::Value>>> = BTreeMap::new();
+            if let Some(bucket) = in_buckets.get(step) {
+                for entry in *bucket {
+                    for (key, value) in &entry.by_partition[p] {
+                        incoming
+                            .entry(key.clone())
+                            .or_default()
+                            .push(Arc::new(value.clone()));
+                    }
+                }
+            }
+            if !was_full {
+                buckets_now += 1;
+            }
+
+            let live_keys: Vec<A::Key> = self.trees.keys().cloned().collect();
+            for key in live_keys {
+                let leaf = match incoming.remove(&key) {
+                    Some(values) => {
+                        let mut tree_cx = TreeCx::new(cx.combiner, &key, stats);
+                        tree_cx.fold(Phase::Foreground, values)
+                    }
+                    None => None,
+                };
+                let outgoing = out_keys.contains(&key);
+                let tree = self.trees.get_mut(&key).expect("live key has a tree");
+                let mut tree_cx = TreeCx::new(cx.combiner, &key, stats);
+                if outgoing || leaf.is_some() {
+                    dirty.insert(key.clone());
+                    tree.advance(&mut tree_cx, usize::from(was_full), vec![leaf])?;
+                } else {
+                    tree.advance_absent(&mut tree_cx)?;
+                }
+            }
+            // Brand-new keys in this bucket.
+            for (key, values) in incoming {
+                dirty.insert(key.clone());
+                let mut tree = build_tree::<A::Key, A::Value>(TreeKind::Rotating, n);
+                let mut tree_cx = TreeCx::new(cx.combiner, &key, stats);
+                let leaf = tree_cx.fold(Phase::Foreground, values);
+                let occupied = if was_full { n } else { buckets_now };
+                let mut leaves: Vec<Option<Arc<A::Value>>> = vec![None; occupied - 1];
+                leaves.push(leaf);
+                tree.rebuild(&mut tree_cx, leaves);
+                self.trees.insert(key, tree);
+            }
+        }
+        let mut dirty: Vec<A::Key> = dirty.into_iter().collect();
+        dirty.sort_unstable();
+        Ok(dirty)
+    }
+
+    /// Background pre-processing after the foreground result was produced.
+    fn preprocess(
+        &mut self,
+        p: usize,
+        cx: &SlideCx<'_, A>,
+        dirty: &[A::Key],
+        stats: &mut UpdateStats,
+    ) {
+        match cx.kind {
+            TreeKind::Coalescing => {
+                // Coalesce the pending delta of every key touched this run.
+                for key in dirty {
+                    if let Some(tree) = self.trees.get_mut(key) {
+                        let mut tree_cx = TreeCx::new(cx.combiner, key, stats);
+                        tree.preprocess(&mut tree_cx);
+                    }
+                }
+            }
+            TreeKind::Rotating => {
+                // Prepare off-path aggregates for keys in the bucket that
+                // rotates out next (the oldest in the new window), and
+                // finish deferred insertions for keys touched this run.
+                let w = cx.config.bucket_width;
+                let mut keys: HashSet<A::Key> = dirty.iter().cloned().collect();
+                for entry in cx.window.iter().take(w) {
+                    keys.extend(entry.by_partition[p].keys().cloned());
+                }
+                let mut keys: Vec<A::Key> = keys.into_iter().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    if let Some(tree) = self.trees.get_mut(&key) {
+                        let mut tree_cx = TreeCx::new(cx.combiner, &key, stats);
+                        tree.preprocess(&mut tree_cx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Recomputes the memoization footprint from the live trees.
+    fn refresh_footprint(&mut self, combiner: &AppCombiner<A>) {
+        self.memo_footprint = self
+            .trees
+            .iter()
+            .map(|(key, tree)| tree.memo_bytes(combiner, key))
+            .sum();
     }
 }
 
@@ -1042,13 +1182,14 @@ mod tests {
     fn every_mode_matches_reference_over_slides() {
         // 8 splits of 1 line each; fixed-width geometry 8 buckets × 1.
         let corpus = [
-            "a b c", "b c d", "c d e", "a a b", "e f", "f g a", "b b", "g h a",
-            "h i", "a c e", "b d f", "c c c",
+            "a b c", "b c d", "c d e", "a a b", "e f", "f g a", "b b", "g h a", "h i", "a c e",
+            "b d f", "c c c",
         ];
         for mode in all_modes() {
             let config = JobConfig::new(mode).with_partitions(3).with_buckets(8, 1);
             let mut job = WindowedJob::new(WordCount, config).unwrap();
-            job.initial_run(make_splits(0, lines(&corpus[0..8]), 1)).unwrap();
+            job.initial_run(make_splits(0, lines(&corpus[0..8]), 1))
+                .unwrap();
             assert_eq!(
                 job.output(),
                 &reference_counts(&corpus[0..8]),
@@ -1056,13 +1197,15 @@ mod tests {
             );
 
             // Slide twice by 2 splits.
-            job.advance(2, make_splits(100, lines(&corpus[8..10]), 1)).unwrap();
+            job.advance(2, make_splits(100, lines(&corpus[8..10]), 1))
+                .unwrap();
             assert_eq!(
                 job.output(),
                 &reference_counts(&corpus[2..10]),
                 "{mode}: slide 1 mismatch"
             );
-            job.advance(2, make_splits(200, lines(&corpus[10..12]), 1)).unwrap();
+            job.advance(2, make_splits(200, lines(&corpus[10..12]), 1))
+                .unwrap();
             assert_eq!(
                 job.output(),
                 &reference_counts(&corpus[4..12]),
@@ -1081,9 +1224,12 @@ mod tests {
         ] {
             let config = JobConfig::new(mode).with_partitions(2);
             let mut job = WindowedJob::new(WordCount, config).unwrap();
-            job.initial_run(make_splits(0, lines(&corpus[0..2]), 1)).unwrap();
-            job.advance(0, make_splits(10, lines(&corpus[2..4]), 1)).unwrap();
-            job.advance(0, make_splits(20, lines(&corpus[4..5]), 1)).unwrap();
+            job.initial_run(make_splits(0, lines(&corpus[0..2]), 1))
+                .unwrap();
+            job.advance(0, make_splits(10, lines(&corpus[2..4]), 1))
+                .unwrap();
+            job.advance(0, make_splits(20, lines(&corpus[4..5]), 1))
+                .unwrap();
             assert_eq!(job.output(), &reference_counts(&corpus), "{mode}");
         }
     }
@@ -1101,11 +1247,17 @@ mod tests {
             JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
         )
         .unwrap();
-        vanilla.initial_run(make_splits(0, corpus.clone(), 2)).unwrap();
-        slider.initial_run(make_splits(0, corpus.clone(), 2)).unwrap();
+        vanilla
+            .initial_run(make_splits(0, corpus.clone(), 2))
+            .unwrap();
+        slider
+            .initial_run(make_splits(0, corpus.clone(), 2))
+            .unwrap();
 
         let extra: Vec<String> = (0..4).map(|i| format!("x{i} common")).collect();
-        let v = vanilla.advance(2, make_splits(100, extra.clone(), 2)).unwrap();
+        let v = vanilla
+            .advance(2, make_splits(100, extra.clone(), 2))
+            .unwrap();
         let s = slider.advance(2, make_splits(100, extra, 2)).unwrap();
         assert_eq!(vanilla.output(), slider.output());
         assert!(
@@ -1127,8 +1279,9 @@ mod tests {
     fn split_processing_shifts_work_to_background() {
         let corpus: Vec<String> = (0..16).map(|i| format!("k{} shared", i % 3)).collect();
         let make_job = |split| {
-            let config =
-                JobConfig::new(ExecMode::slider_rotating(split)).with_partitions(2).with_buckets(8, 1);
+            let config = JobConfig::new(ExecMode::slider_rotating(split))
+                .with_partitions(2)
+                .with_buckets(8, 1);
             let mut job = WindowedJob::new(WordCount, config).unwrap();
             job.initial_run(make_splits(0, corpus.clone(), 2)).unwrap();
             job
@@ -1141,8 +1294,12 @@ mod tests {
         let mut bg_split = 0u64;
         for round in 0..4u64 {
             let adds: Vec<String> = (0..2).map(|i| format!("k{} fresh{round}", i)).collect();
-            let p = plain.advance(1, make_splits(1000 + round * 10, adds.clone(), 2)).unwrap();
-            let s = split.advance(1, make_splits(2000 + round * 10, adds, 2)).unwrap();
+            let p = plain
+                .advance(1, make_splits(1000 + round * 10, adds.clone(), 2))
+                .unwrap();
+            let s = split
+                .advance(1, make_splits(2000 + round * 10, adds, 2))
+                .unwrap();
             assert_eq!(plain.output(), split.output(), "round {round}");
             fg_plain += p.work.contraction_fg.work;
             fg_split += s.work.contraction_fg.work;
@@ -1176,8 +1333,12 @@ mod tests {
             JobConfig::new(ExecMode::slider_rotating(false)).with_buckets(4, 2),
         )
         .unwrap();
-        job.initial_run(make_splits(0, lines(&["a", "b", "c", "d", "e", "f", "g", "h"]), 1))
-            .unwrap();
+        job.initial_run(make_splits(
+            0,
+            lines(&["a", "b", "c", "d", "e", "f", "g", "h"]),
+            1,
+        ))
+        .unwrap();
         assert!(matches!(
             job.advance(1, make_splits(100, lines(&["x"]), 1)),
             Err(JobError::ModeViolation(_))
@@ -1188,14 +1349,18 @@ mod tests {
             WindowedJob::new(WordCount, JobConfig::new(ExecMode::slider_folding())).unwrap();
         job.initial_run(make_splits(0, lines(&["a"]), 1)).unwrap();
         assert_eq!(
-            job.advance(0, make_splits(0, lines(&["b"]), 1)).unwrap_err(),
+            job.advance(0, make_splits(0, lines(&["b"]), 1))
+                .unwrap_err(),
             JobError::DuplicateSplit(0)
         );
 
         // Removing beyond the window is rejected.
         assert!(matches!(
             job.advance(5, vec![]),
-            Err(JobError::RemoveExceedsWindow { requested: 5, window: 1 })
+            Err(JobError::RemoveExceedsWindow {
+                requested: 5,
+                window: 1
+            })
         ));
     }
 
@@ -1219,10 +1384,14 @@ mod tests {
             .with_partitions(2)
             .with_cache(slider_dcache::CacheConfig::paper_defaults(4));
         let mut job = WindowedJob::new(WordCount, config).unwrap();
-        job.initial_run(make_splits(0, lines(&["a b", "b c"]), 1)).unwrap();
+        job.initial_run(make_splits(0, lines(&["a b", "b c"]), 1))
+            .unwrap();
         let stats = job.advance(1, make_splits(10, lines(&["c d"]), 1)).unwrap();
         let cache = stats.cache.expect("cache configured");
-        assert!(cache.memory_hits > 0, "memoized state should be read from memory");
+        assert!(
+            cache.memory_hits > 0,
+            "memoized state should be read from memory"
+        );
 
         // Crash the node holding partition 0's state: next run reads fall
         // back to disk replicas but still succeed.
@@ -1241,8 +1410,9 @@ mod tests {
             let mut job =
                 WindowedJob::new(WordCount, JobConfig::new(mode).with_partitions(1)).unwrap();
             job.initial_run(make_splits(0, corpus.clone(), 1)).unwrap();
-            let stats =
-                job.advance(1, make_splits(100, vec!["k".to_string()], 1)).unwrap();
+            let stats = job
+                .advance(1, make_splits(100, vec!["k".to_string()], 1))
+                .unwrap();
             stats.work.contraction_fg.merges
         };
         let strawman = run(ExecMode::Strawman);
@@ -1254,10 +1424,32 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_changes_neither_outputs_nor_stats() {
+        let corpus: Vec<String> = (0..24).map(|i| format!("w{} shared", i % 5)).collect();
+        let run = |threads: usize| {
+            let config = JobConfig::new(ExecMode::slider_folding())
+                .with_partitions(4)
+                .with_threads(threads);
+            let mut job = WindowedJob::new(WordCount, config).unwrap();
+            let s0 = job.initial_run(make_splits(0, corpus.clone(), 2)).unwrap();
+            let adds = vec!["x common".to_string(), "y common".to_string()];
+            let s1 = job.advance(2, make_splits(100, adds, 2)).unwrap();
+            (job.output().clone(), format!("{s0:?} {s1:?}"))
+        };
+        let (output_seq, stats_seq) = run(1);
+        for threads in [2, 4] {
+            let (output, stats) = run(threads);
+            assert_eq!(output, output_seq, "outputs at {threads} threads");
+            assert_eq!(stats, stats_seq, "work metering at {threads} threads");
+        }
+    }
+
+    #[test]
     fn output_accessors_work() {
         let mut job =
             WindowedJob::new(WordCount, JobConfig::new(ExecMode::slider_folding())).unwrap();
-        job.initial_run(make_splits(0, lines(&["hello world"]), 1)).unwrap();
+        job.initial_run(make_splits(0, lines(&["hello world"]), 1))
+            .unwrap();
         assert_eq!(job.window_splits(), 1);
         assert!(job.memo_footprint_bytes() > 0);
         assert!(format!("{job:?}").contains("WindowedJob"));

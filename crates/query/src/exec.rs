@@ -3,9 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use slider_mapreduce::{
-    JobConfig, JobError, Pipeline, PipelineRunResult, Split,
-};
+use slider_mapreduce::{JobConfig, JobError, Pipeline, PipelineRunResult, Split};
 
 use crate::plan::{Query, QueryOp, Row};
 use crate::stage::RowStage;
@@ -52,6 +50,13 @@ pub type QueryRunStats = PipelineRunResult;
 /// Obtained from [`Query::compile`]; drive it with
 /// [`QueryExecutor::initial_run`] / [`QueryExecutor::advance`] and read
 /// [`QueryExecutor::rows`].
+///
+/// Execution runs on the pipeline's shared partition-sharded runtime
+/// ([`slider_mapreduce::Runtime`]): the window-facing first job
+/// parallelizes across its reduce partitions and every inner job across
+/// its change-detection buckets and dirty keys. The worker count comes
+/// from [`JobConfig::with_threads`] (or the `SLIDER_THREADS` environment
+/// variable) and never affects query answers or metered work.
 #[derive(Debug)]
 pub struct QueryExecutor {
     pipeline: Pipeline<RowStage>,
@@ -92,8 +97,7 @@ impl Query {
 
         let mut iter = jobs.into_iter();
         let (first_mappers, first_blocking) = iter.next().expect("at least one job");
-        let mut pipeline =
-            Pipeline::new(RowStage::new(first_mappers, first_blocking), config)?;
+        let mut pipeline = Pipeline::new(RowStage::new(first_mappers, first_blocking), config)?;
         for (i, (mappers, blocking)) in iter.enumerate() {
             pipeline = pipeline.add_stage(
                 format!("stage-{}", i + 2),
@@ -138,6 +142,11 @@ impl QueryExecutor {
     pub fn rows(&self) -> Vec<Row> {
         self.pipeline.final_rows()
     }
+
+    /// Worker threads the underlying runtime uses for this query.
+    pub fn runtime_threads(&self) -> usize {
+        self.pipeline.runtime().threads()
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +158,13 @@ mod tests {
     fn views(n: i64) -> Vec<Row> {
         // [user, page, revenue]
         (0..n)
-            .map(|i| vec![Field::Int(i % 5), Field::Int(i % 3), Field::Int(10 * (i % 7))])
+            .map(|i| {
+                vec![
+                    Field::Int(i % 5),
+                    Field::Int(i % 3),
+                    Field::Int(10 * (i % 7)),
+                ]
+            })
             .collect()
     }
 
@@ -165,12 +180,16 @@ mod tests {
     fn single_job_group_by_matches_reference() {
         let query = Query::load().group_by(vec![1], vec![AggFn::Sum(2)]);
         let mut exec = query
-            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .compile(
+                JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+                4,
+            )
             .unwrap();
         assert_eq!(exec.jobs(), 1);
 
         let data = views(30);
-        exec.initial_run(make_splits(0, data[0..20].to_vec(), 5)).unwrap();
+        exec.initial_run(make_splits(0, data[0..20].to_vec(), 5))
+            .unwrap();
         let expected = reference_group_sum(&data[0..20]);
         let got: std::collections::BTreeMap<i64, i64> = exec
             .rows()
@@ -180,7 +199,8 @@ mod tests {
         assert_eq!(got, expected);
 
         // Slide.
-        exec.advance(1, make_splits(100, data[20..30].to_vec(), 5)).unwrap();
+        exec.advance(1, make_splits(100, data[20..30].to_vec(), 5))
+            .unwrap();
         let expected = reference_group_sum(&data[5..30]);
         let got: std::collections::BTreeMap<i64, i64> = exec
             .rows()
@@ -202,7 +222,10 @@ mod tests {
             .group_by(vec![1], vec![AggFn::Sum(2)])
             .top_k(1, 2, true);
         let mut exec = query
-            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .compile(
+                JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+                4,
+            )
             .unwrap();
         assert_eq!(exec.jobs(), 2);
 
@@ -210,15 +233,17 @@ mod tests {
         exec.initial_run(make_splits(0, data.clone(), 8)).unwrap();
 
         // Reference: same computation in plain Rust.
-        let filtered: Vec<Row> =
-            data.iter().filter(|r| r[0].as_int().unwrap() >= 1).cloned().collect();
+        let filtered: Vec<Row> = data
+            .iter()
+            .filter(|r| r[0].as_int().unwrap() >= 1)
+            .cloned()
+            .collect();
         let sums = reference_group_sum(&filtered);
         let mut ranked: Vec<(i64, i64)> = sums.into_iter().map(|(p, s)| (s, p)).collect();
         ranked.sort_by(|a, b| b.cmp(a));
         let expected: Vec<i64> = ranked.iter().take(2).map(|(s, _)| *s).collect();
 
-        let got: Vec<i64> =
-            exec.rows().iter().map(|r| r[1].as_int().unwrap()).collect();
+        let got: Vec<i64> = exec.rows().iter().map(|r| r[1].as_int().unwrap()).collect();
         assert_eq!(got, expected);
     }
 
@@ -232,14 +257,45 @@ mod tests {
                 .compile(JobConfig::new(mode).with_partitions(2), 4)
                 .unwrap();
             let data = views(60);
-            exec.initial_run(make_splits(0, data[0..40].to_vec(), 10)).unwrap();
-            exec.advance(1, make_splits(100, data[40..50].to_vec(), 10)).unwrap();
+            exec.initial_run(make_splits(0, data[0..40].to_vec(), 10))
+                .unwrap();
+            exec.advance(1, make_splits(100, data[40..50].to_vec(), 10))
+                .unwrap();
             let mut rows = exec.rows();
             rows.sort();
             rows
         };
         assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_folding()));
         assert_eq!(run(ExecMode::Recompute), run(ExecMode::Strawman));
+    }
+
+    #[test]
+    fn query_answers_do_not_depend_on_thread_count() {
+        let query = Query::load()
+            .group_by(vec![0], vec![AggFn::Sum(2)])
+            .top_k(1, 3, true);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut exec = query
+                .compile(
+                    JobConfig::new(ExecMode::slider_folding())
+                        .with_partitions(3)
+                        .with_threads(threads),
+                    4,
+                )
+                .unwrap();
+            assert_eq!(exec.runtime_threads(), threads);
+            let data = views(60);
+            let initial = exec
+                .initial_run(make_splits(0, data[0..40].to_vec(), 10))
+                .unwrap();
+            let update = exec
+                .advance(1, make_splits(100, data[40..60].to_vec(), 10))
+                .unwrap();
+            runs.push((exec.rows(), format!("{initial:?} {update:?}")));
+        }
+        assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+        assert_eq!(runs[0], runs[2], "1 vs 4 threads");
     }
 
     #[test]
@@ -255,7 +311,10 @@ mod tests {
     fn distinct_deduplicates_across_slides() {
         let query = Query::load().distinct(vec![0]);
         let mut exec = query
-            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .compile(
+                JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+                4,
+            )
             .unwrap();
         let rows: Vec<Row> = vec![
             vec![Field::Int(1)],
@@ -266,7 +325,14 @@ mod tests {
         exec.initial_run(make_splits(0, rows, 2)).unwrap();
         let mut got = exec.rows();
         got.sort();
-        assert_eq!(got, vec![vec![Field::Int(1)], vec![Field::Int(2)], vec![Field::Int(3)]]);
+        assert_eq!(
+            got,
+            vec![
+                vec![Field::Int(1)],
+                vec![Field::Int(2)],
+                vec![Field::Int(3)]
+            ]
+        );
 
         // Remove the split containing both 1s: key 1 disappears.
         exec.advance(1, vec![]).unwrap();

@@ -60,7 +60,10 @@ pub fn parse_script(script: &str, tables: &TableRegistry) -> Result<Query, Parse
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| ParseError { line: line_no, message };
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
         let statement = line
             .strip_suffix(';')
             .ok_or_else(|| err("statement must end with ';'".into()))?;
@@ -144,13 +147,19 @@ pub fn parse_script(script: &str, tables: &TableRegistry) -> Result<Query, Parse
             other => return Err(err(format!("unknown operator '{other}'"))),
         }
         if !tokens.at_end() {
-            return Err(err(format!("unexpected trailing input: '{}'", tokens.rest())));
+            return Err(err(format!(
+                "unexpected trailing input: '{}'",
+                tokens.rest()
+            )));
         }
         previous_alias = Some(alias);
     }
 
     if previous_alias.is_none() {
-        return Err(ParseError { line: 1, message: "empty script".into() });
+        return Err(ParseError {
+            line: 1,
+            message: "empty script".into(),
+        });
     }
     Ok(query)
 }
@@ -224,7 +233,10 @@ fn parse_expr(tokens: &mut Tokenizer<'_>) -> Result<Expr, String> {
     if let Some(s) = tokens.try_string() {
         return Ok(Expr::Lit(Field::Str(s)));
     }
-    Err(format!("expected $column, integer, or 'string' (at '{}')", tokens.rest()))
+    Err(format!(
+        "expected $column, integer, or 'string' (at '{}')",
+        tokens.rest()
+    ))
 }
 
 /// `or := and (OR and)*`
@@ -233,7 +245,11 @@ fn parse_or(tokens: &mut Tokenizer<'_>) -> Result<Predicate, String> {
     while tokens.try_keyword("OR") {
         terms.push(parse_and(tokens)?);
     }
-    Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::Or(terms) })
+    Ok(if terms.len() == 1 {
+        terms.pop().expect("one term")
+    } else {
+        Predicate::Or(terms)
+    })
 }
 
 /// `and := cmp (AND cmp)*`
@@ -242,7 +258,11 @@ fn parse_and(tokens: &mut Tokenizer<'_>) -> Result<Predicate, String> {
     while tokens.try_keyword("AND") {
         terms.push(parse_cmp(tokens)?);
     }
-    Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::And(terms) })
+    Ok(if terms.len() == 1 {
+        terms.pop().expect("one term")
+    } else {
+        Predicate::And(terms)
+    })
 }
 
 /// `cmp := '(' or ')' | expr op expr`
@@ -287,7 +307,10 @@ impl<'a> Tokenizer<'a> {
     fn ident(&mut self) -> Result<String, String> {
         self.skip_ws();
         let rest = &self.input[self.pos..];
-        let len = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').count();
+        let len = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .count();
         if len == 0 {
             return Err(format!("expected identifier at '{}'", self.rest()));
         }
@@ -364,13 +387,17 @@ impl<'a> Tokenizer<'a> {
         let rest = &self.input[self.pos..];
         let negative = rest.starts_with('-');
         let digits_start = usize::from(negative);
-        let len = rest[digits_start..].chars().take_while(char::is_ascii_digit).count();
+        let len = rest[digits_start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .count();
         if len == 0 {
             return Err(format!("expected integer at '{}'", self.rest()));
         }
         let text = &rest[..digits_start + len];
         self.pos += text.len();
-        text.parse().map_err(|e| format!("bad integer '{text}': {e}"))
+        text.parse()
+            .map_err(|e| format!("bad integer '{text}': {e}"))
     }
 
     fn try_integer(&mut self) -> Option<i64> {
@@ -387,7 +414,9 @@ impl<'a> Tokenizer<'a> {
     fn string(&mut self) -> Result<String, String> {
         self.punct('\'')?;
         let rest = &self.input[self.pos..];
-        let end = rest.find('\'').ok_or_else(|| "unterminated string".to_string())?;
+        let end = rest
+            .find('\'')
+            .ok_or_else(|| "unterminated string".to_string())?;
         let out = rest[..end].to_string();
         self.pos += end + 1;
         Ok(out)
@@ -480,7 +509,10 @@ mod tests {
         ";
         let query = parse_script(script, &TableRegistry::new()).unwrap();
         let mut exec = query
-            .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+            .compile(
+                JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+                4,
+            )
             .unwrap();
         let rows: Vec<Row> = [-1i64, 2, 2, 2, 3, 3, 5]
             .iter()
@@ -520,8 +552,7 @@ mod tests {
 
     #[test]
     fn unknown_table_and_missing_load_are_rejected() {
-        let err = parse_script("a = LOAD 'r';\nj = JOIN a BY $0, nope;", &registry())
-            .unwrap_err();
+        let err = parse_script("a = LOAD 'r';\nj = JOIN a BY $0, nope;", &registry()).unwrap_err();
         assert!(err.message.contains("unknown join table"));
 
         let err = parse_script("a = FILTER x BY $0 > 1;", &registry()).unwrap_err();

@@ -108,10 +108,16 @@ mod tests {
 
     #[test]
     fn all_queries_compile_and_run_incrementally() {
-        let cfg = PageViewConfig { users: 50, pages: 30, skew: 1.0 };
+        let cfg = PageViewConfig {
+            users: 50,
+            pages: 30,
+            skew: 1.0,
+        };
         let users = generate_users(0, &cfg);
-        let views: Vec<Row> =
-            generate_views(1, &cfg, 0, 300).iter().map(pageview_row).collect();
+        let views: Vec<Row> = generate_views(1, &cfg, 0, 300)
+            .iter()
+            .map(pageview_row)
+            .collect();
 
         for pq in pigmix_queries(&users) {
             let run = |mode| {
@@ -119,8 +125,10 @@ mod tests {
                     .query
                     .compile(JobConfig::new(mode).with_partitions(2), 8)
                     .unwrap();
-                exec.initial_run(make_splits(0, views[0..200].to_vec(), 20)).unwrap();
-                exec.advance(2, make_splits(100, views[200..240].to_vec(), 20)).unwrap();
+                exec.initial_run(make_splits(0, views[0..200].to_vec(), 20))
+                    .unwrap();
+                exec.advance(2, make_splits(100, views[200..240].to_vec(), 20))
+                    .unwrap();
                 exec.rows()
             };
             let vanilla = run(ExecMode::Recompute);
@@ -147,7 +155,13 @@ mod tests {
 
     #[test]
     fn pageview_row_schema() {
-        let v = PageView { user: 1, page: 2, time: 3, bytes: 4, revenue_micros: 5 };
+        let v = PageView {
+            user: 1,
+            page: 2,
+            time: 3,
+            bytes: 4,
+            revenue_micros: 5,
+        };
         assert_eq!(
             pageview_row(&v),
             vec![

@@ -184,7 +184,10 @@ pub enum QueryOp {
 impl QueryOp {
     /// Whether this operator terminates a MapReduce job.
     pub fn is_blocking(&self) -> bool {
-        matches!(self, QueryOp::GroupBy { .. } | QueryOp::Distinct(_) | QueryOp::TopK { .. })
+        matches!(
+            self,
+            QueryOp::GroupBy { .. } | QueryOp::Distinct(_) | QueryOp::TopK { .. }
+        )
     }
 }
 
@@ -217,7 +220,10 @@ impl Query {
 
     /// Appends a broadcast join against a static table.
     pub fn join_static(mut self, table: HashMap<Field, Vec<Row>>, key_col: usize) -> Self {
-        self.ops.push(QueryOp::JoinStatic { table: Arc::new(table), key_col });
+        self.ops.push(QueryOp::JoinStatic {
+            table: Arc::new(table),
+            key_col,
+        });
         self
     }
 
@@ -257,11 +263,19 @@ mod tests {
     #[test]
     fn predicates_evaluate() {
         let row: Row = vec![Field::Int(5), Field::Str("x".into())];
-        let p = Predicate::Cmp { left: Expr::Col(0), op: CmpOp::Gt, right: Expr::Lit(Field::Int(3)) };
+        let p = Predicate::Cmp {
+            left: Expr::Col(0),
+            op: CmpOp::Gt,
+            right: Expr::Lit(Field::Int(3)),
+        };
         assert!(p.eval(&row));
         let and = Predicate::And(vec![
             p.clone(),
-            Predicate::Cmp { left: Expr::Col(1), op: CmpOp::Eq, right: Expr::Lit("y".into()) },
+            Predicate::Cmp {
+                left: Expr::Col(1),
+                op: CmpOp::Eq,
+                right: Expr::Lit("y".into()),
+            },
         ]);
         assert!(!and.eval(&row));
         let or = Predicate::Or(vec![and.clone(), p]);

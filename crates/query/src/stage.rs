@@ -29,7 +29,9 @@ pub enum AggState {
 impl AggState {
     fn init(agg: AggFn, row: &Row) -> AggState {
         let col = |i: usize| -> i64 {
-            row[i].as_int().expect("aggregate over a non-integer column")
+            row[i]
+                .as_int()
+                .expect("aggregate over a non-integer column")
         };
         match agg {
             AggFn::Count => AggState::Count(1),
@@ -75,9 +77,16 @@ pub enum QValue {
 /// The blocking operator implemented by a stage's reduce side.
 #[derive(Debug, Clone)]
 enum Grouping {
-    GroupBy { cols: Vec<usize>, aggs: Vec<AggFn> },
+    GroupBy {
+        cols: Vec<usize>,
+        aggs: Vec<AggFn>,
+    },
     Distinct(Vec<usize>),
-    TopK { col: usize, k: usize, desc: bool },
+    TopK {
+        col: usize,
+        k: usize,
+        desc: bool,
+    },
     /// Pass-through stage (query had trailing non-blocking operators).
     Collect,
 }
@@ -105,7 +114,10 @@ impl RowStage {
             Some(QueryOp::TopK { col, k, desc }) => Grouping::TopK { col, k, desc },
             Some(op) => panic!("operator {op:?} does not end a job"),
         };
-        RowStage { mappers: Arc::new(mappers), grouping }
+        RowStage {
+            mappers: Arc::new(mappers),
+            grouping,
+        }
     }
 
     /// Applies the fused map-side operators to one row.
@@ -242,9 +254,9 @@ impl MapReduceApp for RowStage {
             (Grouping::TopK { .. }, QValue::TopK(rows)) => {
                 rows.into_iter().map(|(_, row)| row).collect()
             }
-            (Grouping::Collect, QValue::Count(c)) => {
-                std::iter::repeat_with(|| key.clone()).take(c as usize).collect()
-            }
+            (Grouping::Collect, QValue::Count(c)) => std::iter::repeat_with(|| key.clone())
+                .take(c as usize)
+                .collect(),
             (g, v) => panic!("grouping {g:?} received incompatible value {v:?}"),
         }
     }
@@ -308,7 +320,10 @@ mod tests {
                     right: Expr::Lit(Field::Int(0)),
                 }),
                 QueryOp::Project(vec![Expr::Col(0)]),
-                QueryOp::JoinStatic { table: Arc::new(table), key_col: 0 },
+                QueryOp::JoinStatic {
+                    table: Arc::new(table),
+                    key_col: 0,
+                },
             ],
             None,
         );
@@ -330,7 +345,13 @@ mod tests {
             vec![],
             Some(QueryOp::GroupBy {
                 cols: vec![0],
-                aggs: vec![AggFn::Count, AggFn::Sum(1), AggFn::Min(1), AggFn::Max(1), AggFn::Avg(1)],
+                aggs: vec![
+                    AggFn::Count,
+                    AggFn::Sum(1),
+                    AggFn::Min(1),
+                    AggFn::Max(1),
+                    AggFn::Avg(1),
+                ],
             }),
         );
         let mut emitted = Vec::new();
@@ -343,8 +364,14 @@ mod tests {
 
     #[test]
     fn topk_merge_respects_order_and_bound() {
-        let a = vec![(Field::Int(9), int_row(&[9])), (Field::Int(5), int_row(&[5]))];
-        let b = vec![(Field::Int(7), int_row(&[7])), (Field::Int(1), int_row(&[1]))];
+        let a = vec![
+            (Field::Int(9), int_row(&[9])),
+            (Field::Int(5), int_row(&[5])),
+        ];
+        let b = vec![
+            (Field::Int(7), int_row(&[7])),
+            (Field::Int(1), int_row(&[1])),
+        ];
         let merged = RowStage::merge_topk(&a, &b, 3, true);
         let keys: Vec<i64> = merged.iter().map(|(f, _)| f.as_int().unwrap()).collect();
         assert_eq!(keys, vec![9, 7, 5]);

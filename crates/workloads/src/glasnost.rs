@@ -35,8 +35,9 @@ impl TestTrace {
 /// window sizes (4033, 4862, 5627, 5358, 4715, 4325, 4384, 4777, 6536) and
 /// window-change sizes (1976, 1941, 1441, 1333, 1551, 1500, 1726, 3310) —
 /// the two series are mutually consistent and pin the monthly counts.
-pub const TABLE3_MONTHLY_TESTS: [usize; 11] =
-    [1147, 1176, 1710, 1976, 1941, 1441, 1333, 1551, 1500, 1726, 3310];
+pub const TABLE3_MONTHLY_TESTS: [usize; 11] = [
+    1147, 1176, 1710, 1976, 1941, 1441, 1333, 1551, 1500, 1726, 3310,
+];
 
 /// Generator configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +52,11 @@ pub struct GlasnostConfig {
 
 impl Default for GlasnostConfig {
     fn default() -> Self {
-        GlasnostConfig { servers: 4, clients: 800, samples_per_test: 20 }
+        GlasnostConfig {
+            servers: 4,
+            clients: 800,
+            samples_per_test: 20,
+        }
     }
 }
 
@@ -70,8 +75,9 @@ pub fn generate_months(
 ) -> Vec<Vec<TestTrace>> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x91a5);
     // Stable per-client base latency: distance to the server.
-    let base_rtt: Vec<f64> =
-        (0..config.clients).map(|_| 5.0 + rng.gen::<f64>() * 120.0).collect();
+    let base_rtt: Vec<f64> = (0..config.clients)
+        .map(|_| 5.0 + rng.gen::<f64>() * 120.0)
+        .collect();
     counts
         .iter()
         .enumerate()
@@ -84,7 +90,12 @@ pub fn generate_months(
                     let rtts_ms = (0..config.samples_per_test)
                         .map(|_| base + rng.gen::<f64>() * 40.0)
                         .collect();
-                    TestTrace { server, client, month: month as u32, rtts_ms }
+                    TestTrace {
+                        server,
+                        client,
+                        month: month as u32,
+                        rtts_ms,
+                    }
                 })
                 .collect()
         })
@@ -98,7 +109,10 @@ mod tests {
     #[test]
     fn counts_match_request() {
         let months = generate_months(1, &GlasnostConfig::default(), &[5, 7, 0]);
-        assert_eq!(months.iter().map(Vec::len).collect::<Vec<_>>(), vec![5, 7, 0]);
+        assert_eq!(
+            months.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![5, 7, 0]
+        );
     }
 
     #[test]
@@ -114,7 +128,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = GlasnostConfig::default();
-        assert_eq!(generate_months(9, &cfg, &[8]), generate_months(9, &cfg, &[8]));
+        assert_eq!(
+            generate_months(9, &cfg, &[8]),
+            generate_months(9, &cfg, &[8])
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub struct NetSessionConfig {
 
 impl Default for NetSessionConfig {
     fn default() -> Self {
-        NetSessionConfig { clients: 2_000, mean_entries: 40, tamper_rate: 0.01 }
+        NetSessionConfig {
+            clients: 2_000,
+            mean_entries: 40,
+            tamper_rate: 0.01,
+        }
     }
 }
 
@@ -68,7 +72,13 @@ pub fn generate_week(
             let entries = rng.gen_range(1..=config.mean_entries * 2);
             let digest = rng.gen::<u64>();
             let chain_ok = !rng.gen_bool(config.tamper_rate);
-            Some(ClientLog { client, week, entries, digest, chain_ok })
+            Some(ClientLog {
+                client,
+                week,
+                entries,
+                digest,
+                chain_ok,
+            })
         })
         .collect()
 }
@@ -82,7 +92,10 @@ mod tests {
 
     #[test]
     fn upload_fraction_thins_the_week() {
-        let cfg = NetSessionConfig { clients: 4_000, ..Default::default() };
+        let cfg = NetSessionConfig {
+            clients: 4_000,
+            ..Default::default()
+        };
         let full = generate_week(7, &cfg, 0, 1.0).len();
         let three_quarters = generate_week(7, &cfg, 0, 0.75).len();
         assert_eq!(full, 4_000);
@@ -93,13 +106,23 @@ mod tests {
     #[test]
     fn deterministic_per_seed_and_week() {
         let cfg = NetSessionConfig::default();
-        assert_eq!(generate_week(1, &cfg, 3, 0.9), generate_week(1, &cfg, 3, 0.9));
-        assert_ne!(generate_week(1, &cfg, 3, 0.9), generate_week(1, &cfg, 4, 0.9));
+        assert_eq!(
+            generate_week(1, &cfg, 3, 0.9),
+            generate_week(1, &cfg, 3, 0.9)
+        );
+        assert_ne!(
+            generate_week(1, &cfg, 3, 0.9),
+            generate_week(1, &cfg, 4, 0.9)
+        );
     }
 
     #[test]
     fn tampered_logs_appear_at_the_configured_rate() {
-        let cfg = NetSessionConfig { clients: 20_000, tamper_rate: 0.05, ..Default::default() };
+        let cfg = NetSessionConfig {
+            clients: 20_000,
+            tamper_rate: 0.05,
+            ..Default::default()
+        };
         let logs = generate_week(3, &cfg, 0, 1.0);
         let bad = logs.iter().filter(|l| !l.chain_ok).count() as f64 / logs.len() as f64;
         assert!((0.03..=0.07).contains(&bad), "tamper rate {bad}");

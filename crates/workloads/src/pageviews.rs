@@ -50,7 +50,11 @@ pub struct PageViewConfig {
 
 impl Default for PageViewConfig {
     fn default() -> Self {
-        PageViewConfig { users: 1_000, pages: 500, skew: 1.02 }
+        PageViewConfig {
+            users: 1_000,
+            pages: 500,
+            skew: 1.02,
+        }
     }
 }
 
@@ -106,7 +110,10 @@ mod tests {
 
     #[test]
     fn users_cover_the_population_once() {
-        let cfg = PageViewConfig { users: 64, ..Default::default() };
+        let cfg = PageViewConfig {
+            users: 64,
+            ..Default::default()
+        };
         let users = generate_users(0, &cfg);
         assert_eq!(users.len(), 64);
         let distinct: std::collections::HashSet<u32> = users.iter().map(|u| u.user).collect();

@@ -45,7 +45,9 @@ impl Point {
 pub fn generate_points(seed: u64, count: usize, dims: usize) -> Vec<Point> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x90_17);
     (0..count)
-        .map(|_| Point { coords: (0..dims).map(|_| rng.gen::<f64>()).collect() })
+        .map(|_| Point {
+            coords: (0..dims).map(|_| rng.gen::<f64>()).collect(),
+        })
         .collect()
 }
 
@@ -94,8 +96,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn mixed_dims_panic() {
-        let a = Point { coords: vec![0.0; 2] };
-        let b = Point { coords: vec![0.0; 3] };
+        let a = Point {
+            coords: vec![0.0; 2],
+        };
+        let b = Point {
+            coords: vec![0.0; 3],
+        };
         let _ = a.distance2(&b);
     }
 }

@@ -21,7 +21,11 @@ pub struct TextConfig {
 
 impl Default for TextConfig {
     fn default() -> Self {
-        TextConfig { vocabulary: 5_000, zipf_exponent: 1.05, words_per_doc: 40 }
+        TextConfig {
+            vocabulary: 5_000,
+            zipf_exponent: 1.05,
+            words_per_doc: 40,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl ZipfSampler {
     /// Samples a rank in `0..n`.
     pub fn sample(&self, rng: &mut impl rand::Rng) -> usize {
         let u: f64 = rng.gen();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -65,7 +72,10 @@ impl ZipfSampler {
 impl Distribution<usize> for ZipfSampler {
     fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -100,8 +110,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let config = TextConfig::default();
-        assert_eq!(generate_documents(1, 5, &config), generate_documents(1, 5, &config));
-        assert_ne!(generate_documents(1, 5, &config), generate_documents(2, 5, &config));
+        assert_eq!(
+            generate_documents(1, 5, &config),
+            generate_documents(1, 5, &config)
+        );
+        assert_ne!(
+            generate_documents(1, 5, &config),
+            generate_documents(2, 5, &config)
+        );
     }
 
     #[test]
@@ -116,12 +132,20 @@ mod tests {
             }
         }
         // The top-10 ranks should dominate far beyond the uniform 1%.
-        assert!(head as f64 / n as f64 > 0.3, "head fraction {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "head fraction {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]
     fn documents_have_requested_length() {
-        let config = TextConfig { vocabulary: 10, zipf_exponent: 1.0, words_per_doc: 7 };
+        let config = TextConfig {
+            vocabulary: 10,
+            zipf_exponent: 1.0,
+            words_per_doc: 7,
+        };
         let docs = generate_documents(3, 2, &config);
         for doc in docs {
             assert_eq!(doc.split_whitespace().count(), 7);

@@ -86,7 +86,12 @@ pub struct TwitterConfig {
 
 impl Default for TwitterConfig {
     fn default() -> Self {
-        TwitterConfig { users: 2_000, avg_follows: 8, urls: 200, repost_probability: 0.3 }
+        TwitterConfig {
+            users: 2_000,
+            avg_follows: 8,
+            urls: 200,
+            repost_probability: 0.3,
+        }
     }
 }
 
@@ -197,7 +202,10 @@ pub fn generate(seed: u64, config: &TwitterConfig, tweet_count: usize) -> Twitte
         tweets.push(tweet);
     }
 
-    TwitterDataset { graph: Arc::new(FollowGraph { follows }), tweets }
+    TwitterDataset {
+        graph: Arc::new(FollowGraph { follows }),
+        tweets,
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +213,16 @@ mod tests {
     use super::*;
 
     fn small() -> TwitterDataset {
-        generate(11, &TwitterConfig { users: 100, avg_follows: 4, urls: 20, repost_probability: 0.4 }, 500)
+        generate(
+            11,
+            &TwitterConfig {
+                users: 100,
+                avg_follows: 4,
+                urls: 20,
+                repost_probability: 0.4,
+            },
+            500,
+        )
     }
 
     #[test]

@@ -12,12 +12,17 @@ use slider_mapreduce::{make_splits, ExecMode, JobConfig, Split, WindowedJob};
 use slider_workloads::glasnost::{generate_months, GlasnostConfig, TABLE3_MONTHLY_TESTS};
 
 const SPLITS_PER_MONTH: usize = 8;
-const MONTHS: [&str; 11] =
-    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov"];
+const MONTHS: [&str; 11] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthetic test traces with the paper's Table 3 monthly volumes.
-    let config = GlasnostConfig { servers: 4, clients: 500, samples_per_test: 20 };
+    let config = GlasnostConfig {
+        servers: 4,
+        clients: 500,
+        samples_per_test: 20,
+    };
     let months = generate_months(7, &config, &TABLE3_MONTHLY_TESTS);
 
     // Window = 3 month-buckets of SPLITS_PER_MONTH splits each.
@@ -33,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let per_split = traces.len().div_ceil(SPLITS_PER_MONTH);
         let mut splits = make_splits(next_id, traces.clone(), per_split);
         while splits.len() < SPLITS_PER_MONTH {
-            splits.push(Split::from_records(next_id + splits.len() as u64, Vec::new()));
+            splits.push(Split::from_records(
+                next_id + splits.len() as u64,
+                Vec::new(),
+            ));
         }
         next_id += SPLITS_PER_MONTH as u64;
         splits
@@ -63,5 +71,8 @@ fn print_medians(window: &str, job: &WindowedJob<GlasnostMonitor>) {
         .iter()
         .map(|(server, median)| format!("server {server}: {median:.1}ms"))
         .collect();
-    println!("{window}: median min-RTT per measurement server — {}", medians.join(", "));
+    println!(
+        "{window}: median min-RTT per measurement server — {}",
+        medians.join(", ")
+    );
 }

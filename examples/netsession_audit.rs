@@ -18,7 +18,11 @@ use slider_mapreduce::{ExecMode, JobConfig, WindowFeeder, WindowedJob};
 use slider_workloads::netsession::{generate_week, NetSessionConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = NetSessionConfig { clients: 3_000, mean_entries: 25, tamper_rate: 0.02 };
+    let config = NetSessionConfig {
+        clients: 3_000,
+        mean_entries: 25,
+        tamper_rate: 0.02,
+    };
     let job = WindowedJob::new(
         NetSessionAudit::new(),
         JobConfig::new(ExecMode::slider_folding())

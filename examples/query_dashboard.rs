@@ -16,10 +16,16 @@ use slider_query::{pageview_row, parse_script, user_table, Row, TableRegistry};
 use slider_workloads::pageviews::{generate_users, generate_views, PageViewConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = PageViewConfig { users: 600, pages: 300, skew: 1.05 };
+    let cfg = PageViewConfig {
+        users: 600,
+        pages: 300,
+        skew: 1.05,
+    };
     let users = generate_users(0, &cfg);
-    let views: Vec<Row> =
-        generate_views(3, &cfg, 0, 12_000).iter().map(pageview_row).collect();
+    let views: Vec<Row> = generate_views(3, &cfg, 0, 12_000)
+        .iter()
+        .map(pageview_row)
+        .collect();
 
     // The dashboard query, written in the Pig-Latin-like dialect. Page-view
     // schema: $0 user, $1 page, $2 time, $3 bytes, $4 revenue; the join

@@ -50,14 +50,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let splits = make_splits(0, hours.iter().map(|s| s.to_string()).collect(), 1);
     let stats = job.initial_run(splits)?;
-    println!("initial window: {} splits, {} distinct words", 3, job.output().len());
+    println!(
+        "initial window: {} splits, {} distinct words",
+        3,
+        job.output().len()
+    );
     println!("  'error' count: {:?}", job.output().get("error"));
     println!("  initial work: {} units\n", stats.work.foreground_total());
 
     // The window slides: hour 1 falls out, hour 4 arrives.
     let next_hour = vec!["ok ok ok error".to_string()];
     let stats = job.advance(1, make_splits(10, next_hour, 1))?;
-    println!("after slide: 'error' count: {:?}", job.output().get("error"));
+    println!(
+        "after slide: 'error' count: {:?}",
+        job.output().get("error")
+    );
     println!("  update work: {} units", stats.work.foreground_total());
     println!(
         "  {} of {} map outputs reused, {} keys untouched",
@@ -68,13 +75,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare: how much work would recomputing from scratch have done?
     let mut vanilla = WindowedJob::new(WordCount, JobConfig::new(ExecMode::Recompute))?;
-    let hours_2_to_4 = ["ok ok error timeout on node seven", "ok deploy finished error gone", "ok ok ok error"];
+    let hours_2_to_4 = [
+        "ok ok error timeout on node seven",
+        "ok deploy finished error gone",
+        "ok ok ok error",
+    ];
     let v = vanilla.initial_run(make_splits(
         0,
         hours_2_to_4.iter().map(|s| s.to_string()).collect(),
         1,
     ))?;
-    assert_eq!(vanilla.output(), job.output(), "incremental result must be identical");
+    assert_eq!(
+        vanilla.output(),
+        job.output(),
+        "incremental result must be identical"
+    );
     println!(
         "\nvanilla recompute of the same window: {} units ({}x the incremental update)",
         v.work.foreground_total(),

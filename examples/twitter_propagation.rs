@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // attachment follower graph plus a tweet stream with URL cascades.
     let data = generate(
         42,
-        &TwitterConfig { users: 2_000, avg_follows: 8, urls: 150, repost_probability: 0.35 },
+        &TwitterConfig {
+            users: 2_000,
+            avg_follows: 8,
+            urls: 150,
+            repost_probability: 0.35,
+        },
         20_000,
     );
     println!(

@@ -1,0 +1,213 @@
+//! Std-only stand-in for the subset of the [`criterion`] crate API this
+//! workspace uses, so benchmarks build and run without network access.
+//!
+//! The workspace consumes it under the dependency name `criterion` (see the
+//! root `Cargo.toml`), so bench targets read exactly like the real crate:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `bench_with_input`,
+//! `b.iter(..)`, [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Measurement is deliberately simple — a warm-up loop followed by a timed
+//! loop sized by `measurement_time`, reporting the mean wall-clock time per
+//! iteration. There is no statistical analysis, outlier rejection, or HTML
+//! report; results print one line per benchmark.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; holds the timing configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget for the timed phase of each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the time budget for the warm-up phase of each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        self.run_one(&id, f);
+    }
+
+    fn run_one(&self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        println!("bench {label:<56} {:>14.1} ns/iter", bencher.mean_ns);
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without a parameter.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling until the
+    /// measurement budget is spent, and records the mean ns/iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Size each sample so `samples` of them roughly fill the budget.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let bench_start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            total_iters += iters_per_sample;
+            if bench_start.elapsed() > self.measurement * 2 {
+                break; // don't let a mis-estimated sample size run away
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring the real crate's
+/// two forms (`name/config/targets` and the positional short form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,211 @@
+//! Std-only stand-in for the subset of the [`rand`] crate API this
+//! workspace uses, so the repository builds without network access.
+//!
+//! The workspace consumes it under the dependency name `rand` (see the
+//! root `Cargo.toml`), so call sites read exactly like the real crate:
+//! `SmallRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`,
+//! `Rng::gen_bool`, and `distributions::Distribution`.
+//!
+//! The generator is SplitMix64 — deterministic, seedable, and plenty for
+//! synthetic workload generation and tests. Sequences differ from the real
+//! `rand` crate's `SmallRng`; nothing in this repository depends on the
+//! specific values, only on determinism and a reasonable distribution.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Random number generators.
+pub mod rngs {
+    /// A small, fast, seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            SmallRng { state }
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sampling values from a distribution object.
+pub mod distributions {
+    /// A distribution that can produce values of type `T` given a source of
+    /// randomness.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+/// A generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_state(seed)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce from one 64-bit draw.
+pub trait StandardSample {
+    /// Converts one uniform 64-bit draw into a value.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl StandardSample for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl StandardSample for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value in the range.
+    fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// The next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one value of `T` from the standard (uniform) distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_one(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl Rng for rngs::SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_their_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets of 0..5 hit");
+        for _ in 0..100 {
+            let v = rng.gen_range(3u64..=4);
+            assert!(v == 3 || v == 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw(rng: &mut impl Rng) -> u64 {
+            rng.gen()
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = draw(&mut rng);
+        let by_ref: &mut SmallRng = &mut rng;
+        let _ = draw(&mut &mut *by_ref);
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_geometry-e8408f296fbb32b4.d: crates/bench/benches/ablation_geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_geometry-e8408f296fbb32b4.rmeta: crates/bench/benches/ablation_geometry.rs Cargo.toml
+
+crates/bench/benches/ablation_geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallelism-b3c5e040534c80df.d: crates/bench/benches/ablation_parallelism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallelism-b3c5e040534c80df.rmeta: crates/bench/benches/ablation_parallelism.rs Cargo.toml
+
+crates/bench/benches/ablation_parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

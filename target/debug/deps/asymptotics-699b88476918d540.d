@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asymptotics-699b88476918d540.d: crates/core/tests/asymptotics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasymptotics-699b88476918d540.rmeta: crates/core/tests/asymptotics.rs Cargo.toml
+
+crates/core/tests/asymptotics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

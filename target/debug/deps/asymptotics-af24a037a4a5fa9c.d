@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asymptotics-af24a037a4a5fa9c.d: crates/core/tests/asymptotics.rs
+
+/root/repo/target/debug/deps/asymptotics-af24a037a4a5fa9c: crates/core/tests/asymptotics.rs
+
+crates/core/tests/asymptotics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_split_processing-776bd0f1448e0722.d: crates/bench/benches/fig11_split_processing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_split_processing-776bd0f1448e0722.rmeta: crates/bench/benches/fig11_split_processing.rs Cargo.toml
+
+crates/bench/benches/fig11_split_processing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_randomized-33c85f687f9e7234.d: crates/bench/benches/fig12_randomized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_randomized-33c85f687f9e7234.rmeta: crates/bench/benches/fig12_randomized.rs Cargo.toml
+
+crates/bench/benches/fig12_randomized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

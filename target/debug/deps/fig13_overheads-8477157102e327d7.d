@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_overheads-8477157102e327d7.d: crates/bench/benches/fig13_overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_overheads-8477157102e327d7.rmeta: crates/bench/benches/fig13_overheads.rs Cargo.toml
+
+crates/bench/benches/fig13_overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_speedup_vs_recompute-c9cc25a0b1116f00.d: crates/bench/benches/fig7_speedup_vs_recompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_speedup_vs_recompute-c9cc25a0b1116f00.rmeta: crates/bench/benches/fig7_speedup_vs_recompute.rs Cargo.toml
+
+crates/bench/benches/fig7_speedup_vs_recompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_speedup_vs_strawman-e931205ff898e16e.d: crates/bench/benches/fig8_speedup_vs_strawman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_speedup_vs_strawman-e931205ff898e16e.rmeta: crates/bench/benches/fig8_speedup_vs_strawman.rs Cargo.toml
+
+crates/bench/benches/fig8_speedup_vs_strawman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_breakdown-48a9b11429daa61c.d: crates/bench/benches/fig9_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_breakdown-48a9b11429daa61c.rmeta: crates/bench/benches/fig9_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig9_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_case_studies-8788adc127be6ceb.d: crates/bench/../../tests/integration_case_studies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_case_studies-8788adc127be6ceb.rmeta: crates/bench/../../tests/integration_case_studies.rs Cargo.toml
+
+crates/bench/../../tests/integration_case_studies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

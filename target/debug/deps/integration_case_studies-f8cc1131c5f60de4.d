@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_case_studies-f8cc1131c5f60de4.d: crates/bench/../../tests/integration_case_studies.rs
+
+/root/repo/target/debug/deps/integration_case_studies-f8cc1131c5f60de4: crates/bench/../../tests/integration_case_studies.rs
+
+crates/bench/../../tests/integration_case_studies.rs:

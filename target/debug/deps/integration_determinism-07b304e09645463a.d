@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_determinism-07b304e09645463a.d: crates/bench/../../tests/integration_determinism.rs
+
+/root/repo/target/debug/deps/integration_determinism-07b304e09645463a: crates/bench/../../tests/integration_determinism.rs
+
+crates/bench/../../tests/integration_determinism.rs:

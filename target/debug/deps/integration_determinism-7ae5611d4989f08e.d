@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_determinism-7ae5611d4989f08e.d: crates/bench/../../tests/integration_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_determinism-7ae5611d4989f08e.rmeta: crates/bench/../../tests/integration_determinism.rs Cargo.toml
+
+crates/bench/../../tests/integration_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_failures-309b2731a3f5482d.d: crates/bench/../../tests/integration_failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_failures-309b2731a3f5482d.rmeta: crates/bench/../../tests/integration_failures.rs Cargo.toml
+
+crates/bench/../../tests/integration_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_failures-9e728172f869d8d8.d: crates/bench/../../tests/integration_failures.rs
+
+/root/repo/target/debug/deps/integration_failures-9e728172f869d8d8: crates/bench/../../tests/integration_failures.rs
+
+crates/bench/../../tests/integration_failures.rs:

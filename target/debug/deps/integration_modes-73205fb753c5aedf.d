@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_modes-73205fb753c5aedf.d: crates/bench/../../tests/integration_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_modes-73205fb753c5aedf.rmeta: crates/bench/../../tests/integration_modes.rs Cargo.toml
+
+crates/bench/../../tests/integration_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_modes-a1b9291d8a678105.d: crates/bench/../../tests/integration_modes.rs
+
+/root/repo/target/debug/deps/integration_modes-a1b9291d8a678105: crates/bench/../../tests/integration_modes.rs
+
+crates/bench/../../tests/integration_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-dc5304745728f7b5.d: crates/bench/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-dc5304745728f7b5: crates/bench/../../tests/integration_pipeline.rs
+
+crates/bench/../../tests/integration_pipeline.rs:

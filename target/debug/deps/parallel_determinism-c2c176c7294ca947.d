@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-c2c176c7294ca947.d: crates/bench/../../tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-c2c176c7294ca947: crates/bench/../../tests/parallel_determinism.rs
+
+crates/bench/../../tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cache-103cae8fcbe97815.d: crates/dcache/tests/proptest_cache.rs
+
+/root/repo/target/debug/deps/proptest_cache-103cae8fcbe97815: crates/dcache/tests/proptest_cache.rs
+
+crates/dcache/tests/proptest_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cache-bdf491873956f75d.d: crates/dcache/tests/proptest_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cache-bdf491873956f75d.rmeta: crates/dcache/tests/proptest_cache.rs Cargo.toml
+
+crates/dcache/tests/proptest_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

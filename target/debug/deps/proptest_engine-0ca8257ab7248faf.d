@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-0ca8257ab7248faf.d: crates/bench/../../tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-0ca8257ab7248faf: crates/bench/../../tests/proptest_engine.rs
+
+crates/bench/../../tests/proptest_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_engine-ae153aa9aad402b4.d: crates/bench/../../tests/proptest_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_engine-ae153aa9aad402b4.rmeta: crates/bench/../../tests/proptest_engine.rs Cargo.toml
+
+crates/bench/../../tests/proptest_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

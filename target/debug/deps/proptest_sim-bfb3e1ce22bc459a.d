@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-bfb3e1ce22bc459a.d: crates/cluster/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-bfb3e1ce22bc459a: crates/cluster/tests/proptest_sim.rs
+
+crates/cluster/tests/proptest_sim.rs:

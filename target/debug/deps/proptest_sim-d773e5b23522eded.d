@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sim-d773e5b23522eded.d: crates/cluster/tests/proptest_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sim-d773e5b23522eded.rmeta: crates/cluster/tests/proptest_sim.rs Cargo.toml
+
+crates/cluster/tests/proptest_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_trees-4da86020dd1b0a1d.d: crates/core/tests/proptest_trees.rs
+
+/root/repo/target/debug/deps/proptest_trees-4da86020dd1b0a1d: crates/core/tests/proptest_trees.rs
+
+crates/core/tests/proptest_trees.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_trees-4e1bdd6173c6e1d1.d: crates/core/tests/proptest_trees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_trees-4e1bdd6173c6e1d1.rmeta: crates/core/tests/proptest_trees.rs Cargo.toml
+
+crates/core/tests/proptest_trees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

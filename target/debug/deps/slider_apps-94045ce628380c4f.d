@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/slider_apps-94045ce628380c4f.d: crates/apps/src/lib.rs crates/apps/src/glasnost.rs crates/apps/src/hct.rs crates/apps/src/kmeans.rs crates/apps/src/knn.rs crates/apps/src/matrix.rs crates/apps/src/netsession.rs crates/apps/src/substr.rs crates/apps/src/twitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_apps-94045ce628380c4f.rmeta: crates/apps/src/lib.rs crates/apps/src/glasnost.rs crates/apps/src/hct.rs crates/apps/src/kmeans.rs crates/apps/src/knn.rs crates/apps/src/matrix.rs crates/apps/src/netsession.rs crates/apps/src/substr.rs crates/apps/src/twitter.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/glasnost.rs:
+crates/apps/src/hct.rs:
+crates/apps/src/kmeans.rs:
+crates/apps/src/knn.rs:
+crates/apps/src/matrix.rs:
+crates/apps/src/netsession.rs:
+crates/apps/src/substr.rs:
+crates/apps/src/twitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

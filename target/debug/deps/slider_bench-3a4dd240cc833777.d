@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slider_bench-3a4dd240cc833777.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libslider_bench-3a4dd240cc833777.rlib: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libslider_bench-3a4dd240cc833777.rmeta: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/report.rs:

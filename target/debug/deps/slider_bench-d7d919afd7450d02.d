@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slider_bench-d7d919afd7450d02.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/slider_bench-d7d919afd7450d02: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/report.rs:

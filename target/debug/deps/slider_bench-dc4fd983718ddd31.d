@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slider_bench-dc4fd983718ddd31.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_bench-dc4fd983718ddd31.rmeta: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slider_cluster-4a5d1c2eafe3b8f4.d: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_cluster-4a5d1c2eafe3b8f4.rmeta: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/scheduler.rs:
+crates/cluster/src/simulator.rs:
+crates/cluster/src/task.rs:
+crates/cluster/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slider_cluster-5199bb72db9ff56e.d: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+/root/repo/target/debug/deps/libslider_cluster-5199bb72db9ff56e.rlib: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+/root/repo/target/debug/deps/libslider_cluster-5199bb72db9ff56e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/scheduler.rs:
+crates/cluster/src/simulator.rs:
+crates/cluster/src/task.rs:
+crates/cluster/src/topology.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/slider_core-8694084f29491d4d.d: crates/core/src/lib.rs crates/core/src/coalescing.rs crates/core/src/combiner.rs crates/core/src/error.rs crates/core/src/folding.rs crates/core/src/hash.rs crates/core/src/memo.rs crates/core/src/multilevel.rs crates/core/src/randomized.rs crates/core/src/rotating.rs crates/core/src/stats.rs crates/core/src/strawman.rs crates/core/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_core-8694084f29491d4d.rmeta: crates/core/src/lib.rs crates/core/src/coalescing.rs crates/core/src/combiner.rs crates/core/src/error.rs crates/core/src/folding.rs crates/core/src/hash.rs crates/core/src/memo.rs crates/core/src/multilevel.rs crates/core/src/randomized.rs crates/core/src/rotating.rs crates/core/src/stats.rs crates/core/src/strawman.rs crates/core/src/tree.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/coalescing.rs:
+crates/core/src/combiner.rs:
+crates/core/src/error.rs:
+crates/core/src/folding.rs:
+crates/core/src/hash.rs:
+crates/core/src/memo.rs:
+crates/core/src/multilevel.rs:
+crates/core/src/randomized.rs:
+crates/core/src/rotating.rs:
+crates/core/src/stats.rs:
+crates/core/src/strawman.rs:
+crates/core/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slider_criterion-178b766ecc90b5de.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_criterion-178b766ecc90b5de.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

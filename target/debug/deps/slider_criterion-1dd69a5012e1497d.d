@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slider_criterion-1dd69a5012e1497d.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/slider_criterion-1dd69a5012e1497d: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slider_criterion-54799aff041d034a.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libslider_criterion-54799aff041d034a.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libslider_criterion-54799aff041d034a.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slider_dcache-935a7ac4cfe41662.d: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+/root/repo/target/debug/deps/libslider_dcache-935a7ac4cfe41662.rlib: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+/root/repo/target/debug/deps/libslider_dcache-935a7ac4cfe41662.rmeta: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/gc.rs:
+crates/dcache/src/master.rs:
+crates/dcache/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slider_dcache-a329df4036a1c4bf.d: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+/root/repo/target/debug/deps/slider_dcache-a329df4036a1c4bf: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/gc.rs:
+crates/dcache/src/master.rs:
+crates/dcache/src/store.rs:

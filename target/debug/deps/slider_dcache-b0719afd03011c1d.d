@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slider_dcache-b0719afd03011c1d.d: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_dcache-b0719afd03011c1d.rmeta: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs Cargo.toml
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/gc.rs:
+crates/dcache/src/master.rs:
+crates/dcache/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/slider_mapreduce-044d9f5013220ed9.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs
+
+/root/repo/target/debug/deps/libslider_mapreduce-044d9f5013220ed9.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs
+
+/root/repo/target/debug/deps/libslider_mapreduce-044d9f5013220ed9.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/app.rs:
+crates/mapreduce/src/error.rs:
+crates/mapreduce/src/feeder.rs:
+crates/mapreduce/src/pipeline.rs:
+crates/mapreduce/src/runtime.rs:
+crates/mapreduce/src/shuffle.rs:
+crates/mapreduce/src/split.rs:
+crates/mapreduce/src/stats.rs:
+crates/mapreduce/src/windowed.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slider_mapreduce-79c2d54cd7e79213.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs
+
+/root/repo/target/debug/deps/slider_mapreduce-79c2d54cd7e79213: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/app.rs:
+crates/mapreduce/src/error.rs:
+crates/mapreduce/src/feeder.rs:
+crates/mapreduce/src/pipeline.rs:
+crates/mapreduce/src/runtime.rs:
+crates/mapreduce/src/shuffle.rs:
+crates/mapreduce/src/split.rs:
+crates/mapreduce/src/stats.rs:
+crates/mapreduce/src/windowed.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/slider_mapreduce-8658479a21c27460.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_mapreduce-8658479a21c27460.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/app.rs:
+crates/mapreduce/src/error.rs:
+crates/mapreduce/src/feeder.rs:
+crates/mapreduce/src/pipeline.rs:
+crates/mapreduce/src/runtime.rs:
+crates/mapreduce/src/shuffle.rs:
+crates/mapreduce/src/split.rs:
+crates/mapreduce/src/stats.rs:
+crates/mapreduce/src/windowed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slider_query-168d5513dd7acdaf.d: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+/root/repo/target/debug/deps/slider_query-168d5513dd7acdaf: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+crates/query/src/lib.rs:
+crates/query/src/exec.rs:
+crates/query/src/parser.rs:
+crates/query/src/pigmix.rs:
+crates/query/src/plan.rs:
+crates/query/src/stage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slider_query-89e924ff6f3262cc.d: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+/root/repo/target/debug/deps/libslider_query-89e924ff6f3262cc.rlib: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+/root/repo/target/debug/deps/libslider_query-89e924ff6f3262cc.rmeta: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+crates/query/src/lib.rs:
+crates/query/src/exec.rs:
+crates/query/src/parser.rs:
+crates/query/src/pigmix.rs:
+crates/query/src/plan.rs:
+crates/query/src/stage.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slider_query-e38cb33056fb8eb7.d: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_query-e38cb33056fb8eb7.rmeta: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/exec.rs:
+crates/query/src/parser.rs:
+crates/query/src/pigmix.rs:
+crates/query/src/plan.rs:
+crates/query/src/stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

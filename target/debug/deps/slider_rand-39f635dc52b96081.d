@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slider_rand-39f635dc52b96081.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/slider_rand-39f635dc52b96081: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

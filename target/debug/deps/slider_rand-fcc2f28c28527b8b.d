@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slider_rand-fcc2f28c28527b8b.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/libslider_rand-fcc2f28c28527b8b.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/libslider_rand-fcc2f28c28527b8b.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slider_workloads-97441763693609ae.d: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+/root/repo/target/debug/deps/libslider_workloads-97441763693609ae.rlib: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+/root/repo/target/debug/deps/libslider_workloads-97441763693609ae.rmeta: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/glasnost.rs:
+crates/workloads/src/netsession.rs:
+crates/workloads/src/pageviews.rs:
+crates/workloads/src/points.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/twitter.rs:

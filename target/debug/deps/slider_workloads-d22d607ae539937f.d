@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/slider_workloads-d22d607ae539937f.d: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslider_workloads-d22d607ae539937f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/glasnost.rs:
+crates/workloads/src/netsession.rs:
+crates/workloads/src/pageviews.rs:
+crates/workloads/src/points.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/twitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

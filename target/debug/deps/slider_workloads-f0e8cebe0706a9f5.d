@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slider_workloads-f0e8cebe0706a9f5.d: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+/root/repo/target/debug/deps/slider_workloads-f0e8cebe0706a9f5: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/glasnost.rs:
+crates/workloads/src/netsession.rs:
+crates/workloads/src/pageviews.rs:
+crates/workloads/src/points.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/twitter.rs:

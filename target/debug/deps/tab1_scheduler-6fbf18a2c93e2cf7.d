@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab1_scheduler-6fbf18a2c93e2cf7.d: crates/bench/benches/tab1_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab1_scheduler-6fbf18a2c93e2cf7.rmeta: crates/bench/benches/tab1_scheduler.rs Cargo.toml
+
+crates/bench/benches/tab1_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

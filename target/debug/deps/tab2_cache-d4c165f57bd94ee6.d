@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab2_cache-d4c165f57bd94ee6.d: crates/bench/benches/tab2_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab2_cache-d4c165f57bd94ee6.rmeta: crates/bench/benches/tab2_cache.rs Cargo.toml
+
+crates/bench/benches/tab2_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

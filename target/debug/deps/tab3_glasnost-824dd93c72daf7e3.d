@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab3_glasnost-824dd93c72daf7e3.d: crates/bench/benches/tab3_glasnost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab3_glasnost-824dd93c72daf7e3.rmeta: crates/bench/benches/tab3_glasnost.rs Cargo.toml
+
+crates/bench/benches/tab3_glasnost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

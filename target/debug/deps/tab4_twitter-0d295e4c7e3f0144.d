@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab4_twitter-0d295e4c7e3f0144.d: crates/bench/benches/tab4_twitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_twitter-0d295e4c7e3f0144.rmeta: crates/bench/benches/tab4_twitter.rs Cargo.toml
+
+crates/bench/benches/tab4_twitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab5_netsession-4087932a5a25bd90.d: crates/bench/benches/tab5_netsession.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab5_netsession-4087932a5a25bd90.rmeta: crates/bench/benches/tab5_netsession.rs Cargo.toml
+
+crates/bench/benches/tab5_netsession.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trees_criterion-a5397f386dea14d8.d: crates/bench/benches/trees_criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrees_criterion-a5397f386dea14d8.rmeta: crates/bench/benches/trees_criterion.rs Cargo.toml
+
+crates/bench/benches/trees_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/glasnost_monitoring-413372784892c026.d: crates/apps/../../examples/glasnost_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libglasnost_monitoring-413372784892c026.rmeta: crates/apps/../../examples/glasnost_monitoring.rs Cargo.toml
+
+crates/apps/../../examples/glasnost_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/glasnost_monitoring-8b0348f9716fc3e8.d: crates/apps/../../examples/glasnost_monitoring.rs
+
+/root/repo/target/debug/examples/glasnost_monitoring-8b0348f9716fc3e8: crates/apps/../../examples/glasnost_monitoring.rs
+
+crates/apps/../../examples/glasnost_monitoring.rs:

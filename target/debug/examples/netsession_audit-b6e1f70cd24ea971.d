@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netsession_audit-b6e1f70cd24ea971.d: crates/apps/../../examples/netsession_audit.rs
+
+/root/repo/target/debug/examples/netsession_audit-b6e1f70cd24ea971: crates/apps/../../examples/netsession_audit.rs
+
+crates/apps/../../examples/netsession_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/netsession_audit-fc08fb11a520b74e.d: crates/apps/../../examples/netsession_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetsession_audit-fc08fb11a520b74e.rmeta: crates/apps/../../examples/netsession_audit.rs Cargo.toml
+
+crates/apps/../../examples/netsession_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_dashboard-482e595224b9ea0f.d: crates/query/../../examples/query_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_dashboard-482e595224b9ea0f.rmeta: crates/query/../../examples/query_dashboard.rs Cargo.toml
+
+crates/query/../../examples/query_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_dashboard-dc9653ca1ad4ddaa.d: crates/query/../../examples/query_dashboard.rs
+
+/root/repo/target/debug/examples/query_dashboard-dc9653ca1ad4ddaa: crates/query/../../examples/query_dashboard.rs
+
+crates/query/../../examples/query_dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5c7b7f7e728c3587.d: crates/apps/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5c7b7f7e728c3587: crates/apps/../../examples/quickstart.rs
+
+crates/apps/../../examples/quickstart.rs:

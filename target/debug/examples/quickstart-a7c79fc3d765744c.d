@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-a7c79fc3d765744c.d: crates/apps/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-a7c79fc3d765744c.rmeta: crates/apps/../../examples/quickstart.rs Cargo.toml
+
+crates/apps/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/twitter_propagation-e634fb3ff13d8448.d: crates/apps/../../examples/twitter_propagation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtwitter_propagation-e634fb3ff13d8448.rmeta: crates/apps/../../examples/twitter_propagation.rs Cargo.toml
+
+crates/apps/../../examples/twitter_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/twitter_propagation-ffea6c85bca2b9bd.d: crates/apps/../../examples/twitter_propagation.rs
+
+/root/repo/target/debug/examples/twitter_propagation-ffea6c85bca2b9bd: crates/apps/../../examples/twitter_propagation.rs
+
+crates/apps/../../examples/twitter_propagation.rs:

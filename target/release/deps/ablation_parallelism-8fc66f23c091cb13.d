@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_parallelism-8fc66f23c091cb13.d: crates/bench/benches/ablation_parallelism.rs
+
+/root/repo/target/release/deps/ablation_parallelism-8fc66f23c091cb13: crates/bench/benches/ablation_parallelism.rs
+
+crates/bench/benches/ablation_parallelism.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slider_bench-4d680aa798e19183.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libslider_bench-4d680aa798e19183.rlib: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libslider_bench-4d680aa798e19183.rmeta: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/report.rs:

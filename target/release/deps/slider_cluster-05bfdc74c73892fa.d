@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/slider_cluster-05bfdc74c73892fa.d: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libslider_cluster-05bfdc74c73892fa.rlib: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libslider_cluster-05bfdc74c73892fa.rmeta: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/scheduler.rs:
+crates/cluster/src/simulator.rs:
+crates/cluster/src/task.rs:
+crates/cluster/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slider_criterion-19a7834b1bf0d845.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libslider_criterion-19a7834b1bf0d845.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libslider_criterion-19a7834b1bf0d845.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slider_dcache-f283f849237bf36a.d: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+/root/repo/target/release/deps/libslider_dcache-f283f849237bf36a.rlib: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+/root/repo/target/release/deps/libslider_dcache-f283f849237bf36a.rmeta: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/gc.rs:
+crates/dcache/src/master.rs:
+crates/dcache/src/store.rs:

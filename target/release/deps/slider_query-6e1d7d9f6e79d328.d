@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/slider_query-6e1d7d9f6e79d328.d: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+/root/repo/target/release/deps/libslider_query-6e1d7d9f6e79d328.rlib: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+/root/repo/target/release/deps/libslider_query-6e1d7d9f6e79d328.rmeta: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+crates/query/src/lib.rs:
+crates/query/src/exec.rs:
+crates/query/src/parser.rs:
+crates/query/src/pigmix.rs:
+crates/query/src/plan.rs:
+crates/query/src/stage.rs:

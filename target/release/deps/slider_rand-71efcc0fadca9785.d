@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slider_rand-71efcc0fadca9785.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/libslider_rand-71efcc0fadca9785.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/libslider_rand-71efcc0fadca9785.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

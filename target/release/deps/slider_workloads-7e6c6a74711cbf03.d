@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/slider_workloads-7e6c6a74711cbf03.d: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+/root/repo/target/release/deps/libslider_workloads-7e6c6a74711cbf03.rlib: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+/root/repo/target/release/deps/libslider_workloads-7e6c6a74711cbf03.rmeta: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/glasnost.rs:
+crates/workloads/src/netsession.rs:
+crates/workloads/src/pageviews.rs:
+crates/workloads/src/points.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/twitter.rs:

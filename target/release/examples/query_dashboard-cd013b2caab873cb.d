@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/query_dashboard-cd013b2caab873cb.d: crates/query/../../examples/query_dashboard.rs
+
+/root/repo/target/release/examples/query_dashboard-cd013b2caab873cb: crates/query/../../examples/query_dashboard.rs
+
+crates/query/../../examples/query_dashboard.rs:

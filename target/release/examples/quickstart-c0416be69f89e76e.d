@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c0416be69f89e76e.d: crates/apps/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c0416be69f89e76e: crates/apps/../../examples/quickstart.rs
+
+crates/apps/../../examples/quickstart.rs:

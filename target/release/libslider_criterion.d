@@ -1,0 +1,1 @@
+/root/repo/target/release/libslider_criterion.rlib: /root/repo/shims/criterion/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libslider_dcache.rlib: /root/repo/crates/dcache/src/gc.rs /root/repo/crates/dcache/src/lib.rs /root/repo/crates/dcache/src/master.rs /root/repo/crates/dcache/src/store.rs

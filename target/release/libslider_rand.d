@@ -1,0 +1,1 @@
+/root/repo/target/release/libslider_rand.rlib: /root/repo/shims/rand/src/lib.rs

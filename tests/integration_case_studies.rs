@@ -15,7 +15,12 @@ use slider_workloads::twitter::{generate, TwitterConfig};
 fn twitter_case_study_end_to_end() {
     let data = generate(
         3,
-        &TwitterConfig { users: 300, avg_follows: 5, urls: 40, repost_probability: 0.4 },
+        &TwitterConfig {
+            users: 300,
+            avg_follows: 5,
+            urls: 40,
+            repost_probability: 0.4,
+        },
         3_000,
     );
     let intervals = data.intervals(&[80, 5, 5, 5, 5]);
@@ -53,8 +58,10 @@ fn twitter_case_study_end_to_end() {
     }
 
     // Cascades exist and have sane statistics.
-    let max: &PropagationStats =
-        vanilla_out.values().max_by_key(|s| s.edges).expect("some URL");
+    let max: &PropagationStats = vanilla_out
+        .values()
+        .max_by_key(|s| s.edges)
+        .expect("some URL");
     assert!(max.edges > 0, "no propagation happened");
     assert!(max.depth >= 2);
     assert!(max.nodes as u64 >= max.depth as u64);
@@ -62,14 +69,20 @@ fn twitter_case_study_end_to_end() {
 
 #[test]
 fn glasnost_case_study_medians_are_stable_and_correct() {
-    let config = GlasnostConfig { servers: 3, clients: 100, samples_per_test: 6 };
+    let config = GlasnostConfig {
+        servers: 3,
+        clients: 100,
+        samples_per_test: 6,
+    };
     let months = generate_months(1, &config, &[120, 120, 120, 120, 120]);
 
     let run = |mode| {
         let per_month = 4usize;
         let mut job = WindowedJob::new(
             GlasnostMonitor::new(),
-            JobConfig::new(mode).with_partitions(2).with_buckets(3, per_month),
+            JobConfig::new(mode)
+                .with_partitions(2)
+                .with_buckets(3, per_month),
         )
         .unwrap();
         let mut id = 0u64;
@@ -109,15 +122,21 @@ fn glasnost_case_study_medians_are_stable_and_correct() {
 
 #[test]
 fn netsession_case_study_flags_exactly_the_tampered_clients() {
-    let config = NetSessionConfig { clients: 400, mean_entries: 10, tamper_rate: 0.1 };
+    let config = NetSessionConfig {
+        clients: 400,
+        mean_entries: 10,
+        tamper_rate: 0.1,
+    };
     let weeks: Vec<Vec<_>> = (0..6u32)
         .map(|w| generate_week(5, &config, w, if w == 4 { 0.75 } else { 0.95 }))
         .collect();
 
     let run = |mode| {
-        let mut job =
-            WindowedJob::new(NetSessionAudit::new(), JobConfig::new(mode).with_partitions(3))
-                .unwrap();
+        let mut job = WindowedJob::new(
+            NetSessionAudit::new(),
+            JobConfig::new(mode).with_partitions(3),
+        )
+        .unwrap();
         let mut id = 0u64;
         let mut counts = std::collections::VecDeque::new();
         let mut mk = |logs: &Vec<slider_workloads::netsession::ClientLog>,

@@ -5,9 +5,7 @@
 use slider_apps::{Hct, KMeans};
 use slider_cluster::SchedulerPolicy;
 use slider_dcache::CacheConfig;
-use slider_mapreduce::{
-    make_splits, ExecMode, JobConfig, RunStats, SimulationConfig, WindowedJob,
-};
+use slider_mapreduce::{make_splits, ExecMode, JobConfig, RunStats, SimulationConfig, WindowedJob};
 use slider_workloads::points::{generate_points, initial_centroids};
 use slider_workloads::text::{generate_documents, TextConfig};
 
@@ -27,7 +25,11 @@ fn text_pipeline_is_bit_deterministic() {
         let docs = generate_documents(
             7,
             150,
-            &TextConfig { vocabulary: 120, zipf_exponent: 1.05, words_per_doc: 10 },
+            &TextConfig {
+                vocabulary: 120,
+                zipf_exponent: 1.05,
+                words_per_doc: 10,
+            },
         );
         let splits = make_splits(0, docs, 5);
         let mut job = WindowedJob::new(
@@ -41,16 +43,23 @@ fn text_pipeline_is_bit_deterministic() {
                 .with_cache(CacheConfig::paper_defaults(8)),
         )
         .unwrap();
-        let mut prints = vec![fingerprint(&job.initial_run(splits[..20].to_vec()).unwrap())];
+        let mut prints = vec![fingerprint(
+            &job.initial_run(splits[..20].to_vec()).unwrap(),
+        )];
         for i in 0..5 {
-            let stats = job.advance(2, splits[20 + 2 * i..22 + 2 * i].to_vec()).unwrap();
+            let stats = job
+                .advance(2, splits[20 + 2 * i..22 + 2 * i].to_vec())
+                .unwrap();
             prints.push(fingerprint(&stats));
         }
         (prints, job.output().clone())
     };
     let (a_prints, a_out) = run();
     let (b_prints, b_out) = run();
-    assert_eq!(a_prints, b_prints, "work/time/footprint must be reproducible");
+    assert_eq!(
+        a_prints, b_prints,
+        "work/time/footprint must be reproducible"
+    );
     assert_eq!(a_out, b_out);
 }
 
@@ -84,7 +93,11 @@ fn parallel_map_phase_is_order_deterministic() {
     let docs = generate_documents(
         11,
         400,
-        &TextConfig { vocabulary: 200, zipf_exponent: 1.0, words_per_doc: 8 },
+        &TextConfig {
+            vocabulary: 200,
+            zipf_exponent: 1.0,
+            words_per_doc: 8,
+        },
     );
     let run = || {
         let mut job = WindowedJob::new(
@@ -92,7 +105,7 @@ fn parallel_map_phase_is_order_deterministic() {
             JobConfig::new(ExecMode::slider_folding()).with_partitions(4),
         )
         .unwrap();
-        // 80 splits at once exercises the parallel path (threshold is 8).
+        // 80 splits at once spread across the runtime's worker threads.
         let stats = job.initial_run(make_splits(0, docs.clone(), 5)).unwrap();
         (stats.work.map, stats.shuffle_bytes, job.output().clone())
     };

@@ -3,9 +3,7 @@
 //! memoization-aware placement under stragglers.
 
 use slider_apps::Hct;
-use slider_cluster::{
-    simulate, ClusterSpec, MachineId, SchedulerPolicy, Task,
-};
+use slider_cluster::{simulate, ClusterSpec, MachineId, SchedulerPolicy, Task};
 use slider_dcache::CacheConfig;
 use slider_mapreduce::{make_splits, ExecMode, JobConfig, WindowedJob};
 use slider_workloads::text::{generate_documents, TextConfig};
@@ -14,7 +12,11 @@ fn docs() -> Vec<String> {
     generate_documents(
         1,
         200,
-        &TextConfig { vocabulary: 50, zipf_exponent: 1.0, words_per_doc: 8 },
+        &TextConfig {
+            vocabulary: 50,
+            zipf_exponent: 1.0,
+            words_per_doc: 8,
+        },
     )
 }
 
@@ -76,7 +78,10 @@ fn recovering_a_node_restores_memory_hits() {
     // First post-recovery run re-warms memory; the next one hits it.
     job.advance(1, splits[12..13].to_vec()).unwrap();
     let after = job.advance(1, splits[13..14].to_vec()).unwrap();
-    assert!(after.cache.unwrap().memory_hits > 0, "memory tier should re-warm");
+    assert!(
+        after.cache.unwrap().memory_hits > 0,
+        "memory tier should re-warm"
+    );
 }
 
 #[test]
@@ -84,12 +89,25 @@ fn hybrid_scheduler_beats_strict_placement_under_stragglers() {
     // All reduce tasks prefer machine 0, which is a heavy straggler.
     let spec = ClusterSpec::with_stragglers(1, 0.05);
     let reduces: Vec<Task> = (0..8)
-        .map(|i| Task::reduce(i, 50_000).prefer(MachineId(0)).with_input_bytes(1 << 20))
+        .map(|i| {
+            Task::reduce(i, 50_000)
+                .prefer(MachineId(0))
+                .with_input_bytes(1 << 20)
+        })
         .collect();
 
-    let strict = simulate(&spec, SchedulerPolicy::MemoizationAware, std::slice::from_ref(&reduces));
-    let hybrid =
-        simulate(&spec, SchedulerPolicy::Hybrid { migration_threshold: 2.0 }, &[reduces]);
+    let strict = simulate(
+        &spec,
+        SchedulerPolicy::MemoizationAware,
+        std::slice::from_ref(&reduces),
+    );
+    let hybrid = simulate(
+        &spec,
+        SchedulerPolicy::Hybrid {
+            migration_threshold: 2.0,
+        },
+        &[reduces],
+    );
     assert!(
         hybrid.makespan < strict.makespan / 2.0,
         "hybrid {} should be far below strict {}",
@@ -105,9 +123,17 @@ fn vanilla_reduce_placement_pays_remote_reads() {
     // placement: vanilla lands reduces off their memoized state.
     let spec = ClusterSpec::paper_cluster();
     let reduces: Vec<Task> = (0..24)
-        .map(|i| Task::reduce(i, 1_000).prefer(MachineId(i as usize)).with_input_bytes(200 << 20))
+        .map(|i| {
+            Task::reduce(i, 1_000)
+                .prefer(MachineId(i as usize))
+                .with_input_bytes(200 << 20)
+        })
         .collect();
-    let vanilla = simulate(&spec, SchedulerPolicy::Vanilla, std::slice::from_ref(&reduces));
+    let vanilla = simulate(
+        &spec,
+        SchedulerPolicy::Vanilla,
+        std::slice::from_ref(&reduces),
+    );
     let aware = simulate(&spec, SchedulerPolicy::MemoizationAware, &[reduces]);
     assert!(aware.makespan < vanilla.makespan);
     assert_eq!(aware.stages[0].remote_placements, 0);

@@ -3,16 +3,18 @@
 //! application, across multi-slide histories.
 
 use slider_apps::{Hct, KMeans, Knn, Matrix, SubStr};
-use slider_mapreduce::{
-    make_splits, ExecMode, JobConfig, MapReduceApp, Split, WindowedJob,
-};
+use slider_mapreduce::{make_splits, ExecMode, JobConfig, MapReduceApp, Split, WindowedJob};
 use slider_workloads::points::{generate_points, initial_centroids};
 use slider_workloads::text::{generate_documents, TextConfig};
 
 /// Runs `app` over the same slide history under `mode` and `Recompute`,
 /// asserting identical outputs after every slide.
-fn check_mode_equivalence<A>(app: A, records: Vec<A::Input>, mode: ExecMode, buckets: (usize, usize))
-where
+fn check_mode_equivalence<A>(
+    app: A,
+    records: Vec<A::Input>,
+    mode: ExecMode,
+    buckets: (usize, usize),
+) where
     A: MapReduceApp + Clone,
     A::Key: std::fmt::Debug,
     A::Output: std::fmt::Debug,
@@ -35,7 +37,11 @@ where
     let initial: Vec<Split<A::Input>> = splits[..window].to_vec();
     job.initial_run(initial.clone()).expect("initial");
     vanilla.initial_run(initial).expect("initial");
-    assert_eq!(job.output(), vanilla.output(), "{mode}: initial run diverged");
+    assert_eq!(
+        job.output(),
+        vanilla.output(),
+        "{mode}: initial run diverged"
+    );
 
     let append_only = mode.tree_kind() == Some(slider_core::TreeKind::Coalescing);
     let mut cursor = window;
@@ -47,7 +53,11 @@ where
         job.advance(remove, added.clone()).expect("slide");
         vanilla.advance(remove, added).expect("slide");
         step += 1;
-        assert_eq!(job.output(), vanilla.output(), "{mode}: diverged at slide {step}");
+        assert_eq!(
+            job.output(),
+            vanilla.output(),
+            "{mode}: diverged at slide {step}"
+        );
     }
     assert!(step >= 3, "exercised only {step} slides");
 }
@@ -56,7 +66,11 @@ fn text_records(seed: u64) -> Vec<String> {
     generate_documents(
         seed,
         120,
-        &TextConfig { vocabulary: 80, zipf_exponent: 1.0, words_per_doc: 12 },
+        &TextConfig {
+            vocabulary: 80,
+            zipf_exponent: 1.0,
+            words_per_doc: 12,
+        },
     )
 }
 
@@ -75,7 +89,12 @@ fn hct_all_modes_match_recompute() {
     for mode in sliding_modes() {
         check_mode_equivalence(Hct::new(), text_records(1), mode, (8, 1));
     }
-    check_mode_equivalence(Hct::new(), text_records(1), ExecMode::slider_coalescing(true), (8, 1));
+    check_mode_equivalence(
+        Hct::new(),
+        text_records(1),
+        ExecMode::slider_coalescing(true),
+        (8, 1),
+    );
 }
 
 #[test]
@@ -145,7 +164,11 @@ fn incremental_work_stays_sublinear_over_long_histories() {
     let docs = generate_documents(
         9,
         600,
-        &TextConfig { vocabulary: 60, zipf_exponent: 1.0, words_per_doc: 10 },
+        &TextConfig {
+            vocabulary: 60,
+            zipf_exponent: 1.0,
+            words_per_doc: 10,
+        },
     );
     let splits = make_splits(0, docs, 5);
     let mut job = WindowedJob::new(
@@ -157,7 +180,9 @@ fn incremental_work_stays_sublinear_over_long_histories() {
 
     let mut per_slide = Vec::new();
     for i in 0..40 {
-        let stats = job.advance(2, splits[40 + 2 * i..42 + 2 * i].to_vec()).unwrap();
+        let stats = job
+            .advance(2, splits[40 + 2 * i..42 + 2 * i].to_vec())
+            .unwrap();
         per_slide.push(stats.work.contraction_fg.work);
     }
     let first_ten: u64 = per_slide[..10].iter().sum();

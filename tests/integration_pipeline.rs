@@ -6,15 +6,21 @@ use std::collections::BTreeMap;
 
 use slider_mapreduce::{make_splits, ExecMode, JobConfig};
 use slider_query::{
-    pageview_row, pigmix_queries, user_table, AggFn, CmpOp, Expr, Field, Predicate, Query,
-    Row,
+    pageview_row, pigmix_queries, user_table, AggFn, CmpOp, Expr, Field, Predicate, Query, Row,
 };
 use slider_workloads::pageviews::{generate_users, generate_views, PageViewConfig};
 
 fn dataset() -> (Vec<slider_workloads::pageviews::UserRow>, Vec<Row>) {
-    let cfg = PageViewConfig { users: 60, pages: 40, skew: 1.0 };
+    let cfg = PageViewConfig {
+        users: 60,
+        pages: 40,
+        skew: 1.0,
+    };
     let users = generate_users(0, &cfg);
-    let views = generate_views(2, &cfg, 0, 600).iter().map(pageview_row).collect();
+    let views = generate_views(2, &cfg, 0, 600)
+        .iter()
+        .map(pageview_row)
+        .collect();
     (users, views)
 }
 
@@ -23,15 +29,21 @@ fn pigmix_suite_tracks_recompute_over_slides() {
     let (users, views) = dataset();
     for pq in pigmix_queries(&users) {
         let run = |mode| {
-            let mut exec =
-                pq.query.compile(JobConfig::new(mode).with_partitions(2), 8).unwrap();
+            let mut exec = pq
+                .query
+                .compile(JobConfig::new(mode).with_partitions(2), 8)
+                .unwrap();
             let mut outs = Vec::new();
-            exec.initial_run(make_splits(0, views[..300].to_vec(), 30)).unwrap();
+            exec.initial_run(make_splits(0, views[..300].to_vec(), 30))
+                .unwrap();
             outs.push(exec.rows());
             for i in 0..5 {
                 let lo = 300 + i * 60;
-                exec.advance(2, make_splits(1000 + i as u64 * 10, views[lo..lo + 60].to_vec(), 30))
-                    .unwrap();
+                exec.advance(
+                    2,
+                    make_splits(1000 + i as u64 * 10, views[lo..lo + 60].to_vec(), 30),
+                )
+                .unwrap();
                 outs.push(exec.rows());
             }
             outs
@@ -51,10 +63,15 @@ fn group_by_sum_matches_manual_reference() {
     let (_, views) = dataset();
     let query = Query::load().group_by(vec![1], vec![AggFn::Sum(4), AggFn::Count]);
     let mut exec = query
-        .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 4)
+        .compile(
+            JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+            4,
+        )
         .unwrap();
-    exec.initial_run(make_splits(0, views[..200].to_vec(), 20)).unwrap();
-    exec.advance(3, make_splits(100, views[200..260].to_vec(), 20)).unwrap();
+    exec.initial_run(make_splits(0, views[..200].to_vec(), 20))
+        .unwrap();
+    exec.advance(3, make_splits(100, views[200..260].to_vec(), 20))
+        .unwrap();
 
     // Reference over the live window: splits 3..13 of the first 200 rows
     // plus the 60 appended.
@@ -68,7 +85,10 @@ fn group_by_sum_matches_manual_reference() {
         .rows()
         .into_iter()
         .map(|r| {
-            (r[0].as_int().unwrap(), (r[1].as_int().unwrap(), r[2].as_int().unwrap()))
+            (
+                r[0].as_int().unwrap(),
+                (r[1].as_int().unwrap(), r[2].as_int().unwrap()),
+            )
         })
         .collect();
     assert_eq!(got, expected);
@@ -87,14 +107,21 @@ fn filter_join_topk_pipeline_is_consistent() {
         .group_by(vec![6], vec![AggFn::Sum(3)])
         .top_k(1, 3, true);
     let mut exec = query
-        .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 8)
+        .compile(
+            JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+            8,
+        )
         .unwrap();
-    exec.initial_run(make_splits(0, views[..300].to_vec(), 30)).unwrap();
+    exec.initial_run(make_splits(0, views[..300].to_vec(), 30))
+        .unwrap();
     let before = exec.rows();
     assert!(before.len() <= 3);
     // Top-k output must be sorted descending by the sum column.
     let sums: Vec<i64> = before.iter().map(|r| r[1].as_int().unwrap()).collect();
-    assert!(sums.windows(2).all(|w| w[0] >= w[1]), "not sorted: {sums:?}");
+    assert!(
+        sums.windows(2).all(|w| w[0] >= w[1]),
+        "not sorted: {sums:?}"
+    );
 
     // A no-op slide (remove nothing, add nothing) must not change results.
     exec.advance(0, vec![]).unwrap();
@@ -108,16 +135,23 @@ fn inner_stages_reuse_untouched_buckets_across_many_slides() {
         .group_by(vec![0], vec![AggFn::Count])
         .group_by(vec![1], vec![AggFn::Count]);
     let mut exec = query
-        .compile(JobConfig::new(ExecMode::slider_folding()).with_partitions(2), 16)
+        .compile(
+            JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+            16,
+        )
         .unwrap();
-    exec.initial_run(make_splits(0, views[..300].to_vec(), 30)).unwrap();
+    exec.initial_run(make_splits(0, views[..300].to_vec(), 30))
+        .unwrap();
 
     let mut changed = 0usize;
     let mut total = 0usize;
     for i in 0..5 {
         let lo = 300 + i * 30;
         let r = exec
-            .advance(1, make_splits(500 + i as u64, views[lo..lo + 30].to_vec(), 30))
+            .advance(
+                1,
+                make_splits(500 + i as u64, views[lo..lo + 30].to_vec(), 30),
+            )
             .unwrap();
         changed += r.inner[0].buckets_changed;
         total += r.inner[0].buckets_total;

@@ -42,8 +42,12 @@ fn reference(window: &VecDeque<Vec<String>>) -> BTreeMap<String, u64> {
 /// A split is 1–3 lines of 0–4 words over a 6-word vocabulary.
 fn split_strategy() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::vec(
-        proptest::collection::vec(0u8..6, 0..4)
-            .prop_map(|ws| ws.iter().map(|w| format!("w{w}")).collect::<Vec<_>>().join(" ")),
+        proptest::collection::vec(0u8..6, 0..4).prop_map(|ws| {
+            ws.iter()
+                .map(|w| format!("w{w}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }),
         1..3,
     )
 }
