@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/asymptotics-5091d55a60b13494.d: crates/core/tests/asymptotics.rs
+
+/root/repo/target/release/deps/asymptotics-5091d55a60b13494: crates/core/tests/asymptotics.rs
+
+crates/core/tests/asymptotics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_case_studies-05f29d5d74d5977c.d: crates/bench/../../tests/integration_case_studies.rs
+
+/root/repo/target/release/deps/integration_case_studies-05f29d5d74d5977c: crates/bench/../../tests/integration_case_studies.rs
+
+crates/bench/../../tests/integration_case_studies.rs:

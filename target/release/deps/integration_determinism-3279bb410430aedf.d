@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_determinism-3279bb410430aedf.d: crates/bench/../../tests/integration_determinism.rs
+
+/root/repo/target/release/deps/integration_determinism-3279bb410430aedf: crates/bench/../../tests/integration_determinism.rs
+
+crates/bench/../../tests/integration_determinism.rs:

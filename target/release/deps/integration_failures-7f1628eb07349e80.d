@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_failures-7f1628eb07349e80.d: crates/bench/../../tests/integration_failures.rs
+
+/root/repo/target/release/deps/integration_failures-7f1628eb07349e80: crates/bench/../../tests/integration_failures.rs
+
+crates/bench/../../tests/integration_failures.rs:

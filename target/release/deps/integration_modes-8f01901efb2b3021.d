@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_modes-8f01901efb2b3021.d: crates/bench/../../tests/integration_modes.rs
+
+/root/repo/target/release/deps/integration_modes-8f01901efb2b3021: crates/bench/../../tests/integration_modes.rs
+
+crates/bench/../../tests/integration_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_pipeline-93d30b1e6ba741de.d: crates/bench/../../tests/integration_pipeline.rs
+
+/root/repo/target/release/deps/integration_pipeline-93d30b1e6ba741de: crates/bench/../../tests/integration_pipeline.rs
+
+crates/bench/../../tests/integration_pipeline.rs:

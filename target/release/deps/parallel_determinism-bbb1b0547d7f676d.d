@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-bbb1b0547d7f676d.d: crates/bench/../../tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-bbb1b0547d7f676d: crates/bench/../../tests/parallel_determinism.rs
+
+crates/bench/../../tests/parallel_determinism.rs:

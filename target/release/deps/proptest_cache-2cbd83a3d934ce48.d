@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_cache-2cbd83a3d934ce48.d: crates/dcache/tests/proptest_cache.rs
+
+/root/repo/target/release/deps/proptest_cache-2cbd83a3d934ce48: crates/dcache/tests/proptest_cache.rs
+
+crates/dcache/tests/proptest_cache.rs:

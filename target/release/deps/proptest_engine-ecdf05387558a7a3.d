@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_engine-ecdf05387558a7a3.d: crates/bench/../../tests/proptest_engine.rs
+
+/root/repo/target/release/deps/proptest_engine-ecdf05387558a7a3: crates/bench/../../tests/proptest_engine.rs
+
+crates/bench/../../tests/proptest_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_sim-c726b5ca63dc95b4.d: crates/cluster/tests/proptest_sim.rs
+
+/root/repo/target/release/deps/proptest_sim-c726b5ca63dc95b4: crates/cluster/tests/proptest_sim.rs
+
+crates/cluster/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_trees-cfc1ed24c8f65d3d.d: crates/core/tests/proptest_trees.rs
+
+/root/repo/target/release/deps/proptest_trees-cfc1ed24c8f65d3d: crates/core/tests/proptest_trees.rs
+
+crates/core/tests/proptest_trees.rs:

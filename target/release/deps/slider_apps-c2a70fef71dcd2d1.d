@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/slider_apps-c2a70fef71dcd2d1.d: crates/apps/src/lib.rs crates/apps/src/glasnost.rs crates/apps/src/hct.rs crates/apps/src/kmeans.rs crates/apps/src/knn.rs crates/apps/src/matrix.rs crates/apps/src/netsession.rs crates/apps/src/substr.rs crates/apps/src/twitter.rs
+
+/root/repo/target/release/deps/slider_apps-c2a70fef71dcd2d1: crates/apps/src/lib.rs crates/apps/src/glasnost.rs crates/apps/src/hct.rs crates/apps/src/kmeans.rs crates/apps/src/knn.rs crates/apps/src/matrix.rs crates/apps/src/netsession.rs crates/apps/src/substr.rs crates/apps/src/twitter.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/glasnost.rs:
+crates/apps/src/hct.rs:
+crates/apps/src/kmeans.rs:
+crates/apps/src/knn.rs:
+crates/apps/src/matrix.rs:
+crates/apps/src/netsession.rs:
+crates/apps/src/substr.rs:
+crates/apps/src/twitter.rs:

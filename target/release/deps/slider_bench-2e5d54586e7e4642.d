@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/slider_bench-2e5d54586e7e4642.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/slider_bench-2e5d54586e7e4642: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/driver.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slider_cluster-28d36859dd272663.d: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/slider_cluster-28d36859dd272663: crates/cluster/src/lib.rs crates/cluster/src/machine.rs crates/cluster/src/scheduler.rs crates/cluster/src/simulator.rs crates/cluster/src/task.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/scheduler.rs:
+crates/cluster/src/simulator.rs:
+crates/cluster/src/task.rs:
+crates/cluster/src/topology.rs:

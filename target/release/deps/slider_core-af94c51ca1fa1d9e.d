@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/slider_core-af94c51ca1fa1d9e.d: crates/core/src/lib.rs crates/core/src/coalescing.rs crates/core/src/combiner.rs crates/core/src/error.rs crates/core/src/folding.rs crates/core/src/hash.rs crates/core/src/memo.rs crates/core/src/multilevel.rs crates/core/src/randomized.rs crates/core/src/rotating.rs crates/core/src/stats.rs crates/core/src/strawman.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/slider_core-af94c51ca1fa1d9e: crates/core/src/lib.rs crates/core/src/coalescing.rs crates/core/src/combiner.rs crates/core/src/error.rs crates/core/src/folding.rs crates/core/src/hash.rs crates/core/src/memo.rs crates/core/src/multilevel.rs crates/core/src/randomized.rs crates/core/src/rotating.rs crates/core/src/stats.rs crates/core/src/strawman.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coalescing.rs:
+crates/core/src/combiner.rs:
+crates/core/src/error.rs:
+crates/core/src/folding.rs:
+crates/core/src/hash.rs:
+crates/core/src/memo.rs:
+crates/core/src/multilevel.rs:
+crates/core/src/randomized.rs:
+crates/core/src/rotating.rs:
+crates/core/src/stats.rs:
+crates/core/src/strawman.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slider_criterion-050f44053a3eaa33.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/slider_criterion-050f44053a3eaa33: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

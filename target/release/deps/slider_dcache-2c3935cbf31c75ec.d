@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/slider_dcache-2c3935cbf31c75ec.d: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+/root/repo/target/release/deps/slider_dcache-2c3935cbf31c75ec: crates/dcache/src/lib.rs crates/dcache/src/gc.rs crates/dcache/src/master.rs crates/dcache/src/store.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/gc.rs:
+crates/dcache/src/master.rs:
+crates/dcache/src/store.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/slider_mapreduce-ab1bdb2655bf4f0c.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs
+
+/root/repo/target/release/deps/slider_mapreduce-ab1bdb2655bf4f0c: crates/mapreduce/src/lib.rs crates/mapreduce/src/app.rs crates/mapreduce/src/error.rs crates/mapreduce/src/feeder.rs crates/mapreduce/src/pipeline.rs crates/mapreduce/src/runtime.rs crates/mapreduce/src/shuffle.rs crates/mapreduce/src/split.rs crates/mapreduce/src/stats.rs crates/mapreduce/src/windowed.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/app.rs:
+crates/mapreduce/src/error.rs:
+crates/mapreduce/src/feeder.rs:
+crates/mapreduce/src/pipeline.rs:
+crates/mapreduce/src/runtime.rs:
+crates/mapreduce/src/shuffle.rs:
+crates/mapreduce/src/split.rs:
+crates/mapreduce/src/stats.rs:
+crates/mapreduce/src/windowed.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slider_query-0eb149c0d8591433.d: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+/root/repo/target/release/deps/slider_query-0eb149c0d8591433: crates/query/src/lib.rs crates/query/src/exec.rs crates/query/src/parser.rs crates/query/src/pigmix.rs crates/query/src/plan.rs crates/query/src/stage.rs
+
+crates/query/src/lib.rs:
+crates/query/src/exec.rs:
+crates/query/src/parser.rs:
+crates/query/src/pigmix.rs:
+crates/query/src/plan.rs:
+crates/query/src/stage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slider_rand-0b7fc1a39b43d33a.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/slider_rand-0b7fc1a39b43d33a: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/slider_workloads-97102a41ebe4463c.d: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+/root/repo/target/release/deps/slider_workloads-97102a41ebe4463c: crates/workloads/src/lib.rs crates/workloads/src/glasnost.rs crates/workloads/src/netsession.rs crates/workloads/src/pageviews.rs crates/workloads/src/points.rs crates/workloads/src/text.rs crates/workloads/src/twitter.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/glasnost.rs:
+crates/workloads/src/netsession.rs:
+crates/workloads/src/pageviews.rs:
+crates/workloads/src/points.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/twitter.rs:

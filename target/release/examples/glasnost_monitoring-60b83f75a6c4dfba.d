@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/glasnost_monitoring-60b83f75a6c4dfba.d: crates/apps/../../examples/glasnost_monitoring.rs
+
+/root/repo/target/release/examples/glasnost_monitoring-60b83f75a6c4dfba: crates/apps/../../examples/glasnost_monitoring.rs
+
+crates/apps/../../examples/glasnost_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/netsession_audit-ac0ec36c1cfb28b5.d: crates/apps/../../examples/netsession_audit.rs
+
+/root/repo/target/release/examples/netsession_audit-ac0ec36c1cfb28b5: crates/apps/../../examples/netsession_audit.rs
+
+crates/apps/../../examples/netsession_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/twitter_propagation-42ba3a76e3633363.d: crates/apps/../../examples/twitter_propagation.rs
+
+/root/repo/target/release/examples/twitter_propagation-42ba3a76e3633363: crates/apps/../../examples/twitter_propagation.rs
+
+crates/apps/../../examples/twitter_propagation.rs:
