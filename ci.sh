@@ -15,4 +15,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault injection: recovery invariant"
+cargo test -q -p slider-bench --test integration_fault_recovery --test proptest_recovery
+
 echo "CI OK"

@@ -26,15 +26,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod machine;
 mod scheduler;
 mod simulator;
 mod task;
 mod topology;
 
+pub use fault::{FaultPlan, MachineCrash, Slowdown};
 pub use machine::{Machine, MachineId, MachineSpec};
-pub use scheduler::{Scheduler, SchedulerPolicy};
-pub use simulator::{simulate, SimReport, StageReport};
+pub use scheduler::{PendingTask, Scheduler, SchedulerPolicy};
+pub use simulator::{simulate, simulate_with_faults, SimReport, StageReport};
 pub use task::{SlotKind, Task, TaskId};
 pub use topology::CostModel;
 

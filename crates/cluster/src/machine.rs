@@ -50,6 +50,23 @@ impl MachineSpec {
         }
     }
 
+    /// This worker running at `factor` of its current speed (fault-plan
+    /// slowdowns compose multiplicatively with any configured straggling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn slowed_by(self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be positive"
+        );
+        MachineSpec {
+            speed: self.speed * factor,
+            ..self
+        }
+    }
+
     /// Slots available for the given kind.
     pub fn slots(&self, kind: crate::task::SlotKind) -> usize {
         match kind {
@@ -114,6 +131,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_speed_is_rejected() {
         let _ = MachineSpec::straggler(0.0);
+    }
+
+    #[test]
+    fn slowdowns_compose_multiplicatively() {
+        let spec = MachineSpec::straggler(0.5).slowed_by(0.5);
+        assert_eq!(spec.speed, 0.25);
+        assert_eq!(spec.map_slots, 2, "slots are unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_slowdown_factor_is_rejected() {
+        let _ = MachineSpec::healthy().slowed_by(0.0);
     }
 
     #[test]

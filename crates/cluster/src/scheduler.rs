@@ -20,6 +20,14 @@ pub struct PendingTask {
     pub task: Task,
     /// Simulation time at which the task became runnable.
     pub enqueued_at: f64,
+    /// How many earlier attempts of this task were killed by machine
+    /// crashes; `0` for a task's first run. Retried tasks jump the queue:
+    /// a re-execution blocks the stage barrier, so recovery is
+    /// latency-critical (§6).
+    pub attempt: u32,
+    /// Stage-local index of the task, stable across retries (set by the
+    /// simulator; schedulers treat it as opaque).
+    pub index: usize,
 }
 
 /// Which scheduling policy the simulator applies.
@@ -109,6 +117,16 @@ fn first_of_kind(pending: &[PendingTask], kind: SlotKind) -> Option<usize> {
     pending.iter().position(|p| p.task.kind == kind)
 }
 
+/// First crash-retried task of `kind`, if any. Every policy runs these
+/// before fresh tasks and on any machine: the killed attempt's partial run
+/// is already sunk cost and the stage barrier waits on the re-execution,
+/// so recovery placement trumps memoization locality.
+fn first_retry(pending: &[PendingTask], kind: SlotKind) -> Option<usize> {
+    pending
+        .iter()
+        .position(|p| p.task.kind == kind && p.attempt > 0)
+}
+
 fn first_preferring(pending: &[PendingTask], kind: SlotKind, machine: &Machine) -> Option<usize> {
     pending
         .iter()
@@ -129,6 +147,9 @@ impl Scheduler for VanillaScheduler {
         kind: SlotKind,
         pending: &[PendingTask],
     ) -> Option<usize> {
+        if let Some(i) = first_retry(pending, kind) {
+            return Some(i);
+        }
         match kind {
             // Hadoop's scheduler takes input locality into account for Map
             // tasks: run a split-local map if one is queued.
@@ -149,6 +170,9 @@ impl Scheduler for MemoAwareScheduler {
         kind: SlotKind,
         pending: &[PendingTask],
     ) -> Option<usize> {
+        if let Some(i) = first_retry(pending, kind) {
+            return Some(i);
+        }
         match kind {
             // Map placement is Hadoop's: locality is best-effort.
             SlotKind::Map => {
@@ -170,6 +194,9 @@ impl Scheduler for HybridScheduler {
         kind: SlotKind,
         pending: &[PendingTask],
     ) -> Option<usize> {
+        if let Some(i) = first_retry(pending, kind) {
+            return Some(i);
+        }
         if kind == SlotKind::Map {
             // Map placement is Hadoop's: locality is best-effort.
             return first_preferring(pending, kind, machine)
@@ -219,6 +246,8 @@ mod tests {
         PendingTask {
             task,
             enqueued_at: at,
+            attempt: 0,
+            index: 0,
         }
     }
 
@@ -284,6 +313,37 @@ mod tests {
             Some(0)
         );
         assert_eq!(s.migrations(), 1);
+    }
+
+    #[test]
+    fn retried_tasks_jump_the_queue_on_any_machine() {
+        // A crash-retried reduce preferring a (dead) machine 5 must run
+        // immediately, even under the strict memoization-aware policy and
+        // even on a non-preferred machine.
+        let retried = PendingTask {
+            task: Task::reduce(7, 10).prefer(MachineId(5)),
+            enqueued_at: 3.0,
+            attempt: 1,
+            index: 7,
+        };
+        let fresh = pend(Task::reduce(1, 10), 0.0);
+        let pending = vec![fresh, retried];
+        let mut memo = MemoAwareScheduler;
+        assert_eq!(
+            memo.choose(3.0, &machine(2), SlotKind::Reduce, &pending),
+            Some(1)
+        );
+        let mut vanilla = VanillaScheduler;
+        assert_eq!(
+            vanilla.choose(3.0, &machine(2), SlotKind::Reduce, &pending),
+            Some(1)
+        );
+        let mut hybrid = HybridScheduler::new(5.0);
+        assert_eq!(
+            hybrid.choose(3.0, &machine(2), SlotKind::Reduce, &pending),
+            Some(1)
+        );
+        assert_eq!(hybrid.migrations(), 0, "retry placement is not a migration");
     }
 
     #[test]

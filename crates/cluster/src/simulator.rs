@@ -5,10 +5,21 @@
 //! whenever a slot frees up the configured [`Scheduler`] picks a pending
 //! task for it; the task's duration follows the [`CostModel`] given the
 //! machine's speed and whether the task's input is local.
+//!
+//! [`simulate_with_faults`] additionally consumes a [`FaultPlan`]: machines
+//! crash at planned times (killing their in-flight attempts, which retry on
+//! survivors within a bounded attempt budget), planned slowdowns turn
+//! machines into stragglers, and — with speculation enabled — straggling
+//! attempts are duplicated onto faster idle machines with the first
+//! finisher winning. Recovery work (partial runs lost to crashes and
+//! cancelled speculative duplicates) is metered separately in
+//! [`StageReport::recovery_seconds`]; with the empty plan the simulation is
+//! bit-identical to [`simulate`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::fault::{FaultPlan, MachineCrash};
 use crate::machine::{Machine, MachineId, MachineSpec};
 use crate::scheduler::{build_scheduler, PendingTask, Scheduler, SchedulerPolicy};
 use crate::task::{SlotKind, Task};
@@ -67,6 +78,14 @@ pub struct StageReport {
     pub remote_bytes: u64,
     /// Tasks executed.
     pub tasks: usize,
+    /// Tasks re-executed after a machine crash killed an attempt.
+    pub retried_tasks: u64,
+    /// Speculative duplicate attempts launched against stragglers.
+    pub speculative_tasks: u64,
+    /// Machine seconds spent on attempts that did not produce their task's
+    /// winning completion: partial runs lost to crashes plus cancelled
+    /// speculative duplicates. Always included in `busy_seconds`.
+    pub recovery_seconds: f64,
 }
 
 /// Whole-run outcome.
@@ -82,6 +101,13 @@ pub struct SimReport {
     pub busy_seconds: f64,
     /// Placement-preferring tasks migrated by the hybrid scheduler.
     pub migrations: u64,
+    /// Tasks re-executed after machine crashes, across all stages.
+    pub retried_tasks: u64,
+    /// Speculative duplicate attempts launched, across all stages.
+    pub speculative_tasks: u64,
+    /// Recovery machine seconds (see [`StageReport::recovery_seconds`]),
+    /// across all stages.
+    pub recovery_seconds: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -93,8 +119,13 @@ struct Event {
 
 #[derive(Debug, Clone, Copy)]
 enum Payload {
-    Done { machine: usize, kind: SlotKind },
+    Done {
+        attempt: usize,
+    },
     Retry,
+    /// A planned machine crash falls due (the crash schedule cursor decides
+    /// which crashes actually apply).
+    Crash,
 }
 
 impl PartialEq for Event {
@@ -130,18 +161,75 @@ impl SlotState {
             SlotKind::Reduce => &mut self.free_reduce,
         }
     }
+
+    fn available(&self, kind: SlotKind) -> usize {
+        match kind {
+            SlotKind::Map => self.free_map,
+            SlotKind::Reduce => self.free_reduce,
+        }
+    }
 }
 
-/// Simulates `stages` of tasks on `spec` under `policy`.
+/// One execution attempt of a task on a machine. Tasks normally have one
+/// attempt; crashes and speculation create more. At most one attempt per
+/// task ever completes.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    /// Stage-local task index.
+    task: usize,
+    machine: usize,
+    kind: SlotKind,
+    start: f64,
+    duration: f64,
+    /// Cleared when the attempt completes, is killed by a crash, or is
+    /// cancelled because a duplicate finished first; its `Done` event is
+    /// then stale and ignored.
+    alive: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskState {
+    completed: bool,
+    /// Live attempts currently running.
+    live: u32,
+    /// Attempts killed by machine crashes so far.
+    failures: u32,
+}
+
+/// Simulates `stages` of tasks on `spec` under `policy`, fault-free.
 ///
 /// Each inner `Vec<Task>` is released only after the previous stage fully
-/// completes (the shuffle barrier).
+/// completes (the shuffle barrier). Equivalent to
+/// [`simulate_with_faults`] with the empty [`FaultPlan`].
 ///
 /// # Panics
 ///
 /// Panics if a task prefers a machine id outside the cluster, or if the
 /// cluster has no workers while tasks exist — both are host-engine bugs.
 pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>]) -> SimReport {
+    simulate_with_faults(spec, policy, stages, &FaultPlan::default())
+}
+
+/// Simulates `stages` of tasks on `spec` under `policy` while injecting the
+/// crashes, slowdowns, and speculation of `plan`.
+///
+/// Faults change only the schedule — which machine runs what, when, and how
+/// much work is wasted — never which tasks logically complete: every task
+/// eventually finishes exactly once (or the simulator panics when
+/// [`FaultPlan::max_attempts`] is exhausted or no machine survives).
+///
+/// # Panics
+///
+/// Panics on host-engine bugs (out-of-range machine indices in tasks or in
+/// the plan, an empty cluster with tasks) and on unrecoverable plans: a
+/// task crashing more than `max_attempts` times, or every machine dead
+/// while tasks remain.
+pub fn simulate_with_faults(
+    spec: &ClusterSpec,
+    policy: SchedulerPolicy,
+    stages: &[Vec<Task>],
+    plan: &FaultPlan,
+) -> SimReport {
     let total_tasks: usize = stages.iter().map(Vec::len).sum();
     assert!(
         total_tasks == 0 || !spec.is_empty(),
@@ -156,8 +244,27 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
             );
         }
     }
+    assert!(plan.max_attempts >= 1, "a task needs at least one attempt");
+    for crash in &plan.crashes {
+        assert!(
+            crash.machine < spec.len(),
+            "fault plan crashes unknown machine m{}",
+            crash.machine
+        );
+        assert!(
+            crash.at_seconds.is_finite() && crash.at_seconds >= 0.0,
+            "crash time must be finite and non-negative"
+        );
+    }
+    for slow in &plan.slowdowns {
+        assert!(
+            slow.machine < spec.len(),
+            "fault plan slows unknown machine m{}",
+            slow.machine
+        );
+    }
 
-    let machines: Vec<Machine> = spec
+    let mut machines: Vec<Machine> = spec
         .machines
         .iter()
         .enumerate()
@@ -166,6 +273,17 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
             spec,
         })
         .collect();
+    for slow in &plan.slowdowns {
+        machines[slow.machine].spec = machines[slow.machine].spec.slowed_by(slow.factor);
+    }
+    let mut crashes = plan.crashes.clone();
+    crashes.sort_by(|a, b| {
+        a.at_seconds
+            .total_cmp(&b.at_seconds)
+            .then(a.machine.cmp(&b.machine))
+    });
+    let mut alive = vec![true; machines.len()];
+    let mut next_crash = 0usize;
     let mut scheduler = build_scheduler(policy);
 
     let mut report = SimReport {
@@ -176,195 +294,396 @@ pub fn simulate(spec: &ClusterSpec, policy: SchedulerPolicy, stages: &[Vec<Task>
 
     for stage_tasks in stages {
         let stage_start = now;
-        let mut stage = StageReport {
-            tasks: stage_tasks.len(),
-            ..Default::default()
+        let mut run = StageRun {
+            spec,
+            plan,
+            policy,
+            machines: &machines,
+            alive: &mut alive,
+            crashes: &crashes,
+            next_crash: &mut next_crash,
+            scheduler: scheduler.as_mut(),
+            tasks: stage_tasks.clone(),
+            task_state: vec![TaskState::default(); stage_tasks.len()],
+            pending: Vec::new(),
+            slots: machines
+                .iter()
+                .map(|m| SlotState {
+                    free_map: m.spec.map_slots,
+                    free_reduce: m.spec.reduce_slots,
+                })
+                .collect(),
+            events: BinaryHeap::new(),
+            attempts: Vec::new(),
+            seq: 0,
+            running: 0,
+            retry_scheduled: false,
+            stage: StageReport {
+                tasks: stage_tasks.len(),
+                ..Default::default()
+            },
         };
-        let mut pending: Vec<PendingTask> = stage_tasks
+        // Machines that died in (or before) an earlier stage stay dead:
+        // apply any crash that has already happened, zero the dead
+        // machines' slots, and move placement preferences off them.
+        run.apply_crashes_until(stage_start);
+        for mi in 0..run.slots.len() {
+            if !run.alive[mi] {
+                run.slots[mi] = SlotState {
+                    free_map: 0,
+                    free_reduce: 0,
+                };
+            }
+        }
+        for task in &mut run.tasks {
+            task.repoint_preference(run.alive);
+        }
+        run.pending = run
+            .tasks
             .iter()
             .cloned()
-            .map(|task| PendingTask {
+            .enumerate()
+            .map(|(index, task)| PendingTask {
                 task,
                 enqueued_at: stage_start,
+                attempt: 0,
+                index,
             })
             .collect();
-        let mut slots: Vec<SlotState> = machines
-            .iter()
-            .map(|m| SlotState {
-                free_map: m.spec.map_slots,
-                free_reduce: m.spec.reduce_slots,
-            })
-            .collect();
-        let mut events: BinaryHeap<Event> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut running = 0usize;
-        let mut retry_scheduled = false;
+        // Future crashes become events so the machine dies — and its tasks
+        // re-dispatch — at the planned time, not at the next completion.
+        // Crashes the stage never reaches stay in the schedule (the cursor
+        // only advances when a crash is applied) and re-arm next stage.
+        for crash in &run.crashes[*run.next_crash..] {
+            run.seq += 1;
+            run.events.push(Event {
+                time: crash.at_seconds,
+                seq: run.seq,
+                payload: Payload::Crash,
+            });
+        }
 
-        let dispatch = |now: f64,
-                        pending: &mut Vec<PendingTask>,
-                        slots: &mut Vec<SlotState>,
-                        events: &mut BinaryHeap<Event>,
-                        seq: &mut u64,
-                        running: &mut usize,
-                        stage: &mut StageReport,
-                        scheduler: &mut Box<dyn Scheduler>| {
-            loop {
-                let mut assigned = false;
-                for machine in &machines {
-                    for kind in [SlotKind::Map, SlotKind::Reduce] {
-                        while *slots[machine.id.0].free(kind) > 0 && !pending.is_empty() {
-                            let Some(i) = scheduler.choose(now, machine, kind, pending) else {
-                                break;
-                            };
-                            let picked = pending.remove(i);
-                            let local = picked.task.preferred.is_none_or(|p| p == machine.id);
-                            if !local {
-                                stage.remote_placements += 1;
-                                stage.remote_bytes += picked.task.input_bytes;
-                            }
-                            let duration = spec.cost.task_seconds(
-                                picked.task.work,
-                                picked.task.input_bytes,
-                                machine.spec.speed,
-                                local,
-                            );
-                            stage.busy_seconds += duration;
-                            *slots[machine.id.0].free(kind) -= 1;
-                            *seq += 1;
-                            events.push(Event {
-                                time: now + duration,
-                                seq: *seq,
-                                payload: Payload::Done {
-                                    machine: machine.id.0,
-                                    kind,
-                                },
-                            });
-                            *running += 1;
-                            assigned = true;
-                        }
-                    }
-                }
-                if !assigned {
-                    break;
-                }
-            }
-        };
-
-        dispatch(
-            now,
-            &mut pending,
-            &mut slots,
-            &mut events,
-            &mut seq,
-            &mut running,
-            &mut stage,
-            &mut scheduler,
-        );
-        schedule_retry(
-            policy,
-            now,
-            &pending,
-            running,
-            &mut retry_scheduled,
-            &mut events,
-            &mut seq,
-        );
+        run.dispatch(stage_start);
+        run.schedule_retry(stage_start);
 
         // The stage ends at the last task completion; a pending hybrid
         // retry wake-up past that point must not stretch the stage.
         let mut last_done = stage_start;
-        while let Some(event) = events.pop() {
+        while let Some(event) = run.events.pop() {
             now = event.time;
             match event.payload {
-                Payload::Done { machine, kind } => {
-                    *slots[machine].free(kind) += 1;
-                    running -= 1;
-                    last_done = now;
+                Payload::Done { attempt } => {
+                    if run.complete(attempt, now) {
+                        last_done = now;
+                    }
                 }
                 Payload::Retry => {
-                    retry_scheduled = false;
+                    run.retry_scheduled = false;
+                }
+                // Crash events sort before same-time completions (earlier
+                // seq), so an attempt whose machine dies the instant it
+                // would finish never completes.
+                Payload::Crash => {
+                    run.apply_crashes_until(now);
                 }
             }
-            if running == 0 && pending.is_empty() {
+            if run.running == 0 && run.pending.is_empty() {
                 break;
             }
-            dispatch(
-                now,
-                &mut pending,
-                &mut slots,
-                &mut events,
-                &mut seq,
-                &mut running,
-                &mut stage,
-                &mut scheduler,
-            );
-            schedule_retry(
-                policy,
-                now,
-                &pending,
-                running,
-                &mut retry_scheduled,
-                &mut events,
-                &mut seq,
-            );
+            run.dispatch(now);
+            run.schedule_retry(now);
         }
 
         assert!(
-            pending.is_empty(),
-            "scheduler deadlock: {} tasks stranded (policy {:?})",
-            pending.len(),
-            policy
+            run.pending.is_empty(),
+            "scheduler deadlock: {} tasks stranded (policy {:?}, {} of {} machines alive)",
+            run.pending.len(),
+            policy,
+            run.alive.iter().filter(|a| **a).count(),
+            run.alive.len()
         );
         now = last_done;
-        stage.duration = now - stage_start;
-        report.stages.push(stage);
+        run.stage.duration = now - stage_start;
+        report.stages.push(run.stage);
     }
 
     report.makespan = now;
     report.tasks_run = total_tasks;
     report.busy_seconds = report.stages.iter().map(|s| s.busy_seconds).sum();
     report.migrations = scheduler.migrations();
+    report.retried_tasks = report.stages.iter().map(|s| s.retried_tasks).sum();
+    report.speculative_tasks = report.stages.iter().map(|s| s.speculative_tasks).sum();
+    report.recovery_seconds = report.stages.iter().map(|s| s.recovery_seconds).sum();
     report
 }
 
-/// Ensures the hybrid scheduler gets a wake-up once its migration threshold
-/// expires even if no completion event occurs in the meantime.
-#[allow(clippy::too_many_arguments)]
-fn schedule_retry(
+/// All mutable state of one stage's event loop.
+struct StageRun<'a> {
+    spec: &'a ClusterSpec,
+    plan: &'a FaultPlan,
     policy: SchedulerPolicy,
-    now: f64,
-    pending: &[PendingTask],
+    machines: &'a [Machine],
+    alive: &'a mut [bool],
+    /// Whole-simulation crash schedule, sorted by time.
+    crashes: &'a [MachineCrash],
+    /// Cursor into `crashes`, shared across stages.
+    next_crash: &'a mut usize,
+    scheduler: &'a mut dyn Scheduler,
+    /// This stage's tasks, with preferences re-pointed off dead machines.
+    tasks: Vec<Task>,
+    task_state: Vec<TaskState>,
+    pending: Vec<PendingTask>,
+    slots: Vec<SlotState>,
+    events: BinaryHeap<Event>,
+    attempts: Vec<Attempt>,
+    seq: u64,
     running: usize,
-    retry_scheduled: &mut bool,
-    events: &mut BinaryHeap<Event>,
-    seq: &mut u64,
-) {
-    let SchedulerPolicy::Hybrid {
-        migration_threshold,
-    } = policy
-    else {
-        return;
-    };
-    if pending.is_empty() || *retry_scheduled {
-        return;
+    retry_scheduled: bool,
+    stage: StageReport,
+}
+
+impl StageRun<'_> {
+    /// Fills free slots with pending tasks, then (when the plan enables it)
+    /// launches speculative duplicates of straggling attempts.
+    fn dispatch(&mut self, now: f64) {
+        loop {
+            let mut assigned = false;
+            for mi in 0..self.machines.len() {
+                if !self.alive[mi] {
+                    continue;
+                }
+                for kind in [SlotKind::Map, SlotKind::Reduce] {
+                    while *self.slots[mi].free(kind) > 0 && !self.pending.is_empty() {
+                        let Some(i) =
+                            self.scheduler
+                                .choose(now, &self.machines[mi], kind, &self.pending)
+                        else {
+                            break;
+                        };
+                        let picked = self.pending.remove(i);
+                        self.start_attempt(now, picked.task, picked.index, mi, kind);
+                        assigned = true;
+                    }
+                }
+            }
+            if !assigned {
+                break;
+            }
+        }
+        if self.plan.speculation {
+            self.speculate(now);
+        }
     }
-    let earliest = pending
-        .iter()
-        .map(|p| p.enqueued_at + migration_threshold)
-        .fold(f64::INFINITY, f64::min);
-    // A wake-up is only useful when the oldest pending task has NOT yet
-    // crossed the migration threshold: once it has, it is already eligible
-    // and only a freed slot (a Done event) can unblock it — re-dispatching
-    // on a timer would spin the event loop.
-    let _ = running;
-    if earliest > now {
-        *seq += 1;
-        events.push(Event {
-            time: earliest,
-            seq: *seq,
-            payload: Payload::Retry,
+
+    /// Starts one attempt of `task` (stage index `index`) on machine `mi`.
+    /// The full duration is charged to `busy_seconds` up front; a crash or
+    /// cancellation refunds the un-run remainder.
+    fn start_attempt(&mut self, now: f64, task: Task, index: usize, mi: usize, kind: SlotKind) {
+        let machine = &self.machines[mi];
+        let local = task.preferred.is_none_or(|p| p == machine.id);
+        if !local {
+            self.stage.remote_placements += 1;
+            self.stage.remote_bytes += task.input_bytes;
+        }
+        let duration =
+            self.spec
+                .cost
+                .task_seconds(task.work, task.input_bytes, machine.spec.speed, local);
+        self.stage.busy_seconds += duration;
+        *self.slots[mi].free(kind) -= 1;
+        self.seq += 1;
+        let attempt = self.attempts.len();
+        self.attempts.push(Attempt {
+            task: index,
+            machine: mi,
+            kind,
+            start: now,
+            duration,
+            alive: true,
         });
-        *retry_scheduled = true;
+        self.task_state[index].live += 1;
+        self.events.push(Event {
+            time: now + duration,
+            seq: self.seq,
+            payload: Payload::Done { attempt },
+        });
+        self.running += 1;
+    }
+
+    /// Handles a `Done` event. Returns true for a real completion, false
+    /// for a stale event of a killed or cancelled attempt.
+    fn complete(&mut self, attempt: usize, now: f64) -> bool {
+        if !self.attempts[attempt].alive {
+            return false;
+        }
+        let a = self.attempts[attempt];
+        self.attempts[attempt].alive = false;
+        *self.slots[a.machine].free(a.kind) += 1;
+        self.running -= 1;
+        self.task_state[a.task].live -= 1;
+        self.task_state[a.task].completed = true;
+        // First finisher wins: cancel the task's other live attempts and
+        // refund their unspent time; what they did run is recovery waste.
+        if self.task_state[a.task].live > 0 {
+            for other in 0..self.attempts.len() {
+                let o = self.attempts[other];
+                if other == attempt || !o.alive || o.task != a.task {
+                    continue;
+                }
+                self.attempts[other].alive = false;
+                *self.slots[o.machine].free(o.kind) += 1;
+                self.running -= 1;
+                self.task_state[a.task].live -= 1;
+                let wasted = (now - o.start).max(0.0);
+                self.stage.busy_seconds -= o.duration - wasted;
+                self.stage.recovery_seconds += wasted;
+            }
+        }
+        true
+    }
+
+    /// Applies every planned crash with `at_seconds <= t`: the machine goes
+    /// (and stays) dead, its live attempts die with it, and their tasks
+    /// re-enter the queue — bounded by the plan's attempt budget.
+    fn apply_crashes_until(&mut self, t: f64) {
+        while *self.next_crash < self.crashes.len()
+            && self.crashes[*self.next_crash].at_seconds <= t
+        {
+            let crash = self.crashes[*self.next_crash];
+            *self.next_crash += 1;
+            if !self.alive[crash.machine] {
+                continue;
+            }
+            self.alive[crash.machine] = false;
+            self.slots[crash.machine] = SlotState {
+                free_map: 0,
+                free_reduce: 0,
+            };
+            for ai in 0..self.attempts.len() {
+                let a = self.attempts[ai];
+                if !a.alive || a.machine != crash.machine {
+                    continue;
+                }
+                self.attempts[ai].alive = false;
+                self.running -= 1;
+                let elapsed = (crash.at_seconds - a.start).max(0.0);
+                self.stage.busy_seconds -= a.duration - elapsed;
+                self.stage.recovery_seconds += elapsed;
+                let state = &mut self.task_state[a.task];
+                state.live -= 1;
+                if state.completed || state.live > 0 {
+                    // A duplicate attempt survives elsewhere; no retry.
+                    continue;
+                }
+                state.failures += 1;
+                assert!(
+                    state.failures < self.plan.max_attempts,
+                    "task {:?} lost {} attempts to crashes; max_attempts is {}",
+                    self.tasks[a.task].id,
+                    state.failures,
+                    self.plan.max_attempts
+                );
+                self.stage.retried_tasks += 1;
+                let mut task = self.tasks[a.task].clone();
+                task.repoint_preference(self.alive);
+                self.pending.push(PendingTask {
+                    task,
+                    enqueued_at: crash.at_seconds,
+                    attempt: state.failures,
+                    index: a.task,
+                });
+            }
+            // Strict memoization-aware placement would wait forever for a
+            // dead machine; preferences follow the replica chain instead.
+            for task in &mut self.tasks {
+                task.repoint_preference(self.alive);
+            }
+            for p in &mut self.pending {
+                p.task.repoint_preference(self.alive);
+            }
+        }
+    }
+
+    /// Launches speculative duplicates: when nothing is queued, a task
+    /// whose only attempt runs on a straggling machine is duplicated onto
+    /// the machine that would finish it soonest — if that beats the
+    /// straggler's projected finish.
+    fn speculate(&mut self, now: f64) {
+        if !self.pending.is_empty() {
+            return;
+        }
+        loop {
+            let mut launched = false;
+            for ai in 0..self.attempts.len() {
+                let a = self.attempts[ai];
+                if !a.alive || !self.machines[a.machine].is_straggler() {
+                    continue;
+                }
+                let state = self.task_state[a.task];
+                if state.completed || state.live != 1 {
+                    continue;
+                }
+                let task = self.tasks[a.task].clone();
+                let finish = a.start + a.duration;
+                let mut best: Option<(usize, f64)> = None;
+                for mi in 0..self.machines.len() {
+                    if mi == a.machine || !self.alive[mi] || self.slots[mi].available(a.kind) == 0 {
+                        continue;
+                    }
+                    let local = task.preferred.is_none_or(|p| p == MachineId(mi));
+                    let d = self.spec.cost.task_seconds(
+                        task.work,
+                        task.input_bytes,
+                        self.machines[mi].spec.speed,
+                        local,
+                    );
+                    if now + d < finish && best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((mi, d));
+                    }
+                }
+                if let Some((mi, _)) = best {
+                    self.stage.speculative_tasks += 1;
+                    self.start_attempt(now, task, a.task, mi, a.kind);
+                    launched = true;
+                }
+            }
+            if !launched {
+                break;
+            }
+        }
+    }
+
+    /// Ensures the hybrid scheduler gets a wake-up once its migration
+    /// threshold expires even if no completion event occurs in the
+    /// meantime.
+    fn schedule_retry(&mut self, now: f64) {
+        let SchedulerPolicy::Hybrid {
+            migration_threshold,
+        } = self.policy
+        else {
+            return;
+        };
+        if self.pending.is_empty() || self.retry_scheduled {
+            return;
+        }
+        let earliest = self
+            .pending
+            .iter()
+            .map(|p| p.enqueued_at + migration_threshold)
+            .fold(f64::INFINITY, f64::min);
+        // A wake-up is only useful when the oldest pending task has NOT yet
+        // crossed the migration threshold: once it has, it is already
+        // eligible and only a freed slot (a Done event) can unblock it —
+        // re-dispatching on a timer would spin the event loop.
+        if earliest > now {
+            self.seq += 1;
+            self.events.push(Event {
+                time: earliest,
+                seq: self.seq,
+                payload: Payload::Retry,
+            });
+            self.retry_scheduled = true;
+        }
     }
 }
 
@@ -522,5 +841,132 @@ mod tests {
         assert_eq!(spec.len(), 24);
         let with = ClusterSpec::with_stragglers(3, 0.5);
         assert_eq!(with.machines.iter().filter(|m| m.speed < 1.0).count(), 3);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_fault_free() {
+        let spec = cluster(3);
+        let stages: Vec<Vec<Task>> = vec![
+            (0..7).map(|i| Task::map(i, 10 + i)).collect(),
+            (0..4)
+                .map(|i| Task::reduce(100 + i, 25).prefer(MachineId(i as usize % 3)))
+                .collect(),
+        ];
+        for policy in [
+            SchedulerPolicy::Vanilla,
+            SchedulerPolicy::MemoizationAware,
+            SchedulerPolicy::hybrid_default(),
+        ] {
+            let plain = simulate(&spec, policy, &stages);
+            let faulted = simulate_with_faults(&spec, policy, &stages, &FaultPlan::none());
+            assert_eq!(plain, faulted);
+            assert_eq!(plain.retried_tasks, 0);
+            assert_eq!(plain.recovery_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn crash_mid_stage_retries_on_survivors() {
+        // One 10s task per machine; machine 1 dies at t=4 with its task
+        // half-run. The task retries on a survivor, so the stage stretches
+        // and the lost 4 seconds are metered as recovery.
+        let spec = cluster(3);
+        let tasks: Vec<Task> = (0..3)
+            .map(|i| Task::map(i, 10).prefer(MachineId(i as usize)))
+            .collect();
+        let plan = FaultPlan::none().crash(1, 4.0);
+        let report = simulate_with_faults(&spec, SchedulerPolicy::Vanilla, &[tasks], &plan);
+        assert_eq!(report.retried_tasks, 1);
+        assert_eq!(report.recovery_seconds, 4.0);
+        // The retry re-dispatches at the crash time onto an idle survivor
+        // slot: 10 fresh seconds from t=4.
+        assert_eq!(report.makespan, 14.0);
+        // Busy time: two clean 10s runs + 4 wasted + 10 rerun.
+        assert_eq!(report.busy_seconds, 34.0);
+    }
+
+    #[test]
+    fn crash_repoints_memo_aware_preferences() {
+        // Strict placement would wait forever for dead machine 1; the
+        // preference follows the replica chain to machine 2 instead.
+        let spec = cluster(3);
+        let stages = vec![
+            vec![Task::map(0, 10)],
+            vec![
+                Task::reduce(1, 10).prefer(MachineId(1)),
+                Task::reduce(2, 10).prefer(MachineId(2)),
+            ],
+        ];
+        let plan = FaultPlan::none().crash(1, 5.0);
+        let report = simulate_with_faults(&spec, SchedulerPolicy::MemoizationAware, &stages, &plan);
+        assert_eq!(report.tasks_run, 3);
+        assert!(report.makespan >= 20.0);
+    }
+
+    #[test]
+    fn dead_machine_stays_dead_across_stages() {
+        let spec = cluster(2);
+        let stages = vec![vec![Task::map(0, 10)], vec![Task::reduce(1, 10)]];
+        // Machine 0 dies during stage 1; stage 2 must run on machine 1.
+        let plan = FaultPlan::none().crash(0, 2.0);
+        let report = simulate_with_faults(&spec, SchedulerPolicy::Vanilla, &stages, &plan);
+        assert_eq!(report.retried_tasks, 1);
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.tasks_run, 2);
+    }
+
+    #[test]
+    fn speculation_beats_a_straggler() {
+        // Two machines, one very slow. The straggler's 10s task would take
+        // 100s; with speculation a duplicate launches on the idle fast
+        // machine and wins.
+        let spec = ClusterSpec {
+            machines: vec![MachineSpec::healthy(), MachineSpec::healthy()],
+            cost: tiny_cost(),
+        };
+        let tasks = vec![Task::map(0, 10), Task::map(1, 10)];
+        let plan = FaultPlan::none().slow(0, 0.1).with_speculation();
+        let slow_plan = FaultPlan::none().slow(0, 0.1);
+        let with = simulate_with_faults(
+            &spec,
+            SchedulerPolicy::Vanilla,
+            std::slice::from_ref(&tasks),
+            &plan,
+        );
+        let without = simulate_with_faults(&spec, SchedulerPolicy::Vanilla, &[tasks], &slow_plan);
+        assert!(with.speculative_tasks >= 1);
+        assert!(
+            with.makespan < without.makespan,
+            "speculation ({}) should beat the straggler ({})",
+            with.makespan,
+            without.makespan
+        );
+        assert!(with.recovery_seconds > 0.0, "the loser's run is waste");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn attempt_budget_is_enforced() {
+        // Both machines die mid-run; with max_attempts = 1 the first kill
+        // already exceeds the budget.
+        let spec = cluster(2);
+        let tasks = vec![Task::map(0, 100), Task::map(1, 100)];
+        let plan = FaultPlan::none()
+            .crash(0, 5.0)
+            .crash(1, 6.0)
+            .with_max_attempts(1);
+        let _ = simulate_with_faults(&spec, SchedulerPolicy::Vanilla, &[tasks], &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn crash_on_unknown_machine_panics() {
+        let plan = FaultPlan::none().crash(9, 1.0);
+        let _ = simulate_with_faults(
+            &cluster(1),
+            SchedulerPolicy::Vanilla,
+            &[vec![Task::map(0, 1)]],
+            &plan,
+        );
     }
 }

@@ -67,6 +67,25 @@ impl Task {
         self.input_bytes = bytes;
         self
     }
+
+    /// Re-points a preference at a dead machine to the next alive machine
+    /// (wrap-around), mirroring where the memoization layer's replicas live
+    /// (`home + 1 + i`). A preference at an alive machine — or no
+    /// preference — is left untouched; if no machine is alive the
+    /// preference is also left untouched (the simulation is doomed either
+    /// way and reports a deadlock).
+    pub fn repoint_preference(&mut self, alive: &[bool]) {
+        let Some(MachineId(m)) = self.preferred else {
+            return;
+        };
+        if alive.get(m).copied().unwrap_or(false) {
+            return;
+        }
+        let n = alive.len();
+        if let Some(next) = (1..=n).map(|i| (m + i) % n).find(|&i| alive[i]) {
+            self.preferred = Some(MachineId(next));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -87,5 +106,27 @@ mod tests {
     #[test]
     fn reduce_has_reduce_kind() {
         assert_eq!(Task::reduce(2, 1).kind, SlotKind::Reduce);
+    }
+
+    #[test]
+    fn repoint_moves_to_next_alive_machine() {
+        let mut t = Task::reduce(0, 1).prefer(MachineId(1));
+        // Preferred machine dead, next alive is 3 (2 is dead too).
+        t.repoint_preference(&[true, false, false, true]);
+        assert_eq!(t.preferred, Some(MachineId(3)));
+        // Wrap-around past the end.
+        let mut t = Task::reduce(0, 1).prefer(MachineId(3));
+        t.repoint_preference(&[true, false, false, false]);
+        assert_eq!(t.preferred, Some(MachineId(0)));
+    }
+
+    #[test]
+    fn repoint_leaves_alive_and_preference_free_tasks_alone() {
+        let mut t = Task::reduce(0, 1).prefer(MachineId(1));
+        t.repoint_preference(&[true, true]);
+        assert_eq!(t.preferred, Some(MachineId(1)));
+        let mut t = Task::map(0, 1);
+        t.repoint_preference(&[false, false]);
+        assert_eq!(t.preferred, None);
     }
 }

@@ -471,7 +471,7 @@ mod tests {
         // Now shrink hard: 1008 of 1024 leaves removed.
         tree.advance(&mut cx, 1008, vec![]).unwrap();
         let height = ContractionTree::<u8, u64>::height(&tree);
-        let optimal = 16_f64.log2().ceil() as usize + 1;
+        let optimal = 16usize.ilog2() as usize + 1;
         assert!(
             height > optimal,
             "plain folding tree should stay imbalanced: height {height} vs optimal {optimal}"

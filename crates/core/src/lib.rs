@@ -50,6 +50,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tree arithmetic mixes u64 leaf counts with usize indexing; every
+// narrowing must be explicit and checked, never a silent `as` truncation.
+#![deny(clippy::cast_possible_truncation)]
 
 mod coalescing;
 mod combiner;

@@ -341,7 +341,15 @@ where
             }
             None => 0,
         };
-        (self.present as isize + pending_adjust) as usize
+        // A pending removal against an already-absent slot would drive the
+        // adjustment below zero; a plain `as usize` cast here would wrap to
+        // ~2^64 and corrupt every capacity computation downstream.
+        debug_assert!(
+            self.present.checked_add_signed(pending_adjust).is_some(),
+            "pending adjustment {pending_adjust} underflows {} present leaves",
+            self.present
+        );
+        self.present.checked_add_signed(pending_adjust).unwrap_or(0)
     }
 
     fn height(&self) -> usize {
@@ -599,6 +607,38 @@ mod tests {
         // ...and the explicit removal works.
         tree.advance(&mut cx, 1, vec![None]).unwrap();
         assert_eq!(root_of(&tree), None);
+    }
+
+    #[test]
+    fn pending_removal_of_an_absent_slot_keeps_len_in_range() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = RotatingTree::new(4);
+        // Slot 0 — the first rotation victim — is absent for this key.
+        tree.rebuild(
+            &mut cx,
+            vec![
+                None,
+                Some(Arc::new(2)),
+                Some(Arc::new(3)),
+                Some(Arc::new(4)),
+            ],
+        );
+        tree.preprocess(&mut cx);
+        // The split-mode slide defers a removal (`None`) against the absent
+        // slot; the deferred adjustment must not drive `len` below zero (a
+        // raw `as usize` cast here used to wrap to ~2^64).
+        tree.advance(&mut cx, 1, vec![None]).unwrap();
+        let len = ContractionTree::<u8, u64>::len(&tree);
+        assert!(len <= tree.capacity(), "len {len} wrapped past capacity");
+        assert_eq!(len, 3);
+        assert_eq!(root_of(&tree), Some(9));
+        // Flushing the deferred insertion keeps the count stable.
+        tree.preprocess(&mut cx);
+        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 3);
+        assert_eq!(root_of(&tree), Some(9));
     }
 
     #[test]

@@ -309,7 +309,7 @@ mod tests {
         );
         // Nearly every pair is new: the strawman does Θ(n) merges.
         assert!(
-            stats.foreground.merges as usize >= 32,
+            stats.foreground.merges >= 32,
             "merges = {}",
             stats.foreground.merges
         );

@@ -3,6 +3,8 @@
 //! — not linearly — with the window for the self-adjusting trees, and
 //! linearly for the strawman under alignment-shifting slides.
 
+#![deny(clippy::cast_possible_truncation)]
+
 use std::sync::Arc;
 
 use slider_core::{build_tree, FnCombiner, TreeCx, TreeKind, UpdateStats};
@@ -15,7 +17,7 @@ fn leaves(range: std::ops::Range<u64>) -> Vec<Option<Arc<u64>>> {
 fn merges_per_slide(kind: TreeKind, n: u64) -> f64 {
     let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
     let key = 0u8;
-    let mut tree = build_tree::<u8, u64>(kind, n as usize);
+    let mut tree = build_tree::<u8, u64>(kind, usize::try_from(n).unwrap());
     let mut stats = UpdateStats::default();
     let mut cx = TreeCx::new(&combiner, &key, &mut stats);
     tree.rebuild(&mut cx, leaves(0..n));
@@ -130,7 +132,7 @@ fn memo_footprint_is_linear_in_the_window() {
         TreeKind::RandomizedFolding,
     ] {
         let n = 2048u64;
-        let mut tree = build_tree::<u8, u64>(kind, n as usize);
+        let mut tree = build_tree::<u8, u64>(kind, usize::try_from(n).unwrap());
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.rebuild(&mut cx, leaves(0..n));

@@ -2,6 +2,8 @@
 //! reference fold over arbitrary slide histories, and structural invariants
 //! (height bounds, window length) must hold throughout.
 
+#![deny(clippy::cast_possible_truncation)]
+
 use std::collections::VecDeque;
 use std::sync::Arc;
 

@@ -1,5 +1,7 @@
 //! Garbage-collection policies for the memoization layer (paper §6).
 
+use crate::master::ObjectId;
+
 /// How the master frees memoized state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GcPolicy {
@@ -26,6 +28,30 @@ impl Default for GcPolicy {
     }
 }
 
+/// Selects eviction victims for [`GcPolicy::Aggressive`]: oldest epoch
+/// first, equal epochs broken by object id. The explicit total order means
+/// the survivors never depend on the index map's iteration order — the
+/// same contents always evict the same objects.
+///
+/// `entries` holds `(epoch, id, bytes)` per indexed object and `total`
+/// their byte sum; nothing is evicted when `total <= max_total_bytes`.
+pub(crate) fn aggressive_victims(
+    mut entries: Vec<(u64, ObjectId, u64)>,
+    mut total: u64,
+    max_total_bytes: u64,
+) -> Vec<ObjectId> {
+    entries.sort_unstable_by_key(|&(epoch, id, _)| (epoch, id));
+    let mut victims = Vec::new();
+    for (_, id, bytes) in entries {
+        if total <= max_total_bytes {
+            break;
+        }
+        total -= bytes;
+        victims.push(id);
+    }
+    victims
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -33,5 +59,31 @@ mod tests {
     #[test]
     fn default_is_window_based() {
         assert_eq!(GcPolicy::default(), GcPolicy::WindowBased { horizon: 1 });
+    }
+
+    #[test]
+    fn aggressive_victims_break_epoch_ties_by_id() {
+        // Same epoch everywhere: eviction must walk ids in order no matter
+        // how the entries were listed.
+        let entries = vec![
+            (7, ObjectId(30), 10),
+            (7, ObjectId(10), 10),
+            (7, ObjectId(20), 10),
+        ];
+        let victims = aggressive_victims(entries, 30, 15);
+        assert_eq!(victims, vec![ObjectId(10), ObjectId(20)]);
+    }
+
+    #[test]
+    fn aggressive_victims_respect_exact_budget_boundary() {
+        // total == max_total_bytes is within budget: nothing evicts.
+        let entries = vec![(1, ObjectId(1), 10), (1, ObjectId(2), 15)];
+        assert!(aggressive_victims(entries, 25, 25).is_empty());
+    }
+
+    #[test]
+    fn aggressive_victims_prefer_older_epochs() {
+        let entries = vec![(3, ObjectId(1), 10), (1, ObjectId(9), 10)];
+        assert_eq!(aggressive_victims(entries, 20, 10), vec![ObjectId(9)]);
     }
 }

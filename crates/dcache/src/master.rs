@@ -333,36 +333,64 @@ impl DistributedCache {
         }
     }
 
+    /// Forcibly loses `object` — index entry, memory copy, and every
+    /// persistent replica — as a fault injection. A later read fails with
+    /// [`CacheError::NotFound`] and the caller must recompute (Slider's
+    /// recovery path: lost memoized state degrades to extra foreground
+    /// work, never a wrong answer). Returns whether the object existed.
+    pub fn lose_object(&mut self, object: ObjectId) -> bool {
+        let existed = self.index.contains_key(&object);
+        self.delete(object);
+        existed
+    }
+
+    /// Forcibly loses every object produced in `epoch` (see
+    /// [`DistributedCache::lose_object`]); objects are dropped in id order
+    /// so the fault is reproducible. Returns how many were lost.
+    pub fn lose_epoch(&mut self, epoch: u64) -> u64 {
+        let mut victims: Vec<ObjectId> = self
+            .index
+            .iter()
+            .filter(|(_, m)| m.epoch == epoch)
+            .map(|(id, _)| *id)
+            .collect();
+        victims.sort_unstable();
+        let n = victims.len() as u64;
+        for victim in victims {
+            self.delete(victim);
+        }
+        n
+    }
+
     /// Runs the configured garbage-collection policy for `current_epoch`,
     /// freeing memoized objects that fell out of the window (§6). Returns
     /// the number of collected objects.
     pub fn collect_garbage(&mut self, current_epoch: u64) -> u64 {
         let victims: Vec<ObjectId> = match self.config.gc {
             GcPolicy::Disabled => Vec::new(),
-            GcPolicy::WindowBased { horizon } => self
-                .index
-                .iter()
-                .filter(|(_, m)| m.epoch + horizon < current_epoch)
-                .map(|(id, _)| *id)
-                .collect(),
+            GcPolicy::WindowBased { horizon } => {
+                let mut victims: Vec<ObjectId> = self
+                    .index
+                    .iter()
+                    .filter(|(_, m)| m.epoch + horizon < current_epoch)
+                    .map(|(id, _)| *id)
+                    .collect();
+                // Sorted so the deletion sequence (not just the final
+                // survivor set) is reproducible.
+                victims.sort_unstable();
+                victims
+            }
             GcPolicy::Aggressive { max_total_bytes } => {
-                // Evict oldest epochs first until under budget.
-                let mut total: u64 = self.index.values().map(|m| m.bytes).sum();
-                let mut by_epoch: Vec<(u64, ObjectId, u64)> = self
+                // Evict oldest epochs first until under budget, with the
+                // explicit (epoch, id) order of `aggressive_victims` — the
+                // index map's iteration order must not pick the survivors.
+                let total: u64 = self.index.values().map(|m| m.bytes).sum();
+                let entries: Vec<(u64, ObjectId, u64)> = self
                     .index
                     .iter()
                     .map(|(id, m)| (m.epoch, *id, m.bytes))
                     .collect();
-                by_epoch.sort_unstable();
-                let mut victims = Vec::new();
-                for (_, id, bytes) in by_epoch {
-                    if total <= max_total_bytes {
-                        break;
-                    }
-                    total -= bytes;
-                    victims.push(id);
-                }
-                victims
+                crate::gc::aggressive_victims(entries, total, max_total_bytes)
             }
         };
         let n = victims.len() as u64;
@@ -549,6 +577,56 @@ mod tests {
         assert_eq!(collected, 1, "oldest epoch evicted to fit 25 bytes");
         assert!(c.read(ObjectId(1), NodeId(0)).is_err());
         assert_eq!(c.indexed_bytes(), 20);
+    }
+
+    #[test]
+    fn aggressive_gc_boundary_and_tie_break() {
+        // Three equal-epoch objects totalling exactly the budget: nothing
+        // may be evicted at `total == max_total_bytes`.
+        let mut config = CacheConfig::paper_defaults(2);
+        config.gc = GcPolicy::Aggressive {
+            max_total_bytes: 30,
+        };
+        let mut c = DistributedCache::new(config.clone());
+        for id in [3u64, 1, 2] {
+            c.put(ObjectId(id), 10, NodeId(0), 7);
+        }
+        assert_eq!(c.collect_garbage(8), 0, "exact budget evicts nothing");
+        assert_eq!(c.indexed_bytes(), 30);
+
+        // One byte over budget: the equal-epoch tie must break on the
+        // lowest object id, regardless of insertion (and map) order.
+        config.gc = GcPolicy::Aggressive {
+            max_total_bytes: 29,
+        };
+        let mut c = DistributedCache::new(config);
+        for id in [3u64, 1, 2] {
+            c.put(ObjectId(id), 10, NodeId(0), 7);
+        }
+        assert_eq!(c.collect_garbage(8), 1);
+        assert!(c.read(ObjectId(1), NodeId(0)).is_err(), "lowest id evicts");
+        assert!(c.read(ObjectId(2), NodeId(0)).is_ok());
+        assert!(c.read(ObjectId(3), NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn lost_objects_fail_reads_until_recomputed() {
+        let mut c = cache(3);
+        c.put(ObjectId(1), 10, NodeId(0), 0);
+        c.put(ObjectId(2), 10, NodeId(1), 0);
+        c.put(ObjectId(3), 10, NodeId(1), 1);
+        assert!(c.lose_object(ObjectId(1)));
+        assert!(!c.lose_object(ObjectId(1)), "already gone");
+        assert_eq!(
+            c.read(ObjectId(1), NodeId(0)).unwrap_err(),
+            CacheError::NotFound(ObjectId(1))
+        );
+        assert_eq!(c.lose_epoch(0), 1, "object 2 was epoch 0");
+        assert!(c.read(ObjectId(2), NodeId(0)).is_err());
+        assert!(c.read(ObjectId(3), NodeId(0)).is_ok());
+        // Recompute-and-re-put restores service.
+        c.put(ObjectId(1), 10, NodeId(0), 2);
+        assert!(c.read(ObjectId(1), NodeId(0)).is_ok());
     }
 
     #[test]

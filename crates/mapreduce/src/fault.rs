@@ -1,0 +1,334 @@
+//! Deterministic run-level fault plans for windowed jobs.
+//!
+//! A [`JobFaultPlan`] scripts every fault the engine may encounter across a
+//! job's lifetime, keyed by run index: simulated-machine crashes and
+//! stragglers (forwarded to [`slider_cluster::simulate_with_faults`] for
+//! that run's schedule), memoization-cache node failures/recoveries, and
+//! forced memo-state loss per reduce partition. Because the plan is pure
+//! data and every consumer applies it at a fixed point of the run loop, a
+//! `(workload, plan)` pair always yields the same recovery behaviour — and
+//! the recovery invariant holds: outputs are bit-identical to the
+//! fault-free run, only work/time metrics may differ.
+
+use slider_cluster::FaultPlan;
+
+/// A simulated machine crash during one run's foreground schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobMachineCrash {
+    /// Run index (0 = initial run) whose schedule the crash hits.
+    pub run: u64,
+    /// Machine index within the simulated cluster.
+    pub machine: usize,
+    /// Simulated time of the crash within the run, in seconds.
+    pub at_seconds: f64,
+}
+
+/// A straggling machine during one run's foreground schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobStraggler {
+    /// Run index whose schedule the slowdown hits.
+    pub run: u64,
+    /// Machine index within the simulated cluster.
+    pub machine: usize,
+    /// Speed multiplier in `(0, 1)`; e.g. `0.1` = 10× slower.
+    pub factor: f64,
+}
+
+/// A memoization-cache node event at the start of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheNodeEvent {
+    /// Run index before which the event takes effect.
+    pub run: u64,
+    /// Cache node index.
+    pub node: usize,
+}
+
+/// Forced loss of memoized contraction state before one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoLoss {
+    /// Run index before which the state disappears.
+    pub run: u64,
+    /// Reduce partitions whose trees (and cached objects) are lost.
+    pub partitions: Vec<usize>,
+}
+
+/// Scripted faults for a windowed job, keyed by run index.
+///
+/// Build one with the fluent helpers and pass it via
+/// [`crate::JobConfig::with_faults`]; [`JobFaultPlan::seeded`] derives a
+/// reproducible random plan from a seed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobFaultPlan {
+    /// Machine crashes, forwarded to the cluster simulator.
+    pub crashes: Vec<JobMachineCrash>,
+    /// Machine slowdowns, forwarded to the cluster simulator.
+    pub stragglers: Vec<JobStraggler>,
+    /// Cache nodes whose memory tier is lost before a run.
+    pub cache_failures: Vec<CacheNodeEvent>,
+    /// Cache nodes brought back before a run.
+    pub cache_recoveries: Vec<CacheNodeEvent>,
+    /// Memoized partition state forcibly dropped before a run.
+    pub memo_losses: Vec<MemoLoss>,
+    /// Attempts a simulated task may use before the run is declared lost
+    /// (`0` = the cluster default of 3).
+    pub max_attempts: u32,
+    /// Enable speculative re-execution of stragglers in the simulator.
+    pub speculation: bool,
+}
+
+impl JobFaultPlan {
+    /// An empty plan: behaves exactly like no plan at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_trivial(&self) -> bool {
+        self.crashes.is_empty()
+            && self.stragglers.is_empty()
+            && self.cache_failures.is_empty()
+            && self.cache_recoveries.is_empty()
+            && self.memo_losses.is_empty()
+            && !self.speculation
+    }
+
+    /// Adds a machine crash at `at_seconds` into run `run`. Builder-style.
+    pub fn crash(mut self, run: u64, machine: usize, at_seconds: f64) -> Self {
+        self.crashes.push(JobMachineCrash {
+            run,
+            machine,
+            at_seconds,
+        });
+        self
+    }
+
+    /// Marks `machine` as a straggler for run `run`. Builder-style.
+    pub fn slow(mut self, run: u64, machine: usize, factor: f64) -> Self {
+        self.stragglers.push(JobStraggler {
+            run,
+            machine,
+            factor,
+        });
+        self
+    }
+
+    /// Fails cache node `node` before run `run`. Builder-style.
+    pub fn fail_cache_node(mut self, run: u64, node: usize) -> Self {
+        self.cache_failures.push(CacheNodeEvent { run, node });
+        self
+    }
+
+    /// Recovers cache node `node` before run `run`. Builder-style.
+    pub fn recover_cache_node(mut self, run: u64, node: usize) -> Self {
+        self.cache_recoveries.push(CacheNodeEvent { run, node });
+        self
+    }
+
+    /// Drops the memoized state of `partitions` before run `run`.
+    /// Builder-style.
+    pub fn lose_memo(mut self, run: u64, partitions: Vec<usize>) -> Self {
+        self.memo_losses.push(MemoLoss { run, partitions });
+        self
+    }
+
+    /// Caps simulated task attempts. Builder-style.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Enables speculative execution in the simulator. Builder-style.
+    pub fn with_speculation(mut self) -> Self {
+        self.speculation = true;
+        self
+    }
+
+    /// Derives a reproducible random plan from `seed` for a job expected to
+    /// span `runs` runs on `machines` simulated machines with `partitions`
+    /// reduce partitions. The same arguments always produce the same plan.
+    pub fn seeded(seed: u64, runs: u64, machines: usize, partitions: usize) -> Self {
+        let mut state = seed;
+        let mut plan = JobFaultPlan::default();
+        if runs == 0 || machines == 0 || partitions == 0 {
+            return plan;
+        }
+        // At most one crash and one straggler per plan, each in a random
+        // run, always sparing machine 0 so work can complete.
+        if machines > 1 && next(&mut state).is_multiple_of(2) {
+            let run = next(&mut state) % runs;
+            let machine = 1 + (next(&mut state) as usize % (machines - 1));
+            let at = 0.5 + (next(&mut state) % 100) as f64 / 10.0;
+            plan = plan.crash(run, machine, at);
+        }
+        if machines > 1 && next(&mut state).is_multiple_of(2) {
+            let run = next(&mut state) % runs;
+            let machine = 1 + (next(&mut state) as usize % (machines - 1));
+            let factor = 0.2 + 0.6 * (next(&mut state) % 1000) as f64 / 1000.0;
+            plan = plan.slow(run, machine, factor);
+            if next(&mut state).is_multiple_of(2) {
+                plan = plan.with_speculation();
+            }
+        }
+        // Up to two memo losses, never before run 1 (there is nothing to
+        // lose ahead of the initial run).
+        if runs > 1 {
+            for _ in 0..(next(&mut state) % 3) {
+                let run = 1 + next(&mut state) % (runs - 1);
+                let count = 1 + next(&mut state) as usize % partitions;
+                let start = next(&mut state) as usize % partitions;
+                let parts: Vec<usize> = (0..count).map(|i| (start + i) % partitions).collect();
+                plan = plan.lose_memo(run, parts);
+            }
+            // A cache-node failure with a later recovery.
+            if next(&mut state).is_multiple_of(2) {
+                let node = next(&mut state) as usize % partitions.max(2);
+                let run = 1 + next(&mut state) % (runs - 1);
+                plan = plan.fail_cache_node(run, node);
+                if run + 1 < runs {
+                    plan = plan.recover_cache_node(run + 1, node);
+                }
+            }
+        }
+        plan
+    }
+
+    /// The cluster-level fault plan for run `run`: that run's crashes and
+    /// slowdowns under this plan's retry/speculation settings. Trivial (and
+    /// therefore bit-identical to fault-free simulation) for runs the plan
+    /// does not touch.
+    pub fn cluster_plan_for_run(&self, run: u64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for c in self.crashes.iter().filter(|c| c.run == run) {
+            plan = plan.crash(c.machine, c.at_seconds);
+        }
+        for s in self.stragglers.iter().filter(|s| s.run == run) {
+            plan = plan.slow(s.machine, s.factor);
+        }
+        if self.max_attempts > 0 {
+            plan = plan.with_max_attempts(self.max_attempts);
+        }
+        if self.speculation {
+            plan = plan.with_speculation();
+        }
+        plan
+    }
+
+    /// Partitions whose memoized state is lost before run `run`, sorted and
+    /// deduplicated.
+    pub fn lost_partitions(&self, run: u64) -> Vec<usize> {
+        let mut parts: Vec<usize> = self
+            .memo_losses
+            .iter()
+            .filter(|l| l.run == run)
+            .flat_map(|l| l.partitions.iter().copied())
+            .collect();
+        parts.sort_unstable();
+        parts.dedup();
+        parts
+    }
+
+    /// Cache nodes failing before run `run`, in plan order.
+    pub fn cache_failures_for_run(&self, run: u64) -> Vec<usize> {
+        self.cache_failures
+            .iter()
+            .filter(|e| e.run == run)
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// Cache nodes recovering before run `run`, in plan order.
+    pub fn cache_recoveries_for_run(&self, run: u64) -> Vec<usize> {
+        self.cache_recoveries
+            .iter()
+            .filter(|e| e.run == run)
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// Checks plan-internal invariants (finite times, usable factors).
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        for c in &self.crashes {
+            if !c.at_seconds.is_finite() || c.at_seconds < 0.0 {
+                return Err(format!(
+                    "crash time {} for machine {} must be finite and >= 0",
+                    c.at_seconds, c.machine
+                ));
+            }
+        }
+        for s in &self.stragglers {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(format!(
+                    "straggler factor {} for machine {} must be finite and positive",
+                    s.factor, s.machine
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// xorshift64: small, deterministic, dependency-free (matches the cluster
+/// crate's seeded-plan generator).
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = JobFaultPlan::seeded(42, 5, 8, 4);
+        let b = JobFaultPlan::seeded(42, 5, 8, 4);
+        assert_eq!(a, b);
+        // Some seed in a small range must produce a non-trivial plan.
+        assert!((0..16).any(|s| !JobFaultPlan::seeded(s, 5, 8, 4).is_trivial()));
+    }
+
+    #[test]
+    fn seeded_plans_never_crash_machine_zero() {
+        for seed in 0..64 {
+            let plan = JobFaultPlan::seeded(seed, 6, 4, 3);
+            assert!(plan.crashes.iter().all(|c| c.machine != 0), "seed {seed}");
+            assert!(plan.memo_losses.iter().all(|l| l.run > 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn per_run_projection_selects_only_that_run() {
+        let plan = JobFaultPlan::none()
+            .crash(1, 2, 3.0)
+            .crash(2, 1, 1.0)
+            .slow(1, 3, 0.5)
+            .lose_memo(2, vec![1, 0, 1])
+            .fail_cache_node(1, 0)
+            .recover_cache_node(2, 0)
+            .with_speculation();
+        let run1 = plan.cluster_plan_for_run(1);
+        assert_eq!(run1.crashes.len(), 1);
+        assert_eq!(run1.slowdowns.len(), 1);
+        assert!(run1.speculation);
+        let run0 = plan.cluster_plan_for_run(0);
+        assert!(run0.crashes.is_empty() && run0.slowdowns.is_empty());
+        assert_eq!(plan.lost_partitions(2), vec![0, 1]);
+        assert!(plan.lost_partitions(1).is_empty());
+        assert_eq!(plan.cache_failures_for_run(1), vec![0]);
+        assert_eq!(plan.cache_recoveries_for_run(2), vec![0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(JobFaultPlan::none()
+            .crash(0, 0, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(JobFaultPlan::none().slow(0, 0, 0.0).validate().is_err());
+        assert!(JobFaultPlan::none().crash(0, 0, 1.0).validate().is_ok());
+    }
+}

@@ -61,6 +61,7 @@
 
 mod app;
 mod error;
+mod fault;
 mod feeder;
 mod pipeline;
 mod runtime;
@@ -71,10 +72,11 @@ mod windowed;
 
 pub use app::{AppCombiner, MapReduceApp};
 pub use error::JobError;
+pub use fault::{CacheNodeEvent, JobFaultPlan, JobMachineCrash, JobStraggler, MemoLoss};
 pub use feeder::WindowFeeder;
 pub use pipeline::{InnerStageStats, Pipeline, PipelineRunResult, StageApp, StageInput};
 pub use runtime::{Runtime, THREADS_ENV};
 pub use shuffle::{partition_of, stable_hash};
 pub use split::{make_splits, Split, SplitId};
-pub use stats::{RunStats, WorkBreakdown};
+pub use stats::{RecoveryStats, RunStats, WorkBreakdown};
 pub use windowed::{ExecMode, JobConfig, RunResult, SimulationConfig, WindowedJob};

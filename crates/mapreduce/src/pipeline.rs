@@ -95,6 +95,13 @@ impl PipelineRunResult {
         }
         Some(t)
     }
+
+    /// Recovery work of this run. Fault plans attach to the window-facing
+    /// first stage (inner stages hold only state derivable from its rows),
+    /// so this is the first job's [`RecoveryStats`].
+    pub fn recovery(&self) -> &crate::stats::RecoveryStats {
+        &self.first.recovery
+    }
 }
 
 /// Object-safe view of an inner stage for heterogeneous pipelines.
@@ -690,6 +697,44 @@ mod tests {
             inner.buckets_total
         );
         assert!(update.total_work() < initial.total_work());
+    }
+
+    #[test]
+    fn memo_loss_in_the_first_stage_leaves_pipeline_rows_identical() {
+        let corpus = ["a b c", "b c d", "c d e", "a a", "e e e e", "b d"];
+        let plan = crate::fault::JobFaultPlan::none().lose_memo(1, vec![0, 1]);
+        let run = |faults: Option<crate::fault::JobFaultPlan>| {
+            let mut config = JobConfig::new(ExecMode::slider_folding()).with_partitions(2);
+            if let Some(f) = faults {
+                config = config.with_faults(f);
+            }
+            let mut pipeline =
+                Pipeline::new(WordCount, config)
+                    .unwrap()
+                    .add_stage("histogram", CountHistogram, 4);
+            pipeline
+                .initial_run(make_splits(
+                    0,
+                    corpus[0..3].iter().map(|s| s.to_string()).collect(),
+                    1,
+                ))
+                .unwrap();
+            let stats = pipeline
+                .advance(
+                    1,
+                    make_splits(10, corpus[3..6].iter().map(|s| s.to_string()).collect(), 1),
+                )
+                .unwrap();
+            let mut rows = pipeline.final_rows();
+            rows.sort();
+            (rows, stats)
+        };
+        let (faulty_rows, faulty_stats) = run(Some(plan));
+        let (twin_rows, twin_stats) = run(None);
+        assert_eq!(faulty_rows, twin_rows, "loss must not change pipeline rows");
+        assert_eq!(faulty_stats.recovery().lost_partitions, 2);
+        assert!(faulty_stats.recovery().rebuild_work > 0);
+        assert!(twin_stats.recovery().is_zero());
     }
 
     #[test]

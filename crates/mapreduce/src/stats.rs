@@ -35,6 +35,32 @@ impl WorkBreakdown {
     }
 }
 
+/// Recovery work of one run, metered separately from regular work so
+/// fault overheads are visible (the paper's fault-tolerance evaluation):
+/// lost memoized state degrades to extra foreground computation, never a
+/// wrong answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Reduce partitions whose memoized trees were lost and rebuilt.
+    pub lost_partitions: usize,
+    /// Work units spent rebuilding lost contraction state.
+    pub rebuild_work: u64,
+    /// Combiner merges performed during rebuilds.
+    pub rebuild_merges: u64,
+    /// Keys whose contraction state was recomputed only because of a loss.
+    pub keys_recomputed: usize,
+    /// Memo-cache reads that failed outright and degraded to
+    /// recomputation (replica failover exhausted).
+    pub cache_misses_recovered: u64,
+}
+
+impl RecoveryStats {
+    /// True when this run performed no recovery work at all.
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
 /// Everything measured about one run of a windowed job.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -68,6 +94,8 @@ pub struct RunStats {
     /// Memoization-cache statistics delta for this run (when a cache is
     /// configured).
     pub cache: Option<CacheStats>,
+    /// Recovery work of this run (all zero for fault-free runs).
+    pub recovery: RecoveryStats,
 }
 
 impl RunStats {
@@ -95,6 +123,12 @@ impl RunStats {
     /// Simulated background pre-processing duration (0 when none ran).
     pub fn background_seconds(&self) -> f64 {
         self.sim_background.as_ref().map_or(0.0, |s| s.makespan)
+    }
+
+    /// Simulated seconds the cluster spent on recovery (partial attempts
+    /// killed by crashes plus losing speculative duplicates), if simulated.
+    pub fn recovery_seconds(&self) -> Option<f64> {
+        self.sim.as_ref().map(|s| s.recovery_seconds)
     }
 }
 

@@ -5,16 +5,19 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use slider_cluster::{simulate, ClusterSpec, MachineId, SchedulerPolicy, Task};
+use slider_cluster::{
+    simulate, simulate_with_faults, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, Task,
+};
 use slider_core::{build_tree, ContractionTree, Phase, TreeCx, TreeKind, UpdateStats};
 use slider_dcache::{CacheConfig, CacheStats, DistributedCache, NodeId, ObjectId};
 
 use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
+use crate::fault::JobFaultPlan;
 use crate::runtime::Runtime;
 use crate::shuffle::partition_of;
 use crate::split::{Split, SplitId};
-use crate::stats::RunStats;
+use crate::stats::{RecoveryStats, RunStats};
 
 /// How a windowed job processes slides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +150,11 @@ pub struct JobConfig {
     pub simulation: Option<SimulationConfig>,
     /// Optional distributed memoization cache model.
     pub cache: Option<CacheConfig>,
+    /// Optional scripted fault injection: simulated machine crashes and
+    /// stragglers (applied to each run's schedule), cache-node failures,
+    /// and forced memo-state loss. Outputs never change under any plan;
+    /// only work/time metrics and [`RunStats::recovery`] do.
+    pub faults: Option<JobFaultPlan>,
     /// Worker threads for the parallel runtime. `0` means automatic: the
     /// `SLIDER_THREADS` environment variable if set, else the machine's
     /// available parallelism. Thread count never affects outputs or the
@@ -166,6 +174,7 @@ impl JobConfig {
             work_per_byte: 1.0 / 1024.0,
             simulation: None,
             cache: None,
+            faults: None,
             threads: 0,
         }
     }
@@ -196,6 +205,12 @@ impl JobConfig {
         self
     }
 
+    /// Installs a scripted fault plan. Builder-style.
+    pub fn with_faults(mut self, faults: JobFaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Sets the data-movement work rate. Builder-style.
     pub fn with_work_per_byte(mut self, rate: f64) -> Self {
         self.work_per_byte = rate;
@@ -221,6 +236,25 @@ impl JobConfig {
             return Err(JobError::BadConfig(
                 "work_per_byte must be finite and >= 0".into(),
             ));
+        }
+        if let Some(faults) = &self.faults {
+            faults
+                .validate()
+                .map_err(|m| JobError::BadConfig(format!("fault plan: {m}")))?;
+            if let Some(sim) = &self.simulation {
+                let machines = sim.cluster.len();
+                let bad = faults
+                    .crashes
+                    .iter()
+                    .map(|c| c.machine)
+                    .chain(faults.stragglers.iter().map(|s| s.machine))
+                    .find(|&m| m >= machines);
+                if let Some(machine) = bad {
+                    return Err(JobError::BadConfig(format!(
+                        "fault plan targets machine {machine} but the cluster has {machines}"
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -354,6 +388,10 @@ pub struct WindowedJob<A: MapReduceApp> {
     used_split_ids: HashSet<u64>,
     run_index: u64,
     cache: Option<DistributedCache>,
+    /// Per-partition flag: the partition's memoized state was written to
+    /// the cache by a previous run, so the next run is expected to read it
+    /// back. Reads are only issued (and can only fail) for such objects.
+    cached_objects: Vec<bool>,
 }
 
 /// Alias kept for readability in signatures: a run returns its statistics.
@@ -432,6 +470,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
         let shards = (0..config.partitions)
             .map(|_| PartitionShard::default())
             .collect();
+        let cached_objects = vec![false; config.partitions];
         Ok(WindowedJob {
             app,
             combiner,
@@ -443,6 +482,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
             used_split_ids: HashSet::new(),
             run_index: 0,
             cache,
+            cached_objects,
         })
     }
 
@@ -501,6 +541,10 @@ impl<A: MapReduceApp> WindowedJob<A> {
         added: Vec<Split<A::Input>>,
     ) -> Result<RunStats, JobError> {
         self.validate_slide(remove_splits, &added)?;
+
+        // ---- Scripted faults for this run (recovery is metered apart). ----
+        let mut recovery = RecoveryStats::default();
+        self.apply_planned_faults(&mut recovery)?;
 
         let was_full_buckets = self.config.mode.is_fixed_width()
             && self.window.len() == self.config.window_buckets * self.config.bucket_width;
@@ -566,8 +610,9 @@ impl<A: MapReduceApp> WindowedJob<A> {
 
         // ---- Memoization-cache model. -------------------------------------
         if self.cache.is_some() {
-            stats.cache = Some(self.play_cache_traffic());
+            stats.cache = Some(self.play_cache_traffic(&mut recovery));
         }
+        stats.recovery = recovery;
 
         self.run_index += 1;
         Ok(stats)
@@ -592,6 +637,95 @@ impl<A: MapReduceApp> WindowedJob<A> {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Applies this run's scripted faults before the slide: cache-node
+    /// recoveries, then failures, then forced memo loss. Lost partitions
+    /// rebuild their contraction state immediately by replaying the
+    /// current (pre-slide) window through the initial-run path, so the
+    /// slide that follows proceeds exactly as in a fault-free job — the
+    /// combiner's associativity makes the rebuilt trees answer-equivalent
+    /// even where their internal shape differs. All rebuild work lands in
+    /// [`RecoveryStats`], never in the regular work breakdown.
+    fn apply_planned_faults(&mut self, recovery: &mut RecoveryStats) -> Result<(), JobError> {
+        let Some(plan) = self.config.faults.clone() else {
+            return Ok(());
+        };
+        let run = self.run_index;
+        for node in plan.cache_recoveries_for_run(run) {
+            self.recover_cache_node(node);
+        }
+        for node in plan.cache_failures_for_run(run) {
+            self.fail_cache_node(node);
+        }
+        let lost: Vec<usize> = plan
+            .lost_partitions(run)
+            .into_iter()
+            .filter(|&p| p < self.shards.len())
+            .collect();
+        if lost.is_empty() || self.config.mode.tree_kind().is_none() {
+            // Nothing scripted, or vanilla recompute holds no memoized
+            // state a loss could destroy.
+            return Ok(());
+        }
+        self.rebuild_lost_shards(&lost, recovery)
+    }
+
+    /// Drops and rebuilds the memoized state of `lost` partitions from the
+    /// pre-slide window. Shard outputs are left untouched: they were
+    /// correct before the loss and the rebuild reproduces equivalent
+    /// trees, so recomputing them could only confirm the same values.
+    fn rebuild_lost_shards(
+        &mut self,
+        lost: &[usize],
+        recovery: &mut RecoveryStats,
+    ) -> Result<(), JobError> {
+        let kind = self
+            .config
+            .mode
+            .tree_kind()
+            .expect("caller checked incremental mode");
+        let window_entries: Vec<SplitEntry<A>> = self.window.iter().cloned().collect();
+        // Replaying the whole window with nothing removed re-enters the
+        // initial-fill path of every tree family (`rotate` sees zero
+        // pre-existing buckets, `slide` sees only additions).
+        let cx = SlideCx {
+            app: &*self.app,
+            combiner: &self.combiner,
+            config: &self.config,
+            window: &self.window,
+            removed: &[],
+            added: &window_entries,
+            was_full_buckets: false,
+            kind,
+            split_processing: false,
+        };
+        for &p in lost {
+            let shard = &mut self.shards[p];
+            if shard.trees.is_empty() {
+                // Nothing memoized yet (e.g. a loss scripted before the
+                // initial run): nothing to recover.
+                continue;
+            }
+            shard.trees.clear();
+            shard.memo_footprint = 0;
+            if let Some(cache) = &mut self.cache {
+                // The replicated object is gone too; the next cache read
+                // fails over and ultimately misses, metered below.
+                cache.lose_object(ObjectId(p as u64));
+            }
+            let mut stats = UpdateStats::default();
+            let recomputed = if kind == TreeKind::Rotating {
+                shard.rotate(p, &cx, &mut stats)?
+            } else {
+                shard.slide(p, &cx, &mut stats)?
+            };
+            recovery.lost_partitions += 1;
+            recovery.keys_recomputed += recomputed.len();
+            recovery.rebuild_work += stats.foreground.work + stats.background.work;
+            recovery.rebuild_merges += stats.foreground.merges + stats.background.merges;
+        }
+        Ok(())
+    }
 
     fn validate_slide(
         &self,
@@ -783,7 +917,16 @@ impl<A: MapReduceApp> WindowedJob<A> {
             .collect();
         let _ = stats;
 
-        let fg_report = simulate(&sim.cluster, sim.policy, &[maps, reduces]);
+        // This run's scripted machine faults (a trivial plan reproduces
+        // the fault-free schedule bit for bit).
+        let cluster_plan = self
+            .config
+            .faults
+            .as_ref()
+            .map(|f| f.cluster_plan_for_run(self.run_index))
+            .unwrap_or_else(FaultPlan::none);
+        let fg_report =
+            simulate_with_faults(&sim.cluster, sim.policy, &[maps, reduces], &cluster_plan);
 
         // Background pre-processing runs off the critical path, simulated
         // as its own single-stage schedule.
@@ -805,7 +948,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
 
     /// Replays this run's memoization traffic through the cache model and
     /// returns the stats delta.
-    fn play_cache_traffic(&mut self) -> CacheStats {
+    fn play_cache_traffic(&mut self, recovery: &mut RecoveryStats) -> CacheStats {
         let cache = self.cache.as_mut().expect("caller checked");
         let nodes = cache.config().nodes.max(1);
         let before = cache.stats();
@@ -813,14 +956,19 @@ impl<A: MapReduceApp> WindowedJob<A> {
             let node = NodeId(p % nodes);
             let object = ObjectId(p as u64);
             // The contraction phase reads the partition's memoized state
-            // from the previous run, then writes the updated state back.
-            if self.run_index > 0 {
-                let _ = cache.read(object, node);
+            // from the previous run (if one was ever written), then writes
+            // the updated state back. A read that fails over every replica
+            // and still misses means the state was recomputed in the
+            // foreground instead (recompute-on-miss): meter it as
+            // recovery, never an error.
+            if self.cached_objects[p] && cache.read(object, node).is_err() {
+                recovery.cache_misses_recovered += 1;
             }
             let footprint = self.shards[p].memo_footprint;
             if footprint > 0 {
                 cache.put(object, footprint, node, self.run_index);
             }
+            self.cached_objects[p] = footprint > 0;
         }
         cache.collect_garbage(self.run_index);
         let after = cache.stats();
@@ -1454,5 +1602,103 @@ mod tests {
         assert!(job.memo_footprint_bytes() > 0);
         assert!(format!("{job:?}").contains("WindowedJob"));
         assert_eq!(job.config().partitions, 8);
+    }
+
+    #[test]
+    fn trivial_fault_plan_is_bit_identical_to_no_plan() {
+        let corpus = ["a b c", "b c d", "c d e", "a a b", "e f", "f g a"];
+        let base = || {
+            JobConfig::new(ExecMode::slider_folding())
+                .with_partitions(3)
+                .with_simulation(SimulationConfig::paper_defaults())
+                .with_cache(slider_dcache::CacheConfig::paper_defaults(4))
+        };
+        let run = |config: JobConfig| {
+            let mut job = WindowedJob::new(WordCount, config).unwrap();
+            let s0 = job
+                .initial_run(make_splits(0, lines(&corpus[0..4]), 1))
+                .unwrap();
+            let s1 = job
+                .advance(2, make_splits(10, lines(&corpus[4..6]), 1))
+                .unwrap();
+            (job.output().clone(), format!("{s0:?} {s1:?}"))
+        };
+        let plain = run(base());
+        let trivial = run(base().with_faults(JobFaultPlan::none()));
+        assert_eq!(plain.0, trivial.0);
+        assert_eq!(plain.1, trivial.1, "an empty plan must not perturb stats");
+    }
+
+    #[test]
+    fn memo_loss_is_rebuilt_bit_identically_in_every_mode() {
+        let corpus = [
+            "a b c", "b c d", "c d e", "a a b", "e f", "f g a", "b b", "g h a", "h i", "a c e",
+            "b d f", "c c c",
+        ];
+        let plan = JobFaultPlan::none().lose_memo(1, vec![0, 2]);
+        for mode in all_modes() {
+            let make = |faults: Option<JobFaultPlan>| {
+                let mut config = JobConfig::new(mode).with_partitions(3).with_buckets(8, 1);
+                if let Some(f) = faults {
+                    config = config.with_faults(f);
+                }
+                WindowedJob::new(WordCount, config).unwrap()
+            };
+            let mut faulty = make(Some(plan.clone()));
+            let mut twin = make(None);
+            faulty
+                .initial_run(make_splits(0, lines(&corpus[0..8]), 1))
+                .unwrap();
+            twin.initial_run(make_splits(0, lines(&corpus[0..8]), 1))
+                .unwrap();
+
+            // Run 1: partitions 0 and 2 lose their memoized trees just
+            // before the slide and must rebuild, then slide as usual.
+            let stats = faulty
+                .advance(2, make_splits(100, lines(&corpus[8..10]), 1))
+                .unwrap();
+            let twin_stats = twin
+                .advance(2, make_splits(100, lines(&corpus[8..10]), 1))
+                .unwrap();
+            assert_eq!(faulty.output(), twin.output(), "{mode}: run 1 outputs");
+            if mode.tree_kind().is_some() {
+                assert_eq!(stats.recovery.lost_partitions, 2, "{mode}");
+                assert!(stats.recovery.rebuild_work > 0, "{mode}: rebuild metered");
+            } else {
+                assert!(stats.recovery.is_zero(), "{mode}: nothing memoized");
+            }
+            // Recovery work never leaks into the regular breakdown. (In
+            // split mode the rebuilt tree drops its pending background
+            // pre-combinations, so background work may legitimately
+            // differ; outputs still cannot.)
+            if !mode.split_processing() {
+                assert_eq!(stats.work, twin_stats.work, "{mode}: run 1 work");
+            }
+
+            // Run 2 is fault-free again: recovery stats return to zero and
+            // outputs keep matching.
+            let stats = faulty
+                .advance(2, make_splits(200, lines(&corpus[10..12]), 1))
+                .unwrap();
+            twin.advance(2, make_splits(200, lines(&corpus[10..12]), 1))
+                .unwrap();
+            assert!(stats.recovery.is_zero(), "{mode}: run 2 recovery");
+            assert_eq!(faulty.output(), twin.output(), "{mode}: run 2 outputs");
+            assert_eq!(faulty.output(), &reference_counts(&corpus[4..12]), "{mode}");
+        }
+    }
+
+    #[test]
+    fn fault_plan_validation_catches_bad_targets() {
+        let plan = JobFaultPlan::none().crash(0, 99, 1.0);
+        let config = JobConfig::new(ExecMode::slider_folding())
+            .with_simulation(SimulationConfig::paper_defaults())
+            .with_faults(plan);
+        let err = WindowedJob::new(WordCount, config).unwrap_err();
+        assert!(matches!(err, JobError::BadConfig(ref m) if m.contains("machine 99")));
+
+        let config = JobConfig::new(ExecMode::slider_folding())
+            .with_faults(JobFaultPlan::none().slow(0, 0, f64::NAN));
+        assert!(WindowedJob::new(WordCount, config).is_err());
     }
 }

@@ -16,6 +16,27 @@ pub enum QueryError {
     Job(JobError),
     /// The plan cannot be compiled (detailed in the message).
     BadPlan(String),
+    /// A non-blocking operator appeared where a job must end; only
+    /// group-by, distinct, top-k, or a trailing collect may close a stage.
+    TrailingOperator {
+        /// Debug rendering of the offending operator.
+        op: String,
+    },
+    /// Two partial aggregates of different shapes were merged.
+    MismatchedAggregates {
+        /// Debug rendering of the left partial.
+        left: String,
+        /// Debug rendering of the right partial.
+        right: String,
+    },
+    /// A stage received a partial value its blocking operator cannot
+    /// process (e.g. a top-k buffer outside a top-k stage).
+    IncompatibleValue {
+        /// Debug rendering of the stage's blocking operator.
+        stage: String,
+        /// Debug rendering of the offending value.
+        value: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -23,6 +44,15 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Job(e) => write!(f, "job error: {e}"),
             QueryError::BadPlan(msg) => write!(f, "bad query plan: {msg}"),
+            QueryError::TrailingOperator { op } => {
+                write!(f, "operator {op} does not end a job")
+            }
+            QueryError::MismatchedAggregates { left, right } => {
+                write!(f, "mismatched partial aggregates: {left} vs {right}")
+            }
+            QueryError::IncompatibleValue { stage, value } => {
+                write!(f, "stage {stage} received incompatible value {value}")
+            }
         }
     }
 }
@@ -31,7 +61,7 @@ impl Error for QueryError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             QueryError::Job(e) => Some(e),
-            QueryError::BadPlan(_) => None,
+            _ => None,
         }
     }
 }
@@ -97,11 +127,11 @@ impl Query {
 
         let mut iter = jobs.into_iter();
         let (first_mappers, first_blocking) = iter.next().expect("at least one job");
-        let mut pipeline = Pipeline::new(RowStage::new(first_mappers, first_blocking), config)?;
+        let mut pipeline = Pipeline::new(RowStage::new(first_mappers, first_blocking)?, config)?;
         for (i, (mappers, blocking)) in iter.enumerate() {
             pipeline = pipeline.add_stage(
                 format!("stage-{}", i + 2),
-                RowStage::new(mappers, blocking),
+                RowStage::new(mappers, blocking)?,
                 inner_buckets,
             );
         }

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use slider_mapreduce::{MapReduceApp, StageApp};
 
+use crate::exec::QueryError;
 use crate::plan::{AggFn, Field, QueryOp, Row};
 
 /// Partial state of one aggregate function.
@@ -42,15 +43,20 @@ impl AggState {
         }
     }
 
-    fn merge(&self, other: &AggState) -> AggState {
-        match (self, other) {
+    fn merge(&self, other: &AggState) -> Result<AggState, QueryError> {
+        Ok(match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => AggState::Count(a + b),
             (AggState::Sum(a), AggState::Sum(b)) => AggState::Sum(a + b),
             (AggState::Min(a), AggState::Min(b)) => AggState::Min(*a.min(b)),
             (AggState::Max(a), AggState::Max(b)) => AggState::Max(*a.max(b)),
             (AggState::Avg(s1, c1), AggState::Avg(s2, c2)) => AggState::Avg(s1 + s2, c1 + c2),
-            _ => panic!("mismatched aggregate states: {self:?} vs {other:?}"),
-        }
+            _ => {
+                return Err(QueryError::MismatchedAggregates {
+                    left: format!("{self:?}"),
+                    right: format!("{other:?}"),
+                })
+            }
+        })
     }
 
     fn finish(&self) -> Field {
@@ -102,21 +108,93 @@ impl RowStage {
     /// Builds a stage from fused non-blocking `mappers` and the blocking
     /// operator `blocking` (or `None` for a trailing collect stage).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `blocking` is a non-blocking operator.
-    pub fn new(mappers: Vec<QueryOp>, blocking: Option<QueryOp>) -> Self {
+    /// Returns [`QueryError::TrailingOperator`] if `blocking` is a
+    /// non-blocking operator.
+    pub fn new(mappers: Vec<QueryOp>, blocking: Option<QueryOp>) -> Result<Self, QueryError> {
         debug_assert!(mappers.iter().all(|op| !op.is_blocking()));
         let grouping = match blocking {
             None => Grouping::Collect,
             Some(QueryOp::GroupBy { cols, aggs }) => Grouping::GroupBy { cols, aggs },
             Some(QueryOp::Distinct(cols)) => Grouping::Distinct(cols),
             Some(QueryOp::TopK { col, k, desc }) => Grouping::TopK { col, k, desc },
-            Some(op) => panic!("operator {op:?} does not end a job"),
+            Some(op) => {
+                return Err(QueryError::TrailingOperator {
+                    op: format!("{op:?}"),
+                })
+            }
         };
-        RowStage {
+        Ok(RowStage {
             mappers: Arc::new(mappers),
             grouping,
+        })
+    }
+
+    /// Fallible combine: merges two partial aggregates, surfacing shape
+    /// mismatches as typed [`QueryError`]s. [`MapReduceApp::combine`]
+    /// delegates here; within a compiled pipeline every partial was emitted
+    /// by this stage's own map, so the error paths are unreachable there
+    /// but remain observable to direct callers.
+    pub fn try_combine(&self, a: &QValue, b: &QValue) -> Result<QValue, QueryError> {
+        match (a, b) {
+            (QValue::Aggs(x), QValue::Aggs(y)) => {
+                debug_assert_eq!(x.len(), y.len());
+                let states = x
+                    .iter()
+                    .zip(y)
+                    .map(|(p, q)| p.merge(q))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(QValue::Aggs(states))
+            }
+            (QValue::Count(x), QValue::Count(y)) => Ok(QValue::Count(x + y)),
+            (QValue::TopK(x), QValue::TopK(y)) => match &self.grouping {
+                Grouping::TopK { k, desc, .. } => {
+                    Ok(QValue::TopK(Self::merge_topk(x, y, *k, *desc)))
+                }
+                g => Err(QueryError::IncompatibleValue {
+                    stage: format!("{g:?}"),
+                    value: format!("{a:?}"),
+                }),
+            },
+            _ => Err(QueryError::MismatchedAggregates {
+                left: format!("{a:?}"),
+                right: format!("{b:?}"),
+            }),
+        }
+    }
+
+    /// Fallible reduce: folds `parts` with [`RowStage::try_combine`] and
+    /// finishes the blocking operator, surfacing shape mismatches as typed
+    /// [`QueryError`]s.
+    pub fn try_reduce(&self, key: &Row, parts: &[&QValue]) -> Result<Vec<Row>, QueryError> {
+        let mut acc = parts[0].clone();
+        for part in &parts[1..] {
+            acc = self.try_combine(&acc, part)?;
+        }
+        match (&self.grouping, acc) {
+            (Grouping::GroupBy { .. }, QValue::Aggs(states)) => {
+                let mut row = key.clone();
+                row.extend(states.iter().map(AggState::finish));
+                Ok(vec![row])
+            }
+            (Grouping::Distinct(_), QValue::Count(c)) => {
+                if c > 0 {
+                    Ok(vec![key.clone()])
+                } else {
+                    Ok(vec![])
+                }
+            }
+            (Grouping::TopK { .. }, QValue::TopK(rows)) => {
+                Ok(rows.into_iter().map(|(_, row)| row).collect())
+            }
+            (Grouping::Collect, QValue::Count(c)) => Ok(std::iter::repeat_with(|| key.clone())
+                .take(c as usize)
+                .collect()),
+            (g, v) => Err(QueryError::IncompatibleValue {
+                stage: format!("{g:?}"),
+                value: format!("{v:?}"),
+            }),
         }
     }
 
@@ -217,48 +295,16 @@ impl MapReduceApp for RowStage {
     }
 
     fn combine(&self, _key: &Row, a: &QValue, b: &QValue) -> QValue {
-        match (a, b) {
-            (QValue::Aggs(x), QValue::Aggs(y)) => {
-                debug_assert_eq!(x.len(), y.len());
-                QValue::Aggs(x.iter().zip(y).map(|(p, q)| p.merge(q)).collect())
-            }
-            (QValue::Count(x), QValue::Count(y)) => QValue::Count(x + y),
-            (QValue::TopK(x), QValue::TopK(y)) => {
-                let Grouping::TopK { k, desc, .. } = &self.grouping else {
-                    panic!("TopK value outside a TopK stage");
-                };
-                QValue::TopK(Self::merge_topk(x, y, *k, *desc))
-            }
-            _ => panic!("mismatched partial aggregates"),
-        }
+        // `RowStage::new` fixes the grouping before any value is emitted,
+        // so every partial reaching the runtime has this stage's shape and
+        // `try_combine` cannot fail here.
+        self.try_combine(a, b)
+            .expect("partials emitted by this stage share its shape")
     }
 
     fn reduce(&self, key: &Row, parts: &[&QValue]) -> Vec<Row> {
-        let mut acc = parts[0].clone();
-        for part in &parts[1..] {
-            acc = self.combine(key, &acc, part);
-        }
-        match (&self.grouping, acc) {
-            (Grouping::GroupBy { .. }, QValue::Aggs(states)) => {
-                let mut row = key.clone();
-                row.extend(states.iter().map(AggState::finish));
-                vec![row]
-            }
-            (Grouping::Distinct(_), QValue::Count(c)) => {
-                if c > 0 {
-                    vec![key.clone()]
-                } else {
-                    vec![]
-                }
-            }
-            (Grouping::TopK { .. }, QValue::TopK(rows)) => {
-                rows.into_iter().map(|(_, row)| row).collect()
-            }
-            (Grouping::Collect, QValue::Count(c)) => std::iter::repeat_with(|| key.clone())
-                .take(c as usize)
-                .collect(),
-            (g, v) => panic!("grouping {g:?} received incompatible value {v:?}"),
-        }
+        self.try_reduce(key, parts)
+            .expect("partials emitted by this stage share its shape")
     }
 
     fn map_cost(&self, _input: &Row) -> u64 {
@@ -326,7 +372,8 @@ mod tests {
                 },
             ],
             None,
-        );
+        )
+        .unwrap();
         let mut out = Vec::new();
         stage.apply_mappers(&int_row(&[1, 99]), &mut out);
         assert_eq!(out, vec![vec![Field::Int(1), Field::Str("one".into())]]);
@@ -353,7 +400,8 @@ mod tests {
                     AggFn::Avg(1),
                 ],
             }),
-        );
+        )
+        .unwrap();
         let mut emitted = Vec::new();
         stage.map(&int_row(&[7, 10]), &mut |k, v| emitted.push((k, v)));
         stage.map(&int_row(&[7, 20]), &mut |k, v| emitted.push((k, v)));
@@ -388,12 +436,69 @@ mod tests {
     }
 
     #[test]
+    fn non_blocking_tail_operator_is_a_typed_error() {
+        // A malformed job whose "blocking" operator cannot end a stage must
+        // surface as a typed error, not a panic.
+        let err = RowStage::new(
+            vec![],
+            Some(QueryOp::Filter(Predicate::Cmp {
+                left: Expr::Col(0),
+                op: CmpOp::Gt,
+                right: Expr::Lit(Field::Int(0)),
+            })),
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::TrailingOperator { .. }), "{err}");
+    }
+
+    #[test]
+    fn mismatched_partials_are_typed_errors() {
+        let stage = RowStage::new(
+            vec![],
+            Some(QueryOp::GroupBy {
+                cols: vec![0],
+                aggs: vec![AggFn::Count],
+            }),
+        )
+        .unwrap();
+        // Count vs Aggs partials cannot merge.
+        let err = stage
+            .try_combine(&QValue::Count(1), &QValue::Aggs(vec![AggState::Count(1)]))
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::MismatchedAggregates { .. }),
+            "{err}"
+        );
+        // Aggregate states of different kinds cannot merge either.
+        let err = stage
+            .try_combine(
+                &QValue::Aggs(vec![AggState::Count(1)]),
+                &QValue::Aggs(vec![AggState::Sum(2)]),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::MismatchedAggregates { .. }),
+            "{err}"
+        );
+        // A top-k buffer is meaningless outside a top-k stage.
+        let err = stage
+            .try_combine(&QValue::TopK(vec![]), &QValue::TopK(vec![]))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IncompatibleValue { .. }), "{err}");
+        // ...and so is reducing one under a group-by.
+        let err = stage
+            .try_reduce(&int_row(&[1]), &[&QValue::TopK(vec![])])
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IncompatibleValue { .. }), "{err}");
+    }
+
+    #[test]
     fn distinct_counts_and_collect_repeats() {
-        let stage = RowStage::new(vec![], Some(QueryOp::Distinct(vec![0])));
+        let stage = RowStage::new(vec![], Some(QueryOp::Distinct(vec![0]))).unwrap();
         let rows = stage.reduce(&int_row(&[3]), &[&QValue::Count(5)]);
         assert_eq!(rows, vec![int_row(&[3])]);
 
-        let collect = RowStage::new(vec![], None);
+        let collect = RowStage::new(vec![], None).unwrap();
         let rows = collect.reduce(&int_row(&[4]), &[&QValue::Count(2)]);
         assert_eq!(rows, vec![int_row(&[4]), int_row(&[4])]);
     }
