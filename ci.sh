@@ -18,4 +18,10 @@ cargo test -q
 echo "==> fault injection: recovery invariant"
 cargo test -q -p slider-bench --test integration_fault_recovery --test proptest_recovery
 
+echo "==> cache unit + property tests"
+cargo test -q -p slider-dcache
+
+echo "==> self-healing: repair, scrub, and master-rebuild scenarios"
+cargo test -q -p slider-bench --test integration_self_healing
+
 echo "CI OK"

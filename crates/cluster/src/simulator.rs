@@ -108,6 +108,23 @@ pub struct SimReport {
     /// Recovery machine seconds (see [`StageReport::recovery_seconds`]),
     /// across all stages.
     pub recovery_seconds: f64,
+    /// Network bytes moved by background cache re-replication attached to
+    /// this run (off the critical path; never part of `makespan`).
+    pub repair_network_bytes: u64,
+    /// Simulated seconds of background repair and scrub I/O attached to
+    /// this run (off the critical path; never part of `makespan`).
+    pub repair_seconds: f64,
+}
+
+impl SimReport {
+    /// Attaches background self-healing traffic (re-replication bytes and
+    /// repair/scrub seconds) to this run's accounting. The work shares the
+    /// cluster's network but runs off the critical path, so `makespan` is
+    /// untouched.
+    pub fn attach_repair_traffic(&mut self, bytes: u64, seconds: f64) {
+        self.repair_network_bytes += bytes;
+        self.repair_seconds += seconds;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -27,6 +27,7 @@
 
 mod gc;
 mod master;
+mod repair;
 mod store;
 
 pub use gc::GcPolicy;
@@ -34,4 +35,5 @@ pub use master::{
     CacheConfig, CacheError, CacheStats, DistributedCache, LatencyModel, NodeId, ObjectId,
     ReadOutcome, ReadSource,
 };
+pub use repair::RepairStats;
 pub use store::InMemoryStore;

@@ -1,10 +1,11 @@
 //! The master-coordinated distributed cache with the shim I/O layer.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
 use crate::gc::GcPolicy;
+use crate::repair::RepairStats;
 use crate::store::InMemoryStore;
 
 /// Identifies a slave node of the memoization layer.
@@ -52,16 +53,29 @@ pub struct CacheConfig {
     /// quantify the savings).
     pub memory_enabled: bool,
     /// Number of persistent replicas per object (the paper uses 2).
+    /// Clamped to the node count at cache creation — more replicas than
+    /// nodes cannot be placed distinctly.
     pub replicas: usize,
     /// Latency model.
     pub latency: LatencyModel,
     /// Garbage-collection policy.
     pub gc: GcPolicy,
+    /// Enables self-healing: under-replicated objects are enqueued for
+    /// background re-replication and drained by
+    /// [`DistributedCache::drain_repairs`]. Off by default so fault-free
+    /// benchmarks are bit-identical with and without this feature built.
+    pub repair: bool,
+    /// Scrub cadence hint for the host run loop, in epochs; `0` disables
+    /// scrubbing. The cache itself never scrubs spontaneously — the host
+    /// calls [`DistributedCache::scrub`] so the work lands at deterministic
+    /// points.
+    pub scrub_interval: u64,
 }
 
 impl CacheConfig {
     /// Paper-like defaults for an `nodes`-worker cluster: 2 persistent
-    /// replicas, 1 GiB of memoization memory per node, window-based GC.
+    /// replicas, 1 GiB of memoization memory per node, window-based GC,
+    /// self-healing off.
     pub fn paper_defaults(nodes: usize) -> Self {
         CacheConfig {
             nodes,
@@ -70,7 +84,22 @@ impl CacheConfig {
             replicas: 2,
             latency: LatencyModel::paper_defaults(),
             gc: GcPolicy::WindowBased { horizon: 1 },
+            repair: false,
+            scrub_interval: 0,
         }
+    }
+
+    /// Enables background re-replication (see [`CacheConfig::repair`]).
+    pub fn with_repair(mut self) -> Self {
+        self.repair = true;
+        self
+    }
+
+    /// Sets the scrub cadence in epochs (see
+    /// [`CacheConfig::scrub_interval`]); `0` disables scrubbing.
+    pub fn with_scrub_interval(mut self, interval: u64) -> Self {
+        self.scrub_interval = interval;
+        self
     }
 }
 
@@ -128,15 +157,21 @@ impl fmt::Display for CacheError {
 
 impl Error for CacheError {}
 
-/// Aggregate statistics of the memoization layer.
+/// Aggregate statistics of the memoization layer (foreground reads only;
+/// background self-healing is metered in [`RepairStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CacheStats {
     /// Reads served by the local or remote memory tier.
     pub memory_hits: u64,
     /// Reads that fell back to a persistent replica.
     pub disk_reads: u64,
-    /// Failed reads (object unavailable or collected).
-    pub failed_reads: u64,
+    /// Reads of objects missing from the index (never stored, collected,
+    /// or lost); the caller must recompute from scratch.
+    pub not_found_reads: u64,
+    /// Reads of indexed objects whose every clean replica is on failed
+    /// nodes; the object comes back once a replica's node recovers (or
+    /// repair re-replicates it), so retrying can succeed.
+    pub unavailable_reads: u64,
     /// Total simulated read seconds.
     pub read_seconds: f64,
     /// Total bytes read.
@@ -145,6 +180,39 @@ pub struct CacheStats {
     pub collected: u64,
     /// Memory-tier evictions across all nodes.
     pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Failed reads of either kind (`not_found` + `unavailable`).
+    pub fn failed_reads(&self) -> u64 {
+        self.not_found_reads + self.unavailable_reads
+    }
+}
+
+/// Checksum of an object's content, modeled as FNV-1a over the identity
+/// the simulation tracks (id, size, producing epoch) — payloads are
+/// size-only here, so this is the strongest integrity tag available.
+fn content_checksum(id: u64, bytes: u64, epoch: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for word in [id, bytes, epoch] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// A persistent copy as stored on a node's disk. Carries its own
+/// checksum so the read path, scrub, and master rebuild can tell clean
+/// copies from corrupt or stale ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DiskCopy {
+    bytes: u64,
+    epoch: u64,
+    checksum: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -156,13 +224,15 @@ struct ObjectMeta {
     replicas: Vec<NodeId>,
     /// Epoch tag for window-based GC (the run that produced the object).
     epoch: u64,
+    /// Expected content checksum of every replica.
+    checksum: u64,
 }
 
 #[derive(Debug)]
 struct Node {
     memory: InMemoryStore,
-    /// Persistent objects on this node (object -> bytes). Unbounded.
-    disk: HashMap<ObjectId, u64>,
+    /// Persistent objects on this node. Unbounded.
+    disk: HashMap<ObjectId, DiskCopy>,
     alive: bool,
 }
 
@@ -177,20 +247,27 @@ pub struct DistributedCache {
     nodes: Vec<Node>,
     index: HashMap<ObjectId, ObjectMeta>,
     stats: CacheStats,
+    repair: RepairStats,
+    /// Objects awaiting background re-replication, drained in id order so
+    /// repair work is deterministic.
+    repair_queue: BTreeSet<ObjectId>,
 }
 
 impl DistributedCache {
-    /// Creates the cache with `config`.
+    /// Creates the cache with `config`. A replica count above the node
+    /// count is clamped — distinct placement is impossible beyond one copy
+    /// per node.
     ///
     /// # Panics
     ///
     /// Panics if the configuration has zero nodes or zero replicas.
-    pub fn new(config: CacheConfig) -> Self {
+    pub fn new(mut config: CacheConfig) -> Self {
         assert!(config.nodes > 0, "cache needs at least one node");
         assert!(
             config.replicas > 0,
             "cache needs at least one persistent replica"
         );
+        config.replicas = config.replicas.min(config.nodes);
         let nodes = (0..config.nodes)
             .map(|_| Node {
                 memory: InMemoryStore::new(config.memory_capacity_bytes),
@@ -203,27 +280,93 @@ impl DistributedCache {
             nodes,
             index: HashMap::new(),
             stats: CacheStats::default(),
+            repair: RepairStats::default(),
+            repair_queue: BTreeSet::new(),
         }
     }
 
-    /// Stores `object` of `bytes` with its memory copy on `home` and
-    /// `replicas` persistent copies on the following nodes, tagged with the
-    /// GC `epoch` of the producing run.
+    fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Replication target given the current cluster state.
+    fn want_replicas(&self) -> usize {
+        self.config.replicas.min(self.alive_count().max(1))
+    }
+
+    /// Enqueues `object` for background re-replication (no-op with repair
+    /// disabled).
+    fn enqueue_repair(&mut self, object: ObjectId) {
+        if self.config.repair && self.repair_queue.insert(object) {
+            self.repair.enqueued += 1;
+        }
+    }
+
+    /// Stores `object` of `bytes` with its memory copy on `home` and up to
+    /// `replicas` persistent copies on distinct nodes walking the ring from
+    /// `home + 1`, tagged with the GC `epoch` of the producing run. With
+    /// repair enabled the walk skips failed nodes (and enqueues the object
+    /// if it still lands under-replicated); with it disabled dead nodes
+    /// stay in the replica set but receive no copy, preserving the
+    /// fail-then-recover semantics of the plain replicated layer.
     ///
     /// # Panics
     ///
     /// Panics if `home` is outside the cluster.
     pub fn put(&mut self, object: ObjectId, bytes: u64, home: NodeId, epoch: u64) {
         assert!(home.0 < self.nodes.len(), "unknown home node {home:?}");
-        let replicas: Vec<NodeId> = (0..self.config.replicas)
-            .map(|i| NodeId((home.0 + 1 + i) % self.nodes.len()))
-            .collect();
+        let n = self.nodes.len();
+        let want = self.config.replicas;
+        let mut replicas: Vec<NodeId> = Vec::with_capacity(want);
+        for i in 0..n {
+            if replicas.len() >= want {
+                break;
+            }
+            let candidate = NodeId((home.0 + 1 + i) % n);
+            if self.config.repair && !self.nodes[candidate.0].alive {
+                continue;
+            }
+            replicas.push(candidate);
+        }
+        debug_assert!(
+            replicas.iter().collect::<BTreeSet<_>>().len() == replicas.len(),
+            "replica placement must be distinct: {replicas:?}"
+        );
+        debug_assert!(
+            self.config.repair || replicas.len() == want,
+            "without dead-node skipping the ring must fill the target"
+        );
+        let checksum = content_checksum(object.0, bytes, epoch);
+
+        // Tear down copies from a previous placement of the same id so a
+        // re-put cannot leave orphans on live nodes (dead nodes are
+        // reconciled by `recover_node`).
+        if let Some(old) = self.index.get(&object).cloned() {
+            if old.home != home && self.nodes[old.home.0].alive {
+                self.nodes[old.home.0].memory.remove(object.0);
+            }
+            for r in &old.replicas {
+                if self.nodes[r.0].alive && !replicas.contains(r) {
+                    self.nodes[r.0].disk.remove(&object);
+                }
+            }
+        }
+
         if self.config.memory_enabled && self.nodes[home.0].alive {
             self.nodes[home.0].memory.put(object.0, bytes);
         }
+        let mut live_copies = 0usize;
         for &replica in &replicas {
             if self.nodes[replica.0].alive {
-                self.nodes[replica.0].disk.insert(object, bytes);
+                self.nodes[replica.0].disk.insert(
+                    object,
+                    DiskCopy {
+                        bytes,
+                        epoch,
+                        checksum,
+                    },
+                );
+                live_copies += 1;
             }
         }
         self.index.insert(
@@ -233,18 +376,26 @@ impl DistributedCache {
                 home,
                 replicas,
                 epoch,
+                checksum,
             },
         );
+        if live_copies < self.want_replicas() {
+            self.enqueue_repair(object);
+        }
     }
 
     /// Reads `object` from the perspective of `reader` through the shim
     /// layer: memory first, then persistent replicas (local preferred).
+    /// Replica copies are checksum-verified; a corrupt or stale copy is
+    /// never served — it is discarded (and enqueued for repair) and the
+    /// read fails over to the next clean replica.
     ///
     /// # Errors
     ///
     /// [`CacheError::NotFound`] if the object was never stored or was
-    /// collected; [`CacheError::Unavailable`] if every replica is on failed
-    /// nodes; [`CacheError::UnknownNode`] for an out-of-range reader.
+    /// collected; [`CacheError::Unavailable`] if every clean replica is on
+    /// failed nodes; [`CacheError::UnknownNode`] for an out-of-range
+    /// reader.
     pub fn read(&mut self, object: ObjectId, reader: NodeId) -> Result<ReadOutcome, CacheError> {
         if reader.0 >= self.nodes.len() {
             return Err(CacheError::UnknownNode(reader));
@@ -252,7 +403,7 @@ impl DistributedCache {
         let meta = match self.index.get(&object) {
             Some(m) => m.clone(),
             None => {
-                self.stats.failed_reads += 1;
+                self.stats.not_found_reads += 1;
                 return Err(CacheError::NotFound(object));
             }
         };
@@ -284,15 +435,31 @@ impl DistributedCache {
             }
         }
 
-        // 2. Persistent tier: prefer a replica on the reading node.
-        let replica = meta
+        // 2. Persistent tier: prefer a replica on the reading node, then
+        // lowest node id, verifying each candidate before serving it.
+        let mut candidates: Vec<NodeId> = meta
             .replicas
             .iter()
             .copied()
             .filter(|r| self.nodes[r.0].alive && self.nodes[r.0].disk.contains_key(&object))
-            .min_by_key(|r| if *r == reader { 0 } else { 1 });
+            .collect();
+        candidates.sort_unstable_by_key(|r| (usize::from(*r != reader), r.0));
+        let mut replica = None;
+        for candidate in candidates {
+            let copy = self.nodes[candidate.0].disk[&object];
+            if copy.checksum == meta.checksum {
+                replica = Some(candidate);
+                break;
+            }
+            // Corrupt (or stale, after an unclean recovery) copy: drop it
+            // before anyone can read it and schedule re-replication.
+            self.nodes[candidate.0].disk.remove(&object);
+            self.repair.corruptions_detected += 1;
+            self.enqueue_repair(object);
+        }
         let Some(replica) = replica else {
-            self.stats.failed_reads += 1;
+            self.stats.unavailable_reads += 1;
+            self.enqueue_repair(object);
             return Err(CacheError::Unavailable(object));
         };
         let (source, seconds) = if replica == reader {
@@ -323,12 +490,17 @@ impl DistributedCache {
         })
     }
 
-    /// Deletes `object` everywhere. No-op if absent.
+    /// Deletes `object` everywhere reachable. Copies on failed nodes
+    /// cannot be deleted remotely — they are purged when the node rejoins
+    /// (see [`DistributedCache::recover_node`]). No-op if absent.
     pub fn delete(&mut self, object: ObjectId) {
+        self.repair_queue.remove(&object);
         if let Some(meta) = self.index.remove(&object) {
             self.nodes[meta.home.0].memory.remove(object.0);
             for replica in meta.replicas {
-                self.nodes[replica.0].disk.remove(&object);
+                if self.nodes[replica.0].alive {
+                    self.nodes[replica.0].disk.remove(&object);
+                }
             }
         }
     }
@@ -340,6 +512,13 @@ impl DistributedCache {
     /// work, never a wrong answer). Returns whether the object existed.
     pub fn lose_object(&mut self, object: ObjectId) -> bool {
         let existed = self.index.contains_key(&object);
+        if let Some(meta) = self.index.get(&object).cloned() {
+            // Total loss reaches even dead nodes' disks — nothing survives
+            // to resurrect or repair from.
+            for replica in meta.replicas {
+                self.nodes[replica.0].disk.remove(&object);
+            }
+        }
         self.delete(object);
         existed
     }
@@ -357,9 +536,45 @@ impl DistributedCache {
         victims.sort_unstable();
         let n = victims.len() as u64;
         for victim in victims {
-            self.delete(victim);
+            self.lose_object(victim);
         }
         n
+    }
+
+    /// Drops a single persistent copy of `object` from `node` (a disk
+    /// sector loss rather than a whole-node crash). The object stays
+    /// readable from its other replicas; with repair enabled it is
+    /// enqueued for re-replication. Returns whether a copy existed there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the cluster.
+    pub fn lose_replica(&mut self, object: ObjectId, node: NodeId) -> bool {
+        assert!(node.0 < self.nodes.len(), "unknown node {node:?}");
+        let existed = self.nodes[node.0].disk.remove(&object).is_some();
+        if existed && self.index.contains_key(&object) {
+            self.enqueue_repair(object);
+        }
+        existed
+    }
+
+    /// Flips the stored checksum of `object`'s persistent copy on `node`,
+    /// modeling silent on-disk corruption. The copy is detected and
+    /// discarded by the next read, scrub, or master rebuild that touches
+    /// it — it is never served. Returns whether a copy existed there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the cluster.
+    pub fn corrupt_object(&mut self, object: ObjectId, node: NodeId) -> bool {
+        assert!(node.0 < self.nodes.len(), "unknown node {node:?}");
+        match self.nodes[node.0].disk.get_mut(&object) {
+            Some(copy) => {
+                copy.checksum ^= 0x5bd1_e995_7b93_a283;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Runs the configured garbage-collection policy for `current_epoch`,
@@ -402,7 +617,9 @@ impl DistributedCache {
     }
 
     /// Crashes `node`: its memory tier is wiped and its disk becomes
-    /// unavailable until [`DistributedCache::recover_node`].
+    /// unavailable until [`DistributedCache::recover_node`]. With repair
+    /// enabled, every object that kept a replica there is enqueued for
+    /// background re-replication onto the surviving nodes.
     ///
     /// # Panics
     ///
@@ -411,16 +628,336 @@ impl DistributedCache {
         let n = self.nodes.get_mut(node.0).expect("unknown node");
         n.alive = false;
         n.memory.clear();
+        if self.config.repair {
+            let mut affected: Vec<ObjectId> = self
+                .index
+                .iter()
+                .filter(|(_, m)| m.replicas.contains(&node))
+                .map(|(id, _)| *id)
+                .collect();
+            affected.sort_unstable();
+            for object in affected {
+                self.enqueue_repair(object);
+            }
+        }
     }
 
     /// Brings `node` back: its persistent objects become readable again
-    /// (the memory tier re-warms lazily via read promotion).
+    /// (the memory tier re-warms lazily via read promotion). Stale copies
+    /// — objects deleted, collected, re-homed, or re-written while the
+    /// node was down — are purged so they cannot resurrect, metered as
+    /// [`RepairStats::stale_copies_purged`].
     ///
     /// # Panics
     ///
     /// Panics if `node` is outside the cluster.
     pub fn recover_node(&mut self, node: NodeId) {
         self.nodes.get_mut(node.0).expect("unknown node").alive = true;
+        let mut held: Vec<ObjectId> = self.nodes[node.0].disk.keys().copied().collect();
+        held.sort_unstable();
+        for object in held {
+            let stale = match self.index.get(&object) {
+                None => true,
+                Some(meta) => {
+                    !meta.replicas.contains(&node)
+                        || self.nodes[node.0].disk[&object].checksum != meta.checksum
+                }
+            };
+            if stale {
+                self.nodes[node.0].disk.remove(&object);
+                self.repair.stale_copies_purged += 1;
+            }
+        }
+    }
+
+    /// Drains the repair queue, re-replicating every enqueued object onto
+    /// live nodes from a clean surviving copy. Background work: bytes and
+    /// seconds land in [`RepairStats`], never in [`CacheStats`]. Objects
+    /// with no clean live source stay queued (blocked until a node
+    /// recovers); partially repaired objects are re-queued. Returns how
+    /// many objects had their replication improved. No-op with repair
+    /// disabled.
+    pub fn drain_repairs(&mut self) -> u64 {
+        if !self.config.repair {
+            return 0;
+        }
+        let pending: Vec<ObjectId> = std::mem::take(&mut self.repair_queue).into_iter().collect();
+        let mut repaired = 0;
+        for object in pending {
+            if self.repair_one(object) {
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
+    fn repair_one(&mut self, object: ObjectId) -> bool {
+        let Some(meta) = self.index.get(&object).cloned() else {
+            return false; // collected or lost since it was enqueued
+        };
+        let want = self.want_replicas();
+        let lat = self.config.latency;
+        let n = self.nodes.len();
+
+        // Survey the replica set for clean live copies, discarding corrupt
+        // ones found along the way.
+        let mut members = meta.replicas.clone();
+        members.sort_unstable();
+        members.dedup();
+        let mut clean: Vec<NodeId> = Vec::new();
+        for node in members {
+            if !self.nodes[node.0].alive {
+                continue;
+            }
+            match self.nodes[node.0].disk.get(&object) {
+                Some(copy) if copy.checksum == meta.checksum => clean.push(node),
+                Some(_) => {
+                    self.nodes[node.0].disk.remove(&object);
+                    self.repair.corruptions_detected += 1;
+                }
+                None => {}
+            }
+        }
+        if clean.is_empty() {
+            // Blocked: no clean live source. Stay queued until a replica's
+            // node recovers (the object reads as Unavailable meanwhile).
+            self.repair_queue.insert(object);
+            return false;
+        }
+
+        // Restore missing copies walking the ring from home + 1, the same
+        // order `put` uses, so repaired placement matches fresh placement.
+        let mut new_replicas = clean;
+        let mut restored = 0u64;
+        for i in 0..n {
+            if new_replicas.len() >= want {
+                break;
+            }
+            let candidate = NodeId((meta.home.0 + 1 + i) % n);
+            if !self.nodes[candidate.0].alive || new_replicas.contains(&candidate) {
+                continue;
+            }
+            self.nodes[candidate.0].disk.insert(
+                object,
+                DiskCopy {
+                    bytes: meta.bytes,
+                    epoch: meta.epoch,
+                    checksum: meta.checksum,
+                },
+            );
+            new_replicas.push(candidate);
+            restored += 1;
+            self.repair.copies_restored += 1;
+            self.repair.repair_bytes += meta.bytes;
+            // Source disk read + network transfer + target disk write.
+            self.repair.repair_seconds += lat.per_op_seconds
+                + 2.0 * meta.bytes as f64 / lat.disk_bytes_per_second
+                + meta.bytes as f64 / lat.network_bytes_per_second;
+        }
+        new_replicas.sort_unstable();
+        let under_target = new_replicas.len() < want;
+        let meta_mut = self.index.get_mut(&object).expect("indexed above");
+        meta_mut.replicas = new_replicas.clone();
+        if !self.nodes[meta_mut.home.0].alive {
+            // Re-home onto a surviving replica holder so future reads can
+            // use the memory tier again.
+            meta_mut.home = new_replicas[0];
+        }
+        if under_target {
+            self.repair_queue.insert(object);
+        }
+        if restored > 0 {
+            self.repair.repaired_objects += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Verifies every reachable persistent copy against its expected
+    /// checksum, discarding corrupt ones (and, with repair enabled,
+    /// enqueueing the affected objects — including any found
+    /// under-replicated). Background work metered in [`RepairStats`].
+    /// Returns the number of corrupt copies found this pass.
+    pub fn scrub(&mut self) -> u64 {
+        self.repair.scrub_passes += 1;
+        let lat = self.config.latency;
+        let want = self.want_replicas();
+        let mut ids: Vec<ObjectId> = self.index.keys().copied().collect();
+        ids.sort_unstable();
+        let mut found = 0u64;
+        for object in ids {
+            let meta = self.index[&object].clone();
+            let mut members = meta.replicas.clone();
+            members.sort_unstable();
+            members.dedup();
+            let mut live_clean = 0usize;
+            for node in members {
+                if !self.nodes[node.0].alive {
+                    continue;
+                }
+                let Some(copy) = self.nodes[node.0].disk.get(&object).copied() else {
+                    continue;
+                };
+                self.repair.scrubbed_copies += 1;
+                self.repair.scrub_bytes += meta.bytes;
+                self.repair.scrub_seconds +=
+                    lat.per_op_seconds + meta.bytes as f64 / lat.disk_bytes_per_second;
+                if copy.checksum == meta.checksum {
+                    live_clean += 1;
+                } else {
+                    self.nodes[node.0].disk.remove(&object);
+                    self.repair.corruptions_detected += 1;
+                    found += 1;
+                }
+            }
+            if live_clean < want {
+                self.enqueue_repair(object);
+            }
+        }
+        found
+    }
+
+    /// Drops the master index and the repair queue, modeling a master
+    /// crash with no persisted checkpoint. Node disks are untouched;
+    /// [`DistributedCache::rebuild_master`] reconstructs the index from
+    /// them. Returns how many entries were lost.
+    pub fn lose_master(&mut self) -> usize {
+        let n = self.index.len();
+        self.index.clear();
+        self.repair_queue.clear();
+        n
+    }
+
+    /// Rebuilds the master index from the surviving nodes' disk
+    /// inventories, deterministically: objects are reconstructed in id
+    /// order, each copy set majority-votes its `(bytes, epoch, checksum)`
+    /// (ties break to the smallest tuple), and dissenting copies are
+    /// discarded as corrupt. The home becomes the lowest live node whose
+    /// memory tier still holds the object, else the lowest replica
+    /// holder. Objects whose every copy sat on failed nodes are not
+    /// reindexed — reads fail `NotFound` and the engine recomputes them
+    /// (the paper's last-resort recovery). Returns how many objects were
+    /// reindexed.
+    pub fn rebuild_master(&mut self) -> u64 {
+        self.repair.master_rebuilds += 1;
+        let lat = self.config.latency;
+        let mut inventory: BTreeMap<ObjectId, Vec<(NodeId, DiskCopy)>> = BTreeMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            for (object, copy) in &node.disk {
+                inventory
+                    .entry(*object)
+                    .or_default()
+                    .push((NodeId(i), *copy));
+            }
+        }
+        let mut reindexed = 0u64;
+        for (object, mut copies) in inventory {
+            copies.sort_unstable_by_key(|(node, _)| *node);
+            // Index-rebuild RPC cost: one inventory round per copy.
+            self.repair.repair_seconds += lat.per_op_seconds * copies.len() as f64;
+            // Checksums are content-derived, so each copy self-verifies:
+            // a corrupt copy cannot even cast a vote.
+            let mut verified: Vec<(NodeId, DiskCopy)> = Vec::new();
+            for (node, copy) in copies {
+                if content_checksum(object.0, copy.bytes, copy.epoch) == copy.checksum {
+                    verified.push((node, copy));
+                } else {
+                    self.nodes[node.0].disk.remove(&object);
+                    self.repair.corruptions_detected += 1;
+                }
+            }
+            if verified.is_empty() {
+                continue; // every surviving copy was corrupt
+            }
+            // The self-consistent copies can still disagree (a stale epoch
+            // from an unclean recovery): majority-vote the content, ties
+            // breaking to the newest epoch then smallest tuple.
+            let mut votes: BTreeMap<(u64, u64, u64), Vec<NodeId>> = BTreeMap::new();
+            for (node, copy) in &verified {
+                votes
+                    .entry((copy.epoch, copy.bytes, copy.checksum))
+                    .or_default()
+                    .push(*node);
+            }
+            let mut winner: Option<((u64, u64, u64), Vec<NodeId>)> = None;
+            for (key, holders) in &votes {
+                // `>=` over ascending (epoch, ...) keys: ties keep the
+                // highest epoch, deterministically.
+                if winner
+                    .as_ref()
+                    .is_none_or(|(_, w)| holders.len() >= w.len())
+                {
+                    winner = Some((*key, holders.clone()));
+                }
+            }
+            let ((epoch, bytes, checksum), replicas) = winner.expect("verified copies exist");
+            for (node, copy) in &verified {
+                if (copy.epoch, copy.bytes, copy.checksum) != (epoch, bytes, checksum) {
+                    self.nodes[node.0].disk.remove(&object);
+                    self.repair.stale_copies_purged += 1;
+                }
+            }
+            let home = (0..self.nodes.len())
+                .map(NodeId)
+                .find(|node| {
+                    self.nodes[node.0].alive && self.nodes[node.0].memory.contains(object.0)
+                })
+                .unwrap_or(replicas[0]);
+            self.index.insert(
+                object,
+                ObjectMeta {
+                    bytes,
+                    home,
+                    replicas: replicas.clone(),
+                    epoch,
+                    checksum,
+                },
+            );
+            reindexed += 1;
+            self.repair.objects_reindexed += 1;
+            if replicas.len() < self.want_replicas() {
+                self.enqueue_repair(object);
+            }
+        }
+        reindexed
+    }
+
+    /// Objects currently queued for background re-replication.
+    pub fn pending_repairs(&self) -> usize {
+        self.repair_queue.len()
+    }
+
+    /// Indexed objects with fewer clean live copies than the current
+    /// replication target (`replicas`, clamped to the live node count).
+    pub fn under_replicated(&self) -> usize {
+        let want = self.want_replicas();
+        self.index
+            .iter()
+            .filter(|(id, m)| {
+                let live_clean = m
+                    .replicas
+                    .iter()
+                    .filter(|r| {
+                        self.nodes[r.0].alive
+                            && self.nodes[r.0]
+                                .disk
+                                .get(id)
+                                .is_some_and(|c| c.checksum == m.checksum)
+                    })
+                    .count();
+                live_clean < want
+            })
+            .count()
+    }
+
+    /// The persistent replica holders of `object`, if indexed (placement
+    /// introspection for schedulers and tests).
+    pub fn replicas_of(&self, object: ObjectId) -> Option<&[NodeId]> {
+        self.index.get(&object).map(|m| m.replicas.as_slice())
     }
 
     /// The home (memory-tier) node of `object`, if indexed. Schedulers use
@@ -444,7 +981,7 @@ impl DistributedCache {
         self.index.values().map(|m| m.bytes).sum()
     }
 
-    /// Statistics so far.
+    /// Foreground statistics so far.
     pub fn stats(&self) -> CacheStats {
         let mut stats = self.stats;
         // The per-node stores are the authoritative eviction counters.
@@ -452,7 +989,12 @@ impl DistributedCache {
         stats
     }
 
-    /// The configuration in use.
+    /// Background self-healing statistics so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair
+    }
+
+    /// The configuration in use (after replica clamping).
     pub fn config(&self) -> &CacheConfig {
         &self.config
     }
@@ -526,6 +1068,9 @@ mod tests {
             c.read(ObjectId(1), NodeId(3)).unwrap_err(),
             CacheError::Unavailable(ObjectId(1))
         );
+        assert_eq!(c.stats().unavailable_reads, 1);
+        assert_eq!(c.stats().not_found_reads, 0);
+        assert_eq!(c.stats().failed_reads(), 1);
 
         // Recovery restores service.
         c.recover_node(NodeId(1));
@@ -636,7 +1181,9 @@ mod tests {
             c.read(ObjectId(9), NodeId(0)).unwrap_err(),
             CacheError::NotFound(ObjectId(9))
         );
-        assert_eq!(c.stats().failed_reads, 1);
+        assert_eq!(c.stats().not_found_reads, 1);
+        assert_eq!(c.stats().unavailable_reads, 0);
+        assert_eq!(c.stats().failed_reads(), 1);
     }
 
     #[test]
@@ -669,6 +1216,214 @@ mod tests {
             matches!(out.source, ReadSource::LocalDisk | ReadSource::RemoteDisk),
             "evicted object must still be readable from disk, got {:?}",
             out.source
+        );
+    }
+
+    #[test]
+    fn oversubscribed_replication_is_clamped_and_distinct() {
+        // Regression: replicas >= nodes used to wrap the ring back onto
+        // the home node and place duplicate copies.
+        for replicas in [3, 5] {
+            let mut config = CacheConfig::paper_defaults(3);
+            config.replicas = replicas;
+            let c = DistributedCache::new(config);
+            assert_eq!(c.config().replicas, 3, "clamped to the node count");
+            let mut c = c;
+            c.put(ObjectId(1), 10, NodeId(1), 0);
+            let placed = c.replicas_of(ObjectId(1)).unwrap();
+            assert_eq!(placed.len(), 3);
+            let distinct: BTreeSet<NodeId> = placed.iter().copied().collect();
+            assert_eq!(distinct.len(), 3, "no duplicates: {placed:?}");
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_have_zero_repair_cost() {
+        let mut c = DistributedCache::new(CacheConfig::paper_defaults(4).with_repair());
+        for id in 0..8u64 {
+            c.put(ObjectId(id), 1024, NodeId(id as usize % 4), 0);
+            c.read(ObjectId(id), NodeId(0)).unwrap();
+        }
+        assert_eq!(c.drain_repairs(), 0);
+        assert_eq!(c.pending_repairs(), 0);
+        assert!(c.repair_stats().is_zero(), "{:?}", c.repair_stats());
+    }
+
+    #[test]
+    fn failed_node_triggers_re_replication() {
+        let mut c = DistributedCache::new(CacheConfig::paper_defaults(4).with_repair());
+        c.put(ObjectId(1), 1024, NodeId(0), 0); // replicas on 1, 2
+        c.fail_node(NodeId(1));
+        assert_eq!(c.under_replicated(), 1);
+        assert_eq!(c.pending_repairs(), 1);
+        let repaired = c.drain_repairs();
+        assert_eq!(repaired, 1);
+        assert_eq!(c.under_replicated(), 0);
+        assert_eq!(c.pending_repairs(), 0);
+        let stats = c.repair_stats();
+        assert_eq!(stats.copies_restored, 1);
+        assert_eq!(stats.repair_bytes, 1024);
+        assert!(stats.repair_seconds > 0.0);
+        // Foreground stats untouched by background repair.
+        assert_eq!(c.stats().bytes_read, 0);
+
+        // The failed node's copy is now surplus; a second failure of the
+        // other original replica must not lose the object.
+        c.fail_node(NodeId(2));
+        c.drain_repairs();
+        assert!(c.read(ObjectId(1), NodeId(3)).is_ok());
+    }
+
+    #[test]
+    fn corrupt_copies_are_never_served() {
+        let mut config = CacheConfig::paper_defaults(4).with_repair();
+        config.memory_enabled = false; // force every read through disk
+        let mut c = DistributedCache::new(config);
+        c.put(ObjectId(1), 1024, NodeId(0), 0); // replicas on 1, 2
+        assert!(c.corrupt_object(ObjectId(1), NodeId(1)));
+        // The read skips the corrupt copy on node 1 and serves node 2.
+        let out = c.read(ObjectId(1), NodeId(1)).unwrap();
+        assert_eq!(out.source, ReadSource::RemoteDisk);
+        assert_eq!(c.repair_stats().corruptions_detected, 1);
+        // Repair restores a clean copy in the corrupt one's place.
+        assert_eq!(c.drain_repairs(), 1);
+        assert_eq!(c.under_replicated(), 0);
+        let local = c.read(ObjectId(1), NodeId(1)).unwrap();
+        assert_eq!(local.source, ReadSource::LocalDisk, "copy re-replicated");
+    }
+
+    #[test]
+    fn corrupting_every_copy_makes_the_object_unavailable() {
+        let mut config = CacheConfig::paper_defaults(4);
+        config.memory_enabled = false;
+        let mut c = DistributedCache::new(config);
+        c.put(ObjectId(1), 1024, NodeId(0), 0);
+        assert!(c.corrupt_object(ObjectId(1), NodeId(1)));
+        assert!(c.corrupt_object(ObjectId(1), NodeId(2)));
+        assert_eq!(
+            c.read(ObjectId(1), NodeId(0)).unwrap_err(),
+            CacheError::Unavailable(ObjectId(1)),
+            "a corrupt copy must never be served"
+        );
+        assert_eq!(c.repair_stats().corruptions_detected, 2);
+    }
+
+    #[test]
+    fn scrub_detects_and_schedules_repair() {
+        let mut c = DistributedCache::new(CacheConfig::paper_defaults(4).with_repair());
+        c.put(ObjectId(1), 1024, NodeId(0), 0);
+        c.put(ObjectId(2), 2048, NodeId(1), 0);
+        assert!(c.corrupt_object(ObjectId(2), NodeId(2)));
+        let found = c.scrub();
+        assert_eq!(found, 1);
+        let stats = c.repair_stats();
+        assert_eq!(stats.scrub_passes, 1);
+        assert_eq!(stats.scrubbed_copies, 4, "2 objects x 2 copies");
+        assert!(stats.scrub_seconds > 0.0);
+        assert_eq!(c.pending_repairs(), 1);
+        assert_eq!(c.drain_repairs(), 1);
+        assert_eq!(c.under_replicated(), 0);
+        assert_eq!(c.scrub(), 0, "second pass finds a healthy cluster");
+    }
+
+    #[test]
+    fn lose_replica_heals_back() {
+        let mut c = DistributedCache::new(CacheConfig::paper_defaults(4).with_repair());
+        c.put(ObjectId(1), 512, NodeId(0), 0);
+        assert!(c.lose_replica(ObjectId(1), NodeId(1)));
+        assert!(!c.lose_replica(ObjectId(1), NodeId(3)), "no copy there");
+        assert_eq!(c.under_replicated(), 1);
+        assert_eq!(c.drain_repairs(), 1);
+        assert_eq!(c.under_replicated(), 0);
+    }
+
+    #[test]
+    fn stale_copies_do_not_resurrect_on_recovery() {
+        let mut c = cache(4);
+        c.put(ObjectId(1), 1024, NodeId(0), 0); // replicas on 1, 2
+        c.fail_node(NodeId(1));
+        // Deleted while node 1 is down: its copy cannot be reached.
+        c.delete(ObjectId(1));
+        c.recover_node(NodeId(1));
+        assert_eq!(c.repair_stats().stale_copies_purged, 1);
+        assert_eq!(
+            c.read(ObjectId(1), NodeId(1)).unwrap_err(),
+            CacheError::NotFound(ObjectId(1)),
+            "the stale copy must not resurrect the object"
+        );
+        // Even a master rebuild cannot see the purged copy.
+        c.lose_master();
+        assert_eq!(c.rebuild_master(), 0);
+    }
+
+    #[test]
+    fn rewritten_objects_purge_old_epochs_on_recovery() {
+        let mut c = cache(4);
+        c.put(ObjectId(1), 1024, NodeId(0), 0);
+        c.fail_node(NodeId(1));
+        // Rewritten at a later epoch while node 1 is down: node 1 still
+        // holds the epoch-0 copy.
+        c.put(ObjectId(1), 1024, NodeId(0), 3);
+        c.recover_node(NodeId(1));
+        assert_eq!(c.repair_stats().stale_copies_purged, 1);
+        // Node 2's fresh copy serves; the object stays consistent.
+        assert!(c.read(ObjectId(1), NodeId(3)).is_ok());
+    }
+
+    #[test]
+    fn master_rebuild_recovers_the_index_from_disks() {
+        let mut c = cache(4);
+        for id in 0..6u64 {
+            c.put(ObjectId(id), 100 + id, NodeId(id as usize % 4), 1);
+        }
+        let lost = c.lose_master();
+        assert_eq!(lost, 6);
+        assert!(c.is_empty());
+        assert_eq!(
+            c.read(ObjectId(0), NodeId(0)).unwrap_err(),
+            CacheError::NotFound(ObjectId(0))
+        );
+        let rebuilt = c.rebuild_master();
+        assert_eq!(rebuilt, 6);
+        let stats = c.repair_stats();
+        assert_eq!(stats.master_rebuilds, 1);
+        assert_eq!(stats.objects_reindexed, 6);
+        for id in 0..6u64 {
+            let out = c.read(ObjectId(id), NodeId(0)).unwrap();
+            assert_eq!(out.bytes, 100 + id, "sizes survive the rebuild");
+        }
+        // The home follows the surviving memory copy, so post-rebuild
+        // reads still hit the memory tier.
+        assert_eq!(c.home_of(ObjectId(2)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn master_rebuild_votes_out_corrupt_copies() {
+        let mut config = CacheConfig::paper_defaults(4);
+        config.memory_enabled = false;
+        let mut c = DistributedCache::new(config);
+        c.put(ObjectId(1), 1024, NodeId(0), 0); // replicas on 1, 2
+        assert!(c.corrupt_object(ObjectId(1), NodeId(1)));
+        c.lose_master();
+        assert_eq!(c.rebuild_master(), 1);
+        assert_eq!(c.repair_stats().corruptions_detected, 1);
+        let out = c.read(ObjectId(1), NodeId(2)).unwrap();
+        assert_eq!(out.source, ReadSource::LocalDisk, "clean copy won the vote");
+        assert_eq!(c.replicas_of(ObjectId(1)).unwrap(), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn objects_lost_with_all_replicas_stay_lost_after_rebuild() {
+        let mut c = cache(4);
+        c.put(ObjectId(1), 1024, NodeId(0), 0); // replicas on 1, 2
+        c.fail_node(NodeId(1));
+        c.fail_node(NodeId(2));
+        c.lose_master();
+        assert_eq!(c.rebuild_master(), 0, "no surviving copy to index");
+        assert_eq!(
+            c.read(ObjectId(1), NodeId(0)).unwrap_err(),
+            CacheError::NotFound(ObjectId(1)),
+            "recomputation is the last resort"
         );
     }
 }

@@ -72,6 +72,12 @@ impl InMemoryStore {
         })
     }
 
+    /// Whether `object` is resident, without refreshing its recency (used
+    /// by the master rebuild to probe memory tiers read-only).
+    pub fn contains(&self, object: u64) -> bool {
+        self.objects.contains_key(&object)
+    }
+
     /// Removes `object`, returning its size if present.
     pub fn remove(&mut self, object: u64) -> Option<u64> {
         let (size, _) = self.objects.remove(&object)?;

@@ -116,6 +116,77 @@ proptest! {
             "memory {:?} slower than disk {:?}", fast, slow);
     }
 
+    /// Self-healing convergence: with repair enabled and at most one node
+    /// down at a time, any interleaving of puts, failures, recoveries, and
+    /// repair drains leaves every indexed object readable — and once every
+    /// node is live again, a single drain restores full replication and
+    /// empties the queue (repair converges, nothing stays degraded).
+    #[test]
+    fn repair_converges_under_failure_interleavings(
+        ops in proptest::collection::vec(op_strategy(5), 1..80),
+        drain_mask in proptest::collection::vec(proptest::bool::ANY, 80),
+    ) {
+        let nodes = 5;
+        let mut config = CacheConfig::paper_defaults(nodes).with_repair();
+        config.gc = GcPolicy::Disabled;
+        let mut cache = DistributedCache::new(config);
+        let mut down: Option<usize> = None;
+
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Put { object, bytes, home } => {
+                    // With repair on, placement skips the dead node, so
+                    // every put lands fully replicated on live nodes.
+                    cache.put(ObjectId(object), bytes, NodeId(home), 0);
+                }
+                Op::Read { object, reader } => {
+                    // Reads may hit never-stored ids (NotFound is fine) but
+                    // must never see an Unavailable indexed object: at most
+                    // one node is down and every put was fully replicated.
+                    let result = cache.read(ObjectId(object), NodeId(reader));
+                    if let Err(e) = &result {
+                        prop_assert!(
+                            matches!(e, slider_dcache::CacheError::NotFound(_)),
+                            "indexed object {object} degraded: {e:?} (down: {down:?})"
+                        );
+                    }
+                }
+                Op::Fail { node } => {
+                    if down.is_none() {
+                        cache.fail_node(NodeId(node));
+                        down = Some(node);
+                    }
+                }
+                Op::Recover { node } => {
+                    if down == Some(node) {
+                        cache.recover_node(NodeId(node));
+                        down = None;
+                    }
+                }
+            }
+            if drain_mask.get(i).copied().unwrap_or(false) {
+                cache.drain_repairs();
+            }
+        }
+
+        // Heal the cluster: every object must converge back to full
+        // replication with nothing left pending, and stay readable.
+        if let Some(node) = down {
+            cache.recover_node(NodeId(node));
+        }
+        cache.drain_repairs();
+        prop_assert_eq!(cache.under_replicated(), 0, "repair did not converge");
+        prop_assert_eq!(cache.pending_repairs(), 0, "queue did not empty");
+        prop_assert_eq!(cache.scrub(), 0, "no corrupt copies may survive");
+        let indexed = cache.len() as u64;
+        for object in 0..12u64 {
+            if cache.home_of(ObjectId(object)).is_some() {
+                prop_assert!(cache.read(ObjectId(object), NodeId(0)).is_ok());
+            }
+        }
+        prop_assert_eq!(cache.len() as u64, indexed, "reads must not drop objects");
+    }
+
     /// Window-based GC never collects objects within the horizon.
     #[test]
     fn gc_respects_the_horizon(

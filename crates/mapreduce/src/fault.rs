@@ -43,6 +43,22 @@ pub struct CacheNodeEvent {
     pub node: usize,
 }
 
+/// Silent corruption of one cached object's persistent copy before a run.
+///
+/// The copy is flipped on disk; the cache's checksum verification must
+/// detect it on the next read, scrub, or rebuild that touches it — a
+/// corrupt copy is never served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCorruption {
+    /// Run index before which the corruption lands.
+    pub run: u64,
+    /// Reduce partition whose cached object is hit (the engine maps
+    /// partitions to object ids one-to-one).
+    pub partition: usize,
+    /// Cache node whose persistent copy is flipped.
+    pub node: usize,
+}
+
 /// Forced loss of memoized contraction state before one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoLoss {
@@ -69,6 +85,11 @@ pub struct JobFaultPlan {
     pub cache_recoveries: Vec<CacheNodeEvent>,
     /// Memoized partition state forcibly dropped before a run.
     pub memo_losses: Vec<MemoLoss>,
+    /// Persistent cache copies silently corrupted before a run.
+    pub corruptions: Vec<CacheCorruption>,
+    /// Runs before which the cache master index is dropped (and rebuilt
+    /// from the surviving node inventories).
+    pub master_losses: Vec<u64>,
     /// Attempts a simulated task may use before the run is declared lost
     /// (`0` = the cluster default of 3).
     pub max_attempts: u32,
@@ -89,6 +110,8 @@ impl JobFaultPlan {
             && self.cache_failures.is_empty()
             && self.cache_recoveries.is_empty()
             && self.memo_losses.is_empty()
+            && self.corruptions.is_empty()
+            && self.master_losses.is_empty()
             && !self.speculation
     }
 
@@ -128,6 +151,24 @@ impl JobFaultPlan {
     /// Builder-style.
     pub fn lose_memo(mut self, run: u64, partitions: Vec<usize>) -> Self {
         self.memo_losses.push(MemoLoss { run, partitions });
+        self
+    }
+
+    /// Silently corrupts partition `partition`'s cached copy on cache node
+    /// `node` before run `run`. Builder-style.
+    pub fn corrupt_object(mut self, run: u64, partition: usize, node: usize) -> Self {
+        self.corruptions.push(CacheCorruption {
+            run,
+            partition,
+            node,
+        });
+        self
+    }
+
+    /// Drops the cache master index before run `run`; the engine rebuilds
+    /// it from the surviving node inventories. Builder-style.
+    pub fn lose_master(mut self, run: u64) -> Self {
+        self.master_losses.push(run);
         self
     }
 
@@ -245,6 +286,21 @@ impl JobFaultPlan {
             .collect()
     }
 
+    /// Corruptions landing before run `run` as `(partition, node)` pairs,
+    /// in plan order.
+    pub fn corruptions_for_run(&self, run: u64) -> Vec<(usize, usize)> {
+        self.corruptions
+            .iter()
+            .filter(|c| c.run == run)
+            .map(|c| (c.partition, c.node))
+            .collect()
+    }
+
+    /// True when the master index is lost before run `run`.
+    pub fn loses_master_before(&self, run: u64) -> bool {
+        self.master_losses.contains(&run)
+    }
+
     /// Checks plan-internal invariants (finite times, usable factors).
     pub(crate) fn validate(&self) -> Result<(), String> {
         for c in &self.crashes {
@@ -320,6 +376,20 @@ mod tests {
         assert!(plan.lost_partitions(1).is_empty());
         assert_eq!(plan.cache_failures_for_run(1), vec![0]);
         assert_eq!(plan.cache_recoveries_for_run(2), vec![0]);
+    }
+
+    #[test]
+    fn self_healing_faults_project_per_run() {
+        let plan = JobFaultPlan::none()
+            .corrupt_object(2, 1, 3)
+            .corrupt_object(2, 0, 2)
+            .corrupt_object(3, 1, 1)
+            .lose_master(3);
+        assert!(!plan.is_trivial());
+        assert_eq!(plan.corruptions_for_run(2), vec![(1, 3), (0, 2)]);
+        assert_eq!(plan.corruptions_for_run(1), vec![]);
+        assert!(plan.loses_master_before(3));
+        assert!(!plan.loses_master_before(2));
     }
 
     #[test]

@@ -72,7 +72,9 @@ mod windowed;
 
 pub use app::{AppCombiner, MapReduceApp};
 pub use error::JobError;
-pub use fault::{CacheNodeEvent, JobFaultPlan, JobMachineCrash, JobStraggler, MemoLoss};
+pub use fault::{
+    CacheCorruption, CacheNodeEvent, JobFaultPlan, JobMachineCrash, JobStraggler, MemoLoss,
+};
 pub use feeder::WindowFeeder;
 pub use pipeline::{InnerStageStats, Pipeline, PipelineRunResult, StageApp, StageInput};
 pub use runtime::{Runtime, THREADS_ENV};

@@ -102,6 +102,13 @@ impl PipelineRunResult {
     pub fn recovery(&self) -> &crate::stats::RecoveryStats {
         &self.first.recovery
     }
+
+    /// Background self-healing work of this run. Like fault plans, the
+    /// memoization cache attaches to the window-facing first stage, so
+    /// this is the first job's [`slider_dcache::RepairStats`].
+    pub fn repair(&self) -> &slider_dcache::RepairStats {
+        &self.first.repair
+    }
 }
 
 /// Object-safe view of an inner stage for heterogeneous pipelines.

@@ -2,7 +2,7 @@
 
 use slider_cluster::SimReport;
 use slider_core::PhaseWork;
-use slider_dcache::CacheStats;
+use slider_dcache::{CacheStats, RepairStats};
 
 /// Work performed by one run, split by phase (the paper's Figure 9
 /// breakdown).
@@ -52,6 +52,17 @@ pub struct RecoveryStats {
     /// Memo-cache reads that failed outright and degraded to
     /// recomputation (replica failover exhausted).
     pub cache_misses_recovered: u64,
+    /// Failed cache reads whose object was missing from the index
+    /// entirely — recomputation is the only way back.
+    pub cache_not_found: u64,
+    /// Failed cache reads whose object was indexed but unreachable — a
+    /// node recovery or background repair can restore it without
+    /// recomputation.
+    pub cache_unavailable: u64,
+    /// `Unavailable` cache reads retried after draining pending repairs.
+    pub read_retries: u64,
+    /// Simulated seconds spent backing off between read retries.
+    pub backoff_seconds: f64,
 }
 
 impl RecoveryStats {
@@ -96,6 +107,10 @@ pub struct RunStats {
     pub cache: Option<CacheStats>,
     /// Recovery work of this run (all zero for fault-free runs).
     pub recovery: RecoveryStats,
+    /// Background self-healing work of this run — re-replication, scrub,
+    /// master rebuild (all zero for fault-free runs and whenever the cache
+    /// has repair and scrubbing disabled).
+    pub repair: RepairStats,
 }
 
 impl RunStats {

@@ -9,7 +9,7 @@ use slider_cluster::{
     simulate, simulate_with_faults, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, Task,
 };
 use slider_core::{build_tree, ContractionTree, Phase, TreeCx, TreeKind, UpdateStats};
-use slider_dcache::{CacheConfig, CacheStats, DistributedCache, NodeId, ObjectId};
+use slider_dcache::{CacheConfig, CacheError, CacheStats, DistributedCache, NodeId, ObjectId};
 
 use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
@@ -544,6 +544,11 @@ impl<A: MapReduceApp> WindowedJob<A> {
 
         // ---- Scripted faults for this run (recovery is metered apart). ----
         let mut recovery = RecoveryStats::default();
+        let repair_before = self
+            .cache
+            .as_ref()
+            .map(|c| c.repair_stats())
+            .unwrap_or_default();
         self.apply_planned_faults(&mut recovery)?;
 
         let was_full_buckets = self.config.mode.is_fixed_width()
@@ -611,8 +616,21 @@ impl<A: MapReduceApp> WindowedJob<A> {
         // ---- Memoization-cache model. -------------------------------------
         if self.cache.is_some() {
             stats.cache = Some(self.play_cache_traffic(&mut recovery));
+            self.run_cache_maintenance();
         }
         stats.recovery = recovery;
+        if let Some(cache) = &self.cache {
+            stats.repair = cache.repair_stats().delta_since(&repair_before);
+            // Repair traffic rides the same network as the job; account it
+            // in the simulated schedule as off-critical-path background
+            // bytes/seconds so makespans stay comparable.
+            if let Some(sim) = &mut stats.sim {
+                sim.attach_repair_traffic(
+                    stats.repair.repair_bytes,
+                    stats.repair.repair_seconds + stats.repair.scrub_seconds,
+                );
+            }
+        }
 
         self.run_index += 1;
         Ok(stats)
@@ -656,6 +674,21 @@ impl<A: MapReduceApp> WindowedJob<A> {
         }
         for node in plan.cache_failures_for_run(run) {
             self.fail_cache_node(node);
+        }
+        if let Some(cache) = &mut self.cache {
+            for (partition, node) in plan.corruptions_for_run(run) {
+                if partition < self.config.partitions && node < cache.config().nodes {
+                    cache.corrupt_object(ObjectId(partition as u64), NodeId(node));
+                }
+            }
+            if plan.loses_master_before(run) {
+                // The master crashes and restarts: the index is gone and is
+                // rebuilt synchronously from the live nodes' inventories
+                // before the run proceeds. Objects with no surviving copy
+                // read NotFound below and recompute in the foreground.
+                cache.lose_master();
+                cache.rebuild_master();
+            }
         }
         let lost: Vec<usize> = plan
             .lost_partitions(run)
@@ -949,6 +982,11 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// Replays this run's memoization traffic through the cache model and
     /// returns the stats delta.
     fn play_cache_traffic(&mut self, recovery: &mut RecoveryStats) -> CacheStats {
+        /// Bounded retries of an `Unavailable` read (self-healing cache
+        /// only): each retry backs off in simulated time and drains
+        /// pending repairs, so a re-replicated copy can serve the retry
+        /// instead of degrading to recomputation.
+        const MAX_READ_RETRIES: u32 = 2;
         let cache = self.cache.as_mut().expect("caller checked");
         let nodes = cache.config().nodes.max(1);
         let before = cache.stats();
@@ -961,8 +999,31 @@ impl<A: MapReduceApp> WindowedJob<A> {
             // and still misses means the state was recomputed in the
             // foreground instead (recompute-on-miss): meter it as
             // recovery, never an error.
-            if self.cached_objects[p] && cache.read(object, node).is_err() {
-                recovery.cache_misses_recovered += 1;
+            if self.cached_objects[p] {
+                let mut outcome = cache.read(object, node);
+                let mut retries = 0u32;
+                while matches!(outcome, Err(CacheError::Unavailable(_)))
+                    && cache.config().repair
+                    && retries < MAX_READ_RETRIES
+                {
+                    retries += 1;
+                    recovery.read_retries += 1;
+                    recovery.backoff_seconds +=
+                        cache.config().latency.per_op_seconds * f64::from(1 << retries);
+                    cache.drain_repairs();
+                    outcome = cache.read(object, node);
+                }
+                match outcome {
+                    Ok(_) => {}
+                    Err(CacheError::NotFound(_)) => {
+                        recovery.cache_not_found += 1;
+                        recovery.cache_misses_recovered += 1;
+                    }
+                    Err(_) => {
+                        recovery.cache_unavailable += 1;
+                        recovery.cache_misses_recovered += 1;
+                    }
+                }
             }
             let footprint = self.shards[p].memo_footprint;
             if footprint > 0 {
@@ -975,12 +1036,27 @@ impl<A: MapReduceApp> WindowedJob<A> {
         CacheStats {
             memory_hits: after.memory_hits - before.memory_hits,
             disk_reads: after.disk_reads - before.disk_reads,
-            failed_reads: after.failed_reads - before.failed_reads,
+            not_found_reads: after.not_found_reads - before.not_found_reads,
+            unavailable_reads: after.unavailable_reads - before.unavailable_reads,
             read_seconds: after.read_seconds - before.read_seconds,
             bytes_read: after.bytes_read - before.bytes_read,
             collected: after.collected - before.collected,
             evictions: after.evictions - before.evictions,
         }
+    }
+
+    /// End-of-run cache maintenance, the paper's split-processing idea
+    /// applied to the storage layer: a scrub pass at the configured
+    /// cadence, then a drain of the repair queue — all background work
+    /// metered in [`slider_dcache::RepairStats`], never in the foreground
+    /// read stats.
+    fn run_cache_maintenance(&mut self) {
+        let cache = self.cache.as_mut().expect("caller checked");
+        let interval = cache.config().scrub_interval;
+        if interval > 0 && self.run_index.is_multiple_of(interval) {
+            cache.scrub();
+        }
+        cache.drain_repairs();
     }
 }
 
@@ -1547,7 +1623,7 @@ mod tests {
         let stats = job.advance(1, make_splits(11, lines(&["d e"]), 1)).unwrap();
         let cache = stats.cache.expect("cache configured");
         assert!(cache.disk_reads > 0, "failure must fall back to replicas");
-        assert_eq!(cache.failed_reads, 0);
+        assert_eq!(cache.failed_reads(), 0);
         assert_eq!(job.output(), &reference_counts(&["c d", "d e"]));
     }
 

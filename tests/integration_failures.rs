@@ -41,7 +41,7 @@ fn cache_failures_never_change_results() {
             }
             let stats = job.advance(1, splits[20 + i..21 + i].to_vec()).unwrap();
             let cache = stats.cache.expect("cache configured");
-            assert_eq!(cache.failed_reads, 0, "replication must mask failures");
+            assert_eq!(cache.failed_reads(), 0, "replication must mask failures");
             disk_reads += cache.disk_reads;
         }
         (job.output().clone(), disk_reads)

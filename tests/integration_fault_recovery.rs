@@ -135,7 +135,7 @@ fn memo_loss_and_cache_failover_recover_with_identical_outputs() {
                     "the lost object's read must degrade to recomputation"
                 );
                 assert!(
-                    cache.failed_reads >= 1,
+                    cache.failed_reads() >= 1,
                     "losing every replica is a failed read"
                 );
             }
@@ -147,11 +147,11 @@ fn memo_loss_and_cache_failover_recover_with_identical_outputs() {
                     cache.disk_reads > twin_cache.disk_reads,
                     "failover must hit the persistent tier"
                 );
-                assert_eq!(cache.failed_reads, 0, "replication must mask the failure");
+                assert_eq!(cache.failed_reads(), 0, "replication must mask the failure");
             }
             _ => {
                 assert!(s.recovery.is_zero(), "run {run} is fault-free");
-                assert_eq!(cache.failed_reads, 0);
+                assert_eq!(cache.failed_reads(), 0);
             }
         }
     }
