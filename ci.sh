@@ -24,4 +24,17 @@ cargo test -q -p slider-dcache
 echo "==> self-healing: repair, scrub, and master-rebuild scenarios"
 cargo test -q -p slider-bench --test integration_self_healing
 
+echo "==> trace: reconciliation + determinism tests"
+cargo test -q -p slider-bench --test integration_trace
+
+echo "==> trace: same-seed exports are byte-identical"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+# trace_viewer validates the Chrome trace JSON before writing it.
+cargo run -q --release -p slider-bench --example trace_viewer -- "$trace_tmp/a"
+SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example trace_viewer -- "$trace_tmp/b"
+for f in chrome_trace.json flame.folded metrics.json; do
+  cmp "$trace_tmp/a/$f" "$trace_tmp/b/$f"
+done
+
 echo "CI OK"

@@ -3,12 +3,13 @@
 //! and Slider's Contraction+Reduce work as a percentage of the baseline's
 //! Reduce work, for 5% and 25% input changes.
 
-use slider_bench::{banner, fmt_f64, for_each_app, Table, WindowKind};
-use slider_mapreduce::ExecMode;
+use slider_bench::{banner, fmt_f64, for_each_app, BenchJson, Table, WindowKind};
+use slider_mapreduce::{ExecMode, TraceSink};
 
 fn main() {
     banner("Figure 9: performance breakdown for work (normalized to vanilla Hadoop)");
 
+    let mut json = BenchJson::new("fig9_breakdown");
     for pct in [5usize, 25] {
         banner(&format!("Fig 9 — {pct}% change in the input"));
         let mut table = Table::new(&["app", "mode", "map %", "contraction+reduce %"]);
@@ -53,7 +54,29 @@ fn main() {
             fmt_f64(min),
             fmt_f64(max)
         );
+        json.metric(format!("cr_pct_avg_{pct}"), avg);
+        json.metric(format!("cr_pct_min_{pct}"), min);
+        json.metric(format!("cr_pct_max_{pct}"), max);
     }
+
+    // Machine-readable report: the headline percentages plus the full
+    // per-phase breakdown of a traced representative run (HCT, 25%
+    // variable-width slide). Written only when BENCH_JSON_DIR is set.
+    if slider_bench::bench_json_dir().is_some() {
+        let sink = TraceSink::enabled();
+        slider_bench::run_slide_with(
+            &slider_bench::hct_spec(),
+            ExecMode::slider_folding(),
+            WindowKind::Variable,
+            25,
+            |config| config.with_trace(sink.clone()),
+        );
+        json.breakdown(sink.metrics_json().expect("sink is enabled"));
+        if let Some(path) = json.write_if_configured() {
+            println!("wrote {}", path.display());
+        }
+    }
+
     println!(
         "\npaper shape: Slider's Map percentage tracks the input change\n\
          (≈5% and ≈25%); contraction+reduce averages ~31% at 5% and ~43% at\n\

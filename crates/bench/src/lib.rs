@@ -20,4 +20,6 @@ pub use driver::{
     for_each_app, for_each_app_with_cluster, policy_for, run_slide, run_slide_with,
     AppMeasurements, ChangeMeasurement, WindowKind, PCTS,
 };
-pub use report::{banner, fmt_f64, fmt_speedup, Table};
+pub use report::{
+    banner, bench_json_dir, fmt_f64, fmt_speedup, BenchJson, Table, BENCH_JSON_DIR_ENV,
+};

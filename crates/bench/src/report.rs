@@ -1,6 +1,128 @@
-//! Plain-text table formatting for the bench targets' output.
+//! Plain-text table formatting and machine-readable JSON reports for the
+//! bench targets' output.
+//!
+//! ## `BENCH_<name>.json`
+//!
+//! When the `BENCH_JSON_DIR` environment variable names a directory, bench
+//! targets additionally write a machine-readable `BENCH_<name>.json` next
+//! to their text tables (see [`BenchJson`]), with this schema:
+//!
+//! ```text
+//! {
+//!   "schema": "slider-bench-v1",
+//!   "name": "<bench target name>",
+//!   "summary": { "<metric>": <number>, ... },
+//!   "breakdown": { ... the "slider-trace-metrics-v1" blob ... }
+//! }
+//! ```
+//!
+//! `summary` holds the scalar headline numbers the text report prints, in
+//! insertion order. `breakdown` embeds the metrics export of a traced
+//! representative run ([`slider_trace::TraceSnapshot::metrics_json`])
+//! verbatim — per-track/per-phase span counts, work-unit and simulated-
+//! second totals, plus every counter and gauge — so downstream tooling
+//! reads the full per-phase breakdown without scraping table text. The
+//! section is omitted when the target ran untraced. Both the blob and the
+//! wrapper are deterministic: same seed, same bytes, at any thread count.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use slider_trace::json::escape_string;
+use slider_trace::parse_json;
+
+/// Environment variable naming the directory `BENCH_<name>.json` reports
+/// are written to. Unset (or empty) disables JSON output entirely.
+pub const BENCH_JSON_DIR_ENV: &str = "BENCH_JSON_DIR";
+
+/// The directory JSON reports go to, when configured.
+pub fn bench_json_dir() -> Option<PathBuf> {
+    match std::env::var(BENCH_JSON_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Builder for one bench target's `BENCH_<name>.json` report (schema in
+/// the module docs).
+#[derive(Debug, Clone)]
+pub struct BenchJson {
+    name: String,
+    summary: Vec<(String, f64)>,
+    breakdown: Option<String>,
+}
+
+impl BenchJson {
+    /// A report for the bench target `name` (used in the file name).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchJson {
+            name: name.into(),
+            summary: Vec::new(),
+            breakdown: None,
+        }
+    }
+
+    /// Appends one scalar headline metric. Insertion order is preserved.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.summary.push((key.into(), value));
+        self
+    }
+
+    /// Attaches a traced run's metrics blob (the exact string returned by
+    /// [`slider_trace::TraceSnapshot::metrics_json`]) as the `breakdown`
+    /// section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics_json` is not valid JSON — that would corrupt the
+    /// whole report file, and only this crate's own exporter feeds it.
+    pub fn breakdown(&mut self, metrics_json: String) -> &mut Self {
+        parse_json(&metrics_json).expect("breakdown must be the slider-trace metrics blob");
+        self.breakdown = Some(metrics_json);
+        self
+    }
+
+    /// Renders the report (deterministic bytes).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"slider-bench-v1\",\n");
+        let _ = writeln!(out, "  \"name\": \"{}\",", escape_string(&self.name));
+        out.push_str("  \"summary\": {");
+        for (i, (key, value)) in self.summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}",
+                escape_string(key),
+                slider_trace::json::format_f64(*value)
+            );
+        }
+        if self.summary.is_empty() {
+            out.push('}');
+        } else {
+            out.push_str("\n  }");
+        }
+        if let Some(breakdown) = &self.breakdown {
+            out.push_str(",\n  \"breakdown\": ");
+            out.push_str(breakdown.trim_end());
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into [`bench_json_dir`], creating the
+    /// directory if needed. Returns the path written, or `None` when
+    /// `BENCH_JSON_DIR` is unset (the common `cargo bench` case).
+    pub fn write_if_configured(&self) -> Option<PathBuf> {
+        let dir = bench_json_dir()?;
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render()).ok()?;
+        Some(path)
+    }
+}
 
 /// Formats a float with sensible precision for reports.
 pub fn fmt_f64(v: f64) -> String {
@@ -119,5 +241,53 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new(&["a"]);
         t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn bench_json_renders_schema_and_breakdown() {
+        use slider_mapreduce::{ExecMode, JobConfig, TraceSink, WindowedJob};
+
+        let sink = TraceSink::enabled();
+        let mut job = WindowedJob::new(
+            crate::datasets::hct_spec().app.clone(),
+            JobConfig::new(ExecMode::slider_folding())
+                .with_partitions(2)
+                .with_trace(sink.clone()),
+        )
+        .unwrap();
+        let spec = crate::datasets::hct_spec();
+        job.initial_run(spec.initial[0..4].to_vec()).unwrap();
+
+        let mut report = BenchJson::new("unit");
+        report.metric("runs", 1.0);
+        report.breakdown(sink.metrics_json().unwrap());
+        let rendered = report.render();
+        let parsed = parse_json(&rendered).expect("report is valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("slider-bench-v1")
+        );
+        assert_eq!(parsed.get("name").and_then(|v| v.as_str()), Some("unit"));
+        assert_eq!(
+            parsed
+                .get("summary")
+                .and_then(|s| s.get("runs"))
+                .and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed
+                .get("breakdown")
+                .and_then(|b| b.get("schema"))
+                .and_then(|v| v.as_str()),
+            Some("slider-trace-metrics-v1")
+        );
+    }
+
+    #[test]
+    fn bench_json_without_breakdown_is_valid() {
+        let report = BenchJson::new("empty");
+        let parsed = parse_json(&report.render()).expect("valid JSON");
+        assert!(parsed.get("breakdown").is_none());
     }
 }

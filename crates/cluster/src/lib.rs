@@ -36,7 +36,7 @@ mod topology;
 pub use fault::{FaultPlan, MachineCrash, Slowdown};
 pub use machine::{Machine, MachineId, MachineSpec};
 pub use scheduler::{PendingTask, Scheduler, SchedulerPolicy};
-pub use simulator::{simulate, simulate_with_faults, SimReport, StageReport};
+pub use simulator::{simulate, simulate_traced, simulate_with_faults, SimReport, StageReport};
 pub use task::{SlotKind, Task, TaskId};
 pub use topology::CostModel;
 

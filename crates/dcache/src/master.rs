@@ -4,9 +4,14 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
+use slider_trace::{SpanKind, TraceSink};
+
 use crate::gc::GcPolicy;
 use crate::repair::RepairStats;
 use crate::store::InMemoryStore;
+
+/// Trace track every cache span lands on.
+const TRACE_TRACK: &str = "dcache";
 
 /// Identifies a slave node of the memoization layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -251,6 +256,10 @@ pub struct DistributedCache {
     /// Objects awaiting background re-replication, drained in id order so
     /// repair work is deterministic.
     repair_queue: BTreeSet<ObjectId>,
+    /// Observability sink; disabled by default (see
+    /// [`DistributedCache::attach_trace`]). Every span it records mirrors a
+    /// [`CacheStats`]/[`RepairStats`] accumulation with identical operands.
+    trace: TraceSink,
 }
 
 impl DistributedCache {
@@ -282,7 +291,15 @@ impl DistributedCache {
             stats: CacheStats::default(),
             repair: RepairStats::default(),
             repair_queue: BTreeSet::new(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches an observability sink. Pass the job's sink so cache spans
+    /// land in the same trace as the engine's; the default disabled sink
+    /// records nothing at one branch per call site.
+    pub fn attach_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     fn alive_count(&self) -> usize {
@@ -299,6 +316,7 @@ impl DistributedCache {
     fn enqueue_repair(&mut self, object: ObjectId) {
         if self.config.repair && self.repair_queue.insert(object) {
             self.repair.enqueued += 1;
+            self.trace.with(|t| t.add("dcache.repair.enqueued", 1));
         }
     }
 
@@ -379,6 +397,14 @@ impl DistributedCache {
                 checksum,
             },
         );
+        self.trace.with(|t| {
+            let tr = t.track(TRACE_TRACK);
+            let s = t.leaf_seconds(tr, SpanKind::CacheWrite, format!("put {}", object.0), 0.0);
+            t.arg(s, "bytes", bytes);
+            t.arg(s, "live_copies", live_copies as u64);
+            t.add("dcache.puts", 1);
+            t.add("dcache.put_bytes", bytes);
+        });
         if live_copies < self.want_replicas() {
             self.enqueue_repair(object);
         }
@@ -404,6 +430,11 @@ impl DistributedCache {
             Some(m) => m.clone(),
             None => {
                 self.stats.not_found_reads += 1;
+                self.trace.with(|t| {
+                    let tr = t.track(TRACE_TRACK);
+                    t.leaf_seconds(tr, SpanKind::CacheRead, format!("miss {}", object.0), 0.0);
+                    t.add("dcache.not_found_reads", 1);
+                });
                 return Err(CacheError::NotFound(object));
             }
         };
@@ -427,6 +458,18 @@ impl DistributedCache {
                 self.stats.memory_hits += 1;
                 self.stats.read_seconds += seconds;
                 self.stats.bytes_read += meta.bytes;
+                self.trace.with(|t| {
+                    let tr = t.track(TRACE_TRACK);
+                    let s = t.leaf_seconds(
+                        tr,
+                        SpanKind::CacheRead,
+                        format!("read {}", object.0),
+                        seconds,
+                    );
+                    t.arg(s, "bytes", meta.bytes);
+                    t.add("dcache.memory_hits", 1);
+                    t.add("dcache.bytes_read", meta.bytes);
+                });
                 return Ok(ReadOutcome {
                     seconds,
                     source,
@@ -455,10 +498,21 @@ impl DistributedCache {
             // before anyone can read it and schedule re-replication.
             self.nodes[candidate.0].disk.remove(&object);
             self.repair.corruptions_detected += 1;
+            self.trace.with(|t| t.add("dcache.corruptions_detected", 1));
             self.enqueue_repair(object);
         }
         let Some(replica) = replica else {
             self.stats.unavailable_reads += 1;
+            self.trace.with(|t| {
+                let tr = t.track(TRACE_TRACK);
+                t.leaf_seconds(
+                    tr,
+                    SpanKind::CacheRead,
+                    format!("unavailable {}", object.0),
+                    0.0,
+                );
+                t.add("dcache.unavailable_reads", 1);
+            });
             self.enqueue_repair(object);
             return Err(CacheError::Unavailable(object));
         };
@@ -483,6 +537,18 @@ impl DistributedCache {
         self.stats.disk_reads += 1;
         self.stats.read_seconds += seconds;
         self.stats.bytes_read += meta.bytes;
+        self.trace.with(|t| {
+            let tr = t.track(TRACE_TRACK);
+            let s = t.leaf_seconds(
+                tr,
+                SpanKind::CacheRead,
+                format!("read {}", object.0),
+                seconds,
+            );
+            t.arg(s, "bytes", meta.bytes);
+            t.add("dcache.disk_reads", 1);
+            t.add("dcache.bytes_read", meta.bytes);
+        });
         Ok(ReadOutcome {
             seconds,
             source,
@@ -613,6 +679,12 @@ impl DistributedCache {
             self.delete(victim);
         }
         self.stats.collected += n;
+        self.trace.with(|t| {
+            let tr = t.track(TRACE_TRACK);
+            let s = t.leaf_seconds(tr, SpanKind::Gc, format!("gc epoch {current_epoch}"), 0.0);
+            t.arg(s, "collected", n);
+            t.add("dcache.collected", n);
+        });
         n
     }
 
@@ -640,6 +712,7 @@ impl DistributedCache {
                 self.enqueue_repair(object);
             }
         }
+        self.trace.with(|t| t.add("dcache.node_failures", 1));
     }
 
     /// Brings `node` back: its persistent objects become readable again
@@ -666,8 +739,10 @@ impl DistributedCache {
             if stale {
                 self.nodes[node.0].disk.remove(&object);
                 self.repair.stale_copies_purged += 1;
+                self.trace.with(|t| t.add("dcache.stale_copies_purged", 1));
             }
         }
+        self.trace.with(|t| t.add("dcache.node_recoveries", 1));
     }
 
     /// Drains the repair queue, re-replicating every enqueued object onto
@@ -682,12 +757,24 @@ impl DistributedCache {
             return 0;
         }
         let pending: Vec<ObjectId> = std::mem::take(&mut self.repair_queue).into_iter().collect();
+        let drain_span = self.trace.with(|t| {
+            let tr = t.track(TRACE_TRACK);
+            let s = t.begin(tr, SpanKind::Repair, "repair drain");
+            t.arg(s, "pending", pending.len() as u64);
+            s
+        });
         let mut repaired = 0;
         for object in pending {
             if self.repair_one(object) {
                 repaired += 1;
             }
         }
+        self.trace.with(|t| {
+            if let Some(s) = drain_span {
+                t.end(s);
+            }
+            t.add("dcache.repair.repaired_objects", repaired);
+        });
         repaired
     }
 
@@ -714,6 +801,7 @@ impl DistributedCache {
                 Some(_) => {
                     self.nodes[node.0].disk.remove(&object);
                     self.repair.corruptions_detected += 1;
+                    self.trace.with(|t| t.add("dcache.corruptions_detected", 1));
                 }
                 None => {}
             }
@@ -750,9 +838,22 @@ impl DistributedCache {
             self.repair.copies_restored += 1;
             self.repair.repair_bytes += meta.bytes;
             // Source disk read + network transfer + target disk write.
-            self.repair.repair_seconds += lat.per_op_seconds
+            let cost = lat.per_op_seconds
                 + 2.0 * meta.bytes as f64 / lat.disk_bytes_per_second
                 + meta.bytes as f64 / lat.network_bytes_per_second;
+            self.repair.repair_seconds += cost;
+            self.trace.with(|t| {
+                let tr = t.track(TRACE_TRACK);
+                let s = t.leaf_seconds(
+                    tr,
+                    SpanKind::Repair,
+                    format!("re-replicate {} -> n{}", object.0, candidate.0),
+                    cost,
+                );
+                t.arg(s, "bytes", meta.bytes);
+                t.add("dcache.repair.copies_restored", 1);
+                t.add("dcache.repair.bytes", meta.bytes);
+            });
         }
         new_replicas.sort_unstable();
         let under_target = new_replicas.len() < want;
@@ -781,6 +882,12 @@ impl DistributedCache {
     /// Returns the number of corrupt copies found this pass.
     pub fn scrub(&mut self) -> u64 {
         self.repair.scrub_passes += 1;
+        let pass = self.repair.scrub_passes;
+        let scrub_span = self.trace.with(|t| {
+            let tr = t.track(TRACE_TRACK);
+            t.add("dcache.scrub.passes", 1);
+            t.begin(tr, SpanKind::Scrub, format!("scrub pass {pass}"))
+        });
         let lat = self.config.latency;
         let want = self.want_replicas();
         let mut ids: Vec<ObjectId> = self.index.keys().copied().collect();
@@ -792,6 +899,8 @@ impl DistributedCache {
             members.sort_unstable();
             members.dedup();
             let mut live_clean = 0usize;
+            let mut obj_copies = 0u64;
+            let mut obj_seconds = 0.0f64;
             for node in members {
                 if !self.nodes[node.0].alive {
                     continue;
@@ -801,20 +910,43 @@ impl DistributedCache {
                 };
                 self.repair.scrubbed_copies += 1;
                 self.repair.scrub_bytes += meta.bytes;
-                self.repair.scrub_seconds +=
-                    lat.per_op_seconds + meta.bytes as f64 / lat.disk_bytes_per_second;
+                let cost = lat.per_op_seconds + meta.bytes as f64 / lat.disk_bytes_per_second;
+                self.repair.scrub_seconds += cost;
+                obj_copies += 1;
+                obj_seconds += cost;
                 if copy.checksum == meta.checksum {
                     live_clean += 1;
                 } else {
                     self.nodes[node.0].disk.remove(&object);
                     self.repair.corruptions_detected += 1;
                     found += 1;
+                    self.trace.with(|t| t.add("dcache.corruptions_detected", 1));
                 }
+            }
+            if obj_copies > 0 {
+                self.trace.with(|t| {
+                    let tr = t.track(TRACE_TRACK);
+                    let s = t.leaf_seconds(
+                        tr,
+                        SpanKind::Scrub,
+                        format!("scrub {}", object.0),
+                        obj_seconds,
+                    );
+                    t.arg(s, "copies", obj_copies);
+                    t.add("dcache.scrub.copies", obj_copies);
+                    t.add("dcache.scrub.bytes", obj_copies * meta.bytes);
+                });
             }
             if live_clean < want {
                 self.enqueue_repair(object);
             }
         }
+        self.trace.with(|t| {
+            if let Some(s) = scrub_span {
+                t.arg(s, "corrupt_found", found);
+                t.end(s);
+            }
+        });
         found
     }
 
@@ -841,6 +973,11 @@ impl DistributedCache {
     /// reindexed.
     pub fn rebuild_master(&mut self) -> u64 {
         self.repair.master_rebuilds += 1;
+        let rebuild_span = self.trace.with(|t| {
+            let tr = t.track(TRACE_TRACK);
+            t.add("dcache.master.rebuilds", 1);
+            t.begin(tr, SpanKind::Repair, "rebuild master")
+        });
         let lat = self.config.latency;
         let mut inventory: BTreeMap<ObjectId, Vec<(NodeId, DiskCopy)>> = BTreeMap::new();
         for (i, node) in self.nodes.iter().enumerate() {
@@ -858,7 +995,13 @@ impl DistributedCache {
         for (object, mut copies) in inventory {
             copies.sort_unstable_by_key(|(node, _)| *node);
             // Index-rebuild RPC cost: one inventory round per copy.
-            self.repair.repair_seconds += lat.per_op_seconds * copies.len() as f64;
+            let cost = lat.per_op_seconds * copies.len() as f64;
+            self.repair.repair_seconds += cost;
+            self.trace.with(|t| {
+                let tr = t.track(TRACE_TRACK);
+                let s = t.leaf_seconds(tr, SpanKind::Repair, format!("reindex {}", object.0), cost);
+                t.arg(s, "copies", copies.len() as u64);
+            });
             // Checksums are content-derived, so each copy self-verifies:
             // a corrupt copy cannot even cast a vote.
             let mut verified: Vec<(NodeId, DiskCopy)> = Vec::new();
@@ -868,6 +1011,7 @@ impl DistributedCache {
                 } else {
                     self.nodes[node.0].disk.remove(&object);
                     self.repair.corruptions_detected += 1;
+                    self.trace.with(|t| t.add("dcache.corruptions_detected", 1));
                 }
             }
             if verified.is_empty() {
@@ -899,6 +1043,7 @@ impl DistributedCache {
                 if (copy.epoch, copy.bytes, copy.checksum) != (epoch, bytes, checksum) {
                     self.nodes[node.0].disk.remove(&object);
                     self.repair.stale_copies_purged += 1;
+                    self.trace.with(|t| t.add("dcache.stale_copies_purged", 1));
                 }
             }
             let home = (0..self.nodes.len())
@@ -919,10 +1064,17 @@ impl DistributedCache {
             );
             reindexed += 1;
             self.repair.objects_reindexed += 1;
+            self.trace.with(|t| t.add("dcache.master.reindexed", 1));
             if replicas.len() < self.want_replicas() {
                 self.enqueue_repair(object);
             }
         }
+        self.trace.with(|t| {
+            if let Some(s) = rebuild_span {
+                t.arg(s, "reindexed", reindexed);
+                t.end(s);
+            }
+        });
         reindexed
     }
 

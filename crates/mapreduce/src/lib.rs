@@ -82,3 +82,7 @@ pub use shuffle::{partition_of, stable_hash};
 pub use split::{make_splits, Split, SplitId};
 pub use stats::{RecoveryStats, RunStats, WorkBreakdown};
 pub use windowed::{ExecMode, JobConfig, RunResult, SimulationConfig, WindowedJob};
+
+// Re-export the trace surface jobs are configured with, so engine users
+// need no direct `slider-trace` dependency for the common path.
+pub use slider_trace::{SpanKind, TraceSink, TraceSnapshot, TRACE_ENV};

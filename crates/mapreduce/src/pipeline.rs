@@ -546,6 +546,12 @@ where
         self.first.runtime()
     }
 
+    /// The trace sink every stage of this pipeline emits to (owned by the
+    /// window-facing first job; see [`WindowedJob::trace`]).
+    pub fn trace(&self) -> &slider_trace::TraceSink {
+        self.first.trace()
+    }
+
     fn first_stage_rows(&self) -> Vec<F::Row> {
         self.first
             .output()
@@ -556,15 +562,42 @@ where
 
     fn run_inner(&mut self, first: RunStats) -> PipelineRunResult {
         let sim = self.first.config().simulation.clone();
-        let runtime = self.first.runtime();
+        let runtime = self.first.runtime().clone();
+        let trace = self.first.trace().clone();
         let mut result = PipelineRunResult {
             first,
             inner: Vec::new(),
         };
         let mut rows = self.first_stage_rows();
         for stage in &mut self.inner {
-            let stats = stage.run(&rows, sim.as_ref(), runtime);
+            let stats = stage.run(&rows, sim.as_ref(), &runtime);
             rows = stage.output_rows();
+            // One Stage span per inner stage, with phase leaves carrying
+            // the exact work operands stored in `InnerStageStats` — the
+            // pipeline track reconciles per kind against the stats fold.
+            trace.with(|t| {
+                use slider_trace::SpanKind;
+                let tr = t.track("pipeline");
+                let span = t.begin(tr, SpanKind::Stage, format!("stage {}", stage.name()));
+                if stats.map_work > 0 {
+                    let leaf = t.leaf(tr, SpanKind::Map, "map", stats.map_work);
+                    t.arg(leaf, "buckets_changed", stats.buckets_changed as u64);
+                }
+                if stats.tree.foreground.work > 0 {
+                    t.leaf(
+                        tr,
+                        SpanKind::ContractionFg,
+                        "contraction-fg",
+                        stats.tree.foreground.work,
+                    );
+                }
+                if stats.reduce_work > 0 {
+                    t.leaf(tr, SpanKind::Reduce, "reduce", stats.reduce_work);
+                }
+                t.end(span);
+                t.add("pipeline.buckets_changed", stats.buckets_changed as u64);
+                t.add("pipeline.keys_reduced", stats.keys_reduced as u64);
+            });
             result.inner.push(stats);
         }
         result

@@ -25,6 +25,8 @@
 
 use std::fmt;
 
+use slider_trace::TraceSink;
+
 /// Environment variable overriding the configured worker-thread count.
 pub const THREADS_ENV: &str = "SLIDER_THREADS";
 
@@ -35,6 +37,10 @@ pub const THREADS_ENV: &str = "SLIDER_THREADS";
 #[derive(Clone)]
 pub struct Runtime {
     threads: usize,
+    /// Trace sink for batch/item counters. Only ever touched on the
+    /// calling (control) thread — never inside worker closures — so the
+    /// collected counters are identical for any thread count.
+    trace: TraceSink,
 }
 
 impl fmt::Debug for Runtime {
@@ -50,6 +56,7 @@ impl Runtime {
     pub fn new(threads: usize) -> Self {
         Runtime {
             threads: threads.max(1),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -83,6 +90,21 @@ impl Runtime {
         self.threads
     }
 
+    /// Attaches a trace sink for the `runtime.batches` / `runtime.items`
+    /// counters. Builder-style.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Meters one batch on the control thread (never inside workers).
+    fn meter_batch(&self, items: usize) {
+        self.trace.with(|t| {
+            t.add("runtime.batches", 1);
+            t.add("runtime.items", items as u64);
+        });
+    }
+
     /// Applies `f` to every item, in parallel across workers, returning the
     /// results in item order. `f` receives the item index.
     pub fn map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
@@ -91,6 +113,7 @@ impl Runtime {
         R: Send,
         F: Fn(usize, &I) -> R + Sync,
     {
+        self.meter_batch(items.len());
         let workers = self.threads.min(items.len());
         if workers <= 1 {
             return items
@@ -128,6 +151,7 @@ impl Runtime {
         R: Send,
         F: Fn(usize, &mut I) -> R + Sync,
     {
+        self.meter_batch(items.len());
         let workers = self.threads.min(items.len());
         if workers <= 1 {
             return items

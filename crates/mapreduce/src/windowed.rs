@@ -5,11 +5,10 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use slider_cluster::{
-    simulate, simulate_with_faults, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, Task,
-};
+use slider_cluster::{simulate_traced, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, Task};
 use slider_core::{build_tree, ContractionTree, Phase, TreeCx, TreeKind, UpdateStats};
 use slider_dcache::{CacheConfig, CacheError, CacheStats, DistributedCache, NodeId, ObjectId};
+use slider_trace::{SpanKind, TraceSink};
 
 use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
@@ -160,6 +159,13 @@ pub struct JobConfig {
     /// available parallelism. Thread count never affects outputs or the
     /// modeled work/time metrics — only wall-clock speed.
     pub threads: usize,
+    /// Trace sink for the deterministic observability subsystem
+    /// ([`slider_trace`]). Disabled by default: a disabled sink costs one
+    /// branch per instrumentation site and the job behaves bit-identically
+    /// to an uninstrumented build. A disabled sink is still upgraded at
+    /// job construction when the `SLIDER_TRACE` environment variable is
+    /// truthy (mirroring `SLIDER_THREADS`).
+    pub trace: TraceSink,
 }
 
 impl JobConfig {
@@ -176,6 +182,7 @@ impl JobConfig {
             cache: None,
             faults: None,
             threads: 0,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -220,6 +227,15 @@ impl JobConfig {
     /// Sets the worker-thread count (`0` = automatic). Builder-style.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Installs a trace sink (see [`slider_trace::TraceSink`]).
+    /// Builder-style. Pass [`TraceSink::enabled`] to collect spans and
+    /// counters; clones of the sink share one collector, so the caller
+    /// can export after running the job.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -387,6 +403,11 @@ pub struct WindowedJob<A: MapReduceApp> {
     output: BTreeMap<A::Key, A::Output>,
     used_split_ids: HashSet<u64>,
     run_index: u64,
+    /// Env-resolved copy of `config.trace`; every instrumentation site in
+    /// the job goes through this sink. All emission happens on the control
+    /// thread, in deterministic fold order, so traces are bit-identical
+    /// across thread counts and reruns.
+    trace: TraceSink,
     cache: Option<DistributedCache>,
     /// Per-partition flag: the partition's memoized state was written to
     /// the cache by a previous run, so the next run is expected to read it
@@ -465,8 +486,12 @@ impl<A: MapReduceApp> WindowedJob<A> {
         }
         let app = Arc::new(app);
         let combiner = AppCombiner::new(Arc::clone(&app));
-        let cache = config.cache.clone().map(DistributedCache::new);
-        let runtime = Runtime::auto(config.threads);
+        let trace = config.trace.clone().resolve_env();
+        let mut cache = config.cache.clone().map(DistributedCache::new);
+        if let Some(cache) = &mut cache {
+            cache.attach_trace(trace.clone());
+        }
+        let runtime = Runtime::auto(config.threads).with_trace(trace.clone());
         let shards = (0..config.partitions)
             .map(|_| PartitionShard::default())
             .collect();
@@ -481,6 +506,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
             output: BTreeMap::new(),
             used_split_ids: HashSet::new(),
             run_index: 0,
+            trace,
             cache,
             cached_objects,
         })
@@ -500,6 +526,13 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// with downstream pipeline stages so the whole query inherits it.
     pub fn runtime(&self) -> &Runtime {
         &self.runtime
+    }
+
+    /// The trace sink this job emits to (env-resolved at construction).
+    /// Disabled unless [`JobConfig::with_trace`] installed an enabled sink
+    /// or `SLIDER_TRACE` was truthy when the job was built.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Number of splits currently in the window.
@@ -542,6 +575,13 @@ impl<A: MapReduceApp> WindowedJob<A> {
     ) -> Result<RunStats, JobError> {
         self.validate_slide(remove_splits, &added)?;
 
+        let trace = self.trace.clone();
+        let run_span = trace.with(|t| {
+            t.set_run(self.run_index);
+            let tr = t.track("engine");
+            t.begin(tr, SpanKind::Run, format!("run #{}", self.run_index))
+        });
+
         // ---- Scripted faults for this run (recovery is metered apart). ----
         let mut recovery = RecoveryStats::default();
         let repair_before = self
@@ -580,6 +620,35 @@ impl<A: MapReduceApp> WindowedJob<A> {
             stats.map_reused = self.window.len() - new_entries.len();
         }
 
+        // One Map leaf per executed map task, in deterministic task order;
+        // leaf works sum exactly to `stats.work.map`, the shuffle leaf
+        // carries `stats.shuffle_bytes`.
+        trace.with(|t| {
+            let tr = t.track("engine");
+            let map_span = t.begin(tr, SpanKind::Map, "map");
+            let mapped: Vec<(u64, u64, u64)> = if self.config.mode == ExecMode::Recompute {
+                self.window
+                    .iter()
+                    .map(|e| (e.id.0, e.map_work, e.input_bytes))
+                    .collect()
+            } else {
+                new_entries
+                    .iter()
+                    .map(|e| (e.id.0, e.map_work, e.input_bytes))
+                    .collect()
+            };
+            for (id, map_work, input_bytes) in mapped {
+                let leaf = t.leaf(tr, SpanKind::Map, format!("split {id}"), map_work);
+                t.arg(leaf, "input_bytes", input_bytes);
+            }
+            t.end(map_span);
+            let shuffle = t.leaf(tr, SpanKind::Shuffle, "shuffle", 0);
+            t.arg(shuffle, "bytes", stats.shuffle_bytes);
+            t.add("engine.map_tasks", stats.map_tasks as u64);
+            t.add("engine.map_reused", stats.map_reused as u64);
+            t.add("engine.shuffle_bytes", stats.shuffle_bytes);
+        });
+
         // ---- Contraction + Reduce phase. ---------------------------------
         let outcome = match self.config.mode {
             ExecMode::Recompute => self.run_recompute(),
@@ -593,6 +662,63 @@ impl<A: MapReduceApp> WindowedJob<A> {
         stats.keys_reused = outcome.keys_reused;
         stats.memo_read_bytes = outcome.tree_stats.bytes_read;
 
+        // Per-partition contraction and reduce leaves (shard-fold order).
+        // Foreground leaf works sum to `stats.work.contraction_fg.work`,
+        // reduce leaves to `stats.work.reduce`, background leaves (their
+        // own track: off the critical path) to `contraction_bg.work`.
+        trace.with(|t| {
+            let tr = t.track("engine");
+            let fg = t.begin(tr, SpanKind::ContractionFg, "contraction-fg");
+            for (p, pw) in outcome.per_partition.iter().enumerate() {
+                if pw.fg_work > 0 {
+                    t.leaf(
+                        tr,
+                        SpanKind::ContractionFg,
+                        format!("partition {p}"),
+                        pw.fg_work,
+                    );
+                }
+            }
+            t.end(fg);
+            let reduce = t.begin(tr, SpanKind::Reduce, "reduce");
+            for (p, pw) in outcome.per_partition.iter().enumerate() {
+                if pw.reduce_work > 0 {
+                    t.leaf(
+                        tr,
+                        SpanKind::Reduce,
+                        format!("partition {p}"),
+                        pw.reduce_work,
+                    );
+                }
+            }
+            t.end(reduce);
+            if outcome.per_partition.iter().any(|pw| pw.bg_work > 0) {
+                let bg_track = t.track("background");
+                let bg = t.begin(bg_track, SpanKind::ContractionBg, "contraction-bg");
+                for (p, pw) in outcome.per_partition.iter().enumerate() {
+                    if pw.bg_work > 0 {
+                        t.leaf(
+                            bg_track,
+                            SpanKind::ContractionBg,
+                            format!("partition {p}"),
+                            pw.bg_work,
+                        );
+                    }
+                }
+                t.end(bg);
+            }
+            t.add("engine.keys_reduced", stats.keys_reduced as u64);
+            t.add("engine.keys_reused", stats.keys_reused as u64);
+            t.add("engine.nodes_reused", stats.nodes_reused);
+            t.add("engine.merges_fg", outcome.tree_stats.foreground.merges);
+            t.add("engine.merges_bg", outcome.tree_stats.background.merges);
+            t.add("engine.memo_read_bytes", outcome.tree_stats.bytes_read);
+            t.add(
+                "engine.memo_written_bytes",
+                outcome.tree_stats.bytes_written,
+            );
+        });
+
         // Refresh shard footprints (a per-shard tree walk, parallel too).
         let combiner = &self.combiner;
         self.runtime.map_mut(&mut self.shards, |_, shard| {
@@ -605,6 +731,16 @@ impl<A: MapReduceApp> WindowedJob<A> {
         let moved_bytes =
             stats.shuffle_bytes + stats.memo_read_bytes + outcome.tree_stats.bytes_written;
         stats.work.movement = (moved_bytes as f64 * self.config.work_per_byte) as u64;
+        trace.with(|t| {
+            let tr = t.track("engine");
+            let movement = t.leaf(tr, SpanKind::Movement, "movement", stats.work.movement);
+            t.arg(movement, "moved_bytes", moved_bytes);
+            t.gauge(
+                "engine.memo_footprint_bytes",
+                stats.memo_footprint_bytes as f64,
+            );
+            t.gauge("engine.window_splits", self.window.len() as f64);
+        });
 
         // ---- Cluster simulation (time metric). ---------------------------
         if let Some(sim) = self.config.simulation.clone() {
@@ -619,6 +755,26 @@ impl<A: MapReduceApp> WindowedJob<A> {
             self.run_cache_maintenance();
         }
         stats.recovery = recovery;
+        trace.with(|t| {
+            t.add(
+                "recovery.lost_partitions",
+                stats.recovery.lost_partitions as u64,
+            );
+            t.add(
+                "recovery.keys_recomputed",
+                stats.recovery.keys_recomputed as u64,
+            );
+            t.add(
+                "recovery.cache_misses_recovered",
+                stats.recovery.cache_misses_recovered,
+            );
+            t.add("recovery.cache_not_found", stats.recovery.cache_not_found);
+            t.add(
+                "recovery.cache_unavailable",
+                stats.recovery.cache_unavailable,
+            );
+            t.add("recovery.read_retries", stats.recovery.read_retries);
+        });
         if let Some(cache) = &self.cache {
             stats.repair = cache.repair_stats().delta_since(&repair_before);
             // Repair traffic rides the same network as the job; account it
@@ -630,7 +786,30 @@ impl<A: MapReduceApp> WindowedJob<A> {
                     stats.repair.repair_seconds + stats.repair.scrub_seconds,
                 );
             }
+            // Run-level repair/scrub summary spans carry the exact f64
+            // deltas stored in `stats.repair`, so span seconds reconcile
+            // bit-for-bit with `RepairStats` (the fine-grained dcache-track
+            // spans reconcile via u64 counters instead: float telescoping
+            // deltas are not exactly refoldable).
+            trace.with(|t| {
+                let tr = t.track("repair");
+                let repair =
+                    t.leaf_seconds(tr, SpanKind::Repair, "repair", stats.repair.repair_seconds);
+                t.arg(repair, "enqueued", stats.repair.enqueued);
+                t.arg(repair, "repaired_objects", stats.repair.repaired_objects);
+                t.arg(repair, "copies_restored", stats.repair.copies_restored);
+                t.arg(repair, "repair_bytes", stats.repair.repair_bytes);
+                let scrub =
+                    t.leaf_seconds(tr, SpanKind::Scrub, "scrub", stats.repair.scrub_seconds);
+                t.arg(scrub, "scrubbed_copies", stats.repair.scrubbed_copies);
+                t.arg(scrub, "scrub_bytes", stats.repair.scrub_bytes);
+            });
         }
+        trace.with(|t| {
+            if let Some(span) = run_span {
+                t.end(span);
+            }
+        });
 
         self.run_index += 1;
         Ok(stats)
@@ -754,8 +933,24 @@ impl<A: MapReduceApp> WindowedJob<A> {
             };
             recovery.lost_partitions += 1;
             recovery.keys_recomputed += recomputed.len();
-            recovery.rebuild_work += stats.foreground.work + stats.background.work;
-            recovery.rebuild_merges += stats.foreground.merges + stats.background.merges;
+            let rebuild_work = stats.foreground.work + stats.background.work;
+            let rebuild_merges = stats.foreground.merges + stats.background.merges;
+            recovery.rebuild_work += rebuild_work;
+            recovery.rebuild_merges += rebuild_merges;
+            // Rebuild leaves carry the same work operand accumulated into
+            // `RecoveryStats::rebuild_work`, so the recovery track
+            // reconciles exactly.
+            self.trace.with(|t| {
+                let tr = t.track("recovery");
+                let leaf = t.leaf(
+                    tr,
+                    SpanKind::Recovery,
+                    format!("rebuild partition {p}"),
+                    rebuild_work,
+                );
+                t.arg(leaf, "keys", recomputed.len() as u64);
+                t.arg(leaf, "merges", rebuild_merges);
+            });
         }
         Ok(())
     }
@@ -958,8 +1153,14 @@ impl<A: MapReduceApp> WindowedJob<A> {
             .as_ref()
             .map(|f| f.cluster_plan_for_run(self.run_index))
             .unwrap_or_else(FaultPlan::none);
-        let fg_report =
-            simulate_with_faults(&sim.cluster, sim.policy, &[maps, reduces], &cluster_plan);
+        let fg_report = simulate_traced(
+            &sim.cluster,
+            sim.policy,
+            &[maps, reduces],
+            &cluster_plan,
+            &self.trace,
+            "fg",
+        );
 
         // Background pre-processing runs off the critical path, simulated
         // as its own single-stage schedule.
@@ -972,7 +1173,14 @@ impl<A: MapReduceApp> WindowedJob<A> {
                 .filter(|(_, pw)| pw.bg_work > 0)
                 .map(|(p, pw)| Task::reduce(id(), pw.bg_work).prefer(MachineId(p % machines)))
                 .collect();
-            Some(simulate(&sim.cluster, sim.policy, &[bg_tasks]))
+            Some(simulate_traced(
+                &sim.cluster,
+                sim.policy,
+                &[bg_tasks],
+                &FaultPlan::none(),
+                &self.trace,
+                "bg",
+            ))
         } else {
             None
         };
@@ -1008,8 +1216,21 @@ impl<A: MapReduceApp> WindowedJob<A> {
                 {
                     retries += 1;
                     recovery.read_retries += 1;
-                    recovery.backoff_seconds +=
-                        cache.config().latency.per_op_seconds * f64::from(1 << retries);
+                    let backoff = cache.config().latency.per_op_seconds * f64::from(1 << retries);
+                    recovery.backoff_seconds += backoff;
+                    // Backoff leaves carry the exact f64 operand added to
+                    // `RecoveryStats::backoff_seconds`; refolding them in
+                    // emission order reproduces the accumulator bit-exactly.
+                    self.trace.with(|t| {
+                        let tr = t.track("recovery");
+                        let leaf = t.leaf_seconds(
+                            tr,
+                            SpanKind::Recovery,
+                            format!("backoff partition {p}"),
+                            backoff,
+                        );
+                        t.arg(leaf, "retry", u64::from(retries));
+                    });
                     cache.drain_repairs();
                     outcome = cache.read(object, node);
                 }

@@ -3,7 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-use slider_mapreduce::{JobConfig, JobError, Pipeline, PipelineRunResult, Split};
+use slider_mapreduce::{
+    JobConfig, JobError, Pipeline, PipelineRunResult, SpanKind, Split, TraceSink,
+};
 
 use crate::plan::{Query, QueryOp, Row};
 use crate::stage::RowStage;
@@ -152,7 +154,9 @@ impl QueryExecutor {
     ///
     /// Propagates window-discipline violations from the first job.
     pub fn initial_run(&mut self, splits: Vec<Split<Row>>) -> Result<QueryRunStats, QueryError> {
-        Ok(self.pipeline.initial_run(splits)?)
+        let stats = self.pipeline.initial_run(splits)?;
+        self.trace_run(&stats);
+        Ok(stats)
     }
 
     /// Slides the window and updates the query answer incrementally.
@@ -165,7 +169,9 @@ impl QueryExecutor {
         remove_splits: usize,
         added: Vec<Split<Row>>,
     ) -> Result<QueryRunStats, QueryError> {
-        Ok(self.pipeline.advance(remove_splits, added)?)
+        let stats = self.pipeline.advance(remove_splits, added)?;
+        self.trace_run(&stats);
+        Ok(stats)
     }
 
     /// The current query answer.
@@ -176,6 +182,42 @@ impl QueryExecutor {
     /// Worker threads the underlying runtime uses for this query.
     pub fn runtime_threads(&self) -> usize {
         self.pipeline.runtime().threads()
+    }
+
+    /// The trace sink the compiled pipeline emits to (see
+    /// [`slider_mapreduce::JobConfig::with_trace`]).
+    pub fn trace(&self) -> &TraceSink {
+        self.pipeline.trace()
+    }
+
+    /// Emits one query-track Stage span per run: a leaf per MapReduce job
+    /// carrying the exact foreground work the pipeline stats recorded, so
+    /// the query track reconciles against [`PipelineRunResult`].
+    fn trace_run(&self, stats: &QueryRunStats) {
+        self.pipeline.trace().with(|t| {
+            let tr = t.track("query");
+            let span = t.begin(
+                tr,
+                SpanKind::Stage,
+                format!("query run #{}", stats.first.run),
+            );
+            t.leaf(
+                tr,
+                SpanKind::Stage,
+                "job 1",
+                stats.first.work.foreground_total(),
+            );
+            for (i, inner) in stats.inner.iter().enumerate() {
+                t.leaf(
+                    tr,
+                    SpanKind::Stage,
+                    format!("job {}", i + 2),
+                    inner.total_work(),
+                );
+            }
+            t.end(span);
+            t.add("query.runs", 1);
+        });
     }
 }
 

@@ -1,0 +1,365 @@
+//! Minimal, dependency-free JSON support: string escaping for the
+//! exporters, a strict recursive-descent parser, and the Chrome-trace
+//! validator used by CI's determinism gate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` as the *contents* of a JSON string literal (no surrounding
+/// quotes).
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. Non-finite values (which never occur
+/// in well-formed traces) degrade to `0` so output is always valid JSON.
+pub fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    // `Display` for f64 round-trips, but bare integers like `3` are valid
+    // JSON already; keep them as-is.
+    s
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order is normalized (sorted) by the map.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Returns the object field `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `input` as a single JSON document.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one full UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '['
+    let mut out = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(out));
+    }
+    loop {
+        out.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '{'
+    let mut out = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(out));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        out.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Validates an exported Chrome `trace_event` document: it must parse as a
+/// JSON array of event objects, every `"X"` (complete) event must carry
+/// `name`/`ts`/`dur`/`tid` with non-negative duration, and within each
+/// `tid` the `ts` values must be monotone non-decreasing in file order —
+/// the property CI's determinism gate checks.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse(text)?;
+    let events = doc
+        .as_array()
+        .ok_or_else(|| "chrome trace must be a JSON array".to_string())?;
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut complete = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        if ph != "X" {
+            continue;
+        }
+        complete += 1;
+        event
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        let ts = event
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing \"ts\""))?;
+        let dur = event
+            .get("dur")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing \"dur\""))?;
+        let tid = event
+            .get("tid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing \"tid\""))?;
+        if dur < 0.0 {
+            return Err(format!("event {i}: negative dur {dur}"));
+        }
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts {ts}"));
+        }
+        let track = seconds_key(tid);
+        if let Some(prev) = last_ts.get(&track) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(track, ts);
+    }
+    Ok(complete)
+}
+
+/// Buckets a `tid` number into a map key (tids are small non-negative
+/// integers in our exports).
+fn seconds_key(tid: f64) -> u64 {
+    if tid.is_finite() && (0.0..9.0e15).contains(&tid) {
+        // Guarded above: non-negative and below 2^53.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            tid as u64
+        }
+    } else {
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_round_trip_documents() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": null, "d": true}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("x\ny"));
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn validates_monotone_traces() {
+        let good = r#"[
+            {"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"engine"}},
+            {"ph":"X","pid":0,"tid":0,"ts":0,"dur":10,"name":"run"},
+            {"ph":"X","pid":0,"tid":0,"ts":5,"dur":5,"name":"map"},
+            {"ph":"X","pid":0,"tid":1,"ts":0,"dur":1,"name":"other"}
+        ]"#;
+        assert_eq!(validate_chrome_trace(good).unwrap(), 3);
+        let bad = r#"[
+            {"ph":"X","pid":0,"tid":0,"ts":5,"dur":1,"name":"a"},
+            {"ph":"X","pid":0,"tid":0,"ts":4,"dur":1,"name":"b"}
+        ]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape_string("a\"b\\c\n\u{1}"), "a\\\"b\\\\c\\n\\u0001");
+    }
+}

@@ -1,0 +1,414 @@
+//! Cross-crate integration for the `slider-trace` observability subsystem.
+//!
+//! The load-bearing invariants:
+//!
+//! * **Exact reconciliation** — span totals on every track equal the
+//!   engine's own statistics (`WorkBreakdown`, `RecoveryStats`,
+//!   `RepairStats`, `SimReport`, cache counters), per run, for every
+//!   execution mode and thread count. Not approximately: `u64` sums are
+//!   exact and `f64` folds replay the engine's own accumulation order.
+//! * **Zero observable overhead** — enabling tracing leaves job outputs
+//!   and `RunStats` bit-identical to an untraced run.
+//! * **Determinism** — the three profile exports are byte-identical for
+//!   any `threads` value, because the virtual clock counts modeled work,
+//!   never wall time.
+
+use std::collections::BTreeMap;
+
+use slider_apps::Hct;
+use slider_dcache::{CacheConfig, DistributedCache, NodeId, ObjectId};
+use slider_mapreduce::{
+    make_splits, ExecMode, JobConfig, JobFaultPlan, RunStats, SimulationConfig, TraceSink,
+    WindowedJob,
+};
+use slider_trace::{validate_chrome_trace, SpanKind, TraceSnapshot};
+use slider_workloads::text::{generate_documents, TextConfig};
+
+fn records(count: usize) -> Vec<String> {
+    generate_documents(
+        7,
+        count,
+        &TextConfig {
+            vocabulary: 60,
+            zipf_exponent: 1.0,
+            words_per_doc: 8,
+        },
+    )
+}
+
+fn all_modes() -> Vec<ExecMode> {
+    vec![
+        ExecMode::Recompute,
+        ExecMode::Strawman,
+        ExecMode::slider_folding(),
+        ExecMode::slider_randomized(),
+        ExecMode::slider_rotating(true),
+        ExecMode::slider_coalescing(true),
+    ]
+}
+
+/// Builds a traced job and drives the same 4-run history every test uses:
+/// an 8-split initial window plus three slides. Returns the per-run stats.
+fn drive(mode: ExecMode, threads: usize, trace: TraceSink) -> (Vec<RunStats>, WindowedJob<Hct>) {
+    let splits = make_splits(0, records(70), 5);
+    let mut config = JobConfig::new(mode)
+        .with_partitions(3)
+        .with_simulation(SimulationConfig::paper_defaults())
+        .with_threads(threads)
+        .with_trace(trace);
+    if mode.tree_kind() == Some(slider_core::TreeKind::Rotating) {
+        config = config.with_buckets(8, 1);
+    }
+    let mut job = WindowedJob::new(Hct::new(), config).expect("valid config");
+    let mut stats = vec![job.initial_run(splits[..8].to_vec()).expect("initial")];
+    let append_only = mode.tree_kind() == Some(slider_core::TreeKind::Coalescing);
+    for i in 0..3 {
+        let added = splits[8 + i..9 + i].to_vec();
+        let remove = if append_only { 0 } else { 1 };
+        stats.push(job.advance(remove, added).expect("slide"));
+    }
+    (stats, job)
+}
+
+/// Replays the emission-order f64 fold `seconds_total` performs, from the
+/// engine's own per-stage numbers — addition order identical, so equality
+/// below is bit-exact.
+fn fold_sim_seconds(stats: &RunStats) -> f64 {
+    let mut total = 0.0f64;
+    if let Some(sim) = &stats.sim {
+        for stage in &sim.stages {
+            total += stage.duration;
+        }
+    }
+    if let Some(bg) = &stats.sim_background {
+        for stage in &bg.stages {
+            total += stage.duration;
+        }
+    }
+    total
+}
+
+fn assert_run_reconciles(snap: &TraceSnapshot, stats: &RunStats, mode: ExecMode, threads: usize) {
+    let run = Some(stats.run);
+    let cx = format!("mode={mode} threads={threads} run={}", stats.run);
+    assert_eq!(
+        snap.work_total("engine", SpanKind::Map, run),
+        stats.work.map,
+        "{cx}: map work"
+    );
+    assert_eq!(
+        snap.work_total("engine", SpanKind::ContractionFg, run),
+        stats.work.contraction_fg.work,
+        "{cx}: foreground contraction work"
+    );
+    assert_eq!(
+        snap.work_total("engine", SpanKind::Reduce, run),
+        stats.work.reduce,
+        "{cx}: reduce work"
+    );
+    assert_eq!(
+        snap.work_total("engine", SpanKind::Movement, run),
+        stats.work.movement,
+        "{cx}: movement work"
+    );
+    assert_eq!(
+        snap.work_total("background", SpanKind::ContractionBg, run),
+        stats.work.contraction_bg.work,
+        "{cx}: background contraction work"
+    );
+    assert_eq!(
+        snap.arg_total("engine", SpanKind::Shuffle, "bytes", run),
+        stats.shuffle_bytes,
+        "{cx}: shuffle bytes"
+    );
+    let sim_seconds = snap.seconds_total("cluster", SpanKind::SimStage, run);
+    assert_eq!(
+        sim_seconds.to_bits(),
+        fold_sim_seconds(stats).to_bits(),
+        "{cx}: simulated stage seconds must refold bit-exactly"
+    );
+    assert_eq!(
+        snap.work_total("recovery", SpanKind::Recovery, run),
+        stats.recovery.rebuild_work,
+        "{cx}: recovery rebuild work"
+    );
+    assert_eq!(
+        snap.seconds_total("recovery", SpanKind::Recovery, run)
+            .to_bits(),
+        stats.recovery.backoff_seconds.to_bits(),
+        "{cx}: recovery backoff seconds"
+    );
+}
+
+#[test]
+fn span_totals_reconcile_with_run_stats_across_modes_and_threads() {
+    for mode in all_modes() {
+        for threads in [1usize, 2, 4] {
+            let sink = TraceSink::enabled();
+            let (stats, _job) = drive(mode, threads, sink.clone());
+            let snap = sink.snapshot().expect("sink is enabled");
+            for run_stats in &stats {
+                assert_run_reconciles(&snap, run_stats, mode, threads);
+            }
+            // The run-span totals cover the whole engine track: one Run
+            // span per advance, each enclosing the run's engine phases.
+            assert_eq!(
+                snap.span_count("engine", SpanKind::Run, None),
+                stats.len(),
+                "mode={mode}: one Run span per advance"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_and_repair_tracks_reconcile_under_faults() {
+    let plan = JobFaultPlan::none()
+        .lose_memo(1, vec![0, 2])
+        .fail_cache_node(2, 1)
+        .corrupt_object(2, 0, 2);
+    let sink = TraceSink::enabled();
+    let splits = make_splits(0, records(70), 5);
+    // Disk-only cache (Table-2 style) so persistent-tier loss is visible;
+    // a scrub every run keeps the background self-healing path hot.
+    let mut cache = CacheConfig::paper_defaults(4)
+        .with_repair()
+        .with_scrub_interval(1);
+    cache.memory_enabled = false;
+    let config = JobConfig::new(ExecMode::slider_rotating(false))
+        .with_partitions(4)
+        .with_buckets(8, 1)
+        .with_cache(cache)
+        .with_faults(plan)
+        .with_trace(sink.clone());
+    let mut job = WindowedJob::new(Hct::new(), config).expect("valid config");
+    let mut stats = vec![job.initial_run(splits[..8].to_vec()).expect("initial")];
+    for i in 0..4 {
+        stats.push(
+            job.advance(1, splits[8 + i..9 + i].to_vec())
+                .expect("slide"),
+        );
+    }
+    let snap = sink.snapshot().expect("sink is enabled");
+
+    assert!(
+        stats.iter().any(|s| s.recovery.rebuild_work > 0),
+        "the fault plan must force memo rebuilds"
+    );
+    assert!(
+        stats
+            .iter()
+            .any(|s| s.repair.repair_seconds > 0.0 || s.repair.scrub_seconds > 0.0),
+        "the fault plan must trigger self-healing work"
+    );
+    for s in &stats {
+        let run = Some(s.run);
+        assert_eq!(
+            snap.work_total("recovery", SpanKind::Recovery, run),
+            s.recovery.rebuild_work,
+            "run {}: rebuild work",
+            s.run
+        );
+        assert_eq!(
+            snap.seconds_total("recovery", SpanKind::Recovery, run)
+                .to_bits(),
+            s.recovery.backoff_seconds.to_bits(),
+            "run {}: backoff seconds",
+            s.run
+        );
+        // The run-summary repair/scrub spans carry the exact f64 deltas
+        // stored in `RunStats::repair`.
+        assert_eq!(
+            snap.seconds_total("repair", SpanKind::Repair, run)
+                .to_bits(),
+            s.repair.repair_seconds.to_bits(),
+            "run {}: repair seconds",
+            s.run
+        );
+        assert_eq!(
+            snap.seconds_total("repair", SpanKind::Scrub, run).to_bits(),
+            s.repair.scrub_seconds.to_bits(),
+            "run {}: scrub seconds",
+            s.run
+        );
+        assert_eq!(
+            snap.arg_total("repair", SpanKind::Repair, "repair_bytes", run),
+            s.repair.repair_bytes,
+            "run {}: repair bytes",
+            s.run
+        );
+    }
+}
+
+#[test]
+fn tracing_leaves_outputs_and_stats_bit_identical() {
+    for mode in all_modes() {
+        let run = |trace: TraceSink| {
+            let (stats, job) = drive(mode, 2, trace);
+            let debug: Vec<String> = stats.iter().map(|s| format!("{s:?}")).collect();
+            (job.output().clone(), debug)
+        };
+        let (out_off, stats_off) = run(TraceSink::disabled());
+        let (out_on, stats_on) = run(TraceSink::enabled());
+        assert_eq!(out_off, out_on, "mode={mode}: outputs must not change");
+        assert_eq!(
+            stats_off, stats_on,
+            "mode={mode}: RunStats must be bit-identical under tracing"
+        );
+    }
+}
+
+#[test]
+fn exports_are_byte_identical_across_thread_counts() {
+    let export = |threads: usize| {
+        let sink = TraceSink::enabled();
+        drive(ExecMode::slider_rotating(true), threads, sink.clone());
+        let snap = sink.snapshot().expect("sink is enabled");
+        (
+            snap.chrome_trace(),
+            snap.folded_flamegraph(),
+            snap.metrics_json(),
+        )
+    };
+    let base = export(1);
+    let events = validate_chrome_trace(&base.0).expect("valid Chrome trace");
+    assert!(events > 0, "trace must contain complete events");
+    assert!(!base.1.is_empty(), "flamegraph must have frames");
+    for threads in [2usize, 4] {
+        let other = export(threads);
+        assert_eq!(base.0, other.0, "chrome trace, 1 vs {threads} threads");
+        assert_eq!(base.1, other.1, "flamegraph, 1 vs {threads} threads");
+        assert_eq!(base.2, other.2, "metrics, 1 vs {threads} threads");
+    }
+}
+
+#[test]
+fn dcache_counters_reconcile_with_cache_stats() {
+    let sink = TraceSink::enabled();
+    let mut cache = DistributedCache::new(CacheConfig::paper_defaults(4).with_repair());
+    cache.attach_trace(sink.clone());
+
+    for p in 0..6u64 {
+        cache.put(ObjectId(p), 4096 + p * 512, NodeId((p % 4) as usize), 0);
+    }
+    for p in 0..6u64 {
+        let _ = cache.read(ObjectId(p), NodeId(((p + 1) % 4) as usize));
+    }
+    let _ = cache.read(ObjectId(99), NodeId(0)); // not found
+    cache.fail_node(NodeId(1));
+    for p in 0..6u64 {
+        let _ = cache.read(ObjectId(p), NodeId(2));
+    }
+    cache.corrupt_object(ObjectId(3), NodeId(0));
+    cache.drain_repairs();
+    cache.scrub();
+    cache.recover_node(NodeId(1));
+    cache.collect_garbage(5);
+
+    let stats = cache.stats();
+    let repair = cache.repair_stats();
+    let snap = sink.snapshot().expect("sink is enabled");
+    let checks: Vec<(&str, u64)> = vec![
+        ("dcache.memory_hits", stats.memory_hits),
+        ("dcache.disk_reads", stats.disk_reads),
+        ("dcache.not_found_reads", stats.not_found_reads),
+        ("dcache.unavailable_reads", stats.unavailable_reads),
+        ("dcache.bytes_read", stats.bytes_read),
+        ("dcache.collected", stats.collected),
+        ("dcache.repair.enqueued", repair.enqueued),
+        ("dcache.repair.repaired_objects", repair.repaired_objects),
+        ("dcache.repair.copies_restored", repair.copies_restored),
+        ("dcache.repair.bytes", repair.repair_bytes),
+        ("dcache.scrub.passes", repair.scrub_passes),
+        ("dcache.scrub.copies", repair.scrubbed_copies),
+        ("dcache.scrub.bytes", repair.scrub_bytes),
+        ("dcache.corruptions_detected", repair.corruptions_detected),
+        ("dcache.stale_copies_purged", repair.stale_copies_purged),
+        ("dcache.node_failures", 1),
+        ("dcache.node_recoveries", 1),
+    ];
+    for (counter, expected) in checks {
+        assert_eq!(
+            snap.counter(counter),
+            expected,
+            "counter {counter} must equal the cache's own stat"
+        );
+    }
+    assert!(stats.memory_hits + stats.disk_reads > 0, "reads happened");
+}
+
+#[test]
+fn pipeline_and_query_tracks_reconcile() {
+    use slider_query::{AggFn, Query};
+
+    let sink = TraceSink::enabled();
+    let query = Query::load()
+        .group_by(vec![0], vec![AggFn::Count])
+        .group_by(vec![1], vec![AggFn::Count]);
+    let mut exec = query
+        .compile(
+            JobConfig::new(ExecMode::slider_folding())
+                .with_partitions(2)
+                .with_trace(sink.clone()),
+            4,
+        )
+        .expect("compiles");
+    let data: Vec<slider_query::Row> = (0..40)
+        .map(|i| {
+            vec![
+                slider_query::Field::Int(i % 5),
+                slider_query::Field::Int(i % 3),
+            ]
+        })
+        .collect();
+    let mut runs = vec![exec
+        .initial_run(make_splits(0, data[..30].to_vec(), 5))
+        .unwrap()];
+    runs.push(
+        exec.advance(1, make_splits(100, data[30..].to_vec(), 5))
+            .unwrap(),
+    );
+
+    let snap = sink.snapshot().expect("sink is enabled");
+    for r in &runs {
+        let run = Some(r.first.run);
+        let inner_map: u64 = r.inner.iter().map(|s| s.map_work).sum();
+        let inner_fg: u64 = r.inner.iter().map(|s| s.tree.foreground.work).sum();
+        let inner_reduce: u64 = r.inner.iter().map(|s| s.reduce_work).sum();
+        assert_eq!(
+            snap.work_total("pipeline", SpanKind::Map, run),
+            inner_map,
+            "pipeline map work"
+        );
+        assert_eq!(
+            snap.work_total("pipeline", SpanKind::ContractionFg, run),
+            inner_fg,
+            "pipeline contraction work"
+        );
+        assert_eq!(
+            snap.work_total("pipeline", SpanKind::Reduce, run),
+            inner_reduce,
+            "pipeline reduce work"
+        );
+        let query_total = r.first.work.foreground_total()
+            + r.inner
+                .iter()
+                .map(slider_mapreduce::InnerStageStats::total_work)
+                .sum::<u64>();
+        assert_eq!(
+            snap.work_total("query", SpanKind::Stage, run),
+            query_total,
+            "query per-job work"
+        );
+    }
+    assert_eq!(snap.counter("query.runs"), runs.len() as u64);
+
+    // A second compile of the same query against the same sink would share
+    // the tracer; outputs stay plain data either way.
+    let rows: BTreeMap<String, String> = exec
+        .rows()
+        .iter()
+        .map(|r| (format!("{:?}", r[0]), format!("{:?}", r[1])))
+        .collect();
+    assert!(!rows.is_empty());
+}
