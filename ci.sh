@@ -29,12 +29,23 @@ cargo test -q -p slider-bench --test integration_trace
 
 echo "==> trace: same-seed exports are byte-identical"
 trace_tmp="$(mktemp -d)"
-trap 'rm -rf "$trace_tmp"' EXIT
+shootout_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp" "$shootout_tmp"' EXIT
 # trace_viewer validates the Chrome trace JSON before writing it.
 cargo run -q --release -p slider-bench --example trace_viewer -- "$trace_tmp/a"
 SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example trace_viewer -- "$trace_tmp/b"
 for f in chrome_trace.json flame.folded metrics.json; do
   cmp "$trace_tmp/a/$f" "$trace_tmp/b/$f"
 done
+
+echo "==> shootout: regenerate and gate against the checked-in baseline"
+BENCH_JSON_DIR="$shootout_tmp" cargo bench -q -p slider-bench --bench shootout > /dev/null
+cargo run -q --release -p slider-bench --example shootout_viewer -- \
+  --check BENCH_shootout.json "$shootout_tmp/BENCH_shootout.json"
+cargo run -q --release -p slider-bench --example shootout_viewer -- \
+  BENCH_shootout.json > "$shootout_tmp/view_a.txt"
+SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example shootout_viewer -- \
+  BENCH_shootout.json > "$shootout_tmp/view_b.txt"
+cmp "$shootout_tmp/view_a.txt" "$shootout_tmp/view_b.txt"
 
 echo "CI OK"

@@ -11,7 +11,9 @@
 use std::sync::Arc;
 
 use slider_bench::{banner, hct_spec, run_slide_with, Table, WindowKind};
-use slider_core::{ContractionTree, FnCombiner, FoldingTree, TreeCx, UpdateStats};
+use slider_core::{
+    ContractionTree, FnCombiner, FoldingTree, TreeCx, UpdateStats, WindowAggregator,
+};
 use slider_mapreduce::ExecMode;
 
 fn main() {
@@ -69,7 +71,7 @@ fn main() {
         };
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, mk(0..n));
+        WindowAggregator::<u8, u64>::rebuild(&mut tree, &mut cx, mk(0..n));
         let mut next = n;
         // Steady slide, then shrink to 2% of the window.
         tree.advance(&mut cx, (n / 10) as usize, mk(next..next + n / 10))
@@ -77,7 +79,7 @@ fn main() {
         next += n / 10;
         let mut shrink_stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut shrink_stats);
-        let live = ContractionTree::<u8, u64>::len(&tree);
+        let live = WindowAggregator::<u8, u64>::len(&tree);
         tree.advance(&mut cx, live - 80, mk(next..next + 2))
             .unwrap();
         next += 2;
@@ -117,7 +119,7 @@ fn main() {
         };
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, mk(0..512));
+        WindowAggregator::<u8, u64>::rebuild(&mut tree, &mut cx, mk(0..512));
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.advance(&mut cx, remove, mk(1000..1000 + remove as u64))

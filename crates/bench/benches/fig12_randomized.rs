@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use slider_bench::{banner, fmt_f64, kmeans_spec, matrix_spec, MicrobenchSpec, Table};
-use slider_core::{build_tree, FnCombiner, TreeCx, TreeKind, UpdateStats};
+use slider_core::{build_contraction_tree, FnCombiner, TreeCx, TreeKind, UpdateStats};
 use slider_mapreduce::{ExecMode, JobConfig, MapReduceApp, WindowedJob};
 
 /// Engine-level scenario: initial window → steady slide → shrink with 1%
@@ -49,7 +49,7 @@ fn core_trend(kind: TreeKind, shrink_pct: u64) -> (usize, u64) {
     let n: u64 = 4096;
     let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
     let key = 0u8;
-    let mut tree = build_tree::<u8, u64>(kind, 0);
+    let mut tree = build_contraction_tree::<u8, u64>(kind, 0);
     let mk = |range: std::ops::Range<u64>| -> Vec<Option<Arc<u64>>> {
         range.map(|v| Some(Arc::new(v))).collect()
     };

@@ -12,6 +12,7 @@
 pub mod datasets;
 pub mod driver;
 pub mod report;
+pub mod shootout;
 
 pub use datasets::{
     hct_spec, kmeans_spec, knn_spec, matrix_spec, substr_spec, MicrobenchSpec, APP_NAMES,
@@ -22,4 +23,8 @@ pub use driver::{
 };
 pub use report::{
     banner, bench_json_dir, fmt_f64, fmt_speedup, BenchJson, Table, BENCH_JSON_DIR_ENV,
+};
+pub use shootout::{
+    measure, point_key, run_shootout, shootout_report, shootout_table, ShootoutPoint,
+    SHOOTOUT_KINDS, SLIDE_PCTS, WINDOWS, WORK_UNITS_PER_SECOND,
 };

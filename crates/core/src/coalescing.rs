@@ -15,7 +15,7 @@ use std::sync::Arc;
 use crate::combiner::Combiner;
 use crate::error::TreeError;
 use crate::stats::Phase;
-use crate::tree::{ContractionTree, TreeCx, TreeKind};
+use crate::tree::{ContractionTree, TreeCx, TreeKind, WindowAggregator};
 
 /// Append-only coalescing contraction tree. See the module docs.
 pub struct CoalescingTree<V> {
@@ -74,7 +74,7 @@ impl<V> fmt::Debug for CoalescingTree<V> {
     }
 }
 
-impl<K, V> ContractionTree<K, V> for CoalescingTree<V>
+impl<K, V> WindowAggregator<K, V> for CoalescingTree<V>
 where
     K: Send,
     V: Send + Sync,
@@ -155,14 +155,6 @@ where
         self.len
     }
 
-    fn height(&self) -> usize {
-        match (self.len, self.pending.is_some()) {
-            (0, _) => 0,
-            (_, false) => 1,
-            (_, true) => 2,
-        }
-    }
-
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
         self.root
             .iter()
@@ -173,6 +165,20 @@ where
 
     fn kind(&self) -> TreeKind {
         TreeKind::Coalescing
+    }
+}
+
+impl<K, V> ContractionTree<K, V> for CoalescingTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn height(&self) -> usize {
+        match (self.len, self.pending.is_some()) {
+            (0, _) => 0,
+            (_, false) => 1,
+            (_, true) => 2,
+        }
     }
 }
 
@@ -191,7 +197,7 @@ mod tests {
     }
 
     fn parts_sum(tree: &CoalescingTree<u64>) -> u64 {
-        ContractionTree::<u8, u64>::reduce_parts(tree)
+        WindowAggregator::<u8, u64>::reduce_parts(tree)
             .iter()
             .map(|v| **v)
             .sum()
@@ -210,11 +216,11 @@ mod tests {
         tree.advance(&mut cx, 0, leaves(&[4, 5])).unwrap();
         assert_eq!(parts_sum(&tree), 15);
         assert_eq!(
-            ContractionTree::<u8, u64>::reduce_parts(&tree).len(),
+            WindowAggregator::<u8, u64>::reduce_parts(&tree).len(),
             1,
             "foreground mode always exposes a single root"
         );
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 15);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), 15);
         assert!(stats.background.is_empty());
     }
 
@@ -232,7 +238,7 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut fg);
         tree.advance(&mut cx, 0, leaves(&[4, 5])).unwrap();
         assert_eq!(fg.foreground.merges, 1, "only 4+5 on the critical path");
-        let parts = ContractionTree::<u8, u64>::reduce_parts(&tree);
+        let parts = WindowAggregator::<u8, u64>::reduce_parts(&tree);
         assert_eq!(parts.len(), 2);
         assert_eq!(parts_sum(&tree), 15);
 
@@ -241,8 +247,8 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut bg);
         tree.preprocess(&mut cx);
         assert_eq!(bg.background.merges, 1);
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 15);
-        assert_eq!(ContractionTree::<u8, u64>::reduce_parts(&tree).len(), 1);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), 15);
+        assert_eq!(WindowAggregator::<u8, u64>::reduce_parts(&tree).len(), 1);
     }
 
     #[test]
@@ -258,7 +264,7 @@ mod tests {
         tree.advance(&mut cx, 0, leaves(&[2])).unwrap();
         tree.advance(&mut cx, 0, leaves(&[3])).unwrap();
         assert_eq!(parts_sum(&tree), 6);
-        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 3);
+        assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 3);
     }
 
     #[test]
@@ -285,8 +291,8 @@ mod tests {
         let mut tree = CoalescingTree::new();
         tree.rebuild(&mut cx, vec![]);
         tree.advance(&mut cx, 0, vec![None, None]).unwrap();
-        assert!(ContractionTree::<u8, u64>::root(&tree).is_none());
-        assert!(ContractionTree::<u8, u64>::is_empty(&tree));
+        assert!(WindowAggregator::<u8, u64>::root(&tree).is_none());
+        assert!(WindowAggregator::<u8, u64>::is_empty(&tree));
         assert_eq!(stats.total_merges(), 0);
     }
 
@@ -300,7 +306,7 @@ mod tests {
         tree.rebuild(&mut cx, vec![]);
         tree.advance(&mut cx, 0, leaves(&[7])).unwrap();
         // With no previous root there is nothing to defer.
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 7);
-        assert_eq!(ContractionTree::<u8, u64>::reduce_parts(&tree).len(), 1);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), 7);
+        assert_eq!(WindowAggregator::<u8, u64>::reduce_parts(&tree).len(), 1);
     }
 }

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use crate::combiner::Combiner;
 use crate::error::TreeError;
 use crate::stats::Phase;
-use crate::tree::{ContractionTree, TreeCx, TreeKind};
+use crate::tree::{ContractionTree, TreeCx, TreeKind, WindowAggregator};
 
 /// Variable-width self-adjusting contraction tree. See the module docs.
 pub struct FoldingTree<V> {
@@ -203,7 +203,7 @@ impl<V> fmt::Debug for FoldingTree<V> {
     }
 }
 
-impl<K, V> ContractionTree<K, V> for FoldingTree<V>
+impl<K, V> WindowAggregator<K, V> for FoldingTree<V>
 where
     K: Send,
     V: Send + Sync,
@@ -274,7 +274,8 @@ where
         // Simple rebalancing strategy (§3.2): rebuild when the tree is far
         // taller than the window warrants.
         if let Some(factor) = self.rebuild_factor {
-            if self.capacity() > (factor as usize).saturating_mul(self.len.max(1)) {
+            let factor = usize::try_from(factor).unwrap_or(usize::MAX);
+            if self.capacity() > factor.saturating_mul(self.len.max(1)) {
                 let live = self.live_leaves();
                 self.do_rebuild(cx, live);
                 return Ok(());
@@ -295,14 +296,6 @@ where
 
     fn len(&self) -> usize {
         self.len
-    }
-
-    fn height(&self) -> usize {
-        if self.len == 0 {
-            0
-        } else {
-            self.levels.len()
-        }
     }
 
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
@@ -333,6 +326,20 @@ where
     }
 }
 
+impl<K, V> ContractionTree<K, V> for FoldingTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn height(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else {
+            self.levels.len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,7 +355,7 @@ mod tests {
     }
 
     fn root_of(tree: &FoldingTree<u64>) -> u64 {
-        *ContractionTree::<u8, u64>::root(tree).unwrap()
+        *WindowAggregator::<u8, u64>::root(tree).unwrap()
     }
 
     #[test]
@@ -447,11 +454,11 @@ mod tests {
             let mut cx = TreeCx::new(&combiner, &key, &mut stats);
             tree.advance(&mut cx, remove, leaves(&added)).unwrap();
             let expected: u64 = reference.iter().sum();
-            match ContractionTree::<u8, u64>::root(&tree) {
+            match WindowAggregator::<u8, u64>::root(&tree) {
                 Some(root) => assert_eq!(*root, expected),
                 None => assert_eq!(expected, 0),
             }
-            assert_eq!(ContractionTree::<u8, u64>::len(&tree), reference.len());
+            assert_eq!(WindowAggregator::<u8, u64>::len(&tree), reference.len());
         }
     }
 
@@ -471,7 +478,7 @@ mod tests {
         // Now shrink hard: 1008 of 1024 leaves removed.
         tree.advance(&mut cx, 1008, vec![]).unwrap();
         let height = ContractionTree::<u8, u64>::height(&tree);
-        let optimal = 16usize.ilog2() as usize + 1;
+        let optimal = usize::try_from(16usize.ilog2()).unwrap() + 1;
         assert!(
             height > optimal,
             "plain folding tree should stay imbalanced: height {height} vs optimal {optimal}"
@@ -496,7 +503,7 @@ mod tests {
             height <= 6,
             "rebuild factor should rebalance: height {height}"
         );
-        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 16);
+        assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 16);
     }
 
     #[test]
@@ -508,8 +515,8 @@ mod tests {
         let mut tree = FoldingTree::new();
         tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
         tree.advance(&mut cx, 4, vec![]).unwrap();
-        assert!(ContractionTree::<u8, u64>::is_empty(&tree));
-        assert!(ContractionTree::<u8, u64>::root(&tree).is_none());
+        assert!(WindowAggregator::<u8, u64>::is_empty(&tree));
+        assert!(WindowAggregator::<u8, u64>::root(&tree).is_none());
         tree.advance(&mut cx, 0, leaves(&[7])).unwrap();
         assert_eq!(root_of(&tree), 7);
     }
@@ -541,7 +548,7 @@ mod tests {
         let mut tree = FoldingTree::new();
         tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
         // 3 leaves + C(1,2) + pass-through(3) + root = 5 distinct * 16 bytes.
-        let bytes = ContractionTree::<u8, u64>::memo_bytes(&tree, &combiner, &key);
+        let bytes = WindowAggregator::<u8, u64>::memo_bytes(&tree, &combiner, &key);
         assert_eq!(bytes, 5 * 16);
     }
 }

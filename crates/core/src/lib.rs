@@ -20,9 +20,28 @@
 //! | [`RotatingTree`] | §4.1 | fixed-width, with split processing |
 //! | [`CoalescingTree`] | §4.2 | append-only, with split processing |
 //!
-//! All trees implement the object-safe [`ContractionTree`] trait so a host
-//! engine (see the `slider-mapreduce` crate) can drive them uniformly; the
-//! [`TreeKind`] enum plus [`build_tree`] provide a factory.
+//! ## Constant-time aggregators
+//!
+//! Alongside the O(log n) contraction trees, the crate provides the
+//! twin-stack family for in-order FIFO windows (after Tangwongsan & Hirzel,
+//! arXiv 2009.13768), which memoizes running partial sums instead of
+//! interior tree nodes:
+//!
+//! | Type | Per-update merges | Notes |
+//! |------|-------------------|-------|
+//! | [`TwoStackTree`] | amortized O(1) | whole-back flip when front runs dry |
+//! | [`DabaTree`] | worst-case O(1)\* | incrementally repaired flip |
+//! | [`DabaLiteTree`] | worst-case O(1)\* | memory-lean: partial sums only |
+//!
+//! \* worst-case for balanced in-order slides; amortized under adversarial
+//! insert floods (see the `daba` module docs).
+//!
+//! All structures implement the object-safe [`WindowAggregator`] contract
+//! so a host engine (see the `slider-mapreduce` crate) can drive them
+//! uniformly; tree-shaped structures additionally implement the
+//! [`ContractionTree`] extension. The [`TreeKind`] enum plus [`build_tree`]
+//! provide a factory, and `TreeKind` parses from its `Display` form for
+//! env/config selection.
 //!
 //! ## Example
 //!
@@ -56,6 +75,7 @@
 
 mod coalescing;
 mod combiner;
+mod daba;
 mod error;
 mod folding;
 mod hash;
@@ -69,6 +89,7 @@ mod tree;
 
 pub use coalescing::CoalescingTree;
 pub use combiner::{Combiner, FnCombiner, Reducer};
+pub use daba::{DabaLiteTree, DabaTree, TwoStackTree};
 pub use error::TreeError;
 pub use folding::FoldingTree;
 pub use hash::{hash_one, hash_pair, StableHasher};
@@ -78,4 +99,7 @@ pub use randomized::RandomizedFoldingTree;
 pub use rotating::RotatingTree;
 pub use stats::{Phase, PhaseWork, UpdateStats};
 pub use strawman::StrawmanTree;
-pub use tree::{build_tree, ContractionTree, TreeCx, TreeKind};
+pub use tree::{
+    build_contraction_tree, build_tree, ContractionTree, ParseTreeKindError, TreeCx, TreeKind,
+    WindowAggregator,
+};

@@ -20,7 +20,7 @@ use crate::error::TreeError;
 use crate::hash::{hash_one, hash_pair};
 use crate::memo::MemoCache;
 use crate::stats::Phase;
-use crate::tree::{ContractionTree, TreeCx, TreeKind};
+use crate::tree::{ContractionTree, TreeCx, TreeKind, WindowAggregator};
 
 /// Skip-list-style variable-width contraction tree. See the module docs.
 pub struct RandomizedFoldingTree<V> {
@@ -189,7 +189,7 @@ impl<V> fmt::Debug for RandomizedFoldingTree<V> {
     }
 }
 
-impl<K, V> ContractionTree<K, V> for RandomizedFoldingTree<V>
+impl<K, V> WindowAggregator<K, V> for RandomizedFoldingTree<V>
 where
     K: Send,
     V: Send + Sync,
@@ -238,10 +238,6 @@ where
         self.leaves.len()
     }
 
-    fn height(&self) -> usize {
-        self.height
-    }
-
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
         let cached = self.cache.footprint(|v| combiner.value_bytes(key, v));
         let leaves: u64 = self
@@ -254,6 +250,16 @@ where
 
     fn kind(&self) -> TreeKind {
         TreeKind::RandomizedFolding
+    }
+}
+
+impl<K, V> ContractionTree<K, V> for RandomizedFoldingTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn height(&self) -> usize {
+        self.height
     }
 }
 
@@ -272,7 +278,7 @@ mod tests {
     }
 
     fn root_of(tree: &RandomizedFoldingTree<u64>) -> Option<u64> {
-        ContractionTree::<u8, u64>::root(tree).map(|v| *v)
+        WindowAggregator::<u8, u64>::root(tree).map(|v| *v)
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use crate::combiner::Combiner;
 use crate::error::TreeError;
 use crate::stats::Phase;
-use crate::tree::{ContractionTree, TreeCx, TreeKind};
+use crate::tree::{ContractionTree, TreeCx, TreeKind, WindowAggregator};
 
 /// Fixed-width rotating contraction tree. See the module docs.
 pub struct RotatingTree<V> {
@@ -197,7 +197,7 @@ impl<V> fmt::Debug for RotatingTree<V> {
     }
 }
 
-impl<K, V> ContractionTree<K, V> for RotatingTree<V>
+impl<K, V> WindowAggregator<K, V> for RotatingTree<V>
 where
     K: Send,
     V: Send + Sync,
@@ -352,14 +352,6 @@ where
         self.present.checked_add_signed(pending_adjust).unwrap_or(0)
     }
 
-    fn height(&self) -> usize {
-        if ContractionTree::<K, V>::is_empty(self) {
-            0
-        } else {
-            self.width.trailing_zeros() as usize + 1
-        }
-    }
-
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
         let mut bytes = 0;
         for (i, node) in self.nodes.iter().enumerate().skip(1) {
@@ -386,6 +378,20 @@ where
     }
 }
 
+impl<K, V> ContractionTree<K, V> for RotatingTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn height(&self) -> usize {
+        if WindowAggregator::<K, V>::is_empty(self) {
+            0
+        } else {
+            usize::try_from(self.width.trailing_zeros()).unwrap() + 1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,7 +407,7 @@ mod tests {
     }
 
     fn root_of(tree: &RotatingTree<u64>) -> Option<u64> {
-        ContractionTree::<u8, u64>::root(tree).map(|v| *v)
+        WindowAggregator::<u8, u64>::root(tree).map(|v| *v)
     }
 
     #[test]
@@ -516,7 +522,7 @@ mod tests {
             vec![Some(Arc::new(1)), None, Some(Arc::new(3)), None],
         );
         assert_eq!(root_of(&tree), Some(4));
-        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 2);
+        assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 2);
 
         // Rotate an absent bucket in over a present one (slot 0).
         tree.advance(&mut cx, 1, vec![None]).unwrap();
@@ -539,7 +545,7 @@ mod tests {
         assert_eq!(root_of(&tree), Some(2 + 3 + 4));
         tree.preprocess(&mut cx);
         assert_eq!(root_of(&tree), Some(2 + 3 + 4));
-        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 3);
+        assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 3);
     }
 
     #[test]
@@ -595,7 +601,7 @@ mod tests {
         // Window slides past slot 0 (absent for this key): zero merges.
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        ContractionTree::<u8, u64>::advance_absent(&mut tree, &mut cx).unwrap();
+        WindowAggregator::<u8, u64>::advance_absent(&mut tree, &mut cx).unwrap();
         assert_eq!(stats.total_merges(), 0);
         assert_eq!(root_of(&tree), Some(7));
 
@@ -603,7 +609,7 @@ mod tests {
         // absent-rotation must be rejected...
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        assert!(ContractionTree::<u8, u64>::advance_absent(&mut tree, &mut cx).is_err());
+        assert!(WindowAggregator::<u8, u64>::advance_absent(&mut tree, &mut cx).is_err());
         // ...and the explicit removal works.
         tree.advance(&mut cx, 1, vec![None]).unwrap();
         assert_eq!(root_of(&tree), None);
@@ -631,13 +637,13 @@ mod tests {
         // slot; the deferred adjustment must not drive `len` below zero (a
         // raw `as usize` cast here used to wrap to ~2^64).
         tree.advance(&mut cx, 1, vec![None]).unwrap();
-        let len = ContractionTree::<u8, u64>::len(&tree);
+        let len = WindowAggregator::<u8, u64>::len(&tree);
         assert!(len <= tree.capacity(), "len {len} wrapped past capacity");
         assert_eq!(len, 3);
         assert_eq!(root_of(&tree), Some(9));
         // Flushing the deferred insertion keeps the count stable.
         tree.preprocess(&mut cx);
-        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 3);
+        assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 3);
         assert_eq!(root_of(&tree), Some(9));
     }
 

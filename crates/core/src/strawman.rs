@@ -21,7 +21,7 @@ use crate::error::TreeError;
 use crate::hash::{hash_one, hash_pair};
 use crate::memo::MemoCache;
 use crate::stats::Phase;
-use crate::tree::{ContractionTree, TreeCx, TreeKind};
+use crate::tree::{ContractionTree, TreeCx, TreeKind, WindowAggregator};
 
 /// Memoization-only baseline contraction tree. See the module docs.
 pub struct StrawmanTree<V> {
@@ -168,7 +168,7 @@ impl<V> fmt::Debug for StrawmanTree<V> {
     }
 }
 
-impl<K, V> ContractionTree<K, V> for StrawmanTree<V>
+impl<K, V> WindowAggregator<K, V> for StrawmanTree<V>
 where
     K: Send,
     V: Send + Sync,
@@ -217,10 +217,6 @@ where
         self.leaves.len()
     }
 
-    fn height(&self) -> usize {
-        self.height
-    }
-
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
         let cached = self.cache.footprint(|v| combiner.value_bytes(key, v));
         let leaves: u64 = self
@@ -233,6 +229,16 @@ where
 
     fn kind(&self) -> TreeKind {
         TreeKind::Strawman
+    }
+}
+
+impl<K, V> ContractionTree<K, V> for StrawmanTree<V>
+where
+    K: Send,
+    V: Send + Sync,
+{
+    fn height(&self) -> usize {
+        self.height
     }
 }
 
@@ -258,8 +264,8 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         let mut tree = StrawmanTree::new();
         tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4, 5]));
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 15);
-        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 5);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), 15);
+        assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 5);
         // 5 leaves need 4 merges regardless of shape.
         assert_eq!(stats.foreground.merges, 4);
     }
@@ -277,7 +283,7 @@ mod tests {
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.advance(&mut cx, 0, leaves(&[5, 6])).unwrap();
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 21);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), 21);
         // (1,2) and (3,4) pairs are unchanged: both reused.
         assert!(stats.reused >= 2, "reused = {}", stats.reused);
         // Only (5,6) and the two upper joins are fresh.
@@ -304,7 +310,7 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.advance(&mut cx, 1, vec![]).unwrap();
         assert_eq!(
-            *ContractionTree::<u8, u64>::root(&tree).unwrap(),
+            *WindowAggregator::<u8, u64>::root(&tree).unwrap(),
             (0..64).skip(1).sum::<u64>()
         );
         // Nearly every pair is new: the strawman does Θ(n) merges.
@@ -330,7 +336,7 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.replace_leaf(&mut cx, 7, Arc::new(100));
         let expected: u64 = (0..32).map(|v| if v == 7 { 100 } else { v }).sum();
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), expected);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), expected);
         // Only the log-depth path to the root is recomputed.
         assert!(
             stats.foreground.merges <= 5,
@@ -355,7 +361,7 @@ mod tests {
                 window: 2
             }
         );
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 3);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), 3);
     }
 
     #[test]
@@ -367,9 +373,9 @@ mod tests {
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
         tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
         tree.advance(&mut cx, 3, vec![]).unwrap();
-        assert!(ContractionTree::<u8, u64>::root(&tree).is_none());
+        assert!(WindowAggregator::<u8, u64>::root(&tree).is_none());
         assert_eq!(ContractionTree::<u8, u64>::height(&tree), 0);
-        assert!(ContractionTree::<u8, u64>::is_empty(&tree));
+        assert!(WindowAggregator::<u8, u64>::is_empty(&tree));
     }
 
     #[test]
@@ -383,7 +389,7 @@ mod tests {
             &mut cx,
             vec![Some(Arc::new(1)), None, Some(Arc::new(2)), None],
         );
-        assert_eq!(ContractionTree::<u8, u64>::len(&tree), 2);
-        assert_eq!(*ContractionTree::<u8, u64>::root(&tree).unwrap(), 3);
+        assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 2);
+        assert_eq!(*WindowAggregator::<u8, u64>::root(&tree).unwrap(), 3);
     }
 }

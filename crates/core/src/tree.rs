@@ -1,11 +1,15 @@
-//! The common [`ContractionTree`] interface shared by every tree in the
-//! family, plus the [`TreeKind`] factory used by the host engine.
+//! The layered window-aggregation interface: the structure-agnostic
+//! [`WindowAggregator`] contract shared by every sliding-window structure,
+//! the [`ContractionTree`] extension for the self-adjusting tree family,
+//! and the [`TreeKind`] factory used by the host engine.
 
 use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
 use crate::coalescing::CoalescingTree;
 use crate::combiner::Combiner;
+use crate::daba::{DabaLiteTree, DabaTree, TwoStackTree};
 use crate::error::TreeError;
 use crate::folding::FoldingTree;
 use crate::randomized::RandomizedFoldingTree;
@@ -13,7 +17,9 @@ use crate::rotating::RotatingTree;
 use crate::stats::{Phase, UpdateStats};
 use crate::strawman::StrawmanTree;
 
-/// Selects a member of the self-adjusting contraction tree family.
+/// Selects a window-aggregation structure: a member of the self-adjusting
+/// contraction tree family, or one of the constant-time twin-stack
+/// aggregators (DABA line).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TreeKind {
     /// §2.2 memoization-only baseline.
@@ -26,16 +32,31 @@ pub enum TreeKind {
     Rotating,
     /// §4.2 coalescing tree for append-only windows.
     Coalescing,
+    /// Amortized-O(1) twin-stack aggregator: back stack of raw leaves plus a
+    /// running prefix aggregate, front stack of suffix aggregates, whole-back
+    /// flip when the front runs dry.
+    TwoStack,
+    /// De-amortized twin-stack (DABA, arXiv 2009.13768): the flip is repaired
+    /// incrementally, a bounded number of merges per operation, for
+    /// worst-case O(1) in-order sliding-window aggregation.
+    Daba,
+    /// Memory-lean DABA: the front keeps only the partial sums (no raw
+    /// leaves), halving the memoization footprint.
+    DabaLite,
 }
 
 impl TreeKind {
-    /// All kinds, in paper order.
-    pub const ALL: [TreeKind; 5] = [
+    /// All kinds, in paper order; the constant-time aggregators follow the
+    /// contraction tree family.
+    pub const ALL: [TreeKind; 8] = [
         TreeKind::Strawman,
         TreeKind::Folding,
         TreeKind::RandomizedFolding,
         TreeKind::Rotating,
         TreeKind::Coalescing,
+        TreeKind::TwoStack,
+        TreeKind::Daba,
+        TreeKind::DabaLite,
     ];
 
     /// Short lowercase name used in harness output.
@@ -46,6 +67,9 @@ impl TreeKind {
             TreeKind::RandomizedFolding => "randomized",
             TreeKind::Rotating => "rotating",
             TreeKind::Coalescing => "coalescing",
+            TreeKind::TwoStack => "twostack",
+            TreeKind::Daba => "daba",
+            TreeKind::DabaLite => "daba-lite",
         }
     }
 
@@ -53,11 +77,71 @@ impl TreeKind {
     pub fn supports_split_processing(self) -> bool {
         matches!(self, TreeKind::Rotating | TreeKind::Coalescing)
     }
+
+    /// Whether this kind is a self-adjusting contraction tree (O(log n) per
+    /// update, interior-node memo handles) as opposed to a constant-time
+    /// twin-stack aggregator (partial-sum memoization).
+    pub fn is_contraction_tree(self) -> bool {
+        !self.is_constant_time()
+    }
+
+    /// Whether this kind performs O(1) merges per in-order window update
+    /// (amortized for [`TreeKind::TwoStack`], worst-case for the DABA pair).
+    pub fn is_constant_time(self) -> bool {
+        matches!(
+            self,
+            TreeKind::TwoStack | TreeKind::Daba | TreeKind::DabaLite
+        )
+    }
 }
 
 impl fmt::Display for TreeKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Error returned when a [`TreeKind`] fails to parse from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTreeKindError {
+    input: String,
+}
+
+impl fmt::Display for ParseTreeKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown tree kind {:?} (expected one of: {})",
+            self.input,
+            TreeKind::ALL.map(TreeKind::name).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseTreeKindError {}
+
+impl FromStr for TreeKind {
+    type Err = ParseTreeKindError;
+
+    /// Parses the `Display`/`name()` form of every kind, plus the spellings
+    /// that show up in env vars and config files: case-insensitive, `_`
+    /// treated as `-`, and the long aliases `randomized-folding`,
+    /// `two-stack` and `dabalite`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase().replace('_', "-");
+        match norm.as_str() {
+            "strawman" => Ok(TreeKind::Strawman),
+            "folding" => Ok(TreeKind::Folding),
+            "randomized" | "randomized-folding" => Ok(TreeKind::RandomizedFolding),
+            "rotating" => Ok(TreeKind::Rotating),
+            "coalescing" => Ok(TreeKind::Coalescing),
+            "twostack" | "two-stack" => Ok(TreeKind::TwoStack),
+            "daba" => Ok(TreeKind::Daba),
+            "daba-lite" | "dabalite" => Ok(TreeKind::DabaLite),
+            _ => Err(ParseTreeKindError {
+                input: s.to_string(),
+            }),
+        }
     }
 }
 
@@ -154,17 +238,24 @@ impl<K, V> fmt::Debug for TreeCx<'_, K, V> {
     }
 }
 
-/// Object-safe interface implemented by every self-adjusting contraction
-/// tree.
+/// Object-safe core contract implemented by every sliding-window
+/// aggregation structure: insert/evict at the window edges, query an
+/// equivalent root, and meter every combiner invocation deterministically
+/// through [`TreeCx`] (feeding the engine's `WorkBreakdown`).
 ///
-/// A tree aggregates the per-split partial values of **one key**. Leaves are
-/// ordered oldest-to-newest; the window only ever shrinks at the front and
-/// grows at the back (arbitrary amounts for the variable-width trees).
+/// An aggregator holds the per-split partial values of **one key**. Leaves
+/// are ordered oldest-to-newest; the window only ever shrinks at the front
+/// and grows at the back (arbitrary amounts for the variable-width
+/// structures). This layer makes **no** assumption about internal shape:
+/// implementors may be contraction trees (interior-node memo handles,
+/// O(log n) per update) or flat twin-stack aggregators (partial-sum
+/// memoization, O(1) per update). Tree-shaped structure is exposed by the
+/// [`ContractionTree`] extension trait.
 ///
 /// Leaves are `Option<Arc<V>>`: a `None` leaf is a window slot in which this
 /// key did not appear (relevant for the slot-addressed rotating tree; the
-/// other trees simply skip absent leaves).
-pub trait ContractionTree<K, V>: fmt::Debug + Send {
+/// other structures simply skip absent leaves).
+pub trait WindowAggregator<K, V>: fmt::Debug + Send {
     /// Discards all state and rebuilds from `leaves` (the paper's *initial
     /// run*). All construction work is charged to the foreground phase.
     fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>);
@@ -230,10 +321,6 @@ pub trait ContractionTree<K, V>: fmt::Debug + Send {
         self.len() == 0
     }
 
-    /// Current tree height in levels (a single leaf has height 1; an empty
-    /// tree has height 0).
-    fn height(&self) -> usize;
-
     /// Memoization footprint in bytes, per the combiner's `value_bytes`.
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64;
 
@@ -241,11 +328,26 @@ pub trait ContractionTree<K, V>: fmt::Debug + Send {
     fn kind(&self) -> TreeKind;
 }
 
-/// Builds a fresh tree of the requested kind.
+/// Extension contract for aggregators that really are self-adjusting
+/// contraction trees: leaf-to-root merge structure with interior nodes that
+/// memoize sub-window aggregates.
+///
+/// Everything the host engine needs lives in [`WindowAggregator`]; this
+/// trait carries what only a tree can answer — its current height — and is
+/// the hook for future per-level introspection. The constant-time twin-stack
+/// aggregators ([`TreeKind::TwoStack`], [`TreeKind::Daba`],
+/// [`TreeKind::DabaLite`]) deliberately do **not** implement it.
+pub trait ContractionTree<K, V>: WindowAggregator<K, V> {
+    /// Current tree height in levels (a single leaf has height 1; an empty
+    /// tree has height 0).
+    fn height(&self) -> usize;
+}
+
+/// Builds a fresh aggregator of the requested kind.
 ///
 /// `capacity` is the number of bucket slots for [`TreeKind::Rotating`]
 /// (ignored by the other kinds; pass 0).
-pub fn build_tree<K, V>(kind: TreeKind, capacity: usize) -> Box<dyn ContractionTree<K, V>>
+pub fn build_tree<K, V>(kind: TreeKind, capacity: usize) -> Box<dyn WindowAggregator<K, V>>
 where
     K: Send + 'static,
     V: Send + Sync + 'static,
@@ -256,6 +358,37 @@ where
         TreeKind::RandomizedFolding => Box::new(RandomizedFoldingTree::new()),
         TreeKind::Rotating => Box::new(RotatingTree::new(capacity.max(1))),
         TreeKind::Coalescing => Box::new(CoalescingTree::new()),
+        TreeKind::TwoStack => Box::new(TwoStackTree::new()),
+        TreeKind::Daba => Box::new(DabaTree::new()),
+        TreeKind::DabaLite => Box::new(DabaLiteTree::new()),
+    }
+}
+
+/// Like [`build_tree`], but restricted to the contraction-tree family, for
+/// callers that need tree-only introspection such as
+/// [`ContractionTree::height`].
+///
+/// # Panics
+///
+/// Panics if `kind` is a constant-time aggregator
+/// (`kind.is_constant_time()`) — those have no tree shape to report.
+pub fn build_contraction_tree<K, V>(
+    kind: TreeKind,
+    capacity: usize,
+) -> Box<dyn ContractionTree<K, V>>
+where
+    K: Send + 'static,
+    V: Send + Sync + 'static,
+{
+    match kind {
+        TreeKind::Strawman => Box::new(StrawmanTree::new()),
+        TreeKind::Folding => Box::new(FoldingTree::new()),
+        TreeKind::RandomizedFolding => Box::new(RandomizedFoldingTree::new()),
+        TreeKind::Rotating => Box::new(RotatingTree::new(capacity.max(1))),
+        TreeKind::Coalescing => Box::new(CoalescingTree::new()),
+        TreeKind::TwoStack | TreeKind::Daba | TreeKind::DabaLite => {
+            panic!("{kind} is not a contraction tree; use build_tree")
+        }
     }
 }
 
@@ -277,6 +410,48 @@ mod tests {
         assert!(!TreeKind::Folding.supports_split_processing());
         assert!(!TreeKind::RandomizedFolding.supports_split_processing());
         assert!(!TreeKind::Strawman.supports_split_processing());
+        assert!(!TreeKind::TwoStack.supports_split_processing());
+        assert!(!TreeKind::Daba.supports_split_processing());
+        assert!(!TreeKind::DabaLite.supports_split_processing());
+    }
+
+    #[test]
+    fn layering_split_matches_family() {
+        for kind in TreeKind::ALL {
+            assert_ne!(
+                kind.is_contraction_tree(),
+                kind.is_constant_time(),
+                "{kind} must be exactly one of the two layers"
+            );
+        }
+        assert!(TreeKind::Folding.is_contraction_tree());
+        assert!(TreeKind::Daba.is_constant_time());
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_display_and_fromstr() {
+        for kind in TreeKind::ALL {
+            let shown = kind.to_string();
+            assert_eq!(shown, kind.name());
+            let parsed: TreeKind = shown.parse().expect("Display form must parse");
+            assert_eq!(parsed, kind, "round trip failed for {shown}");
+            // Env/config spellings: upper case, underscores, whitespace.
+            let env = format!("  {}  ", shown.to_ascii_uppercase().replace('-', "_"));
+            assert_eq!(env.parse::<TreeKind>(), Ok(kind), "env form {env:?}");
+        }
+    }
+
+    #[test]
+    fn fromstr_accepts_long_aliases_and_rejects_garbage() {
+        assert_eq!(
+            "randomized-folding".parse::<TreeKind>(),
+            Ok(TreeKind::RandomizedFolding)
+        );
+        assert_eq!("two-stack".parse::<TreeKind>(), Ok(TreeKind::TwoStack));
+        assert_eq!("dabalite".parse::<TreeKind>(), Ok(TreeKind::DabaLite));
+        let err = "splay".parse::<TreeKind>().unwrap_err();
+        assert!(err.to_string().contains("splay"));
+        assert!(err.to_string().contains("daba-lite"));
     }
 
     #[test]

@@ -67,6 +67,27 @@ fn randomized_tree_slides_scale_logarithmically() {
 }
 
 #[test]
+fn constant_time_aggregators_stay_flat_while_trees_grow() {
+    // The O(1)-vs-O(log n) crossover the companion analysis predicts: the
+    // twin-stack aggregators must show *flat* per-slide work across a 16x
+    // window growth while the folding tree pays for its deeper root path.
+    for kind in [TreeKind::Daba, TreeKind::DabaLite, TreeKind::TwoStack] {
+        let small = merges_per_slide(kind, 256);
+        let large = merges_per_slide(kind, 4096);
+        assert!(
+            (large - small).abs() <= 1.0,
+            "{kind}: {small} merges at 256 leaves vs {large} at 4096 — not constant"
+        );
+    }
+    let folding_small = merges_per_slide(TreeKind::Folding, 256);
+    let daba_large = merges_per_slide(TreeKind::Daba, 4096);
+    assert!(
+        daba_large < folding_small,
+        "daba at 4096 leaves ({daba_large}) should undercut folding at 256 ({folding_small})"
+    );
+}
+
+#[test]
 fn coalescing_appends_are_constant() {
     let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a.wrapping_add(*b));
     let key = 0u8;

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use slider_core::{
     build_tree, Combiner, ContractionTree, FnCombiner, TreeCx, TreeKind, UpdateStats,
+    WindowAggregator,
 };
 
 /// One window slide: drop `remove` leading leaves (capped to the window),
@@ -112,6 +113,75 @@ proptest! {
     }
 
     #[test]
+    fn twostack_matches_reference(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        slides in proptest::collection::vec(slide_strategy(30, 8), 0..24),
+    ) {
+        check_variable_width(TreeKind::TwoStack, initial, slides);
+    }
+
+    #[test]
+    fn daba_matches_reference(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        slides in proptest::collection::vec(slide_strategy(30, 8), 0..24),
+    ) {
+        check_variable_width(TreeKind::Daba, initial, slides);
+    }
+
+    #[test]
+    fn daba_lite_matches_reference(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        slides in proptest::collection::vec(slide_strategy(30, 8), 0..24),
+    ) {
+        check_variable_width(TreeKind::DabaLite, initial, slides);
+    }
+
+    /// The DABA pair and the two-stack aggregator must agree with the
+    /// folding tree's window result on arbitrary in-order workloads — the
+    /// constant-time layer is a drop-in replacement, not an approximation.
+    #[test]
+    fn constant_time_aggregators_equal_folding_tree(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        slides in proptest::collection::vec(slide_strategy(30, 8), 0..24),
+    ) {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let kinds = [
+            TreeKind::Folding,
+            TreeKind::Daba,
+            TreeKind::DabaLite,
+            TreeKind::TwoStack,
+        ];
+        let mut trees: Vec<_> = kinds
+            .iter()
+            .map(|&kind| build_tree::<u8, u64>(kind, 0))
+            .collect();
+        let mut window = initial.len();
+        for tree in &mut trees {
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            tree.rebuild(&mut cx, leaves(&initial));
+        }
+        for slide in &slides {
+            let remove = slide.remove.min(window);
+            window = window - remove + slide.add.len();
+            let mut roots = Vec::new();
+            for tree in &mut trees {
+                let mut stats = UpdateStats::default();
+                let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                tree.advance(&mut cx, remove, leaves(&slide.add)).unwrap();
+                roots.push(tree.root().map(|v| *v));
+            }
+            for (kind, root) in kinds.iter().zip(&roots) {
+                prop_assert_eq!(
+                    root, &roots[0],
+                    "{} disagrees with folding at window {}", kind, window
+                );
+            }
+        }
+    }
+
+    #[test]
     fn coalescing_matches_reference(
         initial in proptest::collection::vec(1u64..1_000, 0..16),
         slides in proptest::collection::vec(slide_strategy(0, 6), 0..16),
@@ -173,7 +243,7 @@ proptest! {
 
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, leaves(&initial));
+        WindowAggregator::<u8, u64>::rebuild(&mut tree, &mut cx, leaves(&initial));
         let mut max_ever = live;
         for slide in slides {
             let remove = slide.remove.min(live);
@@ -206,7 +276,7 @@ proptest! {
         let window: Vec<u64> = (0..512).collect();
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);
-        ContractionTree::<u8, u64>::rebuild(&mut tree, &mut cx, leaves(&window));
+        WindowAggregator::<u8, u64>::rebuild(&mut tree, &mut cx, leaves(&window));
 
         let mut stats = UpdateStats::default();
         let mut cx = TreeCx::new(&combiner, &key, &mut stats);

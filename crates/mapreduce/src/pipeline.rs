@@ -289,7 +289,7 @@ impl<A: StageApp<Input = R>, R: Clone + Eq + Hash + Send + Sync> InnerStage<A, R
         let mut tree_stats = UpdateStats::default();
         let mut cx = TreeCx::new(combiner, key, &mut tree_stats);
         tree.set_leaves(&mut cx, leaves);
-        let root = slider_core::ContractionTree::<A::Key, A::Value>::root(tree)
+        let root = slider_core::WindowAggregator::<A::Key, A::Value>::root(tree)
             .expect("non-empty leaf set has a root");
         let refs = [root.as_ref()];
         let reduce_work = app.reduce_cost(key, &refs);

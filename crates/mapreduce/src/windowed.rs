@@ -6,7 +6,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use slider_cluster::{simulate_traced, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, Task};
-use slider_core::{build_tree, ContractionTree, Phase, TreeCx, TreeKind, UpdateStats};
+use slider_core::{build_tree, Phase, TreeCx, TreeKind, UpdateStats, WindowAggregator};
 use slider_dcache::{CacheConfig, CacheError, CacheStats, DistributedCache, NodeId, ObjectId};
 use slider_trace::{SpanKind, TraceSink};
 
@@ -68,7 +68,31 @@ impl ExecMode {
         }
     }
 
-    /// The tree kind driving the contraction phase, if any.
+    /// Slider with the amortized-O(1) two-stack aggregator.
+    pub fn slider_two_stack() -> Self {
+        ExecMode::Slider {
+            tree: TreeKind::TwoStack,
+            split_processing: false,
+        }
+    }
+
+    /// Slider with the worst-case-O(1) DABA twin-stack aggregator.
+    pub fn slider_daba() -> Self {
+        ExecMode::Slider {
+            tree: TreeKind::Daba,
+            split_processing: false,
+        }
+    }
+
+    /// Slider with the memory-lean DABA Lite aggregator.
+    pub fn slider_daba_lite() -> Self {
+        ExecMode::Slider {
+            tree: TreeKind::DabaLite,
+            split_processing: false,
+        }
+    }
+
+    /// The aggregation structure driving the contraction phase, if any.
     pub fn tree_kind(&self) -> Option<TreeKind> {
         match self {
             ExecMode::Recompute => None,
@@ -313,7 +337,7 @@ impl<A: MapReduceApp> Clone for SplitEntry<A> {
 /// and nothing borrowed from the job.
 struct PartitionShard<A: MapReduceApp> {
     #[allow(clippy::type_complexity)]
-    trees: HashMap<A::Key, Box<dyn ContractionTree<A::Key, A::Value>>>,
+    trees: HashMap<A::Key, Box<dyn WindowAggregator<A::Key, A::Value>>>,
     memo_footprint: u64,
     output: BTreeMap<A::Key, A::Output>,
 }
@@ -1435,7 +1459,7 @@ impl<A: MapReduceApp> PartitionShard<A> {
     }
 
     /// Builds a fresh per-key tree honouring the split-processing flag.
-    fn fresh_tree(kind: TreeKind, mode: ExecMode) -> Box<dyn ContractionTree<A::Key, A::Value>> {
+    fn fresh_tree(kind: TreeKind, mode: ExecMode) -> Box<dyn WindowAggregator<A::Key, A::Value>> {
         if kind == TreeKind::Coalescing && mode.split_processing() {
             Box::new(slider_core::CoalescingTree::with_split_processing())
         } else {
@@ -1620,6 +1644,9 @@ mod tests {
             ExecMode::slider_randomized(),
             ExecMode::slider_rotating(false),
             ExecMode::slider_rotating(true),
+            ExecMode::slider_two_stack(),
+            ExecMode::slider_daba(),
+            ExecMode::slider_daba_lite(),
         ]
     }
 

@@ -339,6 +339,11 @@ mod tests {
         };
         assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_folding()));
         assert_eq!(run(ExecMode::Recompute), run(ExecMode::Strawman));
+        // The constant-time aggregators are drop-in replacements for the
+        // query pipeline's first stage too.
+        assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_daba()));
+        assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_daba_lite()));
+        assert_eq!(run(ExecMode::Recompute), run(ExecMode::slider_two_stack()));
     }
 
     #[test]

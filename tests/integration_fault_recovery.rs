@@ -221,3 +221,40 @@ fn seeded_plans_uphold_the_invariant_across_runs() {
         }
     }
 }
+
+#[test]
+fn constant_time_aggregators_recover_from_seeded_plans() {
+    // The twin-stack aggregators memoize running partial sums instead of
+    // subtree handles; memo loss must still rebuild them bit-identically
+    // from the surviving window.
+    let records = varied_records(90);
+    let splits = make_splits(0, records, 3); // 30 splits
+    for mode in [
+        ExecMode::slider_two_stack(),
+        ExecMode::slider_daba(),
+        ExecMode::slider_daba_lite(),
+    ] {
+        let plan = JobFaultPlan::seeded(13, 6, 24, 4);
+        let base = || {
+            JobConfig::new(mode)
+                .with_partitions(4)
+                .with_buckets(10, 1)
+                .with_simulation(SimulationConfig::paper_defaults())
+                .with_cache(CacheConfig::paper_defaults(4))
+        };
+        let mut faulty = job(base().with_faults(plan));
+        let mut twin = job(base());
+        faulty.initial_run(splits[..10].to_vec()).unwrap();
+        twin.initial_run(splits[..10].to_vec()).unwrap();
+        for i in 0..5 {
+            let adds: Vec<Split<String>> = splits[10 + 4 * i..10 + 4 * (i + 1)].to_vec();
+            faulty.advance(4, adds.clone()).unwrap();
+            twin.advance(4, adds).unwrap();
+            assert_eq!(
+                faulty.output(),
+                twin.output(),
+                "{mode}, slide {i}: outputs diverged under faults"
+            );
+        }
+    }
+}

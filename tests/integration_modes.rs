@@ -81,6 +81,9 @@ fn sliding_modes() -> Vec<ExecMode> {
         ExecMode::slider_randomized(),
         ExecMode::slider_rotating(false),
         ExecMode::slider_rotating(true),
+        ExecMode::slider_two_stack(),
+        ExecMode::slider_daba(),
+        ExecMode::slider_daba_lite(),
     ]
 }
 

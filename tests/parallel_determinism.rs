@@ -37,6 +37,9 @@ fn mode_matrix() -> Vec<(ExecMode, SlideKind)> {
         (ExecMode::slider_coalescing(true), SlideKind::Append),
         (ExecMode::slider_rotating(false), SlideKind::Fixed),
         (ExecMode::slider_rotating(true), SlideKind::Fixed),
+        (ExecMode::slider_two_stack(), SlideKind::Variable),
+        (ExecMode::slider_daba(), SlideKind::Variable),
+        (ExecMode::slider_daba_lite(), SlideKind::Variable),
     ]
 }
 
