@@ -27,6 +27,9 @@ cargo test -q -p slider-bench --test integration_self_healing
 echo "==> trace: reconciliation + determinism tests"
 cargo test -q -p slider-bench --test integration_trace
 
+echo "==> event time: disordered streams are bit-identical to their sorted twins"
+cargo test -q -p slider-bench --test integration_event_time
+
 echo "==> trace: same-seed exports are byte-identical"
 trace_tmp="$(mktemp -d)"
 shootout_tmp="$(mktemp -d)"

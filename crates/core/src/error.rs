@@ -38,6 +38,22 @@ pub enum TreeError {
         /// Occupancy the operation would have produced.
         attempted: usize,
     },
+    /// This structure does not implement interior bulk splices
+    /// (`insert_at`/`evict_range`); the host engine must fall back to a
+    /// targeted rebuild and charge the work to its breakdown.
+    SpliceUnsupported {
+        /// Short name of the structure that declined the splice.
+        kind: &'static str,
+    },
+    /// An interior splice addressed a leaf range outside the window.
+    SpliceOutOfRange {
+        /// First present-leaf position the splice addressed (0 = oldest).
+        at: usize,
+        /// Number of leaves inserted or evicted.
+        count: usize,
+        /// Number of present leaves currently in the window.
+        window: usize,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -66,6 +82,13 @@ impl fmt::Display for TreeError {
             } => write!(
                 f,
                 "rotating tree capacity {capacity} exceeded (attempted occupancy {attempted})"
+            ),
+            TreeError::SpliceUnsupported { kind } => {
+                write!(f, "{kind} does not support interior bulk splices")
+            }
+            TreeError::SpliceOutOfRange { at, count, window } => write!(
+                f,
+                "splice of {count} leaves at position {at} is outside a window of {window}"
             ),
         }
     }

@@ -286,6 +286,132 @@ where
         Ok(())
     }
 
+    fn insert_at(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        at: usize,
+        values: Vec<Arc<V>>,
+    ) -> Result<(), TreeError> {
+        if at > self.len {
+            return Err(TreeError::SpliceOutOfRange {
+                at,
+                count: values.len(),
+                window: self.len,
+            });
+        }
+        if values.is_empty() {
+            return Ok(());
+        }
+        let k = values.len();
+        cx.note_added(k as u64);
+        let a = self.start;
+        let suffix = self.len - at;
+        let mut dirty: Vec<usize> = Vec::with_capacity(2 * (at.min(suffix) + k));
+        if a >= k && at <= suffix {
+            // Shift the (smaller) prefix left by `k`: the vacated gap
+            // `[a - k + at, a + at)` receives the new leaves. Ascending
+            // order is safe because every target slot precedes its source.
+            for i in a..a + at {
+                self.levels[0][i - k] = self.levels[0][i].take();
+                dirty.push(i - k);
+                dirty.push(i);
+            }
+            for (j, v) in values.into_iter().enumerate() {
+                let slot = a - k + at + j;
+                self.levels[0][slot] = Some(v);
+                dirty.push(slot);
+            }
+            self.start = a - k;
+            self.len += k;
+        } else {
+            // Shift the suffix right by `k`, unfolding for room. Descending
+            // order is safe because every target slot follows its source.
+            while self.end() + k > self.capacity() {
+                self.unfold();
+            }
+            for i in (a + at..a + self.len).rev() {
+                self.levels[0][i + k] = self.levels[0][i].take();
+                dirty.push(i);
+                dirty.push(i + k);
+            }
+            for (j, v) in values.into_iter().enumerate() {
+                let slot = a + at + j;
+                self.levels[0][slot] = Some(v);
+                dirty.push(slot);
+            }
+            self.len += k;
+        }
+        self.propagate(cx, dirty);
+        Ok(())
+    }
+
+    fn evict_range(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        at: usize,
+        count: usize,
+    ) -> Result<(), TreeError> {
+        if at.checked_add(count).is_none_or(|end| end > self.len) {
+            return Err(TreeError::SpliceOutOfRange {
+                at,
+                count,
+                window: self.len,
+            });
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        cx.note_removed(count as u64);
+        let a = self.start;
+        let suffix = self.len - at - count;
+        let mut dirty: Vec<usize> = Vec::with_capacity(count + 2 * at.min(suffix));
+        // Void the evicted range, then close the gap by shifting whichever
+        // side is smaller.
+        for i in a + at..a + at + count {
+            self.levels[0][i] = None;
+            dirty.push(i);
+        }
+        if at <= suffix {
+            for i in (a..a + at).rev() {
+                self.levels[0][i + count] = self.levels[0][i].take();
+                dirty.push(i);
+                dirty.push(i + count);
+            }
+            self.start = a + count;
+        } else {
+            for i in a + at + count..a + self.len {
+                self.levels[0][i - count] = self.levels[0][i].take();
+                dirty.push(i);
+                dirty.push(i - count);
+            }
+        }
+        self.len -= count;
+        if self.len == 0 {
+            self.clear();
+            return Ok(());
+        }
+        // A prefix shift may push `start` across the midpoint: fold, with
+        // the same dirty-slot remap as `advance`.
+        while self.capacity() > 1 && self.start >= self.capacity() / 2 {
+            let half = self.capacity() / 2;
+            self.fold();
+            dirty = dirty
+                .into_iter()
+                .filter_map(|i| i.checked_sub(half))
+                .collect();
+        }
+        if let Some(factor) = self.rebuild_factor {
+            let factor = usize::try_from(factor).unwrap_or(usize::MAX);
+            if self.capacity() > factor.saturating_mul(self.len.max(1)) {
+                let live = self.live_leaves();
+                self.do_rebuild(cx, live);
+                return Ok(());
+            }
+        }
+        self.propagate(cx, dirty);
+        Ok(())
+    }
+
     fn root(&self) -> Option<Arc<V>> {
         if self.len == 0 {
             None
@@ -537,6 +663,262 @@ mod tests {
             })
         ));
         assert_eq!(root_of(&tree), 1);
+    }
+
+    /// Checks every structural invariant the folding tree relies on: the
+    /// live slot range matches `reference` exactly, every slot outside it is
+    /// void, and **every** internal node equals a bottom-up recomputation
+    /// from the leaf level. A dirty-slot remap bug (a live slot dropped from
+    /// the dirty set during a half-fold, or a subsumed void slot remapped
+    /// onto a live one) leaves a stale internal node that this catches.
+    fn assert_internally_consistent(
+        tree: &FoldingTree<u64>,
+        reference: &std::collections::VecDeque<u64>,
+    ) {
+        assert_eq!(tree.len, reference.len(), "live leaf count");
+        assert!(
+            tree.start + tree.len <= tree.capacity(),
+            "window range exceeds capacity"
+        );
+        for (i, slot) in tree.levels[0].iter().enumerate() {
+            let live = i >= tree.start && i < tree.start + tree.len;
+            assert_eq!(
+                slot.is_some(),
+                live,
+                "slot {i} liveness (start {}, len {})",
+                tree.start,
+                tree.len
+            );
+        }
+        for (i, want) in reference.iter().enumerate() {
+            let got = tree.levels[0][tree.start + i]
+                .as_ref()
+                .expect("live slot checked above");
+            assert_eq!(**got, *want, "leaf {i} value");
+        }
+        for h in 1..tree.levels.len() {
+            assert_eq!(
+                tree.levels[h].len() * 2,
+                tree.levels[h - 1].len(),
+                "level {h} width"
+            );
+            for (i, node) in tree.levels[h].iter().enumerate() {
+                let left = tree.levels[h - 1][2 * i].as_deref().copied();
+                let right = tree.levels[h - 1][2 * i + 1].as_deref().copied();
+                let want = match (left, right) {
+                    (Some(l), Some(r)) => Some(l + r),
+                    (Some(l), None) => Some(l),
+                    (None, Some(r)) => Some(r),
+                    (None, None) => None,
+                };
+                assert_eq!(
+                    node.as_deref().copied(),
+                    want,
+                    "internal node (level {h}, index {i}) is stale"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_at_splices_at_every_position() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        for at in 0..=4usize {
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            let mut tree = FoldingTree::new();
+            tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
+            // Slide off-origin first so both shift directions get exercised.
+            tree.advance(&mut cx, 2, leaves(&[5, 6])).unwrap();
+            // Window is now [3, 4, 5, 6].
+            tree.insert_at(&mut cx, at, vec![Arc::new(100), Arc::new(200)])
+                .unwrap();
+            let mut reference: std::collections::VecDeque<u64> = [3, 4, 5, 6].into();
+            reference.insert(at, 200);
+            reference.insert(at, 100);
+            assert_internally_consistent(&tree, &reference);
+            assert_eq!(root_of(&tree), reference.iter().sum::<u64>(), "at {at}");
+        }
+    }
+
+    #[test]
+    fn evict_range_splices_at_every_position() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        for at in 0..=4usize {
+            for count in 0..=(6 - at) {
+                let mut stats = UpdateStats::default();
+                let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                let mut tree = FoldingTree::new();
+                tree.rebuild(&mut cx, leaves(&[1, 2, 3, 4]));
+                tree.advance(&mut cx, 2, leaves(&[5, 6, 7, 8])).unwrap();
+                // Window is now [3, 4, 5, 6, 7, 8].
+                tree.evict_range(&mut cx, at, count).unwrap();
+                let mut reference: std::collections::VecDeque<u64> = [3, 4, 5, 6, 7, 8].into();
+                reference.drain(at..at + count);
+                if reference.is_empty() {
+                    assert!(WindowAggregator::<u8, u64>::root(&tree).is_none());
+                    assert!(WindowAggregator::<u8, u64>::is_empty(&tree));
+                } else {
+                    assert_internally_consistent(&tree, &reference);
+                    assert_eq!(
+                        root_of(&tree),
+                        reference.iter().sum::<u64>(),
+                        "at {at} count {count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splice_out_of_range_is_rejected_and_preserves_tree() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+        tree.rebuild(&mut cx, leaves(&[1, 2, 3]));
+        assert_eq!(
+            tree.insert_at(&mut cx, 4, vec![Arc::new(9)]),
+            Err(TreeError::SpliceOutOfRange {
+                at: 4,
+                count: 1,
+                window: 3
+            })
+        );
+        assert_eq!(
+            tree.evict_range(&mut cx, 2, 2),
+            Err(TreeError::SpliceOutOfRange {
+                at: 2,
+                count: 2,
+                window: 3
+            })
+        );
+        assert_eq!(root_of(&tree), 6);
+        let reference: std::collections::VecDeque<u64> = [1, 2, 3].into();
+        assert_internally_consistent(&tree, &reference);
+    }
+
+    #[test]
+    fn interior_splice_work_is_logarithmic() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let mut tree = FoldingTree::new();
+        let values: Vec<u64> = (0..1024).collect();
+        tree.rebuild(&mut cx, leaves(&values));
+        // Slide into steady state: the evicted prefix leaves void slots the
+        // interior splice can shift into.
+        tree.advance(&mut cx, 512, leaves(&(1024..1536).collect::<Vec<_>>()))
+            .unwrap();
+
+        // An interior insert near the front shifts the 3-leaf prefix into
+        // the void, not the 1021-leaf suffix, and recomputes only the
+        // touched root paths.
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        tree.insert_at(&mut cx, 3, vec![Arc::new(5000)]).unwrap();
+        assert_eq!(root_of(&tree), (512..1536).sum::<u64>() + 5000);
+        assert!(
+            stats.foreground.merges <= 60,
+            "interior splice should be O(shift + log n): {} merges",
+            stats.foreground.merges
+        );
+        assert!(stats.reused > 0);
+    }
+
+    mod splice_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of a mixed in-order/out-of-order history.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Advance { remove: usize, add: Vec<u64> },
+            InsertAt { at: usize, values: Vec<u64> },
+            EvictRange { at: usize, count: usize },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0usize..24, proptest::collection::vec(1u64..1_000, 0..8))
+                    .prop_map(|(remove, add)| Op::Advance { remove, add }),
+                (0usize..24, proptest::collection::vec(1u64..1_000, 0..6))
+                    .prop_map(|(at, values)| Op::InsertAt { at, values }),
+                (0usize..24, 0usize..8).prop_map(|(at, count)| Op::EvictRange { at, count }),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Satellite regression for the half-fold dirty-slot remap
+            /// (`checked_sub(half)`): across random interleavings of
+            /// window-shrinking advances (which fold), window-growing
+            /// advances (which unfold), rebuild-factor rebuilds, and both
+            /// splice directions, every internal node must always equal the
+            /// bottom-up recomputation from the leaves. A remap that drops a
+            /// live dirty slot — or keeps one the discarded root subsumed —
+            /// leaves a stale node that the full-tree check pins down.
+            #[test]
+            fn dirty_remap_keeps_every_internal_node_fresh(
+                factor in proptest::option::of(2u32..10),
+                initial in proptest::collection::vec(1u64..1_000, 0..32),
+                ops in proptest::collection::vec(op_strategy(), 0..40),
+            ) {
+                let combiner = sum_combiner();
+                let key = 0u8;
+                let mut tree = match factor {
+                    Some(f) => FoldingTree::with_rebuild_factor(f),
+                    None => FoldingTree::new(),
+                };
+                let mut reference: std::collections::VecDeque<u64> =
+                    initial.iter().copied().collect();
+
+                let mut stats = UpdateStats::default();
+                let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                tree.rebuild(&mut cx, leaves(&initial));
+                assert_internally_consistent(&tree, &reference);
+
+                for op in ops {
+                    let mut stats = UpdateStats::default();
+                    let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                    match op {
+                        Op::Advance { remove, add } => {
+                            let remove = remove.min(reference.len());
+                            for _ in 0..remove {
+                                reference.pop_front();
+                            }
+                            reference.extend(add.iter().copied());
+                            tree.advance(&mut cx, remove, leaves(&add)).unwrap();
+                        }
+                        Op::InsertAt { at, values } => {
+                            let at = at.min(reference.len());
+                            for (j, v) in values.iter().enumerate() {
+                                reference.insert(at + j, *v);
+                            }
+                            let values = values.into_iter().map(Arc::new).collect();
+                            tree.insert_at(&mut cx, at, values).unwrap();
+                        }
+                        Op::EvictRange { at, count } => {
+                            let at = at.min(reference.len());
+                            let count = count.min(reference.len() - at);
+                            reference.drain(at..at + count);
+                            tree.evict_range(&mut cx, at, count).unwrap();
+                        }
+                    }
+                    if reference.is_empty() {
+                        prop_assert!(WindowAggregator::<u8, u64>::root(&tree).is_none());
+                    } else {
+                        assert_internally_consistent(&tree, &reference);
+                        prop_assert_eq!(root_of(&tree), reference.iter().sum::<u64>());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

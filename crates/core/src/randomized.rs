@@ -230,6 +230,59 @@ where
         Ok(())
     }
 
+    fn insert_at(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        at: usize,
+        values: Vec<Arc<V>>,
+    ) -> Result<(), TreeError> {
+        if at > self.leaves.len() {
+            return Err(TreeError::SpliceOutOfRange {
+                at,
+                count: values.len(),
+                window: self.leaves.len(),
+            });
+        }
+        if values.is_empty() {
+            return Ok(());
+        }
+        cx.note_added(values.len() as u64);
+        for (j, value) in values.into_iter().enumerate() {
+            let id = self.fresh_id();
+            self.leaves.insert(at + j, (id, value));
+        }
+        // Group boundaries hang off identities, not positions, so the
+        // interior splice only perturbs the groups straddling it — all
+        // other groups keep their identity and are reused from the cache.
+        self.recombine(cx);
+        Ok(())
+    }
+
+    fn evict_range(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        at: usize,
+        count: usize,
+    ) -> Result<(), TreeError> {
+        if at
+            .checked_add(count)
+            .is_none_or(|end| end > self.leaves.len())
+        {
+            return Err(TreeError::SpliceOutOfRange {
+                at,
+                count,
+                window: self.leaves.len(),
+            });
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        cx.note_removed(count as u64);
+        self.leaves.drain(at..at + count);
+        self.recombine(cx);
+        Ok(())
+    }
+
     fn root(&self) -> Option<Arc<V>> {
         self.root.clone()
     }

@@ -92,6 +92,21 @@ impl<V> RotatingTree<V> {
         }
     }
 
+    /// Adjusts the present-leaf count for replacing the current occupant of
+    /// `slot` with `value`. Called exactly once per leaf replacement — at
+    /// the moment the replacement is *decided* (eagerly in normal mode, at
+    /// defer time in split mode) — so `present` is always the exact window
+    /// occupancy and [`WindowAggregator::len`] never needs to reconstruct
+    /// it from deferred state.
+    fn count_replacement(&mut self, slot: usize, value: &Option<Arc<V>>) {
+        if self.nodes[self.width + slot].is_some() {
+            self.present -= 1;
+        }
+        if value.is_some() {
+            self.present += 1;
+        }
+    }
+
     /// Writes `value` into `slot` and recombines the path to the root.
     fn set_leaf<K>(
         &mut self,
@@ -102,13 +117,23 @@ impl<V> RotatingTree<V> {
     ) where
         V: Send + Sync,
     {
+        self.count_replacement(slot, &value);
+        self.store_and_recombine(cx, phase, slot, value);
+    }
+
+    /// Stores `value` into `slot` and recombines the root path *without*
+    /// touching the present count (the caller has already counted the
+    /// replacement, possibly at defer time).
+    fn store_and_recombine<K>(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        phase: Phase,
+        slot: usize,
+        value: Option<Arc<V>>,
+    ) where
+        V: Send + Sync,
+    {
         let mut node = self.width + slot;
-        if self.nodes[node].is_some() {
-            self.present -= 1;
-        }
-        if value.is_some() {
-            self.present += 1;
-        }
         self.nodes[node] = value;
         while node > 1 {
             let sibling = node ^ 1;
@@ -137,7 +162,9 @@ impl<V> RotatingTree<V> {
         V: Send + Sync,
     {
         if let Some((slot, value)) = self.pending.take() {
-            self.set_leaf(cx, phase, slot, value);
+            // `present` was already adjusted when the rotation was deferred;
+            // only the structural write and path update remain.
+            self.store_and_recombine(cx, phase, slot, value);
         }
         self.root_override = None;
     }
@@ -277,10 +304,14 @@ where
                     (None, None) => None,
                 };
                 self.root_override = Some(root);
+                // Count the replacement now, not at flush time: `present` is
+                // always the exact occupancy and `len` needs no deferred
+                // reconstruction (which could underflow on a pending removal
+                // against an absent slot).
+                self.count_replacement(self.next_victim, &value);
                 self.pending = Some((self.next_victim, value));
-                // present/len bookkeeping happens when the pending insert is
-                // flushed; the victim rotates now so a subsequent advance
-                // targets the right slot.
+                // The victim rotates now so a subsequent advance targets the
+                // right slot.
                 self.next_victim = (self.next_victim + 1) % self.capacity;
                 return Ok(());
             }
@@ -333,23 +364,13 @@ where
     }
 
     fn len(&self) -> usize {
-        let pending_adjust = match &self.pending {
-            Some((slot, value)) => {
-                let old = self.nodes[self.width + slot].is_some() as isize;
-                let new = value.is_some() as isize;
-                new - old
-            }
-            None => 0,
-        };
-        // A pending removal against an already-absent slot would drive the
-        // adjustment below zero; a plain `as usize` cast here would wrap to
-        // ~2^64 and corrupt every capacity computation downstream.
-        debug_assert!(
-            self.present.checked_add_signed(pending_adjust).is_some(),
-            "pending adjustment {pending_adjust} underflows {} present leaves",
-            self.present
-        );
-        self.present.checked_add_signed(pending_adjust).unwrap_or(0)
+        // `present` is adjusted eagerly at the moment each replacement is
+        // decided — including split-mode rotations whose structural write is
+        // still deferred in `pending` — so it is always the exact occupancy.
+        // The old deferred reconstruction here could underflow (and in
+        // release builds silently clamp) on a pending removal against an
+        // absent slot; that state is now unrepresentable.
+        self.present
     }
 
     fn memo_bytes(&self, combiner: &dyn Combiner<K, V>, key: &K) -> u64 {
@@ -645,6 +666,70 @@ mod tests {
         tree.preprocess(&mut cx);
         assert_eq!(WindowAggregator::<u8, u64>::len(&tree), 3);
         assert_eq!(root_of(&tree), Some(9));
+    }
+
+    /// Regression for the old release-mode clamp: `len` used to reconstruct
+    /// the occupancy from the deferred `pending` entry with
+    /// `checked_add_signed(..).unwrap_or(0)`, which a debug assert guarded
+    /// and release builds silently clamped to zero. The count is now
+    /// adjusted eagerly at defer time, so this drives split-mode slides
+    /// through every present/absent replacement combination — including the
+    /// pending-removal-of-an-absent-slot case that used to underflow — and
+    /// demands the *exact* occupancy (not just "in range") at every step,
+    /// both while a write is deferred and after it flushes. No debug assert
+    /// is involved: the assertions here hold in release builds too.
+    #[test]
+    fn split_mode_len_is_exact_at_every_deferred_step() {
+        let combiner = sum_combiner();
+        let key = 0u8;
+        let mut stats = UpdateStats::default();
+        let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+        let capacity = 4;
+        let mut tree = RotatingTree::new(capacity);
+        // Start with a mixed window: slots 0 and 2 absent.
+        let initial = [None, Some(1), None, Some(3)];
+        let mut reference: std::collections::VecDeque<Option<u64>> =
+            initial.iter().copied().collect();
+        tree.rebuild(&mut cx, initial.iter().map(|v| v.map(Arc::new)).collect());
+
+        // A fixed pattern that pairs every (old, new) presence combination,
+        // in particular (absent, absent): a pending removal against an
+        // absent slot.
+        let pattern: [Option<u64>; 8] = [
+            None,    // replaces absent slot 0: the old underflow case
+            Some(5), // replaces present slot 1
+            Some(6), // replaces absent slot 2
+            None,    // replaces present slot 3
+            None,    // replaces None inserted above
+            None,    // replaces Some(5)
+            Some(7), // replaces Some(6)
+            Some(8), // replaces None
+        ];
+        for (step, value) in pattern.into_iter().enumerate() {
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            // Prepare the off-path aggregate so the next advance defers.
+            tree.preprocess(&mut cx);
+            tree.advance(&mut cx, 1, vec![value.map(Arc::new)]).unwrap();
+            reference.pop_front();
+            reference.push_back(value);
+            let expected = reference.iter().flatten().count();
+            // While the structural write is still deferred...
+            assert_eq!(
+                WindowAggregator::<u8, u64>::len(&tree),
+                expected,
+                "step {step}: deferred len"
+            );
+            // ...and after it lands.
+            tree.preprocess(&mut cx);
+            assert_eq!(
+                WindowAggregator::<u8, u64>::len(&tree),
+                expected,
+                "step {step}: flushed len"
+            );
+            let want: Option<u64> = reference.iter().flatten().copied().reduce(|a, b| a + b);
+            assert_eq!(root_of(&tree), want, "step {step}: root");
+        }
     }
 
     #[test]

@@ -209,6 +209,58 @@ where
         Ok(())
     }
 
+    fn insert_at(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        at: usize,
+        values: Vec<Arc<V>>,
+    ) -> Result<(), TreeError> {
+        if at > self.leaves.len() {
+            return Err(TreeError::SpliceOutOfRange {
+                at,
+                count: values.len(),
+                window: self.leaves.len(),
+            });
+        }
+        if values.is_empty() {
+            return Ok(());
+        }
+        cx.note_added(values.len() as u64);
+        for (j, value) in values.into_iter().enumerate() {
+            let id = self.fresh_id();
+            self.leaves.insert(at + j, (id, value));
+        }
+        // Leaves at and after the splice point change pairing position, so
+        // memoization naturally confines reuse to the untouched prefix.
+        self.recombine(cx);
+        Ok(())
+    }
+
+    fn evict_range(
+        &mut self,
+        cx: &mut TreeCx<'_, K, V>,
+        at: usize,
+        count: usize,
+    ) -> Result<(), TreeError> {
+        if at
+            .checked_add(count)
+            .is_none_or(|end| end > self.leaves.len())
+        {
+            return Err(TreeError::SpliceOutOfRange {
+                at,
+                count,
+                window: self.leaves.len(),
+            });
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        cx.note_removed(count as u64);
+        self.leaves.drain(at..at + count);
+        self.recombine(cx);
+        Ok(())
+    }
+
     fn root(&self) -> Option<Arc<V>> {
         self.root.clone()
     }

@@ -93,6 +93,18 @@ impl TreeKind {
             TreeKind::TwoStack | TreeKind::Daba | TreeKind::DabaLite
         )
     }
+
+    /// Whether this kind implements the interior bulk-splice operations
+    /// ([`WindowAggregator::insert_at`]/[`WindowAggregator::evict_range`])
+    /// natively. For the other kinds those methods return
+    /// [`TreeError::SpliceUnsupported`] and the host engine falls back to a
+    /// targeted rebuild.
+    pub fn supports_splice(self) -> bool {
+        matches!(
+            self,
+            TreeKind::Strawman | TreeKind::Folding | TreeKind::RandomizedFolding
+        )
+    }
 }
 
 impl fmt::Display for TreeKind {
@@ -294,6 +306,57 @@ pub trait WindowAggregator<K, V>: fmt::Debug + Send {
         Ok(())
     }
 
+    /// Splices `values` into the interior of the window so that the first
+    /// inserted leaf becomes present-leaf `at` (0 = oldest; `at == len()`
+    /// appends). Used for event-time late records: a straggler that belongs
+    /// between leaves already aggregated is folded in at its event-time
+    /// position instead of the window edge.
+    ///
+    /// The default declines with [`TreeError::SpliceUnsupported`]; the host
+    /// engine then rebuilds the structure from the authoritative window
+    /// contents, charging that work to its breakdown. Structures that can do
+    /// better (the folding family, strawman) override it with a real range
+    /// splice. A declined or out-of-range splice leaves the tree unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::SpliceUnsupported`] if the structure has no native
+    /// splice; [`TreeError::SpliceOutOfRange`] if `at > len()`.
+    fn insert_at(
+        &mut self,
+        _cx: &mut TreeCx<'_, K, V>,
+        _at: usize,
+        _values: Vec<Arc<V>>,
+    ) -> Result<(), TreeError> {
+        Err(TreeError::SpliceUnsupported {
+            kind: self.kind().name(),
+        })
+    }
+
+    /// Evicts the contiguous range of present leaves `[at, at + count)` from
+    /// the interior of the window in one bulk splice (0 = oldest;
+    /// `at == 0` degenerates to a front eviction). The event-time engine
+    /// uses this for bursty evictions and for retracting late-arrived spans.
+    ///
+    /// Defaults to [`TreeError::SpliceUnsupported`] exactly like
+    /// [`WindowAggregator::insert_at`]; a declined or out-of-range splice
+    /// leaves the tree unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::SpliceUnsupported`] if the structure has no native
+    /// splice; [`TreeError::SpliceOutOfRange`] if `at + count > len()`.
+    fn evict_range(
+        &mut self,
+        _cx: &mut TreeCx<'_, K, V>,
+        _at: usize,
+        _count: usize,
+    ) -> Result<(), TreeError> {
+        Err(TreeError::SpliceUnsupported {
+            kind: self.kind().name(),
+        })
+    }
+
     /// Background pre-processing (§4 split mode): performs deferred and
     /// anticipatory merges off the critical path. A no-op for trees without
     /// split support.
@@ -475,6 +538,28 @@ mod tests {
         let one = cx.fold(Phase::Foreground, vec![Arc::new(9)]).unwrap();
         assert_eq!(*one, 9);
         assert_eq!(stats.foreground.merges, 0, "single element folds for free");
+    }
+
+    #[test]
+    fn splice_support_matches_kind_and_default_declines() {
+        let combiner = FnCombiner::new(|_: &u8, a: &u64, b: &u64| a + b);
+        for kind in TreeKind::ALL {
+            let mut tree = build_tree::<u8, u64>(kind, 4);
+            let mut stats = UpdateStats::default();
+            let key = 0u8;
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            let insert = tree.insert_at(&mut cx, 0, vec![Arc::new(1)]);
+            let evict = tree.evict_range(&mut cx, 0, 0);
+            if kind.supports_splice() {
+                assert!(insert.is_ok(), "{kind} insert_at");
+                assert!(evict.is_ok(), "{kind} evict_range");
+            } else {
+                let want = TreeError::SpliceUnsupported { kind: kind.name() };
+                assert_eq!(insert, Err(want.clone()), "{kind} insert_at");
+                assert_eq!(evict, Err(want), "{kind} evict_range");
+                assert!(tree.is_empty(), "{kind} declined splice must not mutate");
+            }
+        }
     }
 
     #[test]

@@ -181,6 +181,66 @@ proptest! {
         }
     }
 
+    /// Every kind that advertises native splices must agree with a naive
+    /// reference deque over arbitrary interleavings of edge slides and
+    /// interior splices — the disordered-stream analogue of the in-order
+    /// reference checks above.
+    #[test]
+    fn splice_kinds_match_reference_under_mixed_ops(
+        initial in proptest::collection::vec(1u64..1_000, 0..24),
+        ops in proptest::collection::vec(
+            (0usize..3, 0usize..24, proptest::collection::vec(1u64..1_000, 0..6)), 0..32),
+    ) {
+        for kind in TreeKind::ALL {
+            if !kind.supports_splice() {
+                continue;
+            }
+            let combiner = sum_combiner();
+            let key = 0u8;
+            let mut tree = build_tree::<u8, u64>(kind, 0);
+            let mut reference: VecDeque<u64> = initial.iter().copied().collect();
+
+            let mut stats = UpdateStats::default();
+            let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+            tree.rebuild(&mut cx, leaves(&initial));
+
+            for (op, pos, values) in &ops {
+                let mut stats = UpdateStats::default();
+                let mut cx = TreeCx::new(&combiner, &key, &mut stats);
+                match op {
+                    0 => {
+                        let remove = (*pos).min(reference.len());
+                        for _ in 0..remove {
+                            reference.pop_front();
+                        }
+                        reference.extend(values.iter().copied());
+                        tree.advance(&mut cx, remove, leaves(values)).unwrap();
+                    }
+                    1 => {
+                        let at = (*pos).min(reference.len());
+                        for (j, v) in values.iter().enumerate() {
+                            reference.insert(at + j, *v);
+                        }
+                        let values = values.iter().copied().map(Arc::new).collect();
+                        tree.insert_at(&mut cx, at, values).unwrap();
+                    }
+                    _ => {
+                        let at = (*pos).min(reference.len());
+                        let count = values.len().min(reference.len() - at);
+                        reference.drain(at..at + count);
+                        tree.evict_range(&mut cx, at, count).unwrap();
+                    }
+                }
+                let expected: u64 = reference.iter().fold(0, |a, b| a.wrapping_add(*b));
+                match tree.root() {
+                    Some(root) => prop_assert_eq!(*root, expected, "{} root", kind),
+                    None => prop_assert_eq!(expected, 0, "{} empty root", kind),
+                }
+                prop_assert_eq!(tree.len(), reference.len(), "{} len", kind);
+            }
+        }
+    }
+
     #[test]
     fn coalescing_matches_reference(
         initial in proptest::collection::vec(1u64..1_000, 0..16),

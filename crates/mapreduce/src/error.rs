@@ -24,6 +24,20 @@ pub enum JobError {
     },
     /// A split id was reused within the job's lifetime.
     DuplicateSplit(u64),
+    /// An interior splice addressed a split range outside the window.
+    SpliceOutOfRange {
+        /// Window position of the splice (0 = oldest split).
+        at: usize,
+        /// Splits the splice would insert or evict.
+        count: usize,
+        /// Splits currently in the window.
+        window: usize,
+    },
+    /// Asked to evict the oldest batch of a window that holds none. The
+    /// feeder's bookkeeping makes this unreachable in normal operation; it
+    /// is reported as a typed error (never a panic) so a corrupted window
+    /// count degrades into a recoverable failure.
+    EmptyWindow,
     /// The job configuration is inconsistent (detailed in the message).
     BadConfig(String),
 }
@@ -40,6 +54,15 @@ impl fmt::Display for JobError {
                 )
             }
             JobError::DuplicateSplit(id) => write!(f, "split id {id} was already used"),
+            JobError::SpliceOutOfRange { at, count, window } => {
+                write!(
+                    f,
+                    "splice of {count} splits at position {at} is outside a window of {window}"
+                )
+            }
+            JobError::EmptyWindow => {
+                write!(f, "cannot evict the oldest batch of an empty window")
+            }
             JobError::BadConfig(msg) => write!(f, "bad job configuration: {msg}"),
         }
     }

@@ -1,0 +1,621 @@
+//! `EventFeeder`: event-time window management — watermarks, a bounded
+//! reorder buffer, and late-record routing on top of [`WindowedJob`]'s
+//! interior splice operations.
+//!
+//! [`crate::WindowFeeder`] assumes records arrive in window order; real
+//! streams do not. This feeder stamps every record with an *event time*
+//! ([`Stamped`]), buffers open epochs in a reorder buffer, and only closes
+//! an epoch — one bulk [`WindowedJob::advance`] — once the **watermark**
+//! (the highest event time seen, minus the configured lateness bound) has
+//! passed it. Records disordered within the lateness bound are therefore
+//! absorbed entirely by the buffer: the resulting runs are *bit-identical*
+//! to the runs an in-order stream would produce, for any thread count.
+//!
+//! Records that arrive *below* the watermark are late. If their epoch is
+//! still inside the window they are admitted through
+//! [`WindowedJob::insert_splits_at`], which splices them into the interior
+//! of the window at their epoch's position; if the epoch has already been
+//! evicted they are dropped and counted ([`EventTimeStats::late_dropped`]).
+//! Whole in-window epochs can likewise be retracted with
+//! [`EventFeeder::retract_epoch`], a bulk interior eviction via
+//! [`WindowedJob::evict_splits_range`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::app::MapReduceApp;
+use crate::error::JobError;
+use crate::split::make_splits;
+use crate::stats::RunStats;
+use crate::windowed::WindowedJob;
+
+/// A stream record stamped with its event time and a sequence number.
+///
+/// `time` places the record in an epoch (`time / epoch_len`); `(time, seq)`
+/// orders records *within* an epoch when it closes, so the splits an epoch
+/// produces depend only on which records were ingested — never on their
+/// arrival order. Callers should keep `(time, seq)` unique per record
+/// (a generator-assigned sequence number does it); ties are broken
+/// arbitrarily.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamped<R> {
+    /// Event time, in the stream's logical time unit.
+    pub time: u64,
+    /// Tiebreak between records with equal event times.
+    pub seq: u64,
+    /// The record handed to the Map phase.
+    pub record: R,
+}
+
+impl<R> Stamped<R> {
+    /// Stamps `record` with `time` and `seq`.
+    pub fn new(time: u64, seq: u64, record: R) -> Self {
+        Stamped { time, seq, record }
+    }
+
+    /// The epoch this record belongs to under `epoch_len`.
+    fn epoch(&self, epoch_len: u64) -> u64 {
+        self.time / epoch_len
+    }
+}
+
+/// Event-time configuration for an [`EventFeeder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventTimeConfig {
+    /// Width of one epoch in event-time units. An epoch `e` covers times
+    /// `[e * epoch_len, (e + 1) * epoch_len)` and closes as one window
+    /// advance.
+    pub epoch_len: u64,
+    /// Records per split when an epoch closes (the last split of an epoch
+    /// may be shorter).
+    pub records_per_split: usize,
+    /// Window size in epochs; `None` = append-only (epochs never leave).
+    pub window_epochs: Option<usize>,
+    /// Allowed lateness, in event-time units: the watermark trails the
+    /// highest event time seen by this much. Records disordered by at most
+    /// this bound are reordered transparently; anything later takes the
+    /// late path (interior splice or drop).
+    pub lateness: u64,
+}
+
+impl EventTimeConfig {
+    /// Validates the configuration.
+    fn validate(&self) -> Result<(), JobError> {
+        if self.epoch_len == 0 {
+            return Err(JobError::BadConfig("epoch_len must be positive".into()));
+        }
+        if self.records_per_split == 0 {
+            return Err(JobError::BadConfig(
+                "records_per_split must be positive".into(),
+            ));
+        }
+        if self.window_epochs == Some(0) {
+            return Err(JobError::BadConfig(
+                "a window must hold at least one epoch".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing an [`EventFeeder`]'s late-data handling. All fields
+/// are determined by the ingested records' stamps and the flush chunking —
+/// never by thread count or wall-clock timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventTimeStats {
+    /// Records accepted into the reorder buffer or the late path.
+    pub ingested: u64,
+    /// Late records admitted into a still-in-window epoch via an interior
+    /// splice.
+    pub late_admitted: u64,
+    /// Late records dropped because their epoch already left the window.
+    pub late_dropped: u64,
+    /// Epochs closed (empty gap epochs included).
+    pub epochs_closed: u64,
+    /// Epochs evicted from the front of a full window.
+    pub epochs_evicted: u64,
+    /// Interior splice runs executed (late insertions and retractions).
+    pub splice_runs: u64,
+}
+
+/// One closed epoch still inside the window.
+#[derive(Debug, Clone, Copy)]
+struct WindowEpoch {
+    epoch: u64,
+    splits: usize,
+}
+
+/// Feeds an event-time stream into a windowed job: reorder buffering up to
+/// the watermark, bulk epoch closes, and late-record splices. See the
+/// module docs for the semantics.
+#[derive(Debug)]
+pub struct EventFeeder<A: MapReduceApp> {
+    job: WindowedJob<A>,
+    config: EventTimeConfig,
+    /// Reorder buffer: records of still-open epochs, keyed by epoch.
+    pending: BTreeMap<u64, Vec<Stamped<A::Input>>>,
+    /// Late records awaiting their interior splice, keyed by (in-window)
+    /// epoch.
+    late: BTreeMap<u64, Vec<Stamped<A::Input>>>,
+    /// Closed epochs currently in the window, oldest first.
+    window: VecDeque<WindowEpoch>,
+    /// All epochs below this index are closed.
+    next_open_epoch: u64,
+    /// Highest event time ingested, if any.
+    max_time: Option<u64>,
+    next_split_id: u64,
+    stats: EventTimeStats,
+}
+
+impl<A: MapReduceApp> EventFeeder<A> {
+    /// Wraps `job` with event-time ingestion under `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::BadConfig`] for a zero epoch length, zero split size, or
+    /// a zero-epoch window.
+    pub fn new(job: WindowedJob<A>, config: EventTimeConfig) -> Result<Self, JobError> {
+        config.validate()?;
+        Ok(EventFeeder {
+            job,
+            config,
+            pending: BTreeMap::new(),
+            late: BTreeMap::new(),
+            window: VecDeque::new(),
+            next_open_epoch: 0,
+            max_time: None,
+            next_split_id: 0,
+            stats: EventTimeStats::default(),
+        })
+    }
+
+    /// Buffers `records` without running the job: on-time records join
+    /// their epoch in the reorder buffer; records below the watermark whose
+    /// epoch is still in the window queue for a late splice; anything older
+    /// is dropped and counted. Call [`EventFeeder::flush`] to apply.
+    pub fn ingest(&mut self, records: impl IntoIterator<Item = Stamped<A::Input>>) {
+        for record in records {
+            self.stats.ingested += 1;
+            self.max_time = Some(self.max_time.map_or(record.time, |m| m.max(record.time)));
+            let epoch = record.epoch(self.config.epoch_len);
+            if epoch >= self.next_open_epoch {
+                self.pending.entry(epoch).or_default().push(record);
+            } else if self.window.iter().any(|w| w.epoch == epoch) {
+                self.stats.late_admitted += 1;
+                self.late.entry(epoch).or_default().push(record);
+            } else {
+                self.stats.late_dropped += 1;
+            }
+        }
+    }
+
+    /// Applies everything the stream has made ready: queued late records
+    /// are spliced into their epochs' interior positions, then every epoch
+    /// the watermark has passed closes as one bulk advance (evicting the
+    /// oldest epoch once the window is full). Returns the stats of every
+    /// run executed, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`JobError`]; runs already executed remain
+    /// applied (a flush is not atomic), and their bookkeeping is intact.
+    pub fn flush(&mut self) -> Result<Vec<RunStats>, JobError> {
+        let mut runs = Vec::new();
+        self.apply_late(&mut runs)?;
+        let Some(watermark) = self.watermark() else {
+            return Ok(runs);
+        };
+        // First epoch the watermark has NOT fully passed: `e` is ripe
+        // exactly when `(e + 1) * epoch_len <= watermark`.
+        let horizon = watermark / self.config.epoch_len;
+        while self.next_open_epoch < horizon {
+            let epoch = self.next_open_epoch;
+            if !self.pending.contains_key(&epoch) && self.window.is_empty() {
+                // Dead region: nothing to add and nothing a close could
+                // evict. Fast-forward to the next epoch with records (or
+                // the horizon) instead of burning one iteration per epoch
+                // of a large time gap.
+                let jump = self
+                    .pending
+                    .keys()
+                    .next()
+                    .map_or(horizon, |&next| next.min(horizon));
+                self.stats.epochs_closed += jump - epoch;
+                self.next_open_epoch = jump;
+                continue;
+            }
+            self.close_epoch(epoch, &mut runs)?;
+        }
+        Ok(runs)
+    }
+
+    /// Force-closes every buffered epoch regardless of the watermark (end
+    /// of stream), after applying queued late records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`JobError`] (see [`EventFeeder::flush`]).
+    pub fn close_all(&mut self) -> Result<Vec<RunStats>, JobError> {
+        let mut runs = Vec::new();
+        self.apply_late(&mut runs)?;
+        while let Some((&epoch, _)) = self.pending.iter().next() {
+            // Empty gap epochs between closed data need no runs here: with
+            // no further stream there is nothing left to age out.
+            self.stats.epochs_closed += epoch.saturating_sub(self.next_open_epoch);
+            self.next_open_epoch = self.next_open_epoch.max(epoch);
+            self.close_epoch(epoch, &mut runs)?;
+        }
+        Ok(runs)
+    }
+
+    /// Retracts a closed, still-in-window epoch: its splits leave the
+    /// window's interior in one bulk splice
+    /// ([`WindowedJob::evict_splits_range`]). Returns `Ok(None)` if the
+    /// epoch is not in the window (nothing to retract), or if it
+    /// contributed no splits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JobError`] from the underlying job (e.g. a mode with no
+    /// interior evictions).
+    pub fn retract_epoch(&mut self, epoch: u64) -> Result<Option<RunStats>, JobError> {
+        let Some(index) = self.window.iter().position(|w| w.epoch == epoch) else {
+            return Ok(None);
+        };
+        let at: usize = self.window.iter().take(index).map(|w| w.splits).sum();
+        let count = self.window[index].splits;
+        let stats = if count > 0 {
+            let stats = self.job.evict_splits_range(at, count)?;
+            self.stats.splice_runs += 1;
+            Some(stats)
+        } else {
+            None
+        };
+        self.window.remove(index);
+        // Anything queued as late for the retracted epoch is now homeless.
+        if let Some(dropped) = self.late.remove(&epoch) {
+            self.stats.late_admitted -= dropped.len() as u64;
+            self.stats.late_dropped += dropped.len() as u64;
+        }
+        Ok(stats)
+    }
+
+    /// The current watermark (highest event time seen minus the lateness
+    /// bound), or `None` before the first record.
+    pub fn watermark(&self) -> Option<u64> {
+        self.max_time
+            .map(|t| t.saturating_sub(self.config.lateness))
+    }
+
+    /// The job's current output.
+    pub fn output(&self) -> &BTreeMap<A::Key, A::Output> {
+        self.job.output()
+    }
+
+    /// This feeder's late-data counters.
+    pub fn stats(&self) -> EventTimeStats {
+        self.stats
+    }
+
+    /// Closed epochs currently in the window, oldest first.
+    pub fn window_epochs(&self) -> Vec<u64> {
+        self.window.iter().map(|w| w.epoch).collect()
+    }
+
+    /// Records buffered in still-open epochs.
+    pub fn buffered_records(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Borrows the underlying job.
+    pub fn job(&self) -> &WindowedJob<A> {
+        &self.job
+    }
+
+    /// Consumes the feeder, returning the job.
+    pub fn into_job(self) -> WindowedJob<A> {
+        self.job
+    }
+
+    /// Splices every queued late record into its epoch's interior
+    /// position, in epoch order. The records land at the *end* of their
+    /// epoch's split range, sorted by `(time, seq)` — for commutative
+    /// combiners (every contraction-tree mode but the strawman's
+    /// non-commutative uses) this reproduces the output of the stream that
+    /// never lost them.
+    fn apply_late(&mut self, runs: &mut Vec<RunStats>) -> Result<(), JobError> {
+        while let Some((&epoch, _)) = self.late.iter().next() {
+            let mut records = self.late.remove(&epoch).expect("key just seen");
+            records.sort_by_key(|r| (r.time, r.seq));
+            let inputs: Vec<A::Input> = records.into_iter().map(|r| r.record).collect();
+            let splits = make_splits(self.next_split_id, inputs, self.config.records_per_split);
+            let added = splits.len();
+            // The splice point: right after the epoch's existing splits.
+            let at: usize = self
+                .window
+                .iter()
+                .take_while(|w| w.epoch <= epoch)
+                .map(|w| w.splits)
+                .sum();
+            runs.push(self.job.insert_splits_at(at, splits)?);
+            self.next_split_id += added as u64;
+            self.stats.splice_runs += 1;
+            if let Some(w) = self.window.iter_mut().find(|w| w.epoch == epoch) {
+                w.splits += added;
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes `epoch` as one bulk advance: its records (sorted by
+    /// `(time, seq)`) become splits, and the oldest epoch leaves a full
+    /// window. Runs with nothing to add *and* nothing to evict are elided.
+    fn close_epoch(&mut self, epoch: u64, runs: &mut Vec<RunStats>) -> Result<(), JobError> {
+        let mut records = self.pending.remove(&epoch).unwrap_or_default();
+        records.sort_by_key(|r| (r.time, r.seq));
+        let inputs: Vec<A::Input> = records.into_iter().map(|r| r.record).collect();
+        let splits = make_splits(self.next_split_id, inputs, self.config.records_per_split);
+        let added = splits.len();
+        let evict = matches!(self.config.window_epochs, Some(n) if self.window.len() >= n);
+        let remove = if evict {
+            self.window
+                .front()
+                .map(|w| w.splits)
+                .ok_or(JobError::EmptyWindow)?
+        } else {
+            0
+        };
+        if remove > 0 || added > 0 {
+            runs.push(self.job.advance(remove, splits)?);
+        }
+        // Mutate bookkeeping only after the job accepted the slide.
+        if evict {
+            self.window.pop_front();
+            self.stats.epochs_evicted += 1;
+        }
+        self.window.push_back(WindowEpoch {
+            epoch,
+            splits: added,
+        });
+        self.next_split_id += added as u64;
+        self.next_open_epoch = epoch + 1;
+        self.stats.epochs_closed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windowed::{ExecMode, JobConfig};
+
+    struct WordCount;
+    impl MapReduceApp for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+        fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }
+        fn combine(&self, _k: &String, a: &u64, b: &u64) -> u64 {
+            a + b
+        }
+        fn reduce(&self, _k: &String, parts: &[&u64]) -> u64 {
+            parts.iter().copied().sum()
+        }
+    }
+
+    fn feeder(mode: ExecMode, config: EventTimeConfig) -> EventFeeder<WordCount> {
+        let job = WindowedJob::new(WordCount, JobConfig::new(mode).with_partitions(2)).unwrap();
+        EventFeeder::new(job, config).unwrap()
+    }
+
+    fn config() -> EventTimeConfig {
+        EventTimeConfig {
+            epoch_len: 10,
+            records_per_split: 2,
+            window_epochs: Some(3),
+            lateness: 5,
+        }
+    }
+
+    fn stamped(time: u64, seq: u64, word: &str) -> Stamped<String> {
+        Stamped::new(time, seq, word.to_string())
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let job =
+            || WindowedJob::new(WordCount, JobConfig::new(ExecMode::slider_folding())).unwrap();
+        for bad in [
+            EventTimeConfig {
+                epoch_len: 0,
+                ..config()
+            },
+            EventTimeConfig {
+                records_per_split: 0,
+                ..config()
+            },
+            EventTimeConfig {
+                window_epochs: Some(0),
+                ..config()
+            },
+        ] {
+            assert!(matches!(
+                EventFeeder::new(job(), bad),
+                Err(JobError::BadConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn disorder_within_the_bound_matches_the_sorted_twin_exactly() {
+        // Two chunks whose records are shuffled within the lateness bound.
+        let disordered = [
+            vec![
+                stamped(3, 0, "a"),
+                stamped(1, 1, "b"),
+                stamped(12, 2, "c"),
+                stamped(9, 3, "a"),
+            ],
+            vec![
+                stamped(17, 4, "d"),
+                stamped(14, 5, "b"),
+                stamped(23, 6, "e"),
+                stamped(21, 7, "a"),
+            ],
+        ];
+        let mut sorted = disordered.clone();
+        for chunk in &mut sorted {
+            chunk.sort_by_key(|x| (x.time, x.seq));
+        }
+
+        let run = |chunks: &[Vec<Stamped<String>>]| {
+            let mut f = feeder(ExecMode::slider_folding(), config());
+            let mut all_runs = Vec::new();
+            for chunk in chunks {
+                f.ingest(chunk.iter().cloned());
+                all_runs.extend(f.flush().unwrap());
+            }
+            all_runs.extend(f.close_all().unwrap());
+            (f.output().clone(), format!("{all_runs:?}"), f.stats())
+        };
+        let (out_d, runs_d, stats_d) = run(&disordered);
+        let (out_s, runs_s, stats_s) = run(&sorted);
+        assert_eq!(out_d, out_s);
+        assert_eq!(runs_d, runs_s, "run stats must be bit-identical");
+        assert_eq!(stats_d, stats_s);
+        assert_eq!(stats_d.late_admitted, 0, "in-bound disorder is never late");
+        assert_eq!(stats_d.late_dropped, 0);
+    }
+
+    #[test]
+    fn watermark_holds_epochs_open_until_the_bound_passes() {
+        let mut f = feeder(ExecMode::slider_folding(), config());
+        // Epoch 0 complete, but the watermark (14 - 5 = 9) has not passed
+        // its end (10): nothing closes.
+        f.ingest([stamped(2, 0, "a"), stamped(14, 1, "b")]);
+        assert!(f.flush().unwrap().is_empty());
+        assert_eq!(f.buffered_records(), 2);
+        assert!(f.output().is_empty());
+
+        // One more record pushes the watermark to 16: epoch 0 closes,
+        // epoch 1 stays open.
+        f.ingest([stamped(21, 2, "c")]);
+        let runs = f.flush().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(f.output().get("a"), Some(&1));
+        assert_eq!(f.output().get("b"), None, "epoch 1 is still open");
+        assert_eq!(f.window_epochs(), vec![0]);
+    }
+
+    #[test]
+    fn late_records_splice_into_their_epoch() {
+        let mut f = feeder(ExecMode::slider_folding(), config());
+        f.ingest([
+            stamped(2, 0, "a"),
+            stamped(12, 1, "b"),
+            stamped(22, 2, "c"),
+            stamped(35, 3, "d"),
+        ]);
+        f.flush().unwrap();
+        assert_eq!(f.window_epochs(), vec![0, 1, 2]);
+
+        // Time 4 is far below the watermark (30) but epoch 0 is still in
+        // the window: the record is admitted through an interior splice.
+        f.ingest([stamped(4, 4, "z")]);
+        let runs = f.flush().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(f.output().get("z"), Some(&1));
+        assert_eq!(f.stats().late_admitted, 1);
+        assert_eq!(f.stats().splice_runs, 1);
+
+        // The admitted record ages out with its epoch, not later: closing
+        // epoch 3 (window of 3) evicts epoch 0 and "z" with it.
+        f.ingest([stamped(47, 5, "e")]);
+        f.flush().unwrap();
+        assert_eq!(f.window_epochs(), vec![1, 2, 3]);
+        assert_eq!(f.output().get("z"), None);
+        assert_eq!(f.stats().epochs_evicted, 1);
+    }
+
+    #[test]
+    fn too_late_records_are_dropped_and_counted() {
+        let mut f = feeder(ExecMode::slider_folding(), config());
+        for (t, s, w) in [(5, 0, "a"), (15, 1, "b"), (25, 2, "c"), (35, 3, "d")] {
+            f.ingest([stamped(t, s, w)]);
+        }
+        f.ingest([stamped(49, 4, "e")]);
+        f.flush().unwrap();
+        // Window holds epochs [1, 2, 3]; epoch 0 is gone.
+        assert_eq!(f.window_epochs(), vec![1, 2, 3]);
+        f.ingest([stamped(3, 5, "x")]);
+        f.flush().unwrap();
+        assert_eq!(f.output().get("x"), None);
+        assert_eq!(f.stats().late_dropped, 1);
+    }
+
+    #[test]
+    fn bursty_gaps_fast_forward_without_runs() {
+        let mut f = feeder(ExecMode::slider_folding(), config());
+        f.ingest([stamped(2, 0, "a"), stamped(12, 1, "b"), stamped(22, 2, "c")]);
+        // Watermark 17: only epoch 0 closes here; 1 and 2 stay buffered.
+        assert_eq!(f.flush().unwrap().len(), 1);
+        // A huge time jump: epochs 1 and 2 close (two runs), then the gap's
+        // first three empty epochs age the window out (three eviction runs),
+        // and the remaining dead region fast-forwards with no further runs.
+        f.ingest([stamped(1_000_015, 3, "z")]);
+        let runs = f.flush().unwrap();
+        assert_eq!(runs.len(), 5, "2 data closes + 3 evictions, then no runs");
+        assert!(f.output().is_empty());
+        assert_eq!(f.buffered_records(), 1, "z's epoch is still open");
+        let closed = f.stats().epochs_closed;
+        assert!(closed >= 100_000, "gap epochs counted closed: {closed}");
+    }
+
+    #[test]
+    fn retract_epoch_evicts_its_interior_range() {
+        let mut f = feeder(ExecMode::slider_folding(), config());
+        f.ingest([
+            stamped(2, 0, "a"),
+            stamped(12, 1, "b"),
+            stamped(22, 2, "c"),
+            stamped(35, 3, "d"),
+        ]);
+        f.flush().unwrap();
+        assert_eq!(f.window_epochs(), vec![0, 1, 2]);
+
+        // Retract the middle epoch: "b" vanishes, neighbours survive.
+        let stats = f.retract_epoch(1).unwrap();
+        assert!(stats.is_some());
+        assert_eq!(f.window_epochs(), vec![0, 2]);
+        assert_eq!(f.output().get("b"), None);
+        assert_eq!(f.output().get("a"), Some(&1));
+        assert_eq!(f.output().get("c"), Some(&1));
+        assert_eq!(f.stats().splice_runs, 1);
+
+        // Unknown epochs are a quiet no-op.
+        assert!(f.retract_epoch(99).unwrap().is_none());
+    }
+
+    #[test]
+    fn append_only_event_windows_admit_all_late_records() {
+        let cfg = EventTimeConfig {
+            window_epochs: None,
+            ..config()
+        };
+        let mut f = feeder(ExecMode::slider_coalescing(false), cfg);
+        f.ingest([stamped(5, 0, "a"), stamped(15, 1, "b"), stamped(45, 2, "c")]);
+        f.flush().unwrap();
+        // Epochs never leave an append-only window, so even a very late
+        // record finds its epoch.
+        f.ingest([stamped(1, 3, "z")]);
+        f.flush().unwrap();
+        assert_eq!(f.output().get("z"), Some(&1));
+        assert_eq!(f.stats().late_dropped, 0);
+        f.close_all().unwrap();
+        assert_eq!(f.output().get("c"), Some(&1));
+    }
+}

@@ -61,6 +61,7 @@
 
 mod app;
 mod error;
+mod event;
 mod fault;
 mod feeder;
 mod pipeline;
@@ -72,6 +73,7 @@ mod windowed;
 
 pub use app::{AppCombiner, MapReduceApp};
 pub use error::JobError;
+pub use event::{EventFeeder, EventTimeConfig, EventTimeStats, Stamped};
 pub use fault::{
     CacheCorruption, CacheNodeEvent, JobFaultPlan, JobMachineCrash, JobStraggler, MemoLoss,
 };

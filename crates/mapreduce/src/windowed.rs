@@ -6,9 +6,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use slider_cluster::{simulate_traced, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, Task};
-use slider_core::{build_tree, Phase, TreeCx, TreeKind, UpdateStats, WindowAggregator};
-use slider_dcache::{CacheConfig, CacheError, CacheStats, DistributedCache, NodeId, ObjectId};
-use slider_trace::{SpanKind, TraceSink};
+use slider_core::{build_tree, Phase, TreeCx, TreeError, TreeKind, UpdateStats, WindowAggregator};
+use slider_dcache::{
+    CacheConfig, CacheError, CacheStats, DistributedCache, NodeId, ObjectId, RepairStats,
+};
+use slider_trace::{SpanId, SpanKind, TraceSink};
 
 use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
@@ -413,6 +415,26 @@ struct SlideCx<'a, A: MapReduceApp> {
     split_processing: bool,
 }
 
+/// Shared read-only inputs of one interior splice, borrowed by every shard
+/// worker. Unlike a slide, a splice touches the window's *interior*:
+/// `window` is the post-splice window, and the affected split range starts
+/// at window position `at` (insertions sit at `window[at..at + added.len()]`;
+/// evictions were drained from `window[at..at + removed.len()]`).
+struct SpliceCx<'a, A: MapReduceApp> {
+    app: &'a A,
+    combiner: &'a AppCombiner<A>,
+    config: &'a JobConfig,
+    /// The window *after* the splice was applied.
+    window: &'a VecDeque<SplitEntry<A>>,
+    /// Window position of the splice (0 = oldest split).
+    at: usize,
+    /// Entries drained from the interior (bulk evictions).
+    removed: &'a [SplitEntry<A>],
+    /// Entries inserted into the interior (late-record insertions).
+    added: &'a [SplitEntry<A>],
+    kind: TreeKind,
+}
+
 /// A sliding-window MapReduce job.
 ///
 /// See the crate-level docs for a complete example.
@@ -598,22 +620,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
         added: Vec<Split<A::Input>>,
     ) -> Result<RunStats, JobError> {
         self.validate_slide(remove_splits, &added)?;
-
-        let trace = self.trace.clone();
-        let run_span = trace.with(|t| {
-            t.set_run(self.run_index);
-            let tr = t.track("engine");
-            t.begin(tr, SpanKind::Run, format!("run #{}", self.run_index))
-        });
-
-        // ---- Scripted faults for this run (recovery is metered apart). ----
-        let mut recovery = RecoveryStats::default();
-        let repair_before = self
-            .cache
-            .as_ref()
-            .map(|c| c.repair_stats())
-            .unwrap_or_default();
-        self.apply_planned_faults(&mut recovery)?;
+        let (run_span, recovery, repair_before) = self.begin_run()?;
 
         let was_full_buckets = self.config.mode.is_fixed_width()
             && self.window.len() == self.config.window_buckets * self.config.bucket_width;
@@ -626,6 +633,161 @@ impl<A: MapReduceApp> WindowedJob<A> {
             self.used_split_ids.insert(split.id().0);
         }
 
+        let stats = self.map_phase_stats(&new_entries);
+        self.trace_map_phase(&stats, &new_entries);
+
+        // ---- Contraction + Reduce phase. ---------------------------------
+        let outcome = match self.config.mode {
+            ExecMode::Recompute => self.run_recompute(),
+            _ => self.run_incremental(&removed, &new_entries, was_full_buckets)?,
+        };
+        Ok(self.finish_run(
+            stats,
+            outcome,
+            &new_entries,
+            recovery,
+            repair_before,
+            run_span,
+        ))
+    }
+
+    /// Splices late splits into the *interior* of the window so that the
+    /// first inserted split lands at window position `at` (0 = oldest;
+    /// `at == window_splits()` appends), updating the output incrementally.
+    ///
+    /// This is the event-time late-data path: a record admitted after its
+    /// epoch already closed belongs between splits that are both still in
+    /// the window, where [`WindowedJob::advance`] cannot put it. Trees with
+    /// native interior splices ([`TreeKind::supports_splice`]) absorb the
+    /// insertion in one bulk splice; every other aggregator rebuilds the
+    /// affected keys from the post-splice window, with the rebuild work
+    /// charged to this run's foreground contraction breakdown — outputs are
+    /// identical either way, only the metered work differs.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::SpliceOutOfRange`] if `at` exceeds the window;
+    /// [`JobError::ModeViolation`] for fixed-width (rotating) jobs, whose
+    /// positional bucket geometry admits no interior splices;
+    /// [`JobError::DuplicateSplit`] for reused split ids. The job state is
+    /// unchanged on error.
+    pub fn insert_splits_at(
+        &mut self,
+        at: usize,
+        added: Vec<Split<A::Input>>,
+    ) -> Result<RunStats, JobError> {
+        self.check_splice_mode(false)?;
+        if at > self.window.len() {
+            return Err(JobError::SpliceOutOfRange {
+                at,
+                count: added.len(),
+                window: self.window.len(),
+            });
+        }
+        self.check_fresh_ids(&added)?;
+        let (run_span, recovery, repair_before) = self.begin_run()?;
+
+        // ---- Map phase: new splits are mapped exactly as in a slide. -----
+        let new_entries = self.map_splits(&added);
+        for (offset, entry) in new_entries.iter().enumerate() {
+            self.window.insert(at + offset, entry.clone());
+        }
+        for split in &added {
+            self.used_split_ids.insert(split.id().0);
+        }
+
+        let stats = self.map_phase_stats(&new_entries);
+        self.trace_map_phase(&stats, &new_entries);
+
+        // ---- Contraction + Reduce phase. ---------------------------------
+        let outcome = match self.config.mode {
+            ExecMode::Recompute => self.run_recompute(),
+            _ => self.run_splice(at, &[], &new_entries)?,
+        };
+        Ok(self.finish_run(
+            stats,
+            outcome,
+            &new_entries,
+            recovery,
+            repair_before,
+            run_span,
+        ))
+    }
+
+    /// Evicts the contiguous split range `[at, at + count)` from the
+    /// *interior* of the window in one bulk splice (0 = oldest), updating
+    /// the output incrementally.
+    ///
+    /// Bursty event-time streams close several epochs at once; the stale
+    /// region they displace need not start at the window's front, which is
+    /// all [`WindowedJob::advance`] can drop. Trees with native interior
+    /// splices ([`TreeKind::supports_splice`]) excise the range in one bulk
+    /// splice; every other aggregator rebuilds the affected keys from the
+    /// post-splice window (work charged to this run's foreground
+    /// contraction breakdown).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::SpliceOutOfRange`] if the range exceeds the window;
+    /// [`JobError::ModeViolation`] for fixed-width (rotating) jobs and for
+    /// append-only (coalescing) jobs, which never evict. The job state is
+    /// unchanged on error.
+    pub fn evict_splits_range(&mut self, at: usize, count: usize) -> Result<RunStats, JobError> {
+        self.check_splice_mode(true)?;
+        if at
+            .checked_add(count)
+            .is_none_or(|end| end > self.window.len())
+        {
+            return Err(JobError::SpliceOutOfRange {
+                at,
+                count,
+                window: self.window.len(),
+            });
+        }
+        let (run_span, recovery, repair_before) = self.begin_run()?;
+
+        // ---- Map phase: nothing maps; the evicted entries leave the window.
+        let removed: Vec<SplitEntry<A>> = self.window.drain(at..at + count).collect();
+        let stats = self.map_phase_stats(&[]);
+        self.trace_map_phase(&stats, &[]);
+
+        // ---- Contraction + Reduce phase. ---------------------------------
+        let outcome = match self.config.mode {
+            ExecMode::Recompute => self.run_recompute(),
+            _ => self.run_splice(at, &removed, &[])?,
+        };
+        Ok(self.finish_run(stats, outcome, &[], recovery, repair_before, run_span))
+    }
+
+    // ------------------------------------------------------------------
+    // Shared run scaffolding (slides and splices)
+    // ------------------------------------------------------------------
+
+    /// Opens this run's trace span and applies its scripted faults
+    /// (recovery is metered apart from the regular work breakdown).
+    /// Returns the span, the recovery accumulator seeded by fault
+    /// handling, and the repair-stats baseline for the end-of-run delta.
+    fn begin_run(&mut self) -> Result<(Option<SpanId>, RecoveryStats, RepairStats), JobError> {
+        let run_span = self.trace.with(|t| {
+            t.set_run(self.run_index);
+            let tr = t.track("engine");
+            t.begin(tr, SpanKind::Run, format!("run #{}", self.run_index))
+        });
+        let mut recovery = RecoveryStats::default();
+        let repair_before = self
+            .cache
+            .as_ref()
+            .map(|c| c.repair_stats())
+            .unwrap_or_default();
+        self.apply_planned_faults(&mut recovery)?;
+        Ok((run_span, recovery, repair_before))
+    }
+
+    /// Map-phase statistics shared by slides and splices: `new_entries`
+    /// were mapped this run, everything else in the (already updated)
+    /// window is reused — except under [`ExecMode::Recompute`], which
+    /// re-maps and re-shuffles the whole window every run.
+    fn map_phase_stats(&self, new_entries: &[SplitEntry<A>]) -> RunStats {
         let mut stats = RunStats {
             run: self.run_index,
             ..Default::default()
@@ -633,21 +795,21 @@ impl<A: MapReduceApp> WindowedJob<A> {
         stats.map_tasks = new_entries.len();
         stats.work.map = new_entries.iter().map(|e| e.map_work).sum();
         stats.shuffle_bytes = new_entries.iter().map(|e| e.output_bytes()).sum();
-
         if self.config.mode == ExecMode::Recompute {
-            // Vanilla re-runs Map over old, unchanged splits and re-shuffles
-            // the entire window.
             stats.map_tasks = self.window.len();
             stats.work.map = self.window.iter().map(|e| e.map_work).sum();
             stats.shuffle_bytes = self.window.iter().map(|e| e.output_bytes()).sum();
         } else {
             stats.map_reused = self.window.len() - new_entries.len();
         }
+        stats
+    }
 
-        // One Map leaf per executed map task, in deterministic task order;
-        // leaf works sum exactly to `stats.work.map`, the shuffle leaf
-        // carries `stats.shuffle_bytes`.
-        trace.with(|t| {
+    /// Emits the map-phase spans and counters: one Map leaf per executed
+    /// map task, in deterministic task order; leaf works sum exactly to
+    /// `stats.work.map`, the shuffle leaf carries `stats.shuffle_bytes`.
+    fn trace_map_phase(&self, stats: &RunStats, new_entries: &[SplitEntry<A>]) {
+        self.trace.with(|t| {
             let tr = t.track("engine");
             let map_span = t.begin(tr, SpanKind::Map, "map");
             let mapped: Vec<(u64, u64, u64)> = if self.config.mode == ExecMode::Recompute {
@@ -672,12 +834,23 @@ impl<A: MapReduceApp> WindowedJob<A> {
             t.add("engine.map_reused", stats.map_reused as u64);
             t.add("engine.shuffle_bytes", stats.shuffle_bytes);
         });
+    }
 
-        // ---- Contraction + Reduce phase. ---------------------------------
-        let outcome = match self.config.mode {
-            ExecMode::Recompute => self.run_recompute(),
-            _ => self.run_incremental(&removed, &new_entries, was_full_buckets)?,
-        };
+    /// Shared tail of every run (slide or splice): folds the contraction
+    /// outcome into `stats`, emits the contraction/reduce/background
+    /// spans, refreshes footprints, charges data movement, runs the
+    /// cluster simulation and cache model, meters recovery and repair,
+    /// closes the run span and bumps the run index.
+    fn finish_run(
+        &mut self,
+        mut stats: RunStats,
+        outcome: PhaseOutcome,
+        new_entries: &[SplitEntry<A>],
+        mut recovery: RecoveryStats,
+        repair_before: RepairStats,
+        run_span: Option<SpanId>,
+    ) -> RunStats {
+        let trace = self.trace.clone();
         stats.work.contraction_fg = outcome.tree_stats.foreground;
         stats.work.contraction_bg = outcome.tree_stats.background;
         stats.nodes_reused = outcome.tree_stats.reused;
@@ -768,7 +941,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
 
         // ---- Cluster simulation (time metric). ---------------------------
         if let Some(sim) = self.config.simulation.clone() {
-            let (fg, bg) = self.build_sim(&sim, &stats, &new_entries, &outcome);
+            let (fg, bg) = self.build_sim(&sim, &stats, new_entries, &outcome);
             stats.sim = Some(fg);
             stats.sim_background = bg;
         }
@@ -836,7 +1009,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
         });
 
         self.run_index += 1;
-        Ok(stats)
+        stats
     }
 
     /// Crashes a memoization-cache node (failure injection): its memory
@@ -990,12 +1163,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
                 window: self.window.len(),
             });
         }
-        let mut fresh = HashSet::new();
-        for split in added {
-            if self.used_split_ids.contains(&split.id().0) || !fresh.insert(split.id().0) {
-                return Err(JobError::DuplicateSplit(split.id().0));
-            }
-        }
+        self.check_fresh_ids(added)?;
         let mode = self.config.mode;
         if mode.is_append_only() && remove_splits != 0 {
             return Err(JobError::ModeViolation(
@@ -1030,6 +1198,98 @@ impl<A: MapReduceApp> WindowedJob<A> {
             }
         }
         Ok(())
+    }
+
+    /// Rejects split ids already used within this job's lifetime (or
+    /// repeated within `added` itself).
+    fn check_fresh_ids(&self, added: &[Split<A::Input>]) -> Result<(), JobError> {
+        let mut fresh = HashSet::new();
+        for split in added {
+            if self.used_split_ids.contains(&split.id().0) || !fresh.insert(split.id().0) {
+                return Err(JobError::DuplicateSplit(split.id().0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Window discipline shared by both interior-splice entry points:
+    /// fixed-width (rotating) windows are positional bucket grids with no
+    /// notion of an interior split range, and append-only (coalescing)
+    /// jobs never evict.
+    fn check_splice_mode(&self, evicting: bool) -> Result<(), JobError> {
+        let mode = self.config.mode;
+        if mode.is_fixed_width() {
+            return Err(JobError::ModeViolation(
+                "fixed-width (rotating) windows are positional: interior splices \
+                 are not defined; use whole-bucket advances"
+                    .into(),
+            ));
+        }
+        if evicting && mode.is_append_only() {
+            return Err(JobError::ModeViolation(
+                "append-only (coalescing) jobs cannot evict splits".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Contraction + reduce for an interior splice: every shard forwards
+    /// the splice to its affected keys' aggregators (or rebuilds them) and
+    /// reduces the dirty keys, in parallel like [`Self::run_incremental`].
+    /// The window must already reflect the splice.
+    fn run_splice(
+        &mut self,
+        at: usize,
+        removed: &[SplitEntry<A>],
+        added: &[SplitEntry<A>],
+    ) -> Result<PhaseOutcome, JobError> {
+        let cx = SpliceCx {
+            app: &*self.app,
+            combiner: &self.combiner,
+            config: &self.config,
+            window: &self.window,
+            at,
+            removed,
+            added,
+            kind: self
+                .config
+                .mode
+                .tree_kind()
+                .expect("incremental mode has a tree"),
+        };
+        let results = self
+            .runtime
+            .map_mut(&mut self.shards, |p, shard| shard.run_splice(p, &cx));
+        self.fold_shard_outcomes(results)
+    }
+
+    /// Folds shard outcomes in shard-index order — which keeps all
+    /// metering deterministic for any thread count — and applies the
+    /// output deltas to the merged read view.
+    fn fold_shard_outcomes(
+        &mut self,
+        results: Vec<Result<ShardOutcome<A>, JobError>>,
+    ) -> Result<PhaseOutcome, JobError> {
+        let mut outcome = PhaseOutcome::default();
+        for result in results {
+            let shard_out = result?;
+            outcome.keys_reduced += shard_out.keys_reduced;
+            outcome.keys_reused += shard_out.keys_reused;
+            outcome.reduce_work += shard_out.work.reduce_work;
+            outcome.tree_stats.merge_from(&shard_out.tree_stats);
+            outcome.per_partition.push(shard_out.work);
+            for (key, value) in shard_out.deltas {
+                match value {
+                    Some(out) => {
+                        self.output.insert(key, out);
+                    }
+                    None => {
+                        self.output.remove(&key);
+                    }
+                }
+            }
+        }
+        Ok(outcome)
     }
 
     /// Executes Map tasks for `splits` on the runtime's worker pool, with
@@ -1097,27 +1357,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
         let results = self
             .runtime
             .map_mut(&mut self.shards, |p, shard| shard.run_incremental(p, &cx));
-
-        let mut outcome = PhaseOutcome::default();
-        for result in results {
-            let shard_out = result?;
-            outcome.keys_reduced += shard_out.keys_reduced;
-            outcome.keys_reused += shard_out.keys_reused;
-            outcome.reduce_work += shard_out.work.reduce_work;
-            outcome.tree_stats.merge_from(&shard_out.tree_stats);
-            outcome.per_partition.push(shard_out.work);
-            for (key, value) in shard_out.deltas {
-                match value {
-                    Some(out) => {
-                        self.output.insert(key, out);
-                    }
-                    None => {
-                        self.output.remove(&key);
-                    }
-                }
-            }
-        }
-        Ok(outcome)
+        self.fold_shard_outcomes(results)
     }
 
     /// Builds and runs the cluster simulation for this run.
@@ -1353,27 +1593,7 @@ impl<A: MapReduceApp> PartitionShard<A> {
         } else {
             self.slide(p, cx, &mut tree_stats)?
         };
-
-        // Reduce the dirty keys; every other output is reused untouched.
-        let mut reduce_work = 0u64;
-        for key in &dirty {
-            let Some(tree) = self.trees.get_mut(key) else {
-                continue;
-            };
-            if tree.is_empty() {
-                self.trees.remove(key);
-                self.output.remove(key);
-                outcome.deltas.push((key.clone(), None));
-                continue;
-            }
-            let parts = tree.reduce_parts();
-            let refs: Vec<&A::Value> = parts.iter().map(|a| a.as_ref()).collect();
-            reduce_work += cx.app.reduce_cost(key, &refs);
-            outcome.keys_reduced += 1;
-            let out = cx.app.reduce(key, &refs);
-            self.output.insert(key.clone(), out.clone());
-            outcome.deltas.push((key.clone(), Some(out)));
-        }
+        let reduce_work = self.reduce_dirty(cx.app, &dirty, &mut outcome);
 
         // Split mode: background pre-processing for the next run.
         if cx.split_processing {
@@ -1388,6 +1608,164 @@ impl<A: MapReduceApp> PartitionShard<A> {
         outcome.work.shuffle_bytes = cx.added.iter().map(|e| e.out_bytes[p]).sum();
         outcome.tree_stats = tree_stats;
         Ok(outcome)
+    }
+
+    /// Reduces the dirty keys into this shard's output slice, recording
+    /// deltas; keys whose window emptied are dropped. Every other output
+    /// is reused untouched. Returns the metered reduce work.
+    fn reduce_dirty(&mut self, app: &A, dirty: &[A::Key], outcome: &mut ShardOutcome<A>) -> u64 {
+        let mut reduce_work = 0u64;
+        for key in dirty {
+            let Some(tree) = self.trees.get_mut(key) else {
+                continue;
+            };
+            if tree.is_empty() {
+                self.trees.remove(key);
+                self.output.remove(key);
+                outcome.deltas.push((key.clone(), None));
+                continue;
+            }
+            let parts = tree.reduce_parts();
+            let refs: Vec<&A::Value> = parts.iter().map(|a| a.as_ref()).collect();
+            reduce_work += app.reduce_cost(key, &refs);
+            outcome.keys_reduced += 1;
+            let out = app.reduce(key, &refs);
+            self.output.insert(key.clone(), out.clone());
+            outcome.deltas.push((key.clone(), Some(out)));
+        }
+        reduce_work
+    }
+
+    /// One shard's interior bulk splice: per-key splices (or rebuilds)
+    /// followed by a dirty-key reduce. Splices run entirely in the
+    /// foreground — split-mode background pre-processing only applies to
+    /// the bucket-cadenced slide path.
+    fn run_splice(&mut self, p: usize, cx: &SpliceCx<'_, A>) -> Result<ShardOutcome<A>, JobError> {
+        let live_before = self.trees.len();
+        let mut outcome = ShardOutcome::default();
+        let mut tree_stats = UpdateStats::default();
+        let dirty = self.splice(p, cx, &mut tree_stats)?;
+        let reduce_work = self.reduce_dirty(cx.app, &dirty, &mut outcome);
+
+        outcome.keys_reused = live_before.saturating_sub(dirty.len());
+        outcome.work.fg_work = tree_stats.foreground.work;
+        outcome.work.bg_work = tree_stats.background.work;
+        outcome.work.reduce_work = reduce_work;
+        outcome.work.memo_read_bytes = tree_stats.bytes_read;
+        outcome.work.shuffle_bytes = cx.added.iter().map(|e| e.out_bytes[p]).sum();
+        outcome.tree_stats = tree_stats;
+        Ok(outcome)
+    }
+
+    /// Applies an interior splice to every affected key of this shard.
+    ///
+    /// A key's leaf-space splice position is its occurrence count in the
+    /// unchanged window prefix `window[..at]` — identical before and after
+    /// the splice, for insertions and evictions alike. Keys whose
+    /// aggregator has no native splice ([`TreeError::SpliceUnsupported`])
+    /// are rebuilt from the post-splice window; the rebuild work flows
+    /// through the same [`TreeCx`], so it lands in this run's foreground
+    /// breakdown rather than vanishing from the work model.
+    fn splice(
+        &mut self,
+        p: usize,
+        cx: &SpliceCx<'_, A>,
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<A::Key>, JobError> {
+        // Per-key inserted values (window-ordered) and evicted occurrence
+        // counts. Engine callers pass one or the other, never both.
+        let mut insertions: BTreeMap<A::Key, Vec<Arc<A::Value>>> = BTreeMap::new();
+        for entry in cx.added {
+            for (key, value) in &entry.by_partition[p] {
+                insertions
+                    .entry(key.clone())
+                    .or_default()
+                    .push(Arc::new(value.clone()));
+            }
+        }
+        let mut evictions: BTreeMap<A::Key, usize> = BTreeMap::new();
+        for entry in cx.removed {
+            for key in entry.by_partition[p].keys() {
+                *evictions.entry(key.clone()).or_default() += 1;
+            }
+        }
+
+        // Leaf-space offset of the splice point for every touched key.
+        let mut prefix: HashMap<A::Key, usize> = insertions
+            .keys()
+            .chain(evictions.keys())
+            .map(|k| (k.clone(), 0))
+            .collect();
+        for entry in cx.window.iter().take(cx.at) {
+            for key in entry.by_partition[p].keys() {
+                if let Some(n) = prefix.get_mut(key) {
+                    *n += 1;
+                }
+            }
+        }
+
+        let mut dirty: Vec<A::Key> = prefix.keys().cloned().collect();
+        dirty.sort_unstable();
+
+        for key in &dirty {
+            let leaf_at = prefix.get(key).copied().unwrap_or(0);
+            let values = insertions.get(key).cloned().unwrap_or_default();
+            let evict = evictions.get(key).copied().unwrap_or(0);
+            let tree = self
+                .trees
+                .entry(key.clone())
+                .or_insert_with(|| Self::fresh_tree(cx.kind, cx.config.mode));
+            let mut tree_cx = TreeCx::new(cx.combiner, key, stats);
+            if tree.is_empty() && evict == 0 {
+                // Brand-new key: the splice degenerates to an append into
+                // an empty window, which the regular slide path builds.
+                let adds: Vec<Option<Arc<A::Value>>> = values.into_iter().map(Some).collect();
+                tree.advance(&mut tree_cx, 0, adds)?;
+                continue;
+            }
+            let spliced = if evict > 0 {
+                tree.evict_range(&mut tree_cx, leaf_at, evict)
+            } else {
+                tree.insert_at(&mut tree_cx, leaf_at, values)
+            };
+            match spliced {
+                Ok(()) => {}
+                Err(TreeError::SpliceUnsupported { .. }) => {
+                    // Evicted leaves leave the window for good; the rebuild
+                    // below re-notes every surviving leaf it re-adds.
+                    if evict > 0 {
+                        tree_cx.note_removed(evict as u64);
+                    }
+                    let leaves: Vec<Option<Arc<A::Value>>> = cx
+                        .window
+                        .iter()
+                        .filter_map(|e| e.by_partition[p].get(key))
+                        .map(|v| Some(Arc::new(v.clone())))
+                        .collect();
+                    tree.rebuild(&mut tree_cx, leaves);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // The strawman visits every memoized sub-computation on any
+        // change, splices included (paper §2/§9): clean keys re-pair
+        // entirely from the memo cache.
+        if cx.kind == TreeKind::Strawman {
+            let dirty_set: HashSet<&A::Key> = dirty.iter().collect();
+            let clean: Vec<A::Key> = self
+                .trees
+                .keys()
+                .filter(|k| !dirty_set.contains(k))
+                .cloned()
+                .collect();
+            for key in clean {
+                let tree = self.trees.get_mut(&key).expect("live key");
+                let mut tree_cx = TreeCx::new(cx.combiner, &key, stats);
+                tree.advance(&mut tree_cx, 0, Vec::new())?;
+            }
+        }
+        Ok(dirty)
     }
 
     /// Variable-width / append-only / strawman slide of this shard.
@@ -1704,6 +2082,184 @@ mod tests {
                 .unwrap();
             assert_eq!(job.output(), &reference_counts(&corpus), "{mode}");
         }
+    }
+
+    /// Every mode with a variable-width window: interior splices are
+    /// defined for all of these (fixed-width rotating geometry is not).
+    fn variable_width_modes() -> Vec<ExecMode> {
+        vec![
+            ExecMode::Recompute,
+            ExecMode::Strawman,
+            ExecMode::slider_folding(),
+            ExecMode::slider_randomized(),
+            ExecMode::slider_two_stack(),
+            ExecMode::slider_daba(),
+            ExecMode::slider_daba_lite(),
+        ]
+    }
+
+    #[test]
+    fn interior_insert_matches_reference_for_every_variable_width_mode() {
+        let corpus = ["a b c", "b c d", "c d e", "a a b", "e f", "f g a"];
+        let late = ["z a", "b z"];
+        let append_only = [
+            ExecMode::slider_coalescing(false),
+            ExecMode::slider_coalescing(true),
+        ];
+        for mode in variable_width_modes().into_iter().chain(append_only) {
+            let config = JobConfig::new(mode).with_partitions(3);
+            let mut job = WindowedJob::new(WordCount, config).unwrap();
+            job.initial_run(make_splits(0, lines(&corpus), 1)).unwrap();
+
+            // Two late splits land between window positions 1 and 2.
+            let stats = job
+                .insert_splits_at(2, make_splits(100, lines(&late), 1))
+                .unwrap();
+            let logical = [
+                "a b c", "b c d", "z a", "b z", "c d e", "a a b", "e f", "f g a",
+            ];
+            assert_eq!(job.output(), &reference_counts(&logical), "{mode}");
+            assert_eq!(job.window_splits(), 8, "{mode}");
+            assert_eq!(stats.run, 1, "{mode}: a splice is a full run");
+            assert_eq!(
+                stats.map_tasks,
+                if mode == ExecMode::Recompute { 8 } else { 2 },
+                "{mode}: only the late splits map incrementally"
+            );
+
+            // Ordinary slides keep working on the spliced window.
+            if !mode.is_append_only() {
+                job.advance(2, make_splits(200, lines(&["q q"]), 1))
+                    .unwrap();
+                let after = ["z a", "b z", "c d e", "a a b", "e f", "f g a", "q q"];
+                assert_eq!(
+                    job.output(),
+                    &reference_counts(&after),
+                    "{mode}: slide after splice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_evict_matches_reference_for_every_variable_width_mode() {
+        let corpus = ["a b c", "b c d", "c d e", "a a b", "e f", "f g a"];
+        for mode in variable_width_modes() {
+            let config = JobConfig::new(mode).with_partitions(3);
+            let mut job = WindowedJob::new(WordCount, config).unwrap();
+            job.initial_run(make_splits(0, lines(&corpus), 1)).unwrap();
+
+            // Bulk-evict window positions [2, 5) from the interior. Every
+            // occurrence of "e" goes with them, so the key must vanish.
+            job.evict_splits_range(2, 3).unwrap();
+            let logical = ["a b c", "b c d", "f g a"];
+            assert_eq!(job.output(), &reference_counts(&logical), "{mode}");
+            assert_eq!(job.window_splits(), 3, "{mode}");
+            assert_eq!(job.output().get("e"), None, "{mode}: emptied key dropped");
+
+            // Ordinary slides keep working on the spliced window.
+            job.advance(1, make_splits(200, lines(&["q q"]), 1))
+                .unwrap();
+            let after = ["b c d", "f g a", "q q"];
+            assert_eq!(
+                job.output(),
+                &reference_counts(&after),
+                "{mode}: slide after evict"
+            );
+        }
+    }
+
+    #[test]
+    fn splice_discipline_and_bounds_are_enforced() {
+        // Fixed-width windows reject interior splices outright.
+        let config = JobConfig::new(ExecMode::slider_rotating(false))
+            .with_partitions(2)
+            .with_buckets(4, 1);
+        let mut job = WindowedJob::new(WordCount, config).unwrap();
+        job.initial_run(make_splits(0, lines(&["a", "b", "c", "d"]), 1))
+            .unwrap();
+        assert!(matches!(
+            job.insert_splits_at(1, make_splits(100, lines(&["z"]), 1)),
+            Err(JobError::ModeViolation(_))
+        ));
+        assert!(matches!(
+            job.evict_splits_range(1, 1),
+            Err(JobError::ModeViolation(_))
+        ));
+
+        // Append-only windows admit late interior inserts (via the rebuild
+        // fallback — coalescing trees keep no leaves) but never evict.
+        let config = JobConfig::new(ExecMode::slider_coalescing(false)).with_partitions(2);
+        let mut job = WindowedJob::new(WordCount, config).unwrap();
+        job.initial_run(make_splits(0, lines(&["a", "b"]), 1))
+            .unwrap();
+        job.insert_splits_at(1, make_splits(100, lines(&["z"]), 1))
+            .unwrap();
+        assert_eq!(job.output().get("z"), Some(&1));
+        assert!(matches!(
+            job.evict_splits_range(0, 1),
+            Err(JobError::ModeViolation(_))
+        ));
+
+        // Out-of-range splices are typed errors that leave the job
+        // untouched; so are reused split ids.
+        let config = JobConfig::new(ExecMode::slider_folding()).with_partitions(2);
+        let mut job = WindowedJob::new(WordCount, config).unwrap();
+        job.initial_run(make_splits(0, lines(&["a", "b"]), 1))
+            .unwrap();
+        let before = job.output().clone();
+        assert!(matches!(
+            job.insert_splits_at(3, make_splits(100, lines(&["z"]), 1)),
+            Err(JobError::SpliceOutOfRange {
+                at: 3,
+                count: 1,
+                window: 2
+            })
+        ));
+        assert!(matches!(
+            job.evict_splits_range(1, 2),
+            Err(JobError::SpliceOutOfRange {
+                at: 1,
+                count: 2,
+                window: 2
+            })
+        ));
+        assert!(matches!(
+            job.evict_splits_range(usize::MAX, 2),
+            Err(JobError::SpliceOutOfRange { .. })
+        ));
+        assert!(matches!(
+            job.insert_splits_at(0, make_splits(0, lines(&["z"]), 1)),
+            Err(JobError::DuplicateSplit(0))
+        ));
+        assert_eq!(job.output(), &before);
+        assert_eq!(job.window_splits(), 2);
+    }
+
+    #[test]
+    fn native_splices_beat_rebuild_fallback_on_contraction_work() {
+        // The same interior insert through a folding tree (native splice)
+        // and a two-stack aggregator (rebuild fallback): outputs agree,
+        // but the fallback pays for re-merging the whole window.
+        let corpus: Vec<String> = (0..64).map(|i| format!("k{} every", i % 5)).collect();
+        let run = |mode: ExecMode| {
+            let mut job =
+                WindowedJob::new(WordCount, JobConfig::new(mode).with_partitions(1)).unwrap();
+            job.initial_run(make_splits(0, corpus.clone(), 1)).unwrap();
+            let stats = job
+                .insert_splits_at(7, make_splits(100, lines(&["k1 every"]), 1))
+                .unwrap();
+            (job, stats)
+        };
+        let (native_job, native) = run(ExecMode::slider_folding());
+        let (fallback_job, fallback) = run(ExecMode::slider_two_stack());
+        assert_eq!(native_job.output(), fallback_job.output());
+        assert!(
+            native.work.contraction_fg.merges < fallback.work.contraction_fg.merges,
+            "native splice merges {} should undercut rebuild fallback {}",
+            native.work.contraction_fg.merges,
+            fallback.work.contraction_fg.merges
+        );
     }
 
     #[test]

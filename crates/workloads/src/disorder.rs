@@ -1,0 +1,214 @@
+//! Disordered event-time streams: bounded shuffles, late stragglers, and
+//! bursty time gaps.
+//!
+//! The paper's evaluation (like the original Hadoop fork) assumes records
+//! arrive in window order. These generators produce the streams that break
+//! that assumption, for exercising the event-time path end to end:
+//!
+//! * [`disordered_stream`] — arrival order shuffled, but every record's
+//!   *time displacement* stays within a bound, so a watermark with that
+//!   lateness absorbs the disorder entirely;
+//! * [`straggler_stream`] — a few records additionally arrive far beyond
+//!   the bound (the late-splice / drop path);
+//! * [`bursty_stream`] — dense bursts separated by large event-time gaps
+//!   (multi-epoch closes and whole-window evictions).
+//!
+//! Every generator is seeded and fully deterministic, and each stream's
+//! in-order reference is recovered with [`sorted_twin`]: a disordered
+//! stream fed through an event-time window must produce output
+//! bit-identical to its sorted twin.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One stream record: `(event_time, sequence_number, line)`. The sequence
+/// number is unique per stream and breaks ties between equal times, so a
+/// stream and its [`sorted_twin`] are permutations of the same records.
+pub type TimedLine = (u64, u64, String);
+
+/// Configuration shared by the disorder generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisorderConfig {
+    /// Records to generate.
+    pub records: usize,
+    /// Mean event-time gap between consecutive records (actual gaps are
+    /// uniform in `0..=2 * mean_step`).
+    pub mean_step: u64,
+    /// Arrival-jitter bound: no record's event time trails the maximum
+    /// event time seen at its arrival by more than this (the stream is
+    /// "in order up to `lateness`").
+    pub lateness: u64,
+    /// Distinct words to draw lines from.
+    pub vocabulary: usize,
+}
+
+impl Default for DisorderConfig {
+    fn default() -> Self {
+        DisorderConfig {
+            records: 256,
+            mean_step: 2,
+            lateness: 16,
+            vocabulary: 24,
+        }
+    }
+}
+
+/// Generates the in-order base stream: strictly ordered times, short lines
+/// over a small vocabulary.
+fn base_stream(seed: u64, config: &DisorderConfig) -> Vec<TimedLine> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd15c);
+    let mut time = 0u64;
+    (0..config.records as u64)
+        .map(|seq| {
+            time += rng.gen_range(0..=config.mean_step * 2);
+            let words = rng.gen_range(1..=3);
+            let line = (0..words)
+                .map(|_| format!("w{}", rng.gen_range(0..config.vocabulary.max(1))))
+                .collect::<Vec<_>>()
+                .join(" ");
+            (time, seq, line)
+        })
+        .collect()
+}
+
+/// Shuffles `stream`'s arrival order so that every record's displacement
+/// stays within `bound`: each record arrives by the time the maximum event
+/// time seen exceeds its own by `bound`. Records are reordered by a
+/// jittered sort key `time + jitter(0..=bound)`, which guarantees the
+/// property (any earlier arrival's event time is at most the record's own
+/// time plus `bound`).
+fn jitter_arrivals(stream: &mut [TimedLine], seed: u64, bound: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1a7e);
+    let mut keyed: Vec<(u64, TimedLine)> = stream
+        .iter()
+        .cloned()
+        .map(|r| (r.0 + rng.gen_range(0..=bound), r))
+        .collect();
+    keyed.sort_by_key(|a| (a.0, a.1 .1));
+    for (slot, (_, record)) in stream.iter_mut().zip(keyed) {
+        *slot = record;
+    }
+}
+
+/// A stream whose arrival order is shuffled within `config.lateness`: fed
+/// to an event-time window with that lateness bound, no record is ever
+/// late, and the output is bit-identical to the [`sorted_twin`].
+pub fn disordered_stream(seed: u64, config: &DisorderConfig) -> Vec<TimedLine> {
+    let mut stream = base_stream(seed, config);
+    jitter_arrivals(&mut stream, seed, config.lateness);
+    stream
+}
+
+/// A disordered stream where `stragglers` early records additionally
+/// arrive at the very end — displaced far beyond the lateness bound, so
+/// they exercise the late-admission (or drop) path. The stragglers are
+/// drawn from the first half of the stream and keep their event times.
+pub fn straggler_stream(seed: u64, config: &DisorderConfig, stragglers: usize) -> Vec<TimedLine> {
+    let mut stream = disordered_stream(seed, config);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57a6);
+    let half = (stream.len() / 2).max(1);
+    let stragglers = stragglers.min(half);
+    for _ in 0..stragglers {
+        let pick = rng.gen_range(0..half.min(stream.len()));
+        let record = stream.remove(pick);
+        stream.push(record);
+    }
+    stream
+}
+
+/// A disordered stream of dense bursts separated by `gap` event-time
+/// units: every `burst_len` records the clock jumps, so windows sized in
+/// epochs age out wholesale between bursts. Arrival order is shuffled
+/// within `config.lateness`, like [`disordered_stream`].
+pub fn bursty_stream(
+    seed: u64,
+    config: &DisorderConfig,
+    burst_len: usize,
+    gap: u64,
+) -> Vec<TimedLine> {
+    let mut stream = base_stream(seed, config);
+    let burst_len = burst_len.max(1);
+    let mut shift = 0u64;
+    for (i, record) in stream.iter_mut().enumerate() {
+        if i > 0 && i % burst_len == 0 {
+            shift += gap;
+        }
+        record.0 += shift;
+    }
+    jitter_arrivals(&mut stream, seed, config.lateness);
+    stream
+}
+
+/// The in-order reference of a stream: the same records sorted by
+/// `(time, seq)`.
+pub fn sorted_twin(stream: &[TimedLine]) -> Vec<TimedLine> {
+    let mut twin = stream.to_vec();
+    twin.sort_by_key(|a| (a.0, a.1));
+    twin
+}
+
+/// The largest time displacement in `stream`: the maximum, over all
+/// records, of (highest event time seen at arrival − own event time).
+/// A stream is "in order up to `b`" exactly when this is at most `b`.
+pub fn max_displacement(stream: &[TimedLine]) -> u64 {
+    let mut max_time = 0u64;
+    let mut worst = 0u64;
+    for &(time, _, _) in stream {
+        max_time = max_time.max(time);
+        worst = worst.max(max_time - time);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let cfg = DisorderConfig::default();
+        assert_eq!(disordered_stream(7, &cfg), disordered_stream(7, &cfg));
+        assert_eq!(straggler_stream(7, &cfg, 3), straggler_stream(7, &cfg, 3));
+        assert_eq!(
+            bursty_stream(7, &cfg, 32, 1_000),
+            bursty_stream(7, &cfg, 32, 1_000)
+        );
+        assert_ne!(disordered_stream(7, &cfg), disordered_stream(8, &cfg));
+    }
+
+    #[test]
+    fn disorder_is_real_but_bounded() {
+        let cfg = DisorderConfig::default();
+        let stream = disordered_stream(3, &cfg);
+        let twin = sorted_twin(&stream);
+        assert_ne!(stream, twin, "the shuffle must actually disorder");
+        assert!(max_displacement(&stream) <= cfg.lateness);
+        assert_eq!(max_displacement(&twin), 0);
+        // Same records, different arrival order.
+        let mut a = stream.clone();
+        a.sort_by_key(|x| (x.0, x.1));
+        assert_eq!(a, twin);
+    }
+
+    #[test]
+    fn stragglers_exceed_the_bound() {
+        let cfg = DisorderConfig::default();
+        let stream = straggler_stream(11, &cfg, 4);
+        assert!(max_displacement(&stream) > cfg.lateness);
+        assert_eq!(
+            sorted_twin(&stream),
+            sorted_twin(&disordered_stream(11, &cfg))
+        );
+    }
+
+    #[test]
+    fn bursts_are_separated_by_the_gap() {
+        let cfg = DisorderConfig::default();
+        let gap = 50_000;
+        let stream = bursty_stream(5, &cfg, 64, gap);
+        let twin = sorted_twin(&stream);
+        let jumps = twin.windows(2).filter(|w| w[1].0 - w[0].0 >= gap).count();
+        assert_eq!(jumps, (cfg.records - 1) / 64, "one jump per burst break");
+        assert!(max_displacement(&stream) <= cfg.lateness);
+    }
+}
