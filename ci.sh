@@ -30,6 +30,16 @@ cargo test -q -p slider-bench --test integration_trace
 echo "==> event time: disordered streams are bit-identical to their sorted twins"
 cargo test -q -p slider-bench --test integration_event_time
 
+echo "==> serve: multi-tenant service determinism + standalone-twin equality"
+cargo test -q -p slider-bench --test integration_serve
+
+echo "==> serve: dashboard output is byte-identical across runs and thread counts"
+serve_tmp="$(mktemp -d)"
+cargo run -q --release -p slider-bench --example serve_dashboard > "$serve_tmp/a.txt"
+SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example serve_dashboard > "$serve_tmp/b.txt"
+cmp "$serve_tmp/a.txt" "$serve_tmp/b.txt"
+rm -rf "$serve_tmp"
+
 echo "==> trace: same-seed exports are byte-identical"
 trace_tmp="$(mktemp -d)"
 shootout_tmp="$(mktemp -d)"

@@ -1,0 +1,125 @@
+//! Shared simulated-cluster clock.
+//!
+//! The simulator itself is stateless — each [`simulate`](crate::simulate)
+//! call reports a makespan and forgets it. A long-running service that
+//! multiplexes many jobs over one simulated cluster needs the opposite: a
+//! single clock that accumulates virtual time as runs complete, so
+//! "cluster uptime" and per-tenant run timestamps come from one place and
+//! stay identical across host thread counts.
+//!
+//! [`SimClock`] is that accumulator; [`SharedClock`] is the cloneable
+//! handle engines hold. Virtual seconds only ever advance by explicit
+//! [`SharedClock::advance`] calls (there is no wall-clock coupling), so a
+//! run schedule replayed with the same inputs advances the clock through
+//! the same sequence of instants — bit-identical, because the f64 sums
+//! happen in the same order.
+
+use std::sync::{Arc, Mutex};
+
+/// Accumulated virtual time of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimClock {
+    /// Virtual seconds elapsed since the cluster came up.
+    pub seconds: f64,
+    /// Number of advances applied (one per completed run).
+    pub advances: u64,
+}
+
+impl SimClock {
+    /// A clock at virtual time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Advances the clock by `seconds` of virtual time (negative or
+    /// non-finite advances are ignored — a run cannot take the cluster
+    /// back in time).
+    pub fn advance(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.seconds += seconds;
+        }
+        self.advances += 1;
+    }
+}
+
+/// Cloneable handle to a [`SimClock`] shared by every job on one simulated
+/// cluster. All clones advance and read the same underlying clock.
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock {
+    inner: Arc<Mutex<SimClock>>,
+}
+
+impl SharedClock {
+    /// A fresh shared clock at virtual time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedClock::default()
+    }
+
+    /// Advances the shared clock by `seconds` of virtual time.
+    pub fn advance(&self, seconds: f64) {
+        self.lock().advance(seconds);
+    }
+
+    /// Current virtual time in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.lock().seconds
+    }
+
+    /// Number of advances applied so far.
+    #[must_use]
+    pub fn advances(&self) -> u64 {
+        self.lock().advances
+    }
+
+    /// A point-in-time copy of the clock state.
+    #[must_use]
+    pub fn snapshot(&self) -> SimClock {
+        *self.lock()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimClock> {
+        self.inner.lock().expect("sim clock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_accumulate() {
+        let clock = SharedClock::new();
+        clock.advance(1.5);
+        clock.advance(2.5);
+        assert_eq!(clock.seconds(), 4.0);
+        assert_eq!(clock.advances(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedClock::new();
+        let b = a.clone();
+        a.advance(3.0);
+        assert_eq!(b.seconds(), 3.0);
+        b.advance(1.0);
+        assert_eq!(
+            a.snapshot(),
+            SimClock {
+                seconds: 4.0,
+                advances: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bogus_advances_count_but_do_not_move_time() {
+        let clock = SharedClock::new();
+        clock.advance(-5.0);
+        clock.advance(f64::NAN);
+        assert_eq!(clock.seconds(), 0.0);
+        assert_eq!(clock.advances(), 2);
+    }
+}

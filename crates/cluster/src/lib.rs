@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 mod fault;
 mod machine;
 mod scheduler;
@@ -33,6 +34,7 @@ mod simulator;
 mod task;
 mod topology;
 
+pub use clock::{SharedClock, SimClock};
 pub use fault::{FaultPlan, MachineCrash, Slowdown};
 pub use machine::{Machine, MachineId, MachineSpec};
 pub use scheduler::{PendingTask, Scheduler, SchedulerPolicy};

@@ -76,6 +76,7 @@
 mod coalescing;
 mod combiner;
 mod daba;
+mod dgim;
 mod error;
 mod folding;
 mod hash;
@@ -90,6 +91,7 @@ mod tree;
 pub use coalescing::CoalescingTree;
 pub use combiner::{Combiner, FnCombiner, Reducer};
 pub use daba::{DabaLiteTree, DabaTree, TwoStackTree};
+pub use dgim::SlidingWindowCounter;
 pub use error::TreeError;
 pub use folding::FoldingTree;
 pub use hash::{hash_one, hash_pair, StableHasher};

@@ -28,12 +28,14 @@
 mod gc;
 mod master;
 mod repair;
+mod shared;
 mod store;
 
 pub use gc::GcPolicy;
 pub use master::{
-    CacheConfig, CacheError, CacheStats, DistributedCache, LatencyModel, NodeId, ObjectId,
-    ReadOutcome, ReadSource,
+    CacheConfig, CacheError, CacheStats, DistributedCache, LatencyModel, NamespaceStats, NodeId,
+    ObjectId, ReadOutcome, ReadSource,
 };
 pub use repair::RepairStats;
+pub use shared::SharedCache;
 pub use store::InMemoryStore;

@@ -21,6 +21,34 @@ pub struct NodeId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u64);
 
+impl ObjectId {
+    /// Builds a tenant-scoped id by packing a 32-bit namespace above a
+    /// 32-bit local id. Namespace `0` is the legacy/standalone space:
+    /// `ObjectId::namespaced(0, n) == ObjectId(n)`, so single-job callers
+    /// that construct raw `ObjectId`s stay bit-compatible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` does not fit in 32 bits.
+    #[must_use]
+    pub fn namespaced(namespace: u32, local: u64) -> ObjectId {
+        assert!(local < (1 << 32), "local object id {local} exceeds 32 bits");
+        ObjectId((u64::from(namespace) << 32) | local)
+    }
+
+    /// The namespace this id belongs to (`0` for raw/legacy ids).
+    #[must_use]
+    pub fn namespace(self) -> u32 {
+        u32::try_from(self.0 >> 32).expect("u64 >> 32 fits in u32")
+    }
+
+    /// The id within its namespace.
+    #[must_use]
+    pub fn local(self) -> u64 {
+        self.0 & 0xffff_ffff
+    }
+}
+
 /// Latency model of the storage tiers, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
@@ -194,6 +222,27 @@ impl CacheStats {
     }
 }
 
+/// Per-namespace accounting: what one tenant's objects are doing to the
+/// shared cache. Counter fields accumulate forever; the `live_*` fields
+/// are a point-in-time census of the index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NamespaceStats {
+    /// Objects stored into this namespace (including re-puts).
+    pub puts: u64,
+    /// Bytes stored into this namespace.
+    pub put_bytes: u64,
+    /// This namespace's objects pushed out of a memory tier by LRU
+    /// pressure — from *any* tenant's puts, so a noisy neighbor shows up
+    /// in its victims' numbers.
+    pub evictions: u64,
+    /// Objects of this namespace reclaimed by garbage collection.
+    pub collected: u64,
+    /// Objects currently indexed under this namespace.
+    pub live_objects: u64,
+    /// Bytes currently indexed under this namespace.
+    pub live_bytes: u64,
+}
+
 /// Checksum of an object's content, modeled as FNV-1a over the identity
 /// the simulation tracks (id, size, producing epoch) — payloads are
 /// size-only here, so this is the strongest integrity tag available.
@@ -252,6 +301,10 @@ pub struct DistributedCache {
     nodes: Vec<Node>,
     index: HashMap<ObjectId, ObjectMeta>,
     stats: CacheStats,
+    /// Per-namespace counters (puts, evictions, collections). Live
+    /// object/byte censuses are computed from the index on demand so
+    /// index-rebuilding fault paths cannot leave these inconsistent.
+    namespaces: BTreeMap<u32, NamespaceStats>,
     repair: RepairStats,
     /// Objects awaiting background re-replication, drained in id order so
     /// repair work is deterministic.
@@ -289,6 +342,7 @@ impl DistributedCache {
             nodes,
             index: HashMap::new(),
             stats: CacheStats::default(),
+            namespaces: BTreeMap::new(),
             repair: RepairStats::default(),
             repair_queue: BTreeSet::new(),
             trace: TraceSink::disabled(),
@@ -371,7 +425,15 @@ impl DistributedCache {
         }
 
         if self.config.memory_enabled && self.nodes[home.0].alive {
-            self.nodes[home.0].memory.put(object.0, bytes);
+            // LRU pressure on the home node may push other objects out of
+            // memory; bill each victim's namespace so noisy neighbors are
+            // visible in per-tenant accounting.
+            for victim in self.nodes[home.0].memory.put(object.0, bytes) {
+                self.namespaces
+                    .entry(ObjectId(victim).namespace())
+                    .or_default()
+                    .evictions += 1;
+            }
         }
         let mut live_copies = 0usize;
         for &replica in &replicas {
@@ -397,6 +459,9 @@ impl DistributedCache {
                 checksum,
             },
         );
+        let ns = self.namespaces.entry(object.namespace()).or_default();
+        ns.puts += 1;
+        ns.put_bytes += bytes;
         self.trace.with(|t| {
             let tr = t.track(TRACE_TRACK);
             let s = t.leaf_seconds(tr, SpanKind::CacheWrite, format!("put {}", object.0), 0.0);
@@ -676,12 +741,69 @@ impl DistributedCache {
         };
         let n = victims.len() as u64;
         for victim in victims {
+            self.namespaces
+                .entry(victim.namespace())
+                .or_default()
+                .collected += 1;
             self.delete(victim);
         }
         self.stats.collected += n;
         self.trace.with(|t| {
             let tr = t.track(TRACE_TRACK);
             let s = t.leaf_seconds(tr, SpanKind::Gc, format!("gc epoch {current_epoch}"), 0.0);
+            t.arg(s, "collected", n);
+            t.add("dcache.collected", n);
+        });
+        n
+    }
+
+    /// Runs garbage collection for a single namespace: like
+    /// [`DistributedCache::collect_garbage`], but only `namespace`'s
+    /// objects are candidates, and an [`GcPolicy::Aggressive`] byte budget
+    /// is applied to that namespace's footprint alone. Tenants sharing one
+    /// cache advance through epochs independently, so each must sweep only
+    /// its own window — a global sweep at one tenant's epoch would reap
+    /// another tenant's still-live objects.
+    pub fn collect_garbage_scoped(&mut self, namespace: u32, current_epoch: u64) -> u64 {
+        let victims: Vec<ObjectId> = match self.config.gc {
+            GcPolicy::Disabled => Vec::new(),
+            GcPolicy::WindowBased { horizon } => {
+                let mut victims: Vec<ObjectId> = self
+                    .index
+                    .iter()
+                    .filter(|(id, m)| {
+                        id.namespace() == namespace && m.epoch + horizon < current_epoch
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                victims.sort_unstable();
+                victims
+            }
+            GcPolicy::Aggressive { max_total_bytes } => {
+                let entries: Vec<(u64, ObjectId, u64)> = self
+                    .index
+                    .iter()
+                    .filter(|(id, _)| id.namespace() == namespace)
+                    .map(|(id, m)| (m.epoch, *id, m.bytes))
+                    .collect();
+                let total: u64 = entries.iter().map(|(_, _, b)| b).sum();
+                crate::gc::aggressive_victims(entries, total, max_total_bytes)
+            }
+        };
+        let n = victims.len() as u64;
+        for victim in victims {
+            self.namespaces.entry(namespace).or_default().collected += 1;
+            self.delete(victim);
+        }
+        self.stats.collected += n;
+        self.trace.with(|t| {
+            let tr = t.track(TRACE_TRACK);
+            let s = t.leaf_seconds(
+                tr,
+                SpanKind::Gc,
+                format!("gc ns {namespace} epoch {current_epoch}"),
+                0.0,
+            );
             t.arg(s, "collected", n);
             t.add("dcache.collected", n);
         });
@@ -1139,6 +1261,25 @@ impl DistributedCache {
         // The per-node stores are the authoritative eviction counters.
         stats.evictions = self.nodes.iter().map(|n| n.memory.evictions()).sum();
         stats
+    }
+
+    /// Per-namespace accounting for `namespace`: accumulated counters plus
+    /// a live census of the index. Namespaces the cache has never seen
+    /// return all zeros.
+    pub fn namespace_stats(&self, namespace: u32) -> NamespaceStats {
+        let mut stats = self.namespaces.get(&namespace).copied().unwrap_or_default();
+        for (id, meta) in &self.index {
+            if id.namespace() == namespace {
+                stats.live_objects += 1;
+                stats.live_bytes += meta.bytes;
+            }
+        }
+        stats
+    }
+
+    /// Every namespace with recorded activity, in ascending order.
+    pub fn active_namespaces(&self) -> Vec<u32> {
+        self.namespaces.keys().copied().collect()
     }
 
     /// Background self-healing statistics so far.

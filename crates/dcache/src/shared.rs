@@ -1,0 +1,69 @@
+//! Cloneable handle for a cache shared by many jobs.
+//!
+//! The paper's architecture has exactly one memoization layer per cluster;
+//! every job memoizes into it and benefits from every other job's history.
+//! [`SharedCache`] is that ownership model: a [`DistributedCache`] behind
+//! an `Arc<Mutex<_>>` so concurrently registered jobs hold clones of one
+//! handle. Combined with [`ObjectId::namespaced`](crate::ObjectId::namespaced)
+//! ids, tenants share capacity and placement without colliding on keys.
+//!
+//! All engine cache traffic happens on the control thread of each job, so
+//! the mutex is uncontended in the determinism-critical path — it exists
+//! to make the sharing safe, not to schedule it.
+
+use std::sync::{Arc, Mutex};
+
+use crate::master::{CacheStats, DistributedCache, NamespaceStats};
+
+/// A cloneable, mutex-guarded handle to one [`DistributedCache`].
+#[derive(Debug, Clone)]
+pub struct SharedCache {
+    inner: Arc<Mutex<DistributedCache>>,
+}
+
+impl SharedCache {
+    /// Wraps `cache` for sharing. All clones of the returned handle
+    /// operate on this one cache.
+    #[must_use]
+    pub fn new(cache: DistributedCache) -> Self {
+        SharedCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the underlying cache.
+    pub fn with<R>(&self, f: impl FnOnce(&mut DistributedCache) -> R) -> R {
+        let mut guard = self.inner.lock().expect("shared cache poisoned");
+        f(&mut guard)
+    }
+
+    /// Aggregate statistics of the underlying cache.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.with(|c| c.stats())
+    }
+
+    /// Per-namespace accounting (see
+    /// [`DistributedCache::namespace_stats`]).
+    #[must_use]
+    pub fn namespace_stats(&self, namespace: u32) -> NamespaceStats {
+        self.with(|c| c.namespace_stats(namespace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::{CacheConfig, NodeId, ObjectId};
+
+    #[test]
+    fn clones_address_one_cache() {
+        let shared = SharedCache::new(DistributedCache::new(CacheConfig::paper_defaults(3)));
+        let other = shared.clone();
+        shared.with(|c| c.put(ObjectId::namespaced(1, 7), 64, NodeId(0), 0));
+        let read = other.with(|c| c.read(ObjectId::namespaced(1, 7), NodeId(0)));
+        assert!(read.is_ok());
+        assert_eq!(other.namespace_stats(1).puts, 1);
+        assert_eq!(other.namespace_stats(2).puts, 0);
+    }
+}

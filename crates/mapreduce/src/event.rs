@@ -323,8 +323,7 @@ impl<A: MapReduceApp> EventFeeder<A> {
     /// non-commutative uses) this reproduces the output of the stream that
     /// never lost them.
     fn apply_late(&mut self, runs: &mut Vec<RunStats>) -> Result<(), JobError> {
-        while let Some((&epoch, _)) = self.late.iter().next() {
-            let mut records = self.late.remove(&epoch).expect("key just seen");
+        while let Some((epoch, mut records)) = self.late.pop_first() {
             records.sort_by_key(|r| (r.time, r.seq));
             let inputs: Vec<A::Input> = records.into_iter().map(|r| r.record).collect();
             let splits = make_splits(self.next_split_id, inputs, self.config.records_per_split);
@@ -598,6 +597,71 @@ mod tests {
 
         // Unknown epochs are a quiet no-op.
         assert!(f.retract_epoch(99).unwrap().is_none());
+    }
+
+    #[test]
+    fn zero_lateness_drops_every_straggler_and_counts_reconcile() {
+        // Strict watermark: with `lateness = 0` the watermark IS the
+        // highest event time seen, so an epoch closes the instant the
+        // stream touches the next one, and a one-epoch window means every
+        // record arriving behind the watermark's epoch finds its epoch
+        // already evicted — all stragglers drop, none splice.
+        let cfg = EventTimeConfig {
+            epoch_len: 10,
+            records_per_split: 2,
+            window_epochs: Some(1),
+            lateness: 0,
+        };
+        let mut f = feeder(ExecMode::slider_folding(), cfg);
+        f.ingest([
+            stamped(5, 0, "a"),
+            stamped(15, 1, "b"),
+            stamped(25, 2, "c a"),
+        ]);
+        f.flush().unwrap();
+        assert_eq!(f.watermark(), Some(25));
+        assert_eq!(f.window_epochs(), vec![1], "epoch 0 closed and evicted");
+
+        // Stragglers into closed epochs: both drop (epoch 0 evicted,
+        // epoch 1 evicted by the close of epoch 2 below — here epoch 1 is
+        // still windowed, so target epoch 0 twice to stay strict).
+        f.ingest([stamped(3, 3, "x"), stamped(8, 4, "x")]);
+        // In-epoch disorder is NOT lateness: 31 then 38 arrive out of
+        // order inside the still-open epoch 3 and are buffered, sorted at
+        // close.
+        f.ingest([stamped(38, 5, "d"), stamped(31, 6, "a")]);
+        f.flush().unwrap();
+
+        let stats = f.stats();
+        assert_eq!(stats.ingested, 7);
+        assert_eq!(stats.late_admitted, 0, "nothing splices at lateness 0");
+        assert_eq!(stats.late_dropped, 2);
+        assert_eq!(stats.splice_runs, 0);
+        // Every ingested record is accounted for: dropped, still buffered
+        // in the open epoch, or inside a closed epoch's splits.
+        let closed_records = 3; // epochs 0..=2, one record each
+        assert_eq!(
+            stats.ingested,
+            stats.late_dropped + f.buffered_records() as u64 + closed_records
+        );
+        assert_eq!(f.output().get("x"), None, "dropped records never surface");
+
+        // The sorted twin of the *surviving* records is bit-identical.
+        let mut twin = feeder(ExecMode::slider_folding(), cfg);
+        twin.ingest([
+            stamped(5, 0, "a"),
+            stamped(15, 1, "b"),
+            stamped(25, 2, "c a"),
+            stamped(31, 6, "a"),
+            stamped(38, 5, "d"),
+        ]);
+        twin.flush().unwrap();
+        f.close_all().unwrap();
+        twin.close_all().unwrap();
+        assert_eq!(f.output(), twin.output());
+        assert_eq!(f.window_epochs(), twin.window_epochs());
+        assert_eq!(f.stats().epochs_closed, twin.stats().epochs_closed);
+        assert_eq!(f.stats().epochs_evicted, twin.stats().epochs_evicted);
     }
 
     #[test]

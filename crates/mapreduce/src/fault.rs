@@ -197,13 +197,13 @@ impl JobFaultPlan {
         // run, always sparing machine 0 so work can complete.
         if machines > 1 && next(&mut state).is_multiple_of(2) {
             let run = next(&mut state) % runs;
-            let machine = 1 + (next(&mut state) as usize % (machines - 1));
+            let machine = 1 + bounded(next(&mut state), machines - 1);
             let at = 0.5 + (next(&mut state) % 100) as f64 / 10.0;
             plan = plan.crash(run, machine, at);
         }
         if machines > 1 && next(&mut state).is_multiple_of(2) {
             let run = next(&mut state) % runs;
-            let machine = 1 + (next(&mut state) as usize % (machines - 1));
+            let machine = 1 + bounded(next(&mut state), machines - 1);
             let factor = 0.2 + 0.6 * (next(&mut state) % 1000) as f64 / 1000.0;
             plan = plan.slow(run, machine, factor);
             if next(&mut state).is_multiple_of(2) {
@@ -215,14 +215,14 @@ impl JobFaultPlan {
         if runs > 1 {
             for _ in 0..(next(&mut state) % 3) {
                 let run = 1 + next(&mut state) % (runs - 1);
-                let count = 1 + next(&mut state) as usize % partitions;
-                let start = next(&mut state) as usize % partitions;
+                let count = 1 + bounded(next(&mut state), partitions);
+                let start = bounded(next(&mut state), partitions);
                 let parts: Vec<usize> = (0..count).map(|i| (start + i) % partitions).collect();
                 plan = plan.lose_memo(run, parts);
             }
             // A cache-node failure with a later recovery.
             if next(&mut state).is_multiple_of(2) {
-                let node = next(&mut state) as usize % partitions.max(2);
+                let node = bounded(next(&mut state), partitions.max(2));
                 let run = 1 + next(&mut state) % (runs - 1);
                 plan = plan.fail_cache_node(run, node);
                 if run + 1 < runs {
@@ -332,6 +332,12 @@ fn next(state: &mut u64) -> u64 {
     x ^= x << 17;
     *state = x;
     x
+}
+
+/// Reduces a raw draw into `0..modulo` — in u64 before narrowing, so the
+/// conversion can never truncate (the result is bounded by `modulo`).
+fn bounded(value: u64, modulo: usize) -> usize {
+    usize::try_from(value % modulo.max(1) as u64).expect("bounded by a usize modulo")
 }
 
 #[cfg(test)]

@@ -82,20 +82,29 @@ impl<A: MapReduceApp> WindowFeeder<A> {
     }
 
     /// Pushes one batch: appends its splits and, if the window is full,
-    /// drops the oldest batch. Empty batches still slide the window.
+    /// drops the oldest batch. On a *full* window an empty batch is a
+    /// legal slide — the window moves on and the oldest batch ages out.
+    /// Before the window fills, an empty batch is rejected with
+    /// [`JobError::EmptyBatch`]: there is nothing to compute and no slide
+    /// to perform, and silently running a no-op job run would burn a
+    /// window slot on nothing.
     ///
     /// # Errors
     ///
     /// Propagates [`JobError`] from the underlying job (e.g. a fixed-width
-    /// job whose batches do not align with its bucket geometry), and
-    /// reports [`JobError::EmptyWindow`] if an eviction is due but the
+    /// job whose batches do not align with its bucket geometry), reports
+    /// [`JobError::EmptyBatch`] for an empty batch on a non-full window,
+    /// and reports [`JobError::EmptyWindow`] if an eviction is due but the
     /// batch bookkeeping holds no batch to evict — a state the constructor
     /// assertions make unreachable, surfaced as a recoverable error rather
     /// than a panic in case the invariant is ever violated.
     pub fn push_batch(&mut self, records: Vec<A::Input>) -> Result<RunStats, JobError> {
-        let added = make_splits(self.next_split_id, records, self.records_per_split);
         let evict =
             matches!(self.window_batches, Some(window) if self.batch_splits.len() >= window);
+        if records.is_empty() && !evict {
+            return Err(JobError::EmptyBatch);
+        }
+        let added = make_splits(self.next_split_id, records, self.records_per_split);
         let remove = if evict {
             self.batch_splits
                 .front()
@@ -231,6 +240,34 @@ mod tests {
         assert_eq!(f.output().get("a"), None);
         assert_eq!(f.output().get("b"), Some(&1));
         assert_eq!(f.window_batches(), 2);
+    }
+
+    #[test]
+    fn empty_batch_before_the_window_fills_is_rejected() {
+        // Nothing to compute, nothing to evict: the push is refused and
+        // the feeder is untouched — no run executes, no window slot is
+        // burned. The same push succeeds once the window is full (see
+        // `empty_batches_still_slide`).
+        let mut f = feeder(ExecMode::slider_folding(), Some(2));
+        let err = f.push_batch(Vec::new()).unwrap_err();
+        assert!(matches!(err, JobError::EmptyBatch));
+        assert_eq!(f.window_batches(), 0);
+        assert_eq!(f.batches_pushed(), 0);
+        assert_eq!(f.job().window_splits(), 0);
+
+        // Half-full windows reject too.
+        f.push_batch(batch(&["a"])).unwrap();
+        let err = f.push_batch(Vec::new()).unwrap_err();
+        assert!(matches!(err, JobError::EmptyBatch));
+        assert_eq!(f.window_batches(), 1);
+        assert_eq!(f.batches_pushed(), 1);
+
+        // Unwindowed (append-only) feeders can never evict, so empty
+        // batches are always rejected there.
+        let mut unwindowed = feeder(ExecMode::slider_folding(), None);
+        unwindowed.push_batch(batch(&["a"])).unwrap();
+        let err = unwindowed.push_batch(Vec::new()).unwrap_err();
+        assert!(matches!(err, JobError::EmptyBatch));
     }
 
     #[test]

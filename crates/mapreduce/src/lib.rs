@@ -58,6 +58,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Work metering mixes u64 byte/work counters with usize collection sizes
+// and f64 cost models; every narrowing must be explicit and checked.
+#![deny(clippy::cast_possible_truncation)]
 
 mod app;
 mod error;
@@ -66,6 +69,7 @@ mod fault;
 mod feeder;
 mod pipeline;
 mod runtime;
+mod shared;
 mod shuffle;
 mod split;
 mod stats;
@@ -80,6 +84,7 @@ pub use fault::{
 pub use feeder::WindowFeeder;
 pub use pipeline::{InnerStageStats, Pipeline, PipelineRunResult, StageApp, StageInput};
 pub use runtime::{Runtime, THREADS_ENV};
+pub use shared::{EngineShared, EngineSharedBuilder};
 pub use shuffle::{partition_of, stable_hash};
 pub use split::{make_splits, Split, SplitId};
 pub use stats::{RecoveryStats, RunStats, WorkBreakdown};

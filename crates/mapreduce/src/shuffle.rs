@@ -51,7 +51,7 @@ pub fn partition_of<K: Hash + ?Sized>(key: &K, partitions: usize) -> usize {
     assert!(partitions > 0, "at least one reduce partition is required");
     let mut hasher = StableStdHasher(StableHasher::new());
     key.hash(&mut hasher);
-    (hasher.finish() % partitions as u64) as usize
+    usize::try_from(hasher.finish() % partitions as u64).expect("bounded by partition count")
 }
 
 #[cfg(test)]

@@ -5,10 +5,13 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use slider_cluster::{simulate_traced, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, Task};
+use slider_cluster::{
+    simulate_traced, ClusterSpec, FaultPlan, MachineId, SchedulerPolicy, SharedClock, Task,
+};
 use slider_core::{build_tree, Phase, TreeCx, TreeError, TreeKind, UpdateStats, WindowAggregator};
 use slider_dcache::{
     CacheConfig, CacheError, CacheStats, DistributedCache, NodeId, ObjectId, RepairStats,
+    SharedCache,
 };
 use slider_trace::{SpanId, SpanKind, TraceSink};
 
@@ -16,6 +19,7 @@ use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
 use crate::fault::JobFaultPlan;
 use crate::runtime::Runtime;
+use crate::shared::EngineShared;
 use crate::shuffle::partition_of;
 use crate::split::{Split, SplitId};
 use crate::stats::{RecoveryStats, RunStats};
@@ -454,7 +458,17 @@ pub struct WindowedJob<A: MapReduceApp> {
     /// thread, in deterministic fold order, so traces are bit-identical
     /// across thread counts and reruns.
     trace: TraceSink,
-    cache: Option<DistributedCache>,
+    /// The memoization cache. Standalone jobs wrap a private cache here
+    /// (namespace 0); jobs built with [`WindowedJob::with_shared`] hold a
+    /// clone of the service-wide handle instead.
+    cache: Option<SharedCache>,
+    /// Object-id namespace this job's memoized state lives under. `0` for
+    /// standalone jobs — `ObjectId::namespaced(0, p) == ObjectId(p)`, so
+    /// legacy cache contents and stats are bit-identical.
+    cache_ns: u32,
+    /// Shared simulated-cluster clock, advanced by each run's makespan
+    /// when the cluster simulation is on. `None` for standalone jobs.
+    clock: Option<SharedClock>,
     /// Per-partition flag: the partition's memoized state was written to
     /// the cache by a previous run, so the next run is expected to read it
     /// back. Reads are only issued (and can only fail) for such objects.
@@ -463,6 +477,20 @@ pub struct WindowedJob<A: MapReduceApp> {
 
 /// Alias kept for readability in signatures: a run returns its statistics.
 pub type RunResult = RunStats;
+
+/// Converts modeled data movement into work units: `bytes × work_per_byte`
+/// floored into u64. The truncation is the point — work is an integral
+/// unit count — and Rust's saturating float casts make the conversion
+/// total, so the narrowing is deliberate here.
+fn movement_work(moved_bytes: u64, work_per_byte: f64) -> u64 {
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let work = (moved_bytes as f64 * work_per_byte) as u64;
+    work
+}
 
 /// Runs one Map task: maps every record of `split`, combining map-side per
 /// partition, and meters the work.
@@ -524,6 +552,72 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// (zero partitions, zero bucket geometry, or a non-commutative
     /// combiner with a fixed-width window).
     pub fn new(app: A, config: JobConfig) -> Result<Self, JobError> {
+        let trace = config.trace.clone().resolve_env();
+        let cache = config.cache.clone().map(|cache_config| {
+            let mut cache = DistributedCache::new(cache_config);
+            cache.attach_trace(trace.clone());
+            SharedCache::new(cache)
+        });
+        let runtime = Runtime::auto(config.threads).with_trace(trace.clone());
+        Self::build(app, config, runtime, trace, cache, 0, None)
+    }
+
+    /// Creates a job attached to service-wide infrastructure: the shared
+    /// runtime, trace sink, memoization cache (under a freshly allocated
+    /// object-id namespace) and simulator clock of `shared`, instead of
+    /// private per-job instances. A job whose config scripts no fault
+    /// plan inherits the shared default plan.
+    ///
+    /// `config.threads` and `config.trace` are ignored — the shared
+    /// runtime and sink win; see [`EngineShared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::BadConfig`] for inconsistent configurations
+    /// (as [`WindowedJob::new`]), or when `config.cache` requests a
+    /// private cache alongside the shared one.
+    pub fn with_shared(app: A, config: JobConfig, shared: &EngineShared) -> Result<Self, JobError> {
+        if config.cache.is_some() && shared.cache().is_some() {
+            return Err(JobError::BadConfig(
+                "shared-infrastructure jobs must not configure a private cache".into(),
+            ));
+        }
+        let mut config = config;
+        if config.faults.is_none() {
+            config.faults = shared.fault_plan().cloned();
+        }
+        let trace = shared.trace().clone();
+        let cache = shared.cache().cloned();
+        let cache_ns = if cache.is_some() {
+            shared.allocate_namespace()
+        } else {
+            0
+        };
+        let private_cache = config.cache.clone().map(|cache_config| {
+            let mut cache = DistributedCache::new(cache_config);
+            cache.attach_trace(trace.clone());
+            SharedCache::new(cache)
+        });
+        Self::build(
+            app,
+            config,
+            shared.runtime().clone(),
+            trace,
+            cache.or(private_cache),
+            cache_ns,
+            shared.clock().cloned(),
+        )
+    }
+
+    fn build(
+        app: A,
+        config: JobConfig,
+        runtime: Runtime,
+        trace: TraceSink,
+        cache: Option<SharedCache>,
+        cache_ns: u32,
+        clock: Option<SharedClock>,
+    ) -> Result<Self, JobError> {
         config.validate()?;
         if config.mode.is_fixed_width() && !app.is_commutative() {
             return Err(JobError::BadConfig(
@@ -532,12 +626,6 @@ impl<A: MapReduceApp> WindowedJob<A> {
         }
         let app = Arc::new(app);
         let combiner = AppCombiner::new(Arc::clone(&app));
-        let trace = config.trace.clone().resolve_env();
-        let mut cache = config.cache.clone().map(DistributedCache::new);
-        if let Some(cache) = &mut cache {
-            cache.attach_trace(trace.clone());
-        }
-        let runtime = Runtime::auto(config.threads).with_trace(trace.clone());
         let shards = (0..config.partitions)
             .map(|_| PartitionShard::default())
             .collect();
@@ -554,8 +642,26 @@ impl<A: MapReduceApp> WindowedJob<A> {
             run_index: 0,
             trace,
             cache,
+            cache_ns,
+            clock,
             cached_objects,
         })
+    }
+
+    /// The object id partition `p`'s memoized state is cached under —
+    /// namespaced so jobs sharing one cache never collide.
+    fn object_id(&self, partition: usize) -> ObjectId {
+        ObjectId::namespaced(self.cache_ns, partition as u64)
+    }
+
+    /// The cache namespace this job's objects live under (`0` standalone).
+    pub fn cache_namespace(&self) -> u32 {
+        self.cache_ns
+    }
+
+    /// The memoization cache handle, if one is attached.
+    pub fn shared_cache(&self) -> Option<&SharedCache> {
+        self.cache.as_ref()
     }
 
     /// The current per-key output of the job.
@@ -777,7 +883,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
         let repair_before = self
             .cache
             .as_ref()
-            .map(|c| c.repair_stats())
+            .map(|cache| cache.with(|c| c.repair_stats()))
             .unwrap_or_default();
         self.apply_planned_faults(&mut recovery)?;
         Ok((run_span, recovery, repair_before))
@@ -927,7 +1033,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
         // Data movement charged as work.
         let moved_bytes =
             stats.shuffle_bytes + stats.memo_read_bytes + outcome.tree_stats.bytes_written;
-        stats.work.movement = (moved_bytes as f64 * self.config.work_per_byte) as u64;
+        stats.work.movement = movement_work(moved_bytes, self.config.work_per_byte);
         trace.with(|t| {
             let tr = t.track("engine");
             let movement = t.leaf(tr, SpanKind::Movement, "movement", stats.work.movement);
@@ -973,7 +1079,7 @@ impl<A: MapReduceApp> WindowedJob<A> {
             t.add("recovery.read_retries", stats.recovery.read_retries);
         });
         if let Some(cache) = &self.cache {
-            stats.repair = cache.repair_stats().delta_since(&repair_before);
+            stats.repair = cache.with(|c| c.repair_stats()).delta_since(&repair_before);
             // Repair traffic rides the same network as the job; account it
             // in the simulated schedule as off-critical-path background
             // bytes/seconds so makespans stay comparable.
@@ -1008,6 +1114,12 @@ impl<A: MapReduceApp> WindowedJob<A> {
             }
         });
 
+        // A shared simulator clock accrues each run's foreground makespan:
+        // the cluster was busy for that long in virtual time.
+        if let (Some(clock), Some(sim)) = (&self.clock, &stats.sim) {
+            clock.advance(sim.makespan);
+        }
+
         self.run_index += 1;
         stats
     }
@@ -1016,15 +1128,15 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// tier is lost; reads transparently fall back to persistent replicas.
     /// No-op when no cache is configured.
     pub fn fail_cache_node(&mut self, node: usize) {
-        if let Some(cache) = &mut self.cache {
-            cache.fail_node(NodeId(node));
+        if let Some(cache) = &self.cache {
+            cache.with(|c| c.fail_node(NodeId(node)));
         }
     }
 
     /// Recovers a previously failed cache node. No-op without a cache.
     pub fn recover_cache_node(&mut self, node: usize) {
-        if let Some(cache) = &mut self.cache {
-            cache.recover_node(NodeId(node));
+        if let Some(cache) = &self.cache {
+            cache.with(|c| c.recover_node(NodeId(node)));
         }
     }
 
@@ -1051,10 +1163,15 @@ impl<A: MapReduceApp> WindowedJob<A> {
         for node in plan.cache_failures_for_run(run) {
             self.fail_cache_node(node);
         }
-        if let Some(cache) = &mut self.cache {
+        if let Some(cache) = &self.cache {
             for (partition, node) in plan.corruptions_for_run(run) {
-                if partition < self.config.partitions && node < cache.config().nodes {
-                    cache.corrupt_object(ObjectId(partition as u64), NodeId(node));
+                if partition < self.config.partitions {
+                    let object = ObjectId::namespaced(self.cache_ns, partition as u64);
+                    cache.with(|c| {
+                        if node < c.config().nodes {
+                            c.corrupt_object(object, NodeId(node));
+                        }
+                    });
                 }
             }
             if plan.loses_master_before(run) {
@@ -1062,8 +1179,10 @@ impl<A: MapReduceApp> WindowedJob<A> {
                 // rebuilt synchronously from the live nodes' inventories
                 // before the run proceeds. Objects with no surviving copy
                 // read NotFound below and recompute in the foreground.
-                cache.lose_master();
-                cache.rebuild_master();
+                cache.with(|c| {
+                    c.lose_master();
+                    c.rebuild_master();
+                });
             }
         }
         let lost: Vec<usize> = plan
@@ -1117,10 +1236,11 @@ impl<A: MapReduceApp> WindowedJob<A> {
             }
             shard.trees.clear();
             shard.memo_footprint = 0;
-            if let Some(cache) = &mut self.cache {
+            if let Some(cache) = &self.cache {
                 // The replicated object is gone too; the next cache read
                 // fails over and ultimately misses, metered below.
-                cache.lose_object(ObjectId(p as u64));
+                let object = ObjectId::namespaced(self.cache_ns, p as u64);
+                cache.with(|c| c.lose_object(object));
             }
             let mut stats = UpdateStats::default();
             let recomputed = if kind == TreeKind::Rotating {
@@ -1384,8 +1504,10 @@ impl<A: MapReduceApp> WindowedJob<A> {
         let maps: Vec<Task> = map_entries
             .iter()
             .map(|e| {
+                let machine =
+                    usize::try_from(e.id.0 % machines as u64).expect("bounded by machine count");
                 Task::map(id(), e.map_work)
-                    .prefer(MachineId((e.id.0 as usize) % machines))
+                    .prefer(MachineId(machine))
                     .with_input_bytes(e.input_bytes)
             })
             .collect();
@@ -1459,12 +1581,18 @@ impl<A: MapReduceApp> WindowedJob<A> {
         /// pending repairs, so a re-replicated copy can serve the retry
         /// instead of degrading to recomputation.
         const MAX_READ_RETRIES: u32 = 2;
-        let cache = self.cache.as_mut().expect("caller checked");
-        let nodes = cache.config().nodes.max(1);
+        let cache = self.cache.clone().expect("caller checked");
+        let (nodes, repair_on, per_op_seconds) = cache.with(|c| {
+            (
+                c.config().nodes.max(1),
+                c.config().repair,
+                c.config().latency.per_op_seconds,
+            )
+        });
         let before = cache.stats();
         for p in 0..self.config.partitions {
             let node = NodeId(p % nodes);
-            let object = ObjectId(p as u64);
+            let object = self.object_id(p);
             // The contraction phase reads the partition's memoized state
             // from the previous run (if one was ever written), then writes
             // the updated state back. A read that fails over every replica
@@ -1472,15 +1600,15 @@ impl<A: MapReduceApp> WindowedJob<A> {
             // foreground instead (recompute-on-miss): meter it as
             // recovery, never an error.
             if self.cached_objects[p] {
-                let mut outcome = cache.read(object, node);
+                let mut outcome = cache.with(|c| c.read(object, node));
                 let mut retries = 0u32;
                 while matches!(outcome, Err(CacheError::Unavailable(_)))
-                    && cache.config().repair
+                    && repair_on
                     && retries < MAX_READ_RETRIES
                 {
                     retries += 1;
                     recovery.read_retries += 1;
-                    let backoff = cache.config().latency.per_op_seconds * f64::from(1 << retries);
+                    let backoff = per_op_seconds * f64::from(1 << retries);
                     recovery.backoff_seconds += backoff;
                     // Backoff leaves carry the exact f64 operand added to
                     // `RecoveryStats::backoff_seconds`; refolding them in
@@ -1495,8 +1623,10 @@ impl<A: MapReduceApp> WindowedJob<A> {
                         );
                         t.arg(leaf, "retry", u64::from(retries));
                     });
-                    cache.drain_repairs();
-                    outcome = cache.read(object, node);
+                    outcome = cache.with(|c| {
+                        c.drain_repairs();
+                        c.read(object, node)
+                    });
                 }
                 match outcome {
                     Ok(_) => {}
@@ -1512,11 +1642,21 @@ impl<A: MapReduceApp> WindowedJob<A> {
             }
             let footprint = self.shards[p].memo_footprint;
             if footprint > 0 {
-                cache.put(object, footprint, node, self.run_index);
+                cache.with(|c| c.put(object, footprint, node, self.run_index));
             }
             self.cached_objects[p] = footprint > 0;
         }
-        cache.collect_garbage(self.run_index);
+        // Standalone jobs sweep the whole cache as before; namespaced jobs
+        // sweep only their own objects — each tenant advances through
+        // epochs at its own pace, so a global sweep at this job's epoch
+        // would reap siblings' still-live state.
+        if self.cache_ns == 0 {
+            cache.with(|c| c.collect_garbage(self.run_index));
+        } else {
+            let ns = self.cache_ns;
+            let run = self.run_index;
+            cache.with(|c| c.collect_garbage_scoped(ns, run));
+        }
         let after = cache.stats();
         CacheStats {
             memory_hits: after.memory_hits - before.memory_hits,
@@ -1536,12 +1676,15 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// metered in [`slider_dcache::RepairStats`], never in the foreground
     /// read stats.
     fn run_cache_maintenance(&mut self) {
-        let cache = self.cache.as_mut().expect("caller checked");
-        let interval = cache.config().scrub_interval;
-        if interval > 0 && self.run_index.is_multiple_of(interval) {
-            cache.scrub();
-        }
-        cache.drain_repairs();
+        let cache = self.cache.as_ref().expect("caller checked");
+        let run = self.run_index;
+        cache.with(|c| {
+            let interval = c.config().scrub_interval;
+            if interval > 0 && run.is_multiple_of(interval) {
+                c.scrub();
+            }
+            c.drain_repairs();
+        });
     }
 }
 

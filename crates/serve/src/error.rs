@@ -1,0 +1,47 @@
+//! Typed service-layer failures.
+
+use std::error::Error;
+use std::fmt;
+
+use slider_mapreduce::JobError;
+
+/// Everything that can go wrong at the service front door.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A tenant spec failed validation at registration.
+    BadSpec(String),
+    /// A tenant name was registered twice.
+    DuplicateTenant(String),
+    /// An operation addressed a tenant id the registry does not hold.
+    UnknownTenant(u64),
+    /// The tenant's underlying windowed job rejected an operation.
+    Job(JobError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadSpec(why) => write!(f, "bad tenant spec: {why}"),
+            ServeError::DuplicateTenant(name) => {
+                write!(f, "tenant {name:?} is already registered")
+            }
+            ServeError::UnknownTenant(id) => write!(f, "no tenant with id {id}"),
+            ServeError::Job(e) => write!(f, "tenant job failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Job(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JobError> for ServeError {
+    fn from(e: JobError) -> Self {
+        ServeError::Job(e)
+    }
+}

@@ -1,0 +1,45 @@
+//! # slider-serve — a multi-tenant streaming service layer
+//!
+//! The paper's deployment model is a *service*: one cluster, one
+//! memoization layer, many sliding-window computations coming and going.
+//! This crate is that front door over the reproduction's shared engine
+//! ([`slider_mapreduce::EngineShared`]):
+//!
+//! * [`ServiceRuntime`] registers and deregisters tenants at runtime;
+//!   each [`TenantSpec`] compiles into an event-time windowed job
+//!   ([`slider_mapreduce::EventFeeder`]) attached to the shared runtime,
+//!   trace sink, memoization cache (private namespace per tenant) and
+//!   simulated-cluster clock.
+//! * Every request passes a deterministic admission chain — request-shape
+//!   admission control, DGIM sliding-window rate limiting
+//!   ([`slider_core::SlidingWindowCounter`]), lifetime record quotas —
+//!   before dispatch ([`Decision`]).
+//! * Point-in-time [`WindowView`] queries read any tenant's window while
+//!   other tenants' slides are in flight.
+//! * [`ServiceRuntime::health`] and [`ServiceRuntime::metrics`] render a
+//!   deterministic text surface whose numbers ([`ServeStats`],
+//!   [`TenantStats`]) reconcile bit-exactly with the per-run
+//!   [`slider_mapreduce::RunStats`] the engine reports.
+//!
+//! Determinism is absolute (DESIGN.md §3g): the same seed, registration
+//! order and request sequence produce bit-identical per-tenant outputs,
+//! statistics and trace exports at every worker-thread count — including
+//! under a seeded fault plan and with tenants joining or leaving
+//! mid-stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Silent integer narrowing has burned this codebase before; be explicit.
+#![deny(clippy::cast_possible_truncation)]
+
+mod admission;
+mod error;
+mod service;
+mod stats;
+mod tenant;
+
+pub use admission::Decision;
+pub use error::ServeError;
+pub use service::{IngestOutcome, ServiceRuntime};
+pub use stats::{ServeStats, TenantStats};
+pub use tenant::{RateLimit, TenantId, TenantReport, TenantSpec, WindowView};

@@ -1,0 +1,537 @@
+//! The service runtime: tenant registry, admission, dispatch, and the
+//! health/metrics surface.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use slider_mapreduce::{
+    EngineShared, EventFeeder, JobConfig, MapReduceApp, RunStats, Stamped, WindowedJob,
+};
+use slider_trace::{SpanKind, TrackId};
+
+use crate::admission::{AdmissionGate, Decision};
+use crate::error::ServeError;
+use crate::stats::{ServeStats, TenantStats};
+use crate::tenant::{TenantId, TenantReport, TenantSpec, WindowView};
+
+/// What one front-door request produced: the admission verdict and, for
+/// admitted requests, the runs the dispatch executed (closed epochs and
+/// late-record splices the new records unlocked).
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// The admission chain's verdict.
+    pub decision: Decision,
+    /// Runs executed by this dispatch (empty for rejected requests).
+    pub runs: Vec<RunStats>,
+}
+
+struct TenantEntry<A: MapReduceApp> {
+    name: String,
+    feeder: EventFeeder<A>,
+    gate: AdmissionGate,
+    stats: TenantStats,
+    track: Option<TrackId>,
+}
+
+/// A multi-tenant streaming service over one shared engine.
+///
+/// Tenants register at runtime with a [`TenantSpec`]; each is compiled
+/// into an [`EventFeeder`]-backed windowed job attached to the service's
+/// [`EngineShared`] (one runtime, one trace sink, one memoization cache
+/// with a private namespace per tenant, one simulated-cluster clock).
+/// Requests pass the deterministic admission chain before dispatch; the
+/// window of any tenant can be queried between requests while other
+/// tenants' slides are in flight.
+///
+/// Determinism contract: the same registration order, request sequence
+/// and seeds produce bit-identical per-tenant outputs, [`ServeStats`]
+/// and trace exports at every worker-thread count.
+pub struct ServiceRuntime<A: MapReduceApp> {
+    shared: EngineShared,
+    tenants: BTreeMap<TenantId, TenantEntry<A>>,
+    names: BTreeMap<String, TenantId>,
+    next_id: u64,
+    stats: ServeStats,
+}
+
+impl<A: MapReduceApp> ServiceRuntime<A> {
+    /// Creates an empty service over `shared`.
+    pub fn new(shared: EngineShared) -> Self {
+        ServiceRuntime {
+            shared,
+            tenants: BTreeMap::new(),
+            names: BTreeMap::new(),
+            next_id: 1,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The shared engine infrastructure this service multiplexes.
+    pub fn shared(&self) -> &EngineShared {
+        &self.shared
+    }
+
+    /// Registers a tenant: validates `spec`, compiles it into an
+    /// event-time windowed job on the shared engine, and opens the
+    /// tenant's trace track (`tenant:<name>`).
+    pub fn register(&mut self, app: A, spec: TenantSpec) -> Result<TenantId, ServeError> {
+        spec.validate()?;
+        if self.names.contains_key(&spec.name) {
+            return Err(ServeError::DuplicateTenant(spec.name));
+        }
+        let mut config = JobConfig::new(spec.mode).with_partitions(spec.partitions);
+        if let Some(sim) = spec.simulation.clone() {
+            config = config.with_simulation(sim);
+        }
+        if let Some(rate) = spec.work_per_byte {
+            config = config.with_work_per_byte(rate);
+        }
+        let job = WindowedJob::with_shared(app, config, &self.shared)?;
+        let feeder = EventFeeder::new(job, spec.event)?;
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        let track = self
+            .shared
+            .trace()
+            .with(|t| t.track(&format!("tenant:{}", spec.name)));
+        self.names.insert(spec.name.clone(), id);
+        self.tenants.insert(
+            id,
+            TenantEntry {
+                name: spec.name.clone(),
+                gate: AdmissionGate::new(&spec),
+                feeder,
+                stats: TenantStats::default(),
+                track,
+            },
+        );
+        self.stats.tenants_registered += 1;
+        Ok(id)
+    }
+
+    /// Deregisters a tenant: drains its reorder buffer and open epochs
+    /// (running any final slides), folds the final runs into the
+    /// statistics, and removes it from the registry. Other tenants are
+    /// untouched — their outputs and stats do not depend on who else
+    /// comes or goes.
+    pub fn deregister(&mut self, id: TenantId) -> Result<TenantReport<A>, ServeError> {
+        let mut entry = self
+            .tenants
+            .remove(&id)
+            .ok_or(ServeError::UnknownTenant(id.0))?;
+        self.names.remove(&entry.name);
+        let final_runs = match entry.feeder.close_all() {
+            Ok(runs) => runs,
+            Err(e) => {
+                // Registry state stays consistent: the tenant is gone
+                // either way, only its drain failed.
+                self.stats.tenants_deregistered += 1;
+                return Err(e.into());
+            }
+        };
+        for run in &final_runs {
+            entry.stats.absorb(run);
+            self.stats.absorb(run);
+        }
+        self.stats.tenants_deregistered += 1;
+        self.shared.trace().with(|t| {
+            t.add("serve.deregistered", 1);
+        });
+        Ok(TenantReport {
+            name: entry.name,
+            stats: entry.stats,
+            event: entry.feeder.stats(),
+            output: entry.feeder.output().clone(),
+            final_runs,
+        })
+    }
+
+    /// Serves one request: runs the admission chain and, when admitted,
+    /// dispatches the records into the tenant's event-time feeder and
+    /// executes every run the new records unlock.
+    ///
+    /// `arrival` is the service-clock tick the request arrived at; the
+    /// DGIM rate limiter windows over it. Per tenant it should be
+    /// non-decreasing (the limiter clamps regressions).
+    pub fn ingest(
+        &mut self,
+        id: TenantId,
+        arrival: u64,
+        records: Vec<Stamped<A::Input>>,
+    ) -> Result<IngestOutcome, ServeError> {
+        let entry = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownTenant(id.0))?;
+        let count = records.len();
+        let decision = entry.gate.admit(arrival, count);
+        entry.stats.count(&decision, count);
+        self.stats.count(&decision, count);
+        let runs = if decision.is_admitted() {
+            entry.feeder.ingest(records);
+            let runs = entry.feeder.flush()?;
+            for run in &runs {
+                entry.stats.absorb(run);
+                self.stats.absorb(run);
+            }
+            runs
+        } else {
+            Vec::new()
+        };
+        self.shared.trace().with(|t| {
+            let name = match decision {
+                Decision::Admitted { .. } => "request",
+                Decision::TooLarge { .. } => "reject:too-large",
+                Decision::RateLimited { .. } => "reject:rate-limited",
+                Decision::OverQuota { .. } => "reject:over-quota",
+            };
+            if let Some(track) = entry.track {
+                t.leaf(track, SpanKind::Stage, name, count as u64);
+            }
+            t.add("serve.requests", 1);
+            t.add(&format!("serve.{name}"), 1);
+        });
+        Ok(IngestOutcome { decision, runs })
+    }
+
+    /// Point-in-time view of a tenant's window: output, watermark, and
+    /// feeder state, consistent as of the last dispatch.
+    pub fn query(&self, id: TenantId) -> Result<WindowView<'_, A>, ServeError> {
+        let entry = self
+            .tenants
+            .get(&id)
+            .ok_or(ServeError::UnknownTenant(id.0))?;
+        Ok(WindowView {
+            output: entry.feeder.output(),
+            watermark: entry.feeder.watermark(),
+            window_epochs: entry.feeder.window_epochs(),
+            buffered_records: entry.feeder.buffered_records(),
+            event: entry.feeder.stats(),
+        })
+    }
+
+    /// Looks a tenant up by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.names.get(name).copied()
+    }
+
+    /// Registered tenants, in id order.
+    pub fn tenants(&self) -> Vec<(TenantId, &str)> {
+        self.tenants
+            .iter()
+            .map(|(id, e)| (*id, e.name.as_str()))
+            .collect()
+    }
+
+    /// A tenant's folded statistics.
+    pub fn tenant_stats(&self, id: TenantId) -> Result<&TenantStats, ServeError> {
+        self.tenants
+            .get(&id)
+            .map(|e| &e.stats)
+            .ok_or(ServeError::UnknownTenant(id.0))
+    }
+
+    /// The service-wide roll-up (includes deregistered tenants).
+    pub fn serve_stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The health endpoint: one line per tenant, in id order. A tenant is
+    /// `ok` when its job is live; the service line leads with totals.
+    pub fn health(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "service tenants={} requests={} runs={}",
+            self.tenants.len(),
+            self.stats.requests,
+            self.stats.runs
+        );
+        for (id, entry) in &self.tenants {
+            let watermark = entry
+                .feeder
+                .watermark()
+                .map_or_else(|| "-".to_string(), |w| w.to_string());
+            let _ = writeln!(
+                out,
+                "ok tenant={} id={} watermark={} window_epochs={} buffered={}",
+                entry.name,
+                id,
+                watermark,
+                entry.feeder.window_epochs().len(),
+                entry.feeder.buffered_records()
+            );
+        }
+        out
+    }
+
+    /// The metrics endpoint: a deterministic text rendering of
+    /// [`ServeStats`], the per-tenant folds, per-namespace cache
+    /// accounting, and the shared simulated clock. Byte-identical across
+    /// reruns and worker-thread counts.
+    pub fn metrics(&self) -> String {
+        let mut out = String::new();
+        let s = &self.stats;
+        let _ = writeln!(out, "# slider-serve metrics");
+        let _ = writeln!(
+            out,
+            "service tenants_active={} tenants_registered={} tenants_deregistered={}",
+            self.tenants.len(),
+            s.tenants_registered,
+            s.tenants_deregistered
+        );
+        let _ = writeln!(
+            out,
+            "requests total={} admitted={} rate_limited={} over_quota={} too_large={}",
+            s.requests, s.admitted, s.rate_limited, s.over_quota, s.too_large
+        );
+        let _ = writeln!(
+            out,
+            "records admitted={} rejected={}",
+            s.records_admitted, s.records_rejected
+        );
+        let _ = writeln!(
+            out,
+            "engine runs={} work_fg={} work_grand={}",
+            s.runs, s.work_foreground, s.work_grand
+        );
+        for (id, entry) in &self.tenants {
+            let t = &entry.stats;
+            let _ = writeln!(
+                out,
+                "tenant id={} name={} requests={} admitted={} rate_limited={} \
+                 over_quota={} too_large={} records={} runs={} work_fg={} \
+                 work_grand={} footprint={}",
+                id,
+                entry.name,
+                t.requests,
+                t.admitted,
+                t.rate_limited,
+                t.over_quota,
+                t.too_large,
+                t.records_admitted,
+                t.runs,
+                t.work_foreground,
+                t.work_grand,
+                t.memo_footprint_bytes
+            );
+        }
+        if let Some(cache) = self.shared.cache() {
+            for (id, entry) in &self.tenants {
+                let ns = entry.feeder.job().cache_namespace();
+                let n = cache.namespace_stats(ns);
+                let _ = writeln!(
+                    out,
+                    "cache ns={} tenant={} puts={} put_bytes={} evictions={} \
+                     collected={} live_objects={} live_bytes={}",
+                    ns,
+                    id,
+                    n.puts,
+                    n.put_bytes,
+                    n.evictions,
+                    n.collected,
+                    n.live_objects,
+                    n.live_bytes
+                );
+            }
+        }
+        if let Some(clock) = self.shared.clock() {
+            let _ = writeln!(
+                out,
+                "clock seconds={:.6} advances={}",
+                clock.seconds(),
+                clock.advances()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::RateLimit;
+    use slider_mapreduce::{EventTimeConfig, ExecMode};
+
+    /// Tiny word-count app so the service tests need no other crate.
+    #[derive(Clone, Default)]
+    struct Count;
+
+    impl MapReduceApp for Count {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+
+        fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+            for token in line.split_whitespace() {
+                emit(token.to_string(), 1);
+            }
+        }
+
+        fn combine(&self, _k: &String, a: &u64, b: &u64) -> u64 {
+            a + b
+        }
+
+        fn reduce(&self, _k: &String, parts: &[&u64]) -> u64 {
+            parts.iter().copied().sum()
+        }
+    }
+
+    fn event() -> EventTimeConfig {
+        EventTimeConfig {
+            epoch_len: 10,
+            records_per_split: 2,
+            window_epochs: Some(2),
+            lateness: 0,
+        }
+    }
+
+    fn spec(name: &str) -> TenantSpec {
+        TenantSpec::new(name, ExecMode::slider_folding(), event()).with_partitions(2)
+    }
+
+    fn stamped(time: u64, seq: u64, line: &str) -> Stamped<String> {
+        Stamped::new(time, seq, line.to_string())
+    }
+
+    #[test]
+    fn register_ingest_query_deregister_roundtrip() {
+        let mut service = ServiceRuntime::new(EngineShared::builder().build());
+        let id = service.register(Count, spec("alpha")).unwrap();
+        assert_eq!(service.tenant_id("alpha"), Some(id));
+
+        let out = service
+            .ingest(
+                id,
+                0,
+                vec![
+                    stamped(0, 0, "a b"),
+                    stamped(5, 1, "b"),
+                    stamped(12, 2, "c"),
+                    stamped(25, 3, "a"),
+                ],
+            )
+            .unwrap();
+        assert!(out.decision.is_admitted());
+        assert!(!out.runs.is_empty(), "closed epochs must run");
+
+        let view = service.query(id).unwrap();
+        assert_eq!(view.watermark, Some(25));
+        assert!(view.output.contains_key("a"));
+
+        let report = service.deregister(id).unwrap();
+        assert_eq!(report.name, "alpha");
+        assert_eq!(report.stats.records_admitted, 4);
+        assert!(report.stats.runs >= out.runs.len() as u64);
+        // Closing drained epoch 2 into the 2-epoch window, evicting
+        // epoch 0 (and with it the first "a" and both "b"s).
+        assert_eq!(report.output.get("a"), Some(&1));
+        assert_eq!(report.output.get("b"), None);
+        assert_eq!(report.output.get("c"), Some(&1));
+        assert!(service.query(id).is_err(), "gone after deregistration");
+        assert_eq!(service.serve_stats().tenants_deregistered, 1);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_specs_are_rejected() {
+        let mut service = ServiceRuntime::new(EngineShared::builder().build());
+        service.register(Count, spec("alpha")).unwrap();
+        assert!(matches!(
+            service.register(Count, spec("alpha")),
+            Err(ServeError::DuplicateTenant(_))
+        ));
+        assert!(matches!(
+            service.register(Count, spec("")),
+            Err(ServeError::BadSpec(_))
+        ));
+        assert!(matches!(
+            service.register(
+                Count,
+                TenantSpec::new("rot", ExecMode::slider_rotating(false), event())
+            ),
+            Err(ServeError::BadSpec(_))
+        ));
+        assert!(matches!(
+            service.register(
+                Count,
+                spec("limited").with_rate_limit(RateLimit::new(0, 10))
+            ),
+            Err(ServeError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn rejected_requests_do_not_touch_the_window() {
+        let mut service = ServiceRuntime::new(EngineShared::builder().build());
+        let id = service
+            .register(
+                Count,
+                spec("alpha")
+                    .with_rate_limit(RateLimit::new(1, 100))
+                    .with_max_request_records(8),
+            )
+            .unwrap();
+        assert!(service
+            .ingest(id, 0, vec![stamped(0, 0, "a")])
+            .unwrap()
+            .decision
+            .is_admitted());
+        let bounced = service.ingest(id, 1, vec![stamped(1, 1, "b")]).unwrap();
+        assert!(matches!(bounced.decision, Decision::RateLimited { .. }));
+        assert!(bounced.runs.is_empty());
+        let view = service.query(id).unwrap();
+        assert_eq!(
+            view.watermark,
+            Some(0),
+            "the rejected record never reached the feeder"
+        );
+        let stats = service.tenant_stats(id).unwrap();
+        assert_eq!((stats.admitted, stats.rate_limited), (1, 1));
+    }
+
+    #[test]
+    fn serve_stats_reconcile_with_per_run_stats() {
+        let mut service = ServiceRuntime::new(EngineShared::builder().build());
+        let a = service.register(Count, spec("alpha")).unwrap();
+        let b = service.register(Count, spec("bravo")).unwrap();
+        let mut runs = Vec::new();
+        for (i, id) in [(0u64, a), (1, b), (2, a), (3, b)] {
+            let records = (0..6)
+                .map(|j| stamped(i * 20 + j * 4, i * 10 + j, "w x"))
+                .collect();
+            runs.extend(service.ingest(id, i, records).unwrap().runs);
+        }
+        runs.extend(service.deregister(a).unwrap().final_runs);
+        runs.extend(service.deregister(b).unwrap().final_runs);
+
+        let mut expected = ServeStats::default();
+        for run in &runs {
+            expected.absorb(run);
+        }
+        let got = service.serve_stats();
+        assert_eq!(
+            (got.runs, got.work_foreground, got.work_grand),
+            (expected.runs, expected.work_foreground, expected.work_grand),
+            "the roll-up is the exact fold of every run the engine reported"
+        );
+    }
+
+    #[test]
+    fn metrics_and_health_render_deterministically() {
+        let render = || {
+            let mut service = ServiceRuntime::new(EngineShared::builder().build());
+            let id = service.register(Count, spec("alpha")).unwrap();
+            service
+                .ingest(id, 0, vec![stamped(0, 0, "a b"), stamped(15, 1, "c")])
+                .unwrap();
+            (service.health(), service.metrics())
+        };
+        let (h1, m1) = render();
+        let (h2, m2) = render();
+        assert_eq!(h1, h2);
+        assert_eq!(m1, m2);
+        assert!(h1.contains("ok tenant=alpha"));
+        assert!(m1.contains("tenant id=1 name=alpha"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Service-side statistics: per-tenant and service-wide counters that
+//! reconcile bit-exactly with the per-run [`RunStats`] the engine
+//! returns.
+//!
+//! Both structs fold the *deterministic* subset of [`RunStats`] — work,
+//! task and key counts, byte counters — with plain integer addition, so
+//! `sum(per-run) == folded` is an exact invariant, not an approximation.
+
+use slider_mapreduce::RunStats;
+
+use crate::admission::Decision;
+
+/// Folded statistics for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests seen at the front door.
+    pub requests: u64,
+    /// Requests admitted and dispatched.
+    pub admitted: u64,
+    /// Requests bounced by the DGIM rate limiter.
+    pub rate_limited: u64,
+    /// Requests bounced by the lifetime record quota.
+    pub over_quota: u64,
+    /// Requests bounced by the per-request record cap.
+    pub too_large: u64,
+    /// Records carried by admitted requests.
+    pub records_admitted: u64,
+    /// Records carried by rejected requests.
+    pub records_rejected: u64,
+    /// Runs the tenant's job executed.
+    pub runs: u64,
+    /// Total foreground work across all runs.
+    pub work_foreground: u64,
+    /// Total work including background pre-processing.
+    pub work_grand: u64,
+    /// Map tasks executed.
+    pub map_tasks: u64,
+    /// Splits whose map output was reused from memoization.
+    pub map_reused: u64,
+    /// Keys recomputed by Reduce.
+    pub keys_reduced: u64,
+    /// Keys whose previous output was reused untouched.
+    pub keys_reused: u64,
+    /// Bytes of fresh map output shuffled.
+    pub shuffle_bytes: u64,
+    /// Bytes of memoized state read.
+    pub memo_read_bytes: u64,
+    /// Memoization footprint after the most recent run.
+    pub memo_footprint_bytes: u64,
+}
+
+impl TenantStats {
+    /// Folds one run's metrics in.
+    pub fn absorb(&mut self, run: &RunStats) {
+        self.runs += 1;
+        self.work_foreground += run.work.foreground_total();
+        self.work_grand += run.work.grand_total();
+        self.map_tasks += run.map_tasks as u64;
+        self.map_reused += run.map_reused as u64;
+        self.keys_reduced += run.keys_reduced as u64;
+        self.keys_reused += run.keys_reused as u64;
+        self.shuffle_bytes += run.shuffle_bytes;
+        self.memo_read_bytes += run.memo_read_bytes;
+        self.memo_footprint_bytes = run.memo_footprint_bytes;
+    }
+
+    /// Counts one front-door decision.
+    pub(crate) fn count(&mut self, decision: &Decision, records: usize) {
+        self.requests += 1;
+        match decision {
+            Decision::Admitted { .. } => {
+                self.admitted += 1;
+                self.records_admitted += records as u64;
+            }
+            Decision::RateLimited { .. } => {
+                self.rate_limited += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::OverQuota { .. } => {
+                self.over_quota += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::TooLarge { .. } => {
+                self.too_large += 1;
+                self.records_rejected += records as u64;
+            }
+        }
+    }
+}
+
+/// Service-wide roll-up: the exact sum of every tenant's folded stats,
+/// including tenants that have since deregistered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Tenants ever registered.
+    pub tenants_registered: u64,
+    /// Tenants deregistered again.
+    pub tenants_deregistered: u64,
+    /// Requests seen at the front door.
+    pub requests: u64,
+    /// Requests admitted and dispatched.
+    pub admitted: u64,
+    /// Requests bounced by rate limiting.
+    pub rate_limited: u64,
+    /// Requests bounced by quota enforcement.
+    pub over_quota: u64,
+    /// Requests bounced by the per-request cap.
+    pub too_large: u64,
+    /// Records carried by admitted requests.
+    pub records_admitted: u64,
+    /// Records carried by rejected requests.
+    pub records_rejected: u64,
+    /// Runs executed across all tenants.
+    pub runs: u64,
+    /// Total foreground work across all tenants' runs.
+    pub work_foreground: u64,
+    /// Total work including background pre-processing.
+    pub work_grand: u64,
+}
+
+impl ServeStats {
+    /// Folds one run's metrics in (mirrors [`TenantStats::absorb`]).
+    pub fn absorb(&mut self, run: &RunStats) {
+        self.runs += 1;
+        self.work_foreground += run.work.foreground_total();
+        self.work_grand += run.work.grand_total();
+    }
+
+    /// Counts one front-door decision.
+    pub(crate) fn count(&mut self, decision: &Decision, records: usize) {
+        self.requests += 1;
+        match decision {
+            Decision::Admitted { .. } => {
+                self.admitted += 1;
+                self.records_admitted += records as u64;
+            }
+            Decision::RateLimited { .. } => {
+                self.rate_limited += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::OverQuota { .. } => {
+                self.over_quota += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::TooLarge { .. } => {
+                self.too_large += 1;
+                self.records_rejected += records as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_folds_exactly() {
+        let mut run = RunStats::default();
+        run.work.map = 10;
+        run.work.reduce = 5;
+        run.work.movement = 1;
+        run.work.contraction_bg.work = 4;
+        run.map_tasks = 3;
+        run.shuffle_bytes = 100;
+        run.memo_footprint_bytes = 77;
+
+        let mut tenant = TenantStats::default();
+        tenant.absorb(&run);
+        tenant.absorb(&run);
+        assert_eq!(tenant.runs, 2);
+        assert_eq!(tenant.work_foreground, 32);
+        assert_eq!(tenant.work_grand, 40);
+        assert_eq!(tenant.map_tasks, 6);
+        assert_eq!(tenant.shuffle_bytes, 200);
+        assert_eq!(tenant.memo_footprint_bytes, 77, "footprint is last-value");
+
+        let mut serve = ServeStats::default();
+        serve.absorb(&run);
+        serve.absorb(&run);
+        assert_eq!(
+            (serve.runs, serve.work_foreground, serve.work_grand),
+            (tenant.runs, tenant.work_foreground, tenant.work_grand),
+            "the roll-up folds the identical sums"
+        );
+    }
+
+    #[test]
+    fn decisions_are_counted_by_kind() {
+        let mut s = TenantStats::default();
+        s.count(&Decision::Admitted { records: 4 }, 4);
+        s.count(
+            &Decision::RateLimited {
+                limit: 1,
+                estimate: 1,
+            },
+            2,
+        );
+        s.count(&Decision::OverQuota { quota: 1, used: 1 }, 3);
+        s.count(&Decision::TooLarge { max: 1, got: 9 }, 9);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.records_admitted, 4);
+        assert_eq!(s.records_rejected, 14);
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod disorder;
 pub mod glasnost;
+pub mod multitenant;
 pub mod netsession;
 pub mod pageviews;
 pub mod points;

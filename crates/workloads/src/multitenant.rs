@@ -1,0 +1,215 @@
+//! Multi-tenant traffic: interleaved request streams for a shared
+//! service.
+//!
+//! The service layer (`slider-serve`) multiplexes many tenants' windowed
+//! jobs over one engine. Exercising it needs traffic that looks like a
+//! front door, not a batch file: per-tenant event-time streams (each with
+//! its own disorder, reusing [`disorder`](crate::disorder)), chopped into
+//! requests, interleaved by arrival time, with an optional *hot tenant*
+//! sending a multiple of everyone else's traffic.
+//!
+//! Determinism contract: same `(seed, config)` ⇒ the same requests in the
+//! same order, every run, every platform. The per-tenant record streams
+//! are seeded independently (`seed ^ tenant`), so adding a tenant to the
+//! mix never perturbs another tenant's records.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::disorder::{disordered_stream, DisorderConfig, TimedLine};
+
+/// Shape of a multi-tenant traffic mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiTenantConfig {
+    /// Number of tenants (ids `0..tenants`).
+    pub tenants: usize,
+    /// Requests each ordinary tenant sends.
+    pub requests_per_tenant: usize,
+    /// Mean records per request (actual sizes are uniform in
+    /// `1..=2 * mean - 1`, so the mean holds and no request is empty).
+    pub records_per_request: usize,
+    /// Per-tenant event-time stream shape (`records` is ignored — the
+    /// request count and sizes determine how many records each tenant
+    /// needs).
+    pub stream: DisorderConfig,
+    /// Hot-tenant skew: this tenant sends `hot_factor ×` the requests.
+    pub hot_tenant: Option<usize>,
+    /// Multiplier for the hot tenant's request count (≥ 1).
+    pub hot_factor: usize,
+    /// Mean gap between one tenant's consecutive requests, in arrival
+    /// ticks. Tenants' clocks run independently; interleaving falls out
+    /// of sorting all requests by arrival.
+    pub mean_arrival_gap: u64,
+}
+
+impl Default for MultiTenantConfig {
+    fn default() -> Self {
+        MultiTenantConfig {
+            tenants: 3,
+            requests_per_tenant: 8,
+            records_per_request: 8,
+            stream: DisorderConfig::default(),
+            hot_tenant: None,
+            hot_factor: 3,
+            mean_arrival_gap: 5,
+        }
+    }
+}
+
+/// One front-door request: a batch of `records` from `tenant` arriving at
+/// `arrival` (service-clock ticks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRequest {
+    /// Sending tenant, `0..config.tenants`.
+    pub tenant: usize,
+    /// Arrival tick; the stream is sorted by `(arrival, tenant, index)`.
+    pub arrival: u64,
+    /// Position of this request within its tenant's own sequence.
+    pub index: usize,
+    /// The records, in the tenant's (possibly disordered) arrival order.
+    pub records: Vec<TimedLine>,
+}
+
+/// Generates the interleaved request stream for `config` (see the module
+/// docs for the determinism contract).
+///
+/// # Panics
+///
+/// Panics when `tenants`, `requests_per_tenant`, `records_per_request`
+/// or `hot_factor` is zero, or `hot_tenant` is out of range.
+pub fn multitenant_stream(seed: u64, config: &MultiTenantConfig) -> Vec<TenantRequest> {
+    assert!(config.tenants > 0, "need at least one tenant");
+    assert!(config.requests_per_tenant > 0, "need at least one request");
+    assert!(config.records_per_request > 0, "requests cannot be empty");
+    assert!(config.hot_factor > 0, "hot factor must be positive");
+    if let Some(hot) = config.hot_tenant {
+        assert!(hot < config.tenants, "hot tenant {hot} out of range");
+    }
+    let mut requests: Vec<TenantRequest> = Vec::new();
+    for tenant in 0..config.tenants {
+        let hot = config.hot_tenant == Some(tenant);
+        let count = config.requests_per_tenant * if hot { config.hot_factor } else { 1 };
+        // Request sizes and arrival pacing come from a per-tenant RNG;
+        // the records themselves from the disorder generators, so each
+        // tenant is a bona fide bounded-disorder event-time stream.
+        let mut rng = SmallRng::seed_from_u64(seed ^ (tenant as u64) ^ 0x7e4a);
+        let sizes: Vec<usize> = (0..count)
+            .map(|_| rng.gen_range(1..=config.records_per_request * 2 - 1))
+            .collect();
+        let stream_cfg = DisorderConfig {
+            records: sizes.iter().sum(),
+            ..config.stream.clone()
+        };
+        let stream = disordered_stream(seed ^ (tenant as u64), &stream_cfg);
+        let mut offset = 0usize;
+        let mut arrival = 0u64;
+        for (index, &size) in sizes.iter().enumerate() {
+            arrival += rng.gen_range(0..=config.mean_arrival_gap * 2);
+            requests.push(TenantRequest {
+                tenant,
+                arrival,
+                index,
+                records: stream[offset..offset + size].to_vec(),
+            });
+            offset += size;
+        }
+    }
+    // Arrival interleaving: a stable, fully deterministic total order.
+    requests.sort_by_key(|r| (r.arrival, r.tenant, r.index));
+    requests
+}
+
+/// The records one tenant's requests deliver, concatenated in arrival
+/// order — exactly the stream a standalone single-job twin of that tenant
+/// must ingest to reproduce its served outputs.
+pub fn tenant_records(stream: &[TenantRequest], tenant: usize) -> Vec<TimedLine> {
+    stream
+        .iter()
+        .filter(|r| r.tenant == tenant)
+        .flat_map(|r| r.records.iter().cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let cfg = MultiTenantConfig::default();
+        assert_eq!(multitenant_stream(9, &cfg), multitenant_stream(9, &cfg));
+        assert_ne!(multitenant_stream(9, &cfg), multitenant_stream(10, &cfg));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_indices_per_tenant_monotone() {
+        let stream = multitenant_stream(4, &MultiTenantConfig::default());
+        for w in stream.windows(2) {
+            assert!(
+                (w[0].arrival, w[0].tenant, w[0].index) < (w[1].arrival, w[1].tenant, w[1].index)
+            );
+        }
+        for tenant in 0..3 {
+            let indices: Vec<usize> = stream
+                .iter()
+                .filter(|r| r.tenant == tenant)
+                .map(|r| r.index)
+                .collect();
+            assert_eq!(indices, (0..indices.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn hot_tenant_sends_a_multiple() {
+        let cfg = MultiTenantConfig {
+            hot_tenant: Some(1),
+            hot_factor: 4,
+            ..MultiTenantConfig::default()
+        };
+        let stream = multitenant_stream(7, &cfg);
+        let count = |t| stream.iter().filter(|r| r.tenant == t).count();
+        assert_eq!(count(0), cfg.requests_per_tenant);
+        assert_eq!(count(1), cfg.requests_per_tenant * 4);
+        assert_eq!(count(2), cfg.requests_per_tenant);
+    }
+
+    #[test]
+    fn adding_a_tenant_never_perturbs_existing_streams() {
+        let small = MultiTenantConfig {
+            tenants: 2,
+            ..MultiTenantConfig::default()
+        };
+        let large = MultiTenantConfig {
+            tenants: 4,
+            ..MultiTenantConfig::default()
+        };
+        let a = multitenant_stream(11, &small);
+        let b = multitenant_stream(11, &large);
+        for tenant in 0..2 {
+            assert_eq!(tenant_records(&a, tenant), tenant_records(&b, tenant));
+        }
+    }
+
+    #[test]
+    fn tenant_records_concatenate_in_arrival_order() {
+        let cfg = MultiTenantConfig::default();
+        let stream = multitenant_stream(3, &cfg);
+        for tenant in 0..cfg.tenants {
+            let records = tenant_records(&stream, tenant);
+            assert!(!records.is_empty());
+            // Sequence numbers within one tenant's stream are unique.
+            let mut seqs: Vec<u64> = records.iter().map(|r| r.1).collect();
+            seqs.sort_unstable();
+            seqs.dedup();
+            assert_eq!(seqs.len(), records.len());
+            // Disorder stays within the configured lateness bound.
+            assert!(crate::disorder::max_displacement(&records) <= cfg.stream.lateness);
+        }
+    }
+
+    #[test]
+    fn no_request_is_empty() {
+        let stream = multitenant_stream(2, &MultiTenantConfig::default());
+        assert!(stream.iter().all(|r| !r.records.is_empty()));
+    }
+}
