@@ -33,6 +33,16 @@ cargo test -q -p slider-bench --test integration_event_time
 echo "==> serve: multi-tenant service determinism + standalone-twin equality"
 cargo test -q -p slider-bench --test integration_serve
 
+echo "==> resilience: crash/restore, breaker quarantine, overload shedding"
+cargo test -q -p slider-bench --test integration_resilience
+
+echo "==> resilience: chaos_restore output is byte-identical across runs and thread counts"
+chaos_tmp="$(mktemp -d)"
+cargo run -q --release -p slider-bench --example chaos_restore > "$chaos_tmp/a.txt"
+SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example chaos_restore > "$chaos_tmp/b.txt"
+cmp "$chaos_tmp/a.txt" "$chaos_tmp/b.txt"
+rm -rf "$chaos_tmp"
+
 echo "==> serve: dashboard output is byte-identical across runs and thread counts"
 serve_tmp="$(mktemp -d)"
 cargo run -q --release -p slider-bench --example serve_dashboard > "$serve_tmp/a.txt"

@@ -80,6 +80,16 @@ impl SharedClock {
         *self.lock()
     }
 
+    /// Reimposes a previously captured [`snapshot`] on this clock,
+    /// overwriting the current state. Checkpoint restore uses this to put
+    /// a fresh engine's clock exactly where the crashed one stood, so
+    /// subsequent advances replay through the same sequence of instants.
+    ///
+    /// [`snapshot`]: SharedClock::snapshot
+    pub fn restore(&self, state: SimClock) {
+        *self.lock() = state;
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, SimClock> {
         self.inner.lock().expect("sim clock poisoned")
     }
@@ -112,6 +122,22 @@ mod tests {
                 advances: 2
             }
         );
+    }
+
+    #[test]
+    fn restore_reimposes_a_snapshot() {
+        let crashed = SharedClock::new();
+        crashed.advance(2.5);
+        crashed.advance(0.5);
+        let image = crashed.snapshot();
+
+        let fresh = SharedClock::new();
+        fresh.restore(image);
+        assert_eq!(fresh.snapshot(), image);
+        // Replaying the same advance lands both clocks on the same state.
+        crashed.advance(1.25);
+        fresh.advance(1.25);
+        assert_eq!(fresh.snapshot(), crashed.snapshot());
     }
 
     #[test]

@@ -74,11 +74,26 @@ impl<V> fmt::Debug for CoalescingTree<V> {
     }
 }
 
+impl<V> Clone for CoalescingTree<V> {
+    fn clone(&self) -> Self {
+        CoalescingTree {
+            root: self.root.clone(),
+            pending: self.pending.clone(),
+            split: self.split,
+            len: self.len,
+        }
+    }
+}
+
 impl<K, V> WindowAggregator<K, V> for CoalescingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
+    fn boxed_clone(&self) -> Box<dyn WindowAggregator<K, V>> {
+        Box::new(self.clone())
+    }
+
     fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
         let live: Vec<Arc<V>> = leaves.into_iter().flatten().collect();
         self.len = live.len();
@@ -170,8 +185,8 @@ where
 
 impl<K, V> ContractionTree<K, V> for CoalescingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
     fn height(&self) -> usize {
         match (self.len, self.pending.is_some()) {

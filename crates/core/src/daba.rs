@@ -52,6 +52,16 @@ struct Entry<V> {
     agg: Arc<V>,
 }
 
+// Manual: entries share their `Arc`ed values, so no `V: Clone` is needed.
+impl<V> Clone for Entry<V> {
+    fn clone(&self) -> Self {
+        Entry {
+            val: self.val.clone(),
+            agg: Arc::clone(&self.agg),
+        }
+    }
+}
+
 /// Folds the present aggregates oldest-to-newest, charging each merge to the
 /// foreground phase. Order matters: the combiners are not assumed
 /// commutative.
@@ -91,6 +101,22 @@ struct TwinStacks<V> {
     paced: bool,
     /// Whether repaired entries drop their raw leaf (DABA Lite).
     lite: bool,
+}
+
+impl<V> Clone for TwinStacks<V> {
+    fn clone(&self) -> Self {
+        TwinStacks {
+            front: self.front.clone(),
+            mid_pending: self.mid_pending.clone(),
+            mid_done: self.mid_done.clone(),
+            mid_agg: self.mid_agg.clone(),
+            back: self.back.clone(),
+            back_agg: self.back_agg.clone(),
+            root: self.root.clone(),
+            paced: self.paced,
+            lite: self.lite,
+        }
+    }
 }
 
 impl<V> TwinStacks<V> {
@@ -311,11 +337,23 @@ macro_rules! twin_stack_aggregator {
             }
         }
 
+        impl<V> Clone for $name<V> {
+            fn clone(&self) -> Self {
+                $name {
+                    core: self.core.clone(),
+                }
+            }
+        }
+
         impl<K, V> WindowAggregator<K, V> for $name<V>
         where
-            K: Send,
-            V: Send + Sync,
+            K: Send + 'static,
+            V: Send + Sync + 'static,
         {
+            fn boxed_clone(&self) -> Box<dyn WindowAggregator<K, V>> {
+                Box::new(self.clone())
+            }
+
             fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
                 let live: Vec<Arc<V>> = leaves.into_iter().flatten().collect();
                 cx.note_added(live.len() as u64);

@@ -203,6 +203,42 @@ impl SlidingWindowCounter {
     /// in-window bucket (the only one that may straddle the boundary).
     /// Buckets wholly outside the window are skipped, not mutated, so
     /// queries never perturb the structure.
+    /// Captures the complete counter state. Restoring via
+    /// [`SlidingWindowCounter::restore`] yields a counter that is
+    /// bit-identical (`==`) to this one and produces identical estimates,
+    /// merges and expirations on any identical future event sequence.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            window: self.window,
+            per_class: self.per_class,
+            buckets: self.buckets.iter().map(|b| (b.time, b.size)).collect(),
+            latest: self.latest,
+        }
+    }
+
+    /// Rebuilds a counter from a [`CounterSnapshot`], exactly as captured.
+    ///
+    /// The snapshot is trusted to have come from [`snapshot`]; geometry
+    /// fields are reimposed verbatim (no re-derivation from ε), so the
+    /// round trip is lossless even for ε values whose `⌈1/ε⌉` is not
+    /// recoverable from `per_class` alone.
+    ///
+    /// [`snapshot`]: SlidingWindowCounter::snapshot
+    #[must_use]
+    pub fn restore(snapshot: &CounterSnapshot) -> Self {
+        SlidingWindowCounter {
+            window: snapshot.window,
+            per_class: snapshot.per_class,
+            buckets: snapshot
+                .buckets
+                .iter()
+                .map(|&(time, size)| Bucket { time, size })
+                .collect(),
+            latest: snapshot.latest,
+        }
+    }
+
     fn split(&self, now: u64) -> (u64, u64) {
         let now = now.max(self.latest);
         let horizon = now.saturating_sub(self.window);
@@ -217,6 +253,21 @@ impl SlidingWindowCounter {
         }
         (inner, straddling)
     }
+}
+
+/// Point-in-time image of a [`SlidingWindowCounter`]: the window geometry
+/// plus the exact exponential-histogram contents. The field layout is the
+/// stable checkpoint wire format consumed by `slider-serve` snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Window length in time units.
+    pub window: u64,
+    /// Maximum buckets retained per size class.
+    pub per_class: usize,
+    /// `(newest timestamp, size)` per bucket, newest bucket first.
+    pub buckets: Vec<(u64, u64)>,
+    /// Latest event timestamp seen (the monotonic clamp).
+    pub latest: u64,
 }
 
 #[cfg(test)]
@@ -414,6 +465,43 @@ mod tests {
             for probe in [now + window / 2, now + window, now + 2 * window] {
                 assert_error_bound(&dgim, &exact, probe, eps);
             }
+        }
+
+        #[test]
+        fn snapshot_restore_round_trips_mid_stream(
+            steps in proptest::collection::vec((0u64..8, 1u64..4), 2..300),
+            window in 1u64..512,
+            eps_tenths in 1u32..10,
+            cut_permille in 0u32..1000,
+        ) {
+            // Feed a prefix, checkpoint mid-stream, and drive the restored
+            // counter through the suffix alongside the original: the clone
+            // must be bit-identical at the cut and the pair must stay
+            // `==` (same buckets, merges, expirations) ever after, while
+            // the restored counter keeps honoring the (1 ± ε) envelope.
+            let eps = f64::from(eps_tenths) / 10.0;
+            let cut = (steps.len() * cut_permille as usize) / 1000;
+            let mut original = SlidingWindowCounter::new(window, eps);
+            let mut exact = ExactCounter::new(window);
+            let mut now = 0u64;
+            for &(gap, n) in &steps[..cut] {
+                now += gap;
+                original.record_n(now, n);
+                exact.record_n(now, n);
+            }
+            let image = original.snapshot();
+            prop_assert_eq!(&image, &image.clone(), "snapshot must be value-stable");
+            let mut restored = SlidingWindowCounter::restore(&image);
+            prop_assert_eq!(&restored, &original, "restore must be bit-exact");
+            for &(gap, n) in &steps[cut..] {
+                now += gap;
+                original.record_n(now, n);
+                restored.record_n(now, n);
+                exact.record_n(now, n);
+                prop_assert_eq!(&restored, &original, "divergence after restore");
+                assert_error_bound(&restored, &exact, now, eps);
+            }
+            prop_assert_eq!(restored.snapshot(), original.snapshot());
         }
 
         #[test]

@@ -203,11 +203,26 @@ impl<V> fmt::Debug for FoldingTree<V> {
     }
 }
 
+impl<V> Clone for FoldingTree<V> {
+    fn clone(&self) -> Self {
+        FoldingTree {
+            levels: self.levels.clone(),
+            start: self.start,
+            len: self.len,
+            rebuild_factor: self.rebuild_factor,
+        }
+    }
+}
+
 impl<K, V> WindowAggregator<K, V> for FoldingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
+    fn boxed_clone(&self) -> Box<dyn WindowAggregator<K, V>> {
+        Box::new(self.clone())
+    }
+
     fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
         let live: Vec<Arc<V>> = leaves.into_iter().flatten().collect();
         cx.note_added(live.len() as u64);
@@ -454,8 +469,8 @@ where
 
 impl<K, V> ContractionTree<K, V> for FoldingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
     fn height(&self) -> usize {
         if self.len == 0 {

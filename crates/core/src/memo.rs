@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A memo table mapping stable node identities to cached aggregates.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MemoCache<V> {
     entries: HashMap<u64, Entry<V>>,
     generation: u64,
@@ -21,10 +21,32 @@ pub struct MemoCache<V> {
     misses: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Entry<V> {
     value: Arc<V>,
     last_used: u64,
+}
+
+// Manual impls: every cached value sits behind an `Arc`, so a cache clone
+// shares allocations and needs no `V: Clone` (which a derive would demand).
+impl<V> Clone for MemoCache<V> {
+    fn clone(&self) -> Self {
+        MemoCache {
+            entries: self.entries.clone(),
+            generation: self.generation,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+impl<V> Clone for Entry<V> {
+    fn clone(&self) -> Self {
+        Entry {
+            value: Arc::clone(&self.value),
+            last_used: self.last_used,
+        }
+    }
 }
 
 impl<V> Default for MemoCache<V> {

@@ -189,11 +189,28 @@ impl<V> fmt::Debug for RandomizedFoldingTree<V> {
     }
 }
 
+impl<V> Clone for RandomizedFoldingTree<V> {
+    fn clone(&self) -> Self {
+        RandomizedFoldingTree {
+            leaves: self.leaves.clone(),
+            cache: self.cache.clone(),
+            root: self.root.clone(),
+            next_id: self.next_id,
+            height: self.height,
+            seed: self.seed,
+        }
+    }
+}
+
 impl<K, V> WindowAggregator<K, V> for RandomizedFoldingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
+    fn boxed_clone(&self) -> Box<dyn WindowAggregator<K, V>> {
+        Box::new(self.clone())
+    }
+
     fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
         self.leaves.clear();
         self.cache = MemoCache::new();
@@ -308,8 +325,8 @@ where
 
 impl<K, V> ContractionTree<K, V> for RandomizedFoldingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
     fn height(&self) -> usize {
         self.height

@@ -224,11 +224,31 @@ impl<V> fmt::Debug for RotatingTree<V> {
     }
 }
 
+impl<V> Clone for RotatingTree<V> {
+    fn clone(&self) -> Self {
+        RotatingTree {
+            capacity: self.capacity,
+            width: self.width,
+            nodes: self.nodes.clone(),
+            filled: self.filled,
+            next_victim: self.next_victim,
+            present: self.present,
+            precombined: self.precombined.clone(),
+            pending: self.pending.clone(),
+            root_override: self.root_override.clone(),
+        }
+    }
+}
+
 impl<K, V> WindowAggregator<K, V> for RotatingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
+    fn boxed_clone(&self) -> Box<dyn WindowAggregator<K, V>> {
+        Box::new(self.clone())
+    }
+
     fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
         let capacity = self.capacity.max(leaves.len());
         *self = RotatingTree::new(capacity);
@@ -401,8 +421,8 @@ where
 
 impl<K, V> ContractionTree<K, V> for RotatingTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
     fn height(&self) -> usize {
         if WindowAggregator::<K, V>::is_empty(self) {

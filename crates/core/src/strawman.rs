@@ -168,11 +168,27 @@ impl<V> fmt::Debug for StrawmanTree<V> {
     }
 }
 
+impl<V> Clone for StrawmanTree<V> {
+    fn clone(&self) -> Self {
+        StrawmanTree {
+            leaves: self.leaves.clone(),
+            cache: self.cache.clone(),
+            root: self.root.clone(),
+            next_id: self.next_id,
+            height: self.height,
+        }
+    }
+}
+
 impl<K, V> WindowAggregator<K, V> for StrawmanTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
+    fn boxed_clone(&self) -> Box<dyn WindowAggregator<K, V>> {
+        Box::new(self.clone())
+    }
+
     fn rebuild(&mut self, cx: &mut TreeCx<'_, K, V>, leaves: Vec<Option<Arc<V>>>) {
         self.leaves.clear();
         self.cache = MemoCache::new();
@@ -286,8 +302,8 @@ where
 
 impl<K, V> ContractionTree<K, V> for StrawmanTree<V>
 where
-    K: Send,
-    V: Send + Sync,
+    K: Send + 'static,
+    V: Send + Sync + 'static,
 {
     fn height(&self) -> usize {
         self.height

@@ -389,6 +389,18 @@ pub trait WindowAggregator<K, V>: fmt::Debug + Send {
 
     /// Which family member this is.
     fn kind(&self) -> TreeKind;
+
+    /// Deep copy behind the object-safe interface.
+    ///
+    /// The copy shares leaf/aggregate allocations (everything is
+    /// `Arc`-backed) but duplicates all structural state — slot layout,
+    /// memo caches, generation counters, pending repairs — so that the
+    /// clone and the original **meter identical work on identical future
+    /// slides**. This is the checkpoint primitive: rebuilding from window
+    /// contents via `rebuild` is answer-equivalent but not stats-canonical
+    /// (the reconstructed shape reuses different nodes), so restore paths
+    /// clone instead.
+    fn boxed_clone(&self) -> Box<dyn WindowAggregator<K, V>>;
 }
 
 /// Extension contract for aggregators that really are self-adjusting

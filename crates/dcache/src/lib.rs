@@ -24,6 +24,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Placement and latency math mixes u64 byte counts with usize indexing;
+// every narrowing must be explicit and checked, never a silent `as`.
+#![deny(clippy::cast_possible_truncation)]
 
 mod gc;
 mod master;

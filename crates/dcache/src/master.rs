@@ -282,7 +282,7 @@ struct ObjectMeta {
     checksum: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     memory: InMemoryStore,
     /// Persistent objects on this node. Unbounded.
@@ -295,7 +295,11 @@ struct Node {
 /// The master (this struct) keeps the object index; slaves hold an
 /// in-memory tier plus persistent replicas. See the crate docs for an
 /// example.
-#[derive(Debug)]
+// `Clone` is the checkpoint primitive: a clone captures the whole cache —
+// index, per-node memory/disk tiers, repair queue, stats — so a restored
+// engine replays byte-identical hit/miss/latency sequences. The clone
+// shares the `TraceSink` handle; restore paths re-attach their own sink.
+#[derive(Debug, Clone)]
 pub struct DistributedCache {
     config: CacheConfig,
     nodes: Vec<Node>,
@@ -1534,7 +1538,12 @@ mod tests {
     fn fault_free_runs_have_zero_repair_cost() {
         let mut c = DistributedCache::new(CacheConfig::paper_defaults(4).with_repair());
         for id in 0..8u64 {
-            c.put(ObjectId(id), 1024, NodeId(id as usize % 4), 0);
+            c.put(
+                ObjectId(id),
+                1024,
+                NodeId(usize::try_from(id % 4).unwrap()),
+                0,
+            );
             c.read(ObjectId(id), NodeId(0)).unwrap();
         }
         assert_eq!(c.drain_repairs(), 0);
@@ -1667,7 +1676,12 @@ mod tests {
     fn master_rebuild_recovers_the_index_from_disks() {
         let mut c = cache(4);
         for id in 0..6u64 {
-            c.put(ObjectId(id), 100 + id, NodeId(id as usize % 4), 1);
+            c.put(
+                ObjectId(id),
+                100 + id,
+                NodeId(usize::try_from(id % 4).unwrap()),
+                1,
+            );
         }
         let lost = c.lose_master();
         assert_eq!(lost, 6);

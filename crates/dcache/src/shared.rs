@@ -49,6 +49,21 @@ impl SharedCache {
     pub fn namespace_stats(&self, namespace: u32) -> NamespaceStats {
         self.with(|c| c.namespace_stats(namespace))
     }
+
+    /// Deep copy of the underlying cache: contents, placement, repair
+    /// queue and statistics. The checkpoint primitive — pair with
+    /// [`SharedCache::restore_cache`] on a fresh handle.
+    #[must_use]
+    pub fn snapshot_cache(&self) -> DistributedCache {
+        self.with(|c| c.clone())
+    }
+
+    /// Replaces the underlying cache wholesale with `cache` (typically a
+    /// [`SharedCache::snapshot_cache`] image). Every existing clone of
+    /// this handle observes the replacement.
+    pub fn restore_cache(&self, cache: DistributedCache) {
+        self.with(move |c| *c = cache);
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,11 @@ pub enum JobError {
     EmptyBatch,
     /// The job configuration is inconsistent (detailed in the message).
     BadConfig(String),
+    /// A failure injected by a scripted fault plan (chaos testing): the
+    /// operation was made to fail deterministically before reaching the
+    /// engine, so recovery paths — retries, circuit breakers, restores —
+    /// can be exercised without corrupting any real state.
+    Injected(String),
 }
 
 impl fmt::Display for JobError {
@@ -76,6 +81,7 @@ impl fmt::Display for JobError {
                 )
             }
             JobError::BadConfig(msg) => write!(f, "bad job configuration: {msg}"),
+            JobError::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

@@ -24,9 +24,10 @@ use std::collections::{BTreeMap, VecDeque};
 
 use crate::app::MapReduceApp;
 use crate::error::JobError;
+use crate::shared::EngineShared;
 use crate::split::make_splits;
 use crate::stats::RunStats;
-use crate::windowed::WindowedJob;
+use crate::windowed::{JobCheckpoint, WindowedJob};
 
 /// A stream record stamped with its event time and a sequence number.
 ///
@@ -122,6 +123,59 @@ pub struct EventTimeStats {
 struct WindowEpoch {
     epoch: u64,
     splits: usize,
+}
+
+/// Deep checkpoint of an [`EventFeeder`]: the wrapped job's
+/// [`JobCheckpoint`] plus all event-time bookkeeping — the reorder buffer,
+/// queued late records, closed-epoch window map, watermark inputs, split-id
+/// counter and stats. Like a job checkpoint it is a value: restoring
+/// borrows it, so one capture can seed any number of resumed twins.
+pub struct FeederCheckpoint<A: MapReduceApp> {
+    job: JobCheckpoint<A>,
+    config: EventTimeConfig,
+    pending: BTreeMap<u64, Vec<Stamped<A::Input>>>,
+    late: BTreeMap<u64, Vec<Stamped<A::Input>>>,
+    window: VecDeque<WindowEpoch>,
+    next_open_epoch: u64,
+    max_time: Option<u64>,
+    next_split_id: u64,
+    stats: EventTimeStats,
+}
+
+impl<A: MapReduceApp> FeederCheckpoint<A> {
+    /// The wrapped job's checkpoint.
+    #[must_use]
+    pub fn job(&self) -> &JobCheckpoint<A> {
+        &self.job
+    }
+
+    /// Records captured in still-open epochs (the reorder buffer).
+    #[must_use]
+    pub fn buffered_records(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// The captured late-data counters.
+    #[must_use]
+    pub fn stats(&self) -> EventTimeStats {
+        self.stats
+    }
+}
+
+impl<A: MapReduceApp> Clone for FeederCheckpoint<A> {
+    fn clone(&self) -> Self {
+        FeederCheckpoint {
+            job: self.job.clone(),
+            config: self.config,
+            pending: self.pending.clone(),
+            late: self.late.clone(),
+            window: self.window.clone(),
+            next_open_epoch: self.next_open_epoch,
+            max_time: self.max_time,
+            next_split_id: self.next_split_id,
+            stats: self.stats,
+        }
+    }
 }
 
 /// Feeds an event-time stream into a windowed job: reorder buffering up to
@@ -304,6 +358,49 @@ impl<A: MapReduceApp> EventFeeder<A> {
     /// Records buffered in still-open epochs.
     pub fn buffered_records(&self) -> usize {
         self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Captures a deep checkpoint of the feeder and its wrapped job: see
+    /// [`FeederCheckpoint`] and [`WindowedJob::checkpoint`].
+    #[must_use]
+    pub fn checkpoint(&self) -> FeederCheckpoint<A> {
+        FeederCheckpoint {
+            job: self.job.checkpoint(),
+            config: self.config,
+            pending: self.pending.clone(),
+            late: self.late.clone(),
+            window: self.window.clone(),
+            next_open_epoch: self.next_open_epoch,
+            max_time: self.max_time,
+            next_split_id: self.next_split_id,
+            stats: self.stats,
+        }
+    }
+
+    /// Reconstructs a feeder from `checkpoint`, attaching its job to
+    /// `shared` infrastructure — see [`WindowedJob::restore_with_shared`]
+    /// for what the host must restore first (cache contents, namespace
+    /// watermark).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JobError::BadConfig`] from the job restore.
+    pub fn restore_with_shared(
+        checkpoint: &FeederCheckpoint<A>,
+        shared: &EngineShared,
+    ) -> Result<Self, JobError> {
+        let job = WindowedJob::restore_with_shared(&checkpoint.job, shared)?;
+        Ok(EventFeeder {
+            job,
+            config: checkpoint.config,
+            pending: checkpoint.pending.clone(),
+            late: checkpoint.late.clone(),
+            window: checkpoint.window.clone(),
+            next_open_epoch: checkpoint.next_open_epoch,
+            max_time: checkpoint.max_time,
+            next_split_id: checkpoint.next_split_id,
+            stats: checkpoint.stats,
+        })
     }
 
     /// Borrows the underlying job.
@@ -662,6 +759,56 @@ mod tests {
         assert_eq!(f.window_epochs(), twin.window_epochs());
         assert_eq!(f.stats().epochs_closed, twin.stats().epochs_closed);
         assert_eq!(f.stats().epochs_evicted, twin.stats().epochs_evicted);
+    }
+
+    #[test]
+    fn checkpoint_restore_twin_is_bit_identical_mid_stream() {
+        // Drive a feeder halfway, checkpoint, then continue both the
+        // original and a restored twin through the same suffix: outputs,
+        // run stats and event-time stats must be bit-identical — including
+        // a late record spliced *after* the checkpoint into an epoch closed
+        // *before* it, which only works if the window map survived.
+        let shared = EngineShared::builder().build();
+        let job = WindowedJob::with_shared(
+            WordCount,
+            JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+            &shared,
+        )
+        .unwrap();
+        let mut f = EventFeeder::new(job, config()).unwrap();
+        f.ingest([
+            stamped(2, 0, "a"),
+            stamped(12, 1, "b"),
+            stamped(22, 2, "c"),
+            stamped(35, 3, "d"),
+        ]);
+        f.flush().unwrap();
+
+        let cp = f.checkpoint();
+        assert_eq!(cp.job().window_splits(), f.job().window_splits());
+        let mut twin = EventFeeder::restore_with_shared(&cp, &shared).unwrap();
+        // The checkpoint is a value: a second restore must also succeed.
+        assert!(EventFeeder::restore_with_shared(&cp, &shared).is_ok());
+
+        let suffix: Vec<Stamped<String>> = vec![
+            stamped(4, 4, "z"), // late splice into epoch 0
+            stamped(47, 5, "e"),
+            stamped(58, 6, "f"),
+        ];
+        let drive = |f: &mut EventFeeder<WordCount>| {
+            let mut runs = Vec::new();
+            for r in &suffix {
+                f.ingest([r.clone()]);
+                runs.extend(f.flush().unwrap());
+            }
+            runs.extend(f.close_all().unwrap());
+            (f.output().clone(), format!("{runs:?}"), f.stats())
+        };
+        let (out_a, runs_a, stats_a) = drive(&mut f);
+        let (out_b, runs_b, stats_b) = drive(&mut twin);
+        assert_eq!(out_a, out_b);
+        assert_eq!(runs_a, runs_b, "restored twin must meter identically");
+        assert_eq!(stats_a, stats_b);
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod event;
 mod fault;
 mod feeder;
 mod pipeline;
+mod retry;
 mod runtime;
 mod shared;
 mod shuffle;
@@ -77,18 +78,19 @@ mod windowed;
 
 pub use app::{AppCombiner, MapReduceApp};
 pub use error::JobError;
-pub use event::{EventFeeder, EventTimeConfig, EventTimeStats, Stamped};
+pub use event::{EventFeeder, EventTimeConfig, EventTimeStats, FeederCheckpoint, Stamped};
 pub use fault::{
     CacheCorruption, CacheNodeEvent, JobFaultPlan, JobMachineCrash, JobStraggler, MemoLoss,
 };
 pub use feeder::WindowFeeder;
 pub use pipeline::{InnerStageStats, Pipeline, PipelineRunResult, StageApp, StageInput};
+pub use retry::RetryPolicy;
 pub use runtime::{Runtime, THREADS_ENV};
 pub use shared::{EngineShared, EngineSharedBuilder};
 pub use shuffle::{partition_of, stable_hash};
 pub use split::{make_splits, Split, SplitId};
 pub use stats::{RecoveryStats, RunStats, WorkBreakdown};
-pub use windowed::{ExecMode, JobConfig, RunResult, SimulationConfig, WindowedJob};
+pub use windowed::{ExecMode, JobCheckpoint, JobConfig, RunResult, SimulationConfig, WindowedJob};
 
 // Re-export the trace surface jobs are configured with, so engine users
 // need no direct `slider-trace` dependency for the common path.

@@ -102,6 +102,22 @@ impl EngineShared {
     pub fn allocate_namespace(&self) -> u32 {
         self.inner.next_namespace.fetch_add(1, Ordering::Relaxed)
     }
+
+    /// The namespace the next [`EngineShared::allocate_namespace`] call
+    /// would hand out. Checkpoints record this so a restored service
+    /// resumes allocation exactly where the crashed one stopped (restored
+    /// tenants keep their original namespaces; later registrations must
+    /// not collide with them).
+    #[must_use]
+    pub fn namespace_watermark(&self) -> u32 {
+        self.inner.next_namespace.load(Ordering::Relaxed)
+    }
+
+    /// Reimposes a captured namespace watermark on this (typically fresh)
+    /// bundle. The counterpart of [`EngineShared::namespace_watermark`].
+    pub fn restore_namespace_watermark(&self, next: u32) {
+        self.inner.next_namespace.store(next, Ordering::Relaxed);
+    }
 }
 
 /// Builder for [`EngineShared`].

@@ -18,6 +18,7 @@ use slider_trace::{SpanId, SpanKind, TraceSink};
 use crate::app::{AppCombiner, MapReduceApp};
 use crate::error::JobError;
 use crate::fault::JobFaultPlan;
+use crate::retry::RetryPolicy;
 use crate::runtime::Runtime;
 use crate::shared::EngineShared;
 use crate::shuffle::partition_of;
@@ -184,6 +185,12 @@ pub struct JobConfig {
     /// and forced memo-state loss. Outputs never change under any plan;
     /// only work/time metrics and [`RunStats::recovery`] do.
     pub faults: Option<JobFaultPlan>,
+    /// Retry/backoff policy for `Unavailable` dcache reads (self-healing
+    /// caches only): each retry backs off in simulated time and drains
+    /// pending repairs. The default reproduces the engine's historical
+    /// constants (2 retries, doubling backoff) bit-for-bit. Shared with
+    /// `slider-serve`, which applies the same policy to tenant dispatch.
+    pub retry: RetryPolicy,
     /// Worker threads for the parallel runtime. `0` means automatic: the
     /// `SLIDER_THREADS` environment variable if set, else the machine's
     /// available parallelism. Thread count never affects outputs or the
@@ -211,6 +218,7 @@ impl JobConfig {
             simulation: None,
             cache: None,
             faults: None,
+            retry: RetryPolicy::default(),
             threads: 0,
             trace: TraceSink::disabled(),
         }
@@ -254,6 +262,12 @@ impl JobConfig {
         self
     }
 
+    /// Sets the dcache-read retry/backoff policy. Builder-style.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Sets the worker-thread count (`0` = automatic). Builder-style.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -283,6 +297,9 @@ impl JobConfig {
                 "work_per_byte must be finite and >= 0".into(),
             ));
         }
+        self.retry
+            .validate()
+            .map_err(|m| JobError::BadConfig(format!("retry policy: {m}")))?;
         if let Some(faults) = &self.faults {
             faults
                 .validate()
@@ -354,6 +371,24 @@ impl<A: MapReduceApp> Default for PartitionShard<A> {
             trees: HashMap::new(),
             memo_footprint: 0,
             output: BTreeMap::new(),
+        }
+    }
+}
+
+// Deep copy for checkpoints. Rebuilding a tree from the retained window
+// would reproduce the *answers* but not the memoization statistics
+// (merges, nodes_reused, memo footprint) of later runs, so checkpoints
+// clone the aggregator state exactly via `WindowAggregator::boxed_clone`.
+impl<A: MapReduceApp> Clone for PartitionShard<A> {
+    fn clone(&self) -> Self {
+        PartitionShard {
+            trees: self
+                .trees
+                .iter()
+                .map(|(k, tree)| (k.clone(), tree.boxed_clone()))
+                .collect(),
+            memo_footprint: self.memo_footprint,
+            output: self.output.clone(),
         }
     }
 }
@@ -477,6 +512,64 @@ pub struct WindowedJob<A: MapReduceApp> {
 
 /// Alias kept for readability in signatures: a run returns its statistics.
 pub type RunResult = RunStats;
+
+/// Deep, self-contained checkpoint of a job's mutable state: the retained
+/// window, every shard's aggregator trees (cloned exactly — see
+/// [`WindowedJob::checkpoint`]), the output view, split-id ledger, run
+/// counter, and the job's cache namespace and per-partition cached-object
+/// flags. It does **not** capture infrastructure (runtime, trace sink,
+/// cache *contents*, clock): those are service-level state, checkpointed
+/// once by the host rather than once per job.
+///
+/// A checkpoint is a value: restoring never consumes it, so one checkpoint
+/// can seed any number of resumed twins.
+pub struct JobCheckpoint<A: MapReduceApp> {
+    app: Arc<A>,
+    config: JobConfig,
+    window: VecDeque<SplitEntry<A>>,
+    shards: Vec<PartitionShard<A>>,
+    output: BTreeMap<A::Key, A::Output>,
+    used_split_ids: HashSet<u64>,
+    run_index: u64,
+    cache_ns: u32,
+    cached_objects: Vec<bool>,
+}
+
+impl<A: MapReduceApp> JobCheckpoint<A> {
+    /// Runs completed at capture time.
+    #[must_use]
+    pub fn run_index(&self) -> u64 {
+        self.run_index
+    }
+
+    /// Splits retained in the captured window.
+    #[must_use]
+    pub fn window_splits(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The cache namespace the captured job's memoized objects live under.
+    #[must_use]
+    pub fn cache_namespace(&self) -> u32 {
+        self.cache_ns
+    }
+}
+
+impl<A: MapReduceApp> Clone for JobCheckpoint<A> {
+    fn clone(&self) -> Self {
+        JobCheckpoint {
+            app: Arc::clone(&self.app),
+            config: self.config.clone(),
+            window: self.window.clone(),
+            shards: self.shards.clone(),
+            output: self.output.clone(),
+            used_split_ids: self.used_split_ids.clone(),
+            run_index: self.run_index,
+            cache_ns: self.cache_ns,
+            cached_objects: self.cached_objects.clone(),
+        }
+    }
+}
 
 /// Converts modeled data movement into work units: `bytes × work_per_byte`
 /// floored into u64. The truncation is the point — work is an integral
@@ -695,6 +788,72 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// Total memoization footprint, in modeled bytes.
     pub fn memo_footprint_bytes(&self) -> u64 {
         self.shards.iter().map(|p| p.memo_footprint).sum()
+    }
+
+    /// Captures a deep checkpoint of the job's mutable state.
+    ///
+    /// Aggregator trees are cloned *exactly* (not rebuilt from the window):
+    /// a rebuild would reproduce the answers but diverge on memoization
+    /// statistics of later runs, breaking the restored-twin bit-identity
+    /// contract. Cache contents, the runtime, trace sink and clock are not
+    /// captured — the host checkpoints those once, at service level.
+    #[must_use]
+    pub fn checkpoint(&self) -> JobCheckpoint<A> {
+        JobCheckpoint {
+            app: Arc::clone(&self.app),
+            config: self.config.clone(),
+            window: self.window.clone(),
+            shards: self.shards.clone(),
+            output: self.output.clone(),
+            used_split_ids: self.used_split_ids.clone(),
+            run_index: self.run_index,
+            cache_ns: self.cache_ns,
+            cached_objects: self.cached_objects.clone(),
+        }
+    }
+
+    /// Reconstructs a job from `checkpoint`, attached to `shared`
+    /// infrastructure — the restore counterpart of
+    /// [`WindowedJob::with_shared`]. The checkpoint's cache namespace is
+    /// reused verbatim (nothing is allocated), so the job finds its
+    /// memoized objects exactly where the captured job left them; the host
+    /// is responsible for restoring the shared cache's contents and
+    /// namespace watermark first.
+    ///
+    /// The checkpoint is borrowed, not consumed: its shards are deep-cloned
+    /// again, so one checkpoint restores any number of twins.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::BadConfig`] if the captured config fails validation
+    /// (possible only for checkpoints doctored by hand) or requests a
+    /// private cache alongside the shared one.
+    pub fn restore_with_shared(
+        checkpoint: &JobCheckpoint<A>,
+        shared: &EngineShared,
+    ) -> Result<Self, JobError> {
+        if checkpoint.config.cache.is_some() && shared.cache().is_some() {
+            return Err(JobError::BadConfig(
+                "shared-infrastructure jobs must not configure a private cache".into(),
+            ));
+        }
+        checkpoint.config.validate()?;
+        Ok(WindowedJob {
+            app: Arc::clone(&checkpoint.app),
+            combiner: AppCombiner::new(Arc::clone(&checkpoint.app)),
+            config: checkpoint.config.clone(),
+            runtime: shared.runtime().clone(),
+            window: checkpoint.window.clone(),
+            shards: checkpoint.shards.clone(),
+            output: checkpoint.output.clone(),
+            used_split_ids: checkpoint.used_split_ids.clone(),
+            run_index: checkpoint.run_index,
+            trace: shared.trace().clone(),
+            cache: shared.cache().cloned(),
+            cache_ns: checkpoint.cache_ns,
+            clock: shared.clock().cloned(),
+            cached_objects: checkpoint.cached_objects.clone(),
+        })
     }
 
     /// Runs the initial computation over `splits` (the whole first window).
@@ -1576,11 +1735,13 @@ impl<A: MapReduceApp> WindowedJob<A> {
     /// Replays this run's memoization traffic through the cache model and
     /// returns the stats delta.
     fn play_cache_traffic(&mut self, recovery: &mut RecoveryStats) -> CacheStats {
-        /// Bounded retries of an `Unavailable` read (self-healing cache
-        /// only): each retry backs off in simulated time and drains
-        /// pending repairs, so a re-replicated copy can serve the retry
-        /// instead of degrading to recomputation.
-        const MAX_READ_RETRIES: u32 = 2;
+        // Bounded retries of an `Unavailable` read (self-healing cache
+        // only): each retry backs off in simulated time and drains
+        // pending repairs, so a re-replicated copy can serve the retry
+        // instead of degrading to recomputation. The bound and backoff
+        // come from the config's shared `RetryPolicy` (its default is
+        // bit-identical to the former hard-coded constants).
+        let policy = self.config.retry;
         let cache = self.cache.clone().expect("caller checked");
         let (nodes, repair_on, per_op_seconds) = cache.with(|c| {
             (
@@ -1604,11 +1765,11 @@ impl<A: MapReduceApp> WindowedJob<A> {
                 let mut retries = 0u32;
                 while matches!(outcome, Err(CacheError::Unavailable(_)))
                     && repair_on
-                    && retries < MAX_READ_RETRIES
+                    && retries < policy.max_retries
                 {
                     retries += 1;
                     recovery.read_retries += 1;
-                    let backoff = per_op_seconds * f64::from(1 << retries);
+                    let backoff = per_op_seconds * policy.backoff_multiplier(retries);
                     recovery.backoff_seconds += backoff;
                     // Backoff leaves carry the exact f64 operand added to
                     // `RecoveryStats::backoff_seconds`; refolding them in

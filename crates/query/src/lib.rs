@@ -29,6 +29,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Row/field arithmetic mixes i64 field values with usize indexing; every
+// narrowing must be explicit and checked, never a silent `as` truncation.
+#![deny(clippy::cast_possible_truncation)]
 
 mod exec;
 mod parser;

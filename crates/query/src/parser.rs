@@ -142,7 +142,9 @@ pub fn parse_script(script: &str, tables: &TableRegistry) -> Result<Query, Parse
                 if k <= 0 {
                     return Err(err("LIMIT must be positive".into()));
                 }
-                query = query.top_k(col, k as usize, desc);
+                let k = usize::try_from(k)
+                    .map_err(|_| err("LIMIT exceeds the addressable row count".into()))?;
+                query = query.top_k(col, k, desc);
             }
             other => return Err(err(format!("unknown operator '{other}'"))),
         }

@@ -188,9 +188,12 @@ impl RowStage {
             (Grouping::TopK { .. }, QValue::TopK(rows)) => {
                 Ok(rows.into_iter().map(|(_, row)| row).collect())
             }
-            (Grouping::Collect, QValue::Count(c)) => Ok(std::iter::repeat_with(|| key.clone())
-                .take(c as usize)
-                .collect()),
+            (Grouping::Collect, QValue::Count(c)) => {
+                // A window cannot hold more rows than fit in memory, so the
+                // count always fits a usize; saturate rather than truncate.
+                let n = usize::try_from(c).unwrap_or(usize::MAX);
+                Ok(std::iter::repeat_with(|| key.clone()).take(n).collect())
+            }
             (g, v) => Err(QueryError::IncompatibleValue {
                 stage: format!("{g:?}"),
                 value: format!("{v:?}"),

@@ -18,7 +18,7 @@
 
 use std::fmt;
 
-use slider_core::SlidingWindowCounter;
+use slider_core::{CounterSnapshot, SlidingWindowCounter};
 
 use crate::tenant::TenantSpec;
 
@@ -51,6 +51,29 @@ pub enum Decision {
         /// Records admitted so far.
         used: u64,
     },
+    /// The tenant's circuit breaker is open (see
+    /// [`BreakerConfig`](crate::BreakerConfig)).
+    BreakerOpen {
+        /// Arrival ticks left in the cool-down.
+        remaining: u64,
+    },
+    /// Overload: the request exceeded the tenant's under-pressure record
+    /// budget ([`TenantSpec::pressure_budget`](crate::TenantSpec::pressure_budget)).
+    DeadlineExceeded {
+        /// The configured per-request budget under pressure.
+        budget: usize,
+        /// Records the request carried.
+        got: usize,
+    },
+    /// Overload: the service shed this request because the tenant's
+    /// priority did not clear the current overflow (lowest-priority
+    /// tenants shed first; see [`OverloadConfig`]).
+    Shed {
+        /// The tenant's configured priority.
+        priority: u8,
+        /// Admitted-record estimate above the overload limit.
+        overflow: u64,
+    },
 }
 
 impl Decision {
@@ -71,7 +94,73 @@ impl fmt::Display for Decision {
             Decision::OverQuota { quota, used } => {
                 write!(f, "over-quota quota={quota} used={used}")
             }
+            Decision::BreakerOpen { remaining } => {
+                write!(f, "breaker-open remaining={remaining}")
+            }
+            Decision::DeadlineExceeded { budget, got } => {
+                write!(f, "deadline-exceeded budget={budget} got={got}")
+            }
+            Decision::Shed { priority, overflow } => {
+                write!(f, "shed priority={priority} overflow={overflow}")
+            }
         }
+    }
+}
+
+/// Service-wide overload configuration: a DGIM gauge estimates the
+/// admitted records inside the trailing `window` arrival ticks; once the
+/// estimate reaches `record_limit` the service is under pressure and
+/// degrades *deterministically* — requests larger than their tenant's
+/// pressure budget bounce ([`Decision::DeadlineExceeded`]), and tenants
+/// whose priority does not exceed the overflow are shed entirely
+/// ([`Decision::Shed`]), lowest priority first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadConfig {
+    /// Admitted records per trailing window before pressure sets in.
+    pub record_limit: u64,
+    /// Width of the trailing window, in arrival ticks.
+    pub window: u64,
+    /// DGIM accuracy knob (relative estimation error bound, in `(0, 1]`).
+    pub epsilon: f64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            record_limit: 1024,
+            window: 64,
+            epsilon: 0.5,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// A gauge of `record_limit` records per trailing `window` ticks at
+    /// the default ε = 0.5.
+    #[must_use]
+    pub fn new(record_limit: u64, window: u64) -> Self {
+        OverloadConfig {
+            record_limit,
+            window,
+            epsilon: 0.5,
+        }
+    }
+
+    /// Overrides the DGIM accuracy knob. Builder-style.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("overload window must be positive".into());
+        }
+        if !(self.epsilon > 0.0 && self.epsilon <= 1.0) {
+            return Err("overload epsilon must be in (0, 1]".into());
+        }
+        Ok(())
     }
 }
 
@@ -137,6 +226,33 @@ impl AdmissionGate {
     pub(crate) fn used(&self) -> u64 {
         self.used
     }
+
+    /// Captures the gate's mutable state (the DGIM limiter's buckets and
+    /// the quota ledger); the static limits live in the [`TenantSpec`]
+    /// and are re-derived on restore.
+    pub(crate) fn snapshot(&self) -> GateSnapshot {
+        GateSnapshot {
+            limiter: self.limiter.as_ref().map(|(counter, _)| counter.snapshot()),
+            used: self.used,
+        }
+    }
+
+    /// Rebuilds a gate for `spec` and reimposes the captured state.
+    pub(crate) fn restore(spec: &TenantSpec, snapshot: &GateSnapshot) -> Self {
+        let mut gate = AdmissionGate::new(spec);
+        if let (Some((counter, _)), Some(captured)) = (&mut gate.limiter, &snapshot.limiter) {
+            *counter = SlidingWindowCounter::restore(captured);
+        }
+        gate.used = snapshot.used;
+        gate
+    }
+}
+
+/// Captured mutable state of one [`AdmissionGate`].
+#[derive(Debug, Clone)]
+pub(crate) struct GateSnapshot {
+    pub(crate) limiter: Option<CounterSnapshot>,
+    pub(crate) used: u64,
 }
 
 #[cfg(test)]

@@ -16,6 +16,18 @@ pub enum ServeError {
     UnknownTenant(u64),
     /// The tenant's underlying windowed job rejected an operation.
     Job(JobError),
+    /// A service snapshot was produced by an incompatible snapshot-format
+    /// version and cannot be restored.
+    SnapshotVersion {
+        /// The version this build reads and writes.
+        expected: u32,
+        /// The version the snapshot carries.
+        got: u32,
+    },
+    /// A service snapshot could not be restored onto the provided shared
+    /// engine (detailed in the message — e.g. the snapshot carries cache
+    /// or clock state the engine was built without).
+    Snapshot(String),
 }
 
 impl fmt::Display for ServeError {
@@ -27,6 +39,10 @@ impl fmt::Display for ServeError {
             }
             ServeError::UnknownTenant(id) => write!(f, "no tenant with id {id}"),
             ServeError::Job(e) => write!(f, "tenant job failed: {e}"),
+            ServeError::SnapshotVersion { expected, got } => {
+                write!(f, "snapshot version {got} is not the supported {expected}")
+            }
+            ServeError::Snapshot(why) => write!(f, "snapshot restore failed: {why}"),
         }
     }
 }

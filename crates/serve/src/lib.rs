@@ -21,11 +21,28 @@
 //!   [`TenantStats`]) reconcile bit-exactly with the per-run
 //!   [`slider_mapreduce::RunStats`] the engine reports.
 //!
+//! The service is also *crash-resilient* (DESIGN.md §3h):
+//!
+//! * [`ServiceRuntime::snapshot`] captures a deep, versioned
+//!   [`ServiceSnapshot`] — every tenant's feeder and aggregator state,
+//!   admission ledgers, breaker positions, the overload gauge, and the
+//!   shared engine's clock/cache/namespace state — and
+//!   [`ServiceRuntime::restore`] resumes from it bit-identically to a
+//!   service that never crashed.
+//! * Per-tenant **circuit breakers** ([`BreakerConfig`]) quarantine a
+//!   persistently failing tenant after bounded, deterministic retries
+//!   ([`slider_mapreduce::RetryPolicy`]) without perturbing its siblings;
+//!   scripted [`DispatchFaultPlan`]s drive chaos tests through the same
+//!   path.
+//! * Service-wide **overload shedding** ([`OverloadConfig`]) degrades
+//!   deterministically under pressure: per-tenant deadline budgets bounce
+//!   oversized requests and the lowest-priority tenants are shed first.
+//!
 //! Determinism is absolute (DESIGN.md §3g): the same seed, registration
 //! order and request sequence produce bit-identical per-tenant outputs,
 //! statistics and trace exports at every worker-thread count — including
-//! under a seeded fault plan and with tenants joining or leaving
-//! mid-stream.
+//! under a seeded fault plan, with tenants joining or leaving mid-stream,
+//! and across a crash/restore boundary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,13 +50,17 @@
 #![deny(clippy::cast_possible_truncation)]
 
 mod admission;
+mod breaker;
 mod error;
 mod service;
+mod snapshot;
 mod stats;
 mod tenant;
 
-pub use admission::Decision;
+pub use admission::{Decision, OverloadConfig};
+pub use breaker::{BreakerConfig, BreakerState, DispatchFault, DispatchFaultPlan};
 pub use error::ServeError;
 pub use service::{IngestOutcome, ServiceRuntime};
+pub use snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};
 pub use stats::{ServeStats, TenantStats};
 pub use tenant::{RateLimit, TenantId, TenantReport, TenantSpec, WindowView};

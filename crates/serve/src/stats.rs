@@ -23,6 +23,19 @@ pub struct TenantStats {
     pub over_quota: u64,
     /// Requests bounced by the per-request record cap.
     pub too_large: u64,
+    /// Requests bounced by an open circuit breaker.
+    pub breaker_open: u64,
+    /// Requests shed under service-wide overload.
+    pub shed: u64,
+    /// Requests bounced by the under-pressure record budget.
+    pub deadline_exceeded: u64,
+    /// Admitted dispatches that failed after exhausting their retries.
+    pub dispatch_failures: u64,
+    /// Dispatch retries performed (backoff charged to the shared clock).
+    pub dispatch_retries: u64,
+    /// Times the circuit breaker tripped (Closed → Open, or a failed
+    /// half-open probe re-opening it).
+    pub breaker_trips: u64,
     /// Records carried by admitted requests.
     pub records_admitted: u64,
     /// Records carried by rejected requests.
@@ -84,6 +97,18 @@ impl TenantStats {
                 self.too_large += 1;
                 self.records_rejected += records as u64;
             }
+            Decision::BreakerOpen { .. } => {
+                self.breaker_open += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::Shed { .. } => {
+                self.shed += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::DeadlineExceeded { .. } => {
+                self.deadline_exceeded += 1;
+                self.records_rejected += records as u64;
+            }
         }
     }
 }
@@ -106,6 +131,18 @@ pub struct ServeStats {
     pub over_quota: u64,
     /// Requests bounced by the per-request cap.
     pub too_large: u64,
+    /// Requests bounced by open circuit breakers.
+    pub breaker_open: u64,
+    /// Requests shed under service-wide overload.
+    pub shed: u64,
+    /// Requests bounced by under-pressure record budgets.
+    pub deadline_exceeded: u64,
+    /// Admitted dispatches that failed after exhausting their retries.
+    pub dispatch_failures: u64,
+    /// Dispatch retries performed across all tenants.
+    pub dispatch_retries: u64,
+    /// Circuit-breaker trips across all tenants.
+    pub breaker_trips: u64,
     /// Records carried by admitted requests.
     pub records_admitted: u64,
     /// Records carried by rejected requests.
@@ -144,6 +181,18 @@ impl ServeStats {
             }
             Decision::TooLarge { .. } => {
                 self.too_large += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::BreakerOpen { .. } => {
+                self.breaker_open += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::Shed { .. } => {
+                self.shed += 1;
+                self.records_rejected += records as u64;
+            }
+            Decision::DeadlineExceeded { .. } => {
+                self.deadline_exceeded += 1;
                 self.records_rejected += records as u64;
             }
         }

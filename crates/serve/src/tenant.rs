@@ -7,6 +7,7 @@ use slider_mapreduce::{
     EventTimeConfig, EventTimeStats, ExecMode, MapReduceApp, RunStats, SimulationConfig,
 };
 
+use crate::breaker::{BreakerConfig, DispatchFaultPlan};
 use crate::error::ServeError;
 use crate::stats::TenantStats;
 
@@ -79,6 +80,20 @@ pub struct TenantSpec {
     pub record_quota: Option<u64>,
     /// Optional per-request record cap (admission control).
     pub max_request_records: Option<usize>,
+    /// Shedding priority under service-wide overload: a request is shed
+    /// when the admitted-record estimate exceeds the overload limit by
+    /// more than this value — so *lower*-priority tenants are shed first
+    /// as pressure mounts. Default 100.
+    pub priority: u8,
+    /// Optional per-request record budget enforced only while the
+    /// service is under overload pressure ("deadline budget"): larger
+    /// requests bounce with
+    /// [`Decision::DeadlineExceeded`](crate::Decision::DeadlineExceeded).
+    pub pressure_budget: Option<usize>,
+    /// Optional circuit breaker guarding this tenant's dispatches.
+    pub breaker: Option<BreakerConfig>,
+    /// Optional scripted dispatch faults (chaos testing).
+    pub dispatch_faults: Option<DispatchFaultPlan>,
 }
 
 impl TenantSpec {
@@ -95,6 +110,10 @@ impl TenantSpec {
             rate_limit: None,
             record_quota: None,
             max_request_records: None,
+            priority: 100,
+            pressure_budget: None,
+            breaker: None,
+            dispatch_faults: None,
         }
     }
 
@@ -140,6 +159,35 @@ impl TenantSpec {
         self
     }
 
+    /// Sets the shedding priority under overload. Builder-style.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Installs an under-pressure per-request record budget.
+    /// Builder-style.
+    #[must_use]
+    pub fn with_pressure_budget(mut self, budget: usize) -> Self {
+        self.pressure_budget = Some(budget);
+        self
+    }
+
+    /// Installs a circuit breaker. Builder-style.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Installs scripted dispatch faults (chaos testing). Builder-style.
+    #[must_use]
+    pub fn with_dispatch_faults(mut self, plan: DispatchFaultPlan) -> Self {
+        self.dispatch_faults = Some(plan);
+        self
+    }
+
     /// Validates the spec (the checks the underlying job cannot make for
     /// us). Job-level config errors surface from registration as
     /// [`ServeError::Job`].
@@ -175,6 +223,20 @@ impl TenantSpec {
             return Err(ServeError::BadSpec(
                 "per-request cap must allow at least one record".into(),
             ));
+        }
+        if self.pressure_budget == Some(0) {
+            return Err(ServeError::BadSpec(
+                "pressure budget must allow at least one record".into(),
+            ));
+        }
+        if let Some(breaker) = &self.breaker {
+            breaker
+                .validate()
+                .map_err(|m| ServeError::BadSpec(format!("breaker: {m}")))?;
+        }
+        if let Some(plan) = &self.dispatch_faults {
+            plan.validate()
+                .map_err(|m| ServeError::BadSpec(format!("dispatch faults: {m}")))?;
         }
         Ok(())
     }

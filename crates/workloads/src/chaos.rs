@@ -1,0 +1,318 @@
+//! Seeded chaos plans: crash points, tenant churn, overload bursts and
+//! scripted dispatch faults woven into a multi-tenant request stream.
+//!
+//! The resilience tests (`tests/integration_resilience.rs`) and the
+//! `chaos_restore` example need adversarial schedules that are still
+//! *fully deterministic*: the same `(seed, config)` must produce the same
+//! crashes at the same boundaries on every run, or the bit-identical-twin
+//! comparisons they exist to make would be meaningless.
+//!
+//! A [`ChaosPlan`] is pure data — this crate knows nothing about the
+//! engine. It decorates a [`multitenant_stream`] with:
+//!
+//! * **Crash markers** ([`ChaosEvent::Crash`]) — the driver snapshots the
+//!   service, drops it, and restores from the snapshot onto a fresh
+//!   engine before continuing.
+//! * **Tenant churn** ([`ChaosEvent::Deregister`] / [`ChaosEvent::Register`])
+//!   — the named tenant leaves and later rejoins with a fresh window.
+//! * **Overload bursts** — spans of consecutive requests whose arrival
+//!   ticks are collapsed to one instant, spiking any service-wide
+//!   admitted-record gauge.
+//! * **Scripted dispatch faults** ([`FaultScript`]) — per-tenant
+//!   `(request, attempts)` pairs the driver feeds into the service
+//!   layer's fault plan, exercising retry/breaker paths.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::multitenant::{multitenant_stream, MultiTenantConfig, TenantRequest};
+
+/// Shape of a chaos schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// The underlying multi-tenant traffic mix.
+    pub traffic: MultiTenantConfig,
+    /// Crash/restore points injected between requests.
+    pub crashes: usize,
+    /// Deregister→re-register cycles injected between requests.
+    pub churn_cycles: usize,
+    /// Overload bursts: spans of requests collapsed to one arrival tick.
+    pub bursts: usize,
+    /// Consecutive requests per burst.
+    pub burst_len: usize,
+    /// Tenant whose dispatches get scripted faults (`None` = no faults).
+    pub faulty_tenant: Option<usize>,
+    /// Scripted faults for the faulty tenant.
+    pub faults: usize,
+    /// Maximum failing attempts per scripted fault (drawn in `1..=max`).
+    pub max_fault_attempts: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            traffic: MultiTenantConfig::default(),
+            crashes: 2,
+            churn_cycles: 1,
+            bursts: 1,
+            burst_len: 4,
+            faulty_tenant: None,
+            faults: 3,
+            max_fault_attempts: 4,
+        }
+    }
+}
+
+/// One step of a chaos schedule, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Serve this front-door request.
+    Request(TenantRequest),
+    /// Crash here: snapshot, drop the service, restore, continue.
+    Crash,
+    /// Deregister this tenant (drains its window).
+    Deregister(usize),
+    /// Re-register this tenant with a fresh window.
+    Register(usize),
+}
+
+/// One scripted dispatch fault: the first `attempts` tries of `tenant`'s
+/// admitted dispatch number `request` fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultScript {
+    /// Target tenant (index into the traffic mix).
+    pub tenant: usize,
+    /// 0-based admitted-dispatch sequence number.
+    pub request: u64,
+    /// Attempts that fail (initial try + retries).
+    pub attempts: u32,
+}
+
+/// A fully deterministic chaos schedule (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The schedule, in execution order.
+    pub events: Vec<ChaosEvent>,
+    /// Scripted dispatch faults for the faulty tenant.
+    pub faults: Vec<FaultScript>,
+}
+
+impl ChaosPlan {
+    /// The requests of the schedule, in order (markers skipped).
+    pub fn requests(&self) -> impl Iterator<Item = &TenantRequest> {
+        self.events.iter().filter_map(|e| match e {
+            ChaosEvent::Request(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+/// Builds the chaos schedule for `(seed, config)`.
+///
+/// Determinism contract: same inputs ⇒ the same events in the same order,
+/// every run, every platform. The underlying traffic is exactly
+/// `multitenant_stream(seed, &config.traffic)` — chaos decorates the
+/// stream, it never changes which records a tenant's requests carry.
+///
+/// # Panics
+///
+/// Panics when the traffic config is invalid (see [`multitenant_stream`]),
+/// when a burst is shorter than two requests while `bursts > 0`, or when
+/// `faulty_tenant` is out of range.
+pub fn chaos_plan(seed: u64, config: &ChaosConfig) -> ChaosPlan {
+    if config.bursts > 0 {
+        assert!(
+            config.burst_len >= 2,
+            "a burst collapses at least 2 requests"
+        );
+    }
+    if let Some(faulty) = config.faulty_tenant {
+        assert!(
+            faulty < config.traffic.tenants,
+            "faulty tenant out of range"
+        );
+        assert!(
+            config.max_fault_attempts > 0,
+            "faults must fail >= 1 attempt"
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x000c_4a05);
+    let mut requests = multitenant_stream(seed, &config.traffic);
+
+    // Overload bursts: collapse each chosen span's arrivals to the span's
+    // last tick. Execution order is the event list, not the tick — the
+    // service clamps per-counter time regressions — so this is safe and
+    // keeps the list sorted-enough for human reading.
+    for _ in 0..config.bursts {
+        if requests.len() < config.burst_len {
+            break;
+        }
+        let start = rng.gen_range(0..=requests.len() - config.burst_len);
+        let tick = requests[start + config.burst_len - 1].arrival;
+        for request in &mut requests[start..start + config.burst_len] {
+            request.arrival = tick;
+        }
+    }
+
+    let mut events: Vec<ChaosEvent> = requests.into_iter().map(ChaosEvent::Request).collect();
+
+    // Churn: deregister a tenant at one boundary, re-register it at a
+    // later one. Cycles are inserted back-to-front so earlier insertions
+    // never shift later ones.
+    let mut cycles: Vec<(usize, usize, usize)> = (0..config.churn_cycles)
+        .map(|_| {
+            let tenant = rng.gen_range(0..config.traffic.tenants);
+            let a = rng.gen_range(0..=events.len());
+            let b = rng.gen_range(0..=events.len());
+            (a.min(b), a.max(b), tenant)
+        })
+        .collect();
+    cycles.sort_unstable();
+    for &(leave, rejoin, tenant) in cycles.iter().rev() {
+        // Later index first, so `leave` stays valid.
+        events.insert(rejoin, ChaosEvent::Register(tenant));
+        events.insert(leave, ChaosEvent::Deregister(tenant));
+    }
+
+    // Crashes: anywhere between events, including before the first and
+    // after the last request.
+    let mut crash_points: Vec<usize> = (0..config.crashes)
+        .map(|_| rng.gen_range(0..=events.len()))
+        .collect();
+    crash_points.sort_unstable();
+    for &at in crash_points.iter().rev() {
+        events.insert(at, ChaosEvent::Crash);
+    }
+
+    // Scripted dispatch faults target the faulty tenant's earliest
+    // admitted dispatches — small sequence numbers, so they fire even when
+    // admission control rejects part of the stream.
+    let faults = config
+        .faulty_tenant
+        .map(|tenant| {
+            (0..config.faults)
+                .map(|i| FaultScript {
+                    tenant,
+                    request: i as u64,
+                    attempts: rng.gen_range(1..=config.max_fault_attempts),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    ChaosPlan { events, faults }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let cfg = ChaosConfig {
+            faulty_tenant: Some(1),
+            ..ChaosConfig::default()
+        };
+        assert_eq!(chaos_plan(5, &cfg), chaos_plan(5, &cfg));
+        assert_ne!(chaos_plan(5, &cfg), chaos_plan(6, &cfg));
+    }
+
+    #[test]
+    fn chaos_decorates_without_changing_the_traffic() {
+        let cfg = ChaosConfig::default();
+        let plan = chaos_plan(9, &cfg);
+        let plain = multitenant_stream(9, &cfg.traffic);
+        let requests: Vec<_> = plan.requests().collect();
+        assert_eq!(requests.len(), plain.len());
+        for (chaotic, plain) in requests.iter().zip(&plain) {
+            assert_eq!(chaotic.tenant, plain.tenant);
+            assert_eq!(chaotic.index, plain.index);
+            assert_eq!(chaotic.records, plain.records, "records never change");
+        }
+    }
+
+    #[test]
+    fn marker_counts_match_the_config() {
+        let cfg = ChaosConfig {
+            crashes: 3,
+            churn_cycles: 2,
+            faulty_tenant: Some(0),
+            faults: 4,
+            ..ChaosConfig::default()
+        };
+        let plan = chaos_plan(11, &cfg);
+        let count = |f: fn(&ChaosEvent) -> bool| plan.events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(|e| matches!(e, ChaosEvent::Crash)), 3);
+        assert_eq!(count(|e| matches!(e, ChaosEvent::Deregister(_))), 2);
+        assert_eq!(count(|e| matches!(e, ChaosEvent::Register(_))), 2);
+        assert_eq!(plan.faults.len(), 4);
+        assert!(plan.faults.iter().all(|f| f.tenant == 0 && f.attempts >= 1));
+    }
+
+    #[test]
+    fn every_deregister_precedes_its_register() {
+        let cfg = ChaosConfig {
+            churn_cycles: 3,
+            crashes: 0,
+            ..ChaosConfig::default()
+        };
+        let plan = chaos_plan(21, &cfg);
+        let mut open: Vec<usize> = Vec::new();
+        for event in &plan.events {
+            match event {
+                ChaosEvent::Deregister(t) => open.push(*t),
+                ChaosEvent::Register(t) => {
+                    let at = open.iter().rposition(|x| x == t);
+                    assert!(at.is_some(), "register without a prior deregister");
+                    open.remove(at.unwrap());
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "every departed tenant rejoins");
+    }
+
+    #[test]
+    fn bursts_collapse_arrival_spans() {
+        let cfg = ChaosConfig {
+            bursts: 2,
+            burst_len: 5,
+            crashes: 0,
+            churn_cycles: 0,
+            ..ChaosConfig::default()
+        };
+        let plan = chaos_plan(31, &cfg);
+        let arrivals: Vec<u64> = plan.requests().map(|r| r.arrival).collect();
+        let longest_run = arrivals
+            .chunk_by(|a, b| a == b)
+            .map(<[u64]>::len)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            longest_run >= cfg.burst_len,
+            "at least one span of {} equal arrivals, got {longest_run}",
+            cfg.burst_len
+        );
+    }
+
+    #[test]
+    fn zero_chaos_is_the_plain_stream() {
+        let cfg = ChaosConfig {
+            crashes: 0,
+            churn_cycles: 0,
+            bursts: 0,
+            faulty_tenant: None,
+            ..ChaosConfig::default()
+        };
+        let plan = chaos_plan(2, &cfg);
+        let plain = multitenant_stream(2, &cfg.traffic);
+        assert!(plan.faults.is_empty());
+        assert_eq!(
+            plan.events,
+            plain
+                .into_iter()
+                .map(ChaosEvent::Request)
+                .collect::<Vec<_>>()
+        );
+    }
+}

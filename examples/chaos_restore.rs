@@ -1,0 +1,225 @@
+//! Chaos, crash, restore — and nobody can tell.
+//!
+//! A seeded chaos schedule (`slider_workloads::chaos`) drives a
+//! three-tenant service through dispatch faults, an overload burst and
+//! injected crashes. At every crash the service is snapshotted, dropped,
+//! and restored onto a *fresh* engine; the run then simply continues.
+//! A second, uninterrupted twin serves the same schedule without
+//! crashing, and the example prints both final metrics documents plus
+//! the two snapshot manifests — byte-identical, which is the whole
+//! point.
+//!
+//! Everything printed is deterministic: the same bytes on every run and
+//! at every worker-thread count (CI runs it twice — once with
+//! `SLIDER_THREADS=1` — and `cmp`s).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p slider-bench --example chaos_restore
+//! ```
+
+use slider_apps::Hct;
+use slider_dcache::CacheConfig;
+use slider_mapreduce::{EngineShared, EventTimeConfig, ExecMode, JobError, Stamped};
+use slider_serve::{
+    BreakerConfig, DispatchFaultPlan, OverloadConfig, ServeError, ServiceRuntime, TenantId,
+    TenantSpec,
+};
+use slider_workloads::chaos::{chaos_plan, ChaosConfig, ChaosEvent, ChaosPlan};
+use slider_workloads::disorder::DisorderConfig;
+use slider_workloads::multitenant::MultiTenantConfig;
+
+const SEED: u64 = 0xcafe;
+const PARTITIONS: usize = 4;
+const TENANTS: usize = 3;
+
+fn engine() -> EngineShared {
+    EngineShared::builder()
+        .cache(CacheConfig::paper_defaults(PARTITIONS))
+        .clock()
+        .build()
+}
+
+fn plan() -> ChaosPlan {
+    chaos_plan(
+        SEED,
+        &ChaosConfig {
+            traffic: MultiTenantConfig {
+                tenants: TENANTS,
+                requests_per_tenant: 8,
+                records_per_request: 5,
+                stream: DisorderConfig {
+                    records: 0,
+                    mean_step: 2,
+                    lateness: 10,
+                    vocabulary: 24,
+                },
+                hot_tenant: Some(1),
+                hot_factor: 2,
+                mean_arrival_gap: 6,
+            },
+            crashes: 3,
+            churn_cycles: 1,
+            bursts: 1,
+            burst_len: 5,
+            faulty_tenant: Some(2),
+            faults: 2,
+            max_fault_attempts: 9,
+        },
+    )
+}
+
+fn spec_of(tenant: usize, plan: &ChaosPlan) -> TenantSpec {
+    let event = EventTimeConfig {
+        epoch_len: 24,
+        records_per_split: 4,
+        window_epochs: Some(3),
+        lateness: 10,
+    };
+    let mut spec = TenantSpec::new(format!("tenant{tenant}"), ExecMode::slider_folding(), event)
+        .with_partitions(PARTITIONS)
+        .with_priority(u8::try_from(tenant * 100).unwrap_or(u8::MAX));
+    if plan.faults.iter().any(|f| f.tenant == tenant) {
+        let mut faults = DispatchFaultPlan::new();
+        for f in plan.faults.iter().filter(|f| f.tenant == tenant) {
+            faults = faults.fail(f.request, f.attempts);
+        }
+        spec = spec
+            .with_breaker(BreakerConfig {
+                failure_threshold: 1,
+                cooldown_ticks: 12,
+                ..BreakerConfig::default()
+            })
+            .with_dispatch_faults(faults);
+    }
+    spec
+}
+
+/// Serves the schedule. With `crash` the injected crash points
+/// snapshot/drop/restore the service; without, they are ignored.
+fn serve(plan: &ChaosPlan, crash: bool, narrate: bool) -> (ServiceRuntime<Hct>, String) {
+    let mut service: ServiceRuntime<Hct> = ServiceRuntime::new(engine())
+        .with_overload(OverloadConfig::new(24, 32))
+        .expect("overload config");
+    let mut ids: Vec<Option<TenantId>> = (0..TENANTS)
+        .map(|t| {
+            Some(
+                service
+                    .register(Hct::new(), spec_of(t, plan))
+                    .expect("register"),
+            )
+        })
+        .collect();
+    let mut log = String::new();
+    for event in &plan.events {
+        match event {
+            ChaosEvent::Crash => {
+                if crash {
+                    let snapshot = service.snapshot();
+                    drop(service);
+                    service = ServiceRuntime::restore(engine(), &snapshot).expect("restore");
+                    log.push_str("CRASH + restore onto a fresh engine\n");
+                }
+            }
+            ChaosEvent::Deregister(t) => {
+                if let Some(id) = ids[*t].take() {
+                    let report = service.deregister(id).expect("deregister");
+                    log.push_str(&format!(
+                        "tenant{t} left after {} runs\n",
+                        report.stats.runs
+                    ));
+                }
+            }
+            ChaosEvent::Register(t) => {
+                if ids[*t].is_none() {
+                    ids[*t] = Some(
+                        service
+                            .register(Hct::new(), spec_of(*t, plan))
+                            .expect("rejoin"),
+                    );
+                    log.push_str(&format!("tenant{t} rejoined with a fresh window\n"));
+                }
+            }
+            ChaosEvent::Request(request) => {
+                let Some(id) = ids[request.tenant] else {
+                    continue;
+                };
+                let records: Vec<Stamped<String>> = request
+                    .records
+                    .iter()
+                    .map(|(t, s, line)| Stamped::new(*t, *s, line.clone()))
+                    .collect();
+                match service.ingest(id, request.arrival, records) {
+                    Ok(outcome) => log.push_str(&format!(
+                        "t={:>3} tenant{} {} runs={}\n",
+                        request.arrival,
+                        request.tenant,
+                        outcome.decision,
+                        outcome.runs.len()
+                    )),
+                    Err(ServeError::Job(JobError::Injected(msg))) => {
+                        log.push_str(&format!(
+                            "t={:>3} tenant{} FAILED: {msg}\n",
+                            request.arrival, request.tenant
+                        ));
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+    }
+    if narrate {
+        print!("{log}");
+    }
+    (service, log)
+}
+
+fn main() {
+    let plan = plan();
+    let crashes = plan
+        .events
+        .iter()
+        .filter(|e| matches!(e, ChaosEvent::Crash))
+        .count();
+    println!(
+        "== chaos schedule: {} events, {} crashes, {} scripted faults ==",
+        plan.events.len(),
+        crashes,
+        plan.faults.len()
+    );
+    println!();
+
+    println!("== serving through the chaos (crashing at every marker) ==");
+    let (crashed, crashed_log) = serve(&plan, true, true);
+    println!();
+
+    let (straight, straight_log) = serve(&plan, false, false);
+    assert_eq!(
+        crashed_log.replace("CRASH + restore onto a fresh engine\n", ""),
+        straight_log,
+        "the crashed run's request log must equal the uninterrupted twin's"
+    );
+
+    println!("== /metrics (crashed {crashes} times) ==");
+    print!("{}", crashed.metrics());
+    println!();
+    println!("== /health ==");
+    print!("{}", crashed.health());
+    println!();
+
+    let crashed_manifest = crashed.snapshot().describe();
+    let straight_manifest = straight.snapshot().describe();
+    println!("== final snapshot manifest ==");
+    print!("{crashed_manifest}");
+    println!();
+    println!(
+        "crashed-twin metrics  == uninterrupted-twin metrics:  {}",
+        crashed.metrics() == straight.metrics()
+    );
+    println!(
+        "crashed-twin manifest == uninterrupted-twin manifest: {}",
+        crashed_manifest == straight_manifest
+    );
+    assert_eq!(crashed.metrics(), straight.metrics());
+    assert_eq!(crashed_manifest, straight_manifest);
+}
