@@ -50,6 +50,19 @@ SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example serve_dashboar
 cmp "$serve_tmp/a.txt" "$serve_tmp/b.txt"
 rm -rf "$serve_tmp"
 
+echo "==> join: incremental view == brute force across threads, faults, disorder"
+cargo test -q -p slider-bench --test integration_join
+
+echo "==> join: property tests vs the brute-force reference"
+cargo test -q -p slider-join --test proptest_join
+
+echo "==> join: join_feed output is byte-identical across runs and thread counts"
+join_tmp="$(mktemp -d)"
+cargo run -q --release -p slider-bench --example join_feed > "$join_tmp/a.txt"
+SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example join_feed > "$join_tmp/b.txt"
+cmp "$join_tmp/a.txt" "$join_tmp/b.txt"
+rm -rf "$join_tmp"
+
 echo "==> trace: same-seed exports are byte-identical"
 trace_tmp="$(mktemp -d)"
 shootout_tmp="$(mktemp -d)"
@@ -70,5 +83,15 @@ cargo run -q --release -p slider-bench --example shootout_viewer -- \
 SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example shootout_viewer -- \
   BENCH_shootout.json > "$shootout_tmp/view_b.txt"
 cmp "$shootout_tmp/view_a.txt" "$shootout_tmp/view_b.txt"
+
+echo "==> join bench: regenerate and gate against the checked-in baseline"
+BENCH_JSON_DIR="$shootout_tmp" cargo bench -q -p slider-bench --bench join > /dev/null
+cargo run -q --release -p slider-bench --example join_viewer -- \
+  --check BENCH_join.json "$shootout_tmp/BENCH_join.json"
+cargo run -q --release -p slider-bench --example join_viewer -- \
+  BENCH_join.json > "$shootout_tmp/join_a.txt"
+SLIDER_THREADS=1 cargo run -q --release -p slider-bench --example join_viewer -- \
+  BENCH_join.json > "$shootout_tmp/join_b.txt"
+cmp "$shootout_tmp/join_a.txt" "$shootout_tmp/join_b.txt"
 
 echo "CI OK"

@@ -1,0 +1,77 @@
+//! §8.1 companion join: new follow edges ⋈ URL posts.
+//!
+//! The propagation-tree case study ([`TwitterPropagation`](crate::TwitterPropagation))
+//! asks "who saw this URL"; this join asks the sliding-window converse:
+//! for every follow edge created recently, which URLs did the newly
+//! followed account post in the same window? Each match is a *propagation
+//! candidate* — a (follower, post) pair where the follower's timeline
+//! gained the post — and the per-key weight counts candidates per
+//! followee, so the join view is a live "who is gaining reach" board.
+//!
+//! The app itself is two key extractors and a weight — all windowing,
+//! index maintenance, and delta probing live in
+//! [`JoinedJob`](slider_join::JoinedJob).
+
+use slider_join::JoinApp;
+use slider_workloads::twitter::{FollowEvent, Tweet, UserId};
+
+/// Joins the follow-edge stream (left) with the URL-post stream (right)
+/// on the followed/posting user.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FollowPostJoin;
+
+impl JoinApp for FollowPostJoin {
+    type Key = UserId;
+    type Left = FollowEvent;
+    type Right = Tweet;
+
+    /// A follow edge indexes under the account being followed.
+    fn left_key(&self, follow: &FollowEvent) -> Option<UserId> {
+        Some(follow.followee)
+    }
+
+    /// A tweet indexes under its author.
+    fn right_key(&self, tweet: &Tweet) -> Option<UserId> {
+        Some(tweet.user)
+    }
+
+    /// Weight a candidate by URL "stickiness" (a deterministic 1..=8
+    /// proxy for how sharable the URL is), so per-followee weights are
+    /// not just pair counts.
+    fn pair_weight(&self, _key: &UserId, _follow: &FollowEvent, tweet: &Tweet) -> u64 {
+        u64::from(tweet.url % 8) + 1
+    }
+
+    /// A follow edge models as two user ids plus a timestamp.
+    fn left_record_bytes(&self) -> u64 {
+        16
+    }
+
+    /// A tweet models as user, url, and timestamp.
+    fn right_record_bytes(&self) -> u64 {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_meet_on_the_followed_account() {
+        let app = FollowPostJoin;
+        let follow = FollowEvent {
+            follower: 3,
+            followee: 17,
+            time: 5,
+        };
+        let tweet = Tweet {
+            user: 17,
+            url: 9,
+            time: 6,
+        };
+        assert_eq!(app.left_key(&follow), Some(17));
+        assert_eq!(app.right_key(&tweet), Some(17));
+        assert_eq!(app.pair_weight(&17, &follow, &tweet), 2);
+    }
+}

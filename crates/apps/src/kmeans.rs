@@ -60,7 +60,7 @@ impl KMeans {
             let d = c.distance2(point);
             if d < best_d {
                 best_d = d;
-                best = i as u32;
+                best = u32::try_from(i).expect("centroid count fits in u32");
             }
         }
         best

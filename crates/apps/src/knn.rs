@@ -102,7 +102,10 @@ impl MapReduceApp for Knn {
     fn map(&self, (point, label): &LabelledPoint, emit: &mut dyn FnMut(u32, Neighbors)) {
         for (q, query) in self.queries.iter().enumerate() {
             let d = query.distance2(point);
-            emit(q as u32, Neighbors::single(d, *label, self.k));
+            emit(
+                u32::try_from(q).expect("query ids fit in u32"),
+                Neighbors::single(d, *label, self.k),
+            );
         }
     }
 
@@ -197,7 +200,7 @@ mod tests {
         let train: Vec<LabelledPoint> = generate_points(4, 40, 6)
             .into_iter()
             .enumerate()
-            .map(|(i, p)| (p, (i % 3) as u32))
+            .map(|(i, p)| (p, u32::try_from(i % 3).expect("label fits")))
             .collect();
         let queries = generate_points(99, 4, 6);
         let run = |mode| {

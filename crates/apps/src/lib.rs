@@ -16,13 +16,16 @@
 //! | [`TwitterPropagation`] | §8.1 information-propagation trees | append-only case study |
 //! | [`GlasnostMonitor`] | §8.2 ISP traffic-differentiation monitoring | fixed-width case study |
 //! | [`NetSessionAudit`] | §8.3 hybrid-CDN client accountability | variable-width case study |
+//! | [`FollowPostJoin`] | §8.1 companion | two-input windowed join (slider-join) |
 //!
 //! The `*_cost` hooks encode each app's compute-vs-I/O character; see
 //! DESIGN.md §5 for the measurement methodology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::cast_possible_truncation)]
 
+mod followpost;
 mod glasnost;
 mod hct;
 mod kmeans;
@@ -32,6 +35,7 @@ mod netsession;
 mod substr;
 mod twitter;
 
+pub use followpost::FollowPostJoin;
 pub use glasnost::GlasnostMonitor;
 pub use hct::Hct;
 pub use kmeans::{CentroidUpdate, KMeans};

@@ -171,7 +171,7 @@ mod tests {
         let weeks: Vec<Vec<ClientLog>> = fractions
             .iter()
             .enumerate()
-            .map(|(w, &f)| generate_week(3, &cfg, w as u32, f))
+            .map(|(w, &f)| generate_week(3, &cfg, u32::try_from(w).expect("week fits"), f))
             .collect();
         let per_split = 25;
         let run = |mode| {

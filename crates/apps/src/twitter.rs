@@ -105,7 +105,7 @@ impl MapReduceApp for TwitterPropagation {
             depth_of.insert(user, depth);
         }
         PropagationStats {
-            nodes: depth_of.len() as u32,
+            nodes: u32::try_from(depth_of.len()).expect("tree size fits in u32"),
             edges,
             depth: max_depth,
         }

@@ -115,7 +115,7 @@ pub fn knn_spec() -> MicrobenchSpec<Knn> {
     let labelled: Vec<(slider_workloads::points::Point, u32)> = generate_points(0x59, total, dims)
         .into_iter()
         .enumerate()
-        .map(|(i, p)| (p, (i % 4) as u32))
+        .map(|(i, p)| (p, u32::try_from(i % 4).expect("label fits")))
         .collect();
     let mut points = labelled;
     let extra = points.split_off(WINDOW_SPLITS * RECORDS_PER_SPLIT);

@@ -8,9 +8,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::cast_possible_truncation)]
 
 pub mod datasets;
 pub mod driver;
+pub mod joinbench;
 pub mod report;
 pub mod shootout;
 
@@ -20,6 +22,11 @@ pub use datasets::{
 pub use driver::{
     for_each_app, for_each_app_with_cluster, policy_for, run_slide, run_slide_with,
     AppMeasurements, ChangeMeasurement, WindowKind, PCTS,
+};
+pub use joinbench::{
+    approx_table, join_point_key, join_report, join_table, measure_join, run_approx_rows,
+    run_join_bench, ApproxPoint, JoinPoint, APPROX_EPS_PCTS, JOIN_MEASURED_SLIDES, JOIN_SLIDE_PCTS,
+    JOIN_WINDOWS,
 };
 pub use report::{
     banner, bench_json_dir, fmt_f64, fmt_speedup, BenchJson, Table, BENCH_JSON_DIR_ENV,

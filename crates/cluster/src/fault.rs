@@ -118,7 +118,8 @@ impl FaultPlan {
         let crashes = (next(&mut state) % 3).min(machines as u64 - 1);
         let mut crashed = Vec::new();
         for _ in 0..crashes {
-            let machine = (next(&mut state) as usize) % machines;
+            let machine = usize::try_from(next(&mut state) % machines as u64)
+                .expect("bounded by machine count");
             if crashed.contains(&machine) {
                 continue;
             }
@@ -129,7 +130,8 @@ impl FaultPlan {
         }
         let slowdowns = next(&mut state) % 3;
         for _ in 0..slowdowns {
-            let machine = (next(&mut state) as usize) % machines;
+            let machine = usize::try_from(next(&mut state) % machines as u64)
+                .expect("bounded by machine count");
             if crashed.contains(&machine) {
                 continue;
             }

@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::cast_possible_truncation)]
 
 mod clock;
 mod fault;

@@ -912,7 +912,9 @@ mod tests {
         let stages: Vec<Vec<Task>> = vec![
             (0..7).map(|i| Task::map(i, 10 + i)).collect(),
             (0..4)
-                .map(|i| Task::reduce(100 + i, 25).prefer(MachineId(i as usize % 3)))
+                .map(|i| {
+                    Task::reduce(100 + i, 25).prefer(MachineId(usize::try_from(i % 3).unwrap()))
+                })
                 .collect(),
         ];
         for policy in [
@@ -935,7 +937,7 @@ mod tests {
         // and the lost 4 seconds are metered as recovery.
         let spec = cluster(3);
         let tasks: Vec<Task> = (0..3)
-            .map(|i| Task::map(i, 10).prefer(MachineId(i as usize)))
+            .map(|i| Task::map(i, 10).prefer(MachineId(usize::try_from(i).unwrap())))
             .collect();
         let plan = FaultPlan::none().crash(1, 4.0);
         let report = simulate_with_faults(&spec, SchedulerPolicy::Vanilla, &[tasks], &plan);

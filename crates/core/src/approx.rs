@@ -1,0 +1,258 @@
+//! Keyed approximate windowed counting: one DGIM counter per key.
+//!
+//! The paper's §5 "approximation windows" observe that many sliding-window
+//! queries tolerate bounded error in exchange for sublinear space. This
+//! module applies that trade to the keyed setting: a
+//! [`KeyedDistinctCounter`] maintains a
+//! [`SlidingWindowCounter`](crate::SlidingWindowCounter) per key, giving
+//!
+//! * **exact** distinct-key counts — a key is active iff its newest event
+//!   is inside the window, and DGIM always retains the newest event's
+//!   timestamp exactly, so [`distinct_active`](KeyedDistinctCounter::distinct_active)
+//!   has no error at all;
+//! * **(1 ± ε)** per-key frequencies in
+//!   O(keys · (1/ε) · log² window) space instead of one entry per event.
+//!
+//! Everything is deterministic (same event sequence ⇒ same buckets, same
+//! estimates), matching the engine-wide bit-identical-replay invariant.
+
+use std::collections::BTreeMap;
+
+use crate::dgim::SlidingWindowCounter;
+
+/// Approximate per-key event counts and exact distinct-key counts over a
+/// sliding time window.
+///
+/// Keys are held in a `BTreeMap`, so iteration order — and therefore any
+/// derived report — is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedDistinctCounter<K: Ord> {
+    window: u64,
+    epsilon: f64,
+    counters: BTreeMap<K, SlidingWindowCounter>,
+    latest: u64,
+}
+
+impl<K: Ord + Clone> KeyedDistinctCounter<K> {
+    /// Creates a keyed counter for the trailing `window` time units with
+    /// per-key relative-error bound `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0` or `epsilon` is not in `(0, 1]` (same
+    /// contract as [`SlidingWindowCounter::new`]).
+    #[must_use]
+    pub fn new(window: u64, epsilon: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+        KeyedDistinctCounter {
+            window,
+            epsilon,
+            counters: BTreeMap::new(),
+            latest: 0,
+        }
+    }
+
+    /// The window length in time units.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The per-key relative-error bound.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Latest event timestamp seen across all keys.
+    #[must_use]
+    pub fn latest(&self) -> u64 {
+        self.latest
+    }
+
+    /// Records one event for `key` at `time`. Timestamps should be fed in
+    /// non-decreasing order; regressions clamp per key, exactly as in
+    /// [`SlidingWindowCounter::record`].
+    pub fn record(&mut self, key: K, time: u64) {
+        self.latest = self.latest.max(time);
+        let (window, epsilon) = (self.window, self.epsilon);
+        self.counters
+            .entry(key)
+            .or_insert_with(|| SlidingWindowCounter::new(window, epsilon))
+            .record(time);
+    }
+
+    /// Approximate number of events for `key` in the window ending at
+    /// `now` (0 for unseen keys). Within `(1 ± ε)` of the true count.
+    #[must_use]
+    pub fn estimate(&self, key: &K, now: u64) -> u64 {
+        self.counters.get(key).map_or(0, |c| c.count(now))
+    }
+
+    /// `(lower, upper)` bounds bracketing `key`'s true in-window count.
+    #[must_use]
+    pub fn bounds(&self, key: &K, now: u64) -> (u64, u64) {
+        self.counters
+            .get(key)
+            .map_or((0, 0), |c| (c.lower_bound(now), c.upper_bound(now)))
+    }
+
+    /// Number of distinct keys with at least one event in the window
+    /// ending at `now`. **Exact**, not approximate: DGIM retains each
+    /// key's newest event timestamp precisely, and a key is active iff
+    /// that timestamp is in range.
+    #[must_use]
+    pub fn distinct_active(&self, now: u64) -> u64 {
+        self.counters
+            .values()
+            .filter(|c| c.upper_bound(now) > 0)
+            .count() as u64
+    }
+
+    /// The active keys at `now`, in key order.
+    pub fn active_keys(&self, now: u64) -> impl Iterator<Item = &K> {
+        self.counters
+            .iter()
+            .filter(move |(_, c)| c.upper_bound(now) > 0)
+            .map(|(k, _)| k)
+    }
+
+    /// Total keys ever tracked (including ones whose events have all
+    /// expired; see [`prune`](Self::prune)).
+    #[must_use]
+    pub fn tracked_keys(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total DGIM buckets across all keys — the structure's space, and
+    /// the denominator of any error-vs-space comparison against exact
+    /// per-event retention.
+    #[must_use]
+    pub fn total_buckets(&self) -> usize {
+        self.counters
+            .values()
+            .map(SlidingWindowCounter::bucket_count)
+            .sum()
+    }
+
+    /// Drops counters with no in-window events at `now`, bounding space
+    /// to the active key set.
+    pub fn prune(&mut self, now: u64) {
+        self.counters.retain(|_, c| c.upper_bound(now) > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    /// Exact per-key sliding counts for cross-checking.
+    struct Exact {
+        window: u64,
+        events: BTreeMap<u64, VecDeque<u64>>,
+    }
+
+    impl Exact {
+        fn new(window: u64) -> Self {
+            Exact {
+                window,
+                events: BTreeMap::new(),
+            }
+        }
+
+        fn record(&mut self, key: u64, time: u64) {
+            self.events.entry(key).or_default().push_back(time);
+        }
+
+        fn count(&self, key: u64, now: u64) -> u64 {
+            let Some(evs) = self.events.get(&key) else {
+                return 0;
+            };
+            evs.iter().filter(|&&t| t + self.window > now).count() as u64
+        }
+
+        fn distinct(&self, now: u64) -> u64 {
+            self.events
+                .keys()
+                .filter(|&&k| self.count(k, now) > 0)
+                .count() as u64
+        }
+    }
+
+    #[test]
+    fn counts_expire_and_distinct_tracks_exactly() {
+        let mut keyed = KeyedDistinctCounter::new(10, 0.5);
+        keyed.record(1, 0);
+        keyed.record(2, 3);
+        keyed.record(1, 5);
+        assert_eq!(keyed.distinct_active(5), 2);
+        assert_eq!(keyed.estimate(&3, 5), 0);
+        // At now=12 key 1's event@0 expired but @5 survives; key 2 expired
+        // at now=13.
+        assert_eq!(keyed.distinct_active(13), 1);
+        assert_eq!(keyed.active_keys(13).collect::<Vec<_>>(), [&1]);
+        assert_eq!(keyed.distinct_active(15), 0);
+        assert_eq!(keyed.tracked_keys(), 2);
+        keyed.prune(15);
+        assert_eq!(keyed.tracked_keys(), 0);
+        assert_eq!(keyed.latest(), 5);
+    }
+
+    #[test]
+    fn space_stays_sublinear_in_events() {
+        let mut keyed = KeyedDistinctCounter::new(1 << 16, 0.25);
+        for t in 0..100_000u64 {
+            keyed.record(t % 8, t);
+        }
+        // 100k events over 8 keys collapse into a few hundred buckets.
+        assert!(
+            keyed.total_buckets() < 8 * 120,
+            "buckets = O(k/eps * log^2 W)"
+        );
+        assert_eq!(keyed.distinct_active(100_000), 8);
+    }
+
+    proptest! {
+        /// The satellite's pinned guarantee: for every key the estimate
+        /// stays inside the (1 ± ε) envelope of the exact count, the
+        /// bounds bracket the truth, and the distinct-key count is exact.
+        #[test]
+        fn per_key_envelope_holds(
+            steps in proptest::collection::vec((0u64..6, 0u64..5), 1..300),
+            window in 1u64..256,
+            eps_tenths in 1u32..10,
+        ) {
+            let eps = f64::from(eps_tenths) / 10.0;
+            let mut keyed = KeyedDistinctCounter::new(window, eps);
+            let mut exact = Exact::new(window);
+            let mut now = 0u64;
+            for &(gap, key) in &steps {
+                now += gap;
+                keyed.record(key, now);
+                exact.record(key, now);
+            }
+            for probe in [now, now + window / 2, now + window] {
+                prop_assert_eq!(
+                    keyed.distinct_active(probe),
+                    exact.distinct(probe),
+                    "distinct-active must be exact at now={}", probe
+                );
+                for key in 0u64..5 {
+                    let truth = exact.count(key, probe);
+                    let est = keyed.estimate(&key, probe);
+                    let (lo, hi) = keyed.bounds(&key, probe);
+                    prop_assert!(lo <= truth && truth <= hi,
+                        "true {} outside [{}, {}] for key {} at {}", truth, lo, hi, key, probe);
+                    let err = est.abs_diff(truth);
+                    let bound = (eps * truth as f64).floor() + 1.0;
+                    prop_assert!((err as f64) <= bound,
+                        "key {}: estimate {} vs true {}: err {} > eps*N+1 = {}",
+                        key, est, truth, err, bound);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The join application contract and the per-side index application.
+//!
+//! A [`JoinApp`] declares the two record types, the shared join key, and
+//! (optionally) a weight per matched pair — nothing about windows, deltas
+//! or indexes. The operator derives everything else: each side becomes an
+//! [`IndexApp`], an ordinary [`MapReduceApp`] whose per-key output is the
+//! side's sorted in-window record list. That index is therefore maintained
+//! by the engine's own incremental machinery — contraction trees,
+//! memoization, fault recovery — with zero join-specific code below the
+//! probe layer.
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use slider_mapreduce::MapReduceApp;
+
+/// A two-input equi-join, written with no incremental logic — the same
+/// transparency contract as [`MapReduceApp`].
+///
+/// Records whose key extractor returns `None` are filtered out of the
+/// join (they still flow through the side's window, they just index
+/// under no key).
+pub trait JoinApp: Send + Sync + 'static {
+    /// The join key both sides map into.
+    type Key: Clone + Ord + Eq + Hash + fmt::Debug + Send + Sync + 'static;
+    /// Left-side record.
+    type Left: Clone + PartialEq + fmt::Debug + Send + Sync + 'static;
+    /// Right-side record.
+    type Right: Clone + PartialEq + fmt::Debug + Send + Sync + 'static;
+
+    /// Join key of a left record (`None` = not joinable).
+    fn left_key(&self, left: &Self::Left) -> Option<Self::Key>;
+
+    /// Join key of a right record (`None` = not joinable).
+    fn right_key(&self, right: &Self::Right) -> Option<Self::Key>;
+
+    /// Weight contributed by one matched pair to the per-key
+    /// [`JoinCell`](crate::JoinCell) aggregate. Defaults to 1 (pair
+    /// counting).
+    fn pair_weight(&self, _key: &Self::Key, _left: &Self::Left, _right: &Self::Right) -> u64 {
+        1
+    }
+
+    /// Modeled size of one left record in bytes (index memoization
+    /// accounting).
+    fn left_record_bytes(&self) -> u64 {
+        24
+    }
+
+    /// Modeled size of one right record in bytes.
+    fn right_record_bytes(&self) -> u64 {
+        24
+    }
+}
+
+/// One side record as stored in a window index, carrying its event-time
+/// stamp: `(time, seq)` is the record's identity, so delta probes can add
+/// and retract the exact pair a record participated in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexRecord<V> {
+    /// Event time.
+    pub time: u64,
+    /// Tiebreak between records with equal event times.
+    pub seq: u64,
+    /// The side's record.
+    pub value: V,
+}
+
+impl<V> IndexRecord<V> {
+    /// Builds a stamped index record.
+    pub fn new(time: u64, seq: u64, value: V) -> Self {
+        IndexRecord { time, seq, value }
+    }
+}
+
+/// The per-side window index as a plain [`MapReduceApp`]: maps each
+/// stamped record under its join key, combines by sorted merge, and
+/// outputs the key's full sorted record list. Running it under a
+/// [`WindowedJob`](slider_mapreduce::WindowedJob) gives the join a
+/// key-sharded, contraction-tree-maintained, dcache-memoized,
+/// fault-recoverable sliding index for free.
+pub struct IndexApp<V, K> {
+    key_fn: KeyFn<V, K>,
+    record_bytes: u64,
+}
+
+/// Shared key-extractor closure of an [`IndexApp`].
+type KeyFn<V, K> = Arc<dyn Fn(&V) -> Option<K> + Send + Sync>;
+
+impl<V, K> IndexApp<V, K> {
+    /// Builds an index app over `key_fn`, modeling `record_bytes` bytes
+    /// per record.
+    pub fn new(
+        key_fn: impl Fn(&V) -> Option<K> + Send + Sync + 'static,
+        record_bytes: u64,
+    ) -> Self {
+        IndexApp {
+            key_fn: Arc::new(key_fn),
+            record_bytes,
+        }
+    }
+}
+
+impl<V, K> MapReduceApp for IndexApp<V, K>
+where
+    V: Clone + PartialEq + Send + Sync + 'static,
+    K: Clone + Ord + Hash + Send + Sync + 'static,
+{
+    type Input = IndexRecord<V>;
+    type Key = K;
+    type Value = Vec<IndexRecord<V>>;
+    type Output = Vec<IndexRecord<V>>;
+
+    fn map(&self, input: &IndexRecord<V>, emit: &mut dyn FnMut(K, Vec<IndexRecord<V>>)) {
+        if let Some(key) = (self.key_fn)(&input.value) {
+            emit(key, vec![input.clone()]);
+        }
+    }
+
+    fn combine(
+        &self,
+        _key: &K,
+        a: &Vec<IndexRecord<V>>,
+        b: &Vec<IndexRecord<V>>,
+    ) -> Vec<IndexRecord<V>> {
+        // Sorted merge on (time, seq): associative, commutative, and the
+        // result never depends on contraction-tree grouping.
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if (a[i].time, a[i].seq) <= (b[j].time, b[j].seq) {
+                out.push(a[i].clone());
+                i += 1;
+            } else {
+                out.push(b[j].clone());
+                j += 1;
+            }
+        }
+        out.extend(a[i..].iter().cloned());
+        out.extend(b[j..].iter().cloned());
+        out
+    }
+
+    fn reduce(&self, _key: &K, parts: &[&Vec<IndexRecord<V>>]) -> Vec<IndexRecord<V>> {
+        let mut out: Vec<IndexRecord<V>> = parts.iter().flat_map(|p| p.iter().cloned()).collect();
+        out.sort_by_key(|r| (r.time, r.seq));
+        out
+    }
+
+    fn combine_cost(&self, _key: &K, a: &Vec<IndexRecord<V>>, b: &Vec<IndexRecord<V>>) -> u64 {
+        (a.len() + b.len()) as u64
+    }
+
+    fn reduce_cost(&self, _key: &K, parts: &[&Vec<IndexRecord<V>>]) -> u64 {
+        parts.iter().map(|p| p.len() as u64).sum::<u64>().max(1)
+    }
+
+    fn value_bytes(&self, _key: &K, v: &Vec<IndexRecord<V>>) -> u64 {
+        8 + v.len() as u64 * self.record_bytes
+    }
+
+    fn record_bytes(&self, _input: &IndexRecord<V>) -> u64 {
+        self.record_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, s: u64, v: u32) -> IndexRecord<u32> {
+        IndexRecord::new(t, s, v)
+    }
+
+    #[test]
+    fn combine_is_a_sorted_merge_and_commutative() {
+        let app: IndexApp<u32, u32> = IndexApp::new(|v| Some(*v % 4), 24);
+        let a = vec![rec(1, 0, 8), rec(5, 0, 4)];
+        let b = vec![rec(2, 0, 0), rec(5, 1, 12)];
+        let ab = app.combine(&0, &a, &b);
+        let ba = app.combine(&0, &b, &a);
+        assert_eq!(ab, ba);
+        let times: Vec<(u64, u64)> = ab.iter().map(|r| (r.time, r.seq)).collect();
+        assert_eq!(times, [(1, 0), (2, 0), (5, 0), (5, 1)]);
+        assert_eq!(app.combine_cost(&0, &a, &b), 4);
+    }
+
+    #[test]
+    fn map_filters_unkeyed_records() {
+        let app: IndexApp<u32, u32> = IndexApp::new(|v| (*v > 10).then_some(*v), 24);
+        let mut seen = Vec::new();
+        app.map(&rec(1, 0, 5), &mut |k, _| seen.push(k));
+        app.map(&rec(2, 0, 50), &mut |k, _| seen.push(k));
+        assert_eq!(seen, [50]);
+    }
+
+    #[test]
+    fn reduce_merges_parts_sorted() {
+        let app: IndexApp<u32, u32> = IndexApp::new(|_| Some(0), 16);
+        let p1 = vec![rec(3, 0, 1)];
+        let p2 = vec![rec(1, 0, 2), rec(9, 0, 3)];
+        let out = app.reduce(&0, &[&p1, &p2]);
+        let times: Vec<u64> = out.iter().map(|r| r.time).collect();
+        assert_eq!(times, [1, 3, 9]);
+        assert_eq!(app.value_bytes(&0, &out), 8 + 3 * 16);
+    }
+}

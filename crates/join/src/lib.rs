@@ -1,0 +1,38 @@
+//! slider-join: incremental windowed stream joins over the sharded
+//! Slider runtime.
+//!
+//! A [`JoinedJob`] joins two event-time record streams over aligned
+//! sliding windows. Each side's window is indexed by join key through an
+//! [`IndexApp`] — an ordinary `MapReduceApp` run as a `WindowedJob` on the
+//! shared engine — so the indexes inherit the engine's contraction trees,
+//! dcache memoization (one namespace per side), and fault recovery with
+//! no join-specific plumbing. Above the indexes, the operator maintains a
+//! materialized per-key view ([`JoinCell`]) and updates it on each joint
+//! advance by probing only the records that *entered or left* a window
+//! against the opposite index — never by recomputing the cross product.
+//!
+//! The two sides advance under a **joint watermark** (the minimum of
+//! their per-side event-time watermarks), so one stalled input holds both
+//! windows back instead of producing join results against data the other
+//! side may still deliver or reorder.
+//!
+//! Everything is deterministic: probe results are sharded by key hash,
+//! computed via `Runtime::map` (input-order results), and folded in shard
+//! order, so the view, the emitted [`PairDelta`] stream, and all
+//! [`JoinStats`] are bit-identical at any thread count. The brute-force
+//! [`reference_view`] ground truth and per-cell pair checksums make that
+//! claim checkable on every slide.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::cast_possible_truncation)]
+
+mod app;
+mod job;
+mod reference;
+mod stats;
+
+pub use app::{IndexApp, IndexRecord, JoinApp};
+pub use job::{JoinConfig, JoinError, JoinMode, JoinRun, JoinRunOf, JoinedJob};
+pub use reference::reference_view;
+pub use stats::{pair_hash, JoinCell, JoinStats, PairDelta};

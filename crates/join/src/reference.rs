@@ -1,0 +1,96 @@
+//! Brute-force recompute-the-cross-product reference.
+//!
+//! [`reference_view`] computes the joined view from the two raw record
+//! windows with no index, no sharding, no deltas — just nested loops.
+//! It is deliberately the dumbest correct implementation: the integration
+//! and property tests assert the incremental operator's materialized view
+//! equals this on every slide, which is what makes the delta machinery
+//! trustworthy.
+
+use std::collections::BTreeMap;
+
+use crate::app::{IndexRecord, JoinApp};
+use crate::stats::{pair_hash, JoinCell};
+
+/// Computes the per-key join view of `left` × `right` by brute force.
+///
+/// Records are grouped by their extracted key (records with `None` keys
+/// are skipped) and every in-key (left, right) pair is enumerated. The
+/// resulting cells use the same weight and checksum formulas as the
+/// incremental operator, so equality means "same multiset of pairs".
+pub fn reference_view<J: JoinApp>(
+    app: &J,
+    left: &[IndexRecord<J::Left>],
+    right: &[IndexRecord<J::Right>],
+) -> BTreeMap<J::Key, JoinCell> {
+    let mut by_key_left: BTreeMap<J::Key, Vec<&IndexRecord<J::Left>>> = BTreeMap::new();
+    for l in left {
+        if let Some(k) = app.left_key(&l.value) {
+            by_key_left.entry(k).or_default().push(l);
+        }
+    }
+    let mut by_key_right: BTreeMap<J::Key, Vec<&IndexRecord<J::Right>>> = BTreeMap::new();
+    for r in right {
+        if let Some(k) = app.right_key(&r.value) {
+            by_key_right.entry(k).or_default().push(r);
+        }
+    }
+    let mut view = BTreeMap::new();
+    for (key, ls) in &by_key_left {
+        let Some(rs) = by_key_right.get(key) else {
+            continue;
+        };
+        let mut cell = JoinCell::default();
+        for l in ls {
+            for r in rs {
+                cell.add(
+                    app.pair_weight(key, &l.value, &r.value),
+                    pair_hash(key, (l.time, l.seq), (r.time, r.seq)),
+                );
+            }
+        }
+        if cell.pairs > 0 {
+            view.insert(key.clone(), cell);
+        }
+    }
+    view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ModJoin;
+    impl JoinApp for ModJoin {
+        type Key = u32;
+        type Left = u32;
+        type Right = u32;
+        fn left_key(&self, l: &u32) -> Option<u32> {
+            (*l != 99).then_some(*l % 3)
+        }
+        fn right_key(&self, r: &u32) -> Option<u32> {
+            Some(*r % 3)
+        }
+    }
+
+    #[test]
+    fn cross_product_counts_and_filters() {
+        let left = vec![
+            IndexRecord::new(0, 0, 0),
+            IndexRecord::new(1, 0, 3),
+            IndexRecord::new(2, 0, 99), // filtered out
+        ];
+        let right = vec![
+            IndexRecord::new(0, 1, 6),
+            IndexRecord::new(1, 1, 9),
+            IndexRecord::new(2, 1, 1),
+        ];
+        let view = reference_view(&ModJoin, &left, &right);
+        // Key 0: two left × two right = 4 pairs; key 1 has no left.
+        assert_eq!(view.len(), 1);
+        assert_eq!(view[&0].pairs, 4);
+        assert_eq!(view[&0].weight, 4);
+        // Empty sides yield an empty view.
+        assert!(reference_view(&ModJoin, &[], &right).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests: on arbitrary two-sided streams — arbitrary gaps, keys,
+//! values, window widths, slide cadences, partition counts — the
+//! incrementally maintained join view equals the brute-force cross
+//! product after every poll, and its recompute twin lands on the same
+//! final view.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use slider_join::{JoinApp, JoinConfig, JoinMode, JoinedJob};
+use slider_mapreduce::{EngineShared, EventTimeConfig, Stamped};
+
+/// Left records are `(key, payload)`, right records are bare u32s keyed
+/// by modulus; a sentinel payload on either side is unjoinable, so `None`
+/// keys are exercised too.
+#[derive(Debug, Clone, Copy, Default)]
+struct PropJoin {
+    keys: u32,
+}
+
+const UNJOINABLE: u32 = u32::MAX;
+
+impl JoinApp for PropJoin {
+    type Key = u32;
+    type Left = (u32, u32);
+    type Right = u32;
+
+    fn left_key(&self, left: &Self::Left) -> Option<u32> {
+        (left.1 != UNJOINABLE).then_some(left.0 % self.keys)
+    }
+
+    fn right_key(&self, right: &Self::Right) -> Option<u32> {
+        (*right != UNJOINABLE).then_some(*right % self.keys)
+    }
+
+    fn pair_weight(&self, key: &u32, left: &Self::Left, right: &Self::Right) -> u64 {
+        u64::from(key + left.1 % 7 + right % 5 + 1)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    keys: u32,
+    epoch_len: u64,
+    window_epochs: usize,
+    lateness: u64,
+    partitions: usize,
+    poll_every: usize,
+    /// (time-gap, key-ish, payload) triples; payload 3 ⇒ unjoinable.
+    left: Vec<(u64, u32, u8)>,
+    right: Vec<(u64, u32, u8)>,
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (
+        1u32..5,
+        1u64..8,
+        1usize..5,
+        0u64..6,
+        1usize..5,
+        1usize..6,
+        vec((0u64..4, 0u32..40, 0u8..8), 0..60),
+        vec((0u64..4, 0u32..40, 0u8..8), 0..60),
+    )
+        .prop_map(
+            |(keys, epoch_len, window_epochs, lateness, partitions, poll_every, left, right)| {
+                Plan {
+                    keys,
+                    epoch_len,
+                    window_epochs,
+                    lateness,
+                    partitions,
+                    poll_every,
+                    left,
+                    right,
+                }
+            },
+        )
+}
+
+fn stamp<R>(gaps: &[(u64, u32, u8)], make: impl Fn(u32, u8) -> R) -> Vec<Stamped<R>> {
+    let mut time = 0u64;
+    gaps.iter()
+        .enumerate()
+        .map(|(i, &(gap, k, p))| {
+            time += gap;
+            Stamped::new(time, i as u64, make(k, p))
+        })
+        .collect()
+}
+
+fn run(plan: &Plan, mode: JoinMode) -> (String, String) {
+    let app = PropJoin { keys: plan.keys };
+    let event = EventTimeConfig {
+        epoch_len: plan.epoch_len,
+        records_per_split: 4,
+        window_epochs: Some(plan.window_epochs),
+        lateness: plan.lateness,
+    };
+    let shared = EngineShared::builder().threads(2).build();
+    let config = JoinConfig::new(event)
+        .with_partitions(plan.partitions)
+        .with_mode(mode);
+    let mut job = JoinedJob::new(app, config, &shared).expect("job builds");
+
+    let left = stamp(&plan.left, |k, p| {
+        (k, if p == 3 { UNJOINABLE } else { u32::from(p) })
+    });
+    let right = stamp(&plan.right, |k, p| if p == 3 { UNJOINABLE } else { k });
+
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < left.len() || ri < right.len() {
+        let lend = (li + plan.poll_every).min(left.len());
+        job.ingest_left(left[li..lend].iter().cloned());
+        li = lend;
+        let rend = (ri + plan.poll_every).min(right.len());
+        job.ingest_right(right[ri..rend].iter().cloned());
+        ri = rend;
+        job.poll().expect("poll");
+        prop_assert_eq_views(&job);
+    }
+    job.close_all().expect("close_all");
+    prop_assert_eq_views(&job);
+    (format!("{:?}", job.view()), format!("{:?}", job.stats()))
+}
+
+/// Plain assert so failures shrink through proptest's panic hook.
+fn prop_assert_eq_views(job: &JoinedJob<PropJoin>) {
+    assert_eq!(
+        job.view(),
+        &job.reference_view(),
+        "incremental view diverged from the brute-force cross product"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_join_equals_brute_force(plan in plan()) {
+        let (inc_view, _) = run(&plan, JoinMode::Incremental);
+        let (rec_view, _) = run(&plan, JoinMode::Recompute);
+        prop_assert_eq!(inc_view, rec_view, "recompute twin disagreed");
+    }
+
+    #[test]
+    fn join_runs_are_deterministic(plan in plan()) {
+        let a = run(&plan, JoinMode::Incremental);
+        let b = run(&plan, JoinMode::Incremental);
+        prop_assert_eq!(a, b, "identical drives must be bit-identical");
+    }
+}

@@ -98,6 +98,66 @@ impl EventTimeConfig {
     }
 }
 
+/// One structural change an [`EventFeeder`] applied to its wrapped job,
+/// reported through the optional journal
+/// ([`EventFeeder::enable_journal`]). Two-input operators (slider-join's
+/// `JoinedJob`) consume these to learn exactly which records entered and
+/// left the window — the deltas they probe the opposite side's index with
+/// — without re-deriving the feeder's close/evict/splice decisions.
+///
+/// Events are appended in application order; that order is a valid
+/// sequential maintenance schedule (each event saw every earlier event
+/// applied), which is what makes delta joins exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedEvent<R> {
+    /// Late records spliced into the interior of still-in-window `epoch`,
+    /// sorted by `(time, seq)`.
+    LateSplice {
+        /// The epoch the records joined.
+        epoch: u64,
+        /// The admitted records.
+        records: Vec<Stamped<R>>,
+    },
+    /// `epoch` closed as one bulk advance, possibly evicting the oldest
+    /// window epoch.
+    EpochClosed {
+        /// The closed epoch.
+        epoch: u64,
+        /// Records the close appended, sorted by `(time, seq)`.
+        inserted: Vec<Stamped<R>>,
+        /// Epoch evicted from the window front, if the window was full.
+        evicted_epoch: Option<u64>,
+        /// Every record the evicted epoch held (close-time records plus
+        /// any late splices it absorbed).
+        evicted: Vec<Stamped<R>>,
+    },
+    /// A still-in-window epoch was retracted ([`EventFeeder::retract_epoch`]).
+    Retracted {
+        /// The retracted epoch.
+        epoch: u64,
+        /// Every record it held.
+        records: Vec<Stamped<R>>,
+    },
+}
+
+/// Journal state: the pending event log plus a per-epoch copy of every
+/// record still inside the window (the source of `evicted` / `records`
+/// payloads above). Memory is bounded by the window size.
+#[derive(Debug, Clone)]
+struct Journal<R> {
+    events: Vec<FeedEvent<R>>,
+    retained: BTreeMap<u64, Vec<Stamped<R>>>,
+}
+
+impl<R> Journal<R> {
+    fn new() -> Self {
+        Journal {
+            events: Vec::new(),
+            retained: BTreeMap::new(),
+        }
+    }
+}
+
 /// Counters describing an [`EventFeeder`]'s late-data handling. All fields
 /// are determined by the ingested records' stamps and the flush chunking —
 /// never by thread count or wall-clock timing.
@@ -140,6 +200,7 @@ pub struct FeederCheckpoint<A: MapReduceApp> {
     max_time: Option<u64>,
     next_split_id: u64,
     stats: EventTimeStats,
+    journal: Option<Journal<A::Input>>,
 }
 
 impl<A: MapReduceApp> FeederCheckpoint<A> {
@@ -174,6 +235,7 @@ impl<A: MapReduceApp> Clone for FeederCheckpoint<A> {
             max_time: self.max_time,
             next_split_id: self.next_split_id,
             stats: self.stats,
+            journal: self.journal.clone(),
         }
     }
 }
@@ -198,6 +260,9 @@ pub struct EventFeeder<A: MapReduceApp> {
     max_time: Option<u64>,
     next_split_id: u64,
     stats: EventTimeStats,
+    /// Optional structural-change journal (see
+    /// [`EventFeeder::enable_journal`]). `None` = disabled, zero cost.
+    journal: Option<Journal<A::Input>>,
 }
 
 impl<A: MapReduceApp> EventFeeder<A> {
@@ -219,7 +284,41 @@ impl<A: MapReduceApp> EventFeeder<A> {
             max_time: None,
             next_split_id: 0,
             stats: EventTimeStats::default(),
+            journal: None,
         })
+    }
+
+    /// Turns on the structural-change journal: from now on every epoch
+    /// close, late splice and retraction appends a [`FeedEvent`] (drained
+    /// with [`EventFeeder::take_events`]), and the feeder retains a copy of
+    /// every in-window record so eviction events can report exactly which
+    /// records left. Enable *before* the first flush — epochs closed
+    /// earlier were not retained and would report empty evictions.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::new());
+        }
+    }
+
+    /// Whether the journal is recording.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Drains the journal's pending events (empty when disabled).
+    pub fn take_events(&mut self) -> Vec<FeedEvent<A::Input>> {
+        self.journal
+            .as_mut()
+            .map(|j| std::mem::take(&mut j.events))
+            .unwrap_or_default()
+    }
+
+    /// Every record currently inside the window, oldest epoch first and
+    /// sorted within each epoch. `None` when the journal is disabled.
+    pub fn retained_records(&self) -> Option<Vec<&Stamped<A::Input>>> {
+        self.journal
+            .as_ref()
+            .map(|j| j.retained.values().flatten().collect())
     }
 
     /// Buffers `records` without running the job: on-time records join
@@ -253,9 +352,28 @@ impl<A: MapReduceApp> EventFeeder<A> {
     /// Propagates the first [`JobError`]; runs already executed remain
     /// applied (a flush is not atomic), and their bookkeeping is intact.
     pub fn flush(&mut self) -> Result<Vec<RunStats>, JobError> {
+        self.flush_capped(u64::MAX)
+    }
+
+    /// Like [`EventFeeder::flush`], but closes only epochs that *both* this
+    /// feeder's own watermark and `watermark_cap` have passed. Queued late
+    /// records still splice unconditionally (their epochs already closed).
+    ///
+    /// This is the joint-watermark primitive: a two-input operator calls it
+    /// with the minimum of its sides' watermarks, so neither side's window
+    /// advances past what the slower stream has confirmed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`JobError`] (see [`EventFeeder::flush`]).
+    pub fn flush_bounded(&mut self, watermark_cap: u64) -> Result<Vec<RunStats>, JobError> {
+        self.flush_capped(watermark_cap)
+    }
+
+    fn flush_capped(&mut self, watermark_cap: u64) -> Result<Vec<RunStats>, JobError> {
         let mut runs = Vec::new();
         self.apply_late(&mut runs)?;
-        let Some(watermark) = self.watermark() else {
+        let Some(watermark) = self.watermark().map(|w| w.min(watermark_cap)) else {
             return Ok(runs);
         };
         // First epoch the watermark has NOT fully passed: `e` is ripe
@@ -330,6 +448,10 @@ impl<A: MapReduceApp> EventFeeder<A> {
             self.stats.late_admitted -= dropped.len() as u64;
             self.stats.late_dropped += dropped.len() as u64;
         }
+        if let Some(journal) = self.journal.as_mut() {
+            let records = journal.retained.remove(&epoch).unwrap_or_default();
+            journal.events.push(FeedEvent::Retracted { epoch, records });
+        }
         Ok(stats)
     }
 
@@ -374,6 +496,7 @@ impl<A: MapReduceApp> EventFeeder<A> {
             max_time: self.max_time,
             next_split_id: self.next_split_id,
             stats: self.stats,
+            journal: self.journal.clone(),
         }
     }
 
@@ -400,6 +523,7 @@ impl<A: MapReduceApp> EventFeeder<A> {
             max_time: checkpoint.max_time,
             next_split_id: checkpoint.next_split_id,
             stats: checkpoint.stats,
+            journal: checkpoint.journal.clone(),
         })
     }
 
@@ -422,6 +546,7 @@ impl<A: MapReduceApp> EventFeeder<A> {
     fn apply_late(&mut self, runs: &mut Vec<RunStats>) -> Result<(), JobError> {
         while let Some((epoch, mut records)) = self.late.pop_first() {
             records.sort_by_key(|r| (r.time, r.seq));
+            let journal_copy = self.journal.is_some().then(|| records.clone());
             let inputs: Vec<A::Input> = records.into_iter().map(|r| r.record).collect();
             let splits = make_splits(self.next_split_id, inputs, self.config.records_per_split);
             let added = splits.len();
@@ -438,6 +563,16 @@ impl<A: MapReduceApp> EventFeeder<A> {
             if let Some(w) = self.window.iter_mut().find(|w| w.epoch == epoch) {
                 w.splits += added;
             }
+            if let (Some(journal), Some(records)) = (self.journal.as_mut(), journal_copy) {
+                journal
+                    .retained
+                    .entry(epoch)
+                    .or_default()
+                    .extend(records.iter().cloned());
+                journal
+                    .events
+                    .push(FeedEvent::LateSplice { epoch, records });
+            }
         }
         Ok(())
     }
@@ -448,6 +583,7 @@ impl<A: MapReduceApp> EventFeeder<A> {
     fn close_epoch(&mut self, epoch: u64, runs: &mut Vec<RunStats>) -> Result<(), JobError> {
         let mut records = self.pending.remove(&epoch).unwrap_or_default();
         records.sort_by_key(|r| (r.time, r.seq));
+        let journal_copy = self.journal.is_some().then(|| records.clone());
         let inputs: Vec<A::Input> = records.into_iter().map(|r| r.record).collect();
         let splits = make_splits(self.next_split_id, inputs, self.config.records_per_split);
         let added = splits.len();
@@ -460,6 +596,11 @@ impl<A: MapReduceApp> EventFeeder<A> {
         } else {
             0
         };
+        let evicted_epoch = if evict {
+            self.window.front().map(|w| w.epoch)
+        } else {
+            None
+        };
         if remove > 0 || added > 0 {
             runs.push(self.job.advance(remove, splits)?);
         }
@@ -467,6 +608,18 @@ impl<A: MapReduceApp> EventFeeder<A> {
         if evict {
             self.window.pop_front();
             self.stats.epochs_evicted += 1;
+        }
+        if let (Some(journal), Some(inserted)) = (self.journal.as_mut(), journal_copy) {
+            let evicted = evicted_epoch
+                .map(|e| journal.retained.remove(&e).unwrap_or_default())
+                .unwrap_or_default();
+            journal.retained.insert(epoch, inserted.clone());
+            journal.events.push(FeedEvent::EpochClosed {
+                epoch,
+                inserted,
+                evicted_epoch,
+                evicted,
+            });
         }
         self.window.push_back(WindowEpoch {
             epoch,
@@ -809,6 +962,124 @@ mod tests {
         assert_eq!(out_a, out_b);
         assert_eq!(runs_a, runs_b, "restored twin must meter identically");
         assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn flush_bounded_holds_epochs_back_until_the_cap_passes() {
+        let mut f = feeder(ExecMode::slider_folding(), config());
+        f.ingest([
+            stamped(2, 0, "a"),
+            stamped(12, 1, "b"),
+            stamped(25, 2, "c"),
+            stamped(38, 3, "d"),
+        ]);
+        // Own watermark is 33, but a cap of 9 keeps every epoch open.
+        assert!(f.flush_bounded(9).unwrap().is_empty());
+        assert!(f.output().is_empty());
+        // Cap 20 releases epochs 0 and 1 only.
+        assert_eq!(f.flush_bounded(20).unwrap().len(), 2);
+        assert_eq!(f.window_epochs(), vec![0, 1]);
+        // Uncapped flush catches up to the own watermark.
+        assert_eq!(f.flush().unwrap().len(), 1);
+        assert_eq!(f.window_epochs(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn journal_reports_closes_evictions_splices_and_retractions() {
+        let mut f = feeder(ExecMode::slider_folding(), config());
+        f.enable_journal();
+        assert!(f.journal_enabled());
+        f.ingest([
+            stamped(2, 0, "a"),
+            stamped(12, 1, "b"),
+            stamped(22, 2, "c"),
+            stamped(35, 3, "d"),
+        ]);
+        f.flush().unwrap();
+        let events = f.take_events();
+        assert_eq!(events.len(), 3, "three epoch closes");
+        assert!(matches!(
+            &events[0],
+            FeedEvent::EpochClosed { epoch: 0, inserted, evicted_epoch: None, .. }
+                if inserted.len() == 1 && inserted[0].record == "a"
+        ));
+        assert!(f.take_events().is_empty(), "events drain once");
+        let retained: Vec<String> = f
+            .retained_records()
+            .unwrap()
+            .iter()
+            .map(|s| s.record.clone())
+            .collect();
+        assert_eq!(retained, ["a", "b", "c"]);
+
+        // A late splice lands in epoch 0's retained set and is reported.
+        f.ingest([stamped(4, 4, "z")]);
+        f.flush().unwrap();
+        let events = f.take_events();
+        assert!(matches!(
+            &events[..],
+            [FeedEvent::LateSplice { epoch: 0, records }] if records[0].record == "z"
+        ));
+
+        // Closing epoch 3 evicts epoch 0 — including the spliced record.
+        f.ingest([stamped(47, 5, "e")]);
+        f.flush().unwrap();
+        let events = f.take_events();
+        match &events[..] {
+            [FeedEvent::EpochClosed {
+                epoch: 3,
+                evicted_epoch: Some(0),
+                evicted,
+                ..
+            }] => {
+                let got: Vec<&str> = evicted.iter().map(|s| s.record.as_str()).collect();
+                assert_eq!(got, ["a", "z"], "late splice ages out with its epoch");
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+
+        // Retraction reports the epoch's records and drops them from the
+        // retained set.
+        f.retract_epoch(2).unwrap();
+        let events = f.take_events();
+        assert!(matches!(
+            &events[..],
+            [FeedEvent::Retracted { epoch: 2, records }] if records[0].record == "c"
+        ));
+        let retained: Vec<String> = f
+            .retained_records()
+            .unwrap()
+            .iter()
+            .map(|s| s.record.clone())
+            .collect();
+        assert_eq!(retained, ["b", "d"]);
+    }
+
+    #[test]
+    fn journal_survives_checkpoint_restore() {
+        let shared = EngineShared::builder().build();
+        let job = WindowedJob::with_shared(
+            WordCount,
+            JobConfig::new(ExecMode::slider_folding()).with_partitions(2),
+            &shared,
+        )
+        .unwrap();
+        let mut f = EventFeeder::new(job, config()).unwrap();
+        f.enable_journal();
+        f.ingest([stamped(2, 0, "a"), stamped(12, 1, "b"), stamped(35, 2, "c")]);
+        f.flush().unwrap();
+        f.take_events();
+
+        let cp = f.checkpoint();
+        let mut twin = EventFeeder::restore_with_shared(&cp, &shared).unwrap();
+        assert!(twin.journal_enabled());
+        // Both continue; eviction payloads must match, which requires the
+        // retained map to have survived the restore.
+        for g in [&mut f, &mut twin] {
+            g.ingest([stamped(47, 3, "d")]);
+            g.flush().unwrap();
+        }
+        assert_eq!(f.take_events(), twin.take_events());
     }
 
     #[test]

@@ -78,7 +78,9 @@ mod windowed;
 
 pub use app::{AppCombiner, MapReduceApp};
 pub use error::JobError;
-pub use event::{EventFeeder, EventTimeConfig, EventTimeStats, FeederCheckpoint, Stamped};
+pub use event::{
+    EventFeeder, EventTimeConfig, EventTimeStats, FeedEvent, FeederCheckpoint, Stamped,
+};
 pub use fault::{
     CacheCorruption, CacheNodeEvent, JobFaultPlan, JobMachineCrash, JobStraggler, MemoLoss,
 };

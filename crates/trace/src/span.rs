@@ -54,11 +54,14 @@ pub enum SpanKind {
     SimStage,
     /// A pipeline or query stage boundary.
     Stage,
+    /// Windowed-join delta probing (slider-join): index probes and
+    /// cross-product recomputes.
+    Join,
 }
 
 impl SpanKind {
     /// Every kind, in a stable order (used by exporters).
-    pub const ALL: [SpanKind; 15] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::Run,
         SpanKind::Map,
         SpanKind::Shuffle,
@@ -74,6 +77,7 @@ impl SpanKind {
         SpanKind::CacheWrite,
         SpanKind::SimStage,
         SpanKind::Stage,
+        SpanKind::Join,
     ];
 
     /// Stable lower-case label, used as the Chrome `cat` field and in the
@@ -95,6 +99,7 @@ impl SpanKind {
             SpanKind::CacheWrite => "cache-write",
             SpanKind::SimStage => "sim-stage",
             SpanKind::Stage => "stage",
+            SpanKind::Join => "join",
         }
     }
 }

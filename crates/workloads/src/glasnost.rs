@@ -93,7 +93,7 @@ pub fn generate_months(
                     TestTrace {
                         server,
                         client,
-                        month: month as u32,
+                        month: u32::try_from(month).expect("month index fits"),
                         rtts_ms,
                     }
                 })

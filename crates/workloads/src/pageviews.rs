@@ -70,8 +70,8 @@ pub fn generate_views(
     let page_sampler = ZipfSampler::new(config.pages as usize, config.skew);
     (0..count)
         .map(|i| {
-            let user = user_sampler.sample(&mut rng) as u32;
-            let page = page_sampler.sample(&mut rng) as u32;
+            let user = u32::try_from(user_sampler.sample(&mut rng)).expect("user fits");
+            let page = u32::try_from(page_sampler.sample(&mut rng)).expect("page fits");
             PageView {
                 user,
                 page,

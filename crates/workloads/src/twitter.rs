@@ -69,6 +69,15 @@ impl FollowGraph {
     pub fn edges(&self) -> usize {
         self.follows.values().map(Vec::len).sum()
     }
+
+    /// Every `(follower, followee)` edge, in deterministic
+    /// (follower-sorted) order.
+    pub fn edge_pairs(&self) -> Vec<(UserId, UserId)> {
+        self.follows
+            .iter()
+            .flat_map(|(&u, fs)| fs.iter().map(move |&v| (u, v)))
+            .collect()
+    }
 }
 
 /// Generator configuration.
@@ -125,7 +134,7 @@ impl TwitterDataset {
             let end = if i + 1 == relative_sizes.len() {
                 self.tweets.len()
             } else {
-                ((acc * n) / total) as usize
+                usize::try_from((acc * n) / total).expect("slice bound fits")
             };
             out.push(self.tweets[start..end].to_vec());
             start = end;
@@ -155,7 +164,7 @@ pub fn generate(seed: u64, config: &TwitterConfig, tweet_count: usize) -> Twitte
             let mut target = 0u32;
             for (v, &w) in popularity[..u as usize].iter().enumerate() {
                 if ticket < w {
-                    target = v as u32;
+                    target = u32::try_from(v).expect("user ids fit in u32");
                     break;
                 }
                 ticket -= w;
@@ -206,6 +215,50 @@ pub fn generate(seed: u64, config: &TwitterConfig, tweet_count: usize) -> Twitte
         graph: Arc::new(FollowGraph { follows }),
         tweets,
     }
+}
+
+/// One follower-edge event: `follower` started following `followee` at
+/// `time` — the second input stream of the windowed-join workload
+/// (follower-edge events ⋈ URL posts on the followee/poster user).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FollowEvent {
+    /// The user gaining a followee.
+    pub follower: UserId,
+    /// The user being followed (the join key against [`Tweet::user`]).
+    pub followee: UserId,
+    /// Event time in the same abstract ticks as [`Tweet::time`].
+    pub time: u64,
+}
+
+/// Generates a timed follower-edge stream over `graph`: `events` edge
+/// creations sampled from the graph's edges (so the join against the
+/// poster side actually matches), with event times spread over
+/// `[0, time_span)` and sorted ascending. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+pub fn follow_stream(
+    seed: u64,
+    graph: &FollowGraph,
+    events: usize,
+    time_span: u64,
+) -> Vec<FollowEvent> {
+    let edges = graph.edge_pairs();
+    assert!(!edges.is_empty(), "follow stream needs a non-empty graph");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0f01_10e5);
+    let mut out: Vec<FollowEvent> = (0..events)
+        .map(|_| {
+            let (follower, followee) = edges[rng.gen_range(0..edges.len())];
+            FollowEvent {
+                follower,
+                followee,
+                time: rng.gen_range(0..time_span.max(1)),
+            }
+        })
+        .collect();
+    out.sort_by_key(|e| (e.time, e.follower, e.followee));
+    out
 }
 
 #[cfg(test)]
@@ -263,6 +316,23 @@ mod tests {
         assert_eq!(total, data.tweets.len());
         // First interval is by far the largest.
         assert!(parts[0].len() > parts[1].len() * 3);
+    }
+
+    #[test]
+    fn follow_stream_is_deterministic_sorted_and_on_graph() {
+        let data = small();
+        let a = follow_stream(7, &data.graph, 300, 500);
+        let b = follow_stream(7, &data.graph, 300, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(a.iter().all(|e| e.time < 500));
+        // Every event is a real graph edge.
+        assert!(a
+            .iter()
+            .all(|e| data.graph.followees(e.follower).contains(&e.followee)));
+        // A different seed yields a different stream.
+        assert_ne!(a, follow_stream(8, &data.graph, 300, 500));
     }
 
     #[test]

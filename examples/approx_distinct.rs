@@ -1,0 +1,94 @@
+//! Approximate windowed count-distinct: per-key DGIM counters.
+//!
+//! ```text
+//! cargo run --example approx_distinct
+//! ```
+//!
+//! Streams synthetic page views through a
+//! [`KeyedDistinctCounter`](slider_core::KeyedDistinctCounter) — one DGIM
+//! exponential histogram per user — and compares against exact per-event
+//! retention at checkpoints: the distinct-user count is *exact* (DGIM
+//! keeps each key's newest timestamp precisely), per-user frequencies are
+//! within (1 ± ε), and the space is a small fraction of the exact
+//! window's. All output is deterministic.
+
+use std::collections::BTreeMap;
+
+use slider_core::KeyedDistinctCounter;
+use slider_workloads::pageviews::{generate_views, PageViewConfig};
+
+const WINDOW: u64 = 2048;
+const EPSILON: f64 = 0.1;
+
+fn main() {
+    let config = PageViewConfig {
+        users: 40,
+        ..PageViewConfig::default()
+    };
+    let views = generate_views(0xd157, &config, 0, 6000);
+
+    let mut keyed = KeyedDistinctCounter::new(WINDOW, EPSILON);
+    let mut exact: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+
+    println!("windowed count-distinct, window {WINDOW} ticks, epsilon {EPSILON}");
+    println!(
+        "{:>6} {:>9} {:>9} {:>8} {:>8} {:>11}",
+        "tick", "distinct", "(exact)", "buckets", "events", "max err %"
+    );
+    for (i, view) in views.iter().enumerate() {
+        keyed.record(view.user, view.time);
+        exact.entry(view.user).or_default().push(view.time);
+        if i % 1000 == 999 {
+            let now = view.time;
+            let exact_distinct = exact
+                .values()
+                .filter(|ts| ts.iter().any(|&t| t + WINDOW > now))
+                .count();
+            let exact_events: usize = exact
+                .values()
+                .map(|ts| ts.iter().filter(|&&t| t + WINDOW > now).count())
+                .sum();
+            let mut max_err = 0.0f64;
+            for (&user, times) in &exact {
+                let truth = times.iter().filter(|&&t| t + WINDOW > now).count();
+                if truth == 0 {
+                    continue;
+                }
+                let est = keyed.estimate(&user, now);
+                let err = (est.abs_diff(truth as u64)) as f64 / truth as f64;
+                max_err = max_err.max(err);
+            }
+            let approx_distinct = keyed.distinct_active(now);
+            assert_eq!(
+                approx_distinct as usize, exact_distinct,
+                "distinct-active is exact by construction"
+            );
+            assert!(
+                max_err <= EPSILON + f64::EPSILON,
+                "within the (1 +/- eps) envelope"
+            );
+            println!(
+                "{:>6} {:>9} {:>9} {:>8} {:>8} {:>11.2}",
+                now,
+                approx_distinct,
+                exact_distinct,
+                keyed.total_buckets(),
+                exact_events,
+                max_err * 100.0
+            );
+        }
+    }
+    println!(
+        "space: {} DGIM buckets vs {} exact in-window events ({} keys tracked)",
+        keyed.total_buckets(),
+        exact
+            .values()
+            .map(|ts| {
+                let now = views.last().unwrap().time;
+                ts.iter().filter(|&&t| t + WINDOW > now).count()
+            })
+            .sum::<usize>(),
+        keyed.tracked_keys()
+    );
+    println!("distinct counts exact; per-key estimates within the epsilon envelope.");
+}
